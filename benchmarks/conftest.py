@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Every module reproduces one figure/table of the paper and writes its
+cost table to ``benchmarks/results/<experiment>.txt``.  Scale comes
+from ``REPRO_SCALE`` (default ``medium``); ``paper`` runs the full
+640 000-cell configurations.
+"""
+
+import pytest
+
+from repro.bench import bench_settings
+
+
+def pytest_report_header(config):
+    settings = bench_settings()
+    return (
+        f"repro experiments: scale={settings.scale} "
+        f"page_size={settings.page_size} pool_bytes={settings.pool_bytes}"
+    )
+
+
+@pytest.fixture(scope="session")
+def settings():
+    return bench_settings()

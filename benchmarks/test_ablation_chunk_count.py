@@ -1,0 +1,75 @@
+"""Ablation abl2 — the chunk-count effect (§5.5.1).
+
+"Even though the storage for each is about the same ... it takes SHORE
+more time to scan 800 6400-byte chunks than 80 64000-byte chunks."
+Same cube contents, the fourth dimension's chunk width swept so the
+array splits into few large or many small chunks; Query 1 cost per
+chunking.
+
+Expected shape: consolidation cost rises with chunk count at roughly
+constant stored bytes.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench import (
+    ExperimentTable,
+    bench_settings,
+    build_cube_engine,
+    query1_for,
+    run_cold,
+)
+from repro.core import ChunkGeometry
+from repro.data import dataset2
+
+SETTINGS = bench_settings()
+BASE = dataset2(SETTINGS.scale, densities=(0.10,))[0]
+# sweep the 4th-dimension chunk width: wider chunks -> fewer chunks
+WIDTHS = [50, 10, 2]
+
+
+def config_for(width):
+    chunk = BASE.chunk_shape[:3] + (width,)
+    return dataclasses.replace(
+        BASE, name=f"{BASE.name}_w{width}", chunk_shape=chunk
+    )
+
+
+CONFIGS = [config_for(w) for w in WIDTHS]
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return {c.name: build_cube_engine(c, SETTINGS) for c in CONFIGS}
+
+
+@pytest.fixture(scope="module")
+def table():
+    t = ExperimentTable(
+        "abl2",
+        "Chunk-count effect: same data, varying chunk width",
+        "n_chunks",
+        expected="Query 1 cost rises with chunk count at ~constant bytes",
+    )
+    yield t
+    t.save()
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: f"w{c.chunk_shape[-1]}")
+def test_ablation_chunk_count(benchmark, engines, table, config):
+    engine = engines[config.name]
+    query = query1_for(config)
+    result = benchmark.pedantic(
+        lambda: run_cold(engine, query, "array"), rounds=2, iterations=1
+    )
+    n_chunks = ChunkGeometry(config.dim_sizes, config.chunk_shape).n_chunks
+    table.add("query1_cost_s", n_chunks, result)
+    table.add_value(
+        "array_chunk_bytes",
+        n_chunks,
+        engine.storage_report(config.name)["array_chunks"],
+    )
+    benchmark.extra_info["n_chunks"] = n_chunks
+    benchmark.extra_info["cost_s"] = result.cost_s

@@ -1,0 +1,70 @@
+"""Ablation abl1 — chunk codec choice (§3.1/§3.3).
+
+Paradise's generic array tiles use LZW; the OLAP Array ADT replaces it
+with chunk-offset compression.  Same cube, four codecs: storage bytes
+and Query 1 consolidation cost per codec.
+
+Expected shape: chunk-offset smallest and fastest to scan at OLAP
+densities; LZW compresses the dense tile well but pays decompression
+CPU; plain dense is largest; adaptive tracks chunk-offset at low
+density.
+"""
+
+import pytest
+
+from repro.bench import (
+    ExperimentTable,
+    bench_settings,
+    build_cube_engine,
+    query1_for,
+    run_cold,
+)
+from repro.data import dataset2
+
+SETTINGS = bench_settings()
+CONFIG = dataset2(SETTINGS.scale, densities=(0.05,))[0]
+CODECS = ["chunk-offset", "dense", "lzw-dense", "adaptive"]
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return {codec: build_cube_engine(CONFIG, SETTINGS, codec=codec) for codec in CODECS}
+
+
+@pytest.fixture(scope="module")
+def table():
+    t = ExperimentTable(
+        "abl1",
+        "Chunk codec ablation (5% density)",
+        "codec",
+        expected=(
+            "chunk-offset smallest/fastest; lzw small but CPU-heavy; "
+            "dense largest"
+        ),
+    )
+    yield t
+    t.save()
+
+
+@pytest.mark.parametrize("codec", CODECS)
+def test_ablation_compression(benchmark, engines, table, codec):
+    engine = engines[codec]
+    query = query1_for(CONFIG)
+    result = benchmark.pedantic(
+        lambda: run_cold(engine, query, "array"), rounds=2, iterations=1
+    )
+    report = engine.storage_report(CONFIG.name)
+    table.add("query1_cost_s", codec, result)
+    table.add_value("array_chunk_bytes", codec, report["array_chunks"])
+    benchmark.extra_info["array_chunk_bytes"] = report["array_chunks"]
+    benchmark.extra_info["cost_s"] = result.cost_s
+
+
+def test_codec_size_ordering(engines, table):
+    sizes = {
+        codec: engines[codec].storage_report(CONFIG.name)["array_chunks"]
+        for codec in CODECS
+    }
+    assert sizes["chunk-offset"] <= sizes["dense"]
+    assert sizes["lzw-dense"] <= sizes["dense"]
+    assert sizes["adaptive"] <= sizes["dense"]

@@ -1,0 +1,51 @@
+"""Ablation abl3 — Starjoin operator vs pipelined left-deep plan (§4.3).
+
+The paper implements the single-operator Starjoin because left-deep
+hash plans must build a hash table on a fact-sized input after the
+first join.  Query 1 through both.
+
+Expected shape: starjoin < leftdeep, with leftdeep's gap explained by
+the fact-sized intermediate hash builds.
+"""
+
+import pytest
+
+from repro.bench import (
+    ExperimentTable,
+    bench_settings,
+    build_cube_engine,
+    query1_for,
+    run_cold,
+)
+from repro.data import dataset1
+
+SETTINGS = bench_settings()
+CONFIG = dataset1(SETTINGS.scale)[1]  # the x100 cube
+BACKENDS = ["starjoin", "leftdeep"]
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return build_cube_engine(CONFIG, SETTINGS)
+
+
+@pytest.fixture(scope="module")
+def table():
+    t = ExperimentTable(
+        "abl3",
+        "Starjoin operator vs pipelined left-deep hash-join plan",
+        "backend",
+        expected="starjoin < leftdeep (fact-sized intermediate hash builds)",
+    )
+    yield t
+    t.save()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_ablation_leftdeep(benchmark, engine, table, backend):
+    query = query1_for(CONFIG)
+    result = benchmark.pedantic(
+        lambda: run_cold(engine, query, backend), rounds=2, iterations=1
+    )
+    table.add("query1_cost_s", backend, result)
+    benchmark.extra_info["cost_s"] = result.cost_s

@@ -1,0 +1,57 @@
+"""Figure 10 — Query 3 on the 40×40×40×100-shaped array.
+
+Selection and group-by on three dimensions only; the fourth dimension
+is aggregated away.  Series: array vs bitmap (plus the starjoin scan
+for reference).
+
+Paper shape: 90 % of the relational time is tuple retrieval, so
+dropping one bitmap AND barely changes relational cost — the Figure 10
+relational curve tracks Figure 7's.
+"""
+
+import pytest
+
+from repro.bench import (
+    ExperimentTable,
+    bench_settings,
+    build_cube_engine,
+    query3_for,
+    run_cold,
+)
+from repro.data import selectivity_configs
+
+SETTINGS = bench_settings()
+CONFIGS = selectivity_configs(SETTINGS.scale, fourth_dim="small")
+BACKENDS = ["array", "bitmap", "starjoin"]
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return {c.name: build_cube_engine(c, SETTINGS) for c in CONFIGS}
+
+
+@pytest.fixture(scope="module")
+def table():
+    t = ExperimentTable(
+        "fig10",
+        "Query 3 (3-dimension selection) on the x100 array",
+        "per_dim_s",
+        expected=(
+            "relational cost tracks fig7's (tuple fetch dominates; one "
+            "fewer bitmap AND changes little)"
+        ),
+    )
+    yield t
+    t.save()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_fig10(benchmark, engines, table, config, backend):
+    engine = engines[config.name]
+    query = query3_for(config)
+    result = benchmark.pedantic(
+        lambda: run_cold(engine, query, backend), rounds=2, iterations=1
+    )
+    table.add(backend, round(1 / config.fanout1, 4), result)
+    benchmark.extra_info["cost_s"] = result.cost_s

@@ -1,0 +1,59 @@
+"""Figure 4 — Query 1 on Data Set 1.
+
+Three 4-D cubes with a fixed number of valid cells and a growing fourth
+dimension (densities 20 %, 10 %, 1 %; 40/80/800 chunks).  Series: the
+OLAP Array consolidation (§4.1) vs the relational Starjoin (§4.3).
+
+Paper shape: the array wins by a wide margin at every density, and the
+array's own time grows mildly with the fourth dimension (more, smaller
+chunks to fetch for the same bytes).
+"""
+
+import pytest
+
+from repro.bench import (
+    ExperimentTable,
+    bench_settings,
+    build_cube_engine,
+    query1_for,
+    run_cold,
+)
+from repro.data import dataset1
+
+SETTINGS = bench_settings()
+CONFIGS = dataset1(SETTINGS.scale)
+BACKENDS = ["array", "starjoin"]
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return {c.name: build_cube_engine(c, SETTINGS) for c in CONFIGS}
+
+
+@pytest.fixture(scope="module")
+def table():
+    t = ExperimentTable(
+        "fig4",
+        "Query 1 on Data Set 1 (fixed valid cells, growing 4th dimension)",
+        "fourth_dim",
+        expected=(
+            "array < starjoin at every density; array cost grows with "
+            "chunk count (40 -> 80 -> 800)"
+        ),
+    )
+    yield t
+    t.save()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_fig4(benchmark, engines, table, config, backend):
+    engine = engines[config.name]
+    query = query1_for(config)
+    result = benchmark.pedantic(
+        lambda: run_cold(engine, query, backend), rounds=2, iterations=1
+    )
+    table.add(backend, config.dim_sizes[-1], result)
+    benchmark.extra_info["cost_s"] = result.cost_s
+    benchmark.extra_info["sim_io_s"] = result.sim_io_s
+    benchmark.extra_info["rows"] = len(result.rows)

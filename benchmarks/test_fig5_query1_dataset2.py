@@ -1,0 +1,53 @@
+"""Figure 5 — Query 1 on Data Set 2.
+
+Fixed 40×40×40×100-shaped cube, density swept 0.5 %–20 %.  Series: the
+OLAP Array consolidation vs the relational Starjoin.
+
+Paper shape: the array outperforms the relational algorithm by a wide
+margin across the density range, with the gap growing as density (and
+thus fact-table size) grows.
+"""
+
+import pytest
+
+from repro.bench import (
+    ExperimentTable,
+    bench_settings,
+    build_cube_engine,
+    query1_for,
+    run_cold,
+)
+from repro.data import dataset2
+
+SETTINGS = bench_settings()
+CONFIGS = dataset2(SETTINGS.scale)
+BACKENDS = ["array", "starjoin"]
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return {c.name: build_cube_engine(c, SETTINGS) for c in CONFIGS}
+
+
+@pytest.fixture(scope="module")
+def table():
+    t = ExperimentTable(
+        "fig5",
+        "Query 1 on Data Set 2 (fixed dims, density 0.5%-20%)",
+        "density",
+        expected="array < starjoin, gap growing with density",
+    )
+    yield t
+    t.save()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_fig5(benchmark, engines, table, config, backend):
+    engine = engines[config.name]
+    query = query1_for(config)
+    result = benchmark.pedantic(
+        lambda: run_cold(engine, query, backend), rounds=2, iterations=1
+    )
+    table.add(backend, round(config.density, 4), result)
+    benchmark.extra_info["cost_s"] = result.cost_s

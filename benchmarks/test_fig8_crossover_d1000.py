@@ -1,0 +1,63 @@
+"""Figure 8 — the low-selectivity crossover on the x1000 array.
+
+The tail of the Figure 6 sweep (S = 0.0039 … 0.0001).  With very few
+qualifying tuples the bitmap algorithm fetches a handful of fact-file
+tuples while the array must still fetch every candidate chunk.
+
+Paper shape: bitmap + fact file beats the array slightly once
+S < 0.00024 (at S = 0.0001 only ~80 bits survive the AND: 80 tuple
+fetches vs ~80 scattered chunk fetches).
+"""
+
+import pytest
+
+from repro.bench import (
+    ExperimentTable,
+    bench_settings,
+    build_cube_engine,
+    query2_for,
+    run_cold,
+)
+from repro.data import selectivity_configs
+
+SETTINGS = bench_settings()
+CONFIGS = selectivity_configs(
+    SETTINGS.scale, fourth_dim="large", fanouts=(4, 5, 8, 10)
+)
+BACKENDS = ["array", "bitmap", "btree"]
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return {
+        c.name: build_cube_engine(c, SETTINGS, fact_btrees=True)
+        for c in CONFIGS
+    }
+
+
+@pytest.fixture(scope="module")
+def table():
+    t = ExperimentTable(
+        "fig8",
+        "Query 2 low-selectivity tail on the x1000 array",
+        "S",
+        expected="bitmap < array below S ~ 0.00024; btree baseline dominated",
+    )
+    yield t
+    t.save()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_fig8(benchmark, engines, table, config, backend):
+    engine = engines[config.name]
+    query = query2_for(config)
+    result = benchmark.pedantic(
+        lambda: run_cold(engine, query, backend), rounds=2, iterations=1
+    )
+    selectivity = round((1 / config.fanout1) ** 4, 6)
+    table.add(backend, selectivity, result)
+    benchmark.extra_info["cost_s"] = result.cost_s
+    benchmark.extra_info["selected_tuples"] = result.stats.get(
+        "selected_tuples", 0
+    )

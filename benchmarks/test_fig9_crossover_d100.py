@@ -1,0 +1,52 @@
+"""Figure 9 — the low-selectivity crossover on the x100 array.
+
+Same as Figure 8 on the 80-chunk array.  Paper shape: bitmap + fact
+file slightly ahead of the array below S ≈ 0.00024.
+"""
+
+import pytest
+
+from repro.bench import (
+    ExperimentTable,
+    bench_settings,
+    build_cube_engine,
+    query2_for,
+    run_cold,
+)
+from repro.data import selectivity_configs
+
+SETTINGS = bench_settings()
+CONFIGS = selectivity_configs(
+    SETTINGS.scale, fourth_dim="small", fanouts=(4, 5, 8, 10)
+)
+BACKENDS = ["array", "bitmap"]
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return {c.name: build_cube_engine(c, SETTINGS) for c in CONFIGS}
+
+
+@pytest.fixture(scope="module")
+def table():
+    t = ExperimentTable(
+        "fig9",
+        "Query 2 low-selectivity tail on the x100 array",
+        "S",
+        expected="bitmap < array below S ~ 0.00024",
+    )
+    yield t
+    t.save()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_fig9(benchmark, engines, table, config, backend):
+    engine = engines[config.name]
+    query = query2_for(config)
+    result = benchmark.pedantic(
+        lambda: run_cold(engine, query, backend), rounds=2, iterations=1
+    )
+    selectivity = round((1 / config.fanout1) ** 4, 6)
+    table.add(backend, selectivity, result)
+    benchmark.extra_info["cost_s"] = result.cost_s

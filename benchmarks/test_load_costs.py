@@ -1,0 +1,69 @@
+"""Table S3 — ahead-of-time build costs of every physical structure.
+
+§4.5: "This bitmap creation is done ahead of time, not as part of the
+query evaluation."  This experiment makes the ahead-of-time investment
+visible: wall-clock build time and on-disk footprint of each structure
+(fact file, dimension tables, bitmap indices, fact B-trees, the
+compressed array with all its indices) for one Data Set 1 cube.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import ExperimentTable, bench_settings
+from repro.data import (
+    cube_schema_for,
+    dataset1,
+    generate_dimension_rows,
+    generate_fact_rows,
+)
+from repro.olap import OlapEngine
+
+SETTINGS = bench_settings()
+CONFIG = dataset1(SETTINGS.scale)[1]
+DESIGNS = ["relational", "relational+btrees", "array"]
+
+
+@pytest.fixture(scope="module")
+def table():
+    t = ExperimentTable(
+        "tabS3",
+        "Ahead-of-time build cost per physical design",
+        "design",
+        expected="bitmaps/B-trees are a real ahead-of-time investment",
+    )
+    yield t
+    t.save()
+
+
+def build(design):
+    engine = OlapEngine(
+        page_size=SETTINGS.page_size,
+        pool_bytes=SETTINGS.pool_bytes,
+        disk_model=SETTINGS.disk_model,
+    )
+    engine.load_cube(
+        cube_schema_for(CONFIG),
+        generate_dimension_rows(CONFIG),
+        generate_fact_rows(CONFIG),
+        chunk_shape=CONFIG.chunk_shape,
+        backends=("relational",) if design.startswith("relational") else ("array",),
+        fact_btrees=design == "relational+btrees",
+    )
+    return engine
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+def test_load_costs(benchmark, table, design):
+    def timed():
+        start = time.perf_counter()
+        engine = build(design)
+        return time.perf_counter() - start, engine
+
+    elapsed, engine = benchmark.pedantic(timed, rounds=1, iterations=1)
+    report = engine.storage_report(CONFIG.name)
+    table.add_value("build_seconds", design, elapsed)
+    table.add_value("total_bytes", design, sum(report.values()))
+    benchmark.extra_info["build_seconds"] = elapsed
+    benchmark.extra_info.update(report)

@@ -1,0 +1,60 @@
+"""Table S2 (§3.2) — the uncompressed-array storage crossover.
+
+§3.2 derives that an *uncompressed* array needs less space than the
+relational table once density ρ exceeds p/(n+p) — 20 % for our n = 4,
+p = 1 cube (25 % in the paper's 3-D retail example).  We build the same
+cube with the dense codec at densities straddling 20 % and compare real
+footprints; the chunk-offset codec is included to show compression
+pushes the break-even far lower (§3.3).
+"""
+
+import pytest
+
+from repro.bench import ExperimentTable, bench_settings, build_cube_engine
+from repro.data import dataset2
+
+SETTINGS = bench_settings()
+DENSITIES = (0.05, 0.10, 0.20, 0.40)
+CONFIGS = dataset2(SETTINGS.scale, densities=DENSITIES)
+
+
+@pytest.fixture(scope="module")
+def table():
+    t = ExperimentTable(
+        "tabS2",
+        "Storage crossover: dense array vs fact file vs chunk-offset",
+        "density",
+        expected=(
+            "dense array beats the table only above density p/(n+p) = 0.2; "
+            "chunk-offset beats both at every density here"
+        ),
+    )
+    yield t
+    t.save()
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_storage_crossover(benchmark, table, config):
+    def build_both():
+        dense = build_cube_engine(config, SETTINGS, codec="dense")
+        sparse = build_cube_engine(config, SETTINGS, codec="chunk-offset")
+        return dense, sparse
+
+    dense_engine, sparse_engine = benchmark.pedantic(
+        build_both, rounds=1, iterations=1
+    )
+    dense_report = dense_engine.storage_report(config.name)
+    sparse_report = sparse_engine.storage_report(config.name)
+    x = round(config.density, 3)
+    table.add_value("fact_file_bytes", x, dense_report["fact_file"])
+    table.add_value("dense_array_bytes", x, dense_report["array_chunks"])
+    table.add_value("chunk_offset_bytes", x, sparse_report["array_chunks"])
+    benchmark.extra_info["density"] = x
+
+    # chunk-offset compression always beats the fact file on this sweep
+    assert sparse_report["array_chunks"] < sparse_report["fact_file"]
+    # the dense array only wins above the analytic break-even
+    if config.density >= 0.4:
+        assert dense_report["array_chunks"] < dense_report["fact_file"]
+    if config.density <= 0.05:
+        assert dense_report["array_chunks"] > dense_report["fact_file"]

@@ -1,0 +1,87 @@
+"""Table S4 — star vs snowflake dimension storage and query cost (§2.2).
+
+The paper mentions the snowflake schema as the star's "slightly more
+complex variant".  Classic folklore holds that snowflaking shrinks
+dimension storage (normalized hierarchies) while barely moving query
+time (dimension tables are dwarfed by the fact table) — this experiment
+measures both on the same cube.
+"""
+
+import pytest
+
+from repro.bench import (
+    ExperimentTable,
+    bench_settings,
+    query1_for,
+    run_cold,
+)
+from repro.data import (
+    cube_schema_for,
+    dataset1,
+    generate_dimension_rows,
+    generate_fact_rows,
+)
+from repro.olap import OlapEngine
+
+SETTINGS = bench_settings()
+CONFIG = dataset1(SETTINGS.scale)[1]
+LAYOUTS = ["star", "snowflake"]
+
+
+def build(layout):
+    engine = OlapEngine(
+        page_size=SETTINGS.page_size,
+        pool_bytes=SETTINGS.pool_bytes,
+        disk_model=SETTINGS.disk_model,
+    )
+    engine.load_cube(
+        cube_schema_for(CONFIG),
+        generate_dimension_rows(CONFIG),
+        generate_fact_rows(CONFIG),
+        chunk_shape=CONFIG.chunk_shape,
+        backends=("relational",),
+        relational_layout=layout,
+    )
+    return engine
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return {layout: build(layout) for layout in LAYOUTS}
+
+
+@pytest.fixture(scope="module")
+def table():
+    t = ExperimentTable(
+        "tabS4",
+        "Star vs snowflake: dimension storage and Query 1 cost",
+        "layout",
+        expected=(
+            "snowflake shrinks dimension tables; query cost barely moves "
+            "(the fact table dominates)"
+        ),
+    )
+    yield t
+    t.save()
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+def test_storage_snowflake(benchmark, engines, table, layout):
+    engine = engines[layout]
+    query = query1_for(CONFIG)
+    result = benchmark.pedantic(
+        lambda: run_cold(engine, query, "starjoin"), rounds=2, iterations=1
+    )
+    report = engine.storage_report(CONFIG.name)
+    table.add("query1_cost_s", layout, result)
+    table.add_value("dimension_bytes", layout, report["dimension_tables"])
+    benchmark.extra_info["cost_s"] = result.cost_s
+    benchmark.extra_info["dimension_bytes"] = report["dimension_tables"]
+
+
+def test_layouts_agree(engines):
+    query = query1_for(CONFIG)
+    assert (
+        run_cold(engines["star"], query, "starjoin").rows
+        == run_cold(engines["snowflake"], query, "starjoin").rows
+    )

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Hierarchy roll-ups on the OLAP Array ADT (§3.4's IndexToIndex arrays).
+
+Uses the paper's retail model: stores roll up store → city → state and
+products roll up product → type.  Shows
+
+1. a consolidation to (city, type) materialized as a *new* persisted
+   OLAP array (the paper: "the result of a consolidation operation on
+   an instance of the OLAP Array ADT is another instance"),
+2. a second consolidation over that result array rolling city up to a
+   coarser grouping — multi-step refinement over hierarchies,
+3. the same answers straight from the relational Starjoin, as a check,
+4. a selection ("West region only") through the §4.2 algorithm.
+
+Run:  python examples/retail_rollup.py
+"""
+
+import random
+
+from repro import (
+    ConsolidationQuery,
+    ConsolidationSpec,
+    CubeSchema,
+    DimensionDef,
+    OlapEngine,
+    SelectionPredicate,
+    consolidate,
+)
+
+rng = random.Random(1998)
+
+# -- model: 12 stores in 6 cities in 3 states; 20 products in 4 types ------
+
+cities = {
+    "Madison": "WI", "Milwaukee": "WI",
+    "Chicago": "IL", "Springfield": "IL",
+    "San Diego": "CA", "Fresno": "CA",
+}
+regions = {"WI": "Midwest", "IL": "Midwest", "CA": "West"}
+store_rows = []
+for sid in range(12):
+    city = list(cities)[sid % 6]
+    state = cities[city]
+    store_rows.append((sid, city, state, regions[state]))
+
+types = ["hardware", "clothing", "grocery", "toys"]
+product_rows = [(pid, f"product-{pid}", types[pid % 4]) for pid in range(20)]
+time_rows = [(tid, 1 + tid % 12, 1 + (tid % 12) // 3) for tid in range(24)]
+
+schema = CubeSchema(
+    name="retail",
+    dimensions=(
+        DimensionDef("product", key="pid", levels=(("pname", "str:16"), ("type", "str:12"))),
+        DimensionDef("store", key="sid", levels=(("city", "str:16"), ("state", "str:4"), ("region", "str:8"))),
+        DimensionDef("time", key="tid", levels=(("month", "int32"), ("quarter", "int32"))),
+    ),
+)
+
+facts = [
+    (pid, sid, tid, rng.randint(1, 50))
+    for pid in range(20)
+    for sid in range(12)
+    for tid in range(24)
+    if rng.random() < 0.15  # a sparse cube, as real sales data is
+]
+
+engine = OlapEngine()
+engine.load_cube(
+    schema,
+    dimension_rows={"product": product_rows, "store": store_rows, "time": time_rows},
+    fact_rows=facts,
+)
+print(f"loaded {len(facts)} fact tuples "
+      f"({engine.cube('retail').array.density:.1%} dense)\n")
+
+# -- 1. consolidate to (type, city), materialized as a new array -----------
+
+array = engine.cube("retail").array
+step1 = consolidate(
+    array,
+    [
+        ConsolidationSpec.level("type"),
+        ConsolidationSpec.level("city"),
+        ConsolidationSpec.drop(),  # aggregate time away
+    ],
+    materialize_as="retail.by_type_city",
+)
+print(f"step 1: {len(step1.rows)} (type, city) groups; result array "
+      f"shape {step1.result_array.geometry.shape}")
+
+# -- 2. roll the result up again: city -> total per type --------------------
+
+step2 = consolidate(
+    step1.result_array,
+    [ConsolidationSpec.key(), ConsolidationSpec.drop()],
+)
+print("step 2: volume per product type (rolled up from the result array):")
+for type_name, volume in step2.rows:
+    print(f"    {type_name:<10} {int(volume)}")
+
+# -- 3. cross-check against the relational Starjoin -------------------------
+
+check = engine.query(
+    ConsolidationQuery.build("retail", group_by={"product": "type"}),
+    backend="starjoin",
+)
+assert [(t, int(v)) for t, v in step2.rows] == [
+    (t, int(v)) for t, v in check.rows
+], "array roll-up must equal the relational answer"
+print("    (matches the Starjoin operator exactly)\n")
+
+# -- 4. a selection: West-region clothing sales by month --------------------
+
+west = engine.query(
+    ConsolidationQuery.build(
+        "retail",
+        group_by={"time": "month"},
+        selections=[
+            SelectionPredicate("store", "region", ("West",)),
+            SelectionPredicate("product", "type", ("clothing",)),
+        ],
+    ),
+    backend="array",
+)
+print("West-region clothing volume by month (§4.2 algorithm):")
+for month, volume in west.rows:
+    print(f"    month {month:>2}: {int(volume)}")

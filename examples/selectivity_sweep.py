@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Query 2 in miniature: the array/bitmap selectivity crossover (§5.6).
+
+Builds one synthetic cube (paper schema: fact(d0..d3, volume) with
+hX1/hX2 hierarchies), then sweeps the per-dimension fanout so the
+star-join selectivity S = s⁴ falls from 0.0625 to 0.0001, running the
+selection query through both the §4.2 array algorithm and the §4.5
+bitmap + fact-file algorithm.  Prints the cost of each and what the
+planner would have picked.
+
+Run:  python examples/selectivity_sweep.py          (small, seconds)
+      REPRO_SCALE=medium python examples/...        (paper-shaped)
+"""
+
+from repro.bench import bench_settings, build_cube_engine, query2_for, run_cold
+from repro.data import selectivity_configs
+
+settings = bench_settings(None)
+print(
+    f"scale={settings.scale}  page={settings.page_size}B  "
+    f"pool={settings.pool_bytes // 1024}KiB\n"
+)
+print(
+    f"{'fanout':>6} {'S':>9} {'array cost':>11} {'bitmap cost':>12} "
+    f"{'winner':>7} {'planner':>8}"
+)
+
+configs = selectivity_configs(settings.scale, fourth_dim="small")
+for config in configs:
+    engine = build_cube_engine(config, settings)
+    query = query2_for(config)
+    array = run_cold(engine, query, "array")
+    bitmap = run_cold(engine, query, "bitmap")
+    planned = engine.query(query, backend="auto")
+    selectivity = (1 / config.fanout1) ** 4
+    winner = "array" if array.cost_s < bitmap.cost_s else "bitmap"
+    print(
+        f"{config.fanout1:>6} {selectivity:>9.5f} {array.cost_s:>10.3f}s "
+        f"{bitmap.cost_s:>11.3f}s {winner:>7} {planned.backend:>8}"
+    )
+    assert array.rows == bitmap.rows, "backends must agree"
+
+print(
+    "\npaper expectation: the array wins at high selectivity; the bitmap\n"
+    "+ fact-file algorithm takes over once S drops below ~0.00024 —\n"
+    "at S = 0.0001 the bitmap fetches ~dozens of tuples while the array\n"
+    "still fetches every candidate chunk."
+)

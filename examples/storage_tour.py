@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""A tour of the storage substrate: footprints, codecs, recovery.
+
+1. §3.2/§3.3 — build the same sparse cube as a fact file, a dense
+   array, an LZW-compressed array and a chunk-offset array, and compare
+   real on-disk footprints (every byte goes through the page layer).
+2. §4.4 — fact file vs slotted-page heap file overhead.
+3. The SHORE-like substrate itself: write through the WAL, simulate a
+   crash, and recover.
+
+Run:  python examples/storage_tour.py
+"""
+
+from repro import Database, Schema
+from repro.bench import bench_settings, build_cube_engine
+from repro.data import dataset2
+from repro.storage import BufferPool, SimulatedDisk, WriteAheadLog, recover
+
+settings = bench_settings(None)
+config = dataset2(settings.scale, densities=(0.05,))[0]
+print(
+    f"cube: {config.dim_sizes}, {config.n_valid} valid cells "
+    f"({config.density:.1%} dense), page={settings.page_size}B\n"
+)
+
+# -- 1. codec comparison ----------------------------------------------------
+
+print("on-disk bytes for the same cube (paper §3.2/§3.3):")
+fact_bytes = None
+for codec in ("dense", "lzw-dense", "chunk-offset"):
+    engine = build_cube_engine(config, settings, codec=codec)
+    report = engine.storage_report(config.name)
+    fact_bytes = report["fact_file"]
+    print(f"    array[{codec:<12}] chunks: {report['array_chunks']:>9,} B")
+print(f"    relational fact file:      {fact_bytes:>9,} B")
+print(
+    "    -> chunk-offset beats the fact file even at 5% density;\n"
+    "       the uncompressed array only wins above density p/(n+p).\n"
+)
+
+# -- 2. fact file vs heap file ------------------------------------------------
+
+db = Database(page_size=1024, pool_bytes=1024 * 1024)
+schema = Schema(
+    [("d0", "int32"), ("d1", "int32"), ("volume", "int32")]
+)
+rows = [(i % 30, i % 40, i) for i in range(5000)]
+fact = db.create_fact_table("flat", schema)
+fact.append_many(rows)
+heap = db.create_heap_table("heap", schema)
+heap.insert_many(rows)
+print("fact file vs slotted-page heap file for 5000 12-byte tuples (§4.4):")
+print(f"    fact file: {fact.size_bytes():>8,} B  (no per-record overhead)")
+print(f"    heap file: {heap.size_bytes():>8,} B  (slot entries + headers)")
+print(f"    positional access: fact.get(4999) = {fact.get(4999)}\n")
+
+# -- 3. WAL + crash recovery ---------------------------------------------------
+
+wal = WriteAheadLog()
+disk = SimulatedDisk(page_size=512)
+pool = BufferPool(disk, capacity_bytes=64 * 512, wal=wal)
+
+page = pool.new_page()
+buffer = pool.get(page)
+buffer[:13] = b"committed-row"
+pool.mark_dirty(page)
+pool.commit()  # after-image reaches the log
+
+page2 = pool.new_page()
+pool.get(page2)[:15] = b"uncommitted-row"
+pool.mark_dirty(page2)
+
+pool.crash()  # every frame lost, nothing flushed
+replayed = recover(disk, wal)
+print("WAL crash recovery:")
+print(f"    replayed {replayed} committed page(s)")
+print(f"    page {page}: {bytes(disk.read_page(page)[:13])!r}  (recovered)")
+print(f"    page {page2}: {bytes(disk.read_page(page2)[:15])!r}  (lost, as it must be)")

@@ -1,0 +1,172 @@
+"""Aggregate functions shared by the relational and array engines.
+
+The paper implements summation and notes the algorithms "could easily
+be extended to aggregates such as count and average" — we do exactly
+that.  An :class:`Aggregate` is a tiny fold: ``initial()`` produces the
+state, ``add`` folds one measure in, ``merge`` combines two states, and
+``result`` extracts the final value.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+
+
+class Aggregate:
+    """Base class; subclasses define the fold."""
+
+    name = "?"
+
+    def initial(self):
+        raise NotImplementedError
+
+    def add(self, state, value):
+        raise NotImplementedError
+
+    def merge(self, state, other):
+        raise NotImplementedError
+
+    def result(self, state):
+        return state
+
+
+class Sum(Aggregate):
+    """Sum of measures (the paper's aggregate)."""
+
+    name = "sum"
+
+    def initial(self):
+        return 0
+
+    def add(self, state, value):
+        return state + value
+
+    def merge(self, state, other):
+        return state + other
+
+
+class Count(Aggregate):
+    """Number of valid cells / tuples in the group."""
+
+    name = "count"
+
+    def initial(self):
+        return 0
+
+    def add(self, state, value):
+        return state + 1
+
+    def merge(self, state, other):
+        return state + other
+
+
+class Min(Aggregate):
+    """Minimum measure in the group."""
+
+    name = "min"
+
+    def initial(self):
+        return None
+
+    def add(self, state, value):
+        return value if state is None or value < state else state
+
+    def merge(self, state, other):
+        if state is None:
+            return other
+        if other is None:
+            return state
+        return min(state, other)
+
+
+class Max(Aggregate):
+    """Maximum measure in the group."""
+
+    name = "max"
+
+    def initial(self):
+        return None
+
+    def add(self, state, value):
+        return value if state is None or value > state else state
+
+    def merge(self, state, other):
+        if state is None:
+            return other
+        if other is None:
+            return state
+        return max(state, other)
+
+
+class Avg(Aggregate):
+    """Arithmetic mean of measures in the group."""
+
+    name = "avg"
+
+    def initial(self):
+        return (0, 0)  # (sum, count)
+
+    def add(self, state, value):
+        return (state[0] + value, state[1] + 1)
+
+    def merge(self, state, other):
+        return (state[0] + other[0], state[1] + other[1])
+
+    def result(self, state):
+        total, count = state
+        return total / count if count else None
+
+
+class Variance(Aggregate):
+    """Population variance of the group's measures.
+
+    One of the "complicated mathematical and statistical functions"
+    §2.1 names and §3.5 promises the ADT model will eventually host.
+    State is the (count, sum, sum-of-squares) sketch, so partitions
+    merge exactly.
+    """
+
+    name = "var"
+
+    def initial(self):
+        return (0, 0.0, 0.0)
+
+    def add(self, state, value):
+        count, total, squares = state
+        return (count + 1, total + value, squares + value * value)
+
+    def merge(self, state, other):
+        return tuple(a + b for a, b in zip(state, other))
+
+    def result(self, state):
+        count, total, squares = state
+        if count == 0:
+            return None
+        mean = total / count
+        return max(0.0, squares / count - mean * mean)
+
+
+class StdDev(Variance):
+    """Population standard deviation (square root of :class:`Variance`)."""
+
+    name = "stddev"
+
+    def result(self, state):
+        variance = super().result(state)
+        return None if variance is None else variance**0.5
+
+
+_REGISTRY: dict[str, Aggregate] = {
+    agg.name: agg
+    for agg in (Sum(), Count(), Min(), Max(), Avg(), Variance(), StdDev())
+}
+
+
+def get_aggregate(name: str) -> Aggregate:
+    """Look up an aggregate by name (``sum``/``count``/``min``/``max``/``avg``)."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise QueryError(
+            f"unknown aggregate {name!r}; expected one of {sorted(_REGISTRY)}"
+        ) from None

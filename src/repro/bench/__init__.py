@@ -1,0 +1,24 @@
+"""Experiment harness: builds workloads, runs cold queries, renders tables."""
+
+from repro.bench.harness import (
+    BenchSettings,
+    bench_settings,
+    build_cube_engine,
+    query1_for,
+    query2_for,
+    query3_for,
+    run_cold,
+)
+from repro.bench.report import ExperimentTable, results_dir
+
+__all__ = [
+    "BenchSettings",
+    "bench_settings",
+    "build_cube_engine",
+    "query1_for",
+    "query2_for",
+    "query3_for",
+    "run_cold",
+    "ExperimentTable",
+    "results_dir",
+]

@@ -1,0 +1,161 @@
+"""Workload construction and cold-run execution for the experiments.
+
+Scale handling: every experiment runs at a scale (``REPRO_SCALE`` or
+``medium`` by default for benchmarks).  Page size and buffer pool are
+scaled with the data so that page-count *ratios* between structures —
+which drive every figure — stay close to the paper's 8 KiB-page,
+16 MB-pool configuration:
+
+========  =========  ===========  =============================
+scale     page size  buffer pool  fact file (Data Set 1) pages
+========  =========  ===========  =============================
+small     128 B      64 KiB       ~190  (paper ratio preserved)
+medium    256 B      512 KiB      ~1500 (≈ paper's 1565)
+paper     8 KiB      16 MiB       1565
+========  =========  ===========  =============================
+
+Queries follow the paper: Query 1 groups by every dimension's hX1;
+Query 2 adds one equality selection per dimension (per-dimension
+selectivity ≈ 1/fanout, so S ≈ fanout⁻⁴); Query 3 selects on and
+groups by only the first three dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.datasets import get_scale
+from repro.data.generator import (
+    SyntheticCubeConfig,
+    cube_schema_for,
+    generate_dimension_rows,
+    generate_fact_rows,
+)
+from repro.olap.engine import OlapEngine, QueryResult
+from repro.olap.query import ConsolidationQuery, SelectionPredicate
+from repro.storage.disk import DiskModel
+
+# Page size scales with the data so page-count ratios between the
+# structures match the paper's 8 KiB pages; the disk transfer rate
+# scales the same way so simulated I/O keeps its paper-relative weight
+# against (Python) CPU time.  Seek time is per-access and the access
+# counts that matter (chunk fetches, tuple fetches) are geometry-
+# preserved, so it stays at 10 ms everywhere.
+_SETTINGS = {
+    "small": {
+        "page_size": 128,
+        "pool_bytes": 256 * 1024,
+        "disk_model": DiskModel(seek_ms=10.0, transfer_mb_per_s=0.07),
+    },
+    "medium": {
+        "page_size": 1024,
+        "pool_bytes": 2 * 1024 * 1024,
+        "disk_model": DiskModel(seek_ms=10.0, transfer_mb_per_s=1.0),
+    },
+    "paper": {
+        "page_size": 8192,
+        "pool_bytes": 16 * 1024 * 1024,
+        "disk_model": DiskModel(seek_ms=10.0, transfer_mb_per_s=10.0),
+    },
+}
+
+
+@dataclass(frozen=True)
+class BenchSettings:
+    """Storage configuration for one experiment run."""
+
+    scale: str
+    page_size: int
+    pool_bytes: int
+    disk_model: DiskModel
+
+
+def bench_settings(scale: str | None = None) -> BenchSettings:
+    """Settings for a scale (default: ``REPRO_SCALE`` or ``medium``)."""
+    scale = scale or get_scale(default="medium")
+    return BenchSettings(scale=scale, **_SETTINGS[scale])
+
+
+def build_cube_engine(
+    config: SyntheticCubeConfig,
+    settings: BenchSettings | None = None,
+    backends: tuple[str, ...] = ("array", "relational"),
+    fact_btrees: bool = False,
+    fact_mbtree: bool = False,
+    codec: str = "chunk-offset",
+):
+    """Build one synthetic cube in a fresh engine; returns the engine.
+
+    Only hX1 bitmap indices are built (the attributes Query 2/3 select
+    on), matching the paper's "create a join bitmap index on each
+    selected attribute ... ahead of time".
+    """
+    settings = settings or bench_settings()
+    engine = OlapEngine(
+        page_size=settings.page_size,
+        pool_bytes=settings.pool_bytes,
+        disk_model=settings.disk_model,
+    )
+    schema = cube_schema_for(config)
+    bitmap_attrs = [
+        (f"dim{d}", f"h{d}1") for d in range(config.ndim)
+    ]
+    engine.load_cube(
+        schema,
+        generate_dimension_rows(config),
+        generate_fact_rows(config),
+        chunk_shape=config.chunk_shape,
+        codec=codec,
+        backends=backends,
+        bitmap_attrs=bitmap_attrs if "relational" in backends else "all",
+        fact_btrees=fact_btrees,
+        fact_mbtree=fact_mbtree,
+    )
+    return engine
+
+
+def query1_for(config: SyntheticCubeConfig) -> ConsolidationQuery:
+    """Query 1: group by every dimension's hX1, sum(volume)."""
+    return ConsolidationQuery.build(
+        config.name,
+        group_by={f"dim{d}": f"h{d}1" for d in range(config.ndim)},
+    )
+
+
+def query2_for(
+    config: SyntheticCubeConfig, value: str = "AA1"
+) -> ConsolidationQuery:
+    """Query 2: Query 1 plus one hX1 equality selection per dimension."""
+    return ConsolidationQuery.build(
+        config.name,
+        group_by={f"dim{d}": f"h{d}1" for d in range(config.ndim)},
+        selections=[
+            SelectionPredicate(f"dim{d}", f"h{d}1", (value,))
+            for d in range(config.ndim)
+        ],
+    )
+
+
+def query3_for(
+    config: SyntheticCubeConfig, value: str = "AA1"
+) -> ConsolidationQuery:
+    """Query 3: selection and group-by on the first three dimensions only."""
+    return ConsolidationQuery.build(
+        config.name,
+        group_by={f"dim{d}": f"h{d}1" for d in range(min(3, config.ndim))},
+        selections=[
+            SelectionPredicate(f"dim{d}", f"h{d}1", (value,))
+            for d in range(min(3, config.ndim))
+        ],
+    )
+
+
+def run_cold(
+    engine: OlapEngine,
+    query: ConsolidationQuery,
+    backend: str,
+    mode: str = "interpreted",
+    order: str = "chunk",
+) -> QueryResult:
+    """Execute one cold-cache query (the paper's measurement protocol)."""
+    return engine.query(query, backend=backend, mode=mode, cold=True, order=order)

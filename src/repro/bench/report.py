@@ -1,0 +1,112 @@
+"""Table rendering for the experiments.
+
+Each benchmark module accumulates an :class:`ExperimentTable` — one row
+per x-axis point, one column per algorithm series, cells holding the
+cost metric (CPU seconds + simulated 1997 I/O seconds) — and writes it
+to ``benchmarks/results/<experiment>.txt`` together with the paper's
+expected shape, so EXPERIMENTS.md can quote paper-vs-measured directly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.olap.engine import QueryResult
+
+
+def results_dir() -> str:
+    """Directory for rendered experiment tables (created on demand)."""
+    path = os.environ.get(
+        "REPRO_RESULTS_DIR",
+        os.path.join(os.path.dirname(__file__), "..", "..", "..", "benchmarks", "results"),
+    )
+    path = os.path.abspath(path)
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+@dataclass
+class _Point:
+    cost_s: float
+    elapsed_s: float
+    sim_io_s: float
+    rows: int
+    stats: dict
+
+
+@dataclass
+class ExperimentTable:
+    """Cost table for one figure/table of the paper."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    expected: str = ""
+    _series: dict[str, dict[object, _Point]] = field(default_factory=dict)
+    _x_order: list = field(default_factory=list)
+
+    def add(self, series: str, x, result: QueryResult) -> None:
+        """Record one measured point."""
+        if x not in self._x_order:
+            self._x_order.append(x)
+        self._series.setdefault(series, {})[x] = _Point(
+            cost_s=result.cost_s,
+            elapsed_s=result.elapsed_s,
+            sim_io_s=result.sim_io_s,
+            rows=len(result.rows),
+            stats=dict(result.stats),
+        )
+
+    def add_value(self, series: str, x, value: float) -> None:
+        """Record a raw value (storage bytes, counts) instead of a query."""
+        if x not in self._x_order:
+            self._x_order.append(x)
+        self._series.setdefault(series, {})[x] = _Point(
+            cost_s=value, elapsed_s=0.0, sim_io_s=0.0, rows=0, stats={}
+        )
+
+    def value(self, series: str, x) -> float:
+        """Recorded cost for one cell (for assertions)."""
+        return self._series[series][x].cost_s
+
+    def series_names(self) -> list[str]:
+        return list(self._series)
+
+    def render(self) -> str:
+        """Format the table as aligned text."""
+        names = self.series_names()
+        header = [self.x_label] + names
+        rows = []
+        for x in self._x_order:
+            row = [str(x)]
+            for name in names:
+                point = self._series[name].get(x)
+                row.append("-" if point is None else f"{point.cost_s:.4f}")
+            rows.append(row)
+        widths = [
+            max(len(str(r[i])) for r in [header] + rows)
+            for i in range(len(header))
+        ]
+        lines = [
+            f"# {self.experiment_id}: {self.title}",
+        ]
+        if self.expected:
+            lines.append(f"# paper expectation: {self.expected}")
+        lines.append(
+            "# cell metric: cost seconds = measured CPU + simulated 1997 I/O"
+        )
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(header, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines) + "\n"
+
+    def save(self) -> str:
+        """Write the rendered table; returns the file path."""
+        path = os.path.join(results_dir(), f"{self.experiment_id}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render())
+        return path

@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``info`` — version, available scales and experiment ids.
+- ``demo`` — build a synthetic cube and run the paper's Query 1/2/3
+  through every backend, printing a cost table.
+- ``sql`` — run one SQL-subset statement against a synthetic cube.
+- ``storage`` — print the storage report for a synthetic cube.
+- ``bench`` — run one experiment's benchmark module via pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+
+from repro import __version__
+from repro.bench.harness import (
+    bench_settings,
+    build_cube_engine,
+    query1_for,
+    query2_for,
+    query3_for,
+    run_cold,
+)
+from repro.data.datasets import SCALES, dataset1
+
+EXPERIMENTS = (
+    "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "storage_sizes", "storage_crossover", "storage_snowflake", "load_costs",
+    "ablation_compression", "ablation_chunk_count", "ablation_leftdeep",
+    "ablation_fact_file", "ablation_chunk_order", "ablation_modes",
+    "ablation_cube", "ablation_select_baselines",
+)
+
+
+def _add_scale_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=SCALES,
+        default=None,
+        help="workload scale (default: $REPRO_SCALE or medium)",
+    )
+
+
+def cmd_info(args) -> int:
+    print(f"repro {__version__} — ICDE 1998 OLAP Array ADT reproduction")
+    print(f"scales: {', '.join(SCALES)}")
+    print(f"experiments: {', '.join(EXPERIMENTS)}")
+    return 0
+
+
+def cmd_demo(args) -> int:
+    settings = bench_settings(args.scale)
+    config = dataset1(settings.scale)[1]  # the x100 cube
+    print(
+        f"building {config.name}: dims={config.dim_sizes} "
+        f"valid={config.n_valid} ({config.density:.1%} dense) ..."
+    )
+    engine = build_cube_engine(config, settings, fact_btrees=True)
+    plans = [
+        ("Query 1 (consolidation)", query1_for(config), ("array", "starjoin", "leftdeep")),
+        ("Query 2 (4-dim selection)", query2_for(config), ("array", "bitmap", "btree")),
+        ("Query 3 (3-dim selection)", query3_for(config), ("array", "bitmap")),
+    ]
+    for title, query, backends in plans:
+        print(f"\n{title}:")
+        for backend in backends:
+            result = run_cold(engine, query, backend)
+            print(
+                f"    {backend:<9} cost={result.cost_s:7.3f}s "
+                f"(cpu {result.elapsed_s:.3f} + io {result.sim_io_s:.3f})  "
+                f"rows={len(result)}"
+            )
+        auto = engine.query(query, backend="auto")
+        print(f"    planner would pick: {auto.backend}")
+    return 0
+
+
+def cmd_sql(args) -> int:
+    settings = bench_settings(args.scale)
+    config = dataset1(settings.scale)[1]
+    engine = build_cube_engine(config, settings)
+    result = engine.sql(config.name, args.statement, backend=args.backend)
+    for row in result.rows[: args.limit]:
+        print("\t".join(str(v) for v in row))
+    if len(result.rows) > args.limit:
+        print(f"... ({len(result.rows)} rows total)")
+    print(
+        f"-- backend={result.backend} cost={result.cost_s:.3f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_storage(args) -> int:
+    settings = bench_settings(args.scale)
+    for config in dataset1(settings.scale):
+        engine = build_cube_engine(config, settings, fact_btrees=True)
+        report = engine.storage_report(config.name)
+        print(f"{config.name} (density {config.density:.1%}):")
+        for name, value in sorted(report.items()):
+            print(f"    {name:<18} {value:>12,} B")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    import os
+
+    pattern = f"benchmarks/test_{args.experiment}*.py"
+    command = [
+        sys.executable, "-m", "pytest", pattern, "--benchmark-only", "-q"
+    ]
+    env = dict(os.environ)
+    if args.scale:
+        env["REPRO_SCALE"] = args.scale
+    return subprocess.call(command, env=env)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Array-based OLAP query evaluation (ICDE 1998 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("info", help="version, scales, experiments").set_defaults(
+        run=cmd_info
+    )
+
+    demo = commands.add_parser("demo", help="run Queries 1-3 on a synthetic cube")
+    _add_scale_argument(demo)
+    demo.set_defaults(run=cmd_demo)
+
+    sql = commands.add_parser("sql", help="run a SQL statement on a synthetic cube")
+    sql.add_argument("statement", help="SELECT ... FROM fact, dimX ... GROUP BY ...")
+    sql.add_argument("--backend", default="auto")
+    sql.add_argument("--limit", type=int, default=20)
+    _add_scale_argument(sql)
+    sql.set_defaults(run=cmd_sql)
+
+    storage = commands.add_parser("storage", help="print storage footprints")
+    _add_scale_argument(storage)
+    storage.set_defaults(run=cmd_storage)
+
+    bench = commands.add_parser("bench", help="run one experiment via pytest")
+    bench.add_argument("experiment", choices=EXPERIMENTS)
+    _add_scale_argument(bench)
+    bench.set_defaults(run=cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

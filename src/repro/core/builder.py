@@ -1,0 +1,179 @@
+"""Bulk loader: dimension data + fact tuples → a persisted OLAP array.
+
+The loader assigns array indices in dimension-table order, converts
+fact tuples to ``(chunk, offset)`` pairs in one vectorized pass, sorts
+by chunk then offset (giving §3.3's sorted chunk payloads and §4.2's
+chunk-number disk order), encodes each chunk with the chosen codec and
+writes the meta directory, dimension B-trees, attribute B-trees and
+IndexToIndex arrays.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.chunking import ChunkGeometry
+from repro.core.compression import get_codec
+from repro.core.dimension_index import DimensionIndex
+from repro.core.index_to_index import IndexToIndex
+from repro.core.meta import ChunkDirectory
+from repro.core.olap_array import OLAPArray
+from repro.errors import ArrayError, DimensionError
+from repro.index.btree import BTree
+from repro.storage.large_object import LargeObjectStore
+from repro.storage.page_file import FileManager
+
+
+@dataclass
+class DimensionData:
+    """One dimension's contents for the loader.
+
+    ``keys`` defines the array-index order; ``attributes`` maps each
+    hierarchy attribute name to its per-key values (aligned with
+    ``keys``), coarsest last — e.g. ``{"h01": [...], "h02": [...]}``.
+    """
+
+    name: str
+    keys: list
+    attributes: dict[str, list] = field(default_factory=dict)
+
+    def __post_init__(self):
+        for attr, values in self.attributes.items():
+            if len(values) != len(self.keys):
+                raise DimensionError(
+                    f"dimension {self.name!r}: attribute {attr!r} has "
+                    f"{len(values)} values for {len(self.keys)} keys"
+                )
+
+
+def build_olap_array(
+    fm: FileManager,
+    name: str,
+    dimensions: list[DimensionData],
+    facts,
+    chunk_shape: tuple[int, ...],
+    codec: str = "chunk-offset",
+    dtype: str = "int64",
+    measure_names: list[str] | None = None,
+) -> OLAPArray:
+    """Build and persist an :class:`OLAPArray` from fact tuples.
+
+    ``facts`` yields ``(key_0, ..., key_{n-1}, m_1, ..., m_p)`` tuples.
+    The array shape is the per-dimension distinct key counts; two fact
+    tuples addressing the same cell raise :class:`ArrayError`.
+    """
+    if not dimensions:
+        raise DimensionError("an array needs at least one dimension")
+    get_codec(codec)  # validate early
+
+    shape = tuple(len(d.keys) for d in dimensions)
+    geometry = ChunkGeometry(shape, chunk_shape)
+    ndim = geometry.ndim
+
+    # Stores first: the directory's pages are fully allocated up front so
+    # the chunk objects that follow land contiguously in chunk order.
+    chunk_store = LargeObjectStore(fm, f"{name}.chunks")
+    aux = LargeObjectStore(fm, f"{name}.aux")
+    directory = ChunkDirectory.create(fm, f"{name}.dir", geometry.n_chunks)
+
+    dim_indexes = [
+        DimensionIndex.build(fm, aux, f"{name}.dim{i}.key", d.keys)
+        for i, d in enumerate(dimensions)
+    ]
+    key_maps = [d.index_map() for d in dim_indexes]
+
+    # -- fact tuples → coords + measures -------------------------------------
+    coords_rows: list[tuple[int, ...]] = []
+    measure_rows: list[tuple] = []
+    n_measures = None
+    for row in facts:
+        if n_measures is None:
+            n_measures = len(row) - ndim
+            if n_measures < 1:
+                raise ArrayError(
+                    f"fact tuples need {ndim} keys plus at least one measure"
+                )
+        try:
+            coords_rows.append(
+                tuple(key_maps[d][row[d]] for d in range(ndim))
+            )
+        except KeyError as exc:
+            raise DimensionError(
+                f"fact tuple references unknown dimension key {exc.args[0]!r}"
+            ) from None
+        measure_rows.append(row[ndim:])
+    if n_measures is None:
+        n_measures = 1
+    if measure_names is None:
+        measure_names = [f"m{i}" for i in range(n_measures)]
+    if len(measure_names) != n_measures:
+        raise ArrayError(
+            f"{len(measure_names)} measure names for {n_measures} measures"
+        )
+
+    np_dtype = np.int64 if dtype == "int64" else np.float64
+    codec_obj = get_codec(codec)
+    if coords_rows:
+        coords = np.array(coords_rows, dtype=np.int64)
+        values = np.array(measure_rows, dtype=np_dtype).reshape(
+            len(measure_rows), n_measures
+        )
+        chunk_nos, offsets = geometry.coords_to_chunk_offset(coords)
+        order = np.lexsort((offsets, chunk_nos))
+        chunk_nos, offsets, values = (
+            chunk_nos[order],
+            offsets[order],
+            values[order],
+        )
+        same = (np.diff(chunk_nos) == 0) & (np.diff(offsets) == 0)
+        if same.any():
+            where = int(np.nonzero(same)[0][0])
+            raise ArrayError(
+                "duplicate fact tuples address one cell (chunk "
+                f"{int(chunk_nos[where])}, offset {int(offsets[where])})"
+            )
+        boundaries = np.searchsorted(
+            chunk_nos, np.arange(geometry.n_chunks + 1)
+        )
+        for chunk_no in range(geometry.n_chunks):
+            start, stop = boundaries[chunk_no], boundaries[chunk_no + 1]
+            if start == stop:
+                continue
+            payload = codec_obj.encode(
+                offsets[start:stop].astype(np.int32),
+                values[start:stop],
+                geometry.chunk_cells,
+                dtype,
+            )
+            oid = chunk_store.create(payload)
+            directory.set_entry(chunk_no, oid, len(payload), int(stop - start))
+
+    # -- attribute B-trees and IndexToIndex arrays ------------------------------
+    meta_dims = []
+    for i, (data, dim_index) in enumerate(zip(dimensions, dim_indexes)):
+        attrs_meta = {}
+        for attr, attr_values in data.attributes.items():
+            tree = BTree.create(fm, f"{name}.dim{i}.{attr}.idx")
+            for index, value in enumerate(attr_values):
+                tree.insert(value, index)
+            i2i = IndexToIndex.build(list(attr_values))
+            attrs_meta[attr] = {"i2i_oid": aux.create(i2i.to_blob())}
+        meta_dims.append(
+            {"name": data.name, "rev_oid": dim_index.rev_oid, "attrs": attrs_meta}
+        )
+
+    meta = {
+        "name": name,
+        "shape": list(shape),
+        "chunk_shape": list(geometry.chunk_shape),
+        "dtype": dtype,
+        "n_measures": n_measures,
+        "measure_names": measure_names,
+        "codec": codec,
+        "dims": meta_dims,
+    }
+    directory.set_array_meta_oid(aux.create(json.dumps(meta).encode("utf-8")))
+    return OLAPArray(fm, name, meta)

@@ -1,0 +1,174 @@
+"""Chunk (tile) geometry for n-dimensional arrays.
+
+Paradise breaks an array into n-dimensional tiles so logically adjacent
+cells stay close on disk (§3.1, following Sarawagi & Stonebraker).  A
+:class:`ChunkGeometry` fixes an array shape and a chunk shape and
+provides all the arithmetic the paper's algorithms need:
+
+- chunk numbers are row-major over the grid of chunks;
+- a cell's ``offsetInChunk`` is the row-major offset within its chunk,
+  computed against the *nominal* chunk shape (§3.3's
+  ``s = ((i*c)+j)*c)+k`` formula), so edge chunks simply leave some
+  offsets unused;
+- bulk (numpy) converters between global coordinates and
+  ``(chunk_no, offset)`` pairs for the loader and vectorized kernels.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ChunkError
+
+
+class ChunkGeometry:
+    """Shape + chunk-shape arithmetic for a chunked array."""
+
+    def __init__(self, shape: tuple[int, ...], chunk_shape: tuple[int, ...]):
+        if not shape:
+            raise ChunkError("array must have at least one dimension")
+        if len(chunk_shape) != len(shape):
+            raise ChunkError(
+                f"chunk shape {chunk_shape} has {len(chunk_shape)} dims, "
+                f"array has {len(shape)}"
+            )
+        if any(s <= 0 for s in shape) or any(c <= 0 for c in chunk_shape):
+            raise ChunkError("shape and chunk shape must be positive")
+        self.shape = tuple(int(s) for s in shape)
+        self.chunk_shape = tuple(
+            min(int(c), int(s)) for c, s in zip(chunk_shape, shape)
+        )
+        self.ndim = len(shape)
+        self.grid = tuple(
+            math.ceil(s / c) for s, c in zip(self.shape, self.chunk_shape)
+        )
+        self.n_chunks = math.prod(self.grid)
+        self.chunk_cells = math.prod(self.chunk_shape)
+        self.logical_cells = math.prod(self.shape)
+        # row-major strides within a chunk and over the chunk grid
+        self.cell_strides = _row_major_strides(self.chunk_shape)
+        self.grid_strides = _row_major_strides(self.grid)
+
+    # -- scalar conversions ------------------------------------------------
+
+    def _check_coords(self, coords) -> None:
+        if len(coords) != self.ndim:
+            raise ChunkError(
+                f"coordinate arity {len(coords)} != array rank {self.ndim}"
+            )
+        for axis, (c, s) in enumerate(zip(coords, self.shape)):
+            if not 0 <= c < s:
+                raise ChunkError(
+                    f"coordinate {c} out of range [0, {s}) on axis {axis}"
+                )
+
+    def chunk_of(self, coords) -> int:
+        """Chunk number containing a cell."""
+        self._check_coords(coords)
+        return sum(
+            (c // cs) * gs
+            for c, cs, gs in zip(coords, self.chunk_shape, self.grid_strides)
+        )
+
+    def offset_in_chunk(self, coords) -> int:
+        """The §3.3 ``offsetInChunk`` of a cell."""
+        self._check_coords(coords)
+        return sum(
+            (c % cs) * st
+            for c, cs, st in zip(coords, self.chunk_shape, self.cell_strides)
+        )
+
+    def locate(self, coords) -> tuple[int, int]:
+        """Both at once: ``(chunk_no, offset_in_chunk)``."""
+        return self.chunk_of(coords), self.offset_in_chunk(coords)
+
+    def chunk_coords(self, chunk_no: int) -> tuple[int, ...]:
+        """Grid coordinates of a chunk."""
+        if not 0 <= chunk_no < self.n_chunks:
+            raise ChunkError(
+                f"chunk {chunk_no} out of range [0, {self.n_chunks})"
+            )
+        out = []
+        for g, gs in zip(self.grid, self.grid_strides):
+            out.append((chunk_no // gs) % g)
+        return tuple(out)
+
+    def chunk_origin(self, chunk_no: int) -> tuple[int, ...]:
+        """Global coordinates of a chunk's first cell."""
+        return tuple(
+            gc * cs for gc, cs in zip(self.chunk_coords(chunk_no), self.chunk_shape)
+        )
+
+    def chunk_extent(self, chunk_no: int) -> tuple[int, ...]:
+        """Actual cell counts of a chunk (smaller at array edges)."""
+        origin = self.chunk_origin(chunk_no)
+        return tuple(
+            min(cs, s - o)
+            for cs, s, o in zip(self.chunk_shape, self.shape, origin)
+        )
+
+    def valid_cells_in_chunk(self, chunk_no: int) -> int:
+        """Logical (addressable) cells of a chunk, honoring edges."""
+        return math.prod(self.chunk_extent(chunk_no))
+
+    def cell_of(self, chunk_no: int, offset: int) -> tuple[int, ...]:
+        """Global coordinates of ``(chunk_no, offset_in_chunk)``."""
+        if not 0 <= offset < self.chunk_cells:
+            raise ChunkError(
+                f"offset {offset} out of range [0, {self.chunk_cells})"
+            )
+        origin = self.chunk_origin(chunk_no)
+        return tuple(
+            o + (offset // st) % cs
+            for o, st, cs in zip(origin, self.cell_strides, self.chunk_shape)
+        )
+
+    # -- bulk (numpy) conversions ---------------------------------------------
+
+    def coords_to_chunk_offset(
+        self, coords: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vector version of :meth:`locate` over an ``(n, ndim)`` array."""
+        coords = np.asarray(coords, dtype=np.int64)
+        if coords.ndim != 2 or coords.shape[1] != self.ndim:
+            raise ChunkError(
+                f"expected an (n, {self.ndim}) coordinate array, got "
+                f"{coords.shape}"
+            )
+        if coords.size and (
+            coords.min() < 0 or (coords >= np.array(self.shape)).any()
+        ):
+            raise ChunkError("coordinates out of array bounds")
+        chunk_shape = np.array(self.chunk_shape, dtype=np.int64)
+        grid_coords, in_chunk = np.divmod(coords, chunk_shape)
+        chunk_nos = grid_coords @ np.array(self.grid_strides, dtype=np.int64)
+        offsets = in_chunk @ np.array(self.cell_strides, dtype=np.int64)
+        return chunk_nos, offsets
+
+    def chunk_offset_to_coords(
+        self, chunk_no: int, offsets: np.ndarray
+    ) -> np.ndarray:
+        """Global coordinates ``(n, ndim)`` of offsets within one chunk."""
+        offsets = np.asarray(offsets, dtype=np.int64)
+        origin = np.array(self.chunk_origin(chunk_no), dtype=np.int64)
+        strides = np.array(self.cell_strides, dtype=np.int64)
+        chunk_shape = np.array(self.chunk_shape, dtype=np.int64)
+        in_chunk = (offsets[:, None] // strides) % chunk_shape
+        return in_chunk + origin
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ChunkGeometry):
+            return NotImplemented
+        return self.shape == other.shape and self.chunk_shape == other.chunk_shape
+
+    def __repr__(self) -> str:
+        return f"ChunkGeometry(shape={self.shape}, chunk_shape={self.chunk_shape})"
+
+
+def _row_major_strides(shape: tuple[int, ...]) -> tuple[int, ...]:
+    strides = [1] * len(shape)
+    for axis in range(len(shape) - 2, -1, -1):
+        strides[axis] = strides[axis + 1] * shape[axis + 1]
+    return tuple(strides)

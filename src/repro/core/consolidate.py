@@ -1,0 +1,406 @@
+"""§4.1: the OLAP Array consolidation algorithm.
+
+Consolidation merges the star join, the group-by and the aggregation
+into a single position-based pass:
+
+    For each joined dimension { create result B-tree; load the
+        IndexToIndex array; }
+    scan the input array
+    For each array cell {
+        look up result indices using the IndexToIndex arrays;  // star join
+        find the corresponding result array cell;
+        add the input cell to the result array cell;           // aggregation
+    }
+
+The result is held as a flat in-memory array indexed positionally (the
+paper's in-memory result OLAP object); :func:`consolidate` can
+optionally materialize it back into a persisted
+:class:`~repro.core.olap_array.OLAPArray`.
+
+Two execution modes: ``interpreted`` runs the per-cell loop exactly as
+the pseudo-code reads (used for the figures so the relational baseline,
+also per-tuple Python, pays symmetric interpreter costs);
+``vectorized`` runs the same mapping with numpy gathers per chunk.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.aggregates import get_aggregate
+from repro.core.index_to_index import IndexToIndex
+from repro.core.olap_array import OLAPArray
+from repro.errors import QueryError
+from repro.util.stats import Counters
+
+_VECTOR_AGGS = {"sum", "count", "min", "max"}
+
+
+@dataclass(frozen=True)
+class ConsolidationSpec:
+    """What to do with one dimension: group by a level, the key, or drop.
+
+    - ``level(attr)`` — group by hierarchy attribute ``attr``;
+    - ``key()`` — group by the dimension key itself (identity);
+    - ``drop()`` — aggregate the dimension away entirely;
+    - ``mapping(i2i)`` — group by an explicit IndexToIndex array (used
+      by aggregate navigation, which derives the mapping by factoring
+      hierarchy levels instead of reading it off the array).
+    """
+
+    kind: str
+    attr: str | None = None
+    i2i: IndexToIndex | None = None
+
+    @classmethod
+    def level(cls, attr: str) -> "ConsolidationSpec":
+        return cls("level", attr)
+
+    @classmethod
+    def key(cls) -> "ConsolidationSpec":
+        return cls("key")
+
+    @classmethod
+    def drop(cls) -> "ConsolidationSpec":
+        return cls("drop")
+
+    @classmethod
+    def mapping(cls, i2i: IndexToIndex) -> "ConsolidationSpec":
+        return cls("mapping", i2i=i2i)
+
+
+@dataclass
+class ConsolidationResult:
+    """Rows (sorted), optional materialized result array, and counters."""
+
+    rows: list[tuple]
+    counters: Counters
+    result_array: OLAPArray | None = None
+
+
+def _resolve_specs(
+    array: OLAPArray, specs: list[ConsolidationSpec]
+) -> list[IndexToIndex]:
+    if len(specs) != array.geometry.ndim:
+        raise QueryError(
+            f"need one spec per dimension ({array.geometry.ndim}), got "
+            f"{len(specs)}"
+        )
+    i2is = []
+    for d, spec in enumerate(specs):
+        if spec.kind == "level":
+            i2is.append(array.index_to_index(d, spec.attr))
+        elif spec.kind == "key":
+            i2is.append(IndexToIndex.identity(array.dims[d].keys()))
+        elif spec.kind == "drop":
+            i2is.append(IndexToIndex.collapse(len(array.dims[d])))
+        elif spec.kind == "mapping":
+            if spec.i2i is None or len(spec.i2i) != len(array.dims[d]):
+                raise QueryError(
+                    f"mapping spec on dimension {d} must cover its "
+                    f"{len(array.dims[d])} indices"
+                )
+            i2is.append(spec.i2i)
+        else:
+            raise QueryError(f"unknown spec kind {spec.kind!r}")
+    return i2is
+
+
+class ResultAccumulator:
+    """The in-memory result OLAP object both algorithms aggregate into.
+
+    Result cells are addressed positionally: ``linear = Σ result_index[d]
+    * stride[d]`` where each dimension's result index comes from its
+    IndexToIndex array.  Dropped dimensions contribute a size-1 axis and
+    are omitted from output rows.
+    """
+
+    def __init__(
+        self,
+        array: OLAPArray,
+        specs: list[ConsolidationSpec],
+        aggregate: str | list[str] = "sum",
+    ):
+        self.array = array
+        self.specs = list(specs)
+        self.i2is = _resolve_specs(array, specs)
+        self.result_shape = tuple(i.target_size for i in self.i2is)
+        self.total_cells = math.prod(self.result_shape)
+        strides = [1] * len(self.result_shape)
+        for axis in range(len(strides) - 2, -1, -1):
+            strides[axis] = strides[axis + 1] * self.result_shape[axis + 1]
+        self.result_strides = tuple(strides)
+        names = (
+            [aggregate] * array.n_measures
+            if isinstance(aggregate, str)
+            else list(aggregate)
+        )
+        if len(names) != array.n_measures:
+            raise QueryError(
+                f"{len(names)} aggregates for {array.n_measures} measures"
+            )
+        self.agg_names = names
+        self.aggs = [get_aggregate(n) for n in names]
+        # interpreted state: one list of per-measure states per touched cell
+        self._states: dict[int, list] = {}
+        # vectorized state: accumulator matrices + per-cell touch counts
+        self._vec: np.ndarray | None = None
+        self._vec_counts: np.ndarray | None = None
+
+    # -- interpreted path ----------------------------------------------------
+
+    def mapping_lists(self) -> list[list[int]]:
+        """Per-dimension index→result-index lists as plain Python lists."""
+        return [i.mapping.tolist() for i in self.i2is]
+
+    def add_one(self, linear: int, measures) -> None:
+        """Fold one cell's measures into result cell ``linear``."""
+        state = self._states.get(linear)
+        if state is None:
+            state = [agg.initial() for agg in self.aggs]
+            self._states[linear] = state
+        for m, agg in enumerate(self.aggs):
+            state[m] = agg.add(state[m], measures[m])
+
+    # -- vectorized path ---------------------------------------------------------
+
+    def _vec_init(self) -> None:
+        self._vec_counts = np.zeros(self.total_cells, dtype=np.int64)
+        columns = []
+        for name in self.agg_names:
+            if name == "min":
+                columns.append(np.full(self.total_cells, np.inf))
+            elif name == "max":
+                columns.append(np.full(self.total_cells, -np.inf))
+            else:
+                columns.append(np.zeros(self.total_cells, dtype=np.float64))
+        self._vec = np.stack(columns, axis=1)
+
+    def add_many(self, linear: np.ndarray, values: np.ndarray) -> None:
+        """Fold many cells at once (vectorized mode)."""
+        for name in self.agg_names:
+            if name not in _VECTOR_AGGS and name != "avg":
+                raise QueryError(
+                    f"aggregate {name!r} not supported in vectorized mode"
+                )
+        if self._vec is None:
+            self._vec_init()
+        np.add.at(self._vec_counts, linear, 1)
+        for m, name in enumerate(self.agg_names):
+            column = values[:, m].astype(np.float64)
+            if name in ("sum", "avg"):
+                np.add.at(self._vec[:, m], linear, column)
+            elif name == "count":
+                np.add.at(self._vec[:, m], linear, 1.0)
+            elif name == "min":
+                np.minimum.at(self._vec[:, m], linear, column)
+            elif name == "max":
+                np.maximum.at(self._vec[:, m], linear, column)
+
+    # -- extraction -------------------------------------------------------------------
+
+    def _group_values(self, linear: int) -> tuple:
+        out = []
+        for d, (spec, i2i, stride) in enumerate(
+            zip(self.specs, self.i2is, self.result_strides)
+        ):
+            if spec.kind == "drop":
+                continue
+            index = (linear // stride) % self.result_shape[d]
+            out.append(i2i.target_keys[index])
+        return tuple(out)
+
+    def rows(self) -> list[tuple]:
+        """Sorted output rows: ``(group values..., aggregates...)``."""
+        out = []
+        if self._vec is not None:
+            touched = np.nonzero(self._vec_counts)[0]
+            integral = self.array.dtype == "int64"
+            for linear in touched.tolist():
+                cells = []
+                for m, name in enumerate(self.agg_names):
+                    value = float(self._vec[linear, m])
+                    if name == "avg":
+                        value = value / float(self._vec_counts[linear])
+                    elif name == "count":
+                        value = int(value)
+                    elif integral:
+                        value = int(value)
+                    cells.append(value)
+                out.append(self._group_values(linear) + tuple(cells))
+        for linear, state in self._states.items():
+            results = tuple(
+                agg.result(state[m]) for m, agg in enumerate(self.aggs)
+            )
+            out.append(self._group_values(linear) + results)
+        out.sort()
+        return out
+
+    def touched_cells(self) -> int:
+        """Number of distinct result cells that received input."""
+        if self._vec is not None:
+            return int((self._vec_counts > 0).sum())
+        return len(self._states)
+
+    # -- partition merging (the §6 parallelization hook) ------------------------
+
+    def merge_from(self, other: "ResultAccumulator") -> None:
+        """Fold another accumulator (same specs/aggregates) into this one.
+
+        This is the combine step of a partitioned consolidation: each
+        partition aggregates its chunk range independently, then the
+        states merge exactly (every aggregate carries a mergeable
+        sketch).
+        """
+        if other.result_shape != self.result_shape or other.agg_names != self.agg_names:
+            raise QueryError("cannot merge accumulators with different specs")
+        for linear, state in other._states.items():
+            mine = self._states.get(linear)
+            if mine is None:
+                self._states[linear] = list(state)
+            else:
+                for m, agg in enumerate(self.aggs):
+                    mine[m] = agg.merge(mine[m], state[m])
+        if other._vec is not None:
+            if self._vec is None:
+                self._vec_init()
+            self._vec_counts += other._vec_counts
+            for m, name in enumerate(self.agg_names):
+                if name == "min":
+                    np.minimum(self._vec[:, m], other._vec[:, m], out=self._vec[:, m])
+                elif name == "max":
+                    np.maximum(self._vec[:, m], other._vec[:, m], out=self._vec[:, m])
+                else:  # sum / count / avg accumulate additively
+                    self._vec[:, m] += other._vec[:, m]
+
+
+def scan_chunk_range(
+    array: OLAPArray,
+    accumulator: ResultAccumulator,
+    chunk_range,
+    mode: str,
+) -> int:
+    """Run the §4.1 scan over a range of chunk numbers.
+
+    Factored out so a partitioned consolidation (see
+    :func:`repro.core.parallel.consolidate_partitioned`) can drive one
+    accumulator per chunk partition.  Returns the number of valid cells
+    folded in.
+    """
+    geometry = array.geometry
+    scanned = 0
+    if mode == "interpreted":
+        maps = accumulator.mapping_lists()
+        strides = accumulator.result_strides
+        cell_strides = geometry.cell_strides
+        chunk_shape = geometry.chunk_shape
+        ndim = geometry.ndim
+        for chunk_no in chunk_range:
+            offsets, values = array.read_chunk(chunk_no)
+            if not len(offsets):
+                continue
+            origin = geometry.chunk_origin(chunk_no)
+            value_rows = values.tolist()
+            for j, offset in enumerate(offsets.tolist()):
+                linear = 0
+                for d in range(ndim):
+                    index = origin[d] + (offset // cell_strides[d]) % chunk_shape[d]
+                    linear += maps[d][index] * strides[d]
+                accumulator.add_one(linear, value_rows[j])
+            scanned += len(value_rows)
+    else:
+        strides = np.array(accumulator.result_strides, dtype=np.int64)
+        maps = [i.mapping.astype(np.int64) for i in accumulator.i2is]
+        for chunk_no in chunk_range:
+            offsets, values = array.read_chunk(chunk_no)
+            if not len(offsets):
+                continue
+            coords = geometry.chunk_offset_to_coords(chunk_no, offsets)
+            linear = np.zeros(len(offsets), dtype=np.int64)
+            for d in range(geometry.ndim):
+                linear += maps[d][coords[:, d]] * strides[d]
+            accumulator.add_many(linear, values)
+            scanned += len(offsets)
+    return scanned
+
+
+def consolidate(
+    array: OLAPArray,
+    specs: list[ConsolidationSpec],
+    aggregate: str | list[str] = "sum",
+    mode: str = "interpreted",
+    counters: Counters | None = None,
+    materialize_as: str | None = None,
+) -> ConsolidationResult:
+    """Run the §4.1 consolidation over a whole array.
+
+    ``mode`` is ``interpreted`` (faithful per-cell loop) or
+    ``vectorized`` (numpy kernels).  With ``materialize_as`` the result
+    is also persisted as a new OLAP array of that name.
+    """
+    if mode not in ("interpreted", "vectorized"):
+        raise QueryError(f"unknown mode {mode!r}")
+    counters = counters if counters is not None else Counters()
+    accumulator = ResultAccumulator(array, specs, aggregate)
+    scanned = scan_chunk_range(
+        array, accumulator, range(array.geometry.n_chunks), mode
+    )
+    counters.add("cells_scanned", scanned)
+    counters.merge(array.counters)
+    array.counters.reset()
+    counters.add("result_cells", accumulator.touched_cells())
+
+    rows = accumulator.rows()
+    result_array = None
+    if materialize_as is not None:
+        result_array = _materialize(array, accumulator, rows, materialize_as)
+    return ConsolidationResult(rows=rows, counters=counters, result_array=result_array)
+
+
+def _materialize(
+    array: OLAPArray,
+    accumulator: ResultAccumulator,
+    rows: list[tuple],
+    name: str,
+) -> OLAPArray:
+    """Persist consolidation output as a new OLAP array."""
+    from repro.core.builder import DimensionData, build_olap_array
+
+    kept = [
+        (d, spec, i2i)
+        for d, (spec, i2i) in enumerate(zip(accumulator.specs, accumulator.i2is))
+        if spec.kind != "drop"
+    ]
+    if not kept:
+        raise QueryError("cannot materialize a fully collapsed result")
+    dimensions = [
+        DimensionData(
+            name=(
+                f"{array.dim_names[d]}.{spec.attr}"
+                if spec.kind == "level"
+                else array.dim_names[d]
+            ),
+            keys=list(i2i.target_keys),
+        )
+        for d, spec, i2i in kept
+    ]
+    chunk_shape = tuple(min(len(dim.keys), 16) for dim in dimensions)
+    dtype = array.dtype
+    if any(n in ("avg",) for n in accumulator.agg_names):
+        dtype = "float64"
+    return build_olap_array(
+        array.fm,
+        name,
+        dimensions,
+        rows,
+        chunk_shape,
+        codec=array.codec_name,
+        dtype=dtype,
+        measure_names=[
+            f"{agg}({m})"
+            for agg, m in zip(accumulator.agg_names, array.measure_names)
+        ],
+    )

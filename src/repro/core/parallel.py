@@ -1,0 +1,79 @@
+"""Partitioned consolidation: the §6 parallelization hook.
+
+The paper's future work: "we believe that the large OLAP data set sizes
+require parallel computing and we would like to investigate
+parallelization of OLAP data structures and key OLAP operations."  The
+consolidation algorithm partitions naturally by chunk ranges — each
+partition aggregates independently into its own in-memory result
+object, and the partials merge exactly because every aggregate carries
+a mergeable sketch (sum, count, min, max, (sum,count), (n,Σ,Σx²)).
+
+This module runs the partitions sequentially (a single-process
+reproduction) but the dataflow is exactly the parallel plan: the
+correctness property that partitioned == direct is what matters, and
+the tests pin it.
+"""
+
+from __future__ import annotations
+
+from repro.core.consolidate import (
+    ConsolidationResult,
+    ConsolidationSpec,
+    ResultAccumulator,
+    scan_chunk_range,
+)
+from repro.core.olap_array import OLAPArray
+from repro.errors import QueryError
+from repro.util.stats import Counters
+
+
+def partition_chunks(n_chunks: int, n_partitions: int) -> list[range]:
+    """Split ``range(n_chunks)`` into contiguous, near-equal ranges.
+
+    Contiguity keeps each partition's disk reads sequential — the same
+    layout argument §4.2 makes for the single-node scan.
+    """
+    if n_partitions <= 0:
+        raise QueryError(f"n_partitions must be positive, got {n_partitions}")
+    n_partitions = min(n_partitions, max(1, n_chunks))
+    base, extra = divmod(n_chunks, n_partitions)
+    ranges = []
+    start = 0
+    for p in range(n_partitions):
+        size = base + (1 if p < extra else 0)
+        ranges.append(range(start, start + size))
+        start += size
+    return ranges
+
+
+def consolidate_partitioned(
+    array: OLAPArray,
+    specs: list[ConsolidationSpec],
+    n_partitions: int,
+    aggregate: str | list[str] = "sum",
+    mode: str = "interpreted",
+    counters: Counters | None = None,
+) -> ConsolidationResult:
+    """§4.1 consolidation over chunk partitions, then an exact merge.
+
+    Returns the same rows as :func:`~repro.core.consolidate.consolidate`
+    for any partition count; counters additionally record
+    ``partitions`` and per-partition cell totals.
+    """
+    if mode not in ("interpreted", "vectorized"):
+        raise QueryError(f"unknown mode {mode!r}")
+    counters = counters if counters is not None else Counters()
+
+    merged = ResultAccumulator(array, specs, aggregate)
+    ranges = partition_chunks(array.geometry.n_chunks, n_partitions)
+    counters.add("partitions", len(ranges))
+    scanned = 0
+    for chunk_range in ranges:
+        partial = ResultAccumulator(array, specs, aggregate)
+        scanned += scan_chunk_range(array, partial, chunk_range, mode)
+        merged.merge_from(partial)
+    counters.add("cells_scanned", scanned)
+    counters.merge(array.counters)
+    array.counters.reset()
+    counters.add("result_cells", merged.touched_cells())
+    return ConsolidationResult(rows=merged.rows(), counters=counters)

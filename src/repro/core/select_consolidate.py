@@ -1,0 +1,313 @@
+"""§4.2: the OLAP Array consolidation algorithm with selection.
+
+    For each join dimension table {
+        Use the B-tree to retrieve the index list for the selected values;
+        Merge those index lists to generate the final list;
+    }
+    Generate the cross-product of the final lists;
+    For each cross-product element {
+        calculate the chunk number and chunk offset;
+        probe the chunk;
+        if (cross-product element is valid)
+            aggregate the array cell to the results;
+    }
+
+With the paper's three optimizations:
+
+1. cross-product elements are generated **chunk by chunk in
+   chunk-number order**, so chunks are visited in their physical disk
+   order and a chunk containing no cross-product element is never read;
+2. chunk payloads keep cells sorted by offset, so each probe is a
+   **binary search**;
+3. within a chunk, elements are generated in increasing offset order.
+
+``order="naive"`` disables optimization 1/3 (the ablation ``abl5``):
+elements stream in global index order and every element re-derives and
+re-reads its chunk through the buffer pool.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.consolidate import (
+    ConsolidationResult,
+    ConsolidationSpec,
+    ResultAccumulator,
+)
+from repro.core.olap_array import OLAPArray
+from repro.errors import DimensionError, QueryError
+from repro.util.stats import Counters
+
+
+@dataclass(frozen=True)
+class Selection:
+    """An equality / IN-list / range predicate on one dimension attribute.
+
+    ``attr=None`` selects on the dimension *key* attribute itself (the
+    index list then comes from the dimension's key B-tree instead of an
+    attribute B-tree).  Exactly one of ``values`` (IN-list) or
+    ``low``/``high`` (an inclusive BETWEEN, either bound open) must be
+    given.
+    """
+
+    dim: int | str
+    attr: str | None
+    values: tuple | None = None
+    low: object = None
+    high: object = None
+
+    def __post_init__(self):
+        is_range = self.low is not None or self.high is not None
+        if is_range and self.values is not None:
+            raise QueryError("give either values or a range, not both")
+        if not is_range and not self.values:
+            raise QueryError(
+                f"selection on {self.attr!r} needs at least one value"
+            )
+
+    @property
+    def is_range(self) -> bool:
+        """Whether this is a BETWEEN predicate."""
+        return self.values is None
+
+
+def _final_index_lists(
+    array: OLAPArray, selections: list[Selection], counters: Counters
+) -> list[list[int]]:
+    """Per-dimension sorted "final lists" of selected array indices.
+
+    Within one selection, values OR together; multiple selections on
+    the same dimension AND together; unselected dimensions keep every
+    index.
+    """
+    per_dim: list[set[int] | None] = [None] * array.geometry.ndim
+    for selection in selections:
+        d = array.dim_no(selection.dim)
+        matched: set[int] = set()
+        if selection.attr is None:
+            if selection.is_range:
+                matched.update(
+                    array.dims[d].range_of(selection.low, selection.high)
+                )
+                counters.add("btree_probes")
+            else:
+                for value in selection.values:
+                    try:
+                        matched.add(array.dims[d].index_of(value))
+                    except DimensionError:  # unknown key selects nothing
+                        pass
+                    counters.add("btree_probes")
+        else:
+            tree = array.attribute_index(d, selection.attr)
+            if selection.is_range:
+                matched.update(
+                    v for _, v in tree.range_search(selection.low, selection.high)
+                )
+                counters.add("btree_probes")
+            else:
+                for value in selection.values:
+                    matched.update(tree.search(value))
+                    counters.add("btree_probes")
+        per_dim[d] = matched if per_dim[d] is None else per_dim[d] & matched
+    return [
+        sorted(chosen) if chosen is not None else list(range(size))
+        for chosen, size in zip(per_dim, array.geometry.shape)
+    ]
+
+
+def consolidate_with_selection(
+    array: OLAPArray,
+    specs: list[ConsolidationSpec],
+    selections: list[Selection],
+    aggregate: str | list[str] = "sum",
+    mode: str = "interpreted",
+    order: str = "chunk",
+    counters: Counters | None = None,
+) -> ConsolidationResult:
+    """Run the §4.2 algorithm; returns sorted rows like :func:`consolidate`."""
+    if mode not in ("interpreted", "vectorized"):
+        raise QueryError(f"unknown mode {mode!r}")
+    if order not in ("chunk", "naive"):
+        raise QueryError(f"unknown order {order!r}")
+    counters = counters if counters is not None else Counters()
+    accumulator = ResultAccumulator(array, specs, aggregate)
+    final_lists = _final_index_lists(array, selections, counters)
+    counters.add(
+        "cross_product_size",
+        float(np.prod([len(lst) for lst in final_lists])),
+    )
+
+    if order == "naive":
+        _enumerate_naive(array, accumulator, final_lists, counters)
+    elif mode == "interpreted":
+        _enumerate_chunked_interpreted(array, accumulator, final_lists, counters)
+    else:
+        _enumerate_chunked_vectorized(array, accumulator, final_lists, counters)
+
+    counters.merge(array.counters)
+    array.counters.reset()
+    counters.add("result_cells", accumulator.touched_cells())
+    return ConsolidationResult(rows=accumulator.rows(), counters=counters)
+
+
+def _group_by_grid(
+    final_lists: list[list[int]], chunk_shape: tuple[int, ...]
+) -> list[dict[int, list[int]]]:
+    """Split each dimension's final list by chunk-grid coordinate."""
+    grouped: list[dict[int, list[int]]] = []
+    for indices, cs in zip(final_lists, chunk_shape):
+        by_grid: dict[int, list[int]] = {}
+        for index in indices:  # indices are sorted, so the lists stay sorted
+            by_grid.setdefault(index // cs, []).append(index)
+        grouped.append(by_grid)
+    return grouped
+
+
+def _enumerate_chunked_interpreted(
+    array: OLAPArray,
+    accumulator: ResultAccumulator,
+    final_lists: list[list[int]],
+    counters: Counters,
+) -> None:
+    geometry = array.geometry
+    ndim = geometry.ndim
+    grouped = _group_by_grid(final_lists, geometry.chunk_shape)
+    if any(not g for g in grouped):
+        return
+    grid_coords = [sorted(g) for g in grouped]
+    maps = accumulator.mapping_lists()
+    result_strides = accumulator.result_strides
+    cell_strides = geometry.cell_strides
+    chunk_shape = geometry.chunk_shape
+    grid_strides = geometry.grid_strides
+
+    def visit_chunk(chunk_grid: tuple[int, ...]) -> None:
+        chunk_no = sum(g * s for g, s in zip(chunk_grid, grid_strides))
+        offsets, values = array.read_chunk(chunk_no)
+        if not len(offsets):
+            counters.add("empty_chunks_skipped")
+            return
+        offset_list = offsets.tolist()
+        value_rows = values.tolist()
+        dim_indices = [grouped[d][chunk_grid[d]] for d in range(ndim)]
+        # precompute each index's offset contribution and result contribution
+        contribs = [
+            [
+                ((idx % chunk_shape[d]) * cell_strides[d],
+                 maps[d][idx] * result_strides[d])
+                for idx in dim_indices[d]
+            ]
+            for d in range(ndim)
+        ]
+
+        def recurse(axis: int, offset_base: int, result_base: int) -> None:
+            if axis == ndim:
+                counters.add("cells_probed")
+                position = bisect_left(offset_list, offset_base)
+                if (
+                    position < len(offset_list)
+                    and offset_list[position] == offset_base
+                ):
+                    accumulator.add_one(result_base, value_rows[position])
+                return
+            for off_c, res_c in contribs[axis]:
+                recurse(axis + 1, offset_base + off_c, result_base + res_c)
+
+        recurse(0, 0, 0)
+
+    def walk_grid(axis: int, prefix: list[int]) -> None:
+        if axis == ndim:
+            visit_chunk(tuple(prefix))
+            return
+        for g in grid_coords[axis]:
+            prefix.append(g)
+            walk_grid(axis + 1, prefix)
+            prefix.pop()
+
+    walk_grid(0, [])
+
+
+def _enumerate_chunked_vectorized(
+    array: OLAPArray,
+    accumulator: ResultAccumulator,
+    final_lists: list[list[int]],
+    counters: Counters,
+) -> None:
+    geometry = array.geometry
+    ndim = geometry.ndim
+    grouped = _group_by_grid(final_lists, geometry.chunk_shape)
+    if any(not g for g in grouped):
+        return
+    grid_coords = [sorted(g) for g in grouped]
+    maps = [i.mapping.astype(np.int64) for i in accumulator.i2is]
+    result_strides = accumulator.result_strides
+    cell_strides = geometry.cell_strides
+    chunk_shape = geometry.chunk_shape
+    grid_strides = geometry.grid_strides
+
+    import itertools
+
+    for chunk_grid in itertools.product(*grid_coords):
+        chunk_no = sum(g * s for g, s in zip(chunk_grid, grid_strides))
+        offsets, values = array.read_chunk(chunk_no)
+        if not len(offsets):
+            counters.add("empty_chunks_skipped")
+            continue
+        offset_parts = []
+        result_parts = []
+        for d in range(ndim):
+            idx = np.array(grouped[d][chunk_grid[d]], dtype=np.int64)
+            offset_parts.append((idx % chunk_shape[d]) * cell_strides[d])
+            result_parts.append(maps[d][idx] * result_strides[d])
+        candidate_offsets = _outer_sum(offset_parts)
+        candidate_results = _outer_sum(result_parts)
+        counters.add("cells_probed", candidate_offsets.size)
+        positions = np.searchsorted(offsets, candidate_offsets)
+        positions_clipped = np.minimum(positions, len(offsets) - 1)
+        hits = offsets[positions_clipped] == candidate_offsets
+        if hits.any():
+            accumulator.add_many(
+                candidate_results[hits], values[positions_clipped[hits]]
+            )
+
+
+def _outer_sum(parts: list[np.ndarray]) -> np.ndarray:
+    """Flattened sum over the cross product of 1-D contribution arrays.
+
+    Row-major flattening of sorted inputs yields ascending offsets —
+    the paper's "increasing order of their chunk offsets".
+    """
+    total = parts[0]
+    for part in parts[1:]:
+        total = np.add.outer(total, part)
+    return total.ravel()
+
+
+def _enumerate_naive(
+    array: OLAPArray,
+    accumulator: ResultAccumulator,
+    final_lists: list[list[int]],
+    counters: Counters,
+) -> None:
+    """The un-optimized order: global index order, chunk recomputed per cell."""
+    geometry = array.geometry
+    ndim = geometry.ndim
+    maps = accumulator.mapping_lists()
+    result_strides = accumulator.result_strides
+
+    import itertools
+
+    for coords in itertools.product(*final_lists):
+        counters.add("cells_probed")
+        chunk_no, offset = geometry.locate(coords)
+        offsets, values = array.read_chunk(chunk_no)
+        position = int(np.searchsorted(offsets, offset))
+        if position < len(offsets) and offsets[position] == offset:
+            linear = sum(
+                maps[d][coords[d]] * result_strides[d] for d in range(ndim)
+            )
+            accumulator.add_one(linear, values[position].tolist())

@@ -1,0 +1,27 @@
+"""Synthetic workload generation (§5.4's Data Set 1 and Data Set 2)."""
+
+from repro.data.generator import (
+    SyntheticCubeConfig,
+    cube_schema_for,
+    generate_dimension_rows,
+    generate_fact_rows,
+)
+from repro.data.datasets import (
+    SCALES,
+    dataset1,
+    dataset2,
+    get_scale,
+    selectivity_configs,
+)
+
+__all__ = [
+    "SyntheticCubeConfig",
+    "cube_schema_for",
+    "generate_dimension_rows",
+    "generate_fact_rows",
+    "SCALES",
+    "dataset1",
+    "dataset2",
+    "get_scale",
+    "selectivity_configs",
+]

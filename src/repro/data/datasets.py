@@ -1,0 +1,144 @@
+"""§5.4's Data Set 1 and Data Set 2, at three scales.
+
+The paper's configurations (``paper`` scale):
+
+- **Data Set 1** — three 4-D arrays, 40×40×40×{50, 100, 1000}, each
+  with 640 000 valid cells (densities 20 %, 10 %, 1 %), chunk shape
+  (20, 20, 20, 10) giving 40 / 80 / 800 chunks;
+- **Data Set 2** — 40×40×40×100 with density swept 0.5 %–20 %.
+
+``small`` and ``medium`` scales preserve every shape ratio the figures
+depend on — densities, chunk counts (40/80/800) and per-dimension
+fanouts — at CI-friendly cell counts.  Pick a scale via the
+``REPRO_SCALE`` environment variable or per call.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+from repro.data.generator import SyntheticCubeConfig
+from repro.errors import DataGenError
+
+SCALES = ("small", "medium", "paper")
+
+# Per scale: the cube geometry for Data Set 1.  The fourth dimension and
+# its chunk width are kept at paper values at every scale so that chunk
+# counts (40/80/800) *and* the chunk-width : selection-stride ratio that
+# drives Query 2's pruning behaviour are preserved; only the first three
+# dimensions (and hence cell counts) shrink.
+_DS1_GEOMETRY = {
+    "small": {
+        "base": (8, 8, 8),
+        "fourth": (50, 100, 1000),
+        "chunk": (4, 4, 4, 10),
+        "n_valid": 5_120,
+    },
+    "medium": {
+        "base": (20, 20, 20),
+        "fourth": (50, 100, 1000),
+        "chunk": (10, 10, 10, 10),
+        "n_valid": 80_000,
+    },
+    "paper": {
+        "base": (40, 40, 40),
+        "fourth": (50, 100, 1000),
+        "chunk": (20, 20, 20, 10),
+        "n_valid": 640_000,
+    },
+}
+
+_DS2_GEOMETRY = {
+    "small": {"dims": (8, 8, 8, 100), "chunk": (4, 4, 4, 10)},
+    "medium": {"dims": (20, 20, 20, 100), "chunk": (10, 10, 10, 10)},
+    "paper": {"dims": (40, 40, 40, 100), "chunk": (20, 20, 20, 10)},
+}
+
+DATASET2_DENSITIES = (0.005, 0.01, 0.025, 0.05, 0.10, 0.20)
+
+# Query 2's sweep: "we vary the number of distinct values for the second
+# attribute of each dimension table from 2, 3, 4, 5, 8, to 10"
+QUERY2_FANOUTS = (2, 3, 4, 5, 8, 10)
+
+
+def get_scale(default: str = "small") -> str:
+    """Scale from the ``REPRO_SCALE`` environment variable."""
+    scale = os.environ.get("REPRO_SCALE", default)
+    if scale not in SCALES:
+        raise DataGenError(
+            f"REPRO_SCALE={scale!r} invalid; expected one of {SCALES}"
+        )
+    return scale
+
+
+def dataset1(scale: str | None = None, fanout1: int = 10) -> list[SyntheticCubeConfig]:
+    """The three Data Set 1 cubes (fixed valid cells, varying 4th dim)."""
+    scale = scale or get_scale()
+    geometry = _DS1_GEOMETRY[scale]
+    configs = []
+    for fourth in geometry["fourth"]:
+        dims = geometry["base"] + (fourth,)
+        configs.append(
+            SyntheticCubeConfig(
+                name=f"ds1_{scale}_x{fourth}",
+                dim_sizes=dims,
+                n_valid=geometry["n_valid"],
+                chunk_shape=geometry["chunk"],
+                fanout1=fanout1,
+            )
+        )
+    return configs
+
+
+def dataset2(
+    scale: str | None = None,
+    densities: tuple[float, ...] = DATASET2_DENSITIES,
+    fanout1: int = 10,
+) -> list[SyntheticCubeConfig]:
+    """The Data Set 2 cubes (fixed dims, varying density)."""
+    scale = scale or get_scale()
+    geometry = _DS2_GEOMETRY[scale]
+    logical = math.prod(geometry["dims"])
+    configs = []
+    for density in densities:
+        configs.append(
+            SyntheticCubeConfig(
+                name=f"ds2_{scale}_p{density * 1000:g}",
+                dim_sizes=geometry["dims"],
+                n_valid=max(1, round(density * logical)),
+                chunk_shape=geometry["chunk"],
+                fanout1=fanout1,
+            )
+        )
+    return configs
+
+
+def selectivity_configs(
+    scale: str | None = None,
+    fourth_dim: str = "large",
+    fanouts: tuple[int, ...] = QUERY2_FANOUTS,
+) -> list[SyntheticCubeConfig]:
+    """Query 2's sweep cubes: same cells, varying hX1 fanout.
+
+    ``fourth_dim`` picks the 40×40×40×1000-analog (``large``, figures
+    6/8) or the ×100-analog (``small``, figures 7/9/10).  Per-dimension
+    selectivity for ``hX1 = 'AA0'`` is ≈ 1/fanout, so the four-way
+    star-join selectivity S ≈ fanout⁻⁴ — the paper's 0.0625 … 0.0001.
+    """
+    scale = scale or get_scale()
+    geometry = _DS1_GEOMETRY[scale]
+    index = {"large": -1, "small": 1}[fourth_dim]
+    fourth = geometry["fourth"][index]
+    dims = geometry["base"] + (fourth,)
+    return [
+        SyntheticCubeConfig(
+            name=f"q2_{scale}_x{fourth}_f{fanout}",
+            dim_sizes=dims,
+            n_valid=geometry["n_valid"],
+            chunk_shape=geometry["chunk"],
+            fanout1=fanout,
+            fanout2=max(1, fanout // 2),
+        )
+        for fanout in fanouts
+    ]

@@ -1,0 +1,136 @@
+"""Synthetic OLAP cubes matching §5.1/§5.4.
+
+The test schema is::
+
+    fact (d0, d1, d2, d3, volume)
+    dimX (dX, hX1, hX2)        -- hX1/hX2 uniform and hierarchical
+
+``hX1`` takes ``fanout1`` distinct values (``AA0``, ``AA1``, ...),
+``hX2`` takes ``fanout2`` distinct values functionally determined by
+``hX1`` (a proper hierarchy, key → hX1 → hX2).  Valid cells are drawn
+uniformly without replacement from the logical cell space, exactly the
+paper's uniform data; volumes are uniform small integers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataGenError
+from repro.olap.model import CubeSchema, DimensionDef, MeasureDef
+
+
+@dataclass(frozen=True)
+class SyntheticCubeConfig:
+    """Shape and content parameters of one synthetic cube."""
+
+    name: str
+    dim_sizes: tuple[int, ...]
+    n_valid: int
+    chunk_shape: tuple[int, ...]
+    fanout1: int = 10
+    fanout2: int = 5
+    seed: int = 1997
+    measure_max: int = 100
+
+    def __post_init__(self):
+        if any(s <= 0 for s in self.dim_sizes):
+            raise DataGenError(f"dimension sizes must be positive: {self.dim_sizes}")
+        if len(self.chunk_shape) != len(self.dim_sizes):
+            raise DataGenError("chunk shape rank must match dimension count")
+        if not 0 <= self.n_valid <= self.logical_cells:
+            raise DataGenError(
+                f"n_valid={self.n_valid} outside [0, {self.logical_cells}]"
+            )
+        if self.fanout1 <= 0 or self.fanout2 <= 0:
+            raise DataGenError("fanouts must be positive")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dim_sizes)
+
+    @property
+    def logical_cells(self) -> int:
+        return math.prod(self.dim_sizes)
+
+    @property
+    def density(self) -> float:
+        """Fraction of valid cells (the paper's ρ)."""
+        return self.n_valid / self.logical_cells
+
+
+def h1_value(config: SyntheticCubeConfig, key: int) -> str:
+    """The hX1 attribute of a dimension key (uniform over fanout1 values)."""
+    return f"AA{key % config.fanout1}"
+
+
+def h2_value(config: SyntheticCubeConfig, key: int) -> str:
+    """The hX2 attribute (functionally determined by hX1)."""
+    return f"BB{(key % config.fanout1) % config.fanout2}"
+
+
+def generate_dimension_rows(
+    config: SyntheticCubeConfig,
+) -> dict[str, list[tuple]]:
+    """Rows for every dimension table: ``(dX, hX1, hX2)``."""
+    return {
+        f"dim{d}": [
+            (key, h1_value(config, key), h2_value(config, key))
+            for key in range(size)
+        ]
+        for d, size in enumerate(config.dim_sizes)
+    }
+
+
+def _sample_distinct_cells(
+    rng: np.random.Generator, total: int, count: int
+) -> np.ndarray:
+    """``count`` distinct linear cell indices, memory-frugally.
+
+    Sampling with replacement + dedup (re-drawing the shortfall) avoids
+    materializing a permutation of the whole (possibly 64M-cell)
+    logical space.
+    """
+    if count == total:
+        return np.arange(total, dtype=np.int64)
+    chosen = np.empty(0, dtype=np.int64)
+    while chosen.size < count:
+        need = count - chosen.size
+        draw = rng.integers(0, total, size=int(need * 1.1) + 16, dtype=np.int64)
+        chosen = np.unique(np.concatenate([chosen, draw]))
+    return rng.permutation(chosen)[:count]
+
+
+def generate_fact_rows(config: SyntheticCubeConfig) -> list[tuple]:
+    """Fact tuples ``(d0, ..., dn-1, volume)`` for the valid cells."""
+    rng = np.random.default_rng(config.seed)
+    linear = _sample_distinct_cells(rng, config.logical_cells, config.n_valid)
+    coords = np.empty((config.n_valid, config.ndim), dtype=np.int64)
+    remainder = linear
+    for d in range(config.ndim - 1, -1, -1):
+        remainder, coords[:, d] = np.divmod(remainder, config.dim_sizes[d])
+    volumes = rng.integers(1, config.measure_max + 1, size=config.n_valid)
+    return [
+        tuple(coords[i].tolist()) + (int(volumes[i]),)
+        for i in range(config.n_valid)
+    ]
+
+
+def cube_schema_for(config: SyntheticCubeConfig) -> CubeSchema:
+    """The §5.1 star schema as a :class:`CubeSchema`."""
+    return CubeSchema(
+        name=config.name,
+        dimensions=tuple(
+            DimensionDef(
+                f"dim{d}",
+                key=f"d{d}",
+                key_type="int32",
+                levels=((f"h{d}1", "str:8"), (f"h{d}2", "str:8")),
+            )
+            for d in range(config.ndim)
+        ),
+        measures=(MeasureDef("volume", "int64"),),
+    )

@@ -1,0 +1,91 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one type at the boundary.  Subsystems raise the
+most specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-manager failures."""
+
+
+class PageError(StorageError):
+    """A page id was invalid or a page payload was malformed."""
+
+
+class BufferPoolError(StorageError):
+    """The buffer pool could not satisfy a request (e.g. all frames pinned)."""
+
+
+class FileError(StorageError):
+    """A page file or large object was missing or corrupt."""
+
+
+class WALError(StorageError):
+    """The write-ahead log was malformed or recovery failed."""
+
+
+class IndexError_(ReproError):
+    """Base class for index (B-tree / bitmap) failures.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class BTreeError(IndexError_):
+    """B-tree structural invariant violation or bad operation."""
+
+
+class BitmapError(IndexError_):
+    """Bitmap index misuse (length mismatch, unknown attribute, ...)."""
+
+
+class RelationalError(ReproError):
+    """Base class for relational-layer failures."""
+
+
+class SchemaError(RelationalError):
+    """Schema definition or record/schema mismatch."""
+
+
+class CatalogError(RelationalError):
+    """Unknown or duplicate table / index names."""
+
+
+class ArrayError(ReproError):
+    """Base class for OLAP Array ADT failures."""
+
+
+class ChunkError(ArrayError):
+    """Chunk geometry violation or corrupt chunk payload."""
+
+
+class CompressionError(ArrayError):
+    """A chunk codec could not encode or decode a payload."""
+
+
+class DimensionError(ArrayError):
+    """Unknown dimension key, index out of range, or hierarchy misuse."""
+
+
+class QueryError(ReproError):
+    """Malformed OLAP query or unsupported query feature."""
+
+
+class PlanError(QueryError):
+    """The planner could not produce a plan for the requested backend."""
+
+
+class SQLError(QueryError):
+    """The SQL-subset parser rejected the statement."""
+
+
+class DataGenError(ReproError):
+    """Synthetic data generator was configured inconsistently."""

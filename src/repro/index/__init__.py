@@ -1,0 +1,12 @@
+"""Index structures: paged B+trees and bitmap join indices.
+
+Both live entirely on storage pages.  The OLAP Array ADT uses one
+B-tree per dimension (key value → array index, §3.1); the relational
+baseline uses bitmap indices per dimension attribute over fact-table
+positions (§4.4).
+"""
+
+from repro.index.btree import BTree
+from repro.index.bitmap import BitmapIndex
+
+__all__ = ["BTree", "BitmapIndex"]

@@ -1,0 +1,848 @@
+"""The unified OLAP engine: one cube, two physical designs, seven backends.
+
+:class:`OlapEngine` loads a :class:`~repro.olap.model.CubeSchema` into
+
+- the relational star schema: dimension heap tables + the §4.4 fact
+  file, with join bitmap indices and (optionally) fact B-trees, and
+- the OLAP Array ADT of §3,
+
+then executes :class:`~repro.olap.query.ConsolidationQuery` objects
+through any backend:
+
+========== ==========================================================
+``array``     §4.1 consolidation / §4.2 consolidation with selection
+``starjoin``  §4.3 Starjoin operator (selections via key filters)
+``bitmap``    §4.5 bitmap AND + fact-file fetch
+``btree``     standard B-tree selection baseline (§4.4's also-ran)
+``mbtree``    skipping multi-attribute B-tree reconstruction (§4.4)
+``leftdeep``  pipelined left-deep hash-join plan (§1's "traditional")
+``auto``      the §5.6-derived planner rule
+========== ==========================================================
+
+Every backend returns the identical sorted row multiset, so any two can
+be cross-checked — the integration tests' main oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.builder import DimensionData, build_olap_array
+from repro.core.consolidate import ConsolidationSpec, consolidate
+from repro.core.index_to_index import IndexToIndex
+from repro.core.olap_array import OLAPArray
+from repro.core.select_consolidate import Selection, consolidate_with_selection
+from repro.errors import CatalogError, PlanError, QueryError
+from repro.olap.model import CubeSchema
+from repro.olap.planner import (
+    DEFAULT_CROSSOVER_SELECTIVITY,
+    PlannerInputs,
+    choose_backend,
+)
+from repro.olap.query import ConsolidationQuery
+from repro.olap.star_schema import (
+    array_name,
+    bitmap_index_name,
+    btree_index_name,
+    dimension_table_name,
+    dimension_table_schema,
+    fact_table_name,
+    fact_table_schema,
+    mbtree_index_name,
+)
+from repro.relational.bitmap_select import bitmap_select_consolidate
+from repro.relational.btree_select import btree_select_consolidate
+from repro.relational.mbtree_select import mbtree_select_consolidate
+from repro.relational.catalog import Database
+from repro.relational.operators import Filter, SeqScan, left_deep_consolidation
+from repro.relational.star_join import DimensionJoinSpec, star_join_consolidate
+from repro.util.stats import Counters, Timer
+
+_RELATIONAL_BACKENDS = ("starjoin", "bitmap", "btree", "mbtree", "leftdeep")
+BACKENDS = ("array",) + _RELATIONAL_BACKENDS
+
+
+@dataclass
+class QueryResult:
+    """Rows plus the measurements the experiments report."""
+
+    rows: list[tuple]
+    backend: str
+    mode: str
+    elapsed_s: float
+    sim_io_s: float
+    stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cost_s(self) -> float:
+        """CPU elapsed + simulated I/O: the harness's figure-of-merit."""
+        return self.elapsed_s + self.sim_io_s
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass
+class _CubeState:
+    schema: CubeSchema
+    dim_tables: dict
+    fact: object | None = None
+    array: OLAPArray | None = None
+    bitmap_attrs: set = field(default_factory=set)
+    btree_dims: set = field(default_factory=set)
+    has_mbtree: bool = False
+    layout: str = "star"
+
+    def available_backends(self) -> set[str]:
+        out = set()
+        if self.array is not None:
+            out.add("array")
+        if self.fact is not None:
+            out.update(("starjoin", "leftdeep"))
+            if self.bitmap_attrs:
+                out.add("bitmap")
+            if self.btree_dims:
+                out.add("btree")
+            if self.has_mbtree:
+                out.add("mbtree")
+        return out
+
+
+@dataclass
+class _ViewState:
+    """A materialized aggregate view and the definition that built it."""
+
+    array: OLAPArray
+    cube: str
+    group_by: dict
+    aggregate: str
+
+
+class OlapEngine:
+    """Loads cubes into both physical designs and runs consolidations."""
+
+    def __init__(self, db: Database | None = None, **db_kwargs):
+        self.db = db if db is not None else Database(**db_kwargs)
+        self._cubes: dict[str, _CubeState] = {}
+        self._views: dict[str, _ViewState] = {}
+
+    # -- loading ------------------------------------------------------------------
+
+    def load_cube(
+        self,
+        schema: CubeSchema,
+        dimension_rows: dict[str, list[tuple]],
+        fact_rows: list[tuple],
+        chunk_shape: tuple[int, ...] | None = None,
+        codec: str = "chunk-offset",
+        backends: tuple[str, ...] = ("array", "relational"),
+        bitmap_attrs: str | list[tuple[str, str]] = "all",
+        fact_btrees: bool = False,
+        fact_mbtree: bool = False,
+        relational_layout: str = "star",
+    ) -> _CubeState:
+        """Load dimension and fact data into the requested designs.
+
+        ``dimension_rows[dim]`` holds ``(key, level values...)`` tuples;
+        ``fact_rows`` holds ``(keys..., measures...)`` tuples.  With
+        ``backends=("array",)`` or ``("relational",)`` only one design
+        is built (the storage experiments use this).
+        ``relational_layout="snowflake"`` normalizes each dimension into
+        a chain of level tables (§2.2's variant); every relational
+        algorithm then joins through the chain transparently.
+        """
+        if relational_layout not in ("star", "snowflake"):
+            raise QueryError(
+                f"unknown relational layout {relational_layout!r}"
+            )
+        if schema.name in self._cubes:
+            raise CatalogError(f"cube {schema.name!r} already loaded")
+        for dim in schema.dimensions:
+            if dim.name not in dimension_rows:
+                raise QueryError(f"no rows supplied for dimension {dim.name!r}")
+        unknown = set(backends) - {"array", "relational"}
+        if unknown:
+            raise QueryError(f"unknown backends {sorted(unknown)}")
+        fact_rows = list(fact_rows)
+
+        with self.db.locks.locked(schema.name, "X", "loader"):
+            state = _CubeState(schema=schema, dim_tables={})
+            state.layout = relational_layout
+            for dim in schema.dimensions:
+                if relational_layout == "snowflake":
+                    from repro.olap.snowflake import build_snowflake_dimension
+
+                    state.dim_tables[dim.name] = build_snowflake_dimension(
+                        self.db, schema, dim.name, dimension_rows[dim.name]
+                    )
+                else:
+                    table = self.db.create_heap_table(
+                        dimension_table_name(schema, dim.name),
+                        dimension_table_schema(dim),
+                    )
+                    table.insert_many(dimension_rows[dim.name])
+                    state.dim_tables[dim.name] = table
+
+            if "relational" in backends:
+                self._build_relational(
+                    state, fact_rows, bitmap_attrs, fact_btrees, fact_mbtree
+                )
+            if "array" in backends:
+                self._build_array(
+                    state, dimension_rows, fact_rows, chunk_shape, codec
+                )
+            self._cubes[schema.name] = state
+        return state
+
+    def _build_relational(
+        self, state, fact_rows, bitmap_attrs, fact_btrees, fact_mbtree=False
+    ) -> None:
+        schema = state.schema
+        fact = self.db.create_fact_table(
+            fact_table_name(schema), fact_table_schema(schema)
+        )
+        fact.append_many(fact_rows)
+        state.fact = fact
+
+        if bitmap_attrs == "all":
+            wanted = [
+                (d.name, level)
+                for d in schema.dimensions
+                for level in d.level_names
+            ]
+        else:
+            wanted = list(bitmap_attrs)
+        for dim_name, attr in wanted:
+            dim = schema.dimension(dim_name)
+            if attr not in dim.level_names:
+                raise QueryError(
+                    f"cannot build bitmap on {dim_name}.{attr}: not a level"
+                )
+            d = schema.dim_no(dim_name)
+            attr_map = self._dimension_attr_map(state, dim_name, attr)
+            values = (attr_map[row[d]] for row in fact_rows)
+            self.db.create_bitmap_index(
+                bitmap_index_name(schema, dim_name, attr), len(fact_rows), values
+            )
+            state.bitmap_attrs.add((dim_name, attr))
+
+        if fact_btrees:
+            for dim in schema.dimensions:
+                self.db.create_btree_index(
+                    btree_index_name(schema, dim.name),
+                    fact_table_name(schema),
+                    dim.key,
+                )
+                state.btree_dims.add(dim.name)
+
+        if fact_mbtree:
+            self.db.create_composite_btree_index(
+                mbtree_index_name(schema),
+                fact_table_name(schema),
+                [d.key for d in schema.dimensions],
+            )
+            state.has_mbtree = True
+
+    def _build_array(
+        self, state, dimension_rows, fact_rows, chunk_shape, codec
+    ) -> None:
+        schema = state.schema
+        dim_data = []
+        for dim in schema.dimensions:
+            rows = dimension_rows[dim.name]
+            keys = [r[0] for r in rows]
+            attributes = {
+                level: [r[i + 1] for r in rows]
+                for i, level in enumerate(dim.level_names)
+            }
+            dim_data.append(DimensionData(dim.name, keys, attributes))
+        if chunk_shape is None:
+            chunk_shape = tuple(
+                min(len(d.keys), 16) for d in dim_data
+            )
+        state.array = build_olap_array(
+            self.db.fm,
+            array_name(schema),
+            dim_data,
+            fact_rows,
+            chunk_shape,
+            codec=codec,
+            dtype=schema.measure_dtype,
+            measure_names=[m.name for m in schema.measures],
+        )
+
+    def attach_cube(self, schema: CubeSchema) -> _CubeState:
+        """Re-register a cube that already lives in this engine's database.
+
+        Used after :meth:`Database.attach
+        <repro.relational.catalog.Database.attach>`: the cube's tables,
+        indices and array are discovered by their schema-derived names.
+        """
+        if schema.name in self._cubes:
+            raise CatalogError(f"cube {schema.name!r} already loaded")
+        state = _CubeState(schema=schema, dim_tables={})
+        for dim in schema.dimensions:
+            state.dim_tables[dim.name] = self.db.table(
+                dimension_table_name(schema, dim.name)
+            )
+        fact_name = fact_table_name(schema)
+        if fact_name in self.db.table_names():
+            state.fact = self.db.table(fact_name)
+        if self.db.fm.exists(f"{array_name(schema)}.dir"):
+            state.array = OLAPArray.open(self.db.fm, array_name(schema))
+        for dim in schema.dimensions:
+            for attr in dim.level_names:
+                try:
+                    self.db.bitmap(bitmap_index_name(schema, dim.name, attr))
+                except CatalogError:
+                    continue
+                state.bitmap_attrs.add((dim.name, attr))
+            try:
+                self.db.btree(btree_index_name(schema, dim.name))
+            except CatalogError:
+                continue
+            state.btree_dims.add(dim.name)
+        try:
+            self.db.btree(mbtree_index_name(schema))
+            state.has_mbtree = True
+        except CatalogError:
+            pass
+        self._cubes[schema.name] = state
+        return state
+
+    # -- cube lookups ------------------------------------------------------------------
+
+    def cube(self, name: str) -> _CubeState:
+        """Loaded cube state by name."""
+        try:
+            return self._cubes[name]
+        except KeyError:
+            raise CatalogError(f"no cube named {name!r} loaded") from None
+
+    def _dimension_attr_map(self, state, dim_name: str, attr: str) -> dict:
+        """key → attribute value for one dimension (key itself allowed)."""
+        dim = state.schema.dimension(dim_name)
+        table = state.dim_tables[dim_name]
+        key_pos = table.schema.index_of(dim.key)
+        attr_pos = table.schema.index_of(attr)
+        return {row[key_pos]: row[attr_pos] for row in table.scan()}
+
+    def _selection_key_sets(self, state, query) -> dict[str, set]:
+        """Per selected dimension, the keys passing all its predicates.
+
+        Works uniformly for IN-lists and ranges: the predicate is
+        evaluated against the dimension table's attribute values (the
+        key attribute maps to itself).
+        """
+        out: dict[str, set] = {}
+        for sel in query.selections:
+            attr_map = self._dimension_attr_map(
+                state, sel.dimension, sel.attribute
+            )
+            allowed = {k for k, v in attr_map.items() if sel.matches(v)}
+            if sel.dimension in out:
+                out[sel.dimension] &= allowed
+            else:
+                out[sel.dimension] = allowed
+        return out
+
+    def estimate_selectivity(self, query: ConsolidationQuery) -> float:
+        """Estimated star-join selectivity S = Π per-dimension fractions."""
+        state = self.cube(query.cube)
+        selectivity = 1.0
+        for dim_name, allowed in self._selection_key_sets(state, query).items():
+            size = len(state.dim_tables[dim_name])
+            selectivity *= len(allowed) / size if size else 0.0
+        return selectivity
+
+    # -- query execution ------------------------------------------------------------------------
+
+    def query(
+        self,
+        query: ConsolidationQuery,
+        backend: str = "auto",
+        mode: str = "interpreted",
+        cold: bool = True,
+        order: str = "chunk",
+        crossover_selectivity: float = DEFAULT_CROSSOVER_SELECTIVITY,
+    ) -> QueryResult:
+        """Execute a consolidation query.
+
+        With ``cold=True`` (the paper's methodology) the buffer pool is
+        flushed and I/O statistics zeroed before the measured run.
+        """
+        state = self.cube(query.cube)
+        query.validate(state.schema)
+        available = state.available_backends()
+        if backend == "auto":
+            backend = choose_backend(
+                PlannerInputs(
+                    has_array="array" in available,
+                    has_bitmaps="bitmap" in available,
+                    has_selections=bool(query.selections),
+                    estimated_selectivity=(
+                        self.estimate_selectivity(query)
+                        if query.selections
+                        else 1.0
+                    ),
+                ),
+                crossover_selectivity,
+            )
+        if backend not in BACKENDS:
+            raise PlanError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        if backend not in available:
+            raise PlanError(
+                f"backend {backend!r} not available for cube "
+                f"{query.cube!r}; built: {sorted(available)}"
+            )
+
+        if cold:
+            if state.array is not None:
+                state.array.invalidate_caches()
+            self.db.cold_cache()
+        else:
+            self.db.reset_stats()
+        counters = Counters()
+        with self.db.locks.locked(query.cube, "S", f"query-{id(query)}"):
+            with Timer() as timer:
+                if backend == "array":
+                    rows = self._run_array(state, query, mode, order, counters)
+                elif backend == "starjoin":
+                    rows = self._run_starjoin(state, query, counters)
+                elif backend == "bitmap":
+                    rows = self._run_bitmap(state, query, counters)
+                elif backend == "btree":
+                    rows = self._run_btree(state, query, counters)
+                elif backend == "mbtree":
+                    rows = self._run_mbtree(state, query, counters)
+                else:
+                    rows = self._run_leftdeep(state, query, counters)
+        stats = self.db.stats()
+        stats.update(counters.snapshot())
+        return QueryResult(
+            rows=rows,
+            backend=backend,
+            mode=mode if backend == "array" else "interpreted",
+            elapsed_s=timer.elapsed,
+            sim_io_s=self.db.sim_io_seconds(),
+            stats=stats,
+        )
+
+    def materialize(
+        self,
+        query: ConsolidationQuery,
+        view_name: str,
+        mode: str = "vectorized",
+    ) -> OLAPArray:
+        """Compute an aggregate table and persist it as an OLAP array.
+
+        §4.4 notes consolidations matter "e.g., when computing an
+        aggregate table"; this runs the array consolidation with the
+        result materialized ("the result of a consolidation operation
+        ... is another instance of the OLAP Array ADT") and registers
+        it so :meth:`view` can retrieve it for further roll-ups.
+        Selections are not allowed in a materialized view definition.
+        """
+        state = self.cube(query.cube)
+        query.validate(state.schema)
+        if query.selections:
+            raise QueryError("materialized views cannot carry selections")
+        if state.array is None:
+            raise PlanError("materialize needs the cube's array backend")
+        if view_name in self._views:
+            raise CatalogError(f"view {view_name!r} already exists")
+        schema = state.schema
+        grouped = dict(query.group_by)
+        specs = []
+        for dim in schema.dimensions:
+            attr = grouped.get(dim.name)
+            if attr is None:
+                specs.append(ConsolidationSpec.drop())
+            elif attr == dim.key:
+                specs.append(ConsolidationSpec.key())
+            else:
+                specs.append(ConsolidationSpec.level(attr))
+        result = consolidate(
+            state.array,
+            specs,
+            aggregate=query.aggregate,
+            mode=mode,
+            materialize_as=view_name,
+        )
+        self._views[view_name] = _ViewState(
+            array=result.result_array,
+            cube=query.cube,
+            group_by=dict(query.group_by),
+            aggregate=query.aggregate,
+        )
+        return result.result_array
+
+    def view(self, name: str) -> OLAPArray:
+        """A previously materialized aggregate view's array."""
+        try:
+            return self._views[name].array
+        except KeyError:
+            raise CatalogError(f"no view named {name!r}") from None
+
+    def view_names(self) -> list[str]:
+        """All materialized view names, sorted."""
+        return sorted(self._views)
+
+    # -- aggregate navigation -----------------------------------------------------
+
+    def _level_i2i(self, state, dim_name: str, attr: str) -> IndexToIndex:
+        """Key-index → level-index mapping, derived from the dim table.
+
+        Built in dimension-table scan order — the same order the loader
+        assigned array indices and level numbering, so it aligns with
+        any materialized view's dimension keys.
+        """
+        dim = state.schema.dimension(dim_name)
+        table = state.dim_tables[dim_name]
+        key_pos = table.schema.index_of(dim.key)
+        if attr == dim.key:
+            return IndexToIndex.identity([row[key_pos] for row in table.scan()])
+        attr_pos = table.schema.index_of(attr)
+        return IndexToIndex.build([row[attr_pos] for row in table.scan()])
+
+    def _view_plan(self, view, query) -> list[ConsolidationSpec] | None:
+        """Consolidation specs rolling ``view`` up to ``query``, if legal."""
+        from repro.errors import DimensionError
+
+        if query.selections or query.cube != view.cube:
+            return None
+        if query.aggregate != view.aggregate or query.aggregate not in (
+            "sum", "count", "min", "max",
+        ):
+            return None
+        wanted = dict(query.group_by)
+        if not set(wanted) <= set(view.group_by):
+            return None
+        state = self.cube(query.cube)
+        specs = []
+        for dim in state.schema.dimensions:
+            if dim.name not in view.group_by:
+                continue  # the view already aggregated this dimension away
+            view_attr = view.group_by[dim.name]
+            query_attr = wanted.get(dim.name)
+            if query_attr is None:
+                specs.append(ConsolidationSpec.drop())
+            elif query_attr == view_attr:
+                specs.append(ConsolidationSpec.key())
+            else:
+                fine = self._level_i2i(state, dim.name, view_attr)
+                coarse = self._level_i2i(state, dim.name, query_attr)
+                try:
+                    specs.append(
+                        ConsolidationSpec.mapping(
+                            IndexToIndex.factor(fine, coarse)
+                        )
+                    )
+                except DimensionError:
+                    return None  # query level is finer / unrelated
+        return specs
+
+    def query_from_views(self, query: ConsolidationQuery) -> QueryResult:
+        """Answer a selection-free query from a materialized view.
+
+        Classic aggregate navigation: pick any registered view whose
+        grain refines the query\'s (every query level derivable from
+        the view\'s level via the hierarchy), then consolidate the
+        (small) view array instead of the base data.  ``count`` views
+        re-roll with ``sum`` (counts add); ``avg``/``var`` views are
+        never navigable (their results do not re-aggregate).
+        """
+        state = self.cube(query.cube)
+        query.validate(state.schema)
+        for name in sorted(self._views):
+            view = self._views[name]
+            specs = self._view_plan(view, query)
+            if specs is None:
+                continue
+            reaggregate = (
+                "sum" if query.aggregate in ("sum", "count") else query.aggregate
+            )
+            self.db.reset_stats()
+            counters = Counters()
+            with Timer() as timer:
+                result = consolidate(
+                    view.array,
+                    specs,
+                    aggregate=reaggregate,
+                    mode="vectorized",
+                    counters=counters,
+                )
+                rows = self._project_measures(
+                    state,
+                    query,
+                    self._reorder_array_rows(state, query, result.rows),
+                )
+            stats = self.db.stats()
+            stats.update(counters.snapshot())
+            return QueryResult(
+                rows=rows,
+                backend=f"view:{name}",
+                mode="vectorized",
+                elapsed_s=timer.elapsed,
+                sim_io_s=self.db.sim_io_seconds(),
+                stats=stats,
+            )
+        raise PlanError(
+            "no materialized view can answer this query; views: "
+            f"{self.view_names()}"
+        )
+
+    def sql(self, cube_name: str, statement: str, **query_kwargs) -> QueryResult:
+        """Parse a SQL-subset statement against a loaded cube and run it."""
+        from repro.olap.sql import parse_query
+
+        query = parse_query(statement, self.cube(cube_name).schema)
+        return self.query(query, **query_kwargs)
+
+    # -- backend implementations ---------------------------------------------------------
+
+    def _run_array(self, state, query, mode, order, counters) -> list[tuple]:
+        schema = state.schema
+        array = state.array
+        grouped = dict(query.group_by)
+        specs = []
+        for dim in schema.dimensions:
+            attr = grouped.get(dim.name)
+            if attr is None:
+                specs.append(ConsolidationSpec.drop())
+            elif attr == dim.key:
+                specs.append(ConsolidationSpec.key())
+            else:
+                specs.append(ConsolidationSpec.level(attr))
+        selections = [
+            Selection(
+                sel.dimension,
+                None
+                if sel.attribute == schema.dimension(sel.dimension).key
+                else sel.attribute,
+                tuple(sel.values) if sel.values is not None else None,
+                low=sel.low,
+                high=sel.high,
+            )
+            for sel in query.selections
+        ]
+        if selections:
+            result = consolidate_with_selection(
+                array,
+                specs,
+                selections,
+                aggregate=query.aggregate,
+                mode=mode,
+                order=order,
+                counters=counters,
+            )
+        else:
+            result = consolidate(
+                array, specs, aggregate=query.aggregate, mode=mode,
+                counters=counters,
+            )
+        rows = self._project_measures(state, query, result.rows)
+        return self._reorder_array_rows(state, query, rows)
+
+    def _project_measures(self, state, query, rows) -> list[tuple]:
+        """The ADT aggregates every measure; keep the asked-for columns."""
+        all_measures = [m.name for m in state.schema.measures]
+        wanted = self._query_measures(state, query)
+        if wanted == all_measures:
+            return rows
+        n_groups = len(query.group_by)
+        keep = [n_groups + all_measures.index(m) for m in wanted]
+        return [row[:n_groups] + tuple(row[i] for i in keep) for row in rows]
+
+    def _reorder_array_rows(self, state, query, rows) -> list[tuple]:
+        """Array rows come in cube-dimension order; emit query order."""
+        cube_order = [
+            d.name
+            for d in state.schema.dimensions
+            if d.name in dict(query.group_by)
+        ]
+        query_order = list(query.group_dims)
+        n_groups = len(cube_order)
+        if cube_order == query_order:
+            return rows
+        permutation = [cube_order.index(d) for d in query_order]
+        reordered = [
+            tuple(row[p] for p in permutation) + row[n_groups:] for row in rows
+        ]
+        reordered.sort()
+        return reordered
+
+    def _group_specs(self, state, query) -> list[DimensionJoinSpec]:
+        schema = state.schema
+        specs = []
+        for dim_name, attr in query.group_by:
+            dim = schema.dimension(dim_name)
+            specs.append(
+                DimensionJoinSpec(
+                    state.dim_tables[dim_name], dim.key, dim.key, attr
+                )
+            )
+        return specs
+
+    def _query_measures(self, state, query) -> list[str]:
+        if query.measures is not None:
+            return list(query.measures)
+        return [m.name for m in state.schema.measures]
+
+    def _run_starjoin(self, state, query, counters) -> list[tuple]:
+        key_sets = self._selection_key_sets(state, query)
+        key_filters = {
+            state.schema.dimension(d).key: allowed
+            for d, allowed in key_sets.items()
+        }
+        return star_join_consolidate(
+            state.fact,
+            self._group_specs(state, query),
+            self._query_measures(state, query),
+            aggregate=query.aggregate,
+            counters=counters,
+            key_filters=key_filters or None,
+        )
+
+    def _run_bitmap(self, state, query, counters) -> list[tuple]:
+        schema = state.schema
+        selections = []
+        for sel in query.selections:
+            if (sel.dimension, sel.attribute) not in state.bitmap_attrs:
+                raise PlanError(
+                    f"no bitmap index on {sel.dimension}.{sel.attribute}; "
+                    "load with bitmap_attrs covering it"
+                )
+            index = self.db.bitmap(
+                bitmap_index_name(schema, sel.dimension, sel.attribute)
+            )
+            if sel.is_range:
+                # one B-tree range scan over the bitmap value directory,
+                # OR-ing the qualifying values' bitmaps
+                selections.append(
+                    (index, index.bitmap_for_range(sel.low, sel.high))
+                )
+            else:
+                selections.append((index, list(sel.values)))
+        return bitmap_select_consolidate(
+            state.fact,
+            self._group_specs(state, query),
+            selections,
+            self._query_measures(state, query),
+            aggregate=query.aggregate,
+            counters=counters,
+        )
+
+    def _run_btree(self, state, query, counters) -> list[tuple]:
+        if not query.selections:
+            raise PlanError("the btree backend needs at least one selection")
+        schema = state.schema
+        key_sets = self._selection_key_sets(state, query)
+        selections = []
+        for dim_name, allowed in key_sets.items():
+            if dim_name not in state.btree_dims:
+                raise PlanError(
+                    f"no fact B-tree on dimension {dim_name!r}; load with "
+                    "fact_btrees=True"
+                )
+            tree = self.db.btree(btree_index_name(schema, dim_name))
+            selections.append((tree, sorted(allowed)))
+        return btree_select_consolidate(
+            state.fact,
+            self._group_specs(state, query),
+            selections,
+            self._query_measures(state, query),
+            aggregate=query.aggregate,
+            counters=counters,
+        )
+
+    def _run_mbtree(self, state, query, counters) -> list[tuple]:
+        if not query.selections:
+            raise PlanError("the mbtree backend needs at least one selection")
+        schema = state.schema
+        key_sets = self._selection_key_sets(state, query)
+        allowed = []
+        for dim in schema.dimensions:
+            if dim.name in key_sets:
+                allowed.append(sorted(key_sets[dim.name]))
+            else:
+                table = state.dim_tables[dim.name]
+                key_pos = table.schema.index_of(dim.key)
+                allowed.append(sorted(row[key_pos] for row in table.scan()))
+        tree = self.db.btree(mbtree_index_name(schema))
+        return mbtree_select_consolidate(
+            state.fact,
+            self._group_specs(state, query),
+            tree,
+            allowed,
+            self._query_measures(state, query),
+            aggregate=query.aggregate,
+            counters=counters,
+        )
+
+    def _run_leftdeep(self, state, query, counters) -> list[tuple]:
+        schema = state.schema
+        grouped = dict(query.group_by)
+        key_sets = self._selection_key_sets(state, query)
+        joined = [
+            d.name
+            for d in schema.dimensions
+            if d.name in grouped or d.name in key_sets
+        ]
+        fact_scan = SeqScan(state.fact, alias="f")
+        dim_scans = []
+        for dim_name in joined:
+            dim = schema.dimension(dim_name)
+            scan = SeqScan(state.dim_tables[dim_name], alias=dim_name)
+            if dim_name in key_sets:
+                allowed = key_sets[dim_name]
+                key_col = f"{dim_name}.{dim.key}"
+                position = scan.names.index(key_col)
+                scan = Filter(
+                    scan,
+                    predicate=lambda row, p=position, a=frozenset(allowed): row[p] in a,
+                )
+            dim_scans.append((scan, f"{dim_name}.{dim.key}", f"f.{dim.key}"))
+        plan = left_deep_consolidation(
+            fact_scan,
+            dim_scans,
+            [f"{d}.{grouped[d]}" for d in query.group_dims],
+            [f"f.{m}" for m in self._query_measures(state, query)],
+            aggregate=query.aggregate,
+        )
+        counters.add("leftdeep_joins", len(dim_scans))
+        return list(plan)
+
+    # -- storage reporting ----------------------------------------------------------------------
+
+    def storage_report(self, cube_name: str) -> dict[str, int]:
+        """On-disk footprints of every structure built for a cube."""
+        state = self.cube(cube_name)
+        schema = state.schema
+        report: dict[str, int] = {
+            "dimension_tables": sum(
+                t.size_bytes() for t in state.dim_tables.values()
+            )
+        }
+        if state.fact is not None:
+            report["fact_file"] = state.fact.size_bytes()
+        if state.array is not None:
+            report["array_total"] = state.array.storage_bytes()
+            report["array_chunks"] = state.array.storage_bytes(
+                include_indices=False
+            )
+        if state.bitmap_attrs:
+            report["bitmap_indices"] = sum(
+                self.db.bitmap(
+                    bitmap_index_name(schema, d, a)
+                ).footprint_bytes()
+                for d, a in state.bitmap_attrs
+            )
+        if state.btree_dims:
+            report["btree_indices"] = sum(
+                self.db.btree(btree_index_name(schema, d)).size_bytes()
+                for d in state.btree_dims
+            )
+        return report

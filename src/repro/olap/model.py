@@ -1,0 +1,164 @@
+"""The §2 OLAP data model: dimensions, hierarchies, measures, cubes.
+
+A :class:`CubeSchema` is the logical object both physical designs are
+derived from.  Each :class:`DimensionDef` has a key attribute plus an
+ordered list of hierarchy attributes (finest first — ``store name →
+city → region``); each :class:`MeasureDef` is a named numeric fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+
+_KEY_TYPES = {"int32", "int64"}
+_MEASURE_TYPES = {"int64", "float64"}
+
+
+@dataclass(frozen=True)
+class DimensionDef:
+    """One dimension: a key attribute and its hierarchy attributes.
+
+    ``key`` is the attribute that indexes the cube (``pid``); every
+    entry of ``levels`` is a ``(name, ctype)`` pair, finest level
+    first, using record-codec type names (``str:8``, ``int32``, ...).
+    """
+
+    name: str
+    key: str
+    key_type: str = "int32"
+    levels: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self):
+        if self.key_type not in _KEY_TYPES and not self.key_type.startswith(
+            "str:"
+        ):
+            raise SchemaError(
+                f"dimension {self.name!r}: key type {self.key_type!r} "
+                "must be int32/int64/str:N"
+            )
+        names = [self.key] + [n for n, _ in self.levels]
+        if len(set(names)) != len(names):
+            raise SchemaError(
+                f"dimension {self.name!r}: duplicate attribute names"
+            )
+
+    @property
+    def level_names(self) -> tuple[str, ...]:
+        """Hierarchy attribute names, finest first."""
+        return tuple(n for n, _ in self.levels)
+
+    def attribute_type(self, attr: str) -> str:
+        """Record-codec type of one attribute (key or level)."""
+        if attr == self.key:
+            return self.key_type
+        for name, ctype in self.levels:
+            if name == attr:
+                return ctype
+        raise SchemaError(
+            f"dimension {self.name!r} has no attribute {attr!r}"
+        )
+
+
+@dataclass(frozen=True)
+class MeasureDef:
+    """One measure stored in each cube cell."""
+
+    name: str
+    ctype: str = "int64"
+
+    def __post_init__(self):
+        if self.ctype not in _MEASURE_TYPES:
+            raise SchemaError(
+                f"measure {self.name!r}: type {self.ctype!r} must be one of "
+                f"{sorted(_MEASURE_TYPES)}"
+            )
+
+
+@dataclass(frozen=True)
+class CubeSchema:
+    """An n-dimensional cube with p measures (§2's hypercube C)."""
+
+    name: str
+    dimensions: tuple[DimensionDef, ...]
+    measures: tuple[MeasureDef, ...] = (MeasureDef("volume"),)
+
+    def __post_init__(self):
+        if not self.dimensions:
+            raise SchemaError("a cube needs at least one dimension")
+        if not self.measures:
+            raise SchemaError("a cube needs at least one measure")
+        names = [d.name for d in self.dimensions]
+        if len(set(names)) != len(names):
+            raise SchemaError("duplicate dimension names")
+        mnames = [m.name for m in self.measures]
+        if len(set(mnames)) != len(mnames):
+            raise SchemaError("duplicate measure names")
+        dtypes = {m.ctype for m in self.measures}
+        if len(dtypes) > 1:
+            raise SchemaError(
+                "all measures must share one storage type (int64 or float64)"
+            )
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions (n)."""
+        return len(self.dimensions)
+
+    @property
+    def measure_dtype(self) -> str:
+        """The shared storage type of all measures."""
+        return self.measures[0].ctype
+
+    def dimension(self, name: str) -> DimensionDef:
+        """Dimension by name."""
+        for d in self.dimensions:
+            if d.name == name:
+                return d
+        raise SchemaError(
+            f"cube {self.name!r} has no dimension {name!r}; have "
+            f"{[d.name for d in self.dimensions]}"
+        )
+
+    def dim_no(self, name: str) -> int:
+        """Position of a dimension."""
+        for i, d in enumerate(self.dimensions):
+            if d.name == name:
+                return i
+        raise SchemaError(f"cube {self.name!r} has no dimension {name!r}")
+
+
+def retail_schema() -> CubeSchema:
+    """The paper's running example: Sales(product, store, time; volume)."""
+    return CubeSchema(
+        name="sales",
+        dimensions=(
+            DimensionDef(
+                "product",
+                key="pid",
+                levels=(("pname", "str:16"), ("type", "str:12"), ("category", "str:12")),
+            ),
+            DimensionDef(
+                "store",
+                key="sid",
+                levels=(
+                    ("sname", "str:16"),
+                    ("city", "str:16"),
+                    ("state", "str:12"),
+                    ("region", "str:12"),
+                ),
+            ),
+            DimensionDef(
+                "time",
+                key="tid",
+                levels=(
+                    ("day", "int32"),
+                    ("month", "int32"),
+                    ("quarter", "int32"),
+                    ("year", "int32"),
+                ),
+            ),
+        ),
+        measures=(MeasureDef("volume"),),
+    )

@@ -1,0 +1,64 @@
+"""Backend choice for consolidation queries.
+
+The paper leaves array/relational integration with the optimizer as
+future work but its measurements imply a simple rule: the array wins
+except at extremely low star-join selectivity, where the bitmap + fact
+file pulls individual tuples while the array must fetch whole chunks
+(§5.6: the crossover sits near S = 0.00024).  :func:`choose_backend`
+encodes exactly that rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlanError
+
+# §5.6: bitmap+fact-file beat the array below S = 0.00024; we plan
+# conservatively at the paper's observed crossover.
+DEFAULT_CROSSOVER_SELECTIVITY = 0.00024
+
+
+@dataclass(frozen=True)
+class PlannerInputs:
+    """What the planner knows about the physical design and the query."""
+
+    has_array: bool
+    has_bitmaps: bool
+    has_selections: bool
+    estimated_selectivity: float = 1.0
+
+
+def choose_backend(
+    inputs: PlannerInputs,
+    crossover_selectivity: float = DEFAULT_CROSSOVER_SELECTIVITY,
+) -> str:
+    """Pick ``array`` / ``starjoin`` / ``bitmap`` for a query.
+
+    - no selections: the array consolidation if an array exists, else
+      the Starjoin operator;
+    - with selections: the array algorithm above the crossover
+      selectivity, the bitmap + fact-file algorithm below it (or when
+      no array was built).
+    """
+    if not inputs.has_selections:
+        return "array" if inputs.has_array else "starjoin"
+    if not inputs.has_array:
+        if inputs.has_bitmaps:
+            return "bitmap"
+        return "starjoin"
+    if (
+        inputs.has_bitmaps
+        and inputs.estimated_selectivity < crossover_selectivity
+    ):
+        return "bitmap"
+    return "array"
+
+
+def require_backend_available(backend: str, available: set[str]) -> None:
+    """Raise :class:`PlanError` when a requested backend was not built."""
+    if backend not in available:
+        raise PlanError(
+            f"backend {backend!r} not available for this cube; built: "
+            f"{sorted(available)}"
+        )

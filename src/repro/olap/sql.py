@@ -1,0 +1,285 @@
+"""A SQL-subset parser for the paper's consolidation query templates.
+
+The paper invokes the ADT through functions and leaves transparent SQL
+integration as future work; this module closes part of that gap for the
+exact query shape the evaluation uses (Queries 1–3)::
+
+    SELECT sum(volume), dim0.h01, dim1.h11
+    FROM   fact, dim0, dim1
+    WHERE  fact.d0 = dim0.d0 AND fact.d1 = dim1.d1
+       AND dim1.h11 = 'AA1' AND dim0.h01 IN ('AA0', 'AA2')
+    GROUP BY h01, dim1.h11
+
+:func:`parse_query` resolves the statement against a
+:class:`~repro.olap.model.CubeSchema` and returns a
+:class:`~repro.olap.query.ConsolidationQuery`.  Join predicates
+(column = column) are validated and dropped — the engine knows how the
+star joins.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import SQLError
+from repro.olap.model import CubeSchema
+from repro.olap.query import ConsolidationQuery, SelectionPredicate
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'[^']*'|"[^"]*")
+      | (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+      | (?P<punct>[(),.=*])
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"select", "from", "where", "and", "group", "by", "in", "between"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # string | number | ident | punct | keyword
+    value: str
+
+
+def _tokenize(sql: str) -> list[_Token]:
+    tokens = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            if sql[position:].strip() == "":
+                break
+            raise SQLError(f"cannot tokenize near {sql[position:position+20]!r}")
+        position = match.end()
+        if match.lastgroup == "ident":
+            text = match.group("ident")
+            kind = "keyword" if text.lower() in _KEYWORDS else "ident"
+            tokens.append(_Token(kind, text.lower() if kind == "keyword" else text))
+        elif match.lastgroup == "string":
+            tokens.append(_Token("string", match.group("string")[1:-1]))
+        elif match.lastgroup == "number":
+            tokens.append(_Token("number", match.group("number")))
+        elif match.lastgroup == "punct":
+            tokens.append(_Token("punct", match.group("punct")))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    def peek(self) -> _Token | None:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise SQLError("unexpected end of statement")
+        self._position += 1
+        return token
+
+    def expect(self, kind: str, value: str | None = None) -> _Token:
+        token = self.next()
+        if token.kind != kind or (value is not None and token.value != value):
+            raise SQLError(
+                f"expected {value or kind}, got {token.value!r}"
+            )
+        return token
+
+    def accept(self, kind: str, value: str | None = None) -> bool:
+        token = self.peek()
+        if token and token.kind == kind and (value is None or token.value == value):
+            self._position += 1
+            return True
+        return False
+
+    def column(self) -> tuple[str | None, str]:
+        """``table.attr`` or bare ``attr``; returns (qualifier, name)."""
+        first = self.expect("ident").value
+        if self.accept("punct", "."):
+            return first, self.expect("ident").value
+        return None, first
+
+    def literal(self):
+        token = self.next()
+        if token.kind == "string":
+            return token.value
+        if token.kind == "number":
+            return float(token.value) if "." in token.value else int(token.value)
+        raise SQLError(f"expected a literal, got {token.value!r}")
+
+
+@dataclass
+class _Statement:
+    aggregates: list[tuple[str, str]]  # (function, measure)
+    select_columns: list[tuple[str | None, str]]
+    tables: list[str]
+    joins: list[tuple[tuple, tuple]]
+    selections: list[tuple[tuple, list]]
+    ranges: list[tuple[tuple, object, object]]
+    group_by: list[tuple[str | None, str]]
+
+
+def _parse_statement(sql: str) -> _Statement:
+    parser = _Parser(_tokenize(sql))
+    parser.expect("keyword", "select")
+    aggregates: list[tuple[str, str]] = []
+    select_columns: list[tuple[str | None, str]] = []
+    while True:
+        qualifier, name = parser.column()
+        if qualifier is None and parser.accept("punct", "("):
+            measure = parser.expect("ident").value
+            parser.expect("punct", ")")
+            aggregates.append((name.lower(), measure))
+        else:
+            select_columns.append((qualifier, name))
+        if not parser.accept("punct", ","):
+            break
+
+    parser.expect("keyword", "from")
+    tables = [parser.expect("ident").value]
+    while parser.accept("punct", ","):
+        tables.append(parser.expect("ident").value)
+
+    joins: list[tuple[tuple, tuple]] = []
+    selections: list[tuple[tuple, list]] = []
+    ranges: list[tuple[tuple, object, object]] = []
+    if parser.accept("keyword", "where"):
+        while True:
+            left = parser.column()
+            if parser.accept("keyword", "in"):
+                parser.expect("punct", "(")
+                values = [parser.literal()]
+                while parser.accept("punct", ","):
+                    values.append(parser.literal())
+                parser.expect("punct", ")")
+                selections.append((left, values))
+            elif parser.accept("keyword", "between"):
+                low = parser.literal()
+                parser.expect("keyword", "and")
+                high = parser.literal()
+                ranges.append((left, low, high))
+            else:
+                parser.expect("punct", "=")
+                token = parser.peek()
+                if token is not None and token.kind == "ident":
+                    joins.append((left, parser.column()))
+                else:
+                    selections.append((left, [parser.literal()]))
+            if not parser.accept("keyword", "and"):
+                break
+
+    parser.expect("keyword", "group")
+    parser.expect("keyword", "by")
+    group_by = [parser.column()]
+    while parser.accept("punct", ","):
+        group_by.append(parser.column())
+
+    if parser.peek() is not None:
+        raise SQLError(f"trailing tokens after GROUP BY: {parser.peek().value!r}")
+    if not aggregates:
+        raise SQLError("SELECT list needs an aggregate such as sum(volume)")
+    return _Statement(
+        aggregates, select_columns, tables, joins, selections, ranges, group_by
+    )
+
+
+def _resolve_dimension(schema: CubeSchema, qualifier: str | None, attr: str) -> str:
+    """Find which dimension an attribute reference belongs to."""
+    if qualifier is not None:
+        dim = schema.dimension(qualifier)  # raises if unknown
+        if attr != dim.key and attr not in dim.level_names:
+            raise SQLError(f"dimension {qualifier!r} has no attribute {attr!r}")
+        return qualifier
+    owners = [
+        d.name
+        for d in schema.dimensions
+        if attr == d.key or attr in d.level_names
+    ]
+    if not owners:
+        raise SQLError(f"no dimension has an attribute named {attr!r}")
+    if len(owners) > 1:
+        raise SQLError(
+            f"attribute {attr!r} is ambiguous across dimensions {owners}; "
+            "qualify it"
+        )
+    return owners[0]
+
+
+def parse_query(sql: str, schema: CubeSchema) -> ConsolidationQuery:
+    """Parse a consolidation statement against a cube schema."""
+    statement = _parse_statement(sql)
+
+    fact_names = {"fact", f"{schema.name}.fact", schema.name}
+    dim_names = {d.name for d in schema.dimensions}
+    for table in statement.tables:
+        if table not in fact_names and table not in dim_names:
+            raise SQLError(f"unknown table {table!r} in FROM")
+
+    agg_functions = {fn for fn, _ in statement.aggregates}
+    if len(agg_functions) > 1:
+        raise SQLError(
+            f"one aggregate function per query, got {sorted(agg_functions)}"
+        )
+    measures = []
+    known_measures = {m.name for m in schema.measures}
+    for _, measure in statement.aggregates:
+        if measure not in known_measures:
+            raise SQLError(f"cube has no measure {measure!r}")
+        measures.append(measure)
+
+    for left, right in statement.joins:
+        sides = sorted([left, right], key=lambda c: c[0] not in fact_names)
+        fact_side, dim_side = sides
+        if fact_side[0] not in fact_names:
+            raise SQLError(
+                "join predicates must link the fact table to a dimension"
+            )
+        dim = schema.dimension(_resolve_dimension(schema, *dim_side))
+        if dim_side[1] != dim.key or fact_side[1] != dim.key:
+            raise SQLError(
+                f"join on {dim.name} must use its key attribute {dim.key!r}"
+            )
+
+    group_by: dict[str, str] = {}
+    for qualifier, attr in statement.group_by:
+        dim_name = _resolve_dimension(schema, qualifier, attr)
+        if dim_name in group_by and group_by[dim_name] != attr:
+            raise SQLError(f"dimension {dim_name!r} grouped on two attributes")
+        group_by[dim_name] = attr
+
+    for qualifier, attr in statement.select_columns:
+        dim_name = _resolve_dimension(schema, qualifier, attr)
+        if group_by.get(dim_name) != attr:
+            raise SQLError(
+                f"selected column {attr!r} does not appear in GROUP BY"
+            )
+
+    selections = []
+    for (qualifier, attr), values in statement.selections:
+        dim_name = _resolve_dimension(schema, qualifier, attr)
+        selections.append(
+            SelectionPredicate(dim_name, attr, tuple(values))
+        )
+    for (qualifier, attr), low, high in statement.ranges:
+        dim_name = _resolve_dimension(schema, qualifier, attr)
+        selections.append(
+            SelectionPredicate(dim_name, attr, low=low, high=high)
+        )
+
+    return ConsolidationQuery.build(
+        cube=schema.name,
+        group_by=group_by,
+        selections=selections,
+        aggregate=next(iter(agg_functions)),
+        measures=measures,
+    )

@@ -1,0 +1,59 @@
+"""§2.2: mapping the OLAP data model onto a relational star schema.
+
+Each dimension ``D_i(A_i1 ... A_ik)`` becomes a dimension table with the
+same attributes; the hypercube becomes the fact table
+``F_C(A_11, ..., A_n1, m_1, ..., m_p)`` — the dimension keys as foreign
+keys plus the measures.
+"""
+
+from __future__ import annotations
+
+from repro.olap.model import CubeSchema, DimensionDef
+from repro.relational.schema import Column, Schema
+
+
+def dimension_table_schema(dimension: DimensionDef) -> Schema:
+    """Relational schema of one dimension table."""
+    columns = [Column(dimension.key, dimension.key_type)]
+    columns += [Column(name, ctype) for name, ctype in dimension.levels]
+    return Schema(columns)
+
+
+def fact_table_schema(cube: CubeSchema) -> Schema:
+    """Relational schema of the fact table: foreign keys + measures."""
+    columns = [
+        Column(d.key, d.key_type) for d in cube.dimensions
+    ]
+    columns += [Column(m.name, m.ctype) for m in cube.measures]
+    return Schema(columns)
+
+
+def fact_table_name(cube: CubeSchema) -> str:
+    """Catalog name of the cube's fact table."""
+    return f"{cube.name}.fact"
+
+
+def dimension_table_name(cube: CubeSchema, dimension: str) -> str:
+    """Catalog name of one dimension table."""
+    cube.dimension(dimension)  # validates
+    return f"{cube.name}.{dimension}"
+
+
+def array_name(cube: CubeSchema) -> str:
+    """Catalog name of the cube's OLAP array."""
+    return f"{cube.name}.array"
+
+
+def bitmap_index_name(cube: CubeSchema, dimension: str, attr: str) -> str:
+    """Catalog name of the join bitmap index on one dimension attribute."""
+    return f"{cube.name}.{dimension}.{attr}.bm"
+
+
+def btree_index_name(cube: CubeSchema, dimension: str) -> str:
+    """Catalog name of the fact B-tree index on one dimension's key."""
+    return f"{cube.name}.fact.{dimension}.idx"
+
+
+def mbtree_index_name(cube: CubeSchema) -> str:
+    """Catalog name of the composite (multi-attribute) fact B-tree."""
+    return f"{cube.name}.fact.mb.idx"

@@ -1,0 +1,41 @@
+"""Relational substrate: the ROLAP side of the comparison.
+
+Implements everything §2.2 and §4.3–4.5 describe: star schemas on heap
+files, the fixed-length **fact file**, Volcano-style operators, the
+Starjoin consolidation operator, and bitmap-driven selection.
+"""
+
+from repro.relational.schema import Column, Schema
+from repro.relational.heap_file import HeapFile
+from repro.relational.fact_file import FactFile
+from repro.relational.catalog import Database
+from repro.relational.operators import (
+    Filter,
+    HashGroupBy,
+    HashJoin,
+    Project,
+    SeqScan,
+)
+from repro.relational.star_join import DimensionJoinSpec, star_join_consolidate
+from repro.relational.bitmap_select import bitmap_select_consolidate
+from repro.relational.btree_select import btree_select_consolidate
+from repro.relational.mbtree_select import mbtree_select_consolidate, skip_scan
+
+__all__ = [
+    "Column",
+    "Schema",
+    "HeapFile",
+    "FactFile",
+    "Database",
+    "SeqScan",
+    "Filter",
+    "Project",
+    "HashJoin",
+    "HashGroupBy",
+    "DimensionJoinSpec",
+    "star_join_consolidate",
+    "bitmap_select_consolidate",
+    "btree_select_consolidate",
+    "mbtree_select_consolidate",
+    "skip_scan",
+]

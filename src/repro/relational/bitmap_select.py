@@ -1,0 +1,88 @@
+"""The §4.5 relational algorithm for consolidation with selection.
+
+    Set all bits of ResultBitmap to ones;
+    foreach selected dimension {
+        retrieve the bitmaps for the selected values;
+        AND ResultBitmap with the bitmaps;
+    }
+    retrieve the tuples for ResultBitmap;
+    aggregate the tuples' measure to the results;
+
+The per-value bitmaps are **join bitmap indices** built ahead of time
+(one per selected dimension attribute, over fact-tuple positions); the
+tuple fetch is the fact file's positional fast path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.aggregates import get_aggregate
+from repro.errors import QueryError
+from repro.index.bitmap import BitmapIndex
+from repro.relational.fact_file import FactFile
+from repro.relational.star_join import (
+    DimensionJoinSpec,
+    aggregate_rows,
+    build_dimension_hash,
+    normalize_measures,
+)
+from repro.util.bitset import Bitset
+from repro.util.stats import Counters
+
+
+def bitmap_select_consolidate(
+    fact: FactFile,
+    group_dimensions: list[DimensionJoinSpec],
+    selections: list[tuple[BitmapIndex, Iterable]],
+    measure: str | list[str],
+    aggregate: str = "sum",
+    counters: Counters | None = None,
+) -> list[tuple]:
+    """Bitmap-AND selection, then fetch-and-aggregate.
+
+    ``selections`` pairs a join bitmap index (over this fact table's
+    positions) with the selected values of its attribute — or with a
+    precomputed :class:`~repro.util.bitset.Bitset` (range predicates
+    arrive this way).  Output rows
+    are ``(group values..., aggregate values...)`` ordered as
+    ``group_dimensions``; rows come out sorted.
+    """
+    if not group_dimensions:
+        raise QueryError("consolidation needs at least one group dimension")
+    counters = counters if counters is not None else Counters()
+    measures = normalize_measures(measure)
+    aggs = [get_aggregate(aggregate)] * len(measures)
+
+    result_bitmap = Bitset.ones(len(fact))
+    for index, values in selections:
+        if index.length != len(fact):
+            raise QueryError(
+                f"bitmap index {index.name!r} covers {index.length} "
+                f"positions, fact table has {len(fact)}"
+            )
+        if isinstance(values, Bitset):
+            merged = values  # a precomputed range/merged bitmap
+        else:
+            merged = index.bitmap_for_any(values)
+        counters.add("bitmaps_fetched", 1)
+        result_bitmap.iand(merged)
+    counters.add("selected_tuples", result_bitmap.count())
+
+    dim_hashes = [build_dimension_hash(spec) for spec in group_dimensions]
+    fact_schema = fact.schema
+    key_positions = [fact_schema.index_of(s.fact_key) for s in group_dimensions]
+    measure_positions = [fact_schema.index_of(m) for m in measures]
+
+    groups: dict[tuple, list] = {}
+    for row in fact.fetch_bitmap(result_bitmap):
+        key = tuple(dim_hashes[d][row[p]] for d, p in enumerate(key_positions))
+        state = groups.get(key)
+        if state is None:
+            state = [agg.initial() for agg in aggs]
+            groups[key] = state
+        for m, agg in enumerate(aggs):
+            state[m] = agg.add(state[m], row[measure_positions[m]])
+    counters.add("result_groups", len(groups))
+
+    return aggregate_rows(groups, aggs)

@@ -1,0 +1,78 @@
+"""Standard B-tree selection baseline (mentioned, and dominated, in §4.4).
+
+The paper tested "standard B-tree indexing" before settling on bitmaps;
+we keep it as an extra baseline.  Each selected dimension contributes a
+B-tree over the fact table's foreign-key column (key value → tuple
+numbers).  Selection resolves dimension predicates to key lists, probes
+the B-trees for position lists, intersects them, fetches and
+aggregates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.aggregates import get_aggregate
+from repro.errors import QueryError
+from repro.index.btree import BTree
+from repro.relational.fact_file import FactFile
+from repro.relational.star_join import (
+    DimensionJoinSpec,
+    aggregate_rows,
+    build_dimension_hash,
+    normalize_measures,
+)
+from repro.util.stats import Counters
+
+
+def btree_select_consolidate(
+    fact: FactFile,
+    group_dimensions: list[DimensionJoinSpec],
+    selections: list[tuple[BTree, Iterable]],
+    measure: str | list[str],
+    aggregate: str = "sum",
+    counters: Counters | None = None,
+) -> list[tuple]:
+    """B-tree probe, position-list intersection, fetch, aggregate.
+
+    ``selections`` pairs a fact-column B-tree (key → tuple numbers)
+    with the matching dimension key values.  Output rows match
+    :func:`~repro.relational.star_join.star_join_consolidate`.
+    """
+    if not group_dimensions:
+        raise QueryError("consolidation needs at least one group dimension")
+    counters = counters if counters is not None else Counters()
+    measures = normalize_measures(measure)
+    aggs = [get_aggregate(aggregate)] * len(measures)
+
+    positions: set[int] | None = None
+    for tree, keys in selections:
+        found: set[int] = set()
+        for key in keys:
+            found.update(tree.search(key))
+            counters.add("btree_probes")
+        positions = found if positions is None else positions & found
+        if not positions:
+            break
+    if positions is None:
+        raise QueryError("btree_select_consolidate needs at least one selection")
+    counters.add("selected_tuples", len(positions))
+
+    dim_hashes = [build_dimension_hash(spec) for spec in group_dimensions]
+    fact_schema = fact.schema
+    key_positions = [fact_schema.index_of(s.fact_key) for s in group_dimensions]
+    measure_positions = [fact_schema.index_of(m) for m in measures]
+
+    groups: dict[tuple, list] = {}
+    for tuple_no in sorted(positions):
+        row = fact.get(tuple_no)
+        key = tuple(dim_hashes[d][row[p]] for d, p in enumerate(key_positions))
+        state = groups.get(key)
+        if state is None:
+            state = [agg.initial() for agg in aggs]
+            groups[key] = state
+        for m, agg in enumerate(aggs):
+            state[m] = agg.add(state[m], row[measure_positions[m]])
+    counters.add("result_groups", len(groups))
+
+    return aggregate_rows(groups, aggs)

@@ -1,0 +1,255 @@
+"""The :class:`Database`: one storage stack plus a table/index catalog.
+
+A ``Database`` bundles the simulated disk, buffer pool, optional WAL,
+lock manager and file manager, and tracks which files are heap tables,
+fact files, B-trees or bitmap indices.  The experiment harness talks to
+a ``Database`` for cold-cache resets and I/O statistics.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CatalogError
+from repro.index.bitmap import BitmapIndex
+from repro.index.btree import BTree
+from repro.relational.fact_file import FactFile
+from repro.relational.heap_file import HeapFile
+from repro.relational.schema import Schema
+from repro.storage.buffer_pool import BufferPool, DEFAULT_POOL_BYTES
+from repro.storage.disk import DiskModel, SimulatedDisk
+from repro.storage.locks import LockManager
+from repro.storage.page_file import FileManager
+from repro.storage.wal import WriteAheadLog
+
+_CATALOG_FILE = "__catalog__"
+
+
+class Database:
+    """A self-contained storage stack with named tables and indices."""
+
+    def __init__(
+        self,
+        page_size: int = 8192,
+        pool_bytes: int = DEFAULT_POOL_BYTES,
+        disk_model: DiskModel | None = None,
+        enable_wal: bool = False,
+    ):
+        self.disk = SimulatedDisk(page_size=page_size, model=disk_model)
+        self.wal = WriteAheadLog() if enable_wal else None
+        self.pool = BufferPool(self.disk, capacity_bytes=pool_bytes, wal=self.wal)
+        self.fm = FileManager(self.pool)
+        self.locks = LockManager()
+        self._tables: dict[str, HeapFile | FactFile] = {}
+        self._btrees: dict[str, BTree] = {}
+        self._bitmaps: dict[str, BitmapIndex] = {}
+        self._kinds: dict[str, str] = {}
+        self.fm.create(_CATALOG_FILE)
+
+    @classmethod
+    def attach(
+        cls,
+        disk: SimulatedDisk,
+        pool_bytes: int = DEFAULT_POOL_BYTES,
+    ) -> "Database":
+        """Re-open a database from an existing volume.
+
+        The volume typically comes from :meth:`SimulatedDisk.load`; the
+        persisted catalog reconstructs every table and index object.
+        (Volumes created with a WAL must be recovered first — see
+        :func:`repro.storage.wal.recover`.)
+        """
+        db = cls.__new__(cls)
+        db.disk = disk
+        db.wal = None
+        db.pool = BufferPool(disk, capacity_bytes=pool_bytes)
+        # the Database constructor allocates the FileManager master page
+        # first, so it is always page 0 of the volume
+        db.fm = FileManager(db.pool, master_page_id=0)
+        db.locks = LockManager()
+        db._tables = {}
+        db._btrees = {}
+        db._bitmaps = {}
+        db._kinds = db._load_kinds()
+        for name, kind in db._kinds.items():
+            if kind == "heap":
+                db._tables[name] = HeapFile.open(db.fm, name)
+            elif kind == "fact":
+                db._tables[name] = FactFile.open(db.fm, name)
+            elif kind == "btree":
+                db._btrees[name] = BTree.open(db.fm, name)
+            elif kind.startswith("bitmap:"):
+                length = int(kind.split(":", 1)[1])
+                db._bitmaps[name] = BitmapIndex(db.fm, name, length)
+            else:
+                raise CatalogError(f"unknown catalog kind {kind!r} for {name!r}")
+        return db
+
+    def _load_kinds(self) -> dict[str, str]:
+        catalog = self.fm.open(_CATALOG_FILE)
+        meta = catalog.get_meta()
+        if not meta:
+            return {}
+        length = int(meta.decode())
+        page_size = self.disk.page_size
+        payload = bytearray()
+        for page_no in range(catalog.npages):
+            payload += catalog.read(page_no)
+        text = bytes(payload[:length]).decode()
+        if not text:
+            return {}
+        return dict(part.split("=", 1) for part in text.split(","))
+
+    # -- catalog persistence ------------------------------------------------
+
+    def _store_kinds(self) -> None:
+        # The kind registry grows with the number of files, so it lives on
+        # the catalog file's data pages; the header meta holds its length.
+        text = ",".join(f"{k}={v}" for k, v in sorted(self._kinds.items()))
+        payload = text.encode()
+        catalog = self.fm.open(_CATALOG_FILE)
+        page_size = self.disk.page_size
+        catalog.ensure_pages(max(1, -(-len(payload) // page_size)))
+        for page_no in range(catalog.npages):
+            piece = payload[page_no * page_size : (page_no + 1) * page_size]
+            buf = catalog.read(page_no)
+            buf[: len(piece)] = piece
+            catalog.mark_dirty(page_no)
+        catalog.set_meta(str(len(payload)).encode())
+
+    def _register(self, name: str, kind: str) -> None:
+        if name in self._kinds:
+            raise CatalogError(f"{name!r} already exists (as {self._kinds[name]})")
+        self._kinds[name] = kind
+        self._store_kinds()
+
+    # -- tables ------------------------------------------------------------------
+
+    def create_heap_table(
+        self, name: str, schema: Schema, extent_pages: int = 16
+    ) -> HeapFile:
+        """Create a slotted-page table (dimension tables)."""
+        self._register(name, "heap")
+        table = HeapFile.create(self.fm, name, schema, extent_pages=extent_pages)
+        self._tables[name] = table
+        return table
+
+    def create_fact_table(self, name: str, schema: Schema) -> FactFile:
+        """Create a §4.4 fixed-record fact file."""
+        self._register(name, "fact")
+        table = FactFile.create(self.fm, name, schema)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> HeapFile | FactFile:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"no table named {name!r}") from None
+
+    def table_names(self) -> list[str]:
+        """All table names, sorted."""
+        return sorted(self._tables)
+
+    # -- indices --------------------------------------------------------------------
+
+    def create_btree_index(
+        self, index_name: str, table_name: str, column: str
+    ) -> BTree:
+        """Build a B-tree mapping ``column`` values → tuple positions.
+
+        For a fact file the position is the tuple number (usable with
+        :meth:`FactFile.get`); for a heap table it is the scan ordinal.
+        """
+        table = self.table(table_name)
+        position = table.schema.index_of(column)
+        self._register(index_name, "btree")
+        tree = BTree.bulk_load(
+            self.fm,
+            index_name,
+            ((row[position], tuple_no) for tuple_no, row in enumerate(table.scan())),
+        )
+        self._btrees[index_name] = tree
+        return tree
+
+    def create_composite_btree_index(
+        self, index_name: str, table_name: str, columns: list[str]
+    ) -> BTree:
+        """Build a multi-attribute B-tree: tuple of columns → position.
+
+        The backing structure of the "skipping multi-attribute B-tree"
+        selection baseline (§4.4); keys compare lexicographically.
+        """
+        table = self.table(table_name)
+        positions = [table.schema.index_of(c) for c in columns]
+        self._register(index_name, "btree")
+        tree = BTree.bulk_load(
+            self.fm,
+            index_name,
+            (
+                (tuple(row[p] for p in positions), tuple_no)
+                for tuple_no, row in enumerate(table.scan())
+            ),
+        )
+        self._btrees[index_name] = tree
+        return tree
+
+    def create_bitmap_index(
+        self, index_name: str, length: int, position_values
+    ) -> BitmapIndex:
+        """Build a bitmap index over an explicit position/value stream.
+
+        Join bitmap indices need values *joined through* the fact table,
+        so the caller supplies the per-position values (see
+        :func:`repro.olap.engine.OlapEngine.build_relational`).
+        """
+        # the position-space length rides in the catalog kind so that
+        # attach() can reconstruct the index
+        self._register(index_name, f"bitmap:{length}")
+        index = BitmapIndex.build(self.fm, index_name, length, position_values)
+        self._bitmaps[index_name] = index
+        return index
+
+    def btree(self, name: str) -> BTree:
+        """Look up a B-tree index by name."""
+        try:
+            return self._btrees[name]
+        except KeyError:
+            raise CatalogError(f"no B-tree index named {name!r}") from None
+
+    def bitmap(self, name: str) -> BitmapIndex:
+        """Look up a bitmap index by name."""
+        try:
+            return self._bitmaps[name]
+        except KeyError:
+            raise CatalogError(f"no bitmap index named {name!r}") from None
+
+    def index_names(self) -> list[str]:
+        """All index names, sorted."""
+        return sorted(list(self._btrees) + list(self._bitmaps))
+
+    # -- measurement support ---------------------------------------------------------
+
+    def cold_cache(self) -> None:
+        """Flush and empty the buffer pool, zero all I/O statistics.
+
+        This is the paper's pre-query ritual ("we flushed both the Unix
+        file system buffer and Paradise buffer pool before running each
+        query").
+        """
+        self.pool.clear()
+        self.reset_stats()
+
+    def reset_stats(self) -> None:
+        """Zero disk and pool counters without disturbing the cache."""
+        self.disk.reset_stats()
+        self.pool.reset_stats()
+
+    def stats(self) -> dict[str, float]:
+        """Merged disk + pool counters since the last reset."""
+        merged = dict(self.disk.counters.snapshot())
+        merged.update(self.pool.counters.snapshot())
+        return merged
+
+    def sim_io_seconds(self) -> float:
+        """Simulated I/O seconds since the last reset."""
+        return self.disk.counters.get("sim_io_s")

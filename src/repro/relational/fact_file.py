@@ -1,0 +1,165 @@
+"""The §4.4 fact file: fixed-length records with positional access.
+
+Fact-table tuples are fixed length, so the fact file packs them
+back-to-back on pages inside contiguous-page extents (provided by
+:class:`~repro.storage.page_file.PageFile`) with **no slot directory**.
+Given a tuple number, the page and offset are arithmetic:
+
+    page  = tuple_no // records_per_page
+    offset = (tuple_no % records_per_page) * record_size
+
+which gives both of the paper's benefits: (1) a fast path from bitmap
+positions to tuples, and (2) zero per-record space overhead.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterable, Iterator
+
+from repro.errors import FileError
+from repro.relational.schema import Schema
+from repro.storage.page_file import FileManager, PageFile
+from repro.util.bitset import Bitset
+
+_META_HEAD = struct.Struct("<qH")  # tuple count, schema text length
+
+
+class FactFile:
+    """A table of fixed-length records addressable by tuple number."""
+
+    def __init__(self, pfile: PageFile, schema: Schema | None = None):
+        self._file = pfile
+        meta = pfile.get_meta()
+        if meta:
+            count, text_len = _META_HEAD.unpack_from(meta, 0)
+            stored = Schema.from_text(
+                meta[_META_HEAD.size : _META_HEAD.size + text_len].decode()
+            )
+            if schema is not None and schema != stored:
+                raise FileError("schema does not match stored table schema")
+            self.schema = stored
+            self._count = count
+        else:
+            if schema is None:
+                raise FileError("new fact file needs a schema")
+            self.schema = schema
+            self._count = 0
+            self._store_meta()
+        page_size = pfile.pool.disk.page_size
+        self.record_size = self.schema.record_size
+        self.records_per_page = page_size // self.record_size
+        if self.records_per_page == 0:
+            raise FileError(
+                f"record of {self.record_size} bytes exceeds page size"
+            )
+
+    @classmethod
+    def create(
+        cls,
+        fm: FileManager,
+        name: str,
+        schema: Schema,
+        extent_pages: int = 16,
+    ) -> "FactFile":
+        """Create an empty named fact file."""
+        return cls(fm.create(name, extent_pages=extent_pages), schema)
+
+    @classmethod
+    def open(cls, fm: FileManager, name: str) -> "FactFile":
+        """Open an existing fact file."""
+        return cls(fm.open(name))
+
+    def _store_meta(self) -> None:
+        text = self.schema.to_text().encode()
+        self._file.set_meta(_META_HEAD.pack(self._count, len(text)) + text)
+
+    def _locate(self, tuple_no: int) -> tuple[int, int]:
+        if not 0 <= tuple_no < self._count:
+            raise FileError(
+                f"tuple number {tuple_no} out of range [0, {self._count})"
+            )
+        page_no, index = divmod(tuple_no, self.records_per_page)
+        return page_no, index * self.record_size
+
+    # -- modification ----------------------------------------------------------
+
+    def append(self, row: tuple) -> int:
+        """Append one row; returns its tuple number."""
+        tuple_no = self._count
+        page_no, index = divmod(tuple_no, self.records_per_page)
+        if page_no == self._file.npages:
+            self._file.append_page()
+        buf = self._file.read(page_no)
+        self.schema.codec.pack_into(buf, index * self.record_size, row)
+        self._file.mark_dirty(page_no)
+        self._count += 1
+        self._store_meta()
+        return tuple_no
+
+    def append_many(self, rows: Iterable[tuple]) -> None:
+        """Bulk append without per-row metadata writes."""
+        codec = self.schema.codec
+        for row in rows:
+            page_no, index = divmod(self._count, self.records_per_page)
+            if page_no == self._file.npages:
+                self._file.append_page()
+            buf = self._file.read(page_no)
+            codec.pack_into(buf, index * self.record_size, row)
+            self._file.mark_dirty(page_no)
+            self._count += 1
+        self._store_meta()
+
+    def update(self, tuple_no: int, row: tuple) -> None:
+        """Overwrite one row in place (records are fixed length)."""
+        page_no, offset = self._locate(tuple_no)
+        buf = self._file.read(page_no)
+        self.schema.codec.pack_into(buf, offset, row)
+        self._file.mark_dirty(page_no)
+
+    # -- access -------------------------------------------------------------------
+
+    def get(self, tuple_no: int) -> tuple:
+        """Fetch one row by tuple number (the bitmap fast path)."""
+        page_no, offset = self._locate(tuple_no)
+        return self.schema.codec.unpack_from(self._file.read(page_no), offset)
+
+    def scan(self) -> Iterator[tuple]:
+        """Yield every row in tuple-number order, one page at a time."""
+        codec = self.schema.codec
+        remaining = self._count
+        for page_no in range(self._file.npages):
+            in_page = min(self.records_per_page, remaining)
+            if in_page <= 0:
+                return
+            buf = self._file.read(page_no)
+            yield from codec.iter_unpack(buf, in_page)
+            remaining -= in_page
+
+    def fetch_bitmap(self, bits: Bitset) -> Iterator[tuple]:
+        """Yield the rows at set bit positions, in position order.
+
+        Positions are grouped by page so each page is read once — the
+        "interface that takes a bitmap and retrieves the tuples
+        corresponding to non-zero bit positions" of §4.4.
+        """
+        if len(bits) != self._count:
+            raise FileError(
+                f"bitmap covers {len(bits)} positions, table has {self._count}"
+            )
+        codec = self.schema.codec
+        current_page = -1
+        buf = None
+        for position in bits.set_positions().tolist():
+            page_no, index = divmod(position, self.records_per_page)
+            if page_no != current_page:
+                buf = self._file.read(page_no)
+                current_page = page_no
+            yield codec.unpack_from(buf, index * self.record_size)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def size_bytes(self) -> int:
+        """On-disk footprint (extents plus the header page)."""
+        return self._file.size_bytes()

@@ -1,0 +1,93 @@
+"""Relational schemas and their record codecs.
+
+A :class:`Schema` is an ordered list of named, typed columns.  Types
+reuse the :class:`~repro.util.records.RecordCodec` names (``int32``,
+``int64``, ``float64``, ``str:N``) so every table — heap or fact file —
+stores fixed-length records; the difference the paper measures is the
+page layout around those records, not the records themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+from repro.util.records import RecordCodec
+
+
+@dataclass(frozen=True)
+class Column:
+    """One named, typed column."""
+
+    name: str
+    ctype: str
+
+    def __post_init__(self):
+        RecordCodec([self.ctype])  # validates the type name
+
+
+class Schema:
+    """An ordered list of columns with a fixed-length record codec."""
+
+    def __init__(self, columns: list[Column] | list[tuple[str, str]]):
+        normalized = [
+            c if isinstance(c, Column) else Column(*c) for c in columns
+        ]
+        names = [c.name for c in normalized]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in {names}")
+        self.columns = tuple(normalized)
+        self._positions = {c.name: i for i, c in enumerate(self.columns)}
+        self.codec = RecordCodec([c.ctype for c in self.columns])
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Column names in order."""
+        return tuple(c.name for c in self.columns)
+
+    def index_of(self, name: str) -> int:
+        """Position of a column; raises :class:`SchemaError` if unknown."""
+        try:
+            return self._positions[name]
+        except KeyError:
+            raise SchemaError(
+                f"no column {name!r}; have {list(self.names)}"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        """Column object by name."""
+        return self.columns[self.index_of(name)]
+
+    @property
+    def record_size(self) -> int:
+        """Bytes of one encoded record."""
+        return self.codec.record_size
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.columns == other.columns
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{c.name}:{c.ctype}" for c in self.columns)
+        return f"Schema({inner})"
+
+    # -- (de)serialization for table metadata --------------------------------
+
+    def to_text(self) -> str:
+        """Compact textual form stored in file metadata."""
+        return ",".join(f"{c.name}={c.ctype}" for c in self.columns)
+
+    @classmethod
+    def from_text(cls, text: str) -> "Schema":
+        """Inverse of :meth:`to_text`."""
+        columns = []
+        for part in text.split(","):
+            name, _, ctype = part.partition("=")
+            if not name or not ctype:
+                raise SchemaError(f"bad schema text {text!r}")
+            columns.append(Column(name, ctype))
+        return cls(columns)

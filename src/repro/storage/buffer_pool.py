@@ -1,0 +1,203 @@
+"""Fixed-capacity LRU buffer pool over a :class:`SimulatedDisk`.
+
+The pool mirrors the paper's Paradise configuration: a 16 MB pool over
+8 KiB pages (2048 frames) by default.  Queries run *cold* — the harness
+calls :meth:`BufferPool.clear` before each measured run, as the paper
+flushed both the Unix file-system cache and the Paradise pool.
+
+Concurrency notes: this is a single-threaded reproduction, so frames
+carry pin counts for correctness of eviction (a pinned frame is never
+evicted) but no latching.
+
+Recovery integration: when constructed with a
+:class:`~repro.storage.wal.WriteAheadLog`, the pool runs a **no-steal /
+redo-only** protocol — dirty frames are not evictable until
+:meth:`commit` logs their after-images; a simulated :meth:`crash` drops
+all frames, and WAL replay restores every committed write.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import BufferPoolError, PageError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.wal import WriteAheadLog
+from repro.util.stats import Counters
+
+DEFAULT_POOL_BYTES = 16 * 1024 * 1024
+
+
+@dataclass
+class _Frame:
+    data: bytearray
+    dirty: bool = False
+    pin_count: int = 0
+    logged: bool = field(default=True, repr=False)
+
+
+class BufferPool:
+    """LRU page cache with pin counts, dirty tracking and statistics."""
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        capacity_bytes: int = DEFAULT_POOL_BYTES,
+        wal: WriteAheadLog | None = None,
+    ):
+        self.disk = disk
+        self.capacity_frames = max(1, capacity_bytes // disk.page_size)
+        self.wal = wal
+        self.counters = Counters()
+        self._frames: OrderedDict[int, _Frame] = OrderedDict()
+
+    # -- core access --------------------------------------------------------
+
+    def get(self, page_id: int) -> bytearray:
+        """Return the in-pool buffer for ``page_id``, faulting it in.
+
+        The returned bytearray is the live frame: mutate it and call
+        :meth:`mark_dirty` to persist, but do not hold it across other
+        pool calls without :meth:`pin`.
+        """
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self._frames.move_to_end(page_id)
+            self.counters.add("pool_hits")
+            return frame.data
+        self.counters.add("pool_misses")
+        self._make_room()
+        data = bytearray(self.disk.read_page(page_id))
+        self._frames[page_id] = _Frame(data)
+        return data
+
+    def new_page(self, count: int = 1) -> int:
+        """Allocate ``count`` fresh zeroed pages; return the first id.
+
+        The first page is installed dirty in the pool without a disk
+        read; callers typically write it immediately.
+        """
+        first = self.disk.allocate(count)
+        self._make_room()
+        self._frames[first] = _Frame(
+            bytearray(self.disk.page_size), dirty=True, logged=False
+        )
+        return first
+
+    def mark_dirty(self, page_id: int) -> None:
+        """Record that the frame for ``page_id`` was modified."""
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise BufferPoolError(
+                f"mark_dirty on page {page_id} which is not resident"
+            )
+        frame.dirty = True
+        frame.logged = False
+
+    def write(self, page_id: int, image: bytes) -> None:
+        """Replace the whole page image (faulting the frame in if needed)."""
+        if len(image) != self.disk.page_size:
+            raise PageError(
+                f"page image is {len(image)} bytes, page size is "
+                f"{self.disk.page_size}"
+            )
+        frame = self._frames.get(page_id)
+        if frame is None:
+            self._make_room()
+            frame = _Frame(bytearray(image), dirty=True, logged=False)
+            self._frames[page_id] = frame
+        else:
+            frame.data[:] = image
+            frame.dirty = True
+            frame.logged = False
+            self._frames.move_to_end(page_id)
+
+    # -- pinning --------------------------------------------------------------
+
+    def pin(self, page_id: int) -> bytearray:
+        """Fault in and pin a page; pinned frames are never evicted."""
+        data = self.get(page_id)
+        self._frames[page_id].pin_count += 1
+        return data
+
+    def unpin(self, page_id: int) -> None:
+        """Release one pin on ``page_id``."""
+        frame = self._frames.get(page_id)
+        if frame is None or frame.pin_count <= 0:
+            raise BufferPoolError(f"unpin of page {page_id} not pinned")
+        frame.pin_count -= 1
+
+    # -- eviction / flushing -----------------------------------------------------
+
+    def _evictable(self, frame: _Frame) -> bool:
+        if frame.pin_count > 0:
+            return False
+        if self.wal is not None and frame.dirty and not frame.logged:
+            return False  # no-steal: unlogged dirty pages stay resident
+        return True
+
+    def _make_room(self) -> None:
+        while len(self._frames) >= self.capacity_frames:
+            victim_id = None
+            for page_id, frame in self._frames.items():  # LRU order
+                if self._evictable(frame):
+                    victim_id = page_id
+                    break
+            if victim_id is None:
+                raise BufferPoolError(
+                    "no evictable frame: all pages pinned or dirty-unlogged "
+                    "(call commit() when running with a WAL)"
+                )
+            frame = self._frames.pop(victim_id)
+            if frame.dirty:
+                self.counters.add("pool_evict_dirty")
+                self.disk.write_page(victim_id, bytes(frame.data))
+            else:
+                self.counters.add("pool_evict_clean")
+
+    def flush_all(self) -> None:
+        """Write every dirty frame to disk (frames stay resident)."""
+        if self.wal is not None:
+            self.commit()
+        for page_id, frame in self._frames.items():
+            if frame.dirty:
+                self.disk.write_page(page_id, bytes(frame.data))
+                frame.dirty = False
+
+    def clear(self) -> None:
+        """Flush everything and drop all frames (the cold-cache reset)."""
+        pinned = [pid for pid, f in self._frames.items() if f.pin_count > 0]
+        if pinned:
+            raise BufferPoolError(f"cannot clear pool: pages {pinned} pinned")
+        self.flush_all()
+        self._frames.clear()
+
+    # -- transactions (redo-only WAL) ------------------------------------------
+
+    def commit(self) -> None:
+        """Log after-images of all unlogged dirty frames, then a COMMIT."""
+        if self.wal is None:
+            return
+        logged_any = False
+        for page_id, frame in self._frames.items():
+            if frame.dirty and not frame.logged:
+                self.wal.log_page(page_id, bytes(frame.data))
+                frame.logged = True
+                logged_any = True
+        if logged_any:
+            self.wal.log_commit()
+
+    def crash(self) -> None:
+        """Simulate a crash: every frame is lost, nothing is flushed."""
+        self._frames.clear()
+
+    # -- statistics ------------------------------------------------------------
+
+    def resident_pages(self) -> int:
+        """Number of frames currently cached."""
+        return len(self._frames)
+
+    def reset_stats(self) -> None:
+        """Zero pool counters (query boundary)."""
+        self.counters.reset()

@@ -1,0 +1,120 @@
+"""Large-object store: SHORE's role for array chunks.
+
+Each chunk of a Paradise multi-dimensional array is "stored as a SHORE
+large object" (§3.1).  A :class:`LargeObjectStore` provides that
+service: variable-length byte objects identified by a dense integer OID,
+each laid out on a run of contiguous disk pages, with a page-resident
+directory of ``(first_page, length)`` entries.
+
+Objects created consecutively get consecutive page runs, so an array
+whose chunks are created in chunk-number order is "laid out on the disk
+in the same order as their chunk number order" (§4.2) — the property the
+chunk-ordered cross-product scan exploits.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import FileError
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.page_file import FileManager, PageFile
+
+_DIR_ENTRY = struct.Struct("<qq")  # first_page_id, length
+_META = struct.Struct("<q")  # object count
+
+
+class LargeObjectStore:
+    """Variable-length blobs on contiguous page runs, with a paged directory."""
+
+    def __init__(self, file_manager: FileManager, name: str):
+        self.pool: BufferPool = file_manager.pool
+        self.page_size = self.pool.disk.page_size
+        self._entries_per_page = self.page_size // _DIR_ENTRY.size
+        if file_manager.exists(name):
+            self._directory: PageFile = file_manager.open(name)
+            (self._count,) = _META.unpack_from(self._directory.get_meta(), 0)
+        else:
+            self._directory = file_manager.create(name)
+            self._count = 0
+            self._directory.set_meta(_META.pack(0))
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- directory access --------------------------------------------------------
+
+    def _entry_location(self, oid: int) -> tuple[int, int]:
+        page_no, index = divmod(oid, self._entries_per_page)
+        return page_no, index * _DIR_ENTRY.size
+
+    def _read_entry(self, oid: int) -> tuple[int, int]:
+        if not 0 <= oid < self._count:
+            raise FileError(f"OID {oid} out of range [0, {self._count})")
+        page_no, offset = self._entry_location(oid)
+        buf = self._directory.read(page_no)
+        return _DIR_ENTRY.unpack_from(buf, offset)
+
+    def _write_entry(self, oid: int, first_page: int, length: int) -> None:
+        page_no, offset = self._entry_location(oid)
+        self._directory.ensure_pages(page_no + 1)
+        buf = self._directory.read(page_no)
+        _DIR_ENTRY.pack_into(buf, offset, first_page, length)
+        self._directory.mark_dirty(page_no)
+
+    # -- object operations ----------------------------------------------------------
+
+    def _data_pages(self, length: int) -> int:
+        return max(1, -(-length // self.page_size))
+
+    def create(self, payload: bytes) -> int:
+        """Store a new object; returns its OID."""
+        # Reserve the directory page first so directory extents never
+        # interleave with object data: objects created back to back then
+        # occupy consecutive disk pages (the §4.2 sequential-chunk layout).
+        dir_page, _ = self._entry_location(self._count)
+        self._directory.ensure_pages(dir_page + 1)
+        npages = self._data_pages(len(payload))
+        first = self.pool.disk.allocate(npages)
+        for i in range(npages):
+            start = i * self.page_size
+            piece = payload[start : start + self.page_size]
+            image = piece + bytes(self.page_size - len(piece))
+            self.pool.write(first + i, image)
+        oid = self._count
+        self._write_entry(oid, first, len(payload))
+        self._count += 1
+        self._directory.set_meta(_META.pack(self._count))
+        return oid
+
+    def read(self, oid: int) -> bytes:
+        """Fetch an object's full payload."""
+        first, length = self._read_entry(oid)
+        npages = self._data_pages(length)
+        parts = [self.pool.get(first + i) for i in range(npages)]
+        return b"".join(bytes(p) for p in parts)[:length]
+
+    def length(self, oid: int) -> int:
+        """Stored payload length of an object."""
+        return self._read_entry(oid)[1]
+
+    def object_pages(self, oid: int) -> int:
+        """Number of disk pages the object occupies."""
+        return self._data_pages(self._read_entry(oid)[1])
+
+    def first_page(self, oid: int) -> int:
+        """Physical id of the object's first page (layout inspection)."""
+        return self._read_entry(oid)[0]
+
+    # -- footprint ------------------------------------------------------------------
+
+    def data_bytes(self) -> int:
+        """Sum of stored payload lengths."""
+        return sum(self._read_entry(oid)[1] for oid in range(self._count))
+
+    def footprint_bytes(self) -> int:
+        """On-disk footprint: data page runs plus the directory file."""
+        data = sum(
+            self._data_pages(self._read_entry(oid)[1]) for oid in range(self._count)
+        )
+        return data * self.page_size + self._directory.size_bytes()

@@ -1,0 +1,85 @@
+"""Minimal table-level reader/writer lock manager.
+
+Paradise inherits full concurrency control from SHORE; the paper's
+single-user experiments never exercise it.  We keep the substrate
+honest with a small lock table: shared/exclusive modes per named
+resource, upgrade support, and conflict detection.  The reproduction is
+single-threaded, so a conflicting request raises
+:class:`~repro.errors.StorageError` immediately instead of blocking.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+
+SHARED = "S"
+EXCLUSIVE = "X"
+
+
+@dataclass
+class _LockState:
+    holders: dict[str, str] = field(default_factory=dict)  # owner -> mode
+
+
+class LockManager:
+    """Shared/exclusive locks keyed by resource name."""
+
+    def __init__(self) -> None:
+        self._table: dict[str, _LockState] = {}
+
+    def acquire(self, resource: str, mode: str, owner: str) -> None:
+        """Acquire (or upgrade) a lock; raises on conflict."""
+        if mode not in (SHARED, EXCLUSIVE):
+            raise StorageError(f"unknown lock mode {mode!r}")
+        state = self._table.setdefault(resource, _LockState())
+        held = state.holders.get(owner)
+        if held == EXCLUSIVE or held == mode:
+            return
+        others = {o: m for o, m in state.holders.items() if o != owner}
+        if mode == EXCLUSIVE and others:
+            raise StorageError(
+                f"{owner!r} cannot take X lock on {resource!r}: held by "
+                f"{sorted(others)}"
+            )
+        if mode == SHARED and any(m == EXCLUSIVE for m in others.values()):
+            raise StorageError(
+                f"{owner!r} cannot take S lock on {resource!r}: X-locked"
+            )
+        state.holders[owner] = mode
+
+    def release(self, resource: str, owner: str) -> None:
+        """Release ``owner``'s lock on ``resource``."""
+        state = self._table.get(resource)
+        if state is None or owner not in state.holders:
+            raise StorageError(
+                f"{owner!r} holds no lock on {resource!r}"
+            )
+        del state.holders[owner]
+        if not state.holders:
+            del self._table[resource]
+
+    def release_all(self, owner: str) -> None:
+        """Release every lock held by ``owner`` (end of transaction)."""
+        for resource in [
+            r for r, s in self._table.items() if owner in s.holders
+        ]:
+            self.release(resource, owner)
+
+    def mode(self, resource: str, owner: str) -> str | None:
+        """Mode ``owner`` holds on ``resource`` (``None`` if unlocked)."""
+        state = self._table.get(resource)
+        if state is None:
+            return None
+        return state.holders.get(owner)
+
+    @contextmanager
+    def locked(self, resource: str, mode: str, owner: str):
+        """Context manager holding a lock for the duration of a block."""
+        self.acquire(resource, mode, owner)
+        try:
+            yield
+        finally:
+            self.release(resource, owner)

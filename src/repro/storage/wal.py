@@ -1,0 +1,122 @@
+"""Redo-only write-ahead log and crash recovery.
+
+SHORE gave Paradise recovery "for free"; the paper never benchmarks it
+but the substrate is incomplete without it.  We implement the simplest
+sound protocol for a no-steal buffer pool:
+
+- :meth:`WriteAheadLog.log_page` appends a full after-image record,
+- :meth:`WriteAheadLog.log_commit` appends a commit record making all
+  preceding page records durable,
+- :func:`recover` replays committed page records (in LSN order) into
+  the disk after a crash,
+- :meth:`WriteAheadLog.checkpoint` truncates the log once the buffer
+  pool has flushed (called by the pool's owner).
+
+Log records live in memory, mirroring how the simulated disk works; the
+format is still length-prefixed binary so the serialization path is
+exercised and testable.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import WALError
+
+_RECORD_HEADER = struct.Struct("<qbqi")  # lsn, kind, page_id, payload_len
+_KIND_PAGE = 1
+_KIND_COMMIT = 2
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One WAL record: a page after-image or a commit marker."""
+
+    lsn: int
+    kind: int
+    page_id: int
+    image: bytes
+
+    def encode(self) -> bytes:
+        header = _RECORD_HEADER.pack(
+            self.lsn, self.kind, self.page_id, len(self.image)
+        )
+        return header + self.image
+
+    @classmethod
+    def decode(cls, payload: bytes, offset: int) -> tuple["LogRecord", int]:
+        if offset + _RECORD_HEADER.size > len(payload):
+            raise WALError("truncated WAL record header")
+        lsn, kind, page_id, length = _RECORD_HEADER.unpack_from(payload, offset)
+        start = offset + _RECORD_HEADER.size
+        if start + length > len(payload):
+            raise WALError("truncated WAL record payload")
+        image = payload[start : start + length]
+        return cls(lsn, kind, page_id, image), start + length
+
+
+class WriteAheadLog:
+    """Append-only log of page after-images and commit markers."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._next_lsn = 0
+
+    def _append(self, kind: int, page_id: int, image: bytes) -> int:
+        record = LogRecord(self._next_lsn, kind, page_id, image)
+        self._buffer += record.encode()
+        self._next_lsn += 1
+        return record.lsn
+
+    def log_page(self, page_id: int, image: bytes) -> int:
+        """Append a page after-image; returns its LSN."""
+        return self._append(_KIND_PAGE, page_id, image)
+
+    def log_commit(self) -> int:
+        """Append a commit marker; returns its LSN."""
+        return self._append(_KIND_COMMIT, 0, b"")
+
+    def records(self) -> list[LogRecord]:
+        """Decode the whole log (oldest first)."""
+        out = []
+        offset = 0
+        while offset < len(self._buffer):
+            record, offset = LogRecord.decode(bytes(self._buffer), offset)
+            out.append(record)
+        return out
+
+    def checkpoint(self) -> None:
+        """Truncate the log; caller guarantees the disk is up to date."""
+        self._buffer.clear()
+
+    def size_bytes(self) -> int:
+        """Current encoded size of the log."""
+        return len(self._buffer)
+
+
+def recover(disk, wal: WriteAheadLog) -> int:
+    """Replay committed page after-images into ``disk``.
+
+    Records after the last commit marker belong to an unfinished
+    transaction and are discarded (redo-only, no-steal ⇒ nothing to
+    undo).  Returns the number of pages replayed.
+    """
+    records = wal.records()
+    last_commit = -1
+    for i, record in enumerate(records):
+        if record.kind == _KIND_COMMIT:
+            last_commit = i
+    replayed = 0
+    latest: dict[int, bytes] = {}
+    for record in records[: last_commit + 1]:
+        if record.kind == _KIND_PAGE:
+            latest[record.page_id] = record.image
+    for page_id, image in latest.items():
+        if page_id >= disk.num_pages:
+            # The allocation happened before the crash but only the WAL
+            # remembers it; re-extend the volume.
+            disk.allocate(page_id - disk.num_pages + 1)
+        disk.write_page(page_id, image)
+        replayed += 1
+    return replayed

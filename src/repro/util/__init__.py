@@ -1,0 +1,21 @@
+"""Low-level utilities shared by every subsystem.
+
+- :mod:`repro.util.bitset` — packed bitsets (the payload of bitmap indices).
+- :mod:`repro.util.lzw` — LZW codec (Welch 1984), used by Paradise array tiles.
+- :mod:`repro.util.records` — fixed-length binary record codecs.
+- :mod:`repro.util.stats` — counters and timers for I/O / CPU accounting.
+"""
+
+from repro.util.bitset import Bitset
+from repro.util.lzw import lzw_compress, lzw_decompress
+from repro.util.records import RecordCodec
+from repro.util.stats import Counters, Timer
+
+__all__ = [
+    "Bitset",
+    "lzw_compress",
+    "lzw_decompress",
+    "RecordCodec",
+    "Counters",
+    "Timer",
+]

@@ -1,0 +1,151 @@
+"""LZW compression (Welch 1984).
+
+Paradise's generic multi-dimensional array type compresses each tile
+with LZW; the paper's OLAP Array ADT replaces that with chunk-offset
+compression (§3.3).  We implement LZW so the compression ablation
+(`benchmarks/test_ablation_compression.py`) can compare the two on the
+same chunks.
+
+The codec uses variable-width codes starting at 9 bits, growing to
+``_MAX_CODE_BITS``; when the dictionary fills, it emits a CLEAR code and
+restarts, matching the classic Unix ``compress`` behaviour closely
+enough for a storage study.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompressionError
+
+_MIN_CODE_BITS = 9
+_MAX_CODE_BITS = 16
+_CLEAR_CODE = 256
+_FIRST_FREE_CODE = 257
+
+
+class _BitWriter:
+    """Append integers of varying bit widths into a byte stream (LSB first)."""
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write(self, value: int, width: int) -> None:
+        self._acc |= value << self._nbits
+        self._nbits += width
+        while self._nbits >= 8:
+            self._out.append(self._acc & 0xFF)
+            self._acc >>= 8
+            self._nbits -= 8
+
+    def getvalue(self) -> bytes:
+        if self._nbits:
+            self._out.append(self._acc & 0xFF)
+            self._acc = 0
+            self._nbits = 0
+        return bytes(self._out)
+
+
+class _BitReader:
+    """Read integers of varying bit widths from a byte stream (LSB first)."""
+
+    def __init__(self, payload: bytes) -> None:
+        self._payload = payload
+        self._pos = 0
+        self._acc = 0
+        self._nbits = 0
+
+    def read(self, width: int) -> int | None:
+        while self._nbits < width:
+            if self._pos >= len(self._payload):
+                return None
+            self._acc |= self._payload[self._pos] << self._nbits
+            self._pos += 1
+            self._nbits += 8
+        value = self._acc & ((1 << width) - 1)
+        self._acc >>= width
+        self._nbits -= width
+        return value
+
+
+def lzw_compress(data: bytes) -> bytes:
+    """Compress ``data`` with LZW, returning the code stream."""
+    if not data:
+        return b""
+    table: dict[bytes, int] = {bytes([i]): i for i in range(256)}
+    next_code = _FIRST_FREE_CODE
+    width = _MIN_CODE_BITS
+    writer = _BitWriter()
+
+    prefix = data[:1]
+    for byte in data[1:]:
+        candidate = prefix + bytes([byte])
+        if candidate in table:
+            prefix = candidate
+            continue
+        writer.write(table[prefix], width)
+        if next_code < (1 << _MAX_CODE_BITS):
+            table[candidate] = next_code
+            next_code += 1
+            if next_code > (1 << width) and width < _MAX_CODE_BITS:
+                width += 1
+        else:
+            writer.write(_CLEAR_CODE, width)
+            table = {bytes([i]): i for i in range(256)}
+            next_code = _FIRST_FREE_CODE
+            width = _MIN_CODE_BITS
+        prefix = bytes([byte])
+    writer.write(table[prefix], width)
+    return writer.getvalue()
+
+
+def lzw_decompress(payload: bytes) -> bytes:
+    """Decompress an :func:`lzw_compress` code stream."""
+    if not payload:
+        return b""
+    reader = _BitReader(payload)
+    width = _MIN_CODE_BITS
+
+    def fresh_table() -> list[bytes]:
+        return [bytes([i]) for i in range(256)] + [b""]  # slot 256 = CLEAR
+
+    table = fresh_table()
+    out = bytearray()
+
+    code = reader.read(width)
+    if code is None or code >= 256:
+        raise CompressionError("LZW stream does not start with a literal")
+    previous = table[code]
+    out += previous
+
+    while True:
+        code = reader.read(width)
+        if code is None:
+            return bytes(out)
+        if code == _CLEAR_CODE:
+            table = fresh_table()
+            width = _MIN_CODE_BITS
+            code = reader.read(width)
+            if code is None:
+                return bytes(out)
+            if code >= 256:
+                raise CompressionError("LZW CLEAR not followed by a literal")
+            previous = table[code]
+            out += previous
+            continue
+        if code < len(table):
+            entry = table[code]
+        elif code == len(table):
+            entry = previous + previous[:1]  # the KwKwK special case
+        else:
+            raise CompressionError(f"LZW code {code} out of range")
+        out += entry
+        if len(table) < (1 << _MAX_CODE_BITS):
+            table.append(previous + entry[:1])
+            # The encoder bumps its width when next_code exceeds the
+            # current code range; mirror that exactly.
+            if len(table) + 1 > (1 << width) and width < _MAX_CODE_BITS:
+                width += 1
+        else:
+            raise CompressionError("LZW table overflow without CLEAR code")
+        previous = entry

@@ -1,0 +1,110 @@
+"""Fixed-length binary record codecs.
+
+The fact file (§4.4) depends on every record having the same byte
+length, so tuple number → (extent, page, offset) is pure arithmetic.
+:class:`RecordCodec` packs a heterogeneous tuple of ints / floats /
+fixed-width strings into exactly ``record_size`` bytes using
+:mod:`struct`, and unpacks whole pages at a time for scans.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterator, Sequence
+
+from repro.errors import SchemaError
+
+_FORMATS = {
+    "int32": "i",
+    "int64": "q",
+    "float64": "d",
+}
+
+
+class RecordCodec:
+    """Pack/unpack fixed-length records described by a list of type names.
+
+    Supported field types: ``int32``, ``int64``, ``float64`` and
+    ``str:N`` (UTF-8, zero-padded to N bytes; values longer than N are
+    rejected, not truncated).
+    """
+
+    def __init__(self, field_types: Sequence[str]):
+        if not field_types:
+            raise SchemaError("a record needs at least one field")
+        self.field_types = tuple(field_types)
+        fmt = "<"
+        self._string_widths: list[int | None] = []
+        for ftype in field_types:
+            if ftype in _FORMATS:
+                fmt += _FORMATS[ftype]
+                self._string_widths.append(None)
+            elif ftype.startswith("str:"):
+                width = int(ftype.split(":", 1)[1])
+                if width <= 0:
+                    raise SchemaError(f"string width must be positive: {ftype}")
+                fmt += f"{width}s"
+                self._string_widths.append(width)
+            else:
+                raise SchemaError(f"unknown field type {ftype!r}")
+        self._struct = struct.Struct(fmt)
+
+    @property
+    def record_size(self) -> int:
+        """Encoded size of one record in bytes."""
+        return self._struct.size
+
+    def _encode_fields(self, values: Sequence) -> list:
+        if len(values) != len(self.field_types):
+            raise SchemaError(
+                f"record has {len(values)} values, codec expects "
+                f"{len(self.field_types)}"
+            )
+        encoded = []
+        for value, width in zip(values, self._string_widths):
+            if width is None:
+                encoded.append(value)
+            else:
+                raw = value.encode("utf-8")
+                if len(raw) > width:
+                    raise SchemaError(
+                        f"string {value!r} exceeds fixed width {width}"
+                    )
+                encoded.append(raw)
+        return encoded
+
+    def _decode_fields(self, raw: tuple) -> tuple:
+        values = []
+        for value, width in zip(raw, self._string_widths):
+            if width is None:
+                values.append(value)
+            else:
+                values.append(value.rstrip(b"\x00").decode("utf-8"))
+        return tuple(values)
+
+    def pack(self, values: Sequence) -> bytes:
+        """Encode one record to exactly :attr:`record_size` bytes."""
+        return self._struct.pack(*self._encode_fields(values))
+
+    def pack_into(self, buffer, offset: int, values: Sequence) -> None:
+        """Encode one record into ``buffer`` at ``offset``."""
+        self._struct.pack_into(buffer, offset, *self._encode_fields(values))
+
+    def unpack(self, payload: bytes) -> tuple:
+        """Decode one record."""
+        return self._decode_fields(self._struct.unpack(payload))
+
+    def unpack_from(self, buffer, offset: int = 0) -> tuple:
+        """Decode one record from ``buffer`` at ``offset``."""
+        return self._decode_fields(self._struct.unpack_from(buffer, offset))
+
+    def iter_unpack(self, buffer, count: int, offset: int = 0) -> Iterator[tuple]:
+        """Decode ``count`` consecutive records starting at ``offset``.
+
+        This is the page-scan fast path: one :func:`struct.iter_unpack`
+        over a memoryview slice instead of ``count`` separate calls.
+        """
+        size = self._struct.size
+        view = memoryview(buffer)[offset : offset + count * size]
+        for raw in self._struct.iter_unpack(view):
+            yield self._decode_fields(raw)

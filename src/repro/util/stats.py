@@ -1,0 +1,69 @@
+"""Counters and timers used for I/O and CPU accounting.
+
+The performance study never sleeps to simulate a disk; instead the
+storage layer *accounts* simulated I/O seconds into a :class:`Counters`
+bag while wall-clock CPU time is measured with :class:`Timer`.  Reports
+combine the two (see ``repro.bench.harness``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+class Counters:
+    """A bag of named numeric counters.
+
+    Unknown names read as zero, so callers can add domain-specific
+    counters (``chunks_read``, ``btree_probes``, ...) without
+    registration.
+    """
+
+    def __init__(self) -> None:
+        self._values: dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment ``name`` by ``amount``."""
+        self._values[name] += amount
+
+    def get(self, name: str) -> float:
+        """Current value of ``name`` (0 if never incremented)."""
+        return self._values.get(name, 0.0)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._values.clear()
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict copy of all non-zero counters."""
+        return {k: v for k, v in self._values.items() if v}
+
+    def merge(self, other: "Counters") -> None:
+        """Add every counter of ``other`` into this bag."""
+        for name, value in other._values.items():
+            self._values[name] += value
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._values.items()))
+        return f"Counters({inner})"
+
+
+@dataclass
+class Timer:
+    """Context manager measuring wall-clock elapsed seconds."""
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed += time.perf_counter() - self._start
+
+    def reset(self) -> None:
+        """Zero the accumulated elapsed time."""
+        self.elapsed = 0.0

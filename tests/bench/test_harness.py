@@ -1,0 +1,99 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.bench import (
+    bench_settings,
+    build_cube_engine,
+    query1_for,
+    query2_for,
+    query3_for,
+    run_cold,
+)
+from repro.data import SyntheticCubeConfig
+
+TINY = SyntheticCubeConfig(
+    name="tiny",
+    dim_sizes=(6, 6, 6, 10),
+    n_valid=150,
+    chunk_shape=(3, 3, 3, 5),
+    fanout1=3,
+)
+
+
+class TestSettings:
+    def test_scales_have_settings(self):
+        for scale in ("small", "medium", "paper"):
+            settings = bench_settings(scale)
+            assert settings.page_size > 0
+            assert settings.pool_bytes > settings.page_size
+            assert settings.disk_model.seek_ms == 10.0
+
+    def test_page_size_grows_with_scale(self):
+        assert (
+            bench_settings("small").page_size
+            < bench_settings("medium").page_size
+            < bench_settings("paper").page_size
+        )
+
+    def test_env_default_is_medium(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert bench_settings().scale == "medium"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert bench_settings().scale == "small"
+
+
+class TestQueries:
+    def test_query1_groups_every_dimension(self):
+        q = query1_for(TINY)
+        assert q.group_dims == ("dim0", "dim1", "dim2", "dim3")
+        assert q.selections == ()
+
+    def test_query2_selects_every_dimension(self):
+        q = query2_for(TINY)
+        assert len(q.selections) == 4
+        assert all(s.values == ("AA1",) for s in q.selections)
+
+    def test_query3_drops_the_fourth_dimension(self):
+        q = query3_for(TINY)
+        assert q.group_dims == ("dim0", "dim1", "dim2")
+        assert len(q.selections) == 3
+
+
+class TestBuildAndRun:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return build_cube_engine(TINY, bench_settings("small"))
+
+    def test_both_designs_built(self, engine):
+        state = engine.cube("tiny")
+        assert state.array is not None
+        assert state.fact is not None
+        assert len(state.fact) == TINY.n_valid
+
+    def test_bitmaps_on_h1_only(self, engine):
+        state = engine.cube("tiny")
+        assert state.bitmap_attrs == {
+            (f"dim{d}", f"h{d}1") for d in range(4)
+        }
+
+    def test_run_cold_zeroes_then_measures(self, engine):
+        result = run_cold(engine, query1_for(TINY), "array")
+        assert result.sim_io_s > 0
+        assert result.rows
+
+    def test_backends_agree_on_all_three_queries(self, engine):
+        for query in (query1_for(TINY), query2_for(TINY), query3_for(TINY)):
+            array = run_cold(engine, query, "array")
+            relational = run_cold(
+                engine, query, "bitmap" if query.selections else "starjoin"
+            )
+            assert array.rows == relational.rows
+
+    def test_array_only_build(self):
+        engine = build_cube_engine(
+            TINY, bench_settings("small"), backends=("array",)
+        )
+        assert engine.cube("tiny").fact is None

@@ -1,0 +1,20 @@
+"""Shared fixtures: a small simulated disk / buffer pool / file manager."""
+
+import pytest
+
+from repro.storage import BufferPool, FileManager, SimulatedDisk
+
+
+@pytest.fixture
+def disk():
+    return SimulatedDisk(page_size=1024)
+
+
+@pytest.fixture
+def pool(disk):
+    return BufferPool(disk, capacity_bytes=64 * 1024)
+
+
+@pytest.fixture
+def fm(pool):
+    return FileManager(pool)

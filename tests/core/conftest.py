@@ -1,0 +1,79 @@
+"""Shared cube fixture and reference oracle for the core tests."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.builder import DimensionData, build_olap_array
+from repro.storage import BufferPool, FileManager, SimulatedDisk
+
+SIZES = (6, 5, 7)
+FANOUTS = (2, 3, 2)
+
+
+def h1(d, key):
+    return f"A{d}{key % FANOUTS[d]}"
+
+
+def h2(d, key):
+    return f"B{d}{(key % FANOUTS[d]) % 2}"
+
+
+def make_dimensions(sizes=SIZES):
+    return [
+        DimensionData(
+            f"dim{d}",
+            list(range(size)),
+            {
+                "h1": [h1(d, k) for k in range(size)],
+                "h2": [h2(d, k) for k in range(size)],
+            },
+        )
+        for d, size in enumerate(sizes)
+    ]
+
+
+def make_facts(sizes=SIZES, density=0.5, seed=42):
+    rng = random.Random(seed)
+    cells = [
+        c
+        for c in itertools.product(*[range(s) for s in sizes])
+        if rng.random() < density
+    ]
+    return [c + (rng.randint(1, 99),) for c in cells]
+
+
+@pytest.fixture
+def fm_big():
+    disk = SimulatedDisk(page_size=1024)
+    return FileManager(BufferPool(disk, capacity_bytes=512 * 1024))
+
+
+@pytest.fixture
+def cube(fm_big):
+    facts = make_facts()
+    array = build_olap_array(
+        fm_big, "cube", make_dimensions(), facts, chunk_shape=(3, 2, 4)
+    )
+    return array, facts
+
+
+def reference_rows(facts, group_fns, selector=None, measure_index=None):
+    """Oracle consolidation over raw fact tuples.
+
+    ``group_fns`` holds one function per dimension mapping a key to its
+    group value, or ``None`` for dropped dimensions.
+    """
+    ndim = len(group_fns)
+    if measure_index is None:
+        measure_index = ndim
+    groups = {}
+    for row in facts:
+        if selector is not None and not selector(row):
+            continue
+        key = tuple(
+            fn(row[d]) for d, fn in enumerate(group_fns) if fn is not None
+        )
+        groups[key] = groups.get(key, 0) + row[measure_index]
+    return sorted(k + (v,) for k, v in groups.items())

@@ -1,0 +1,193 @@
+"""Tests for the §4.1 array consolidation algorithm."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConsolidationSpec, OLAPArray, consolidate
+from repro.core.builder import build_olap_array
+from repro.errors import QueryError
+from repro.util.stats import Counters
+
+from .conftest import (
+    FANOUTS,
+    SIZES,
+    h1,
+    h2,
+    make_dimensions,
+    make_facts,
+    reference_rows,
+)
+
+LEVEL1 = [ConsolidationSpec.level("h1")] * 3
+
+
+@pytest.mark.parametrize("mode", ["interpreted", "vectorized"])
+class TestBothModes:
+    def test_group_by_h1(self, cube, mode):
+        array, facts = cube
+        out = consolidate(array, LEVEL1, mode=mode)
+        assert out.rows == reference_rows(
+            facts, [lambda k, d=d: h1(d, k) for d in range(3)]
+        )
+
+    def test_group_by_h2(self, cube, mode):
+        array, facts = cube
+        specs = [ConsolidationSpec.level("h2")] * 3
+        out = consolidate(array, specs, mode=mode)
+        assert out.rows == reference_rows(
+            facts, [lambda k, d=d: h2(d, k) for d in range(3)]
+        )
+
+    def test_mixed_levels(self, cube, mode):
+        array, facts = cube
+        specs = [
+            ConsolidationSpec.level("h1"),
+            ConsolidationSpec.level("h2"),
+            ConsolidationSpec.key(),
+        ]
+        out = consolidate(array, specs, mode=mode)
+        assert out.rows == reference_rows(
+            facts,
+            [lambda k: h1(0, k), lambda k: h2(1, k), lambda k: k],
+        )
+
+    def test_drop_dimension(self, cube, mode):
+        array, facts = cube
+        specs = [
+            ConsolidationSpec.level("h1"),
+            ConsolidationSpec.drop(),
+            ConsolidationSpec.level("h1"),
+        ]
+        out = consolidate(array, specs, mode=mode)
+        assert out.rows == reference_rows(
+            facts, [lambda k: h1(0, k), None, lambda k: h1(2, k)]
+        )
+
+    def test_total_preserved(self, cube, mode):
+        array, facts = cube
+        out = consolidate(array, LEVEL1, mode=mode)
+        assert sum(r[-1] for r in out.rows) == sum(f[3] for f in facts)
+
+    def test_count_aggregate(self, cube, mode):
+        array, facts = cube
+        out = consolidate(array, LEVEL1, aggregate="count", mode=mode)
+        assert sum(r[-1] for r in out.rows) == len(facts)
+
+    def test_min_max_aggregates(self, cube, mode):
+        array, facts = cube
+        specs = [ConsolidationSpec.drop()] * 2 + [ConsolidationSpec.level("h1")]
+        low = consolidate(array, specs, aggregate="min", mode=mode)
+        high = consolidate(array, specs, aggregate="max", mode=mode)
+        for (group, lo), (_, hi) in zip(low.rows, high.rows):
+            matching = [f[3] for f in facts if h1(2, f[2]) == group]
+            assert lo == min(matching)
+            assert hi == max(matching)
+
+    def test_counters(self, cube, mode):
+        array, facts = cube
+        counters = Counters()
+        out = consolidate(array, LEVEL1, mode=mode, counters=counters)
+        assert counters.get("cells_scanned") == len(facts)
+        assert counters.get("result_cells") == len(out.rows)
+        assert counters.get("chunks_read") > 0
+
+
+class TestModeEquivalence:
+    def test_modes_agree_on_random_cubes(self, fm_big):
+        for seed in (1, 7, 13):
+            facts = make_facts(density=0.3, seed=seed)
+            array = build_olap_array(
+                fm_big, f"c{seed}", make_dimensions(), facts, (3, 2, 4)
+            )
+            a = consolidate(array, LEVEL1, mode="interpreted")
+            b = consolidate(array, LEVEL1, mode="vectorized")
+            assert a.rows == b.rows
+
+    def test_avg_agrees_between_modes(self, cube):
+        array, _ = cube
+        a = consolidate(array, LEVEL1, aggregate="avg", mode="interpreted")
+        b = consolidate(array, LEVEL1, aggregate="avg", mode="vectorized")
+        for ra, rb in zip(a.rows, b.rows):
+            assert ra[:-1] == rb[:-1]
+            assert ra[-1] == pytest.approx(rb[-1])
+
+
+class TestValidation:
+    def test_spec_arity(self, cube):
+        array, _ = cube
+        with pytest.raises(QueryError):
+            consolidate(array, LEVEL1[:2])
+
+    def test_unknown_mode(self, cube):
+        array, _ = cube
+        with pytest.raises(QueryError):
+            consolidate(array, LEVEL1, mode="gpu")
+
+    def test_unknown_spec_kind(self, cube):
+        array, _ = cube
+        with pytest.raises(QueryError):
+            consolidate(array, [ConsolidationSpec("weird")] * 3)
+
+    def test_aggregate_arity(self, cube):
+        array, _ = cube
+        with pytest.raises(QueryError):
+            consolidate(array, LEVEL1, aggregate=["sum", "sum"])
+
+    def test_empty_array_gives_no_rows(self, fm_big):
+        array = build_olap_array(
+            fm_big, "empty", make_dimensions(), [], (3, 2, 4)
+        )
+        assert consolidate(array, LEVEL1).rows == []
+
+
+class TestMaterialize:
+    def test_result_is_a_persisted_array(self, cube, fm_big):
+        array, facts = cube
+        out = consolidate(array, LEVEL1, materialize_as="cube.h1")
+        assert out.result_array is not None
+        reopened = OLAPArray.open(fm_big, "cube.h1")
+        assert reopened.geometry.shape == tuple(FANOUTS)
+        assert reopened.n_valid == len(out.rows)
+        for row in out.rows:
+            assert reopened.get_cell(row[:3])[0] == row[3]
+
+    def test_materialized_result_consolidates_again(self, cube, fm_big):
+        # roll up the h1 result with a second consolidation (drop two dims)
+        array, facts = cube
+        out = consolidate(array, LEVEL1, materialize_as="cube.step1")
+        second = consolidate(
+            out.result_array,
+            [
+                ConsolidationSpec.key(),
+                ConsolidationSpec.drop(),
+                ConsolidationSpec.drop(),
+            ],
+        )
+        expected = reference_rows(facts, [lambda k: h1(0, k), None, None])
+        assert second.rows == expected
+
+    def test_fully_collapsed_materialization_rejected(self, cube):
+        array, _ = cube
+        with pytest.raises(QueryError):
+            consolidate(
+                array,
+                [ConsolidationSpec.drop()] * 3,
+                materialize_as="nope",
+            )
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000), st.floats(0.05, 0.9))
+def test_consolidation_matches_reference_property(seed, density):
+    from repro.storage import BufferPool, FileManager, SimulatedDisk
+
+    fm = FileManager(
+        BufferPool(SimulatedDisk(page_size=1024), capacity_bytes=512 * 1024)
+    )
+    facts = make_facts(density=density, seed=seed)
+    array = build_olap_array(fm, "c", make_dimensions(), facts, (3, 2, 4))
+    out = consolidate(array, LEVEL1, mode="vectorized")
+    assert out.rows == reference_rows(
+        facts, [lambda k, d=d: h1(d, k) for d in range(3)]
+    )

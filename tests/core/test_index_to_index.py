@@ -1,0 +1,96 @@
+"""Tests for §3.4 IndexToIndex hierarchy arrays."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import IndexToIndex
+from repro.errors import DimensionError
+
+
+class TestBuild:
+    def test_distinct_numbering_by_first_appearance(self):
+        i2i = IndexToIndex.build(["WI", "CA", "WI", "NY", "CA"])
+        assert i2i.mapping.tolist() == [0, 1, 0, 2, 1]
+        assert i2i.target_keys == ["WI", "CA", "NY"]
+        assert i2i.target_size == 3
+
+    def test_paper_city_state_example(self):
+        # Madison is city index 2 here and must map to Wisconsin's slot
+        cities = ["Chicago", "Milwaukee", "Madison"]
+        states = ["IL", "WI", "WI"]
+        i2i = IndexToIndex.build(states)
+        assert i2i[cities.index("Madison")] == i2i[cities.index("Milwaukee")]
+        assert i2i[0] != i2i[2]
+
+    def test_identity(self):
+        i2i = IndexToIndex.identity([7, 8, 9])
+        assert i2i.mapping.tolist() == [0, 1, 2]
+        assert i2i.target_keys == [7, 8, 9]
+
+    def test_collapse(self):
+        i2i = IndexToIndex.collapse(5)
+        assert i2i.mapping.tolist() == [0] * 5
+        assert i2i.target_keys == ["*"]
+
+    def test_empty(self):
+        i2i = IndexToIndex.build([])
+        assert len(i2i) == 0 and i2i.target_size == 0
+
+    def test_mapping_out_of_range_rejected(self):
+        with pytest.raises(DimensionError):
+            IndexToIndex(np.array([0, 2], dtype=np.int32), ["a", "b"])
+
+    def test_mapping_must_be_1d(self):
+        with pytest.raises(DimensionError):
+            IndexToIndex(np.zeros((2, 2), dtype=np.int32), ["a"])
+
+
+class TestCompose:
+    def test_city_state_region(self):
+        city_to_state = IndexToIndex.build(["WI", "IL", "WI", "CA"])
+        # states in first-appearance order: WI, IL, CA
+        state_to_region = IndexToIndex.build(["MW", "MW", "West"])
+        city_to_region = state_to_region.compose(city_to_state)
+        assert city_to_region.mapping.tolist() == [0, 0, 0, 1]
+        assert city_to_region.target_keys == ["MW", "West"]
+
+    def test_compose_size_mismatch(self):
+        a = IndexToIndex.build(["x", "y"])
+        b = IndexToIndex.build(["p", "q", "r"])
+        with pytest.raises(DimensionError):
+            b.compose(a)
+
+    def test_identity_compose_is_noop(self):
+        inner = IndexToIndex.build(["a", "b", "a"])
+        outer = IndexToIndex.identity(inner.target_keys)
+        composed = outer.compose(inner)
+        assert composed.mapping.tolist() == inner.mapping.tolist()
+
+
+class TestPersistence:
+    def test_blob_roundtrip(self):
+        i2i = IndexToIndex.build(["a", "b", "a", "c"])
+        again = IndexToIndex.from_blob(i2i.to_blob())
+        assert again.mapping.tolist() == i2i.mapping.tolist()
+        assert again.target_keys == i2i.target_keys
+
+    def test_blob_roundtrip_int_targets(self):
+        i2i = IndexToIndex.build([10, 20, 10])
+        again = IndexToIndex.from_blob(i2i.to_blob())
+        assert again.target_keys == [10, 20]
+
+
+@given(st.lists(st.integers(0, 8), max_size=100))
+def test_build_is_consistent_grouping(values):
+    i2i = IndexToIndex.build(values)
+    # same value ⇒ same target; different value ⇒ different target
+    seen = {}
+    for value, target in zip(values, i2i.mapping.tolist()):
+        if value in seen:
+            assert seen[value] == target
+        else:
+            seen[value] = target
+    assert len(set(seen.values())) == len(seen)
+    assert [i2i.target_keys[t] for t in i2i.mapping.tolist()] == values

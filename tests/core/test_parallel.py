@@ -1,0 +1,125 @@
+"""Tests for partitioned consolidation (the §6 parallelization hook)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConsolidationSpec, consolidate, consolidate_partitioned
+from repro.core.parallel import partition_chunks
+from repro.errors import QueryError
+from repro.util.stats import Counters
+
+LEVEL1 = [ConsolidationSpec.level("h1")] * 3
+
+
+class TestPartitionChunks:
+    def test_partitions_cover_all_chunks(self):
+        ranges = partition_chunks(10, 3)
+        flat = [c for r in ranges for c in r]
+        assert flat == list(range(10))
+
+    def test_contiguous_and_balanced(self):
+        ranges = partition_chunks(10, 3)
+        sizes = [len(r) for r in ranges]
+        assert max(sizes) - min(sizes) <= 1
+        assert [r.start for r in ranges] == sorted(r.start for r in ranges)
+
+    def test_more_partitions_than_chunks(self):
+        ranges = partition_chunks(2, 8)
+        assert len(ranges) == 2
+
+    def test_single_partition(self):
+        assert partition_chunks(5, 1) == [range(0, 5)]
+
+    def test_bad_partition_count(self):
+        with pytest.raises(QueryError):
+            partition_chunks(5, 0)
+
+
+@pytest.mark.parametrize("mode", ["interpreted", "vectorized"])
+class TestEquivalence:
+    @pytest.mark.parametrize("partitions", [1, 2, 3, 7, 100])
+    def test_matches_direct_consolidation(self, cube, mode, partitions):
+        array, _ = cube
+        direct = consolidate(array, LEVEL1, mode=mode)
+        partitioned = consolidate_partitioned(
+            array, LEVEL1, partitions, mode=mode
+        )
+        assert partitioned.rows == direct.rows
+
+    def test_min_max_merge(self, cube, mode):
+        array, _ = cube
+        for aggregate in ("min", "max", "count", "avg"):
+            direct = consolidate(array, LEVEL1, aggregate=aggregate, mode=mode)
+            partitioned = consolidate_partitioned(
+                array, LEVEL1, 4, aggregate=aggregate, mode=mode
+            )
+            for a, b in zip(direct.rows, partitioned.rows):
+                assert a[:-1] == b[:-1]
+                assert a[-1] == pytest.approx(b[-1])
+
+
+class TestVarianceMerge:
+    def test_var_partitions_merge_exactly(self, cube):
+        array, facts = cube
+        specs = [ConsolidationSpec.drop()] * 2 + [ConsolidationSpec.level("h1")]
+        direct = consolidate(array, specs, aggregate="var")
+        partitioned = consolidate_partitioned(array, specs, 5, aggregate="var")
+        for a, b in zip(direct.rows, partitioned.rows):
+            assert a[0] == b[0]
+            assert a[1] == pytest.approx(b[1])
+
+    def test_var_matches_numpy(self, cube):
+        import numpy as np
+
+        array, facts = cube
+        specs = [ConsolidationSpec.drop()] * 3
+        # fully collapapsed: one group holding every measure
+        result = consolidate(array, specs, aggregate="var")
+        values = [f[3] for f in facts]
+        assert result.rows == [(pytest.approx(np.var(values)),)]
+
+
+class TestCounters:
+    def test_partition_count_recorded(self, cube):
+        array, facts = cube
+        counters = Counters()
+        consolidate_partitioned(array, LEVEL1, 3, counters=counters)
+        assert counters.get("partitions") == 3
+        assert counters.get("cells_scanned") == len(facts)
+
+    def test_bad_mode(self, cube):
+        array, _ = cube
+        with pytest.raises(QueryError):
+            consolidate_partitioned(array, LEVEL1, 2, mode="threads")
+
+    def test_merge_incompatible_accumulators(self, cube):
+        from repro.core.consolidate import ResultAccumulator
+
+        array, _ = cube
+        a = ResultAccumulator(array, LEVEL1)
+        b = ResultAccumulator(
+            array, [ConsolidationSpec.level("h2")] * 3
+        )
+        with pytest.raises(QueryError):
+            a.merge_from(b)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(1, 20), st.sampled_from(["sum", "count", "min"]))
+def test_any_partitioning_is_exact(partitions, aggregate):
+    from repro.core.builder import build_olap_array
+    from repro.storage import BufferPool, FileManager, SimulatedDisk
+
+    from .conftest import make_dimensions, make_facts
+
+    fm = FileManager(
+        BufferPool(SimulatedDisk(page_size=1024), capacity_bytes=512 * 1024)
+    )
+    facts = make_facts(density=0.4, seed=partitions)
+    array = build_olap_array(fm, "c", make_dimensions(), facts, (3, 2, 4))
+    direct = consolidate(array, LEVEL1, aggregate=aggregate)
+    partitioned = consolidate_partitioned(
+        array, LEVEL1, partitions, aggregate=aggregate
+    )
+    assert partitioned.rows == direct.rows

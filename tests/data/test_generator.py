@@ -1,0 +1,145 @@
+"""Tests for the synthetic cube generator."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    SyntheticCubeConfig,
+    cube_schema_for,
+    generate_dimension_rows,
+    generate_fact_rows,
+)
+from repro.data.generator import h1_value, h2_value
+from repro.errors import DataGenError
+
+
+def config(**kwargs):
+    defaults = dict(
+        name="c",
+        dim_sizes=(8, 6, 10),
+        n_valid=100,
+        chunk_shape=(4, 3, 5),
+        fanout1=4,
+        fanout2=2,
+    )
+    defaults.update(kwargs)
+    return SyntheticCubeConfig(**defaults)
+
+
+class TestConfig:
+    def test_density(self):
+        c = config()
+        assert c.density == pytest.approx(100 / 480)
+        assert c.logical_cells == 480
+
+    def test_validation(self):
+        with pytest.raises(DataGenError):
+            config(dim_sizes=(0, 1, 1))
+        with pytest.raises(DataGenError):
+            config(n_valid=10_000)
+        with pytest.raises(DataGenError):
+            config(chunk_shape=(2, 2))
+        with pytest.raises(DataGenError):
+            config(fanout1=0)
+
+
+class TestDimensions:
+    def test_rows_cover_all_keys(self):
+        rows = generate_dimension_rows(config())
+        assert sorted(rows) == ["dim0", "dim1", "dim2"]
+        assert [r[0] for r in rows["dim0"]] == list(range(8))
+
+    def test_h1_uniform_over_fanout(self):
+        c = config(dim_sizes=(12, 6, 10), fanout1=4)
+        rows = generate_dimension_rows(c)
+        values = [r[1] for r in rows["dim0"]]
+        assert set(values) == {f"AA{i}" for i in range(4)}
+        # 12 keys over 4 values: exactly 3 each (uniform)
+        assert all(values.count(v) == 3 for v in set(values))
+
+    def test_hierarchy_is_functional(self):
+        c = config()
+        rows = generate_dimension_rows(c)
+        h1_to_h2 = {}
+        for _, h1, h2 in rows["dim0"]:
+            assert h1_to_h2.setdefault(h1, h2) == h2
+
+    def test_h_values_match_helpers(self):
+        c = config()
+        rows = generate_dimension_rows(c)
+        for key, h1, h2 in rows["dim1"]:
+            assert h1 == h1_value(c, key)
+            assert h2 == h2_value(c, key)
+
+
+class TestFacts:
+    def test_exact_count_and_distinct_cells(self):
+        c = config()
+        rows = generate_fact_rows(c)
+        assert len(rows) == c.n_valid
+        cells = {r[:3] for r in rows}
+        assert len(cells) == c.n_valid
+
+    def test_cells_in_bounds(self):
+        c = config()
+        for row in generate_fact_rows(c):
+            for d, size in enumerate(c.dim_sizes):
+                assert 0 <= row[d] < size
+
+    def test_measures_in_range(self):
+        c = config(measure_max=7)
+        assert all(1 <= r[-1] <= 7 for r in generate_fact_rows(c))
+
+    def test_deterministic_by_seed(self):
+        assert generate_fact_rows(config(seed=5)) == generate_fact_rows(
+            config(seed=5)
+        )
+        assert generate_fact_rows(config(seed=5)) != generate_fact_rows(
+            config(seed=6)
+        )
+
+    def test_full_density(self):
+        c = config(n_valid=480)
+        rows = generate_fact_rows(c)
+        assert len({r[:3] for r in rows}) == 480
+
+    def test_zero_valid(self):
+        assert generate_fact_rows(config(n_valid=0)) == []
+
+
+class TestSchema:
+    def test_schema_matches_paper_template(self):
+        schema = cube_schema_for(config())
+        assert [d.name for d in schema.dimensions] == ["dim0", "dim1", "dim2"]
+        assert schema.dimension("dim1").key == "d1"
+        assert schema.dimension("dim1").level_names == ("h11", "h12")
+        assert schema.measures[0].name == "volume"
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.tuples(
+        st.integers(2, 12), st.integers(2, 12), st.integers(2, 12)
+    ).flatmap(
+        lambda sizes: st.tuples(
+            st.just(sizes),
+            st.integers(0, math.prod(sizes)),
+            st.integers(0, 10_000),
+        )
+    )
+)
+def test_fact_generation_invariants(params):
+    sizes, n_valid, seed = params
+    c = SyntheticCubeConfig(
+        name="p",
+        dim_sizes=sizes,
+        n_valid=n_valid,
+        chunk_shape=tuple(max(1, s // 2) for s in sizes),
+        seed=seed,
+    )
+    rows = generate_fact_rows(c)
+    assert len(rows) == n_valid
+    assert len({r[:3] for r in rows}) == n_valid

@@ -1,0 +1,114 @@
+"""Tests for bitmap join indices."""
+
+import pytest
+
+from repro.errors import BitmapError
+from repro.index import BitmapIndex
+from repro.storage import BufferPool, FileManager, SimulatedDisk
+
+
+def make_fm(page_size=512):
+    disk = SimulatedDisk(page_size=page_size)
+    return FileManager(BufferPool(disk, capacity_bytes=64 * page_size))
+
+
+class TestBuild:
+    def test_bitmaps_partition_positions(self):
+        fm = make_fm()
+        values = ["a", "b", "a", "c", "b", "a"]
+        index = BitmapIndex.build(fm, "h01", len(values), values)
+        assert index.values() == ["a", "b", "c"]
+        assert index.bitmap_for("a").set_positions().tolist() == [0, 2, 5]
+        assert index.bitmap_for("b").set_positions().tolist() == [1, 4]
+        assert index.bitmap_for("c").set_positions().tolist() == [3]
+
+    def test_every_position_in_exactly_one_bitmap(self):
+        fm = make_fm()
+        values = [i % 7 for i in range(200)]
+        index = BitmapIndex.build(fm, "x", 200, values)
+        union = index.bitmap_for_any(index.values())
+        assert union.count() == 200
+        total = sum(index.bitmap_for(v).count() for v in index.values())
+        assert total == 200
+
+    def test_length_mismatch_rejected(self):
+        fm = make_fm()
+        with pytest.raises(BitmapError):
+            BitmapIndex.build(fm, "x", 10, ["a"] * 9)
+
+    def test_negative_length_rejected(self):
+        fm = make_fm()
+        with pytest.raises(BitmapError):
+            BitmapIndex(fm, "x", -1)
+
+
+class TestLookup:
+    def test_unknown_value_is_empty_bitmap(self):
+        fm = make_fm()
+        index = BitmapIndex.build(fm, "x", 3, ["a", "a", "a"])
+        assert index.bitmap_for("zzz").count() == 0
+
+    def test_bitmap_for_any_ors_values(self):
+        fm = make_fm()
+        values = ["a", "b", "c", "a", "b", "c"]
+        index = BitmapIndex.build(fm, "x", 6, values)
+        merged = index.bitmap_for_any(["a", "c"])
+        assert merged.set_positions().tolist() == [0, 2, 3, 5]
+
+    def test_selection_and_pattern(self):
+        # the §4.5 algorithm: AND bitmaps across dimensions
+        fm = make_fm()
+        dim1 = BitmapIndex.build(fm, "d1", 8, ["x", "x", "y", "y"] * 2)
+        dim2 = BitmapIndex.build(fm, "d2", 8, ["p", "q"] * 4)
+        result = dim1.bitmap_for("x") & dim2.bitmap_for("q")
+        assert result.set_positions().tolist() == [1, 5]
+
+    def test_int_values_supported(self):
+        fm = make_fm()
+        index = BitmapIndex.build(fm, "x", 4, [10, 20, 10, 30])
+        assert index.bitmap_for(10).set_positions().tolist() == [0, 2]
+
+
+class TestPersistence:
+    def test_survives_cold_restart(self):
+        fm = make_fm()
+        index = BitmapIndex.build(fm, "h01", 5, ["a", "b", "a", "b", "a"])
+        fm.pool.clear()
+        reopened = BitmapIndex(fm, "h01", 5)
+        assert reopened.bitmap_for("a").set_positions().tolist() == [0, 2, 4]
+
+    def test_footprint_scales_with_distinct_values(self):
+        fm = make_fm()
+        small = BitmapIndex.build(fm, "two", 1000, [i % 2 for i in range(1000)])
+        big = BitmapIndex.build(fm, "ten", 1000, [i % 10 for i in range(1000)])
+        assert big.footprint_bytes() > small.footprint_bytes()
+
+
+class TestRangeLookup:
+    def test_bitmap_for_range_inclusive(self):
+        fm = make_fm()
+        values = [i % 5 for i in range(50)]
+        index = BitmapIndex.build(fm, "x", 50, values)
+        bits = index.bitmap_for_range(1, 3)
+        expected = [i for i in range(50) if 1 <= i % 5 <= 3]
+        assert bits.set_positions().tolist() == expected
+
+    def test_open_bounds(self):
+        fm = make_fm()
+        values = [i % 4 for i in range(20)]
+        index = BitmapIndex.build(fm, "x", 20, values)
+        assert index.bitmap_for_range(None, 1).count() == 10
+        assert index.bitmap_for_range(2, None).count() == 10
+        assert index.bitmap_for_range(None, None).count() == 20
+
+    def test_empty_range(self):
+        fm = make_fm()
+        index = BitmapIndex.build(fm, "x", 6, ["a"] * 6)
+        assert index.bitmap_for_range("b", "c").count() == 0
+
+    def test_string_range(self):
+        fm = make_fm()
+        values = ["AA0", "AA1", "AA2", "AA1"]
+        index = BitmapIndex.build(fm, "x", 4, values)
+        bits = index.bitmap_for_range("AA1", "AA2")
+        assert bits.set_positions().tolist() == [1, 2, 3]

@@ -1,0 +1,283 @@
+"""Unit and property tests for the paged B+tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BTreeError
+from repro.index import BTree
+from repro.storage import BufferPool, FileManager, SimulatedDisk
+
+
+def make_tree(page_size=256, frames=64):
+    disk = SimulatedDisk(page_size=page_size)
+    pool = BufferPool(disk, capacity_bytes=frames * page_size)
+    fm = FileManager(pool)
+    return BTree.create(fm, "idx"), fm
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree, _ = make_tree()
+        assert len(tree) == 0
+        assert tree.search(5) == []
+        assert 5 not in tree
+        assert list(tree.items()) == []
+
+    def test_single_insert(self):
+        tree, _ = make_tree()
+        tree.insert(10, 100)
+        assert tree.search(10) == [100]
+        assert 10 in tree
+        assert len(tree) == 1
+
+    def test_many_int_inserts_split_nodes(self):
+        tree, _ = make_tree()
+        for i in range(500):
+            tree.insert(i, i * 2)
+        assert tree.height() > 1
+        tree.validate()
+        for i in range(500):
+            assert tree.search(i) == [i * 2]
+
+    def test_reverse_order_inserts(self):
+        tree, _ = make_tree()
+        for i in reversed(range(300)):
+            tree.insert(i, i)
+        tree.validate()
+        assert [k for k, _ in tree.items()] == list(range(300))
+
+    def test_random_order_inserts(self):
+        tree, _ = make_tree()
+        keys = list(range(400))
+        random.Random(7).shuffle(keys)
+        for k in keys:
+            tree.insert(k, -k)
+        tree.validate()
+        assert tree.search(399) == [-399]
+        assert tree.search(0) == [0]
+
+    def test_string_keys(self):
+        tree, _ = make_tree()
+        words = [f"city-{i:04d}" for i in range(200)]
+        for i, w in enumerate(words):
+            tree.insert(w, i)
+        tree.validate()
+        assert tree.search("city-0123") == [123]
+        assert [k for k, _ in tree.items()] == sorted(words)
+
+    def test_mixed_key_types_rejected(self):
+        tree, _ = make_tree()
+        tree.insert(1, 1)
+        with pytest.raises(BTreeError):
+            tree.insert("one", 2)
+
+    def test_bool_and_float_keys_rejected(self):
+        tree, _ = make_tree()
+        with pytest.raises(BTreeError):
+            tree.insert(True, 1)
+        with pytest.raises(BTreeError):
+            tree.insert(1.5, 1)
+
+
+class TestDuplicates:
+    def test_duplicate_values_returned_ascending(self):
+        tree, _ = make_tree()
+        for v in (30, 10, 20):
+            tree.insert(5, v)
+        assert tree.search(5) == [10, 20, 30]
+
+    def test_duplicates_across_leaf_splits(self):
+        tree, _ = make_tree()
+        for v in range(100):
+            tree.insert(42, v)
+        for i in range(1000, 1050):
+            tree.insert(i, 0)
+        tree.validate()
+        assert tree.search(42) == list(range(100))
+
+    def test_index_list_usage_pattern(self):
+        # the §4.2 join-index pattern: attribute value -> array index list
+        tree, _ = make_tree()
+        for array_index in range(60):
+            tree.insert(f"AA{array_index % 3}", array_index)
+        assert tree.search("AA0") == list(range(0, 60, 3))
+
+
+class TestRangeSearch:
+    def test_closed_range(self):
+        tree, _ = make_tree()
+        for i in range(100):
+            tree.insert(i, i)
+        assert [k for k, _ in tree.range_search(10, 20)] == list(range(10, 21))
+
+    def test_open_low(self):
+        tree, _ = make_tree()
+        for i in range(50):
+            tree.insert(i, i)
+        assert [k for k, _ in tree.range_search(high=5)] == list(range(6))
+
+    def test_open_high(self):
+        tree, _ = make_tree()
+        for i in range(50):
+            tree.insert(i, i)
+        assert [k for k, _ in tree.range_search(low=45)] == list(range(45, 50))
+
+    def test_empty_range(self):
+        tree, _ = make_tree()
+        for i in range(0, 100, 10):
+            tree.insert(i, i)
+        assert list(tree.range_search(41, 49)) == []
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        tree, _ = make_tree()
+        tree.insert(1, 10)
+        tree.insert(1, 20)
+        assert tree.delete(1, 10)
+        assert tree.search(1) == [20]
+        assert len(tree) == 1
+
+    def test_delete_missing_value(self):
+        tree, _ = make_tree()
+        tree.insert(1, 10)
+        assert not tree.delete(1, 99)
+        assert not tree.delete(2, 10)
+        assert len(tree) == 1
+
+    def test_delete_from_empty(self):
+        tree, _ = make_tree()
+        assert not tree.delete(1, 1)
+
+    def test_delete_then_validate(self):
+        tree, _ = make_tree()
+        for i in range(200):
+            tree.insert(i, i)
+        for i in range(0, 200, 2):
+            assert tree.delete(i, i)
+        tree.validate()
+        assert [k for k, _ in tree.items()] == list(range(1, 200, 2))
+
+
+class TestBulkLoad:
+    def test_matches_incremental_build(self):
+        import random
+
+        rng = random.Random(11)
+        items = [(rng.randint(0, 200), i) for i in range(800)]
+        bulk, fm = make_tree()
+        bulk = BTree.bulk_load(fm, "bulk", items)
+        bulk.validate()
+        incremental, _ = make_tree()
+        for key, value in items:
+            incremental.insert(key, value)
+        assert list(bulk.items()) == list(incremental.items())
+
+    def test_unsorted_input_accepted(self):
+        _, fm = make_tree()
+        tree = BTree.bulk_load(fm, "bulk", [(3, 0), (1, 1), (2, 2)])
+        assert [k for k, _ in tree.items()] == [1, 2, 3]
+
+    def test_empty_input(self):
+        _, fm = make_tree()
+        tree = BTree.bulk_load(fm, "bulk", [])
+        assert len(tree) == 0
+        assert tree.search(1) == []
+
+    def test_string_keys(self):
+        _, fm = make_tree()
+        items = [(f"k{i:05d}", i) for i in range(500)]
+        tree = BTree.bulk_load(fm, "bulk", items)
+        tree.validate()
+        assert tree.search("k00321") == [321]
+        assert tree.height() > 1
+
+    def test_duplicates_preserved(self):
+        _, fm = make_tree()
+        tree = BTree.bulk_load(fm, "bulk", [(5, v) for v in range(300)])
+        tree.validate()
+        assert tree.search(5) == list(range(300))
+
+    def test_inserts_after_bulk_load(self):
+        _, fm = make_tree()
+        tree = BTree.bulk_load(fm, "bulk", [(i, i) for i in range(400)])
+        for i in range(400, 450):
+            tree.insert(i, i)
+        tree.insert(-5, 99)
+        tree.validate()
+        assert tree.search(-5) == [99]
+        assert tree.search(449) == [449]
+
+    def test_deletes_after_bulk_load(self):
+        _, fm = make_tree()
+        tree = BTree.bulk_load(fm, "bulk", [(i, i) for i in range(200)])
+        for i in range(0, 200, 4):
+            assert tree.delete(i, i)
+        tree.validate()
+        assert len(tree) == 150
+
+
+class TestPersistence:
+    def test_tree_survives_cold_restart(self):
+        tree, fm = make_tree()
+        for i in range(150):
+            tree.insert(i, i + 1000)
+        fm.pool.clear()
+        reopened = BTree.open(fm, "idx")
+        assert len(reopened) == 150
+        assert reopened.search(77) == [1077]
+        reopened.validate()
+
+    def test_footprint_reported(self):
+        tree, _ = make_tree()
+        for i in range(100):
+            tree.insert(i, i)
+        assert tree.size_bytes() > 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=-1000, max_value=1000),
+            st.integers(min_value=0, max_value=10_000),
+        ),
+        max_size=300,
+    )
+)
+def test_matches_sorted_reference(entries):
+    tree, _ = make_tree()
+    for key, value in entries:
+        tree.insert(key, value)
+    tree.validate()
+    assert list(tree.items()) == sorted(entries)
+    for key in {k for k, _ in entries[:20]}:
+        assert tree.search(key) == sorted(v for k, v in entries if k == key)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 50), st.integers(0, 50)),
+        min_size=1,
+        max_size=150,
+    ),
+    st.data(),
+)
+def test_delete_matches_reference(entries, data):
+    tree, _ = make_tree()
+    reference = []
+    for key, value in entries:
+        tree.insert(key, value)
+        reference.append((key, value))
+    doomed = data.draw(
+        st.lists(st.sampled_from(reference), max_size=len(reference), unique=True)
+    )
+    for key, value in doomed:
+        assert tree.delete(key, value)
+        reference.remove((key, value))
+    tree.validate()
+    assert list(tree.items()) == sorted(reference)

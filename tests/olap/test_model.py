@@ -1,0 +1,107 @@
+"""Tests for the OLAP data model."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.olap import CubeSchema, DimensionDef, MeasureDef
+from repro.olap.model import retail_schema
+
+
+class TestDimensionDef:
+    def test_level_names(self):
+        dim = DimensionDef(
+            "store", key="sid", levels=(("city", "str:8"), ("state", "str:8"))
+        )
+        assert dim.level_names == ("city", "state")
+
+    def test_attribute_type_lookup(self):
+        dim = DimensionDef("store", key="sid", levels=(("city", "str:8"),))
+        assert dim.attribute_type("sid") == "int32"
+        assert dim.attribute_type("city") == "str:8"
+        with pytest.raises(SchemaError):
+            dim.attribute_type("nope")
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(SchemaError):
+            DimensionDef("d", key="k", levels=(("k", "str:4"),))
+
+    def test_bad_key_type_rejected(self):
+        with pytest.raises(SchemaError):
+            DimensionDef("d", key="k", key_type="float64")
+
+    def test_string_keys_allowed(self):
+        dim = DimensionDef("d", key="k", key_type="str:8")
+        assert dim.attribute_type("k") == "str:8"
+
+
+class TestMeasureDef:
+    def test_valid_types(self):
+        assert MeasureDef("v").ctype == "int64"
+        assert MeasureDef("w", "float64").ctype == "float64"
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(SchemaError):
+            MeasureDef("v", "str:4")
+
+
+class TestCubeSchema:
+    def make(self):
+        return CubeSchema(
+            "c",
+            dimensions=(
+                DimensionDef("a", key="ka"),
+                DimensionDef("b", key="kb"),
+            ),
+        )
+
+    def test_ndim_and_lookup(self):
+        cube = self.make()
+        assert cube.ndim == 2
+        assert cube.dimension("b").key == "kb"
+        assert cube.dim_no("b") == 1
+
+    def test_unknown_dimension(self):
+        with pytest.raises(SchemaError):
+            self.make().dimension("zz")
+        with pytest.raises(SchemaError):
+            self.make().dim_no("zz")
+
+    def test_default_measure(self):
+        assert self.make().measures[0].name == "volume"
+        assert self.make().measure_dtype == "int64"
+
+    def test_needs_dimensions_and_measures(self):
+        with pytest.raises(SchemaError):
+            CubeSchema("c", dimensions=())
+        with pytest.raises(SchemaError):
+            CubeSchema(
+                "c", dimensions=(DimensionDef("a", key="k"),), measures=()
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            CubeSchema(
+                "c",
+                dimensions=(
+                    DimensionDef("a", key="k1"),
+                    DimensionDef("a", key="k2"),
+                ),
+            )
+
+    def test_mixed_measure_types_rejected(self):
+        with pytest.raises(SchemaError):
+            CubeSchema(
+                "c",
+                dimensions=(DimensionDef("a", key="k"),),
+                measures=(MeasureDef("x", "int64"), MeasureDef("y", "float64")),
+            )
+
+    def test_retail_example(self):
+        schema = retail_schema()
+        assert schema.ndim == 3
+        assert schema.dimension("store").level_names == (
+            "sname",
+            "city",
+            "state",
+            "region",
+        )

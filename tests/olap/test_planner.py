@@ -1,0 +1,86 @@
+"""Tests for the backend-choice rule."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.olap.planner import (
+    DEFAULT_CROSSOVER_SELECTIVITY,
+    PlannerInputs,
+    choose_backend,
+    require_backend_available,
+)
+
+
+def inputs(**kwargs):
+    defaults = dict(
+        has_array=True,
+        has_bitmaps=True,
+        has_selections=False,
+        estimated_selectivity=1.0,
+    )
+    defaults.update(kwargs)
+    return PlannerInputs(**defaults)
+
+
+class TestChooseBackend:
+    def test_no_selection_prefers_array(self):
+        assert choose_backend(inputs()) == "array"
+
+    def test_no_selection_no_array_falls_back_to_starjoin(self):
+        assert choose_backend(inputs(has_array=False)) == "starjoin"
+
+    def test_selection_above_crossover_uses_array(self):
+        picked = choose_backend(
+            inputs(has_selections=True, estimated_selectivity=0.01)
+        )
+        assert picked == "array"
+
+    def test_selection_below_crossover_uses_bitmap(self):
+        picked = choose_backend(
+            inputs(has_selections=True, estimated_selectivity=0.0001)
+        )
+        assert picked == "bitmap"
+
+    def test_paper_crossover_value(self):
+        # §5.6: the observed crossover is S = 0.00024
+        assert DEFAULT_CROSSOVER_SELECTIVITY == pytest.approx(0.00024)
+        at_crossover = choose_backend(
+            inputs(has_selections=True, estimated_selectivity=0.00024)
+        )
+        assert at_crossover == "array"  # strictly-below goes bitmap
+
+    def test_no_bitmaps_keeps_array_even_when_tiny(self):
+        picked = choose_backend(
+            inputs(
+                has_selections=True,
+                has_bitmaps=False,
+                estimated_selectivity=1e-9,
+            )
+        )
+        assert picked == "array"
+
+    def test_selection_without_array(self):
+        picked = choose_backend(
+            inputs(has_array=False, has_selections=True)
+        )
+        assert picked == "bitmap"
+        picked = choose_backend(
+            inputs(has_array=False, has_bitmaps=False, has_selections=True)
+        )
+        assert picked == "starjoin"
+
+    def test_custom_crossover(self):
+        picked = choose_backend(
+            inputs(has_selections=True, estimated_selectivity=0.01),
+            crossover_selectivity=0.5,
+        )
+        assert picked == "bitmap"
+
+
+class TestAvailability:
+    def test_available_passes(self):
+        require_backend_available("array", {"array", "starjoin"})
+
+    def test_missing_raises(self):
+        with pytest.raises(PlanError):
+            require_backend_available("bitmap", {"array"})

@@ -1,0 +1,94 @@
+"""Tests for ConsolidationQuery validation."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.olap import ConsolidationQuery, SelectionPredicate
+from repro.olap.model import retail_schema
+
+
+class TestConstruction:
+    def test_build_from_dicts(self):
+        q = ConsolidationQuery.build(
+            "sales", group_by={"store": "city", "product": "type"}
+        )
+        assert q.group_dims == ("store", "product")
+        assert q.group_attr("store") == "city"
+
+    def test_group_attr_unknown_dim(self):
+        q = ConsolidationQuery.build("sales", group_by={"store": "city"})
+        with pytest.raises(QueryError):
+            q.group_attr("time")
+
+    def test_empty_group_by_rejected(self):
+        with pytest.raises(QueryError):
+            ConsolidationQuery.build("sales", group_by={})
+
+    def test_repeated_dimension_rejected(self):
+        with pytest.raises(QueryError):
+            ConsolidationQuery(
+                "sales", group_by=(("store", "city"), ("store", "state"))
+            )
+
+    def test_empty_selection_values_rejected(self):
+        with pytest.raises(QueryError):
+            SelectionPredicate("store", "city", ())
+
+    def test_selected_dims_deduplicated_in_order(self):
+        q = ConsolidationQuery.build(
+            "sales",
+            group_by={"store": "city"},
+            selections=[
+                SelectionPredicate("time", "year", (1997,)),
+                SelectionPredicate("store", "region", ("MW",)),
+                SelectionPredicate("time", "month", (2,)),
+            ],
+        )
+        assert q.selected_dims == ("time", "store")
+
+
+class TestValidation:
+    def test_valid_query_passes(self):
+        schema = retail_schema()
+        q = ConsolidationQuery.build(
+            "sales",
+            group_by={"store": "city", "product": "type"},
+            selections=[SelectionPredicate("time", "year", (1997,))],
+        )
+        q.validate(schema)
+
+    def test_group_by_key_is_valid(self):
+        schema = retail_schema()
+        ConsolidationQuery.build("sales", group_by={"store": "sid"}).validate(
+            schema
+        )
+
+    def test_wrong_cube_name(self):
+        schema = retail_schema()
+        q = ConsolidationQuery.build("other", group_by={"store": "city"})
+        with pytest.raises(QueryError):
+            q.validate(schema)
+
+    def test_unknown_group_attribute(self):
+        schema = retail_schema()
+        q = ConsolidationQuery.build("sales", group_by={"store": "bogus"})
+        with pytest.raises(QueryError):
+            q.validate(schema)
+
+    def test_unknown_selection_attribute(self):
+        schema = retail_schema()
+        q = ConsolidationQuery.build(
+            "sales",
+            group_by={"store": "city"},
+            selections=[SelectionPredicate("store", "bogus", ("x",))],
+        )
+        with pytest.raises(QueryError):
+            q.validate(schema)
+
+    def test_unknown_measure(self):
+        schema = retail_schema()
+        q = ConsolidationQuery.build(
+            "sales", group_by={"store": "city"}, measures=["profit"]
+        )
+        with pytest.raises(QueryError):
+            q.validate(schema)

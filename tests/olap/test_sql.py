@@ -1,0 +1,218 @@
+"""Tests for the SQL-subset parser."""
+
+import pytest
+
+from repro.data import SyntheticCubeConfig, cube_schema_for
+from repro.errors import SQLError
+from repro.olap import parse_query
+from repro.olap.model import retail_schema
+
+CONFIG = SyntheticCubeConfig(
+    name="cube",
+    dim_sizes=(4, 4, 4, 4),
+    n_valid=10,
+    chunk_shape=(2, 2, 2, 2),
+)
+SCHEMA = cube_schema_for(CONFIG)
+
+QUERY1 = """
+select sum(volume), dim0.h01, dim1.h11, dim2.h21, dim3.h31
+from fact, dim0, dim1, dim2, dim3
+where fact.d0 = dim0.d0 and fact.d1 = dim1.d1 and
+      fact.d2 = dim2.d2 and fact.d3 = dim3.d3
+group by h01, h11, h21, h31
+"""
+
+QUERY2 = """
+select sum(volume), dim0.h01, dim1.h11, dim2.h21, dim3.h31
+from fact, dim0, dim1, dim2, dim3
+where fact.d0 = dim0.d0 and fact.d1 = dim1.d1 and
+      fact.d2 = dim2.d2 and fact.d3 = dim3.d3 and
+      dim0.h01 = "AA1" and dim1.h11 = "AA2" and
+      dim2.h21 = "AA3" and dim3.h31 = "AA1"
+group by h01, h11, h21, h31
+"""
+
+QUERY3 = """
+select sum(volume), dim0.h01, dim1.h11, dim2.h21
+from fact, dim0, dim1, dim2
+where fact.d0 = dim0.d0 and fact.d1 = dim1.d1 and fact.d2 = dim2.d2 and
+      dim0.h01 = 'AA1' and dim1.h11 = 'AA2' and dim2.h21 = 'AA3'
+group by h01, h11, h21
+"""
+
+
+class TestPaperQueries:
+    def test_query1(self):
+        q = parse_query(QUERY1, SCHEMA)
+        assert q.group_by == (
+            ("dim0", "h01"),
+            ("dim1", "h11"),
+            ("dim2", "h21"),
+            ("dim3", "h31"),
+        )
+        assert q.selections == ()
+        assert q.aggregate == "sum"
+        assert q.measures == ("volume",)
+
+    def test_query2_selections(self):
+        q = parse_query(QUERY2, SCHEMA)
+        assert len(q.selections) == 4
+        assert q.selections[0].dimension == "dim0"
+        assert q.selections[0].values == ("AA1",)
+
+    def test_query3_drops_dim3(self):
+        q = parse_query(QUERY3, SCHEMA)
+        assert q.group_dims == ("dim0", "dim1", "dim2")
+        assert "dim3" not in q.group_dims
+
+    def test_queries_validate_against_schema(self):
+        for sql in (QUERY1, QUERY2, QUERY3):
+            parse_query(sql, SCHEMA).validate(SCHEMA)
+
+
+class TestSyntaxFeatures:
+    def test_in_list(self):
+        q = parse_query(
+            "select sum(volume), dim0.h01 from fact, dim0 "
+            "where fact.d0 = dim0.d0 and dim0.h01 in ('AA0', 'AA2') "
+            "group by h01",
+            SCHEMA,
+        )
+        assert q.selections[0].values == ("AA0", "AA2")
+
+    def test_numeric_literal(self):
+        q = parse_query(
+            "select sum(volume), dim0.h01 from fact, dim0 "
+            "where dim0.d0 = 3 group by h01",
+            SCHEMA,
+        )
+        assert q.selections[0].attribute == "d0"
+        assert q.selections[0].values == (3,)
+
+    def test_unqualified_group_by_resolved(self):
+        q = parse_query(
+            "select sum(volume), h21 from fact, dim2 group by h21", SCHEMA
+        )
+        assert q.group_by == (("dim2", "h21"),)
+
+    def test_case_insensitive_keywords(self):
+        q = parse_query(
+            "SELECT sum(volume), dim0.h01 FROM fact, dim0 GROUP BY h01",
+            SCHEMA,
+        )
+        assert q.group_dims == ("dim0",)
+
+    def test_retail_schema_query(self):
+        schema = retail_schema()
+        q = parse_query(
+            "select sum(volume), city, type from sales, product, store "
+            "where sales.pid = product.pid and sales.sid = store.sid "
+            "group by store.city, product.type",
+            schema,
+        )
+        assert dict(q.group_by) == {"store": "city", "product": "type"}
+
+
+class TestErrors:
+    def test_unknown_table(self):
+        with pytest.raises(SQLError):
+            parse_query(
+                "select sum(volume), h01 from nowhere group by h01", SCHEMA
+            )
+
+    def test_unknown_measure(self):
+        with pytest.raises(SQLError):
+            parse_query(
+                "select sum(profit), dim0.h01 from fact, dim0 group by h01",
+                SCHEMA,
+            )
+
+    def test_missing_aggregate(self):
+        with pytest.raises(SQLError):
+            parse_query(
+                "select dim0.h01 from fact, dim0 group by h01", SCHEMA
+            )
+
+    def test_selected_column_not_grouped(self):
+        with pytest.raises(SQLError):
+            parse_query(
+                "select sum(volume), dim0.h01 from fact, dim0 group by h02",
+                SCHEMA,
+            )
+
+    def test_two_aggregate_functions(self):
+        with pytest.raises(SQLError):
+            parse_query(
+                "select sum(volume), max(volume), dim0.h01 "
+                "from fact, dim0 group by h01",
+                SCHEMA,
+            )
+
+    def test_join_must_use_key(self):
+        with pytest.raises(SQLError):
+            parse_query(
+                "select sum(volume), dim0.h01 from fact, dim0 "
+                "where fact.d0 = dim0.h01 group by h01",
+                SCHEMA,
+            )
+
+    def test_ambiguous_unqualified_attribute(self):
+        from repro.olap import CubeSchema, DimensionDef
+
+        clashing = CubeSchema(
+            "c",
+            dimensions=(
+                DimensionDef("a", key="ka", levels=(("city", "str:8"),)),
+                DimensionDef("b", key="kb", levels=(("city", "str:8"),)),
+            ),
+        )
+        with pytest.raises(SQLError):
+            parse_query(
+                "select sum(volume), city from fact, a, b group by city",
+                clashing,
+            )
+
+    def test_unknown_unqualified_attribute(self):
+        with pytest.raises(SQLError):
+            parse_query(
+                "select sum(volume), nope from fact, dim0 group by nope",
+                SCHEMA,
+            )
+
+    def test_trailing_tokens(self):
+        with pytest.raises(SQLError):
+            parse_query(
+                "select sum(volume), dim0.h01 from fact, dim0 "
+                "group by h01 order by h01",
+                SCHEMA,
+            )
+
+    def test_garbage_input(self):
+        with pytest.raises(SQLError):
+            parse_query("select !!", SCHEMA)
+
+    def test_missing_group_by(self):
+        with pytest.raises(SQLError):
+            parse_query("select sum(volume) from fact", SCHEMA)
+
+
+class TestEngineIntegration:
+    def test_sql_through_engine(self, engine, fact_rows):
+        from repro.olap import ConsolidationQuery
+
+        sql_result = engine.sql(
+            "cube",
+            "select sum(volume), dim0.h01, dim1.h11, dim2.h21 "
+            "from fact, dim0, dim1, dim2 "
+            "where fact.d0 = dim0.d0 and fact.d1 = dim1.d1 and "
+            "fact.d2 = dim2.d2 group by h01, h11, h21",
+            backend="array",
+        )
+        api_result = engine.query(
+            ConsolidationQuery.build(
+                "cube", group_by={"dim0": "h01", "dim1": "h11", "dim2": "h21"}
+            ),
+            backend="array",
+        )
+        assert sql_result.rows == api_result.rows

@@ -1,0 +1,47 @@
+"""Tests for the model → star schema mapping (§2.2)."""
+
+import pytest
+
+from repro.olap.model import retail_schema
+from repro.olap.star_schema import (
+    array_name,
+    bitmap_index_name,
+    btree_index_name,
+    dimension_table_name,
+    dimension_table_schema,
+    fact_table_name,
+    fact_table_schema,
+)
+
+
+class TestMapping:
+    def test_dimension_table_columns(self):
+        schema = retail_schema()
+        table = dimension_table_schema(schema.dimension("product"))
+        assert table.names == ("pid", "pname", "type", "category")
+
+    def test_fact_table_is_keys_plus_measures(self):
+        schema = retail_schema()
+        table = fact_table_schema(schema)
+        assert table.names == ("pid", "sid", "tid", "volume")
+
+    def test_fact_record_is_fixed_length(self):
+        schema = retail_schema()
+        table = fact_table_schema(schema)
+        # 3 int32 keys + 1 int64 measure
+        assert table.record_size == 3 * 4 + 8
+
+    def test_names_are_cube_scoped(self):
+        schema = retail_schema()
+        assert fact_table_name(schema) == "sales.fact"
+        assert dimension_table_name(schema, "store") == "sales.store"
+        assert array_name(schema) == "sales.array"
+        assert bitmap_index_name(schema, "store", "city") == "sales.store.city.bm"
+        assert btree_index_name(schema, "time") == "sales.fact.time.idx"
+
+    def test_storage_ratio_formula(self):
+        # §3.2: T_s/A_s = (n+p)/p at 100% density; for n=3, p=1 that is 4
+        schema = retail_schema()
+        fact = fact_table_schema(schema)
+        measure_bytes = 8
+        assert fact.record_size / measure_bytes == pytest.approx(2.5)

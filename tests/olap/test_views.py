@@ -1,0 +1,67 @@
+"""Tests for materialized aggregate views."""
+
+import pytest
+
+from repro.core import ConsolidationSpec, consolidate
+from repro.errors import CatalogError, PlanError, QueryError
+from repro.olap import ConsolidationQuery, SelectionPredicate
+
+from .conftest import CONFIG, reference
+
+Q_VIEW = ConsolidationQuery.build(
+    "cube", group_by={"dim0": "h01", "dim1": "h11"}
+)
+
+
+class TestMaterialize:
+    def test_view_holds_the_query_result(self, engine, fact_rows):
+        view = engine.materialize(Q_VIEW, "v_type_city")
+        expected = reference(fact_rows, CONFIG, [(0, 1), (1, 1)])
+        assert view.n_valid == len(expected)
+        for row in expected:
+            assert view.get_cell(row[:2])[0] == row[2]
+
+    def test_view_registered_and_retrievable(self, engine):
+        engine.materialize(Q_VIEW, "v_reg")
+        assert "v_reg" in engine.view_names()
+        assert engine.view("v_reg").geometry.ndim == 2
+
+    def test_view_supports_further_rollup(self, engine, fact_rows):
+        view = engine.materialize(Q_VIEW, "v_rollup")
+        rolled = consolidate(
+            view, [ConsolidationSpec.key(), ConsolidationSpec.drop()]
+        )
+        expected = reference(fact_rows, CONFIG, [(0, 1)])
+        assert rolled.rows == expected
+
+    def test_duplicate_view_name_rejected(self, engine):
+        engine.materialize(Q_VIEW, "v_dup")
+        with pytest.raises(CatalogError):
+            engine.materialize(Q_VIEW, "v_dup")
+
+    def test_unknown_view(self, engine):
+        with pytest.raises(CatalogError):
+            engine.view("ghost")
+
+    def test_selections_rejected(self, engine):
+        query = ConsolidationQuery.build(
+            "cube",
+            group_by={"dim0": "h01"},
+            selections=[SelectionPredicate("dim1", "h11", ("AA0",))],
+        )
+        with pytest.raises(QueryError):
+            engine.materialize(query, "v_sel")
+
+    def test_needs_array_backend(self, fact_rows, schema):
+        from repro.data import generate_dimension_rows
+        from repro.olap import OlapEngine
+
+        relational_only = OlapEngine(page_size=1024, pool_bytes=512 * 1024)
+        relational_only.load_cube(
+            schema,
+            generate_dimension_rows(CONFIG),
+            fact_rows,
+            backends=("relational",),
+        )
+        with pytest.raises(PlanError):
+            relational_only.materialize(Q_VIEW, "v")

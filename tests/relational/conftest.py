@@ -1,0 +1,67 @@
+"""A small star-schema fixture shared by the relational algorithm tests.
+
+Three dimensions (sizes 4, 3, 5), a fact table with one tuple per
+selected cell, and a pure-Python reference implementation of
+consolidation used as the oracle.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.relational import Database, DimensionJoinSpec, Schema
+
+DIM_SIZES = (4, 3, 5)
+FANOUTS = (2, 3, 2)  # distinct h-1 values per dimension
+
+
+def h1(dim, key):
+    return f"A{dim}{key % FANOUTS[dim]}"
+
+
+def h2(dim, key):
+    return f"B{dim}{(key % FANOUTS[dim]) % 2}"
+
+
+@pytest.fixture
+def star_db():
+    db = Database(page_size=1024, pool_bytes=256 * 1024)
+    dim_schema = lambda d: Schema(
+        [(f"d{d}", "int32"), (f"h{d}1", "str:8"), (f"h{d}2", "str:8")]
+    )
+    dims = []
+    for d, size in enumerate(DIM_SIZES):
+        table = db.create_heap_table(f"dim{d}", dim_schema(d))
+        table.insert_many([(k, h1(d, k), h2(d, k)) for k in range(size)])
+        dims.append(table)
+
+    fact_schema = Schema(
+        [("d0", "int32"), ("d1", "int32"), ("d2", "int32"), ("volume", "int32")]
+    )
+    fact = db.create_fact_table("fact", fact_schema)
+    rng = random.Random(42)
+    cells = [
+        c
+        for c in itertools.product(*[range(s) for s in DIM_SIZES])
+        if rng.random() < 0.6
+    ]
+    fact_rows = [c + (rng.randint(1, 100),) for c in cells]
+    fact.append_many(fact_rows)
+    return db, dims, fact, fact_rows
+
+
+def join_specs(dims, fact_keys=("d0", "d1", "d2"), level=1):
+    return [
+        DimensionJoinSpec(dims[d], f"d{d}", fact_keys[d], f"h{d}{level}")
+        for d in range(len(dims))
+    ]
+
+
+def reference_consolidation(fact_rows, group_fns, measure_index=3):
+    """Oracle: group fact rows by mapped dimension values and sum."""
+    groups = {}
+    for row in fact_rows:
+        key = tuple(fn(row[d]) for d, fn in enumerate(group_fns))
+        groups[key] = groups.get(key, 0) + row[measure_index]
+    return sorted((k + (v,) for k, v in groups.items()))

@@ -1,0 +1,97 @@
+"""Tests for bitmap-driven consolidation with selection (§4.5)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.index import BitmapIndex
+from repro.relational import bitmap_select_consolidate, star_join_consolidate
+from repro.util.stats import Counters
+
+from .conftest import FANOUTS, h1, join_specs, reference_consolidation
+
+
+def build_join_bitmap(db, fact, dims, d):
+    """Join bitmap index for dimension ``d``'s h-1 attribute."""
+    key_pos = fact.schema.index_of(f"d{d}")
+    values = (h1(d, row[key_pos]) for row in fact.scan())
+    return db.create_bitmap_index(f"fact.h{d}1.bm", len(fact), values)
+
+
+@pytest.fixture
+def bitmaps(star_db):
+    db, dims, fact, fact_rows = star_db
+    return [build_join_bitmap(db, fact, dims, d) for d in range(3)]
+
+
+class TestBitmapSelect:
+    def test_selection_on_all_dimensions(self, star_db, bitmaps):
+        _, dims, fact, fact_rows = star_db
+        selected = [h1(0, 0), h1(1, 1), h1(2, 0)]
+        rows = bitmap_select_consolidate(
+            fact,
+            join_specs(dims),
+            [(bitmaps[d], [selected[d]]) for d in range(3)],
+            "volume",
+        )
+        surviving = [
+            r
+            for r in fact_rows
+            if all(h1(d, r[d]) == selected[d] for d in range(3))
+        ]
+        expected = reference_consolidation(
+            surviving, [lambda k, d=d: h1(d, k) for d in range(3)]
+        )
+        assert rows == expected
+
+    def test_empty_selection_returns_no_rows(self, star_db, bitmaps):
+        _, dims, fact, _ = star_db
+        rows = bitmap_select_consolidate(
+            fact,
+            join_specs(dims),
+            [(bitmaps[0], ["no-such-value"])],
+            "volume",
+        )
+        assert rows == []
+
+    def test_no_selection_equals_star_join(self, star_db, bitmaps):
+        _, dims, fact, _ = star_db
+        with_bitmaps = bitmap_select_consolidate(
+            fact, join_specs(dims), [], "volume"
+        )
+        plain = star_join_consolidate(fact, join_specs(dims), "volume")
+        assert with_bitmaps == plain
+
+    def test_in_list_selection_ors_bitmaps(self, star_db, bitmaps):
+        _, dims, fact, fact_rows = star_db
+        values = [h1(1, k) for k in range(FANOUTS[1])]  # all values: no-op
+        rows = bitmap_select_consolidate(
+            fact, join_specs(dims), [(bitmaps[1], values)], "volume"
+        )
+        assert rows == star_join_consolidate(fact, join_specs(dims), "volume")
+
+    def test_counters_track_selectivity(self, star_db, bitmaps):
+        _, dims, fact, fact_rows = star_db
+        counters = Counters()
+        bitmap_select_consolidate(
+            fact,
+            join_specs(dims),
+            [(bitmaps[0], [h1(0, 0)])],
+            "volume",
+            counters=counters,
+        )
+        expected = sum(1 for r in fact_rows if h1(0, r[0]) == h1(0, 0))
+        assert counters.get("selected_tuples") == expected
+        assert counters.get("bitmaps_fetched") == 1
+
+    def test_length_mismatch_rejected(self, star_db, bitmaps):
+        db, dims, fact, _ = star_db
+        bad = BitmapIndex(db.fm, "bad", len(fact) + 1)
+        with pytest.raises(QueryError):
+            bitmap_select_consolidate(
+                fact, join_specs(dims), [(bad, ["x"])], "volume"
+            )
+
+    def test_group_dimensions_required(self, star_db, bitmaps):
+        _, _, fact, _ = star_db
+        with pytest.raises(QueryError):
+            bitmap_select_consolidate(fact, [], [], "volume")

@@ -1,0 +1,121 @@
+"""Tests for the §4.4 fact file."""
+
+import pytest
+
+from repro.errors import FileError
+from repro.relational import FactFile, Schema
+from repro.util import Bitset
+
+FACT_SCHEMA = Schema(
+    [
+        ("d0", "int32"),
+        ("d1", "int32"),
+        ("d2", "int32"),
+        ("d3", "int32"),
+        ("volume", "int32"),
+    ]
+)
+
+
+def rows(n):
+    return [(i % 4, i % 3, i % 5, i % 7, i) for i in range(n)]
+
+
+class TestFactFile:
+    def test_append_and_positional_get(self, fm):
+        fact = FactFile.create(fm, "fact", FACT_SCHEMA)
+        data = rows(10)
+        for row in data:
+            assert fact.append(row) == data.index(row)
+        assert fact.get(7) == data[7]
+
+    def test_get_out_of_range(self, fm):
+        fact = FactFile.create(fm, "fact", FACT_SCHEMA)
+        fact.append(rows(1)[0])
+        with pytest.raises(FileError):
+            fact.get(1)
+
+    def test_scan_order_and_page_spill(self, fm):
+        fact = FactFile.create(fm, "fact", FACT_SCHEMA)
+        data = rows(500)  # 20-byte records on 1 KiB pages -> ~10 pages
+        fact.append_many(data)
+        assert list(fact.scan()) == data
+        assert fact._file.npages >= 9
+
+    def test_records_per_page_arithmetic(self, fm):
+        fact = FactFile.create(fm, "fact", FACT_SCHEMA)
+        assert fact.records_per_page == fm.pool.disk.page_size // 20
+        data = rows(fact.records_per_page + 1)
+        fact.append_many(data)
+        # the second page's first tuple is reachable positionally
+        assert fact.get(fact.records_per_page) == data[-1]
+
+    def test_no_per_record_overhead(self, fm):
+        fact = FactFile.create(fm, "fact", FACT_SCHEMA)
+        fact.append_many(rows(1000))
+        page = fm.pool.disk.page_size
+        data_pages = -(-1000 // fact.records_per_page)
+        # footprint = header + extent-rounded data pages, nothing per record
+        extent = fact._file.extent_pages
+        extents = -(-data_pages // extent)
+        assert fact.size_bytes() == page * (1 + extents * extent)
+
+    def test_fetch_bitmap_returns_selected(self, fm):
+        fact = FactFile.create(fm, "fact", FACT_SCHEMA)
+        data = rows(300)
+        fact.append_many(data)
+        wanted = [5, 57, 58, 120, 299]
+        bits = Bitset.from_indices(300, wanted)
+        assert list(fact.fetch_bitmap(bits)) == [data[i] for i in wanted]
+
+    def test_fetch_bitmap_rejects_wrong_length(self, fm):
+        fact = FactFile.create(fm, "fact", FACT_SCHEMA)
+        fact.append_many(rows(10))
+        with pytest.raises(FileError):
+            list(fact.fetch_bitmap(Bitset(9)))
+
+    def test_fetch_bitmap_reads_each_page_once(self, fm):
+        fact = FactFile.create(fm, "fact", FACT_SCHEMA)
+        fact.append_many(rows(200))
+        fm.pool.clear()
+        fm.pool.disk.reset_stats()
+        per_page = fact.records_per_page
+        bits = Bitset.from_indices(200, [0, 1, 2, per_page, per_page + 1])
+        list(fact.fetch_bitmap(bits))
+        # five tuples on two pages: at most a couple of header reads extra
+        assert fm.pool.disk.counters.get("pages_read") <= 4
+
+    def test_survives_cold_reopen(self, fm):
+        fact = FactFile.create(fm, "fact", FACT_SCHEMA)
+        data = rows(42)
+        fact.append_many(data)
+        fm.pool.clear()
+        reopened = FactFile.open(fm, "fact")
+        assert len(reopened) == 42
+        assert reopened.get(41) == data[41]
+
+    def test_record_larger_than_page_rejected(self, pool):
+        from repro.storage import FileManager
+
+        fm = FileManager(pool)
+        wide = Schema([("s", f"str:{pool.disk.page_size * 2}")])
+        with pytest.raises(FileError):
+            FactFile.create(fm, "fact", wide)
+
+    def test_update_in_place(self, fm):
+        fact = FactFile.create(fm, "fact", FACT_SCHEMA)
+        fact.append_many(rows(20))
+        fact.update(7, (9, 9, 9, 9, 999))
+        assert fact.get(7) == (9, 9, 9, 9, 999)
+        assert len(fact) == 20
+        assert fact.get(6) == rows(20)[6]
+
+    def test_update_out_of_range(self, fm):
+        fact = FactFile.create(fm, "fact", FACT_SCHEMA)
+        fact.append(rows(1)[0])
+        with pytest.raises(FileError):
+            fact.update(1, rows(1)[0])
+
+    def test_empty_scan(self, fm):
+        fact = FactFile.create(fm, "fact", FACT_SCHEMA)
+        assert list(fact.scan()) == []

@@ -1,0 +1,87 @@
+"""Tests for slotted-page heap files."""
+
+import pytest
+
+from repro.errors import FileError
+from repro.relational import HeapFile, Schema
+
+DIM_SCHEMA = Schema([("d0", "int32"), ("h01", "str:8"), ("h02", "str:8")])
+
+
+class TestHeapFile:
+    def test_insert_and_get(self, fm):
+        table = HeapFile.create(fm, "dim0", DIM_SCHEMA)
+        rid = table.insert((1, "AA0", "BB0"))
+        assert table.get(rid) == (1, "AA0", "BB0")
+        assert len(table) == 1
+
+    def test_scan_preserves_insert_order(self, fm):
+        table = HeapFile.create(fm, "dim0", DIM_SCHEMA)
+        rows = [(i, f"AA{i % 3}", f"BB{i % 2}") for i in range(50)]
+        for row in rows:
+            table.insert(row)
+        assert list(table.scan()) == rows
+
+    def test_rows_spill_across_pages(self, fm):
+        table = HeapFile.create(fm, "dim0", DIM_SCHEMA)
+        rows = [(i, "A", "B") for i in range(200)]
+        table.insert_many(rows)
+        assert list(table.scan()) == rows
+        assert table._file.npages > 1
+
+    def test_insert_many_counts(self, fm):
+        table = HeapFile.create(fm, "dim0", DIM_SCHEMA)
+        table.insert_many([(i, "x", "y") for i in range(10)])
+        table.insert((99, "z", "w"))
+        assert len(table) == 11
+
+    def test_survives_cold_reopen(self, fm):
+        table = HeapFile.create(fm, "dim0", DIM_SCHEMA)
+        table.insert_many([(i, "a", "b") for i in range(25)])
+        fm.pool.clear()
+        reopened = HeapFile.open(fm, "dim0")
+        assert reopened.schema == DIM_SCHEMA
+        assert len(reopened) == 25
+        assert list(reopened.scan())[24] == (24, "a", "b")
+
+    def test_schema_mismatch_on_open(self, fm):
+        HeapFile.create(fm, "dim0", DIM_SCHEMA)
+        other = Schema([("x", "int64")])
+        with pytest.raises(FileError):
+            HeapFile(fm.open("dim0"), other)
+
+    def test_new_file_requires_schema(self, fm):
+        pfile = fm.create("raw")
+        with pytest.raises(FileError):
+            HeapFile(pfile)
+
+    def test_delete(self, fm):
+        table = HeapFile.create(fm, "dim0", DIM_SCHEMA)
+        rids = [table.insert((i, "a", "b")) for i in range(5)]
+        table.delete(rids[2])
+        assert len(table) == 4
+        assert [r[0] for r in table.scan()] == [0, 1, 3, 4]
+
+    def test_delete_twice_raises(self, fm):
+        from repro.errors import PageError
+
+        table = HeapFile.create(fm, "dim0", DIM_SCHEMA)
+        rid = table.insert((1, "a", "b"))
+        table.delete(rid)
+        import pytest as _pytest
+
+        with _pytest.raises(PageError):
+            table.delete(rid)
+
+    def test_update_in_place(self, fm):
+        table = HeapFile.create(fm, "dim0", DIM_SCHEMA)
+        rid = table.insert((1, "old", "x"))
+        new_rid = table.update(rid, (1, "new", "x"))
+        assert table.get(new_rid) == (1, "new", "x")
+        assert len(table) == 1
+
+    def test_size_includes_slot_overhead(self, fm):
+        table = HeapFile.create(fm, "dim0", DIM_SCHEMA)
+        table.insert_many([(i, "a", "b") for i in range(100)])
+        # footprint must exceed the raw record bytes: slots + headers
+        assert table.size_bytes() > 100 * DIM_SCHEMA.record_size

@@ -1,0 +1,49 @@
+"""Tests for relational schemas."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import Column, Schema
+
+
+class TestSchema:
+    def test_names_in_order(self):
+        schema = Schema([("a", "int32"), ("b", "str:4")])
+        assert schema.names == ("a", "b")
+
+    def test_index_of(self):
+        schema = Schema([("a", "int32"), ("b", "int64")])
+        assert schema.index_of("b") == 1
+
+    def test_unknown_column(self):
+        schema = Schema([("a", "int32")])
+        with pytest.raises(SchemaError):
+            schema.index_of("zz")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([("a", "int32"), ("a", "int64")])
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([("a", "varchar")])
+
+    def test_record_size(self):
+        schema = Schema([("a", "int32"), ("b", "int32"), ("m", "int32")])
+        assert schema.record_size == 12
+
+    def test_column_lookup(self):
+        schema = Schema([Column("x", "float64")])
+        assert schema.column("x").ctype == "float64"
+
+    def test_text_roundtrip(self):
+        schema = Schema([("d0", "int32"), ("h01", "str:8"), ("v", "int64")])
+        assert Schema.from_text(schema.to_text()) == schema
+
+    def test_from_text_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            Schema.from_text("nonsense")
+
+    def test_equality(self):
+        assert Schema([("a", "int32")]) == Schema([("a", "int32")])
+        assert Schema([("a", "int32")]) != Schema([("a", "int64")])

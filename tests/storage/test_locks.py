@@ -1,0 +1,80 @@
+"""Tests for the table-level lock manager."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import LockManager
+from repro.storage.locks import EXCLUSIVE, SHARED
+
+
+class TestLockManager:
+    def test_shared_locks_coexist(self):
+        lm = LockManager()
+        lm.acquire("sales", SHARED, "t1")
+        lm.acquire("sales", SHARED, "t2")
+        assert lm.mode("sales", "t1") == SHARED
+        assert lm.mode("sales", "t2") == SHARED
+
+    def test_exclusive_conflicts_with_shared(self):
+        lm = LockManager()
+        lm.acquire("sales", SHARED, "t1")
+        with pytest.raises(StorageError):
+            lm.acquire("sales", EXCLUSIVE, "t2")
+
+    def test_shared_conflicts_with_exclusive(self):
+        lm = LockManager()
+        lm.acquire("sales", EXCLUSIVE, "t1")
+        with pytest.raises(StorageError):
+            lm.acquire("sales", SHARED, "t2")
+
+    def test_upgrade_when_sole_holder(self):
+        lm = LockManager()
+        lm.acquire("sales", SHARED, "t1")
+        lm.acquire("sales", EXCLUSIVE, "t1")
+        assert lm.mode("sales", "t1") == EXCLUSIVE
+
+    def test_upgrade_blocked_by_other_reader(self):
+        lm = LockManager()
+        lm.acquire("sales", SHARED, "t1")
+        lm.acquire("sales", SHARED, "t2")
+        with pytest.raises(StorageError):
+            lm.acquire("sales", EXCLUSIVE, "t1")
+
+    def test_reacquire_is_idempotent(self):
+        lm = LockManager()
+        lm.acquire("sales", SHARED, "t1")
+        lm.acquire("sales", SHARED, "t1")
+        lm.release("sales", "t1")
+        assert lm.mode("sales", "t1") is None
+
+    def test_exclusive_holder_may_ask_for_shared(self):
+        lm = LockManager()
+        lm.acquire("sales", EXCLUSIVE, "t1")
+        lm.acquire("sales", SHARED, "t1")  # no-op, keeps X
+        assert lm.mode("sales", "t1") == EXCLUSIVE
+
+    def test_release_unheld_raises(self):
+        lm = LockManager()
+        with pytest.raises(StorageError):
+            lm.release("sales", "t1")
+
+    def test_release_all(self):
+        lm = LockManager()
+        lm.acquire("a", SHARED, "t1")
+        lm.acquire("b", EXCLUSIVE, "t1")
+        lm.acquire("a", SHARED, "t2")
+        lm.release_all("t1")
+        assert lm.mode("a", "t1") is None
+        assert lm.mode("b", "t1") is None
+        assert lm.mode("a", "t2") == SHARED
+
+    def test_unknown_mode_rejected(self):
+        lm = LockManager()
+        with pytest.raises(StorageError):
+            lm.acquire("a", "Z", "t1")
+
+    def test_context_manager(self):
+        lm = LockManager()
+        with lm.locked("sales", EXCLUSIVE, "t1"):
+            assert lm.mode("sales", "t1") == EXCLUSIVE
+        assert lm.mode("sales", "t1") is None

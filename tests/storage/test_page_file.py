@@ -1,0 +1,115 @@
+"""Tests for extent-based page files and the file manager."""
+
+import pytest
+
+from repro.errors import FileError
+from repro.storage import FileManager, PageFile
+
+
+class TestPageFile:
+    def test_new_file_is_empty(self, fm):
+        pfile = fm.create("t")
+        assert pfile.npages == 0
+
+    def test_append_and_map_pages(self, fm):
+        pfile = fm.create("t", extent_pages=4)
+        logicals = [pfile.append_page() for _ in range(10)]
+        assert logicals == list(range(10))
+        # pages within an extent are physically contiguous
+        base = pfile.page_id(0)
+        assert [pfile.page_id(i) for i in range(4)] == [base + i for i in range(4)]
+
+    def test_extents_allocated_lazily(self, fm):
+        pfile = fm.create("t", extent_pages=4)
+        pfile.append_page()
+        one_extent = pfile.size_bytes()
+        for _ in range(4):
+            pfile.append_page()
+        assert pfile.size_bytes() == one_extent + 4 * fm.pool.disk.page_size
+
+    def test_page_id_out_of_range(self, fm):
+        pfile = fm.create("t")
+        with pytest.raises(FileError):
+            pfile.page_id(0)
+
+    def test_data_roundtrip_through_pool(self, fm):
+        pfile = fm.create("t")
+        pfile.append_page()
+        buf = pfile.read(0)
+        buf[:5] = b"hello"
+        pfile.mark_dirty(0)
+        fm.pool.clear()
+        assert bytes(fm.open("t").read(0)[:5]) == b"hello"
+
+    def test_write_full_image(self, fm):
+        pfile = fm.create("t")
+        pfile.append_page()
+        image = bytes([3]) * fm.pool.disk.page_size
+        pfile.write(0, image)
+        assert bytes(pfile.read(0)) == image
+
+    def test_metadata_roundtrip(self, fm):
+        pfile = fm.create("t")
+        pfile.set_meta(b"record_size=20")
+        assert pfile.get_meta() == b"record_size=20"
+
+    def test_metadata_survives_reopen(self, fm):
+        pfile = fm.create("t")
+        pfile.set_meta(b"xyz")
+        fm.pool.clear()
+        assert fm.open("t").get_meta() == b"xyz"
+
+    def test_metadata_too_large(self, fm):
+        pfile = fm.create("t")
+        with pytest.raises(FileError):
+            pfile.set_meta(b"x" * 4096)
+
+    def test_ensure_pages(self, fm):
+        pfile = fm.create("t")
+        pfile.ensure_pages(7)
+        assert pfile.npages == 7
+        pfile.ensure_pages(3)
+        assert pfile.npages == 7
+
+    def test_bad_extent_size(self, pool):
+        with pytest.raises(FileError):
+            PageFile.create(pool, extent_pages=0)
+
+    def test_header_survives_cold_reopen(self, fm):
+        pfile = fm.create("t", extent_pages=2)
+        for _ in range(5):
+            pfile.append_page()
+        mapping = [pfile.page_id(i) for i in range(5)]
+        fm.pool.clear()
+        reopened = fm.open("t")
+        assert reopened.npages == 5
+        assert [reopened.page_id(i) for i in range(5)] == mapping
+
+
+class TestFileManager:
+    def test_duplicate_name_rejected(self, fm):
+        fm.create("t")
+        with pytest.raises(FileError):
+            fm.create("t")
+
+    def test_open_missing_rejected(self, fm):
+        with pytest.raises(FileError):
+            fm.open("ghost")
+
+    def test_names_sorted(self, fm):
+        fm.create("zeta")
+        fm.create("alpha")
+        assert fm.names() == ["alpha", "zeta"]
+
+    def test_exists(self, fm):
+        assert not fm.exists("t")
+        fm.create("t")
+        assert fm.exists("t")
+
+    def test_catalog_survives_cold_restart(self, fm):
+        fm.create("a").set_meta(b"A")
+        fm.create("b").set_meta(b"B")
+        fm.pool.clear()
+        reloaded = FileManager(fm.pool, master_page_id=fm.master_page_id)
+        assert reloaded.names() == ["a", "b"]
+        assert reloaded.open("a").get_meta() == b"A"

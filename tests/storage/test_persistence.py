@@ -1,0 +1,132 @@
+"""End-to-end persistence: save the volume, reload, query again."""
+
+import pytest
+
+from repro.data import (
+    SyntheticCubeConfig,
+    cube_schema_for,
+    generate_dimension_rows,
+    generate_fact_rows,
+)
+from repro.errors import PageError
+from repro.olap import ConsolidationQuery, OlapEngine
+from repro.relational import Database, Schema
+from repro.storage import SimulatedDisk
+
+CONFIG = SyntheticCubeConfig(
+    name="persist",
+    dim_sizes=(6, 5, 8),
+    n_valid=100,
+    chunk_shape=(3, 3, 4),
+    fanout1=3,
+)
+QUERY = ConsolidationQuery.build(
+    "persist", group_by={"dim0": "h01", "dim1": "h11"}
+)
+
+
+class TestDiskImage:
+    def test_roundtrip(self, tmp_path):
+        disk = SimulatedDisk(page_size=256)
+        disk.allocate(5)
+        disk.write_page(2, b"\x42" * 256)
+        path = str(tmp_path / "volume.img")
+        disk.save(path)
+        again = SimulatedDisk.load(path)
+        assert again.page_size == 256
+        assert again.num_pages == 5
+        assert again.read_page(2) == b"\x42" * 256
+        assert again.read_page(0) == bytes(256)
+
+    def test_empty_volume(self, tmp_path):
+        disk = SimulatedDisk(page_size=128)
+        path = str(tmp_path / "empty.img")
+        disk.save(path)
+        assert SimulatedDisk.load(path).num_pages == 0
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = str(tmp_path / "junk.img")
+        with open(path, "wb") as handle:
+            handle.write(b"NOTADISK" + bytes(100))
+        with pytest.raises(PageError):
+            SimulatedDisk.load(path)
+
+
+class TestDatabaseAttach:
+    def test_tables_and_indexes_survive(self, tmp_path):
+        db = Database(page_size=512, pool_bytes=128 * 512)
+        dim = db.create_heap_table(
+            "dim", Schema([("k", "int32"), ("h", "str:4")])
+        )
+        dim.insert_many([(i, f"h{i % 2}") for i in range(20)])
+        fact = db.create_fact_table(
+            "fact", Schema([("k", "int32"), ("v", "int32")])
+        )
+        fact.append_many([(i % 20, i) for i in range(200)])
+        db.create_btree_index("fact.k.idx", "fact", "k")
+        db.create_bitmap_index("fact.h.bm", 200, (f"h{(i % 20) % 2}" for i in range(200)))
+        db.pool.flush_all()
+
+        path = str(tmp_path / "db.img")
+        db.disk.save(path)
+
+        attached = Database.attach(SimulatedDisk.load(path))
+        assert attached.table_names() == ["dim", "fact"]
+        assert len(attached.table("fact")) == 200
+        assert attached.table("fact").get(7) == (7, 7)
+        assert attached.btree("fact.k.idx").search(3) == [3, 23, 43, 63, 83,
+                                                          103, 123, 143, 163, 183]
+        bitmap = attached.bitmap("fact.h.bm")
+        assert bitmap.length == 200
+        assert bitmap.bitmap_for("h1").count() == 100
+
+    def test_attach_empty_database(self, tmp_path):
+        db = Database(page_size=512)
+        db.pool.flush_all()
+        path = str(tmp_path / "empty.img")
+        db.disk.save(path)
+        attached = Database.attach(SimulatedDisk.load(path))
+        assert attached.table_names() == []
+
+
+class TestEngineAttach:
+    def test_full_cube_roundtrip(self, tmp_path):
+        schema = cube_schema_for(CONFIG)
+        engine = OlapEngine(page_size=1024, pool_bytes=512 * 1024)
+        engine.load_cube(
+            schema,
+            generate_dimension_rows(CONFIG),
+            generate_fact_rows(CONFIG),
+            chunk_shape=CONFIG.chunk_shape,
+            fact_btrees=True,
+        )
+        expected = engine.query(QUERY, backend="array").rows
+        engine.db.pool.flush_all()
+        path = str(tmp_path / "cube.img")
+        engine.db.disk.save(path)
+
+        reopened = OlapEngine(db=Database.attach(SimulatedDisk.load(path)))
+        state = reopened.attach_cube(schema)
+        assert state.available_backends() >= {
+            "array", "starjoin", "bitmap", "btree", "leftdeep"
+        }
+        for backend in ("array", "starjoin"):
+            assert reopened.query(QUERY, backend=backend).rows == expected
+
+    def test_attach_relational_only_cube(self, tmp_path):
+        schema = cube_schema_for(CONFIG)
+        engine = OlapEngine(page_size=1024, pool_bytes=512 * 1024)
+        engine.load_cube(
+            schema,
+            generate_dimension_rows(CONFIG),
+            generate_fact_rows(CONFIG),
+            backends=("relational",),
+        )
+        engine.db.pool.flush_all()
+        path = str(tmp_path / "rel.img")
+        engine.db.disk.save(path)
+
+        reopened = OlapEngine(db=Database.attach(SimulatedDisk.load(path)))
+        state = reopened.attach_cube(schema)
+        assert state.array is None
+        assert reopened.query(QUERY, backend="starjoin").rows

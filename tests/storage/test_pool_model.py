@@ -1,0 +1,71 @@
+"""Model-based test: the buffer pool must behave like a plain dict.
+
+A random sequence of new-page / write / read / clear operations runs
+against a tiny (heavy-eviction) pool and against an in-memory
+reference; contents must agree after every step.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import BufferPool, SimulatedDisk
+
+PAGE = 64
+
+
+@st.composite
+def operation_sequences(draw):
+    n_ops = draw(st.integers(1, 60))
+    ops = []
+    n_pages = 0
+    for _ in range(n_ops):
+        if n_pages == 0:
+            kind = "new"
+        else:
+            kind = draw(
+                st.sampled_from(["new", "write", "read", "clear", "flush"])
+            )
+        if kind == "new":
+            ops.append(("new", draw(st.binary(min_size=PAGE, max_size=PAGE))))
+            n_pages += 1
+        elif kind == "write":
+            ops.append(
+                (
+                    "write",
+                    draw(st.integers(0, n_pages - 1)),
+                    draw(st.binary(min_size=PAGE, max_size=PAGE)),
+                )
+            )
+        elif kind == "read":
+            ops.append(("read", draw(st.integers(0, n_pages - 1))))
+        else:
+            ops.append((kind,))
+    return ops
+
+
+@settings(max_examples=80, deadline=None)
+@given(operation_sequences(), st.integers(1, 5))
+def test_pool_matches_reference(ops, frames):
+    disk = SimulatedDisk(page_size=PAGE)
+    pool = BufferPool(disk, capacity_bytes=frames * PAGE)
+    reference: dict[int, bytes] = {}
+    for op in ops:
+        if op[0] == "new":
+            page_id = pool.new_page()
+            pool.write(page_id, op[1])
+            reference[page_id] = op[1]
+        elif op[0] == "write":
+            pool.write(op[1], op[2])
+            reference[op[1]] = op[2]
+        elif op[0] == "read":
+            assert bytes(pool.get(op[1])) == reference[op[1]]
+        elif op[0] == "clear":
+            pool.clear()
+        elif op[0] == "flush":
+            pool.flush_all()
+    # final audit: every page readable with the right contents
+    for page_id, expected in reference.items():
+        assert bytes(pool.get(page_id)) == expected
+    pool.clear()
+    for page_id, expected in reference.items():
+        assert disk.read_page(page_id) == expected

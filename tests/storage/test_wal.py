@@ -1,0 +1,85 @@
+"""Tests for the write-ahead log and recovery."""
+
+import pytest
+
+from repro.errors import WALError
+from repro.storage import SimulatedDisk, WriteAheadLog, recover
+from repro.storage.wal import LogRecord, _KIND_COMMIT, _KIND_PAGE
+
+
+class TestLog:
+    def test_lsns_increase(self):
+        wal = WriteAheadLog()
+        assert wal.log_page(3, b"abc") == 0
+        assert wal.log_commit() == 1
+        assert wal.log_page(4, b"") == 2
+
+    def test_records_decode_in_order(self):
+        wal = WriteAheadLog()
+        wal.log_page(7, b"payload")
+        wal.log_commit()
+        records = wal.records()
+        assert [r.kind for r in records] == [_KIND_PAGE, _KIND_COMMIT]
+        assert records[0].page_id == 7
+        assert records[0].image == b"payload"
+
+    def test_checkpoint_truncates(self):
+        wal = WriteAheadLog()
+        wal.log_page(1, b"x")
+        wal.checkpoint()
+        assert wal.records() == []
+        assert wal.size_bytes() == 0
+
+    def test_decode_rejects_truncated_header(self):
+        with pytest.raises(WALError):
+            LogRecord.decode(b"\x00\x01", 0)
+
+    def test_decode_rejects_truncated_payload(self):
+        wal = WriteAheadLog()
+        wal.log_page(1, b"abcdef")
+        raw = wal._buffer[:-2]
+        with pytest.raises(WALError):
+            LogRecord.decode(bytes(raw), 0)
+
+
+class TestRecovery:
+    def make_disk(self, pages=4, page_size=128):
+        disk = SimulatedDisk(page_size=page_size)
+        disk.allocate(pages)
+        return disk
+
+    def page_image(self, disk, fill):
+        return bytes([fill]) * disk.page_size
+
+    def test_only_committed_records_replay(self):
+        disk = self.make_disk()
+        wal = WriteAheadLog()
+        wal.log_page(0, self.page_image(disk, 1))
+        wal.log_commit()
+        wal.log_page(1, self.page_image(disk, 2))  # uncommitted
+        assert recover(disk, wal) == 1
+        assert disk.read_page(0)[0] == 1
+        assert disk.read_page(1)[0] == 0
+
+    def test_latest_committed_image_wins(self):
+        disk = self.make_disk()
+        wal = WriteAheadLog()
+        wal.log_page(0, self.page_image(disk, 1))
+        wal.log_commit()
+        wal.log_page(0, self.page_image(disk, 9))
+        wal.log_commit()
+        recover(disk, wal)
+        assert disk.read_page(0)[0] == 9
+
+    def test_recovery_extends_volume_for_new_pages(self):
+        disk = self.make_disk(pages=1)
+        wal = WriteAheadLog()
+        wal.log_page(5, self.page_image(disk, 7))
+        wal.log_commit()
+        recover(disk, wal)
+        assert disk.num_pages == 6
+        assert disk.read_page(5)[0] == 7
+
+    def test_empty_log_recovers_nothing(self):
+        disk = self.make_disk()
+        assert recover(disk, WriteAheadLog()) == 0

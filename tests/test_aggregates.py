@@ -1,0 +1,84 @@
+"""Tests for the shared aggregate functions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aggregates import get_aggregate
+from repro.errors import QueryError
+
+
+def fold(name, values):
+    agg = get_aggregate(name)
+    state = agg.initial()
+    for v in values:
+        state = agg.add(state, v)
+    return agg.result(state)
+
+
+class TestFolds:
+    def test_sum(self):
+        assert fold("sum", [1, 2, 3]) == 6
+
+    def test_sum_empty(self):
+        assert fold("sum", []) == 0
+
+    def test_count(self):
+        assert fold("count", [5, 5, 5, 5]) == 4
+
+    def test_min_max(self):
+        assert fold("min", [3, -1, 7]) == -1
+        assert fold("max", [3, -1, 7]) == 7
+
+    def test_min_empty_is_none(self):
+        assert fold("min", []) is None
+        assert fold("max", []) is None
+
+    def test_avg(self):
+        assert fold("avg", [1, 2, 3, 4]) == 2.5
+
+    def test_avg_empty_is_none(self):
+        assert fold("avg", []) is None
+
+    def test_variance_matches_numpy(self):
+        import numpy as np
+
+        values = [3, 7, 7, 19, 2, 2, 5]
+        assert fold("var", values) == pytest.approx(np.var(values))
+        assert fold("stddev", values) == pytest.approx(np.std(values))
+
+    def test_variance_of_constant_is_zero(self):
+        assert fold("var", [4, 4, 4]) == 0.0
+
+    def test_variance_empty_is_none(self):
+        assert fold("var", []) is None
+        assert fold("stddev", []) is None
+
+    def test_case_insensitive_lookup(self):
+        assert get_aggregate("SUM").name == "sum"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(QueryError):
+            get_aggregate("median")
+
+
+@given(
+    st.sampled_from(["sum", "count", "min", "max", "avg", "var", "stddev"]),
+    st.lists(st.integers(-100, 100), min_size=1),
+    st.data(),
+)
+def test_merge_equals_sequential_fold(name, values, data):
+    agg = get_aggregate(name)
+    cut = data.draw(st.integers(min_value=0, max_value=len(values)))
+    left = agg.initial()
+    for v in values[:cut]:
+        left = agg.add(left, v)
+    right = agg.initial()
+    for v in values[cut:]:
+        right = agg.add(right, v)
+    merged = agg.result(agg.merge(left, right))
+    sequential = fold(name, values)
+    if isinstance(sequential, float):
+        assert merged == pytest.approx(sequential)
+    else:
+        assert merged == sequential

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+    def test_bench_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "fig99"])
+
+    def test_scale_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--scale", "galactic"])
+
+    def test_experiment_list_covers_benchmark_modules(self):
+        import os
+
+        bench_dir = os.path.join(
+            os.path.dirname(__file__), "..", "benchmarks"
+        )
+        modules = {
+            f[len("test_"):-len(".py")]
+            for f in os.listdir(bench_dir)
+            if f.startswith("test_") and f.endswith(".py")
+        }
+        for experiment in EXPERIMENTS:
+            assert any(m.startswith(experiment) for m in modules), experiment
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "fig4" in out
+
+    def test_demo_small(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Query 1" in out and "Query 3" in out
+        assert "planner would pick" in out
+
+    def test_sql_small(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        statement = (
+            "select sum(volume), dim0.h01 from fact, dim0 "
+            "where fact.d0 = dim0.d0 group by h01"
+        )
+        assert main(["sql", statement, "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("AA")
+
+    def test_storage_small(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert main(["storage"]) == 0
+        out = capsys.readouterr().out
+        assert "fact_file" in out
+        assert "array_total" in out

@@ -1,0 +1,162 @@
+"""Unit and property tests for the packed bitset."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import BitmapError
+from repro.util import Bitset
+
+
+class TestScalarOps:
+    def test_new_bitset_is_all_zero(self):
+        bits = Bitset(130)
+        assert bits.count() == 0
+        assert not bits.any()
+        assert len(bits) == 130
+
+    def test_set_get_clear_roundtrip(self):
+        bits = Bitset(100)
+        bits.set(0)
+        bits.set(63)
+        bits.set(64)
+        bits.set(99)
+        assert bits.get(0) and bits.get(63) and bits.get(64) and bits.get(99)
+        assert not bits.get(1)
+        bits.clear(63)
+        assert not bits.get(63)
+        assert bits.count() == 3
+
+    def test_getitem_alias(self):
+        bits = Bitset(10)
+        bits.set(3)
+        assert bits[3]
+        assert not bits[4]
+
+    def test_out_of_range_raises(self):
+        bits = Bitset(10)
+        with pytest.raises(BitmapError):
+            bits.set(10)
+        with pytest.raises(BitmapError):
+            bits.get(-1)
+
+    def test_negative_length_raises(self):
+        with pytest.raises(BitmapError):
+            Bitset(-1)
+
+    def test_zero_length_bitset(self):
+        bits = Bitset(0)
+        assert bits.count() == 0
+        assert list(bits) == []
+        assert bits.set_positions().size == 0
+
+
+class TestConstruction:
+    def test_from_indices(self):
+        bits = Bitset.from_indices(200, [5, 64, 199])
+        assert bits.set_positions().tolist() == [5, 64, 199]
+
+    def test_from_indices_empty(self):
+        bits = Bitset.from_indices(50, [])
+        assert bits.count() == 0
+
+    def test_from_indices_out_of_range(self):
+        with pytest.raises(BitmapError):
+            Bitset.from_indices(10, [10])
+
+    def test_from_indices_duplicates_set_once(self):
+        bits = Bitset.from_indices(10, [3, 3, 3])
+        assert bits.count() == 1
+
+    def test_ones_masks_tail(self):
+        bits = Bitset.ones(70)
+        assert bits.count() == 70
+        # the tail bits beyond length must be zero so count stays exact
+        assert (~bits).count() == 0
+
+    def test_bytes_roundtrip(self):
+        bits = Bitset.from_indices(150, [0, 77, 149])
+        again = Bitset.from_bytes(150, bits.to_bytes())
+        assert again == bits
+
+    def test_from_bytes_wrong_length(self):
+        with pytest.raises(BitmapError):
+            Bitset.from_bytes(100, b"\x00" * 3)
+
+
+class TestAlgebra:
+    def test_and_or_xor(self):
+        a = Bitset.from_indices(100, [1, 2, 3, 64])
+        b = Bitset.from_indices(100, [2, 3, 4, 65])
+        assert (a & b).set_positions().tolist() == [2, 3]
+        assert (a | b).set_positions().tolist() == [1, 2, 3, 4, 64, 65]
+        assert (a ^ b).set_positions().tolist() == [1, 4, 64, 65]
+
+    def test_invert_respects_length(self):
+        a = Bitset.from_indices(66, [0, 65])
+        inv = ~a
+        assert inv.count() == 64
+        assert not inv.get(0) and not inv.get(65)
+
+    def test_inplace_and_or(self):
+        a = Bitset.from_indices(80, [1, 2, 3])
+        b = Bitset.from_indices(80, [2, 3, 4])
+        a.iand(b)
+        assert a.set_positions().tolist() == [2, 3]
+        a.ior(Bitset.from_indices(80, [79]))
+        assert a.set_positions().tolist() == [2, 3, 79]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(BitmapError):
+            Bitset(10) & Bitset(11)
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Bitset(4))
+
+
+@given(
+    st.integers(min_value=1, max_value=300).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(st.integers(min_value=0, max_value=n - 1), unique=True),
+            st.lists(st.integers(min_value=0, max_value=n - 1), unique=True),
+        )
+    )
+)
+def test_algebra_matches_python_sets(params):
+    n, xs, ys = params
+    a, b = Bitset.from_indices(n, xs), Bitset.from_indices(n, ys)
+    sa, sb = set(xs), set(ys)
+    assert set((a & b).set_positions().tolist()) == sa & sb
+    assert set((a | b).set_positions().tolist()) == sa | sb
+    assert set((a ^ b).set_positions().tolist()) == sa ^ sb
+    assert set((~a).set_positions().tolist()) == set(range(n)) - sa
+    assert a.count() == len(sa)
+
+
+@given(
+    st.integers(min_value=0, max_value=500),
+)
+def test_ones_count_equals_length(n):
+    assert Bitset.ones(n).count() == n
+
+
+@given(
+    st.integers(min_value=1, max_value=200).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(st.integers(min_value=0, max_value=n - 1), unique=True),
+        )
+    )
+)
+def test_serialization_roundtrip(params):
+    n, xs = params
+    bits = Bitset.from_indices(n, xs)
+    assert Bitset.from_bytes(n, bits.to_bytes()) == bits
+
+
+def test_set_positions_returns_int64():
+    bits = Bitset.from_indices(10, [1, 9])
+    assert bits.set_positions().dtype == np.int64

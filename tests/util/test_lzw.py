@@ -1,0 +1,72 @@
+"""Unit and property tests for the LZW codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CompressionError
+from repro.util import lzw_compress, lzw_decompress
+
+
+class TestRoundtrips:
+    def test_empty(self):
+        assert lzw_compress(b"") == b""
+        assert lzw_decompress(b"") == b""
+
+    def test_single_byte(self):
+        assert lzw_decompress(lzw_compress(b"a")) == b"a"
+
+    def test_ascii_text(self):
+        text = b"TOBEORNOTTOBEORTOBEORNOT" * 4
+        assert lzw_decompress(lzw_compress(text)) == text
+
+    def test_all_byte_values(self):
+        data = bytes(range(256)) * 3
+        assert lzw_decompress(lzw_compress(data)) == data
+
+    def test_kwkwk_pattern(self):
+        # Classic LZW edge case where the decoder sees a not-yet-defined code.
+        data = b"abababababababab"
+        assert lzw_decompress(lzw_compress(data)) == data
+
+    def test_long_repetitive_input_triggers_width_growth(self):
+        data = bytes(i % 7 for i in range(50_000))
+        assert lzw_decompress(lzw_compress(data)) == data
+
+    def test_incompressible_input(self):
+        data = bytes((i * 2654435761) % 256 for i in range(4096))
+        assert lzw_decompress(lzw_compress(data)) == data
+
+
+class TestCompressionBehaviour:
+    def test_repetitive_data_shrinks(self):
+        data = b"x" * 10_000
+        assert len(lzw_compress(data)) < len(data) / 10
+
+    def test_zero_page_shrinks(self):
+        data = bytes(8192)
+        assert len(lzw_compress(data)) < 200
+
+
+class TestErrors:
+    def test_stream_starting_with_nonliteral_rejected(self):
+        # 9-bit code 300 is not a literal
+        payload = bytes([300 & 0xFF, 300 >> 8])
+        with pytest.raises(CompressionError):
+            lzw_decompress(payload)
+
+
+@settings(max_examples=60)
+@given(st.binary(max_size=3000))
+def test_roundtrip_arbitrary_bytes(data):
+    assert lzw_decompress(lzw_compress(data)) == data
+
+
+@settings(max_examples=25)
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=100, max_value=60_000),
+)
+def test_roundtrip_low_entropy(alphabet, length):
+    data = bytes(i % alphabet for i in range(length))
+    assert lzw_decompress(lzw_compress(data)) == data

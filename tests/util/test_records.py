@@ -1,0 +1,98 @@
+"""Unit and property tests for fixed-length record codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.util import RecordCodec
+
+
+class TestBasics:
+    def test_int_record_roundtrip(self):
+        codec = RecordCodec(["int32", "int32", "int64"])
+        raw = codec.pack((1, -2, 3_000_000_000))
+        assert len(raw) == codec.record_size == 16
+        assert codec.unpack(raw) == (1, -2, 3_000_000_000)
+
+    def test_mixed_record_roundtrip(self):
+        codec = RecordCodec(["int32", "str:8", "float64"])
+        raw = codec.pack((7, "abc", 1.5))
+        assert codec.unpack(raw) == (7, "abc", 1.5)
+
+    def test_string_padded_to_width(self):
+        codec = RecordCodec(["str:10"])
+        assert codec.record_size == 10
+        assert codec.unpack(codec.pack(("hi",))) == ("hi",)
+
+    def test_string_too_long_rejected(self):
+        codec = RecordCodec(["str:3"])
+        with pytest.raises(SchemaError):
+            codec.pack(("abcd",))
+
+    def test_wrong_arity_rejected(self):
+        codec = RecordCodec(["int32", "int32"])
+        with pytest.raises(SchemaError):
+            codec.pack((1,))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            RecordCodec(["int7"])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            RecordCodec([])
+
+    def test_nonpositive_string_width_rejected(self):
+        with pytest.raises(SchemaError):
+            RecordCodec(["str:0"])
+
+
+class TestBufferOps:
+    def test_pack_into_unpack_from(self):
+        codec = RecordCodec(["int32", "str:4"])
+        buffer = bytearray(100)
+        codec.pack_into(buffer, 10, (42, "ok"))
+        assert codec.unpack_from(buffer, 10) == (42, "ok")
+
+    def test_iter_unpack_scans_consecutive_records(self):
+        codec = RecordCodec(["int32", "int32"])
+        buffer = bytearray(8 * 5 + 3)
+        rows = [(i, i * i) for i in range(5)]
+        for i, row in enumerate(rows):
+            codec.pack_into(buffer, i * 8, row)
+        assert list(codec.iter_unpack(buffer, 5)) == rows
+
+    def test_iter_unpack_with_offset(self):
+        codec = RecordCodec(["int64"])
+        buffer = bytearray(32)
+        codec.pack_into(buffer, 8, (11,))
+        codec.pack_into(buffer, 16, (22,))
+        assert list(codec.iter_unpack(buffer, 2, offset=8)) == [(11,), (22,)]
+
+
+_VALUE_STRATEGIES = {
+    "int32": st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    "int64": st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    "float64": st.floats(allow_nan=False),
+    "str:6": st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=6
+    ),
+}
+
+
+@given(
+    st.lists(
+        st.sampled_from(sorted(_VALUE_STRATEGIES)), min_size=1, max_size=6
+    ).flatmap(
+        lambda types: st.tuples(
+            st.just(types),
+            st.tuples(*[_VALUE_STRATEGIES[t] for t in types]),
+        )
+    )
+)
+def test_roundtrip_random_schemas(params):
+    types, values = params
+    codec = RecordCodec(types)
+    decoded = codec.unpack(codec.pack(values))
+    assert decoded == values
