@@ -17,6 +17,8 @@ from repro.bench import (
     build_cube_engine,
     query1_for,
     run_cold,
+    run_cold_traced,
+    write_trace,
 )
 from repro.data import dataset1
 
@@ -57,3 +59,18 @@ def test_fig4(benchmark, engines, table, config, backend):
     benchmark.extra_info["cost_s"] = result.cost_s
     benchmark.extra_info["sim_io_s"] = result.sim_io_s
     benchmark.extra_info["rows"] = len(result.rows)
+
+
+def test_fig4_trace_artifact(benchmark, engines):
+    """One traced cold run per series, saved next to the cost table."""
+    config = CONFIGS[0]
+    engine = engines[config.name]
+    query = query1_for(config)
+    spans = benchmark.pedantic(
+        lambda: [
+            run_cold_traced(engine, query, backend)[1] for backend in BACKENDS
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    write_trace("fig4", spans)

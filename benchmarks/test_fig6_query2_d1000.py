@@ -18,6 +18,8 @@ from repro.bench import (
     build_cube_engine,
     query2_for,
     run_cold,
+    run_cold_traced,
+    write_trace,
 )
 from repro.data import selectivity_configs
 
@@ -65,3 +67,19 @@ def test_fig6(benchmark, engines, table, config, series):
     table.add(f"{backend}-{mode}", selectivity, result)
     benchmark.extra_info["cost_s"] = result.cost_s
     benchmark.extra_info["selectivity"] = selectivity
+
+
+def test_fig6_trace_artifact(benchmark, engines):
+    """One traced cold run per series, saved next to the cost table."""
+    config = CONFIGS[0]
+    engine = engines[config.name]
+    query = query2_for(config)
+    spans = benchmark.pedantic(
+        lambda: [
+            run_cold_traced(engine, query, backend, mode=mode)[1]
+            for backend, mode in SERIES
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    write_trace("fig6", spans)

@@ -2,23 +2,28 @@
 
 from repro.bench.harness import (
     BenchSettings,
+    aggregate_stats,
     bench_settings,
     build_cube_engine,
     query1_for,
     query2_for,
     query3_for,
     run_cold,
+    run_cold_traced,
 )
-from repro.bench.report import ExperimentTable, results_dir
+from repro.bench.report import ExperimentTable, results_dir, write_trace
 
 __all__ = [
     "BenchSettings",
+    "aggregate_stats",
     "bench_settings",
     "build_cube_engine",
     "query1_for",
     "query2_for",
     "query3_for",
     "run_cold",
+    "run_cold_traced",
     "ExperimentTable",
     "results_dir",
+    "write_trace",
 ]

@@ -22,6 +22,7 @@ groups by only the first three dimensions.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.data.datasets import get_scale
@@ -31,9 +32,11 @@ from repro.data.generator import (
     generate_dimension_rows,
     generate_fact_rows,
 )
+from repro.obs.tracer import Span, Tracer, tracing
 from repro.olap.engine import OlapEngine, QueryResult
 from repro.olap.query import ConsolidationQuery, SelectionPredicate
 from repro.storage.disk import DiskModel
+from repro.util.stats import Counters
 
 # Page size scales with the data so page-count ratios between the
 # structures match the paper's 8 KiB pages; the disk transfer rate
@@ -159,3 +162,39 @@ def run_cold(
 ) -> QueryResult:
     """Execute one cold-cache query (the paper's measurement protocol)."""
     return engine.query(query, backend=backend, mode=mode, cold=True, order=order)
+
+
+def run_cold_traced(
+    engine: OlapEngine,
+    query: ConsolidationQuery,
+    backend: str,
+    mode: str = "interpreted",
+    order: str = "chunk",
+) -> tuple[QueryResult, Span]:
+    """:func:`run_cold` with a live tracer; returns ``(result, root span)``.
+
+    The root span's inclusive I/O deltas equal the result's ``stats``
+    counter-for-counter — the simulated disk is deterministic, so the
+    traced run costs exactly what the untraced run reports.
+    """
+    tracer = Tracer(registry=engine.db.metrics)
+    with tracing(tracer):
+        result = engine.query(
+            query, backend=backend, mode=mode, cold=True, order=order
+        )
+    if len(tracer.roots) != 1:
+        raise RuntimeError(
+            f"expected exactly one root span, got {len(tracer.roots)}"
+        )
+    return result, tracer.roots[0]
+
+
+def aggregate_stats(results: Iterable[QueryResult]) -> dict[str, float]:
+    """Counter stats of several runs summed into one snapshot."""
+    total = Counters()
+    for result in results:
+        bag = Counters()
+        for name, value in result.stats.items():
+            bag.add(name, value)
+        total += bag
+    return total.snapshot()

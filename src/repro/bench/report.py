@@ -12,6 +12,8 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
+from repro.obs.exporters import trace_to_json
+from repro.obs.tracer import Span
 from repro.olap.engine import QueryResult
 
 
@@ -110,3 +112,18 @@ class ExperimentTable:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.render())
         return path
+
+
+def write_trace(experiment_id: str, spans: Span | list[Span]) -> str:
+    """Write a span tree (or several) as a per-experiment trace artifact.
+
+    The file lands next to the experiment's cost table as
+    ``<experiment_id>.trace.json``; returns the file path.
+    """
+    if isinstance(spans, Span):
+        spans = [spans]
+    path = os.path.join(results_dir(), f"{experiment_id}.trace.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(trace_to_json(spans))
+        handle.write("\n")
+    return path

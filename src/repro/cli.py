@@ -4,7 +4,10 @@ Commands:
 
 - ``info`` — version, available scales and experiment ids.
 - ``demo`` — build a synthetic cube and run the paper's Query 1/2/3
-  through every backend, printing a cost table.
+  through every backend, printing a cost table (``--json`` for a
+  machine-readable report).
+- ``trace`` — run one query cold with the span tracer on and print the
+  nested phase tree with per-phase I/O counter deltas.
 - ``sql`` — run one SQL-subset statement against a synthetic cube.
 - ``storage`` — print the storage report for a synthetic cube.
 - ``bench`` — run one experiment's benchmark module via pytest.
@@ -13,6 +16,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import subprocess
 import sys
 
@@ -24,8 +28,14 @@ from repro.bench.harness import (
     query2_for,
     query3_for,
     run_cold,
+    run_cold_traced,
 )
 from repro.data.datasets import SCALES, dataset1
+from repro.obs.exporters import (
+    prometheus_text,
+    render_span_tree,
+    trace_to_json,
+)
 
 EXPERIMENTS = (
     "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
@@ -55,27 +65,84 @@ def cmd_info(args) -> int:
 def cmd_demo(args) -> int:
     settings = bench_settings(args.scale)
     config = dataset1(settings.scale)[1]  # the x100 cube
-    print(
-        f"building {config.name}: dims={config.dim_sizes} "
-        f"valid={config.n_valid} ({config.density:.1%} dense) ..."
-    )
+    as_json = getattr(args, "json", False)
+    if not as_json:
+        print(
+            f"building {config.name}: dims={config.dim_sizes} "
+            f"valid={config.n_valid} ({config.density:.1%} dense) ..."
+        )
     engine = build_cube_engine(config, settings, fact_btrees=True)
     plans = [
         ("Query 1 (consolidation)", query1_for(config), ("array", "starjoin", "leftdeep")),
         ("Query 2 (4-dim selection)", query2_for(config), ("array", "bitmap", "btree")),
         ("Query 3 (3-dim selection)", query3_for(config), ("array", "bitmap")),
     ]
+    report = {
+        "scale": settings.scale,
+        "cube": config.name,
+        "dim_sizes": list(config.dim_sizes),
+        "n_valid": config.n_valid,
+        "queries": [],
+    }
     for title, query, backends in plans:
-        print(f"\n{title}:")
+        if not as_json:
+            print(f"\n{title}:")
+        entry = {"title": title, "backends": [], "planner_pick": None}
         for backend in backends:
             result = run_cold(engine, query, backend)
-            print(
-                f"    {backend:<9} cost={result.cost_s:7.3f}s "
-                f"(cpu {result.elapsed_s:.3f} + io {result.sim_io_s:.3f})  "
-                f"rows={len(result)}"
-            )
+            if as_json:
+                entry["backends"].append(
+                    {
+                        "backend": backend,
+                        "cost_s": result.cost_s,
+                        "elapsed_s": result.elapsed_s,
+                        "sim_io_s": result.sim_io_s,
+                        "rows": len(result),
+                        "stats": result.stats,
+                    }
+                )
+            else:
+                print(
+                    f"    {backend:<9} cost={result.cost_s:7.3f}s "
+                    f"(cpu {result.elapsed_s:.3f} + io {result.sim_io_s:.3f})  "
+                    f"rows={len(result)}"
+                )
         auto = engine.query(query, backend="auto")
-        print(f"    planner would pick: {auto.backend}")
+        entry["planner_pick"] = auto.backend
+        report["queries"].append(entry)
+        if not as_json:
+            print(f"    planner would pick: {auto.backend}")
+    if as_json:
+        print(json.dumps(report, indent=2))
+    return 0
+
+
+_TRACE_QUERIES = {"q1": query1_for, "q2": query2_for, "q3": query3_for}
+
+
+def cmd_trace(args) -> int:
+    settings = bench_settings(args.scale)
+    config = dataset1(settings.scale)[1]  # the x100 cube
+    query = _TRACE_QUERIES[args.query](config)
+    engine = build_cube_engine(config, settings, fact_btrees=True)
+    result, root = run_cold_traced(
+        engine, query, args.backend, mode=args.mode
+    )
+    print(render_span_tree(root))
+    print(
+        f"-- backend={result.backend} cost={result.cost_s:.3f}s "
+        f"(cpu {result.elapsed_s:.3f} + io {result.sim_io_s:.3f}) "
+        f"rows={len(result)}"
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(trace_to_json([root]))
+            handle.write("\n")
+        print(f"-- trace written to {args.json}")
+    if args.prom:
+        with open(args.prom, "w", encoding="utf-8") as handle:
+            handle.write(prometheus_text(engine.db.metrics))
+        print(f"-- metrics written to {args.prom}")
     return 0
 
 
@@ -132,7 +199,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = commands.add_parser("demo", help="run Queries 1-3 on a synthetic cube")
     _add_scale_argument(demo)
+    demo.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report instead of the table",
+    )
     demo.set_defaults(run=cmd_demo)
+
+    trace = commands.add_parser(
+        "trace", help="run one query with the span tracer and print the tree"
+    )
+    trace.add_argument("query", choices=sorted(_TRACE_QUERIES))
+    trace.add_argument("--backend", default="array")
+    trace.add_argument(
+        "--mode", default="interpreted", choices=("interpreted", "vectorized")
+    )
+    trace.add_argument("--json", metavar="FILE", help="also write the trace as JSON")
+    trace.add_argument(
+        "--prom", metavar="FILE", help="also write Prometheus-style metrics"
+    )
+    _add_scale_argument(trace)
+    trace.set_defaults(run=cmd_trace)
 
     sql = commands.add_parser("sql", help="run a SQL statement on a synthetic cube")
     sql.add_argument("statement", help="SELECT ... FROM fact, dimX ... GROUP BY ...")

@@ -34,6 +34,7 @@ from repro.aggregates import get_aggregate
 from repro.core.index_to_index import IndexToIndex
 from repro.core.olap_array import OLAPArray
 from repro.errors import QueryError
+from repro.obs.tracer import get_tracer
 from repro.util.stats import Counters
 
 _VECTOR_AGGS = {"sum", "count", "min", "max"}
@@ -344,16 +345,22 @@ def consolidate(
     if mode not in ("interpreted", "vectorized"):
         raise QueryError(f"unknown mode {mode!r}")
     counters = counters if counters is not None else Counters()
-    accumulator = ResultAccumulator(array, specs, aggregate)
-    scanned = scan_chunk_range(
-        array, accumulator, range(array.geometry.n_chunks), mode
-    )
-    counters.add("cells_scanned", scanned)
-    counters.merge(array.counters)
-    array.counters.reset()
+    tracer = get_tracer()
+    with tracer.span("resolve_mappings"):
+        accumulator = ResultAccumulator(array, specs, aggregate)
+    with tracer.span(
+        "scan_chunks", mode=mode, chunks=array.geometry.n_chunks
+    ):
+        scanned = scan_chunk_range(
+            array, accumulator, range(array.geometry.n_chunks), mode
+        )
+        counters.add("cells_scanned", scanned)
+        counters.merge(array.counters)
+        array.counters.reset()
     counters.add("result_cells", accumulator.touched_cells())
 
-    rows = accumulator.rows()
+    with tracer.span("extract_rows"):
+        rows = accumulator.rows()
     result_array = None
     if materialize_as is not None:
         result_array = _materialize(array, accumulator, rows, materialize_as)

@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.consolidate import ConsolidationSpec, ResultAccumulator
 from repro.core.olap_array import OLAPArray
 from repro.errors import QueryError
+from repro.obs.tracer import get_tracer
 from repro.util.stats import Counters
 
 
@@ -66,46 +67,52 @@ def compute_cube(
             s for s in all_subsets if _subset_key(array, s) in wanted
         ]
 
-    accumulators: dict[tuple[int, ...], ResultAccumulator] = {}
-    for subset in all_subsets:
-        subset_specs = [
-            specs[d] if d in subset else ConsolidationSpec.drop()
-            for d in range(ndim)
-        ]
-        accumulators[subset] = ResultAccumulator(array, subset_specs, aggregate)
-
-    # the full-group accumulator's maps serve every subset: a dropped
-    # dimension just contributes stride 0
-    reference = ResultAccumulator(array, specs, aggregate)
-    maps = [i.mapping.astype(np.int64) for i in reference.i2is]
-    subset_strides = {
-        subset: np.array(
-            [
-                acc.result_strides[d] if d in subset else 0
+    tracer = get_tracer()
+    with tracer.span("resolve_mappings", subsets=len(all_subsets)):
+        accumulators: dict[tuple[int, ...], ResultAccumulator] = {}
+        for subset in all_subsets:
+            subset_specs = [
+                specs[d] if d in subset else ConsolidationSpec.drop()
                 for d in range(ndim)
-            ],
-            dtype=np.int64,
-        )
-        for subset, acc in accumulators.items()
-    }
+            ]
+            accumulators[subset] = ResultAccumulator(
+                array, subset_specs, aggregate
+            )
 
-    scanned = 0
-    for chunk_no, offsets, values in array.cells():
-        coords = array.geometry.chunk_offset_to_coords(chunk_no, offsets)
-        mapped = [maps[d][coords[:, d]] for d in range(ndim)]
-        scanned += len(offsets)
-        for subset, accumulator in accumulators.items():
-            strides = subset_strides[subset]
-            linear = np.zeros(len(offsets), dtype=np.int64)
-            for d in subset:
-                linear += mapped[d] * strides[d]
-            accumulator.add_many(linear, values)
-    counters.add("cells_scanned", scanned)
-    counters.add("group_bys_computed", len(accumulators))
-    counters.merge(array.counters)
-    array.counters.reset()
+        # the full-group accumulator's maps serve every subset: a dropped
+        # dimension just contributes stride 0
+        reference = ResultAccumulator(array, specs, aggregate)
+        maps = [i.mapping.astype(np.int64) for i in reference.i2is]
+        subset_strides = {
+            subset: np.array(
+                [
+                    acc.result_strides[d] if d in subset else 0
+                    for d in range(ndim)
+                ],
+                dtype=np.int64,
+            )
+            for subset, acc in accumulators.items()
+        }
 
-    return {
-        _subset_key(array, subset): accumulator.rows()
-        for subset, accumulator in accumulators.items()
-    }
+    with tracer.span("cube_scan", chunks=array.geometry.n_chunks):
+        scanned = 0
+        for chunk_no, offsets, values in array.cells():
+            coords = array.geometry.chunk_offset_to_coords(chunk_no, offsets)
+            mapped = [maps[d][coords[:, d]] for d in range(ndim)]
+            scanned += len(offsets)
+            for subset, accumulator in accumulators.items():
+                strides = subset_strides[subset]
+                linear = np.zeros(len(offsets), dtype=np.int64)
+                for d in subset:
+                    linear += mapped[d] * strides[d]
+                accumulator.add_many(linear, values)
+        counters.add("cells_scanned", scanned)
+        counters.add("group_bys_computed", len(accumulators))
+        counters.merge(array.counters)
+        array.counters.reset()
+
+    with tracer.span("extract_rows"):
+        return {
+            _subset_key(array, subset): accumulator.rows()
+            for subset, accumulator in accumulators.items()
+        }

@@ -31,6 +31,7 @@ from repro.core.index_to_index import IndexToIndex
 from repro.core.meta import NO_CHUNK, ChunkDirectory
 from repro.errors import ArrayError, DimensionError
 from repro.index.btree import BTree
+from repro.obs.tracer import get_tracer
 from repro.storage.large_object import LargeObjectStore
 from repro.storage.page_file import FileManager
 from repro.util.stats import Counters
@@ -71,7 +72,9 @@ class OLAPArray:
     def _entries(self) -> list[tuple[int, int, int]]:
         """Chunk meta entries, loaded once sequentially and cached."""
         if self._dir_cache is None:
-            self._dir_cache = self.directory.load_all()
+            with get_tracer().span("chunk_directory_load", array=self.name):
+                self._dir_cache = self.directory.load_all()
+            self.counters.add("dir_loads")
         return self._dir_cache
 
     def invalidate_caches(self) -> None:
@@ -143,7 +146,11 @@ class OLAPArray:
                     f"dimension {self.dim_names[d]!r} has no attribute "
                     f"{attr!r}; have {self.hierarchy_attrs(d)}"
                 )
-            cached = IndexToIndex.from_blob(self.aux.read(info["i2i_oid"]))
+            with get_tracer().span(
+                "i2i_load", dim=self.dim_names[d], attr=attr
+            ):
+                cached = IndexToIndex.from_blob(self.aux.read(info["i2i_oid"]))
+            self.counters.add("i2i_loads")
             self._i2i_cache[(d, attr)] = cached
         return cached
 
@@ -162,6 +169,7 @@ class OLAPArray:
             )
         self.counters.add("chunks_read")
         payload = self.chunks.read(oid)
+        self.counters.add("chunk_bytes_read", len(payload))
         return decode_chunk(
             payload, self.geometry.chunk_cells, self.n_measures, self.dtype
         )

@@ -24,6 +24,7 @@ from repro.core.consolidate import (
 )
 from repro.core.olap_array import OLAPArray
 from repro.errors import QueryError
+from repro.obs.tracer import get_tracer
 from repro.util.stats import Counters
 
 
@@ -64,16 +65,25 @@ def consolidate_partitioned(
         raise QueryError(f"unknown mode {mode!r}")
     counters = counters if counters is not None else Counters()
 
+    tracer = get_tracer()
     merged = ResultAccumulator(array, specs, aggregate)
     ranges = partition_chunks(array.geometry.n_chunks, n_partitions)
     counters.add("partitions", len(ranges))
-    scanned = 0
-    for chunk_range in ranges:
-        partial = ResultAccumulator(array, specs, aggregate)
-        scanned += scan_chunk_range(array, partial, chunk_range, mode)
-        merged.merge_from(partial)
-    counters.add("cells_scanned", scanned)
-    counters.merge(array.counters)
-    array.counters.reset()
+    partials: list[ResultAccumulator] = []
+    for p, chunk_range in enumerate(ranges):
+        with tracer.span(
+            "partition_scan", partition=p, chunks=len(chunk_range)
+        ):
+            partial_counters = Counters()
+            partial = ResultAccumulator(array, specs, aggregate)
+            scanned = scan_chunk_range(array, partial, chunk_range, mode)
+            partial_counters.add("cells_scanned", scanned)
+            partial_counters.merge(array.counters)
+            array.counters.reset()
+            partials.append(partial)
+            counters += partial_counters
+    with tracer.span("partition_merge", partitions=len(partials)):
+        for partial in partials:
+            merged.merge_from(partial)
     counters.add("result_cells", merged.touched_cells())
     return ConsolidationResult(rows=merged.rows(), counters=counters)

@@ -40,6 +40,7 @@ from repro.core.consolidate import (
 )
 from repro.core.olap_array import OLAPArray
 from repro.errors import DimensionError, QueryError
+from repro.obs.tracer import get_tracer
 from repro.util.stats import Counters
 
 
@@ -134,24 +135,33 @@ def consolidate_with_selection(
     if order not in ("chunk", "naive"):
         raise QueryError(f"unknown order {order!r}")
     counters = counters if counters is not None else Counters()
-    accumulator = ResultAccumulator(array, specs, aggregate)
-    final_lists = _final_index_lists(array, selections, counters)
+    tracer = get_tracer()
+    with tracer.span("resolve_mappings"):
+        accumulator = ResultAccumulator(array, specs, aggregate)
+    with tracer.span("btree_dimension_lookup", selections=len(selections)):
+        final_lists = _final_index_lists(array, selections, counters)
     counters.add(
         "cross_product_size",
         float(np.prod([len(lst) for lst in final_lists])),
     )
 
-    if order == "naive":
-        _enumerate_naive(array, accumulator, final_lists, counters)
-    elif mode == "interpreted":
-        _enumerate_chunked_interpreted(array, accumulator, final_lists, counters)
-    else:
-        _enumerate_chunked_vectorized(array, accumulator, final_lists, counters)
-
-    counters.merge(array.counters)
-    array.counters.reset()
+    with tracer.span("probe_chunks", mode=mode, order=order):
+        if order == "naive":
+            _enumerate_naive(array, accumulator, final_lists, counters)
+        elif mode == "interpreted":
+            _enumerate_chunked_interpreted(
+                array, accumulator, final_lists, counters
+            )
+        else:
+            _enumerate_chunked_vectorized(
+                array, accumulator, final_lists, counters
+            )
+        counters.merge(array.counters)
+        array.counters.reset()
     counters.add("result_cells", accumulator.touched_cells())
-    return ConsolidationResult(rows=accumulator.rows(), counters=counters)
+    with tracer.span("extract_rows"):
+        rows = accumulator.rows()
+    return ConsolidationResult(rows=rows, counters=counters)
 
 
 def _group_by_grid(

@@ -89,3 +89,7 @@ class SQLError(QueryError):
 
 class DataGenError(ReproError):
     """Synthetic data generator was configured inconsistently."""
+
+
+class MetricsError(ReproError):
+    """Bad metrics-registry operation (duplicate or unknown source)."""

@@ -1,0 +1,55 @@
+"""Observability: query tracing and the central metrics registry.
+
+The paper's argument is a cost breakdown — chunk fetches vs. tuple
+fetches, B-tree probes vs. positional access — so the reproduction
+carries a first-class accounting layer:
+
+- :mod:`repro.obs.tracer` — span-based tracing of query phases.  Every
+  instrumented call site asks :func:`get_tracer` for the active tracer;
+  the default is a shared no-op whose spans cost one method call, so
+  benchmark numbers are unaffected unless a real :class:`Tracer` is
+  installed (via :func:`tracing`).
+- :mod:`repro.obs.registry` — a :class:`MetricsRegistry` into which
+  every counter source (disk, buffer pool, WAL, fact files, OLAP
+  arrays, per-query bags) registers.  A tracer bound to a registry
+  snapshots it at span boundaries, so each span carries the simulated
+  I/O it caused.
+- :mod:`repro.obs.exporters` — JSON trace dump, text tree rendering,
+  and Prometheus-style text metrics.
+"""
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+from repro.obs.exporters import (
+    prometheus_text,
+    render_span_tree,
+    span_from_dict,
+    span_to_dict,
+    trace_from_json,
+    trace_to_json,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "prometheus_text",
+    "render_span_tree",
+    "span_from_dict",
+    "span_to_dict",
+    "trace_from_json",
+    "trace_to_json",
+]

@@ -1,0 +1,136 @@
+"""Trace and metrics exporters: JSON, text tree, Prometheus format.
+
+The JSON form is the machine-readable artifact the bench harness drops
+next to ``benchmarks/results/``; the text tree is what ``python -m
+repro trace`` prints; the Prometheus text format exposes the
+:class:`~repro.obs.registry.MetricsRegistry` the way a scrape endpoint
+would, so the counters map 1:1 onto a real monitoring stack.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.obs.tracer import Span
+
+_METRIC_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+# -- JSON traces ------------------------------------------------------------
+
+
+def span_to_dict(span: Span) -> dict:
+    """A JSON-serializable dict of one span subtree."""
+    return {
+        "name": span.name,
+        "attrs": dict(span.attrs),
+        "duration_s": span.duration_s,
+        "io": dict(span.io),
+        "children": [span_to_dict(child) for child in span.children],
+    }
+
+
+def span_from_dict(payload: dict) -> Span:
+    """Rebuild a :class:`Span` tree from :func:`span_to_dict` output."""
+    span = Span(payload["name"], dict(payload.get("attrs", {})))
+    span.duration_s = float(payload.get("duration_s", 0.0))
+    span.io = dict(payload.get("io", {}))
+    span.children = [
+        span_from_dict(child) for child in payload.get("children", [])
+    ]
+    return span
+
+
+def trace_to_json(spans: list[Span] | Span, indent: int | None = 2) -> str:
+    """Serialize one span or a list of root spans to JSON text."""
+    if isinstance(spans, Span):
+        spans = [spans]
+    return json.dumps([span_to_dict(s) for s in spans], indent=indent)
+
+
+def trace_from_json(text: str) -> list[Span]:
+    """Parse :func:`trace_to_json` output back into span trees."""
+    return [span_from_dict(payload) for payload in json.loads(text)]
+
+
+# -- text tree ---------------------------------------------------------------
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return f"{int(value)}"
+
+
+def _span_line(span: Span, max_counters: int) -> str:
+    parts = [span.name]
+    if span.attrs:
+        parts.append(
+            " ".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+        )
+    parts.append(f"[{span.duration_s * 1000:.2f} ms]")
+    if span.io:
+        shown = sorted(
+            span.io.items(), key=lambda kv: (-abs(kv[1]), kv[0])
+        )[:max_counters]
+        rendered = " ".join(f"{k}={_format_value(v)}" for k, v in sorted(shown))
+        suffix = " ..." if len(span.io) > max_counters else ""
+        parts.append(f"{{{rendered}{suffix}}}")
+    return "  ".join(parts)
+
+
+def render_span_tree(span: Span, max_counters: int = 8) -> str:
+    """Render a span tree as an indented text diagram.
+
+    Counter deltas shown per span are inclusive of children; at most
+    ``max_counters`` (largest first) are printed per line.
+    """
+    lines = [_span_line(span, max_counters)]
+    _render_children(span, "", lines, max_counters)
+    return "\n".join(lines)
+
+
+def _render_children(
+    span: Span, prefix: str, lines: list[str], max_counters: int
+) -> None:
+    for i, child in enumerate(span.children):
+        last = i == len(span.children) - 1
+        connector = "└─ " if last else "├─ "
+        lines.append(prefix + connector + _span_line(child, max_counters))
+        _render_children(
+            child, prefix + ("   " if last else "│  "), lines, max_counters
+        )
+
+
+# -- Prometheus text format ---------------------------------------------------
+
+
+def _sanitize(name: str) -> str:
+    return _METRIC_NAME.sub("_", name)
+
+
+def prometheus_text(registry, prefix: str = "repro") -> str:
+    """Render a registry in the Prometheus exposition text format.
+
+    Counters get a ``_total`` suffix and a ``source`` label per
+    registered bag; gauges are sampled once, unlabeled.
+    """
+    lines: list[str] = []
+    by_source = registry.snapshot_by_source()
+    seen: set[str] = set()
+    for source in sorted(by_source):
+        for counter in sorted(by_source[source]):
+            metric = f"{prefix}_{_sanitize(counter)}_total"
+            if metric not in seen:
+                lines.append(f"# TYPE {metric} counter")
+                seen.add(metric)
+            value = by_source[source][counter]
+            lines.append(
+                f'{metric}{{source="{_sanitize(source)}"}} {value:g}'
+            )
+    for gauge, value in registry.gauge_values().items():
+        metric = f"{prefix}_{_sanitize(gauge)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value:g}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,133 @@
+"""The central metrics registry.
+
+Every component that accounts work into a
+:class:`~repro.util.stats.Counters` bag — the simulated disk, the
+buffer pool, the WAL, fact files, OLAP arrays, per-query counter bags —
+registers that bag under a source name.  The registry then answers the
+two questions the harness and the tracer keep asking:
+
+- "what is the total of every counter right now?" (:meth:`merged_snapshot`,
+  which replaced the hand-rolled ``disk + pool + query`` dict plumbing
+  in ``olap/engine.py``), and
+- "zero everything for the next cold run" (:meth:`reset_all`, which
+  returns the pre-reset totals so no measurement is ever lost at a
+  query boundary).
+
+Sources registered with a ``reset`` callable get that called instead of
+a plain counter reset — the simulated disk uses this to also forget its
+arm position.  Gauges (callables sampled at export time: pool residency,
+WAL size) ride along for the Prometheus exporter.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from contextlib import contextmanager
+
+from repro.errors import MetricsError
+from repro.util.stats import Counters
+
+
+class MetricsRegistry:
+    """Named :class:`Counters` sources plus sampled gauges."""
+
+    def __init__(self) -> None:
+        self._sources: dict[str, Counters] = {}
+        self._resets: dict[str, Callable[[], object] | None] = {}
+        self._gauges: dict[str, Callable[[], float]] = {}
+
+    # -- sources -----------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        counters: Counters,
+        reset: Callable[[], object] | None = None,
+        replace: bool = False,
+    ) -> Counters:
+        """Register one counter source under ``name``.
+
+        ``reset`` overrides the boundary reset (default: zero the bag).
+        """
+        if name in self._sources and not replace:
+            raise MetricsError(f"metrics source {name!r} already registered")
+        self._sources[name] = counters
+        self._resets[name] = reset
+        return counters
+
+    def unregister(self, name: str) -> None:
+        """Remove one source (its counters stop contributing)."""
+        if name not in self._sources:
+            raise MetricsError(f"no metrics source named {name!r}")
+        del self._sources[name]
+        del self._resets[name]
+
+    @contextmanager
+    def scoped(self, name: str, counters: Counters):
+        """Register ``counters`` for the duration of a ``with`` block.
+
+        The engine uses this to expose a query's private counter bag
+        (``chunks_read``, ``btree_probes``, ...) to the tracer while the
+        query runs.
+        """
+        self.register(name, counters)
+        try:
+            yield counters
+        finally:
+            self.unregister(name)
+
+    def counters(self, name: str) -> Counters:
+        """The registered bag for ``name``."""
+        try:
+            return self._sources[name]
+        except KeyError:
+            raise MetricsError(f"no metrics source named {name!r}") from None
+
+    def source_names(self) -> list[str]:
+        """All registered source names, sorted."""
+        return sorted(self._sources)
+
+    # -- gauges ------------------------------------------------------------
+
+    def register_gauge(
+        self, name: str, fn: Callable[[], float], replace: bool = False
+    ) -> None:
+        """Register a point-in-time sampled value (e.g. pool residency)."""
+        if name in self._gauges and not replace:
+            raise MetricsError(f"gauge {name!r} already registered")
+        self._gauges[name] = fn
+
+    def gauge_values(self) -> dict[str, float]:
+        """Sample every gauge now."""
+        return {name: float(fn()) for name, fn in sorted(self._gauges.items())}
+
+    # -- collection --------------------------------------------------------
+
+    def merged(self) -> Counters:
+        """A fresh bag holding every source's counters summed by name."""
+        total = Counters()
+        for counters in self._sources.values():
+            total.merge(counters)
+        return total
+
+    def merged_snapshot(self) -> dict[str, float]:
+        """Plain-dict totals across all sources (zero values dropped)."""
+        return self.merged().snapshot()
+
+    def snapshot_by_source(self) -> dict[str, dict[str, float]]:
+        """Per-source snapshots, keyed by source name (empty ones kept)."""
+        return {
+            name: self._sources[name].snapshot()
+            for name in sorted(self._sources)
+        }
+
+    def reset_all(self) -> dict[str, float]:
+        """Zero every source; returns the pre-reset merged snapshot."""
+        before = self.merged_snapshot()
+        for name, counters in self._sources.items():
+            reset = self._resets[name]
+            if reset is not None:
+                reset()
+            else:
+                counters.reset()
+        return before

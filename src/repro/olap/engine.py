@@ -33,6 +33,7 @@ from repro.core.index_to_index import IndexToIndex
 from repro.core.olap_array import OLAPArray
 from repro.core.select_consolidate import Selection, consolidate_with_selection
 from repro.errors import CatalogError, PlanError, QueryError
+from repro.obs.tracer import get_tracer
 from repro.olap.model import CubeSchema
 from repro.olap.planner import (
     DEFAULT_CROSSOVER_SELECTIVITY,
@@ -270,6 +271,9 @@ class OlapEngine:
             dtype=schema.measure_dtype,
             measure_names=[m.name for m in schema.measures],
         )
+        self.db.metrics.register(
+            f"array:{array_name(schema)}", state.array.counters, replace=True
+        )
 
     def attach_cube(self, schema: CubeSchema) -> _CubeState:
         """Re-register a cube that already lives in this engine's database.
@@ -290,6 +294,11 @@ class OlapEngine:
             state.fact = self.db.table(fact_name)
         if self.db.fm.exists(f"{array_name(schema)}.dir"):
             state.array = OLAPArray.open(self.db.fm, array_name(schema))
+            self.db.metrics.register(
+                f"array:{array_name(schema)}",
+                state.array.counters,
+                replace=True,
+            )
         for dim in schema.dimensions:
             for attr in dim.level_names:
                 try:
@@ -405,26 +414,34 @@ class OlapEngine:
         else:
             self.db.reset_stats()
         counters = Counters()
-        with self.db.locks.locked(query.cube, "S", f"query-{id(query)}"):
-            with Timer() as timer:
-                if backend == "array":
-                    rows = self._run_array(state, query, mode, order, counters)
-                elif backend == "starjoin":
-                    rows = self._run_starjoin(state, query, counters)
-                elif backend == "bitmap":
-                    rows = self._run_bitmap(state, query, counters)
-                elif backend == "btree":
-                    rows = self._run_btree(state, query, counters)
-                elif backend == "mbtree":
-                    rows = self._run_mbtree(state, query, counters)
-                else:
-                    rows = self._run_leftdeep(state, query, counters)
-        stats = self.db.stats()
-        stats.update(counters.snapshot())
+        result_mode = mode if backend == "array" else "interpreted"
+        with self.db.metrics.scoped("query", counters):
+            with get_tracer().span(
+                "query", cube=query.cube, backend=backend, mode=result_mode
+            ):
+                with self.db.locks.locked(
+                    query.cube, "S", f"query-{id(query)}"
+                ):
+                    with Timer() as timer:
+                        if backend == "array":
+                            rows = self._run_array(
+                                state, query, mode, order, counters
+                            )
+                        elif backend == "starjoin":
+                            rows = self._run_starjoin(state, query, counters)
+                        elif backend == "bitmap":
+                            rows = self._run_bitmap(state, query, counters)
+                        elif backend == "btree":
+                            rows = self._run_btree(state, query, counters)
+                        elif backend == "mbtree":
+                            rows = self._run_mbtree(state, query, counters)
+                        else:
+                            rows = self._run_leftdeep(state, query, counters)
+            stats = self.db.metrics.merged_snapshot()
         return QueryResult(
             rows=rows,
             backend=backend,
-            mode=mode if backend == "array" else "interpreted",
+            mode=result_mode,
             elapsed_s=timer.elapsed,
             sim_io_s=self.db.sim_io_seconds(),
             stats=stats,
@@ -476,6 +493,9 @@ class OlapEngine:
             cube=query.cube,
             group_by=dict(query.group_by),
             aggregate=query.aggregate,
+        )
+        self.db.metrics.register(
+            f"array:{view_name}", result.result_array.counters, replace=True
         )
         return result.result_array
 
@@ -566,21 +586,24 @@ class OlapEngine:
             )
             self.db.reset_stats()
             counters = Counters()
-            with Timer() as timer:
-                result = consolidate(
-                    view.array,
-                    specs,
-                    aggregate=reaggregate,
-                    mode="vectorized",
-                    counters=counters,
-                )
-                rows = self._project_measures(
-                    state,
-                    query,
-                    self._reorder_array_rows(state, query, result.rows),
-                )
-            stats = self.db.stats()
-            stats.update(counters.snapshot())
+            with self.db.metrics.scoped("query", counters):
+                with get_tracer().span(
+                    "query_from_views", cube=query.cube, view=name
+                ):
+                    with Timer() as timer:
+                        result = consolidate(
+                            view.array,
+                            specs,
+                            aggregate=reaggregate,
+                            mode="vectorized",
+                            counters=counters,
+                        )
+                        rows = self._project_measures(
+                            state,
+                            query,
+                            self._reorder_array_rows(state, query, result.rows),
+                        )
+                stats = self.db.metrics.merged_snapshot()
             return QueryResult(
                 rows=rows,
                 backend=f"view:{name}",

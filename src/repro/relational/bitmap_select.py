@@ -20,6 +20,7 @@ from collections.abc import Iterable
 from repro.aggregates import get_aggregate
 from repro.errors import QueryError
 from repro.index.bitmap import BitmapIndex
+from repro.obs.tracer import get_tracer
 from repro.relational.fact_file import FactFile
 from repro.relational.star_join import (
     DimensionJoinSpec,
@@ -53,36 +54,45 @@ def bitmap_select_consolidate(
     counters = counters if counters is not None else Counters()
     measures = normalize_measures(measure)
     aggs = [get_aggregate(aggregate)] * len(measures)
+    tracer = get_tracer()
 
-    result_bitmap = Bitset.ones(len(fact))
-    for index, values in selections:
-        if index.length != len(fact):
-            raise QueryError(
-                f"bitmap index {index.name!r} covers {index.length} "
-                f"positions, fact table has {len(fact)}"
-            )
-        if isinstance(values, Bitset):
-            merged = values  # a precomputed range/merged bitmap
-        else:
-            merged = index.bitmap_for_any(values)
-        counters.add("bitmaps_fetched", 1)
-        result_bitmap.iand(merged)
-    counters.add("selected_tuples", result_bitmap.count())
+    with tracer.span("fetch_bitmaps", selections=len(selections)):
+        result_bitmap = Bitset.ones(len(fact))
+        for index, values in selections:
+            if index.length != len(fact):
+                raise QueryError(
+                    f"bitmap index {index.name!r} covers {index.length} "
+                    f"positions, fact table has {len(fact)}"
+                )
+            if isinstance(values, Bitset):
+                merged = values  # a precomputed range/merged bitmap
+            else:
+                merged = index.bitmap_for_any(values)
+            counters.add("bitmaps_fetched", 1)
+            result_bitmap.iand(merged)
+        counters.add("selected_tuples", result_bitmap.count())
 
-    dim_hashes = [build_dimension_hash(spec) for spec in group_dimensions]
+    with tracer.span(
+        "build_dimension_hashes", dimensions=len(group_dimensions)
+    ):
+        dim_hashes = [build_dimension_hash(spec) for spec in group_dimensions]
     fact_schema = fact.schema
     key_positions = [fact_schema.index_of(s.fact_key) for s in group_dimensions]
     measure_positions = [fact_schema.index_of(m) for m in measures]
 
     groups: dict[tuple, list] = {}
-    for row in fact.fetch_bitmap(result_bitmap):
-        key = tuple(dim_hashes[d][row[p]] for d, p in enumerate(key_positions))
-        state = groups.get(key)
-        if state is None:
-            state = [agg.initial() for agg in aggs]
-            groups[key] = state
-        for m, agg in enumerate(aggs):
-            state[m] = agg.add(state[m], row[measure_positions[m]])
-    counters.add("result_groups", len(groups))
+    with tracer.span("fetch_tuples"):
+        for row in fact.fetch_bitmap(result_bitmap):
+            key = tuple(
+                dim_hashes[d][row[p]] for d, p in enumerate(key_positions)
+            )
+            state = groups.get(key)
+            if state is None:
+                state = [agg.initial() for agg in aggs]
+                groups[key] = state
+            for m, agg in enumerate(aggs):
+                state[m] = agg.add(state[m], row[measure_positions[m]])
+        counters.add("result_groups", len(groups))
 
-    return aggregate_rows(groups, aggs)
+    with tracer.span("finalize_groups", groups=len(groups)):
+        return aggregate_rows(groups, aggs)

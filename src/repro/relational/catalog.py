@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.errors import CatalogError
 from repro.index.bitmap import BitmapIndex
 from repro.index.btree import BTree
+from repro.obs.registry import MetricsRegistry
 from repro.relational.fact_file import FactFile
 from repro.relational.heap_file import HeapFile
 from repro.relational.schema import Schema
@@ -38,11 +39,25 @@ class Database:
         self.pool = BufferPool(self.disk, capacity_bytes=pool_bytes, wal=self.wal)
         self.fm = FileManager(self.pool)
         self.locks = LockManager()
+        self.metrics = self._build_metrics()
         self._tables: dict[str, HeapFile | FactFile] = {}
         self._btrees: dict[str, BTree] = {}
         self._bitmaps: dict[str, BitmapIndex] = {}
         self._kinds: dict[str, str] = {}
         self.fm.create(_CATALOG_FILE)
+
+    def _build_metrics(self) -> MetricsRegistry:
+        """Register every storage-stack counter source and gauge."""
+        metrics = MetricsRegistry()
+        metrics.register("disk", self.disk.counters, reset=self.disk.reset_stats)
+        metrics.register("pool", self.pool.counters, reset=self.pool.reset_stats)
+        metrics.register_gauge("pool_resident_pages", self.pool.resident_pages)
+        metrics.register_gauge("pool_hit_rate", self.pool.hit_rate)
+        metrics.register_gauge("disk_used_bytes", self.disk.used_bytes)
+        if self.wal is not None:
+            metrics.register("wal", self.wal.counters)
+            metrics.register_gauge("wal_size_bytes", self.wal.size_bytes)
+        return metrics
 
     @classmethod
     def attach(
@@ -65,6 +80,7 @@ class Database:
         # first, so it is always page 0 of the volume
         db.fm = FileManager(db.pool, master_page_id=0)
         db.locks = LockManager()
+        db.metrics = db._build_metrics()
         db._tables = {}
         db._btrees = {}
         db._bitmaps = {}
@@ -73,7 +89,9 @@ class Database:
             if kind == "heap":
                 db._tables[name] = HeapFile.open(db.fm, name)
             elif kind == "fact":
-                db._tables[name] = FactFile.open(db.fm, name)
+                table = FactFile.open(db.fm, name)
+                db._tables[name] = table
+                db.metrics.register(f"fact:{name}", table.counters)
             elif kind == "btree":
                 db._btrees[name] = BTree.open(db.fm, name)
             elif kind.startswith("bitmap:"):
@@ -137,6 +155,7 @@ class Database:
         self._register(name, "fact")
         table = FactFile.create(self.fm, name, schema)
         self._tables[name] = table
+        self.metrics.register(f"fact:{name}", table.counters)
         return table
 
     def table(self, name: str) -> HeapFile | FactFile:
@@ -239,16 +258,14 @@ class Database:
         self.pool.clear()
         self.reset_stats()
 
-    def reset_stats(self) -> None:
-        """Zero disk and pool counters without disturbing the cache."""
-        self.disk.reset_stats()
-        self.pool.reset_stats()
+    def reset_stats(self) -> dict[str, float]:
+        """Zero every registered counter source without disturbing the
+        cache; returns the pre-reset merged snapshot."""
+        return self.metrics.reset_all()
 
     def stats(self) -> dict[str, float]:
-        """Merged disk + pool counters since the last reset."""
-        merged = dict(self.disk.counters.snapshot())
-        merged.update(self.pool.counters.snapshot())
-        return merged
+        """All registered counters merged, since the last reset."""
+        return self.metrics.merged_snapshot()
 
     def sim_io_seconds(self) -> float:
         """Simulated I/O seconds since the last reset."""

@@ -21,6 +21,7 @@ from repro.errors import FileError
 from repro.relational.schema import Schema
 from repro.storage.page_file import FileManager, PageFile
 from repro.util.bitset import Bitset
+from repro.util.stats import Counters
 
 _META_HEAD = struct.Struct("<qH")  # tuple count, schema text length
 
@@ -30,6 +31,7 @@ class FactFile:
 
     def __init__(self, pfile: PageFile, schema: Schema | None = None):
         self._file = pfile
+        self.counters = Counters()
         meta = pfile.get_meta()
         if meta:
             count, text_len = _META_HEAD.unpack_from(meta, 0)
@@ -122,6 +124,7 @@ class FactFile:
     def get(self, tuple_no: int) -> tuple:
         """Fetch one row by tuple number (the bitmap fast path)."""
         page_no, offset = self._locate(tuple_no)
+        self.counters.add("fact_tuple_gets")
         return self.schema.codec.unpack_from(self._file.read(page_no), offset)
 
     def scan(self) -> Iterator[tuple]:
@@ -133,6 +136,7 @@ class FactFile:
             if in_page <= 0:
                 return
             buf = self._file.read(page_no)
+            self.counters.add("fact_pages_scanned")
             yield from codec.iter_unpack(buf, in_page)
             remaining -= in_page
 
@@ -155,6 +159,8 @@ class FactFile:
             if page_no != current_page:
                 buf = self._file.read(page_no)
                 current_page = page_no
+                self.counters.add("fact_bitmap_pages")
+            self.counters.add("fact_tuples_fetched")
             yield codec.unpack_from(buf, index * self.record_size)
 
     def __len__(self) -> int:

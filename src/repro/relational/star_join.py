@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from repro.aggregates import get_aggregate
 from repro.errors import QueryError
+from repro.obs.tracer import get_tracer
 from repro.relational.fact_file import FactFile
 from repro.relational.heap_file import HeapFile
 from repro.util.stats import Counters
@@ -92,10 +93,12 @@ def star_join_consolidate(
             f"{len(agg_names)} aggregates for {len(measures)} measures"
         )
     aggs = [get_aggregate(n) for n in agg_names]
+    tracer = get_tracer()
 
-    dim_hashes = [build_dimension_hash(spec) for spec in dimensions]
-    for table in dim_hashes:
-        counters.add("dim_hash_entries", len(table))
+    with tracer.span("build_dimension_hashes", dimensions=len(dimensions)):
+        dim_hashes = [build_dimension_hash(spec) for spec in dimensions]
+        for table in dim_hashes:
+            counters.add("dim_hash_entries", len(table))
 
     fact_schema = fact.schema
     key_positions = [fact_schema.index_of(s.fact_key) for s in dimensions]
@@ -107,25 +110,27 @@ def star_join_consolidate(
 
     groups: dict[tuple, list] = {}
     scanned = 0
-    for row in fact.scan():
-        scanned += 1
-        if any(row[p] not in allowed for p, allowed in filters):
-            continue
-        try:
-            key = tuple(
-                dim_hashes[d][row[p]] for d, p in enumerate(key_positions)
-            )
-        except KeyError:
-            # a fact tuple with no matching dimension row joins nothing
-            counters.add("dangling_fact_tuples")
-            continue
-        state = groups.get(key)
-        if state is None:
-            state = [agg.initial() for agg in aggs]
-            groups[key] = state
-        for m, agg in enumerate(aggs):
-            state[m] = agg.add(state[m], row[measure_positions[m]])
-    counters.add("fact_tuples_scanned", scanned)
-    counters.add("result_groups", len(groups))
+    with tracer.span("scan_fact", filters=len(filters)):
+        for row in fact.scan():
+            scanned += 1
+            if any(row[p] not in allowed for p, allowed in filters):
+                continue
+            try:
+                key = tuple(
+                    dim_hashes[d][row[p]] for d, p in enumerate(key_positions)
+                )
+            except KeyError:
+                # a fact tuple with no matching dimension row joins nothing
+                counters.add("dangling_fact_tuples")
+                continue
+            state = groups.get(key)
+            if state is None:
+                state = [agg.initial() for agg in aggs]
+                groups[key] = state
+            for m, agg in enumerate(aggs):
+                state[m] = agg.add(state[m], row[measure_positions[m]])
+        counters.add("fact_tuples_scanned", scanned)
+        counters.add("result_groups", len(groups))
 
-    return aggregate_rows(groups, aggs)
+    with tracer.span("finalize_groups", groups=len(groups)):
+        return aggregate_rows(groups, aggs)

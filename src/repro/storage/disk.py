@@ -137,10 +137,12 @@ class SimulatedDisk:
 
     # -- statistics ---------------------------------------------------------
 
-    def reset_stats(self) -> None:
-        """Zero all counters and forget arm position (query boundary)."""
-        self.counters.reset()
+    def reset_stats(self) -> dict[str, float]:
+        """Zero all counters and forget arm position (query boundary);
+        returns the pre-reset snapshot."""
+        before = self.counters.reset()
         self._last_accessed = None
+        return before
 
     def used_bytes(self) -> int:
         """Total bytes of allocated pages (the on-disk footprint)."""

@@ -171,6 +171,7 @@ class PageFile:
         if extent == len(self._extents):
             first = self.pool.disk.allocate(self.extent_pages)
             self._extents.append(first)
+            self.pool.counters.add("extents_allocated")
         self._npages += 1
         self._store_header()
         return logical
@@ -306,12 +307,14 @@ class FileManager:
         pfile = PageFile.create(self.pool, extent_pages)
         self._directory[name] = pfile.header_page_id
         self._store()
+        self.pool.counters.add("files_created")
         return pfile
 
     def open(self, name: str) -> PageFile:
         """Open an existing named file."""
         if name not in self._directory:
             raise FileError(f"no such file: {name!r}")
+        self.pool.counters.add("files_opened")
         return PageFile(self.pool, self._directory[name])
 
     def exists(self, name: str) -> bool:

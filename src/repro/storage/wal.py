@@ -23,6 +23,7 @@ import struct
 from dataclasses import dataclass
 
 from repro.errors import WALError
+from repro.util.stats import Counters
 
 _RECORD_HEADER = struct.Struct("<qbqi")  # lsn, kind, page_id, payload_len
 _KIND_PAGE = 1
@@ -62,11 +63,17 @@ class WriteAheadLog:
     def __init__(self) -> None:
         self._buffer = bytearray()
         self._next_lsn = 0
+        self.counters = Counters()
 
     def _append(self, kind: int, page_id: int, image: bytes) -> int:
         record = LogRecord(self._next_lsn, kind, page_id, image)
-        self._buffer += record.encode()
+        encoded = record.encode()
+        self._buffer += encoded
         self._next_lsn += 1
+        self.counters.add("wal_records")
+        self.counters.add("wal_bytes", len(encoded))
+        if kind == _KIND_COMMIT:
+            self.counters.add("wal_commits")
         return record.lsn
 
     def log_page(self, page_id: int, image: bytes) -> int:

@@ -32,9 +32,11 @@ class Counters:
         """Current value of ``name`` (0 if never incremented)."""
         return self._values.get(name, 0.0)
 
-    def reset(self) -> None:
-        """Zero every counter."""
+    def reset(self) -> dict[str, float]:
+        """Zero every counter; returns the pre-reset snapshot."""
+        before = self.snapshot()
         self._values.clear()
+        return before
 
     def snapshot(self) -> dict[str, float]:
         """A plain-dict copy of all non-zero counters."""
@@ -44,6 +46,11 @@ class Counters:
         """Add every counter of ``other`` into this bag."""
         for name, value in other._values.items():
             self._values[name] += value
+
+    def __iadd__(self, other: "Counters") -> "Counters":
+        """``bag += other`` merges ``other`` into this bag."""
+        self.merge(other)
+        return self
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._values.items()))

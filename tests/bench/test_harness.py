@@ -3,6 +3,7 @@
 import pytest
 
 from repro.bench import (
+    aggregate_stats,
     bench_settings,
     build_cube_engine,
     query1_for,
@@ -97,3 +98,12 @@ class TestBuildAndRun:
             TINY, bench_settings("small"), backends=("array",)
         )
         assert engine.cube("tiny").fact is None
+
+    def test_aggregate_stats_sums_runs(self, engine):
+        query = query1_for(TINY)
+        a = run_cold(engine, query, "array")
+        b = run_cold(engine, query, "array")
+        total = aggregate_stats([a, b])
+        assert total["pages_read"] == (
+            a.stats["pages_read"] + b.stats["pages_read"]
+        )

@@ -1,0 +1,89 @@
+"""Tests for the JSON, text-tree, and Prometheus exporters."""
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    prometheus_text,
+    render_span_tree,
+    span_from_dict,
+    span_to_dict,
+    trace_from_json,
+    trace_to_json,
+)
+from repro.util.stats import Counters
+
+
+def sample_tree():
+    registry = MetricsRegistry()
+    bag = registry.register("bag", Counters())
+    tracer = Tracer(registry=registry)
+    with tracer.span("query", backend="array") as root:
+        bag.add("pages_read", 4)
+        with tracer.span("scan_chunks", chunks=2):
+            bag.add("pages_read", 3)
+            bag.add("sim_io_s", 0.25)
+        with tracer.span("extract_rows"):
+            pass
+    return root
+
+
+class TestJsonRoundTrip:
+    def test_span_dict_round_trip(self):
+        root = sample_tree()
+        rebuilt = span_from_dict(span_to_dict(root))
+        assert span_to_dict(rebuilt) == span_to_dict(root)
+
+    def test_trace_json_round_trip(self):
+        root = sample_tree()
+        spans = trace_from_json(trace_to_json([root]))
+        assert len(spans) == 1
+        again = spans[0]
+        assert again.name == "query"
+        assert again.attrs == {"backend": "array"}
+        assert again.io == root.io
+        assert [c.name for c in again.children] == [
+            "scan_chunks", "extract_rows",
+        ]
+        # the telescoping invariant survives serialization
+        assert again.leaf_io_totals() == again.io
+
+    def test_single_span_accepted(self):
+        root = sample_tree()
+        assert trace_to_json(root) == trace_to_json([root])
+
+
+class TestTextTree:
+    def test_renders_connectors_and_counters(self):
+        text = render_span_tree(sample_tree())
+        lines = text.splitlines()
+        assert lines[0].startswith("query")
+        assert "backend=array" in lines[0]
+        assert any(line.startswith("├─ scan_chunks") for line in lines)
+        assert any(line.startswith("└─ extract_rows") for line in lines)
+        assert "pages_read=7" in lines[0]  # inclusive of the child
+
+    def test_max_counters_truncates(self):
+        root = sample_tree()
+        root.io = {f"c{i}": float(i + 1) for i in range(12)}
+        text = render_span_tree(root, max_counters=3)
+        assert "..." in text.splitlines()[0]
+
+
+class TestPrometheus:
+    def test_counters_and_gauges_rendered(self):
+        registry = MetricsRegistry()
+        registry.register("disk", Counters()).add("pages_read", 4)
+        registry.register("pool", Counters()).add("pool_hits", 2)
+        registry.register_gauge("pool_hit_rate", lambda: 0.5)
+        text = prometheus_text(registry)
+        assert "# TYPE repro_pages_read_total counter" in text
+        assert 'repro_pages_read_total{source="disk"} 4' in text
+        assert 'repro_pool_hits_total{source="pool"} 2' in text
+        assert "# TYPE repro_pool_hit_rate gauge" in text
+        assert "repro_pool_hit_rate 0.5" in text
+
+    def test_source_names_sanitized(self):
+        registry = MetricsRegistry()
+        registry.register("fact:ds1.fact", Counters()).add("gets", 1)
+        text = prometheus_text(registry)
+        assert 'source="fact:ds1_fact"' in text  # '.' swapped, ':' legal

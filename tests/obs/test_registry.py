@@ -1,0 +1,105 @@
+"""Tests for the central metrics registry."""
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.obs import MetricsRegistry
+from repro.util.stats import Counters
+
+
+class TestSources:
+    def test_register_and_merge(self):
+        registry = MetricsRegistry()
+        a = registry.register("a", Counters())
+        b = registry.register("b", Counters())
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        assert registry.merged_snapshot() == {"x": 3, "y": 3}
+
+    def test_duplicate_name_rejected(self):
+        registry = MetricsRegistry()
+        registry.register("a", Counters())
+        with pytest.raises(MetricsError):
+            registry.register("a", Counters())
+
+    def test_replace_swaps_the_bag(self):
+        registry = MetricsRegistry()
+        old = registry.register("a", Counters())
+        old.add("x", 1)
+        new = registry.register("a", Counters(), replace=True)
+        assert registry.counters("a") is new
+        assert registry.merged_snapshot() == {}
+
+    def test_unregister(self):
+        registry = MetricsRegistry()
+        bag = registry.register("a", Counters())
+        bag.add("x", 1)
+        registry.unregister("a")
+        assert registry.merged_snapshot() == {}
+        with pytest.raises(MetricsError):
+            registry.unregister("a")
+        with pytest.raises(MetricsError):
+            registry.counters("a")
+
+    def test_scoped_registration(self):
+        registry = MetricsRegistry()
+        bag = Counters()
+        with registry.scoped("query", bag):
+            bag.add("probes", 2)
+            assert registry.merged_snapshot() == {"probes": 2}
+        assert registry.source_names() == []
+
+    def test_scoped_unregisters_on_exception(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.scoped("query", Counters()):
+                raise RuntimeError("boom")
+        assert registry.source_names() == []
+
+    def test_snapshot_by_source(self):
+        registry = MetricsRegistry()
+        registry.register("a", Counters()).add("x", 1)
+        registry.register("b", Counters())
+        assert registry.snapshot_by_source() == {"a": {"x": 1}, "b": {}}
+
+
+class TestResetAll:
+    def test_returns_pre_reset_totals_and_zeroes(self):
+        registry = MetricsRegistry()
+        a = registry.register("a", Counters())
+        b = registry.register("b", Counters())
+        a.add("x", 1)
+        b.add("y", 2)
+        assert registry.reset_all() == {"x": 1, "y": 2}
+        assert registry.merged_snapshot() == {}
+
+    def test_custom_reset_callable_used(self):
+        registry = MetricsRegistry()
+        bag = Counters()
+        called = []
+        registry.register("a", bag, reset=lambda: (called.append(1), bag.reset()))
+        bag.add("x", 5)
+        registry.reset_all()
+        assert called == [1]
+        assert bag.get("x") == 0
+
+
+class TestGauges:
+    def test_register_and_sample(self):
+        registry = MetricsRegistry()
+        registry.register_gauge("depth", lambda: 7)
+        assert registry.gauge_values() == {"depth": 7.0}
+
+    def test_duplicate_gauge_rejected_unless_replaced(self):
+        registry = MetricsRegistry()
+        registry.register_gauge("g", lambda: 1)
+        with pytest.raises(MetricsError):
+            registry.register_gauge("g", lambda: 2)
+        registry.register_gauge("g", lambda: 2, replace=True)
+        assert registry.gauge_values() == {"g": 2.0}
+
+    def test_gauges_do_not_join_counter_merge(self):
+        registry = MetricsRegistry()
+        registry.register_gauge("g", lambda: 9)
+        assert registry.merged_snapshot() == {}

@@ -121,6 +121,28 @@ class TestColdReset:
         assert pool.resident_pages() == 0
         assert disk.read_page(pid)[1] == 0x42
 
+    def test_reset_stats_returns_pre_reset_snapshot(self):
+        disk, pool = make_pool()
+        pid = pool.new_page()
+        pool.clear()
+        pool.get(pid)
+        pool.get(pid)
+        before = pool.reset_stats()
+        assert before["pool_misses"] == 1
+        assert before["pool_hits"] == 1
+        assert pool.counters.get("pool_hits") == 0
+
+    def test_hit_rate(self):
+        disk, pool = make_pool()
+        pid = pool.new_page()
+        pool.clear()
+        pool.reset_stats()
+        assert pool.hit_rate() == 0.0  # no accesses yet
+        pool.get(pid)  # miss
+        pool.get(pid)  # hit
+        pool.get(pid)  # hit
+        assert pool.hit_rate() == pytest.approx(2 / 3)
+
 
 class TestWALIntegration:
     def test_crash_before_commit_loses_writes(self):

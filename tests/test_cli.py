@@ -51,6 +51,38 @@ class TestCommands:
         assert "Query 1" in out and "Query 3" in out
         assert "planner would pick" in out
 
+    def test_demo_small_json(self, capsys, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert main(["demo", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["scale"] == "small"
+        assert len(report["queries"]) == 3
+        first = report["queries"][0]
+        assert first["planner_pick"]
+        assert all(b["cost_s"] > 0 for b in first["backends"])
+
+    def test_trace_small(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        trace_file = tmp_path / "trace.json"
+        prom_file = tmp_path / "metrics.prom"
+        assert main(
+            [
+                "trace", "q2", "--backend", "array",
+                "--json", str(trace_file), "--prom", str(prom_file),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("query")
+        assert "probe_chunks" in out
+        from repro.obs import trace_from_json
+
+        spans = trace_from_json(trace_file.read_text())
+        assert spans[0].name == "query"
+        assert spans[0].leaf_io_totals() == spans[0].io
+        assert "repro_pages_read_total" in prom_file.read_text()
+
     def test_sql_small(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "small")
         statement = (

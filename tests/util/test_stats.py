@@ -21,6 +21,13 @@ class TestCounters:
         c.reset()
         assert c.get("x") == 0
 
+    def test_reset_returns_pre_reset_snapshot(self):
+        c = Counters()
+        c.add("x", 5)
+        c.add("y", 0)
+        assert c.reset() == {"x": 5}
+        assert c.reset() == {}
+
     def test_snapshot_drops_zeros(self):
         c = Counters()
         c.add("a", 1)
@@ -34,6 +41,17 @@ class TestCounters:
         b.add("y", 3)
         a.merge(b)
         assert a.get("x") == 3 and a.get("y") == 3
+
+    def test_iadd_merges_in_place(self):
+        a, b = Counters(), Counters()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a_before = a
+        a += b
+        assert a is a_before
+        assert a.get("x") == 3 and a.get("y") == 3
+        assert b.get("x") == 2  # the right-hand side is untouched
 
     def test_repr_is_sorted(self):
         c = Counters()
@@ -63,3 +81,11 @@ class TestTimer:
             pass
         t.reset()
         assert t.elapsed == 0.0
+
+    def test_nested_timers_accumulate_independently(self):
+        outer, inner = Timer(), Timer()
+        with outer:
+            with inner:
+                time.sleep(0.005)
+        assert inner.elapsed > 0
+        assert outer.elapsed >= inner.elapsed
