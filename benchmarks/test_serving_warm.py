@@ -1,0 +1,54 @@
+"""Serving-mode numbers next to the cold tables: the fig4 query, warm.
+
+A result-cache hit answers the fig4 query (Query 1 on Data Set 1)
+without touching the engine; the speedup over the paper-protocol cold
+run is the serving layer's headline number.  The >= 5x bound is the
+acceptance bar — observed speedups are orders of magnitude larger.
+"""
+
+import pytest
+
+from repro.bench import (
+    bench_settings,
+    build_cube_engine,
+    query1_for,
+    run_concurrent,
+    run_warm,
+)
+from repro.data import dataset1
+
+SETTINGS = bench_settings()
+CONFIGS = dataset1(SETTINGS.scale)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return build_cube_engine(CONFIGS[0], SETTINGS)
+
+
+def test_fig4_warm_speedup(benchmark, engine):
+    query = query1_for(CONFIGS[0])
+    report = benchmark.pedantic(
+        lambda: run_warm(engine, query, backend="array"),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["cold_cost_s"] = report.cold.cost_s
+    benchmark.extra_info["warm_cost_s"] = report.warm_cost_s
+    benchmark.extra_info["speedup"] = report.speedup
+    assert report.hit_rate == 1.0
+    assert report.speedup >= 5.0
+
+
+def test_fig4_concurrent_clients(benchmark, engine):
+    query = query1_for(CONFIGS[0])
+    report = benchmark.pedantic(
+        lambda: run_concurrent(engine, [query], n_threads=8, rounds=2),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["hit_rate"] = report.hit_rate
+    benchmark.extra_info["p50_s"] = report.p50_s
+    benchmark.extra_info["p95_s"] = report.p95_s
+    assert report.hit_rate > 0.5
+    assert report.stats.get("serve.rejected", 0) == 0

@@ -23,7 +23,6 @@ from repro import (
     CubeSchema,
     DimensionDef,
     OlapEngine,
-    SelectionPredicate,
     consolidate,
 )
 
@@ -112,14 +111,11 @@ print("    (matches the Starjoin operator exactly)\n")
 # -- 4. a selection: West-region clothing sales by month --------------------
 
 west = engine.query(
-    ConsolidationQuery.build(
-        "retail",
-        group_by={"time": "month"},
-        selections=[
-            SelectionPredicate("store", "region", ("West",)),
-            SelectionPredicate("product", "type", ("clothing",)),
-        ],
-    ),
+    ConsolidationQuery.builder("retail")
+    .group_by("time", "month")
+    .where_in("store", "region", "West")
+    .where_in("product", "type", "clothing")
+    .build(),
     backend="array",
 )
 print("West-region clothing volume by month (§4.2 algorithm):")

@@ -39,6 +39,7 @@ from repro.core import (
 )
 from repro.errors import ReproError
 from repro.olap import (
+    Backend,
     ConsolidationQuery,
     CubeSchema,
     DimensionDef,
@@ -47,8 +48,10 @@ from repro.olap import (
     QueryResult,
     SelectionPredicate,
     parse_query,
+    register_backend,
 )
 from repro.relational import Database, Schema
+from repro.serve import QueryService, ServiceConfig
 
 __version__ = "1.0.0"
 
@@ -72,10 +75,15 @@ __all__ = [
     "MeasureDef",
     "ConsolidationQuery",
     "SelectionPredicate",
+    "Backend",
+    "register_backend",
     "OlapEngine",
     "QueryResult",
     "parse_query",
     # relational layer
     "Database",
     "Schema",
+    # serving layer
+    "QueryService",
+    "ServiceConfig",
 ]

@@ -2,6 +2,8 @@
 
 from repro.bench.harness import (
     BenchSettings,
+    ConcurrentReport,
+    WarmReport,
     aggregate_stats,
     bench_settings,
     build_cube_engine,
@@ -10,11 +12,15 @@ from repro.bench.harness import (
     query3_for,
     run_cold,
     run_cold_traced,
+    run_concurrent,
+    run_warm,
 )
 from repro.bench.report import ExperimentTable, results_dir, write_trace
 
 __all__ = [
     "BenchSettings",
+    "ConcurrentReport",
+    "WarmReport",
     "aggregate_stats",
     "bench_settings",
     "build_cube_engine",
@@ -23,6 +29,8 @@ __all__ = [
     "query3_for",
     "run_cold",
     "run_cold_traced",
+    "run_concurrent",
+    "run_warm",
     "ExperimentTable",
     "results_dir",
     "write_trace",

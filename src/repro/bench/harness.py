@@ -22,8 +22,11 @@ groups by only the first three dimensions.
 
 from __future__ import annotations
 
+import statistics
+import threading
 from collections.abc import Iterable
-from dataclasses import dataclass
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 
 from repro.data.datasets import get_scale
 from repro.data.generator import (
@@ -36,7 +39,7 @@ from repro.obs.tracer import Span, Tracer, tracing
 from repro.olap.engine import OlapEngine, QueryResult
 from repro.olap.query import ConsolidationQuery, SelectionPredicate
 from repro.storage.disk import DiskModel
-from repro.util.stats import Counters
+from repro.util.stats import Counters, Timer
 
 # Page size scales with the data so page-count ratios between the
 # structures match the paper's 8 KiB pages; the disk transfer rate
@@ -133,7 +136,7 @@ def query2_for(
         config.name,
         group_by={f"dim{d}": f"h{d}1" for d in range(config.ndim)},
         selections=[
-            SelectionPredicate(f"dim{d}", f"h{d}1", (value,))
+            SelectionPredicate.in_list(f"dim{d}", f"h{d}1", value)
             for d in range(config.ndim)
         ],
     )
@@ -147,7 +150,7 @@ def query3_for(
         config.name,
         group_by={f"dim{d}": f"h{d}1" for d in range(min(3, config.ndim))},
         selections=[
-            SelectionPredicate(f"dim{d}", f"h{d}1", (value,))
+            SelectionPredicate.in_list(f"dim{d}", f"h{d}1", value)
             for d in range(min(3, config.ndim))
         ],
     )
@@ -198,3 +201,135 @@ def aggregate_stats(results: Iterable[QueryResult]) -> dict[str, float]:
             bag.add(name, value)
         total += bag
     return total.snapshot()
+
+
+# -- serving-mode runs (warm cache / concurrent traffic) ----------------------
+
+
+@dataclass(frozen=True)
+class WarmReport:
+    """Cold-vs-warm comparison of one query through the result cache."""
+
+    cold: QueryResult
+    warm: list[QueryResult]
+    hit_rate: float
+
+    @property
+    def warm_cost_s(self) -> float:
+        """Median cost of the warm repeats."""
+        return statistics.median(r.cost_s for r in self.warm)
+
+    @property
+    def speedup(self) -> float:
+        """Cold cost over median warm cost (∞-safe: floor at 1 µs)."""
+        return self.cold.cost_s / max(self.warm_cost_s, 1e-6)
+
+
+def run_warm(
+    engine: OlapEngine,
+    query: ConsolidationQuery,
+    backend: str = "auto",
+    mode: str = "interpreted",
+    repeats: int = 3,
+) -> WarmReport:
+    """One cold run, then ``repeats`` runs through a warm `QueryService`.
+
+    The cold run follows the paper's protocol (:func:`run_cold`); the
+    warm runs go through the serving layer, where the first populates
+    the result cache and the rest should hit it.
+    """
+    from repro.serve import QueryService, ServiceConfig
+
+    cold = run_cold(engine, query, backend, mode)
+    warm: list[QueryResult] = []
+    with QueryService(engine, ServiceConfig(max_workers=1)) as service:
+        service.execute(query, backend=backend, mode=mode)  # populate
+        for _ in range(repeats):
+            warm.append(service.execute(query, backend=backend, mode=mode))
+    hits = sum(1 for r in warm if r.stats.get("result_cache_hit"))
+    return WarmReport(cold=cold, warm=warm, hit_rate=hits / max(1, len(warm)))
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
+
+
+@dataclass(frozen=True)
+class ConcurrentReport:
+    """Latency and cache statistics of one concurrent mixed workload."""
+
+    n_threads: int
+    latencies_s: list[float]
+    hit_rate: float
+    stats: dict[str, float]
+    #: per client thread, the ``(query index, rows)`` pairs it observed
+    #: in issue order — the serial-replay oracle compares against these
+    rows_by_thread: list[list[tuple[int, list[tuple]]]] = field(repr=False)
+
+    @property
+    def p50_s(self) -> float:
+        return _percentile(sorted(self.latencies_s), 0.50)
+
+    @property
+    def p95_s(self) -> float:
+        return _percentile(sorted(self.latencies_s), 0.95)
+
+
+def run_concurrent(
+    engine: OlapEngine,
+    queries: list[ConsolidationQuery],
+    n_threads: int = 8,
+    rounds: int = 2,
+    backend: str = "auto",
+    mode: str = "interpreted",
+) -> ConcurrentReport:
+    """``n_threads`` clients each issue every query ``rounds`` times.
+
+    All clients share one :class:`~repro.serve.service.QueryService`
+    sized so no request is rejected; client-side wall latency is
+    recorded per call.  The report carries cache-hit rate and p50/p95
+    latency — the serving-mode numbers next to the cold cost tables.
+    """
+    from repro.serve import QueryService, ServiceConfig
+
+    config = ServiceConfig(
+        max_workers=n_threads, max_in_flight=2 * n_threads * max(1, len(queries))
+    )
+    latencies: list[float] = []
+    lock = threading.Lock()
+
+    with QueryService(engine, config) as service:
+
+        def client(thread_no: int) -> list[tuple[int, list[tuple]]]:
+            seen: list[tuple[int, list[tuple]]] = []
+            for _ in range(rounds):
+                for index, query in enumerate(queries):
+                    with Timer() as timer:
+                        result = service.execute(query, backend=backend, mode=mode)
+                    with lock:
+                        latencies.append(timer.elapsed)
+                    seen.append((index, result.rows))
+            return seen
+
+        with ThreadPoolExecutor(
+            max_workers=n_threads, thread_name_prefix="repro-client"
+        ) as pool:
+            rows_by_thread = list(pool.map(client, range(n_threads)))
+        stats = service.stats()
+
+    hits = stats.get("result_cache.hits", 0.0)
+    misses = stats.get("result_cache.misses", 0.0)
+    lookups = hits + misses
+    return ConcurrentReport(
+        n_threads=n_threads,
+        latencies_s=latencies,
+        hit_rate=hits / lookups if lookups else 0.0,
+        stats=stats,
+        rows_by_thread=rows_by_thread,
+    )

@@ -11,6 +11,8 @@ Commands:
 - ``sql`` — run one SQL-subset statement against a synthetic cube.
 - ``storage`` — print the storage report for a synthetic cube.
 - ``bench`` — run one experiment's benchmark module via pytest.
+- ``serve`` — drive a concurrent mixed workload through the
+  `QueryService` and print cache-hit rate and p50/p95 latency.
 """
 
 from __future__ import annotations
@@ -29,6 +31,8 @@ from repro.bench.harness import (
     query3_for,
     run_cold,
     run_cold_traced,
+    run_concurrent,
+    run_warm,
 )
 from repro.data.datasets import SCALES, dataset1
 from repro.obs.exporters import (
@@ -173,6 +177,38 @@ def cmd_storage(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    settings = bench_settings(args.scale)
+    config = dataset1(settings.scale)[1]  # the x100 cube
+    print(
+        f"building {config.name}: dims={config.dim_sizes} "
+        f"valid={config.n_valid} ..."
+    )
+    engine = build_cube_engine(config, settings)
+    queries = [query1_for(config), query2_for(config), query3_for(config)]
+
+    warm = run_warm(engine, queries[0], backend="array")
+    print(
+        f"warm q1: cold={warm.cold.cost_s:.3f}s "
+        f"warm(p50)={warm.warm_cost_s * 1000:.3f}ms "
+        f"hit-rate={warm.hit_rate:.0%} speedup={warm.speedup:,.0f}x"
+    )
+
+    report = run_concurrent(
+        engine, queries, n_threads=args.threads, rounds=args.rounds
+    )
+    print(
+        f"concurrent ({report.n_threads} threads, {args.rounds} rounds, "
+        f"{len(report.latencies_s)} queries): "
+        f"hit-rate={report.hit_rate:.0%} "
+        f"p50={report.p50_s * 1000:.3f}ms p95={report.p95_s * 1000:.3f}ms"
+    )
+    for name in sorted(report.stats):
+        if name.startswith(("result_cache", "chunk_cache", "serve")):
+            print(f"    {name:<32} {report.stats[name]:>10,.0f}")
+    return 0
+
+
 def cmd_bench(args) -> int:
     import os
 
@@ -236,6 +272,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("experiment", choices=EXPERIMENTS)
     _add_scale_argument(bench)
     bench.set_defaults(run=cmd_bench)
+
+    serve = commands.add_parser(
+        "serve", help="run a concurrent workload through the QueryService"
+    )
+    serve.add_argument("--threads", type=int, default=8)
+    serve.add_argument("--rounds", type=int, default=2)
+    _add_scale_argument(serve)
+    serve.set_defaults(run=cmd_serve)
 
     return parser
 

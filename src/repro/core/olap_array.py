@@ -68,6 +68,12 @@ class OLAPArray:
         self._i2i_cache: dict[tuple[int, str], IndexToIndex] = {}
         self._attr_tree_cache: dict[tuple[int, str], BTree] = {}
         self._dir_cache: list[tuple[int, int, int]] | None = None
+        #: optional shared decoded-chunk cache (see
+        #: :class:`repro.serve.chunk_cache.ChunkCache`); when attached,
+        #: :meth:`read_chunk` serves repeated reads from it and
+        #: concurrent readers become safe (the cache serializes the
+        #: underlying page I/O)
+        self.chunk_cache = None
 
     def _entries(self) -> list[tuple[int, int, int]]:
         """Chunk meta entries, loaded once sequentially and cached."""
@@ -82,10 +88,14 @@ class OLAPArray:
 
         Called at cold-cache query boundaries so each measured query
         pays for (one sequential) re-read of the chunk meta directory
-        and the IndexToIndex arrays, as the paper's runs did.
+        and the IndexToIndex arrays, as the paper's runs did.  An
+        attached chunk cache drops this array's decoded chunks for the
+        same reason.
         """
         self._dir_cache = None
         self._i2i_cache.clear()
+        if self.chunk_cache is not None:
+            self.chunk_cache.invalidate_array(self.name)
 
     # -- opening ----------------------------------------------------------------
 
@@ -160,8 +170,18 @@ class OLAPArray:
         """Decode one chunk: ``(sorted offsets, (count, p) values)``.
 
         Empty chunks return empty arrays without touching the disk
-        (the §4.2 skip optimization relies on this).
+        (the §4.2 skip optimization relies on this).  With a
+        :attr:`chunk_cache` attached, repeated reads of the same chunk
+        return the shared decoded copy — callers must treat the returned
+        arrays as read-only (every in-tree consumer does).
         """
+        cache = self.chunk_cache
+        if cache is not None:
+            return cache.get_chunk(self, chunk_no)
+        return self._read_chunk_direct(chunk_no)
+
+    def _read_chunk_direct(self, chunk_no: int) -> tuple[np.ndarray, np.ndarray]:
+        """The uncached read path (large-object fetch + decode)."""
         oid, _, count = self._entries()[chunk_no]
         if oid == NO_CHUNK or count == 0:
             return _EMPTY_OFFSETS, np.empty(
@@ -240,6 +260,8 @@ class OLAPArray:
         self.directory.set_entry(chunk_no, oid, len(payload), len(offsets))
         if self._dir_cache is not None:
             self._dir_cache[chunk_no] = (oid, len(payload), len(offsets))
+        if self.chunk_cache is not None:
+            self.chunk_cache.invalidate_chunk(self.name, chunk_no)
 
     # -- the §3.5 summation and slicing functions ----------------------------------------------
 

@@ -8,13 +8,17 @@ partition aggregates independently into its own in-memory result
 object, and the partials merge exactly because every aggregate carries
 a mergeable sketch (sum, count, min, max, (sum,count), (n,Σ,Σx²)).
 
-This module runs the partitions sequentially (a single-process
-reproduction) but the dataflow is exactly the parallel plan: the
-correctness property that partitioned == direct is what matters, and
-the tests pin it.
+Two execution modes: ``executor="serial"`` runs the partitions
+sequentially (the original single-process reproduction), while
+``executor="thread"`` fans each partition out to a worker thread and
+merges the partials on the caller's thread — real concurrency over the
+same dataflow, so the partitioned == direct oracle now holds under
+actual parallel execution.
 """
 
 from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.consolidate import (
     ConsolidationResult,
@@ -54,21 +58,47 @@ def consolidate_partitioned(
     aggregate: str | list[str] = "sum",
     mode: str = "interpreted",
     counters: Counters | None = None,
+    executor: str = "serial",
+    max_workers: int | None = None,
 ) -> ConsolidationResult:
     """§4.1 consolidation over chunk partitions, then an exact merge.
 
     Returns the same rows as :func:`~repro.core.consolidate.consolidate`
     for any partition count; counters additionally record
-    ``partitions`` and per-partition cell totals.
+    ``partitions`` and per-partition cell totals.  With
+    ``executor="thread"`` each partition scans on its own worker thread
+    (``max_workers`` defaults to the partition count); the partials
+    still merge on the caller's thread through the same mergeable-sketch
+    path, so rows are identical to the serial plan.
     """
     if mode not in ("interpreted", "vectorized"):
         raise QueryError(f"unknown mode {mode!r}")
+    if executor not in ("serial", "thread"):
+        raise QueryError(f"unknown executor {executor!r}")
     counters = counters if counters is not None else Counters()
 
     tracer = get_tracer()
     merged = ResultAccumulator(array, specs, aggregate)
     ranges = partition_chunks(array.geometry.n_chunks, n_partitions)
     counters.add("partitions", len(ranges))
+    if executor == "thread":
+        partials = _scan_threaded(
+            array, specs, aggregate, mode, ranges, counters, max_workers
+        )
+    else:
+        partials = _scan_serial(
+            array, specs, aggregate, mode, ranges, counters, tracer
+        )
+    with tracer.span("partition_merge", partitions=len(partials)):
+        for partial in partials:
+            merged.merge_from(partial)
+    counters.add("result_cells", merged.touched_cells())
+    return ConsolidationResult(rows=merged.rows(), counters=counters)
+
+
+def _scan_serial(
+    array, specs, aggregate, mode, ranges, counters, tracer
+) -> list[ResultAccumulator]:
     partials: list[ResultAccumulator] = []
     for p, chunk_range in enumerate(ranges):
         with tracer.span(
@@ -82,8 +112,52 @@ def consolidate_partitioned(
             array.counters.reset()
             partials.append(partial)
             counters += partial_counters
-    with tracer.span("partition_merge", partitions=len(partials)):
-        for partial in partials:
-            merged.merge_from(partial)
-    counters.add("result_cells", merged.touched_cells())
-    return ConsolidationResult(rows=merged.rows(), counters=counters)
+    return partials
+
+
+def _scan_threaded(
+    array, specs, aggregate, mode, ranges, counters, max_workers
+) -> list[ResultAccumulator]:
+    """Fan the partition scans out to a thread pool.
+
+    Everything lazily initialized is resolved on the caller's thread
+    first: the chunk meta directory, the IndexToIndex mappings (inside
+    each accumulator's construction), and — when no shared chunk cache
+    is attached — a temporary :class:`~repro.serve.chunk_cache.
+    ChunkCache` whose I/O lock serializes the buffer pool underneath
+    the concurrent scans (the pool's pin/evict bookkeeping is
+    single-threaded).
+    """
+    array._entries()
+    partials = [ResultAccumulator(array, specs, aggregate) for _ in ranges]
+
+    temporary_cache = None
+    if array.chunk_cache is None:
+        from repro.serve.chunk_cache import ChunkCache
+
+        temporary_cache = ChunkCache(max_chunks=max(8, len(ranges)))
+        array.chunk_cache = temporary_cache
+
+    tracer = get_tracer()
+
+    def scan(p: int) -> int:
+        # worker threads get their own span stacks (new root trees)
+        with tracer.span(
+            "partition_scan", partition=p, chunks=len(ranges[p]), threaded=True
+        ):
+            return scan_chunk_range(array, partials[p], ranges[p], mode)
+
+    try:
+        workers = max_workers if max_workers is not None else len(ranges)
+        with ThreadPoolExecutor(
+            max_workers=max(1, workers), thread_name_prefix="repro-partition"
+        ) as pool:
+            for scanned in pool.map(scan, range(len(ranges))):
+                counters.add("cells_scanned", scanned)
+    finally:
+        if temporary_cache is not None:
+            array.chunk_cache = None
+            temporary_cache.clear()
+    counters.merge(array.counters)
+    array.counters.reset()
+    return partials

@@ -93,3 +93,11 @@ class DataGenError(ReproError):
 
 class MetricsError(ReproError):
     """Bad metrics-registry operation (duplicate or unknown source)."""
+
+
+class ServeError(ReproError):
+    """Base class for query-service failures."""
+
+
+class AdmissionError(ServeError):
+    """The service refused a query (queue full / shutting down)."""

@@ -28,6 +28,7 @@ subtraction, even in floating point).
 
 from __future__ import annotations
 
+import threading
 import time
 
 from repro.util.stats import Counters
@@ -136,11 +137,13 @@ class _LiveSpan:
     def __enter__(self) -> Span:
         tracer = self._tracer
         span = self._span
-        if tracer._stack:
-            tracer._stack[-1].children.append(span)
+        stack = tracer._stack
+        if stack:
+            stack[-1].children.append(span)
         else:
-            tracer.roots.append(span)
-        tracer._stack.append(span)
+            with tracer._roots_lock:
+                tracer.roots.append(span)
+        stack.append(span)
         if tracer.registry is not None:
             self._before = tracer.registry.merged_snapshot()
         span.start_s = time.perf_counter()
@@ -166,14 +169,30 @@ class _LiveSpan:
 
 
 class Tracer:
-    """Records spans into a tree; optionally snapshots a registry."""
+    """Records spans into a tree; optionally snapshots a registry.
+
+    The span stack is per-thread: a span opened on a worker thread
+    nests under that thread's innermost span, or starts a new root tree
+    (the serving layer and thread-backed partitioned consolidation rely
+    on this).  Counter deltas on concurrently open spans overlap — each
+    span still reports the registry delta over its own lifetime, which
+    under concurrency includes other threads' I/O.
+    """
 
     enabled = True
 
     def __init__(self, registry=None):
         self.registry = registry
         self.roots: list[Span] = []
-        self._stack: list[Span] = []
+        self._local = threading.local()
+        self._roots_lock = threading.Lock()
+
+    @property
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(self, name: str, **attrs) -> _LiveSpan:
         """Open a child span of the innermost active span (or a root)."""
@@ -181,7 +200,8 @@ class Tracer:
 
     def current(self) -> Span | None:
         """The innermost active span, or ``None`` outside any span."""
-        return self._stack[-1] if self._stack else None
+        stack = self._stack
+        return stack[-1] if stack else None
 
 
 NULL_TRACER = NullTracer()

@@ -11,6 +11,15 @@ backend, or lets the :mod:`~repro.olap.planner` choose.
 
 from repro.olap.model import CubeSchema, DimensionDef, MeasureDef
 from repro.olap.query import ConsolidationQuery, SelectionPredicate
+from repro.olap.backends import (
+    Backend,
+    BackendContext,
+    available_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
 from repro.olap.engine import OlapEngine, QueryResult
 from repro.olap.planner import choose_backend
 from repro.olap.sql import parse_query
@@ -22,6 +31,13 @@ __all__ = [
     "MeasureDef",
     "ConsolidationQuery",
     "SelectionPredicate",
+    "Backend",
+    "BackendContext",
+    "available_backends",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
     "OlapEngine",
     "QueryResult",
     "choose_backend",

@@ -1,0 +1,430 @@
+"""The :class:`Backend` protocol and registry.
+
+Historically :meth:`OlapEngine.query <repro.olap.engine.OlapEngine.query>`
+dispatched to seven private ``_run_*`` methods through an ``if``/``elif``
+chain, each with its own ad-hoc signature.  This module replaces that
+with one uniform surface:
+
+- :class:`Backend` — ``execute(ctx, query) -> QueryResult`` plus an
+  ``available(state)`` capability check;
+- :class:`BackendContext` — everything an execution needs (the engine,
+  the loaded cube state, the query's counter bag, mode/order knobs);
+- a process-wide **registry** (:func:`register_backend`,
+  :func:`get_backend`) through which the engine resolves backend names.
+
+``array``/``starjoin``/``bitmap``/``btree``/``mbtree``/``leftdeep`` are
+registered implementations of the same protocol, so third-party
+backends plug in without editing ``engine.py``::
+
+    class MirrorBackend(Backend):
+        name = "mirror"
+        def execute(self, ctx, query):
+            rows = ...
+            return ctx.result(rows, self.name)
+
+    register_backend(MirrorBackend())
+    engine.query(query, backend="mirror")
+
+``auto`` is not a backend: the engine resolves it through the
+:mod:`~repro.olap.planner` rule before consulting the registry.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.consolidate import ConsolidationSpec, consolidate
+from repro.core.select_consolidate import Selection, consolidate_with_selection
+from repro.errors import PlanError
+from repro.olap.star_schema import (
+    bitmap_index_name,
+    btree_index_name,
+    mbtree_index_name,
+)
+from repro.relational.bitmap_select import bitmap_select_consolidate
+from repro.relational.btree_select import btree_select_consolidate
+from repro.relational.mbtree_select import mbtree_select_consolidate
+from repro.relational.operators import Filter, SeqScan, left_deep_consolidation
+from repro.relational.star_join import star_join_consolidate
+from repro.util.stats import Counters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from repro.olap.engine import OlapEngine, QueryResult, _CubeState
+    from repro.olap.query import ConsolidationQuery
+
+
+@dataclass
+class BackendContext:
+    """Everything one backend execution may need.
+
+    ``engine`` exposes the shared helpers (dimension attribute maps,
+    selection key sets, measure projection); ``state`` is the loaded
+    cube's physical design; ``counters`` is the query's private counter
+    bag (already registered with the metrics registry for the duration
+    of the query).
+    """
+
+    engine: "OlapEngine"
+    state: "_CubeState"
+    counters: Counters
+    mode: str = "interpreted"
+    order: str = "chunk"
+
+    def result(
+        self, rows: list[tuple], backend: str, mode: str = "interpreted"
+    ) -> "QueryResult":
+        """Wrap rows into a :class:`QueryResult` shell.
+
+        Timing, simulated I/O and the merged stats snapshot are stamped
+        by the engine after ``execute`` returns — backends only produce
+        the row multiset.
+        """
+        from repro.olap.engine import QueryResult
+
+        return QueryResult(
+            rows=rows, backend=backend, mode=mode, elapsed_s=0.0, sim_io_s=0.0
+        )
+
+
+class Backend(ABC):
+    """One query-evaluation strategy: a name plus ``execute``.
+
+    Subclasses override :meth:`available` when they need specific
+    physical structures (an array, a fact file, index families).
+    """
+
+    #: registry key; also stamped on results
+    name: str = ""
+
+    def available(self, state: "_CubeState") -> bool:
+        """Whether this cube's physical design can serve this backend."""
+        return True
+
+    @abstractmethod
+    def execute(
+        self, ctx: BackendContext, query: "ConsolidationQuery"
+    ) -> "QueryResult":
+        """Evaluate ``query`` and return the (sorted-row) result."""
+
+
+# -- registry ---------------------------------------------------------------
+
+_REGISTRY: dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend, replace: bool = False) -> Backend:
+    """Register a backend under its ``name``.
+
+    Third-party backends use this to become addressable from
+    ``OlapEngine.query(..., backend=<name>)`` without touching
+    ``engine.py``.
+    """
+    if not backend.name:
+        raise PlanError("a backend needs a non-empty name")
+    if backend.name == "auto":
+        raise PlanError('"auto" is reserved for the planner')
+    if backend.name in _REGISTRY and not replace:
+        raise PlanError(f"backend {backend.name!r} is already registered")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend from the registry (tests / plugin teardown)."""
+    if name in _BUILTIN_NAMES:
+        raise PlanError(f"cannot unregister built-in backend {name!r}")
+    if name not in _REGISTRY:
+        raise PlanError(f"no backend named {name!r} registered")
+    del _REGISTRY[name]
+
+
+def get_backend(name: str) -> Backend:
+    """Resolve a backend name; raises :class:`PlanError` when unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise PlanError(
+            f"unknown backend {name!r}; expected one of "
+            f"{tuple(backend_names())}"
+        ) from None
+
+
+def backend_names() -> tuple[str, ...]:
+    """Every registered backend name, built-ins first."""
+    builtins = [n for n in _BUILTIN_NAMES if n in _REGISTRY]
+    extras = sorted(n for n in _REGISTRY if n not in _BUILTIN_NAMES)
+    return tuple(builtins + extras)
+
+
+def available_backends(state: "_CubeState") -> set[str]:
+    """All registered backends whose ``available(state)`` holds."""
+    return {
+        name for name, backend in _REGISTRY.items() if backend.available(state)
+    }
+
+
+# -- built-in implementations ----------------------------------------------
+
+
+class ArrayBackend(Backend):
+    """§4.1 consolidation / §4.2 consolidation with selection."""
+
+    name = "array"
+
+    def available(self, state) -> bool:
+        return state.array is not None
+
+    def execute(self, ctx, query):
+        engine, state = ctx.engine, ctx.state
+        schema = state.schema
+        array = state.array
+        grouped = dict(query.group_by)
+        specs = []
+        for dim in schema.dimensions:
+            attr = grouped.get(dim.name)
+            if attr is None:
+                specs.append(ConsolidationSpec.drop())
+            elif attr == dim.key:
+                specs.append(ConsolidationSpec.key())
+            else:
+                specs.append(ConsolidationSpec.level(attr))
+        selections = [
+            Selection(
+                sel.dimension,
+                None
+                if sel.attribute == schema.dimension(sel.dimension).key
+                else sel.attribute,
+                tuple(sel.values) if sel.values is not None else None,
+                low=sel.low,
+                high=sel.high,
+            )
+            for sel in query.selections
+        ]
+        if selections:
+            result = consolidate_with_selection(
+                array,
+                specs,
+                selections,
+                aggregate=query.aggregate,
+                mode=ctx.mode,
+                order=ctx.order,
+                counters=ctx.counters,
+            )
+        else:
+            result = consolidate(
+                array,
+                specs,
+                aggregate=query.aggregate,
+                mode=ctx.mode,
+                counters=ctx.counters,
+            )
+        rows = engine._project_measures(state, query, result.rows)
+        rows = engine._reorder_array_rows(state, query, rows)
+        return ctx.result(rows, self.name, mode=ctx.mode)
+
+
+class StarjoinBackend(Backend):
+    """§4.3 Starjoin operator (selections via key filters)."""
+
+    name = "starjoin"
+
+    def available(self, state) -> bool:
+        return state.fact is not None
+
+    def execute(self, ctx, query):
+        engine, state = ctx.engine, ctx.state
+        key_sets = engine._selection_key_sets(state, query)
+        key_filters = {
+            state.schema.dimension(d).key: allowed
+            for d, allowed in key_sets.items()
+        }
+        rows = star_join_consolidate(
+            state.fact,
+            engine._group_specs(state, query),
+            engine._query_measures(state, query),
+            aggregate=query.aggregate,
+            counters=ctx.counters,
+            key_filters=key_filters or None,
+        )
+        return ctx.result(rows, self.name)
+
+
+class BitmapBackend(Backend):
+    """§4.5 bitmap AND + fact-file fetch."""
+
+    name = "bitmap"
+
+    def available(self, state) -> bool:
+        return (
+            state.fact is not None
+            and bool(state.bitmap_attrs)
+            and not state.indices_stale
+        )
+
+    def execute(self, ctx, query):
+        engine, state = ctx.engine, ctx.state
+        schema = state.schema
+        selections = []
+        for sel in query.selections:
+            if (sel.dimension, sel.attribute) not in state.bitmap_attrs:
+                raise PlanError(
+                    f"no bitmap index on {sel.dimension}.{sel.attribute}; "
+                    "load with bitmap_attrs covering it"
+                )
+            index = engine.db.bitmap(
+                bitmap_index_name(schema, sel.dimension, sel.attribute)
+            )
+            if sel.is_range:
+                # one B-tree range scan over the bitmap value directory,
+                # OR-ing the qualifying values' bitmaps
+                selections.append(
+                    (index, index.bitmap_for_range(sel.low, sel.high))
+                )
+            else:
+                selections.append((index, list(sel.values)))
+        rows = bitmap_select_consolidate(
+            state.fact,
+            engine._group_specs(state, query),
+            selections,
+            engine._query_measures(state, query),
+            aggregate=query.aggregate,
+            counters=ctx.counters,
+        )
+        return ctx.result(rows, self.name)
+
+
+class BTreeBackend(Backend):
+    """Standard B-tree selection baseline (§4.4's also-ran)."""
+
+    name = "btree"
+
+    def available(self, state) -> bool:
+        return (
+            state.fact is not None
+            and bool(state.btree_dims)
+            and not state.indices_stale
+        )
+
+    def execute(self, ctx, query):
+        engine, state = ctx.engine, ctx.state
+        if not query.selections:
+            raise PlanError("the btree backend needs at least one selection")
+        schema = state.schema
+        key_sets = engine._selection_key_sets(state, query)
+        selections = []
+        for dim_name, allowed in key_sets.items():
+            if dim_name not in state.btree_dims:
+                raise PlanError(
+                    f"no fact B-tree on dimension {dim_name!r}; load with "
+                    "fact_btrees=True"
+                )
+            tree = engine.db.btree(btree_index_name(schema, dim_name))
+            selections.append((tree, sorted(allowed)))
+        rows = btree_select_consolidate(
+            state.fact,
+            engine._group_specs(state, query),
+            selections,
+            engine._query_measures(state, query),
+            aggregate=query.aggregate,
+            counters=ctx.counters,
+        )
+        return ctx.result(rows, self.name)
+
+
+class MBTreeBackend(Backend):
+    """Skipping multi-attribute B-tree reconstruction (§4.4)."""
+
+    name = "mbtree"
+
+    def available(self, state) -> bool:
+        return (
+            state.fact is not None
+            and state.has_mbtree
+            and not state.indices_stale
+        )
+
+    def execute(self, ctx, query):
+        engine, state = ctx.engine, ctx.state
+        if not query.selections:
+            raise PlanError("the mbtree backend needs at least one selection")
+        schema = state.schema
+        key_sets = engine._selection_key_sets(state, query)
+        allowed = []
+        for dim in schema.dimensions:
+            if dim.name in key_sets:
+                allowed.append(sorted(key_sets[dim.name]))
+            else:
+                table = state.dim_tables[dim.name]
+                key_pos = table.schema.index_of(dim.key)
+                allowed.append(sorted(row[key_pos] for row in table.scan()))
+        tree = engine.db.btree(mbtree_index_name(schema))
+        rows = mbtree_select_consolidate(
+            state.fact,
+            engine._group_specs(state, query),
+            tree,
+            allowed,
+            engine._query_measures(state, query),
+            aggregate=query.aggregate,
+            counters=ctx.counters,
+        )
+        return ctx.result(rows, self.name)
+
+
+class LeftDeepBackend(Backend):
+    """Pipelined left-deep hash-join plan (§1's "traditional")."""
+
+    name = "leftdeep"
+
+    def available(self, state) -> bool:
+        return state.fact is not None
+
+    def execute(self, ctx, query):
+        engine, state = ctx.engine, ctx.state
+        schema = state.schema
+        grouped = dict(query.group_by)
+        key_sets = engine._selection_key_sets(state, query)
+        joined = [
+            d.name
+            for d in schema.dimensions
+            if d.name in grouped or d.name in key_sets
+        ]
+        fact_scan = SeqScan(state.fact, alias="f")
+        dim_scans = []
+        for dim_name in joined:
+            dim = schema.dimension(dim_name)
+            scan = SeqScan(state.dim_tables[dim_name], alias=dim_name)
+            if dim_name in key_sets:
+                allowed = key_sets[dim_name]
+                key_col = f"{dim_name}.{dim.key}"
+                position = scan.names.index(key_col)
+                scan = Filter(
+                    scan,
+                    predicate=lambda row, p=position, a=frozenset(allowed): row[p] in a,
+                )
+            dim_scans.append((scan, f"{dim_name}.{dim.key}", f"f.{dim.key}"))
+        plan = left_deep_consolidation(
+            fact_scan,
+            dim_scans,
+            [f"{d}.{grouped[d]}" for d in query.group_dims],
+            [f"f.{m}" for m in engine._query_measures(state, query)],
+            aggregate=query.aggregate,
+        )
+        ctx.counters.add("leftdeep_joins", len(dim_scans))
+        return ctx.result(list(plan), self.name)
+
+
+_BUILTIN_NAMES = (
+    "array", "starjoin", "bitmap", "btree", "mbtree", "leftdeep",
+)
+
+for _backend in (
+    ArrayBackend(),
+    StarjoinBackend(),
+    BitmapBackend(),
+    BTreeBackend(),
+    MBTreeBackend(),
+    LeftDeepBackend(),
+):
+    register_backend(_backend)

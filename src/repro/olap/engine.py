@@ -27,13 +27,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from collections.abc import Callable
+
 from repro.core.builder import DimensionData, build_olap_array
 from repro.core.consolidate import ConsolidationSpec, consolidate
 from repro.core.index_to_index import IndexToIndex
 from repro.core.olap_array import OLAPArray
-from repro.core.select_consolidate import Selection, consolidate_with_selection
 from repro.errors import CatalogError, PlanError, QueryError
 from repro.obs.tracer import get_tracer
+from repro.olap import backends as backend_registry
+from repro.olap.backends import BackendContext
 from repro.olap.model import CubeSchema
 from repro.olap.planner import (
     DEFAULT_CROSSOVER_SELECTIVITY,
@@ -51,15 +54,12 @@ from repro.olap.star_schema import (
     fact_table_schema,
     mbtree_index_name,
 )
-from repro.relational.bitmap_select import bitmap_select_consolidate
-from repro.relational.btree_select import btree_select_consolidate
-from repro.relational.mbtree_select import mbtree_select_consolidate
 from repro.relational.catalog import Database
-from repro.relational.operators import Filter, SeqScan, left_deep_consolidation
-from repro.relational.star_join import DimensionJoinSpec, star_join_consolidate
+from repro.relational.star_join import DimensionJoinSpec
 from repro.util.stats import Counters, Timer
 
 _RELATIONAL_BACKENDS = ("starjoin", "bitmap", "btree", "mbtree", "leftdeep")
+#: the built-in backends; the live set is ``backends.backend_names()``
 BACKENDS = ("array",) + _RELATIONAL_BACKENDS
 
 
@@ -93,20 +93,15 @@ class _CubeState:
     btree_dims: set = field(default_factory=set)
     has_mbtree: bool = False
     layout: str = "star"
+    #: bumped on every write; result caches key their entries to it
+    generation: int = 0
+    #: set when appends outgrew the position-based indices (bitmap /
+    #: btree / mbtree); those backends drop out of availability until a
+    #: rebuild
+    indices_stale: bool = False
 
     def available_backends(self) -> set[str]:
-        out = set()
-        if self.array is not None:
-            out.add("array")
-        if self.fact is not None:
-            out.update(("starjoin", "leftdeep"))
-            if self.bitmap_attrs:
-                out.add("bitmap")
-            if self.btree_dims:
-                out.add("btree")
-            if self.has_mbtree:
-                out.add("mbtree")
-        return out
+        return backend_registry.available_backends(self)
 
 
 @dataclass
@@ -126,6 +121,7 @@ class OlapEngine:
         self.db = db if db is not None else Database(**db_kwargs)
         self._cubes: dict[str, _CubeState] = {}
         self._views: dict[str, _ViewState] = {}
+        self._write_listeners: list[Callable[[str], None]] = []
 
     # -- loading ------------------------------------------------------------------
 
@@ -245,7 +241,8 @@ class OlapEngine:
             state.has_mbtree = True
 
     def _build_array(
-        self, state, dimension_rows, fact_rows, chunk_shape, codec
+        self, state, dimension_rows, fact_rows, chunk_shape, codec,
+        name: str | None = None,
     ) -> None:
         schema = state.schema
         dim_data = []
@@ -261,9 +258,10 @@ class OlapEngine:
             chunk_shape = tuple(
                 min(len(d.keys), 16) for d in dim_data
             )
+        chunk_cache = state.array.chunk_cache if state.array is not None else None
         state.array = build_olap_array(
             self.db.fm,
-            array_name(schema),
+            name if name is not None else array_name(schema),
             dim_data,
             fact_rows,
             chunk_shape,
@@ -271,6 +269,7 @@ class OlapEngine:
             dtype=schema.measure_dtype,
             measure_names=[m.name for m in schema.measures],
         )
+        state.array.chunk_cache = chunk_cache
         self.db.metrics.register(
             f"array:{array_name(schema)}", state.array.counters, replace=True
         )
@@ -394,14 +393,14 @@ class OlapEngine:
                         if query.selections
                         else 1.0
                     ),
+                    has_range_selections=any(
+                        sel.is_range for sel in query.selections
+                    ),
                 ),
                 crossover_selectivity,
             )
-        if backend not in BACKENDS:
-            raise PlanError(
-                f"unknown backend {backend!r}; expected one of {BACKENDS}"
-            )
-        if backend not in available:
+        impl = backend_registry.get_backend(backend)
+        if not impl.available(state):
             raise PlanError(
                 f"backend {backend!r} not available for cube "
                 f"{query.cube!r}; built: {sorted(available)}"
@@ -415,6 +414,9 @@ class OlapEngine:
             self.db.reset_stats()
         counters = Counters()
         result_mode = mode if backend == "array" else "interpreted"
+        ctx = BackendContext(
+            engine=self, state=state, counters=counters, mode=mode, order=order
+        )
         with self.db.metrics.scoped("query", counters):
             with get_tracer().span(
                 "query", cube=query.cube, backend=backend, mode=result_mode
@@ -423,29 +425,12 @@ class OlapEngine:
                     query.cube, "S", f"query-{id(query)}"
                 ):
                     with Timer() as timer:
-                        if backend == "array":
-                            rows = self._run_array(
-                                state, query, mode, order, counters
-                            )
-                        elif backend == "starjoin":
-                            rows = self._run_starjoin(state, query, counters)
-                        elif backend == "bitmap":
-                            rows = self._run_bitmap(state, query, counters)
-                        elif backend == "btree":
-                            rows = self._run_btree(state, query, counters)
-                        elif backend == "mbtree":
-                            rows = self._run_mbtree(state, query, counters)
-                        else:
-                            rows = self._run_leftdeep(state, query, counters)
+                        result = impl.execute(ctx, query)
             stats = self.db.metrics.merged_snapshot()
-        return QueryResult(
-            rows=rows,
-            backend=backend,
-            mode=result_mode,
-            elapsed_s=timer.elapsed,
-            sim_io_s=self.db.sim_io_seconds(),
-            stats=stats,
-        )
+        result.elapsed_s = timer.elapsed
+        result.sim_io_s = self.db.sim_io_seconds()
+        result.stats = stats
+        return result
 
     def materialize(
         self,
@@ -624,50 +609,7 @@ class OlapEngine:
         query = parse_query(statement, self.cube(cube_name).schema)
         return self.query(query, **query_kwargs)
 
-    # -- backend implementations ---------------------------------------------------------
-
-    def _run_array(self, state, query, mode, order, counters) -> list[tuple]:
-        schema = state.schema
-        array = state.array
-        grouped = dict(query.group_by)
-        specs = []
-        for dim in schema.dimensions:
-            attr = grouped.get(dim.name)
-            if attr is None:
-                specs.append(ConsolidationSpec.drop())
-            elif attr == dim.key:
-                specs.append(ConsolidationSpec.key())
-            else:
-                specs.append(ConsolidationSpec.level(attr))
-        selections = [
-            Selection(
-                sel.dimension,
-                None
-                if sel.attribute == schema.dimension(sel.dimension).key
-                else sel.attribute,
-                tuple(sel.values) if sel.values is not None else None,
-                low=sel.low,
-                high=sel.high,
-            )
-            for sel in query.selections
-        ]
-        if selections:
-            result = consolidate_with_selection(
-                array,
-                specs,
-                selections,
-                aggregate=query.aggregate,
-                mode=mode,
-                order=order,
-                counters=counters,
-            )
-        else:
-            result = consolidate(
-                array, specs, aggregate=query.aggregate, mode=mode,
-                counters=counters,
-            )
-        rows = self._project_measures(state, query, result.rows)
-        return self._reorder_array_rows(state, query, rows)
+    # -- backend support helpers (shared with repro.olap.backends) ---------------------
 
     def _project_measures(self, state, query, rows) -> list[tuple]:
         """The ADT aggregates every measure; keep the asked-for columns."""
@@ -714,129 +656,147 @@ class OlapEngine:
             return list(query.measures)
         return [m.name for m in state.schema.measures]
 
-    def _run_starjoin(self, state, query, counters) -> list[tuple]:
-        key_sets = self._selection_key_sets(state, query)
-        key_filters = {
-            state.schema.dimension(d).key: allowed
-            for d, allowed in key_sets.items()
-        }
-        return star_join_consolidate(
-            state.fact,
-            self._group_specs(state, query),
-            self._query_measures(state, query),
-            aggregate=query.aggregate,
-            counters=counters,
-            key_filters=key_filters or None,
-        )
+    # -- writes (the serving layer's mutation surface) -----------------------------------------
 
-    def _run_bitmap(self, state, query, counters) -> list[tuple]:
-        schema = state.schema
-        selections = []
-        for sel in query.selections:
-            if (sel.dimension, sel.attribute) not in state.bitmap_attrs:
-                raise PlanError(
-                    f"no bitmap index on {sel.dimension}.{sel.attribute}; "
-                    "load with bitmap_attrs covering it"
-                )
-            index = self.db.bitmap(
-                bitmap_index_name(schema, sel.dimension, sel.attribute)
+    def cube_generation(self, name: str) -> int:
+        """Monotonic write counter for one cube.
+
+        Every mutation through :meth:`write_cell`, :meth:`append_facts`
+        or :meth:`rebuild_array` bumps it; result caches key entries to
+        the generation they were computed at and treat a mismatch as a
+        miss (generation-based invalidation).
+        """
+        return self.cube(name).generation
+
+    def add_write_listener(self, listener: Callable[[str], None]) -> None:
+        """Call ``listener(cube_name)`` after every write to any cube."""
+        self._write_listeners.append(listener)
+
+    def remove_write_listener(self, listener: Callable[[str], None]) -> None:
+        """Detach a previously added write listener."""
+        self._write_listeners.remove(listener)
+
+    def _note_write(self, state: _CubeState) -> None:
+        state.generation += 1
+        for listener in list(self._write_listeners):
+            listener(state.schema.name)
+
+    def write_cell(self, cube: str, keys: tuple, measures) -> None:
+        """Insert or overwrite one cell in every built physical design.
+
+        The array takes the copy-on-write chunk path
+        (:meth:`OLAPArray.write_cell
+        <repro.core.olap_array.OLAPArray.write_cell>`); the fact file
+        updates the matching tuple in place, or appends when the cell is
+        new.  Appends outgrow the position-based bitmap/B-tree indices,
+        so a new cell marks them stale (overwrites keep them valid: they
+        index keys and attributes, never measures).
+        """
+        state = self.cube(cube)
+        keys = tuple(keys)
+        measures = tuple(measures)
+        ndim = len(state.schema.dimensions)
+        if len(keys) != ndim:
+            raise QueryError(f"expected {ndim} dimension keys, got {len(keys)}")
+        if len(measures) != len(state.schema.measures):
+            raise QueryError(
+                f"expected {len(state.schema.measures)} measures, got "
+                f"{len(measures)}"
             )
-            if sel.is_range:
-                # one B-tree range scan over the bitmap value directory,
-                # OR-ing the qualifying values' bitmaps
-                selections.append(
-                    (index, index.bitmap_for_range(sel.low, sel.high))
-                )
-            else:
-                selections.append((index, list(sel.values)))
-        return bitmap_select_consolidate(
-            state.fact,
-            self._group_specs(state, query),
-            selections,
-            self._query_measures(state, query),
-            aggregate=query.aggregate,
-            counters=counters,
-        )
+        with self.db.locks.locked(cube, "X", f"write-{id(keys)}"):
+            appended = False
+            if state.fact is not None:
+                found = None
+                for tuple_no, row in enumerate(state.fact.scan()):
+                    if tuple(row[:ndim]) == keys:
+                        found = tuple_no
+                        break
+                if found is None:
+                    state.fact.append(keys + measures)
+                    appended = True
+                else:
+                    state.fact.update(found, keys + measures)
+            if state.array is not None:
+                state.array.write_cell(keys, measures)
+            if appended:
+                state.indices_stale = True
+            self._note_write(state)
 
-    def _run_btree(self, state, query, counters) -> list[tuple]:
-        if not query.selections:
-            raise PlanError("the btree backend needs at least one selection")
-        schema = state.schema
-        key_sets = self._selection_key_sets(state, query)
-        selections = []
-        for dim_name, allowed in key_sets.items():
-            if dim_name not in state.btree_dims:
+    def append_facts(self, cube: str, rows) -> None:
+        """Append fact tuples to every built physical design.
+
+        Rows are ``(keys..., measures...)`` as in :meth:`load_cube`.
+        A row whose cell already exists folds its measures additively
+        into the array cell (the fact file keeps both tuples), so only
+        ``sum`` stays design-agnostic over duplicated cells — append
+        distinct cells when cross-backend parity matters.  Appends mark
+        the position-based indices stale (see :meth:`write_cell`).
+        """
+        state = self.cube(cube)
+        rows = [tuple(row) for row in rows]
+        if not rows:
+            return
+        ndim = len(state.schema.dimensions)
+        with self.db.locks.locked(cube, "X", f"append-{id(rows)}"):
+            if state.fact is not None:
+                state.fact.append_many(rows)
+                state.indices_stale = True
+            if state.array is not None:
+                for row in rows:
+                    keys, measures = row[:ndim], row[ndim:]
+                    existing = state.array.get_cell(keys)
+                    if existing is not None:
+                        measures = tuple(
+                            float(e) + m if state.array.dtype != "int64"
+                            else int(e) + m
+                            for e, m in zip(existing, measures)
+                        )
+                    state.array.write_cell(keys, measures)
+            self._note_write(state)
+
+    def rebuild_array(
+        self,
+        cube: str,
+        chunk_shape: tuple[int, ...] | None = None,
+        codec: str | None = None,
+    ) -> OLAPArray:
+        """Rebuild the cube's array design from the current fact file.
+
+        Copy-on-write cell writes leave dead chunk objects behind; a
+        rebuild reclaims the space into a fresh, generation-suffixed
+        array and repoints the cube state (large-object names are
+        immutable, so the rebuild cannot reuse the old name).  Counts as
+        a write: the generation bumps and caches invalidate.
+        """
+        state = self.cube(cube)
+        if state.fact is None:
+            raise PlanError("rebuild_array needs the cube's fact file")
+        old = state.array
+        with self.db.locks.locked(cube, "X", f"rebuild-{cube}"):
+            dimension_rows = {
+                dim.name: [
+                    tuple(row) for row in state.dim_tables[dim.name].scan()
+                ]
+                for dim in state.schema.dimensions
+            }
+            if state.layout == "snowflake":
                 raise PlanError(
-                    f"no fact B-tree on dimension {dim_name!r}; load with "
-                    "fact_btrees=True"
+                    "rebuild_array is not supported for snowflake layouts"
                 )
-            tree = self.db.btree(btree_index_name(schema, dim_name))
-            selections.append((tree, sorted(allowed)))
-        return btree_select_consolidate(
-            state.fact,
-            self._group_specs(state, query),
-            selections,
-            self._query_measures(state, query),
-            aggregate=query.aggregate,
-            counters=counters,
-        )
-
-    def _run_mbtree(self, state, query, counters) -> list[tuple]:
-        if not query.selections:
-            raise PlanError("the mbtree backend needs at least one selection")
-        schema = state.schema
-        key_sets = self._selection_key_sets(state, query)
-        allowed = []
-        for dim in schema.dimensions:
-            if dim.name in key_sets:
-                allowed.append(sorted(key_sets[dim.name]))
-            else:
-                table = state.dim_tables[dim.name]
-                key_pos = table.schema.index_of(dim.key)
-                allowed.append(sorted(row[key_pos] for row in table.scan()))
-        tree = self.db.btree(mbtree_index_name(schema))
-        return mbtree_select_consolidate(
-            state.fact,
-            self._group_specs(state, query),
-            tree,
-            allowed,
-            self._query_measures(state, query),
-            aggregate=query.aggregate,
-            counters=counters,
-        )
-
-    def _run_leftdeep(self, state, query, counters) -> list[tuple]:
-        schema = state.schema
-        grouped = dict(query.group_by)
-        key_sets = self._selection_key_sets(state, query)
-        joined = [
-            d.name
-            for d in schema.dimensions
-            if d.name in grouped or d.name in key_sets
-        ]
-        fact_scan = SeqScan(state.fact, alias="f")
-        dim_scans = []
-        for dim_name in joined:
-            dim = schema.dimension(dim_name)
-            scan = SeqScan(state.dim_tables[dim_name], alias=dim_name)
-            if dim_name in key_sets:
-                allowed = key_sets[dim_name]
-                key_col = f"{dim_name}.{dim.key}"
-                position = scan.names.index(key_col)
-                scan = Filter(
-                    scan,
-                    predicate=lambda row, p=position, a=frozenset(allowed): row[p] in a,
-                )
-            dim_scans.append((scan, f"{dim_name}.{dim.key}", f"f.{dim.key}"))
-        plan = left_deep_consolidation(
-            fact_scan,
-            dim_scans,
-            [f"{d}.{grouped[d]}" for d in query.group_dims],
-            [f"f.{m}" for m in self._query_measures(state, query)],
-            aggregate=query.aggregate,
-        )
-        counters.add("leftdeep_joins", len(dim_scans))
-        return list(plan)
+            fact_rows = list(state.fact.scan())
+            if chunk_shape is None and old is not None:
+                chunk_shape = old.geometry.chunk_shape
+            if codec is None:
+                codec = old.codec_name if old is not None else "chunk-offset"
+            name = f"{array_name(state.schema)}.g{state.generation + 1}"
+            self._build_array(
+                state, dimension_rows, fact_rows, chunk_shape, codec,
+                name=name,
+            )
+            # indices_stale is NOT cleared: the bitmap/B-tree indices
+            # still cover only the originally loaded tuple positions
+            self._note_write(state)
+        return state.array
 
     # -- storage reporting ----------------------------------------------------------------------
 

@@ -27,6 +27,9 @@ class PlannerInputs:
     has_bitmaps: bool
     has_selections: bool
     estimated_selectivity: float = 1.0
+    #: True when any selection is a range predicate, which a value-list
+    #: bitmap index can only serve by enumerating the qualifying domain.
+    has_range_selections: bool = False
 
 
 def choose_backend(
@@ -39,16 +42,20 @@ def choose_backend(
       the Starjoin operator;
     - with selections: the array algorithm above the crossover
       selectivity, the bitmap + fact-file algorithm below it (or when
-      no array was built).
+      no array was built and the predicates are equality/IN lists —
+      range predicates fall back to Starjoin, because a value-list
+      bitmap index cannot serve ``BETWEEN`` without enumerating the
+      whole domain).
     """
     if not inputs.has_selections:
         return "array" if inputs.has_array else "starjoin"
     if not inputs.has_array:
-        if inputs.has_bitmaps:
+        if inputs.has_bitmaps and not inputs.has_range_selections:
             return "bitmap"
         return "starjoin"
     if (
         inputs.has_bitmaps
+        and not inputs.has_range_selections
         and inputs.estimated_selectivity < crossover_selectivity
     ):
         return "bitmap"

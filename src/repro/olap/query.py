@@ -15,19 +15,22 @@ dimension attributes.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.errors import QueryError
 from repro.olap.model import CubeSchema
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, init=False)
 class SelectionPredicate:
     """``dimension.attribute IN values`` or ``BETWEEN low AND high``.
 
     Equality is a 1-tuple of values.  For a range predicate leave
     ``values`` as ``None`` and set ``low``/``high`` (inclusive; either
-    bound may stay open).
+    bound may stay open).  Prefer the :meth:`in_list` / :meth:`between`
+    constructors (or the fluent :meth:`ConsolidationQuery.builder`);
+    passing ``values`` positionally is deprecated.
     """
 
     dimension: str
@@ -35,6 +38,45 @@ class SelectionPredicate:
     values: tuple | None = None
     low: object = None
     high: object = None
+
+    def __init__(
+        self,
+        dimension: str,
+        attribute: str,
+        *args,
+        values: tuple | None = None,
+        low: object = None,
+        high: object = None,
+    ):
+        if args:
+            warnings.warn(
+                "passing values/low/high to SelectionPredicate positionally"
+                " is deprecated; use keyword arguments, or the in_list() /"
+                " between() constructors, or ConsolidationQuery.builder()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > 3:
+                raise TypeError(
+                    f"SelectionPredicate takes at most 5 positional "
+                    f"arguments ({2 + len(args)} given)"
+                )
+            provided = {"values": values, "low": low, "high": high}
+            for name, value in zip(("values", "low", "high"), args):
+                if provided[name] is not None:
+                    raise TypeError(
+                        f"SelectionPredicate got multiple values for {name!r}"
+                    )
+                provided[name] = value
+            values, low, high = (
+                provided["values"], provided["low"], provided["high"]
+            )
+        object.__setattr__(self, "dimension", dimension)
+        object.__setattr__(self, "attribute", attribute)
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "low", low)
+        object.__setattr__(self, "high", high)
+        self.__post_init__()
 
     def __post_init__(self):
         is_range = self.low is not None or self.high is not None
@@ -48,6 +90,24 @@ class SelectionPredicate:
                 f"selection on {self.dimension}.{self.attribute} needs "
                 "at least one value"
             )
+
+    @classmethod
+    def in_list(
+        cls, dimension: str, attribute: str, *values
+    ) -> "SelectionPredicate":
+        """``dimension.attribute IN (values...)`` (equality = one value)."""
+        return cls(dimension, attribute, values=tuple(values))
+
+    @classmethod
+    def between(
+        cls,
+        dimension: str,
+        attribute: str,
+        low: object = None,
+        high: object = None,
+    ) -> "SelectionPredicate":
+        """``dimension.attribute BETWEEN low AND high`` (bounds optional)."""
+        return cls(dimension, attribute, low=low, high=high)
 
     @property
     def is_range(self) -> bool:
@@ -100,6 +160,19 @@ class ConsolidationQuery:
             measures=tuple(measures) if measures is not None else None,
         )
 
+    @classmethod
+    def builder(cls, cube: str) -> "QueryBuilder":
+        """Start a fluent builder for a query against ``cube``::
+
+            query = (ConsolidationQuery.builder("sales")
+                     .group_by("product", "type")
+                     .where_in("store", "region", "West")
+                     .where_between("time", "month", 1, 6)
+                     .aggregate("volume", "sum")
+                     .build())
+        """
+        return QueryBuilder(cube)
+
     @property
     def group_dims(self) -> tuple[str, ...]:
         """Dimensions appearing in the group-by, in declaration order."""
@@ -145,3 +218,78 @@ class ConsolidationQuery:
             for m in self.measures:
                 if m not in known:
                     raise QueryError(f"cube has no measure {m!r}")
+
+
+class QueryBuilder:
+    """Fluent construction of a :class:`ConsolidationQuery`.
+
+    Each method returns the builder, so calls chain; :meth:`build`
+    produces the canonical frozen dataclass.  The builder is the
+    friendly face — the dataclass stays the immutable form every layer
+    (fingerprinting, caching, execution) consumes.
+    """
+
+    def __init__(self, cube: str):
+        self._cube = cube
+        self._group_by: list[tuple[str, str]] = []
+        self._selections: list[SelectionPredicate] = []
+        self._aggregate: str | None = None
+        self._measures: list[str] | None = None
+
+    def group_by(self, dimension: str, attribute: str) -> "QueryBuilder":
+        """Group on one dimension attribute (order fixes output order)."""
+        self._group_by.append((dimension, attribute))
+        return self
+
+    def where_in(
+        self, dimension: str, attribute: str, *values
+    ) -> "QueryBuilder":
+        """Keep cells whose attribute is one of ``values``."""
+        self._selections.append(
+            SelectionPredicate.in_list(dimension, attribute, *values)
+        )
+        return self
+
+    def where_between(
+        self,
+        dimension: str,
+        attribute: str,
+        low: object = None,
+        high: object = None,
+    ) -> "QueryBuilder":
+        """Keep cells whose attribute lies in ``[low, high]`` (inclusive)."""
+        self._selections.append(
+            SelectionPredicate.between(dimension, attribute, low, high)
+        )
+        return self
+
+    def aggregate(self, measure: str, fn: str = "sum") -> "QueryBuilder":
+        """Aggregate ``measure`` with ``fn``.
+
+        Call once per projected measure; the query template applies one
+        aggregate function across all of them (§2.1), so every call
+        must name the same ``fn``.
+        """
+        if self._aggregate is not None and fn != self._aggregate:
+            raise QueryError(
+                f"a consolidation applies one aggregate to all measures; "
+                f"got {self._aggregate!r} then {fn!r}"
+            )
+        self._aggregate = fn
+        if self._measures is None:
+            self._measures = []
+        if measure not in self._measures:
+            self._measures.append(measure)
+        return self
+
+    def build(self) -> ConsolidationQuery:
+        """The immutable query (validation happens in the dataclass)."""
+        return ConsolidationQuery(
+            cube=self._cube,
+            group_by=tuple(self._group_by),
+            selections=tuple(self._selections),
+            aggregate=self._aggregate if self._aggregate is not None else "sum",
+            measures=(
+                tuple(self._measures) if self._measures is not None else None
+            ),
+        )

@@ -268,7 +268,7 @@ def parse_query(sql: str, schema: CubeSchema) -> ConsolidationQuery:
     for (qualifier, attr), values in statement.selections:
         dim_name = _resolve_dimension(schema, qualifier, attr)
         selections.append(
-            SelectionPredicate(dim_name, attr, tuple(values))
+            SelectionPredicate(dim_name, attr, values=tuple(values))
         )
     for (qualifier, attr), low, high in statement.ranges:
         dim_name = _resolve_dimension(schema, qualifier, attr)

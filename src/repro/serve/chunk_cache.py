@@ -1,0 +1,96 @@
+"""A shared decoded-chunk cache layered over the buffer pool.
+
+The buffer pool caches *pages*; every chunk read still pays the
+large-object fetch and the codec decode.  :class:`ChunkCache` keeps the
+decoded ``(offsets, values)`` pair per ``(array name, chunk number)``
+in an LRU map so concurrent consolidations of the same array reuse the
+decompressed chunk — the layering Rusu & Cheng describe as the standard
+array-engine serving architecture.
+
+Thread-safety: the map itself is guarded by one lock; a *separate* I/O
+lock serializes the underlying buffer-pool read on a miss (the pool's
+pin/evict bookkeeping is single-threaded) with a double-check so a
+chunk decoded while a reader waited is not decoded twice.  Cached
+arrays are shared — callers must treat them as read-only, which every
+in-tree consumer already does.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from repro.util.stats import Counters
+
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
+    from repro.core.olap_array import OLAPArray
+
+_Chunk = "tuple[np.ndarray, np.ndarray]"
+
+
+class ChunkCache:
+    """LRU cache of decoded chunks, shared across arrays and threads."""
+
+    def __init__(self, max_chunks: int = 1024):
+        if max_chunks <= 0:
+            raise ValueError(f"max_chunks must be positive, got {max_chunks}")
+        self.max_chunks = max_chunks
+        self.counters = Counters()
+        self._entries: OrderedDict[tuple[str, int], object] = OrderedDict()
+        self._lock = threading.RLock()
+        self._io_lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get_chunk(self, array: "OLAPArray", chunk_no: int):
+        """The decoded chunk, from cache or via one serialized disk read."""
+        key = (array.name, chunk_no)
+        with self._lock:
+            hit = self._entries.get(key)
+            if hit is not None:
+                self._entries.move_to_end(key)
+                self.counters.add("chunk_cache.hits")
+                return hit
+        with self._io_lock:
+            # double-check: another thread may have filled it while we
+            # waited for the I/O lock
+            with self._lock:
+                hit = self._entries.get(key)
+                if hit is not None:
+                    self._entries.move_to_end(key)
+                    self.counters.add("chunk_cache.hits")
+                    return hit
+            chunk = array._read_chunk_direct(chunk_no)
+            with self._lock:
+                self.counters.add("chunk_cache.misses")
+                self._entries[key] = chunk
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.max_chunks:
+                    self._entries.popitem(last=False)
+                    self.counters.add("chunk_cache.evictions")
+        return chunk
+
+    def invalidate_chunk(self, array_name: str, chunk_no: int) -> None:
+        """Drop one chunk (called by copy-on-write cell writes)."""
+        with self._lock:
+            if self._entries.pop((array_name, chunk_no), None) is not None:
+                self.counters.add("chunk_cache.invalidations")
+
+    def invalidate_array(self, array_name: str) -> None:
+        """Drop every chunk of one array (rebuilds, cold-cache runs)."""
+        with self._lock:
+            stale = [k for k in self._entries if k[0] == array_name]
+            for key in stale:
+                del self._entries[key]
+            if stale:
+                self.counters.add("chunk_cache.invalidations", len(stale))
+
+    def clear(self) -> None:
+        """Drop everything (no counters: not an invalidation event)."""
+        with self._lock:
+            self._entries.clear()

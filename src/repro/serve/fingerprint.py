@@ -1,0 +1,49 @@
+"""Canonical query fingerprints for the result cache.
+
+Two :class:`~repro.olap.query.ConsolidationQuery` objects that must
+return identical rows get identical fingerprints: selections are ANDed,
+so their order is canonicalized away, as is the order of values inside
+an IN-list.  Everything that *does* change the answer — the group-by
+order (it fixes the output column order), the aggregate, the measure
+projection, the backend, the execution mode and the scan order — stays
+significant.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.olap.query import ConsolidationQuery, SelectionPredicate
+
+
+def _selection_token(sel: SelectionPredicate) -> str:
+    if sel.is_range:
+        body = f"between:{sel.low!r}:{sel.high!r}"
+    else:
+        body = "in:" + ",".join(sorted(repr(v) for v in sel.values))
+    return f"{sel.dimension}.{sel.attribute}|{body}"
+
+
+def query_fingerprint(
+    query: ConsolidationQuery,
+    backend: str = "auto",
+    mode: str = "interpreted",
+    order: str = "chunk",
+) -> str:
+    """Hex digest identifying one (cube, backend, query) evaluation."""
+    parts = [
+        f"cube={query.cube}",
+        f"backend={backend}",
+        f"mode={mode}",
+        f"order={order}",
+        "group_by=" + ";".join(f"{d}.{a}" for d, a in query.group_by),
+        "selections=" + ";".join(
+            sorted(_selection_token(s) for s in query.selections)
+        ),
+        f"aggregate={query.aggregate}",
+        "measures=" + (
+            ",".join(query.measures) if query.measures is not None else "*"
+        ),
+    ]
+    digest = hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+    return digest[:32]

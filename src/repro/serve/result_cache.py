@@ -1,0 +1,94 @@
+"""The LRU query-result cache with generation-based invalidation.
+
+Entries are keyed by ``(cube, fingerprint)`` (see
+:mod:`repro.serve.fingerprint`) and stamped with the cube's write
+generation at compute time.  Invalidation is belt *and* braces:
+
+- eagerly, the :class:`~repro.serve.service.QueryService` write listener
+  calls :meth:`invalidate_cube` — exactly the written cube's entries
+  drop, never the whole cache;
+- lazily, :meth:`get` re-validates the stored generation against the
+  cube's current one, so even a racing write that lands between a
+  lookup and a store can never cause a stale read.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from repro.util.stats import Counters
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached result and the generation it was computed at."""
+
+    generation: int
+    value: Any
+
+
+class ResultCache:
+    """Thread-safe LRU of query results keyed by canonical fingerprint."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.counters = Counters()
+        self._entries: OrderedDict[tuple[str, str], CacheEntry] = OrderedDict()
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, cube: str, fingerprint: str, generation: int):
+        """The cached value, or ``None`` on miss / generation mismatch."""
+        key = (cube, fingerprint)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.counters.add("result_cache.misses")
+                return None
+            if entry.generation != generation:
+                # lazy invalidation: computed against older data
+                del self._entries[key]
+                self.counters.add("result_cache.stale_drops")
+                self.counters.add("result_cache.misses")
+                return None
+            self._entries.move_to_end(key)
+            self.counters.add("result_cache.hits")
+            return entry.value
+
+    def put(self, cube: str, fingerprint: str, generation: int, value) -> None:
+        """Store one result computed at ``generation``."""
+        key = (cube, fingerprint)
+        with self._lock:
+            self._entries[key] = CacheEntry(generation, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.counters.add("result_cache.evictions")
+
+    def invalidate_cube(self, cube: str) -> int:
+        """Drop exactly one cube's entries; returns how many dropped."""
+        with self._lock:
+            stale = [k for k in self._entries if k[0] == cube]
+            for key in stale:
+                del self._entries[key]
+            if stale:
+                self.counters.add("result_cache.invalidations", len(stale))
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop everything."""
+        with self._lock:
+            self._entries.clear()
+
+    def keys(self) -> list[tuple[str, str]]:
+        """The live ``(cube, fingerprint)`` keys, LRU-first."""
+        with self._lock:
+            return list(self._entries)

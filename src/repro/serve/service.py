@@ -1,0 +1,277 @@
+"""`QueryService`: the concurrent serving façade over `OlapEngine`.
+
+The engine itself is deliberately single-threaded (its buffer pool,
+tracer spans and non-blocking lock manager assume one caller), so the
+service layers concurrency *around* it:
+
+- a thread pool runs admitted queries; admission control rejects work
+  beyond ``max_in_flight`` with :class:`~repro.errors.AdmissionError`
+  (backpressure, not unbounded queueing);
+- a :class:`~repro.serve.result_cache.ResultCache` serves repeated
+  queries without touching the engine at all — cache hits are the
+  concurrency win, engine misses serialize behind one lock;
+- a :class:`~repro.serve.chunk_cache.ChunkCache` is attached to every
+  cube's array so consolidations reuse decoded chunks;
+- every write path (:meth:`write_cell`, :meth:`append_facts`,
+  :meth:`rebuild_array`) bumps the cube generation and eagerly
+  invalidates exactly that cube's cached fingerprints.
+
+All cache and admission counters register in the
+:class:`~repro.obs.registry.MetricsRegistry` with a no-op reset so they
+stay cumulative across the engine's per-query stat boundaries, and
+queue depth / cache residency export as gauges.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.errors import AdmissionError, MetricsError
+from repro.obs.tracer import get_tracer
+from repro.olap.engine import OlapEngine, QueryResult
+from repro.olap.query import ConsolidationQuery
+from repro.serve.chunk_cache import ChunkCache
+from repro.serve.fingerprint import query_fingerprint
+from repro.serve.result_cache import ResultCache
+from repro.util.stats import Counters, Timer
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs for one :class:`QueryService`."""
+
+    #: worker threads executing admitted queries
+    max_workers: int = 4
+    #: admitted-but-unfinished queries beyond which :meth:`submit`
+    #: rejects with :class:`AdmissionError` (queued + running)
+    max_in_flight: int = 16
+    #: LRU capacity of the query-result cache, in entries
+    result_cache_size: int = 256
+    #: LRU capacity of the shared decoded-chunk cache, in chunks
+    chunk_cache_chunks: int = 1024
+    #: run engine misses cold (paper methodology) instead of warm
+    cold: bool = False
+
+
+class QueryService:
+    """Concurrent, cached query execution over one :class:`OlapEngine`.
+
+    Use as a context manager or call :meth:`close` to release the
+    thread pool and detach the write listener.  Mutations must go
+    through the service's write methods — direct engine writes while
+    queries are in flight would trip the engine's non-blocking lock
+    manager (the service serializes engine access for both).
+    """
+
+    def __init__(self, engine: OlapEngine, config: ServiceConfig | None = None):
+        self.engine = engine
+        self.config = config or ServiceConfig()
+        self.results = ResultCache(self.config.result_cache_size)
+        self.chunks = ChunkCache(self.config.chunk_cache_chunks)
+        self.counters = Counters()
+        self._engine_lock = threading.RLock()
+        self._admission_lock = threading.Lock()
+        self._in_flight = 0
+        self._closed = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.max_workers,
+            thread_name_prefix="repro-serve",
+        )
+        engine.add_write_listener(self._on_write)
+        for name in list(engine._cubes):
+            self._attach_chunk_cache(name)
+        self._register_metrics()
+
+    # -- metrics -----------------------------------------------------------
+
+    def _register_metrics(self) -> None:
+        registry = self.engine.db.metrics
+        keep = lambda: None  # noqa: E731 — cumulative across query resets
+        registry.register("serve:service", self.counters, reset=keep, replace=True)
+        registry.register(
+            "serve:result_cache", self.results.counters, reset=keep, replace=True
+        )
+        registry.register(
+            "serve:chunk_cache", self.chunks.counters, reset=keep, replace=True
+        )
+        registry.register_gauge(
+            "serve.in_flight", lambda: float(self._in_flight), replace=True
+        )
+        registry.register_gauge(
+            "serve.result_cache_entries", lambda: float(len(self.results)),
+            replace=True,
+        )
+        registry.register_gauge(
+            "serve.chunk_cache_entries", lambda: float(len(self.chunks)),
+            replace=True,
+        )
+
+    def stats(self) -> dict[str, float]:
+        """Cumulative service + cache counters, merged."""
+        merged = Counters()
+        merged.merge(self.counters)
+        merged.merge(self.results.counters)
+        merged.merge(self.chunks.counters)
+        return merged.snapshot()
+
+    @property
+    def in_flight(self) -> int:
+        """Admitted queries not yet finished (queued + running)."""
+        return self._in_flight
+
+    # -- cache plumbing ----------------------------------------------------
+
+    def _attach_chunk_cache(self, cube: str) -> None:
+        state = self.engine.cube(cube)
+        if state.array is not None and state.array.chunk_cache is None:
+            state.array.chunk_cache = self.chunks
+
+    def _on_write(self, cube: str) -> None:
+        dropped = self.results.invalidate_cube(cube)
+        self.counters.add("serve.writes")
+        if dropped:
+            self.counters.add("serve.entries_invalidated", dropped)
+
+    # -- query path --------------------------------------------------------
+
+    def submit(
+        self,
+        query: ConsolidationQuery,
+        backend: str = "auto",
+        mode: str = "interpreted",
+        order: str = "chunk",
+    ) -> "Future[QueryResult]":
+        """Admit one query onto the pool; returns its future.
+
+        Raises :class:`AdmissionError` when the service is closed or
+        ``max_in_flight`` queries are already admitted.
+        """
+        with self._admission_lock:
+            if self._closed:
+                raise AdmissionError("service is closed")
+            if self._in_flight >= self.config.max_in_flight:
+                self.counters.add("serve.rejected")
+                raise AdmissionError(
+                    f"{self._in_flight} queries in flight (limit "
+                    f"{self.config.max_in_flight})"
+                )
+            self._in_flight += 1
+        self.counters.add("serve.admitted")
+        return self._pool.submit(self._run, query, backend, mode, order)
+
+    def execute(
+        self,
+        query: ConsolidationQuery,
+        backend: str = "auto",
+        mode: str = "interpreted",
+        order: str = "chunk",
+    ) -> QueryResult:
+        """Admit one query and wait for its result."""
+        return self.submit(query, backend, mode, order).result()
+
+    def _run(self, query, backend, mode, order) -> QueryResult:
+        try:
+            return self._execute(query, backend, mode, order)
+        finally:
+            with self._admission_lock:
+                self._in_flight -= 1
+
+    def _execute(self, query, backend, mode, order) -> QueryResult:
+        cube = query.cube
+        fingerprint = query_fingerprint(query, backend, mode, order)
+        tracer = get_tracer()
+        with Timer() as timer:
+            cached = self.results.get(
+                cube, fingerprint, self.engine.cube_generation(cube)
+            )
+        if cached is not None:
+            with tracer.span(
+                "serve_query", cube=cube, cache="hit", backend=cached.backend
+            ):
+                return self._from_cache(cached, timer)
+        with self._engine_lock:
+            # double-check: another worker may have computed it while
+            # this one waited for the engine
+            with Timer() as timer:
+                generation = self.engine.cube_generation(cube)
+                cached = self.results.get(cube, fingerprint, generation)
+            if cached is not None:
+                with tracer.span(
+                    "serve_query", cube=cube, cache="hit", backend=cached.backend
+                ):
+                    return self._from_cache(cached, timer)
+            with tracer.span(
+                "serve_query", cube=cube, cache="miss", backend=backend
+            ):
+                self._attach_chunk_cache(cube)
+                result = self.engine.query(
+                    query,
+                    backend=backend,
+                    mode=mode,
+                    cold=self.config.cold,
+                    order=order,
+                )
+            # the generation cannot have moved: writes also serialize
+            # behind the engine lock
+            self.results.put(cube, fingerprint, generation, result)
+            return result
+
+    def _from_cache(self, result: QueryResult, timer: Timer) -> QueryResult:
+        out = QueryResult(
+            rows=result.rows,
+            backend=result.backend,
+            mode=result.mode,
+            elapsed_s=timer.elapsed,
+            sim_io_s=0.0,
+            stats=dict(result.stats),
+        )
+        out.stats["result_cache_hit"] = 1.0
+        return out
+
+    # -- write path --------------------------------------------------------
+
+    def write_cell(self, cube: str, keys, measures) -> None:
+        """Serialized :meth:`OlapEngine.write_cell` + cache invalidation."""
+        with self._engine_lock:
+            self.engine.write_cell(cube, keys, measures)
+
+    def append_facts(self, cube: str, rows) -> None:
+        """Serialized :meth:`OlapEngine.append_facts` + cache invalidation."""
+        with self._engine_lock:
+            self.engine.append_facts(cube, rows)
+
+    def rebuild_array(self, cube: str, **kwargs):
+        """Serialized :meth:`OlapEngine.rebuild_array` + cache invalidation."""
+        with self._engine_lock:
+            return self.engine.rebuild_array(cube, **kwargs)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Stop admitting, drain the pool, detach listener and metrics."""
+        with self._admission_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._pool.shutdown(wait=wait)
+        try:
+            self.engine.remove_write_listener(self._on_write)
+        except ValueError:  # pragma: no cover — already detached
+            pass
+        for state in self.engine._cubes.values():
+            if state.array is not None and state.array.chunk_cache is self.chunks:
+                state.array.chunk_cache = None
+        registry = self.engine.db.metrics
+        for name in ("serve:service", "serve:result_cache", "serve:chunk_cache"):
+            try:
+                registry.unregister(name)
+            except MetricsError:  # pragma: no cover — replaced by a newer service
+                pass
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

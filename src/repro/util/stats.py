@@ -8,6 +8,7 @@ combine the two (see ``repro.bench.harness``).
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import defaultdict
 from dataclasses import dataclass, field
@@ -18,34 +19,46 @@ class Counters:
 
     Unknown names read as zero, so callers can add domain-specific
     counters (``chunks_read``, ``btree_probes``, ...) without
-    registration.
+    registration.  All operations are thread-safe: the serving layer
+    lets concurrent queries account into shared bags (the buffer pool's,
+    an array's), so increments must not be lost to read-modify-write
+    races.
     """
 
     def __init__(self) -> None:
         self._values: dict[str, float] = defaultdict(float)
+        self._lock = threading.Lock()
 
     def add(self, name: str, amount: float = 1.0) -> None:
         """Increment ``name`` by ``amount``."""
-        self._values[name] += amount
+        with self._lock:
+            self._values[name] += amount
 
     def get(self, name: str) -> float:
         """Current value of ``name`` (0 if never incremented)."""
-        return self._values.get(name, 0.0)
+        with self._lock:
+            return self._values.get(name, 0.0)
 
     def reset(self) -> dict[str, float]:
         """Zero every counter; returns the pre-reset snapshot."""
-        before = self.snapshot()
-        self._values.clear()
+        with self._lock:
+            before = {k: v for k, v in self._values.items() if v}
+            self._values.clear()
         return before
 
     def snapshot(self) -> dict[str, float]:
         """A plain-dict copy of all non-zero counters."""
-        return {k: v for k, v in self._values.items() if v}
+        with self._lock:
+            return {k: v for k, v in self._values.items() if v}
 
     def merge(self, other: "Counters") -> None:
         """Add every counter of ``other`` into this bag."""
-        for name, value in other._values.items():
-            self._values[name] += value
+        # snapshot first: taking both locks at once could deadlock
+        # against a concurrent merge in the opposite direction
+        items = other.snapshot()
+        with self._lock:
+            for name, value in items.items():
+                self._values[name] += value
 
     def __iadd__(self, other: "Counters") -> "Counters":
         """``bag += other`` merges ``other`` into this bag."""

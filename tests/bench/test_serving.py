@@ -1,0 +1,58 @@
+"""Serving-mode harness runs: warm speedup and concurrent latency."""
+
+import pytest
+
+from repro.bench import (
+    bench_settings,
+    build_cube_engine,
+    query1_for,
+    query2_for,
+    query3_for,
+    run_concurrent,
+    run_warm,
+)
+
+from .test_harness import TINY
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return build_cube_engine(TINY, bench_settings("small"))
+
+
+class TestRunWarm:
+    def test_warm_hits_beat_cold_by_5x(self, engine):
+        # the acceptance bar: a result-cache hit skips the scan and the
+        # simulated I/O entirely, so even at tiny scale the warm
+        # replays must be >= 5x cheaper than the paper-protocol cold run
+        report = run_warm(engine, query1_for(TINY), backend="array")
+        assert report.hit_rate == 1.0
+        assert report.speedup >= 5.0
+        assert report.cold.sim_io_s > 0
+        for warm in report.warm:
+            assert warm.sim_io_s == 0.0
+            assert warm.rows == report.cold.rows
+
+    def test_repeats_respected(self, engine):
+        report = run_warm(engine, query1_for(TINY), backend="array", repeats=5)
+        assert len(report.warm) == 5
+
+
+class TestRunConcurrent:
+    def test_concurrent_rows_match_serial(self, engine):
+        queries = [query1_for(TINY), query2_for(TINY), query3_for(TINY)]
+        serial = [engine.query(q).rows for q in queries]
+        report = run_concurrent(engine, queries, n_threads=4, rounds=2)
+        assert report.n_threads == 4
+        for per_thread in report.rows_by_thread:
+            assert len(per_thread) == 2 * len(queries)
+            for index, rows in per_thread:
+                assert rows == serial[index]
+
+    def test_latencies_and_hit_rate(self, engine):
+        queries = [query1_for(TINY)]
+        report = run_concurrent(engine, queries, n_threads=4, rounds=3)
+        assert len(report.latencies_s) == 4 * 3
+        assert 0.0 < report.hit_rate <= 1.0
+        assert report.p50_s <= report.p95_s
+        assert report.stats["serve.admitted"] == 12

@@ -80,6 +80,86 @@ class TestVarianceMerge:
         assert result.rows == [(pytest.approx(np.var(values)),)]
 
 
+@pytest.mark.parametrize("mode", ["interpreted", "vectorized"])
+class TestThreadedExecutor:
+    """executor="thread": the oracle holds under real concurrency."""
+
+    @pytest.mark.parametrize("partitions", [1, 2, 3, 7])
+    def test_matches_direct_consolidation(self, cube, mode, partitions):
+        array, _ = cube
+        direct = consolidate(array, LEVEL1, mode=mode)
+        threaded = consolidate_partitioned(
+            array, LEVEL1, partitions, mode=mode, executor="thread"
+        )
+        assert threaded.rows == direct.rows
+
+    def test_matches_serial_executor(self, cube, mode):
+        array, _ = cube
+        aggregates = ("sum", "min", "max", "count", "avg")
+        if mode == "interpreted":  # var has no vectorized kernel
+            aggregates += ("var",)
+        for aggregate in aggregates:
+            serial = consolidate_partitioned(
+                array, LEVEL1, 4, aggregate=aggregate, mode=mode
+            )
+            threaded = consolidate_partitioned(
+                array, LEVEL1, 4, aggregate=aggregate, mode=mode,
+                executor="thread",
+            )
+            for a, b in zip(serial.rows, threaded.rows):
+                assert a[:-1] == b[:-1]
+                assert a[-1] == pytest.approx(b[-1])
+
+    def test_max_workers_capped(self, cube, mode):
+        array, _ = cube
+        direct = consolidate(array, LEVEL1, mode=mode)
+        threaded = consolidate_partitioned(
+            array, LEVEL1, 6, mode=mode, executor="thread", max_workers=2
+        )
+        assert threaded.rows == direct.rows
+
+
+class TestThreadedPlumbing:
+    def test_counters_recorded(self, cube):
+        array, facts = cube
+        counters = Counters()
+        consolidate_partitioned(
+            array, LEVEL1, 3, counters=counters, executor="thread"
+        )
+        assert counters.get("partitions") == 3
+        assert counters.get("cells_scanned") == len(facts)
+
+    def test_bad_executor(self, cube):
+        array, _ = cube
+        with pytest.raises(QueryError):
+            consolidate_partitioned(array, LEVEL1, 2, executor="fork")
+
+    def test_temporary_chunk_cache_detached(self, cube):
+        array, _ = cube
+        assert array.chunk_cache is None
+        consolidate_partitioned(array, LEVEL1, 4, executor="thread")
+        assert array.chunk_cache is None
+
+    def test_attached_chunk_cache_reused(self, cube):
+        from repro.serve import ChunkCache
+
+        array, _ = cube
+        cache = ChunkCache()
+        array.chunk_cache = cache
+        try:
+            first = consolidate_partitioned(
+                array, LEVEL1, 4, executor="thread"
+            )
+            second = consolidate_partitioned(
+                array, LEVEL1, 4, executor="thread"
+            )
+        finally:
+            array.chunk_cache = None
+        assert second.rows == first.rows
+        # the second pass reads every chunk out of the shared cache
+        assert cache.counters.get("chunk_cache.hits") >= array.geometry.n_chunks
+
+
 class TestCounters:
     def test_partition_count_recorded(self, cube):
         array, facts = cube

@@ -90,7 +90,7 @@ class TestQueryFromViews:
         query = ConsolidationQuery.build(
             "cube",
             group_by={"dim0": "h01"},
-            selections=[SelectionPredicate("dim1", "h11", ("AA0",))],
+            selections=[SelectionPredicate("dim1", "h11", values=("AA0",))],
         )
         with pytest.raises(PlanError):
             engine.query_from_views(query)

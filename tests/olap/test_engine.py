@@ -14,17 +14,17 @@ Q2 = ConsolidationQuery.build(
     "cube",
     group_by={"dim0": "h01", "dim1": "h11", "dim2": "h21"},
     selections=[
-        SelectionPredicate("dim0", "h01", ("AA0",)),
-        SelectionPredicate("dim1", "h11", ("AA1",)),
-        SelectionPredicate("dim2", "h21", ("AA2",)),
+        SelectionPredicate("dim0", "h01", values=("AA0",)),
+        SelectionPredicate("dim1", "h11", values=("AA1",)),
+        SelectionPredicate("dim2", "h21", values=("AA2",)),
     ],
 )
 Q3 = ConsolidationQuery.build(
     "cube",
     group_by={"dim0": "h01", "dim1": "h11"},
     selections=[
-        SelectionPredicate("dim0", "h01", ("AA1",)),
-        SelectionPredicate("dim1", "h11", ("AA0",)),
+        SelectionPredicate("dim0", "h01", values=("AA1",)),
+        SelectionPredicate("dim1", "h11", values=("AA0",)),
     ],
 )
 
@@ -80,7 +80,7 @@ class TestQuery2:
         query = ConsolidationQuery.build(
             "cube",
             group_by={"dim0": "h01", "dim1": "h11", "dim2": "h21"},
-            selections=[SelectionPredicate("dim1", "h11", ("AA0", "AA2"))],
+            selections=[SelectionPredicate("dim1", "h11", values=("AA0", "AA2"))],
         )
         expected = reference(
             fact_rows, CONFIG, GROUPS_Q1, selected={1: {"AA0", "AA2"}}
@@ -92,7 +92,7 @@ class TestQuery2:
         query = ConsolidationQuery.build(
             "cube",
             group_by={"dim0": "h01"},
-            selections=[SelectionPredicate("dim1", "d1", (2, 3))],
+            selections=[SelectionPredicate("dim1", "d1", values=(2, 3))],
         )
         groups = {}
         for row in fact_rows:
@@ -119,7 +119,7 @@ class TestQuery3:
         query = ConsolidationQuery.build(
             "cube",
             group_by={"dim0": "h01"},
-            selections=[SelectionPredicate("dim2", "h21", ("AA0",))],
+            selections=[SelectionPredicate("dim2", "h21", values=("AA0",))],
         )
         expected = reference(
             fact_rows, CONFIG, [(0, 1)], selected={2: {"AA0"}}
@@ -156,7 +156,7 @@ class TestAggregates:
         query = ConsolidationQuery.build(
             "cube",
             group_by={"dim0": "h01"},
-            selections=[SelectionPredicate("dim1", "h11", ("AA0",))],
+            selections=[SelectionPredicate("dim1", "h11", values=("AA0",))],
             aggregate="stddev",
         )
         array = engine.query(query, backend="array").rows

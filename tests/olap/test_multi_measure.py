@@ -72,7 +72,7 @@ class TestBothMeasures:
         query = ConsolidationQuery.build(
             "mm",
             group_by={"a": "ha", "b": "hb"},
-            selections=[SelectionPredicate("a", "ha", ("A1",))],
+            selections=[SelectionPredicate("a", "ha", values=("A1",))],
         )
         rows = engine.query(query, backend=backend).rows
         assert rows == reference(facts, selected_a="A1")

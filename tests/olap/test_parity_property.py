@@ -74,7 +74,7 @@ def queries(draw):
                 )
             )
             selections.append(
-                SelectionPredicate(f"dim{d}", f"h{d}1", tuple(values))
+                SelectionPredicate(f"dim{d}", f"h{d}1", values=tuple(values))
             )
         else:
             low = draw(st.integers(0, 6))

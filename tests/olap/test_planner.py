@@ -77,6 +77,62 @@ class TestChooseBackend:
         assert picked == "bitmap"
 
 
+class TestRangeSelectionFallback:
+    """Bitmaps can only serve BETWEEN by enumerating the domain — the
+    planner must not pick them for range predicates."""
+
+    def test_no_array_range_falls_back_to_starjoin(self):
+        # the old rule returned "bitmap" here regardless of predicate shape
+        picked = choose_backend(
+            inputs(
+                has_array=False,
+                has_selections=True,
+                has_range_selections=True,
+            )
+        )
+        assert picked == "starjoin"
+
+    def test_no_array_in_list_still_uses_bitmap(self):
+        picked = choose_backend(
+            inputs(
+                has_array=False,
+                has_selections=True,
+                has_range_selections=False,
+            )
+        )
+        assert picked == "bitmap"
+
+    def test_range_below_crossover_keeps_array(self):
+        picked = choose_backend(
+            inputs(
+                has_selections=True,
+                has_range_selections=True,
+                estimated_selectivity=1e-6,
+            )
+        )
+        assert picked == "array"
+
+    def test_regression_at_crossover_boundary(self):
+        # §5.6 boundary: S exactly 0.00024 with a range predicate must
+        # never flip to bitmap, with or without an array
+        at_boundary = dict(
+            has_selections=True,
+            has_range_selections=True,
+            estimated_selectivity=0.00024,
+        )
+        assert choose_backend(inputs(**at_boundary)) == "array"
+        assert (
+            choose_backend(inputs(has_array=False, **at_boundary))
+            == "starjoin"
+        )
+        # and just below the boundary, where equality predicates *do*
+        # go to bitmap, ranges still must not
+        below = dict(at_boundary, estimated_selectivity=0.000239)
+        assert choose_backend(inputs(**below)) == "array"
+        below_eq = dict(below, has_range_selections=False)
+        assert choose_backend(inputs(**below_eq)) == "bitmap"
+
+
 class TestAvailability:
     def test_available_passes(self):
         require_backend_available("array", {"array", "starjoin"})

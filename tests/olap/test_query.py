@@ -1,4 +1,6 @@
-"""Tests for ConsolidationQuery validation."""
+"""Tests for ConsolidationQuery validation and construction surfaces."""
+
+import warnings
 
 import pytest
 
@@ -32,16 +34,16 @@ class TestConstruction:
 
     def test_empty_selection_values_rejected(self):
         with pytest.raises(QueryError):
-            SelectionPredicate("store", "city", ())
+            SelectionPredicate("store", "city", values=())
 
     def test_selected_dims_deduplicated_in_order(self):
         q = ConsolidationQuery.build(
             "sales",
             group_by={"store": "city"},
             selections=[
-                SelectionPredicate("time", "year", (1997,)),
-                SelectionPredicate("store", "region", ("MW",)),
-                SelectionPredicate("time", "month", (2,)),
+                SelectionPredicate("time", "year", values=(1997,)),
+                SelectionPredicate("store", "region", values=("MW",)),
+                SelectionPredicate("time", "month", values=(2,)),
             ],
         )
         assert q.selected_dims == ("time", "store")
@@ -53,7 +55,7 @@ class TestValidation:
         q = ConsolidationQuery.build(
             "sales",
             group_by={"store": "city", "product": "type"},
-            selections=[SelectionPredicate("time", "year", (1997,))],
+            selections=[SelectionPredicate("time", "year", values=(1997,))],
         )
         q.validate(schema)
 
@@ -80,7 +82,7 @@ class TestValidation:
         q = ConsolidationQuery.build(
             "sales",
             group_by={"store": "city"},
-            selections=[SelectionPredicate("store", "bogus", ("x",))],
+            selections=[SelectionPredicate("store", "bogus", values=("x",))],
         )
         with pytest.raises(QueryError):
             q.validate(schema)
@@ -92,3 +94,94 @@ class TestValidation:
         )
         with pytest.raises(QueryError):
             q.validate(schema)
+
+
+class TestBuilder:
+    def test_fluent_chain_builds_full_query(self):
+        q = (
+            ConsolidationQuery.builder("sales")
+            .group_by("store", "city")
+            .group_by("product", "type")
+            .where_in("time", "year", 1997)
+            .where_between("time", "month", 1, 6)
+            .aggregate("volume", "sum")
+            .build()
+        )
+        assert q.cube == "sales"
+        assert q.group_by == (("store", "city"), ("product", "type"))
+        assert q.selections[0].values == (1997,)
+        assert q.selections[1].is_range
+        assert (q.selections[1].low, q.selections[1].high) == (1, 6)
+        assert q.aggregate == "sum"
+        assert q.measures == ("volume",)
+        q.validate(retail_schema())
+
+    def test_builder_defaults(self):
+        q = ConsolidationQuery.builder("sales").group_by("store", "city").build()
+        assert q.selections == ()
+        assert q.aggregate == "sum"
+        assert q.measures is None  # all cube measures
+
+    def test_builder_matches_build_classmethod(self):
+        fluent = (
+            ConsolidationQuery.builder("sales")
+            .group_by("store", "city")
+            .where_in("time", "year", 1997)
+            .build()
+        )
+        classic = ConsolidationQuery.build(
+            "sales",
+            group_by={"store": "city"},
+            selections=[SelectionPredicate.in_list("time", "year", 1997)],
+        )
+        assert fluent == classic
+
+    def test_conflicting_aggregate_functions_rejected(self):
+        builder = ConsolidationQuery.builder("sales").group_by("store", "city")
+        builder.aggregate("volume", "sum")
+        with pytest.raises(QueryError):
+            builder.aggregate("volume", "max")
+
+    def test_repeated_measure_deduplicated(self):
+        q = (
+            ConsolidationQuery.builder("sales")
+            .group_by("store", "city")
+            .aggregate("volume")
+            .aggregate("volume")
+            .build()
+        )
+        assert q.measures == ("volume",)
+
+    def test_builder_still_validates(self):
+        with pytest.raises(QueryError):
+            ConsolidationQuery.builder("sales").build()  # no group-by
+
+
+class TestDeprecatedPositionals:
+    def test_positional_values_warn(self):
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            sel = SelectionPredicate("store", "city", ("LA",))
+        assert sel.values == ("LA",)
+
+    def test_positional_range_warns(self):
+        with pytest.warns(DeprecationWarning):
+            sel = SelectionPredicate("time", "year", None, 1996, 1998)
+        assert sel.is_range and (sel.low, sel.high) == (1996, 1998)
+
+    def test_keyword_forms_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            SelectionPredicate("store", "city", values=("LA",))
+            SelectionPredicate("time", "year", low=1996, high=1998)
+            SelectionPredicate.in_list("store", "city", "LA", "SF")
+            SelectionPredicate.between("time", "year", 1996, 1998)
+
+    def test_duplicate_positional_and_keyword_rejected(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="multiple values"):
+                SelectionPredicate("store", "city", ("LA",), values=("SF",))
+
+    def test_too_many_positionals_rejected(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                SelectionPredicate("store", "city", None, 1, 2, 3)

@@ -21,7 +21,7 @@ def key_range_reference(fact_rows, low, high):
 class TestPredicate:
     def test_range_and_values_are_exclusive(self):
         with pytest.raises(QueryError):
-            SelectionPredicate("d", "a", ("x",), low=1)
+            SelectionPredicate("d", "a", values=("x",), low=1)
 
     def test_needs_values_or_bounds(self):
         with pytest.raises(QueryError):
@@ -33,7 +33,7 @@ class TestPredicate:
         assert not between.matches(1) and not between.matches(6)
         open_low = SelectionPredicate("d", "a", high=3)
         assert open_low.matches(-100) and not open_low.matches(4)
-        in_list = SelectionPredicate("d", "a", ("x", "y"))
+        in_list = SelectionPredicate("d", "a", values=("x", "y"))
         assert in_list.matches("x") and not in_list.matches("z")
 
 
@@ -90,6 +90,60 @@ class TestLevelRanges:
         )
         for backend in ("array", "bitmap", "starjoin"):
             assert engine.query(query, backend=backend).rows == []
+
+
+class TestAutoDispatchWithRanges:
+    def test_relational_only_cube_routes_ranges_to_starjoin(self):
+        """End-to-end regression for the planner fallback: with no array
+        and a pure-range selection, auto must not hand the query to the
+        bitmap backend."""
+        from repro.data import (
+            cube_schema_for,
+            generate_dimension_rows,
+            generate_fact_rows,
+        )
+        from repro.olap import OlapEngine
+
+        engine = OlapEngine(page_size=1024, pool_bytes=1024 * 1024)
+        engine.load_cube(
+            cube_schema_for(CONFIG),
+            generate_dimension_rows(CONFIG),
+            generate_fact_rows(CONFIG),
+            chunk_shape=CONFIG.chunk_shape,
+            backends=("relational",),
+        )
+        query = ConsolidationQuery.build(
+            "cube",
+            group_by={"dim0": "h01"},
+            selections=[SelectionPredicate("dim1", "d1", low=1, high=3)],
+        )
+        result = engine.query(query, backend="auto")
+        assert result.backend == "starjoin"
+        fact_rows = generate_fact_rows(CONFIG)
+        assert result.rows == key_range_reference(fact_rows, 1, 3)
+
+    def test_relational_only_cube_still_uses_bitmap_for_in_lists(self):
+        from repro.data import (
+            cube_schema_for,
+            generate_dimension_rows,
+            generate_fact_rows,
+        )
+        from repro.olap import OlapEngine
+
+        engine = OlapEngine(page_size=1024, pool_bytes=1024 * 1024)
+        engine.load_cube(
+            cube_schema_for(CONFIG),
+            generate_dimension_rows(CONFIG),
+            generate_fact_rows(CONFIG),
+            chunk_shape=CONFIG.chunk_shape,
+            backends=("relational",),
+        )
+        query = ConsolidationQuery.build(
+            "cube",
+            group_by={"dim0": "h01"},
+            selections=[SelectionPredicate("dim1", "h11", values=("AA1",))],
+        )
+        assert engine.query(query, backend="auto").backend == "bitmap"
 
 
 class TestSQLBetween:

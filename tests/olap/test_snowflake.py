@@ -98,7 +98,7 @@ class TestQueryParity:
         ConsolidationQuery.build(
             "snow",
             group_by={"dim0": "h01"},
-            selections=[SelectionPredicate("dim1", "h11", ("AA1",))],
+            selections=[SelectionPredicate("dim1", "h11", values=("AA1",))],
         ),
     ]
 

@@ -28,7 +28,7 @@ Q1 = ConsolidationQuery.build(
 Q2 = ConsolidationQuery.build(
     "stress",
     group_by={"dim0": "h01"},
-    selections=[SelectionPredicate("dim1", "h11", ("AA1", "AA3"))],
+    selections=[SelectionPredicate("dim1", "h11", values=("AA1", "AA3"))],
 )
 
 

@@ -47,7 +47,7 @@ class TestMaterialize:
         query = ConsolidationQuery.build(
             "cube",
             group_by={"dim0": "h01"},
-            selections=[SelectionPredicate("dim1", "h11", ("AA0",))],
+            selections=[SelectionPredicate("dim1", "h11", values=("AA0",))],
         )
         with pytest.raises(QueryError):
             engine.materialize(query, "v_sel")

@@ -182,8 +182,8 @@ class TestEngineBackend:
             "mb",
             group_by={"dim0": "h01", "dim2": "h21"},
             selections=[
-                SelectionPredicate("dim1", "h11", ("AA1",)),
-                SelectionPredicate("dim2", "h21", ("AA0", "AA2")),
+                SelectionPredicate("dim1", "h11", values=("AA1",)),
+                SelectionPredicate("dim2", "h21", values=("AA0", "AA2")),
             ],
         )
         mbtree = engine.query(query, backend="mbtree").rows
@@ -220,7 +220,7 @@ class TestEngineBackend:
         query = ConsolidationQuery.build(
             "nomb",
             group_by={"dim0": "h01"},
-            selections=[SelectionPredicate("dim1", "h11", ("AA1",))],
+            selections=[SelectionPredicate("dim1", "h11", values=("AA1",))],
         )
         with pytest.raises(PlanError):
             engine.query(query, backend="mbtree")

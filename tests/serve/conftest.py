@@ -1,0 +1,32 @@
+"""Small cubes + engines shared by the serving-layer tests."""
+
+import pytest
+
+from repro.bench import bench_settings, build_cube_engine
+from repro.data import SyntheticCubeConfig
+
+CONFIG = SyntheticCubeConfig(
+    name="served",
+    dim_sizes=(6, 6, 10),
+    n_valid=180,
+    chunk_shape=(3, 3, 5),
+    fanout1=3,
+    fanout2=2,
+    seed=11,
+)
+
+
+def fresh_engine(config=CONFIG):
+    return build_cube_engine(config, bench_settings("small"))
+
+
+@pytest.fixture
+def engine():
+    """A fresh engine per test — write tests mutate cube state."""
+    return fresh_engine()
+
+
+@pytest.fixture(scope="module")
+def shared_engine():
+    """One engine for the read-only tests in a module."""
+    return fresh_engine()

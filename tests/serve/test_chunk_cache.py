@@ -1,0 +1,101 @@
+"""The shared decoded-chunk cache over a real OLAP array."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.serve import ChunkCache
+
+
+def chunks_equal(a, b):
+    return np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+
+@pytest.fixture
+def array(shared_engine):
+    return shared_engine.cube("served").array
+
+
+class TestBasics:
+    def test_max_chunks_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ChunkCache(0)
+
+    def test_miss_then_hit_returns_same_chunk(self, array):
+        cache = ChunkCache()
+        first = cache.get_chunk(array, 0)
+        second = cache.get_chunk(array, 0)
+        assert second is first
+        assert chunks_equal(first, array._read_chunk_direct(0))
+        snap = cache.counters.snapshot()
+        assert snap["chunk_cache.misses"] == 1
+        assert snap["chunk_cache.hits"] == 1
+
+    def test_read_chunk_routes_through_attached_cache(self, array):
+        cache = ChunkCache()
+        array.chunk_cache = cache
+        try:
+            array.read_chunk(1)
+            array.read_chunk(1)
+        finally:
+            array.chunk_cache = None
+        assert cache.counters.get("chunk_cache.hits") == 1
+        assert len(cache) == 1
+
+
+class TestEviction:
+    def test_lru_eviction(self, array):
+        cache = ChunkCache(max_chunks=2)
+        cache.get_chunk(array, 0)
+        cache.get_chunk(array, 1)
+        cache.get_chunk(array, 0)  # refresh 0
+        cache.get_chunk(array, 2)  # evicts 1
+        assert cache.counters.get("chunk_cache.evictions") == 1
+        cache.get_chunk(array, 1)  # a fresh miss now
+        assert cache.counters.get("chunk_cache.misses") == 4
+
+
+class TestInvalidation:
+    def test_invalidate_one_chunk(self, array):
+        cache = ChunkCache()
+        cache.get_chunk(array, 0)
+        cache.get_chunk(array, 1)
+        cache.invalidate_chunk(array.name, 0)
+        assert len(cache) == 1
+        assert cache.counters.get("chunk_cache.invalidations") == 1
+        cache.invalidate_chunk(array.name, 99)  # unknown: no counter
+        assert cache.counters.get("chunk_cache.invalidations") == 1
+
+    def test_invalidate_whole_array(self, array):
+        cache = ChunkCache()
+        for n in range(3):
+            cache.get_chunk(array, n)
+        cache.invalidate_array(array.name)
+        assert len(cache) == 0
+        assert cache.counters.get("chunk_cache.invalidations") == 3
+
+    def test_clear_counts_nothing(self, array):
+        cache = ChunkCache()
+        cache.get_chunk(array, 0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.counters.get("chunk_cache.invalidations") == 0
+
+
+class TestConcurrency:
+    def test_concurrent_readers_decode_each_chunk_once(self, array):
+        cache = ChunkCache()
+        n_chunks = min(4, array.geometry.n_chunks)
+        direct = [array._read_chunk_direct(n) for n in range(n_chunks)]
+
+        def reader(_):
+            return [cache.get_chunk(array, n) for n in range(n_chunks)]
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            observed = list(pool.map(reader, range(8)))
+        # the I/O lock + double-check means each chunk decodes exactly once
+        assert cache.counters.get("chunk_cache.misses") == n_chunks
+        for chunks in observed:
+            for got, want in zip(chunks, direct):
+                assert chunks_equal(got, want)

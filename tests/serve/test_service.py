@@ -1,0 +1,215 @@
+"""QueryService: caching, admission control, metrics, write invalidation."""
+
+import pytest
+
+from repro.bench import bench_settings, query1_for, query2_for
+from repro.data import (
+    SyntheticCubeConfig,
+    cube_schema_for,
+    generate_dimension_rows,
+    generate_fact_rows,
+)
+from repro.errors import AdmissionError
+from repro.serve import QueryService, ServiceConfig, query_fingerprint
+
+from .conftest import CONFIG, fresh_engine
+
+QUERY1 = query1_for(CONFIG)
+QUERY2 = query2_for(CONFIG)
+
+
+class TestCaching:
+    def test_repeat_execute_hits_the_result_cache(self, engine):
+        with QueryService(engine) as service:
+            first = service.execute(QUERY1)
+            second = service.execute(QUERY1)
+        assert "result_cache_hit" not in first.stats
+        assert second.stats["result_cache_hit"] == 1.0
+        assert second.sim_io_s == 0.0
+        assert second.rows == first.rows
+        assert second.backend == first.backend
+
+    def test_distinct_queries_cache_separately(self, engine):
+        with QueryService(engine) as service:
+            service.execute(QUERY1)
+            service.execute(QUERY2)
+            assert len(service.results) == 2
+            stats = service.stats()
+        # each cold execute misses twice: once lock-free, once on the
+        # double-check under the engine lock
+        assert stats["result_cache.misses"] == 4
+        assert stats.get("result_cache.hits", 0) == 0
+
+    def test_backend_is_part_of_the_key(self, engine):
+        with QueryService(engine) as service:
+            service.execute(QUERY1, backend="array")
+            result = service.execute(QUERY1, backend="starjoin")
+        assert "result_cache_hit" not in result.stats
+        assert result.backend == "starjoin"
+
+    def test_chunk_cache_attached_then_detached(self, engine):
+        array = engine.cube(CONFIG.name).array
+        service = QueryService(engine)
+        assert array.chunk_cache is service.chunks
+        service.close()
+        assert array.chunk_cache is None
+
+    def test_cold_config_disables_warm_engine_runs(self, engine):
+        with QueryService(engine, ServiceConfig(cold=True)) as service:
+            result = service.execute(QUERY1, backend="array")
+        assert result.sim_io_s > 0
+
+
+class TestAdmission:
+    def test_backpressure_rejects_beyond_max_in_flight(self, engine):
+        service = QueryService(
+            engine, ServiceConfig(max_workers=1, max_in_flight=1)
+        )
+        try:
+            # park the worker behind the engine lock so the admitted
+            # query cannot finish
+            service._engine_lock.acquire()
+            try:
+                future = service.submit(QUERY1)
+                with pytest.raises(AdmissionError):
+                    service.submit(QUERY2)
+                assert service.in_flight == 1
+            finally:
+                service._engine_lock.release()
+            assert future.result().rows
+            stats = service.stats()
+            assert stats["serve.rejected"] == 1
+            assert stats["serve.admitted"] == 1
+        finally:
+            service.close()
+        assert service.in_flight == 0
+
+    def test_closed_service_rejects(self, engine):
+        service = QueryService(engine)
+        service.close()
+        with pytest.raises(AdmissionError):
+            service.submit(QUERY1)
+
+    def test_close_is_idempotent(self, engine):
+        service = QueryService(engine)
+        service.close()
+        service.close()
+
+
+class TestMetrics:
+    def test_counters_and_gauges_registered(self, engine):
+        with QueryService(engine) as service:
+            service.execute(QUERY1)
+            service.execute(QUERY1)
+            names = engine.db.metrics.source_names()
+            assert {"serve:service", "serve:result_cache",
+                    "serve:chunk_cache"} <= set(names)
+            gauges = engine.db.metrics.gauge_values()
+            assert gauges["serve.in_flight"] == 0.0
+            assert gauges["serve.result_cache_entries"] == 1.0
+            assert gauges["serve.chunk_cache_entries"] >= 1.0
+            merged = engine.db.metrics.merged_snapshot()
+            assert merged["result_cache.hits"] == 1.0
+
+    def test_counters_survive_engine_query_resets(self, engine):
+        # the engine resets registry sources around each query; the
+        # serve sources register with a no-op reset and stay cumulative
+        with QueryService(engine) as service:
+            for _ in range(3):
+                service.execute(QUERY1)
+            assert service.stats()["result_cache.hits"] == 2
+
+    def test_sources_unregistered_on_close(self, engine):
+        service = QueryService(engine)
+        service.close()
+        assert not any(
+            name.startswith("serve:")
+            for name in engine.db.metrics.source_names()
+        )
+
+
+class TestWriteInvalidation:
+    def put_keys(self, engine):
+        return [tuple(row[:3]) for row in generate_fact_rows(CONFIG)]
+
+    def test_write_cell_invalidates_and_recomputes(self, engine):
+        with QueryService(engine) as service:
+            before = service.execute(QUERY1, backend="array")
+            generation = engine.cube_generation(CONFIG.name)
+            keys = self.put_keys(engine)[0]
+            service.write_cell(CONFIG.name, keys, (10_000,))
+            assert engine.cube_generation(CONFIG.name) == generation + 1
+            assert len(service.results) == 0
+            after = service.execute(QUERY1, backend="array")
+        assert "result_cache_hit" not in after.stats
+        assert sum(r[-1] for r in after.rows) != sum(r[-1] for r in before.rows)
+        assert service.stats()["serve.entries_invalidated"] == 1
+
+    def test_append_facts_invalidates(self, engine):
+        with QueryService(engine) as service:
+            before = service.execute(QUERY1, backend="array")
+            service.append_facts(CONFIG.name, [(0, 0, 0, 500)])
+            after = service.execute(QUERY1, backend="array")
+        assert sum(r[-1] for r in after.rows) == (
+            sum(r[-1] for r in before.rows) + 500
+        )
+
+    def test_rebuild_array_invalidates(self, engine):
+        with QueryService(engine) as service:
+            service.execute(QUERY1, backend="array")
+            service.rebuild_array(CONFIG.name)
+            assert len(service.results) == 0
+            result = service.execute(QUERY1, backend="array")
+            assert "result_cache_hit" not in result.stats
+
+    def test_writes_invalidate_exactly_the_written_cube(self, engine):
+        other = SyntheticCubeConfig(
+            name="other",
+            dim_sizes=(4, 4, 6),
+            n_valid=40,
+            chunk_shape=(2, 2, 3),
+            fanout1=2,
+            seed=3,
+        )
+        engine.load_cube(
+            cube_schema_for(other),
+            generate_dimension_rows(other),
+            generate_fact_rows(other),
+            chunk_shape=other.chunk_shape,
+        )
+        other_query = query1_for(other)
+        with QueryService(engine) as service:
+            service.execute(QUERY1)
+            service.execute(other_query)
+            assert len(service.results) == 2
+            service.write_cell(other.name, (0, 0, 0), (1,))
+            keys = service.results.keys()
+            assert keys == [(CONFIG.name, query_fingerprint(QUERY1))]
+            # the untouched cube still hits
+            hit = service.execute(QUERY1)
+        assert hit.stats["result_cache_hit"] == 1.0
+
+    def test_stale_generation_read_is_lazy_dropped(self, engine):
+        # bypass the listener to prove the generation check alone is
+        # enough to prevent a stale read
+        with QueryService(engine) as service:
+            service.execute(QUERY1)
+            fingerprint = query_fingerprint(QUERY1)
+            generation = engine.cube_generation(CONFIG.name)
+            assert (
+                service.results.get(CONFIG.name, fingerprint, generation + 1)
+                is None
+            )
+
+
+def test_run_warm_leaves_no_dangling_chunk_cache():
+    # regression: run_warm's service must detach its chunk cache on
+    # close, or the next service accounts into an orphaned cache
+    from repro.bench import run_warm
+
+    engine = fresh_engine()
+    run_warm(engine, QUERY1, backend="array", repeats=1)
+    assert engine.cube(CONFIG.name).array.chunk_cache is None
+    with QueryService(engine) as service:
+        service.execute(QUERY1, backend="array")
+        assert service.stats()["chunk_cache.misses"] > 0
