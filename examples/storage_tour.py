@@ -5,16 +5,32 @@
    array, an LZW-compressed array and a chunk-offset array, and compare
    real on-disk footprints (every byte goes through the page layer).
 2. §4.4 — fact file vs slotted-page heap file overhead.
-3. The SHORE-like substrate itself: write through the WAL, simulate a
-   crash, and recover.
+3. The SHORE-like substrate itself: write through the in-memory WAL,
+   simulate a crash, and recover.
+4. Durable recovery: a file-backed WAL + checkpoint image survive a
+   real process death, and a seeded fault plan tears the final WAL
+   record mid-fsync to show the torn tail being detected and discarded.
 
 Run:  python examples/storage_tour.py
 """
 
+import os
+import tempfile
+
 from repro import Database, Schema
 from repro.bench import bench_settings, build_cube_engine
 from repro.data import dataset2
-from repro.storage import BufferPool, SimulatedDisk, WriteAheadLog, recover
+from repro.errors import SimulatedCrash
+from repro.storage import (
+    BufferPool,
+    FaultPlan,
+    FaultyDisk,
+    FaultyWAL,
+    SimulatedDisk,
+    WriteAheadLog,
+    fault_plan,
+    recover,
+)
 
 settings = bench_settings(None)
 config = dataset2(settings.scale, densities=(0.05,))[0]
@@ -40,19 +56,19 @@ print(
 
 # -- 2. fact file vs heap file ------------------------------------------------
 
-db = Database(page_size=1024, pool_bytes=1024 * 1024)
 schema = Schema(
     [("d0", "int32"), ("d1", "int32"), ("volume", "int32")]
 )
 rows = [(i % 30, i % 40, i) for i in range(5000)]
-fact = db.create_fact_table("flat", schema)
-fact.append_many(rows)
-heap = db.create_heap_table("heap", schema)
-heap.insert_many(rows)
-print("fact file vs slotted-page heap file for 5000 12-byte tuples (§4.4):")
-print(f"    fact file: {fact.size_bytes():>8,} B  (no per-record overhead)")
-print(f"    heap file: {heap.size_bytes():>8,} B  (slot entries + headers)")
-print(f"    positional access: fact.get(4999) = {fact.get(4999)}\n")
+with Database(page_size=1024, pool_bytes=1024 * 1024) as db:
+    fact = db.create_fact_table("flat", schema)
+    fact.append_many(rows)
+    heap = db.create_heap_table("heap", schema)
+    heap.insert_many(rows)
+    print("fact file vs slotted-page heap file for 5000 12-byte tuples (§4.4):")
+    print(f"    fact file: {fact.size_bytes():>8,} B  (no per-record overhead)")
+    print(f"    heap file: {heap.size_bytes():>8,} B  (slot entries + headers)")
+    print(f"    positional access: fact.get(4999) = {fact.get(4999)}\n")
 
 # -- 3. WAL + crash recovery ---------------------------------------------------
 
@@ -75,4 +91,37 @@ replayed = recover(disk, wal)
 print("WAL crash recovery:")
 print(f"    replayed {replayed} committed page(s)")
 print(f"    page {page}: {bytes(disk.read_page(page)[:13])!r}  (recovered)")
-print(f"    page {page2}: {bytes(disk.read_page(page2)[:15])!r}  (lost, as it must be)")
+print(f"    page {page2}: {bytes(disk.read_page(page2)[:15])!r}  (lost, as it must be)\n")
+
+# -- 4. durable recovery + fault injection -------------------------------------
+
+with tempfile.TemporaryDirectory(prefix="repro-tour-") as workdir:
+    waldir = os.path.join(workdir, "wal")
+
+    # a database whose WAL segments live on the real filesystem,
+    # on fault-injectable disk + log wrappers
+    db = Database(
+        page_size=512, disk=FaultyDisk(page_size=512), wal=FaultyWAL(waldir)
+    )
+    table = db.create_heap_table("t", Schema([("k", "int32")]))
+    table.insert_many([(i,) for i in range(5)])
+    image = db.checkpoint()  # volume image saved, log truncated
+    table.insert_many([(i,) for i in range(5, 8)])
+    db.commit()  # durable in the log, never flushed to the image
+
+    # a seeded plan tears the final record of the next WAL fsync
+    table.insert_many([(99,)])
+    try:
+        with fault_plan(FaultPlan(seed=7, crash_at="wal.torn_sync")):
+            db.commit()
+    except SimulatedCrash as crash:
+        print(f"durable recovery ({crash}):")
+    del db  # the "process" dies without close()
+
+    reopened = Database.open(image, wal_dir=waldir)
+    survivors = [row[0] for row in reopened.table("t").scan()]
+    print(f"    torn tail detected: {reopened.wal.torn_tail_detected}")
+    print(f"    rows after replay:  {survivors}")
+    print("    -> checkpoint + committed log records survive; the torn")
+    print("       final commit is discarded, never replayed")
+    reopened.close()

@@ -209,6 +209,44 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_faultcheck(args) -> int:
+    import tempfile
+
+    from repro.bench.faultcheck import run_crash_matrix
+    from repro.storage.crashpoints import registered_crash_points
+
+    points = registered_crash_points()
+    if args.point:
+        points = tuple(p for p in points if p in set(args.point))
+    print(
+        f"faultcheck: {len(points)} crash points, seed={args.seed} "
+        "(crash → recover → compare against the no-crash oracle)"
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-faultcheck-") as workdir:
+        outcomes = run_crash_matrix(args.seed, workdir, points=points)
+    header = (
+        f"{'crash point':<26} {'crashed':>7} {'acked':>5} {'k':>3} "
+        f"{'replayed':>8} {'torn':>4}  result"
+    )
+    print(header)
+    print("-" * len(header))
+    failures = 0
+    for o in outcomes:
+        status = "ok" if o.ok else "FAIL: " + "; ".join(o.errors)
+        if not o.ok:
+            failures += 1
+        print(
+            f"{o.crash_point:<26} {str(o.crashed):>7} {o.confirmed:>5} "
+            f"{o.recovered:>3} {o.replayed_pages:>8} "
+            f"{str(o.torn_tail):>4}  {status}"
+        )
+    if failures:
+        print(f"{failures}/{len(outcomes)} scenarios FAILED")
+        return 1
+    print(f"all {len(outcomes)} scenarios upheld the crash-recovery property")
+    return 0
+
+
 def cmd_bench(args) -> int:
     import os
 
@@ -280,6 +318,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--rounds", type=int, default=2)
     _add_scale_argument(serve)
     serve.set_defaults(run=cmd_serve)
+
+    faultcheck = commands.add_parser(
+        "faultcheck",
+        help="crash-recovery property check over every registered crash point",
+    )
+    faultcheck.add_argument(
+        "--seed", type=int, default=0, help="fault-plan seed (default 0)"
+    )
+    faultcheck.add_argument(
+        "--point",
+        action="append",
+        metavar="NAME",
+        help="restrict to one crash point (repeatable)",
+    )
+    faultcheck.set_defaults(run=cmd_faultcheck)
 
     return parser
 

@@ -12,6 +12,23 @@ class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
 
+class TransientError(ReproError):
+    """Mixin marking a failure that may succeed if simply retried.
+
+    The serving layer's retry loop dispatches on this: an exception
+    that is ``isinstance(exc, TransientError)`` is retried with capped
+    exponential backoff before the cube is declared degraded.
+    """
+
+
+class PermanentError(ReproError):
+    """Mixin marking a failure retrying cannot fix (corruption, bugs).
+
+    The retry layer fails fast on these: the cube goes straight to
+    degraded mode and the error propagates to the caller.
+    """
+
+
 class StorageError(ReproError):
     """Base class for storage-manager failures."""
 
@@ -30,6 +47,22 @@ class FileError(StorageError):
 
 class WALError(StorageError):
     """The write-ahead log was malformed or recovery failed."""
+
+
+class TransientDiskError(StorageError, TransientError):
+    """A disk access failed in a way a retry may fix (injected or real)."""
+
+
+class FaultError(StorageError):
+    """Fault-injection misuse (unknown crash point, bad plan)."""
+
+
+class SimulatedCrash(StorageError):
+    """An injected crash: the process 'died' at a registered crash point.
+
+    Deliberately neither transient nor permanent — a crash is not an
+    error to handle but a point after which only recovery may run.
+    """
 
 
 class IndexError_(ReproError):
@@ -101,3 +134,15 @@ class ServeError(ReproError):
 
 class AdmissionError(ServeError):
     """The service refused a query (queue full / shutting down)."""
+
+
+class DegradedError(ServeError, TransientError):
+    """The cube is in degraded mode: only cache hits are served.
+
+    Transient by design — once ``recover_cube()`` has run, the same
+    request will succeed, so clients may retry later.
+    """
+
+
+class RetryExhaustedError(ServeError, PermanentError):
+    """Transient faults persisted through every retry attempt."""

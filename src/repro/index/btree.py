@@ -354,7 +354,13 @@ class BTree:
         return [v for _, v in self._scan_from(key)]
 
     def _scan_from(self, key) -> Iterator[tuple[object, int]]:
-        """Yield ``(key, value)`` entries equal to ``key``."""
+        """Yield ``(key, value)`` entries equal to ``key``, value-sorted.
+
+        Duplicates of one key may be physically out of value order when
+        a run spans a leaf split (inserts for the separator key always
+        descend right), so the run is buffered and sorted here.
+        """
+        values = []
         logical = self._leftmost_leaf_for(key)
         while logical != _NO_PAGE:
             node = self._read_node(logical)
@@ -362,9 +368,13 @@ class BTree:
                 if k < key:
                     continue
                 if k > key:
-                    return
-                yield k, v
-            logical = node.next_leaf
+                    logical = _NO_PAGE
+                    break
+                values.append(v)
+            else:
+                logical = node.next_leaf
+        for value in sorted(values):
+            yield key, value
 
     def range_search(
         self, low=None, high=None
@@ -386,15 +396,27 @@ class BTree:
                 node = self._read_node(logical)
         if high is not None:
             self._check_key(high)
+        # runs of one key are buffered and value-sorted (see _scan_from)
+        run_key: object = None
+        run_values: list[int] = []
         while logical != _NO_PAGE:
             node = self._read_node(logical)
             for k, v in zip(node.keys, node.values):
                 if low is not None and k < low:
                     continue
                 if high is not None and k > high:
+                    for value in sorted(run_values):
+                        yield run_key, value
                     return
-                yield k, v
+                if run_values and k == run_key:
+                    run_values.append(v)
+                else:
+                    for value in sorted(run_values):
+                        yield run_key, value
+                    run_key, run_values = k, [v]
             logical = node.next_leaf
+        for value in sorted(run_values):
+            yield run_key, value
 
     def items(self) -> Iterator[tuple[object, int]]:
         """Every entry in key order."""

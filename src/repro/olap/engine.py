@@ -189,6 +189,9 @@ class OlapEngine:
                     state, dimension_rows, fact_rows, chunk_shape, codec
                 )
             self._cubes[schema.name] = state
+            # The load is one transaction: under a WAL nothing above is
+            # durable (or evictable, no-steal) until this commit.
+            self.db.commit()
         return state
 
     def _build_relational(
@@ -482,6 +485,7 @@ class OlapEngine:
         self.db.metrics.register(
             f"array:{view_name}", result.result_array.counters, replace=True
         )
+        self.db.commit()
         return result.result_array
 
     def view(self, name: str) -> OLAPArray:
@@ -678,6 +682,9 @@ class OlapEngine:
 
     def _note_write(self, state: _CubeState) -> None:
         state.generation += 1
+        # Transaction boundary: each engine-level write is one committed
+        # unit, so crash recovery restores whole writes or none of them.
+        self.db.commit()
         for listener in list(self._write_listeners):
             listener(state.schema.name)
 

@@ -15,68 +15,29 @@ dimension attributes.
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import QueryError
 from repro.olap.model import CubeSchema
 
 
-@dataclass(frozen=True, init=False)
+@dataclass(frozen=True)
 class SelectionPredicate:
     """``dimension.attribute IN values`` or ``BETWEEN low AND high``.
 
     Equality is a 1-tuple of values.  For a range predicate leave
     ``values`` as ``None`` and set ``low``/``high`` (inclusive; either
-    bound may stay open).  Prefer the :meth:`in_list` / :meth:`between`
-    constructors (or the fluent :meth:`ConsolidationQuery.builder`);
-    passing ``values`` positionally is deprecated.
+    bound may stay open).  ``values``/``low``/``high`` are keyword-only
+    (the PR 2 positional form is gone); prefer the :meth:`in_list` /
+    :meth:`between` constructors or the fluent
+    :meth:`ConsolidationQuery.builder`.
     """
 
     dimension: str
     attribute: str
-    values: tuple | None = None
-    low: object = None
-    high: object = None
-
-    def __init__(
-        self,
-        dimension: str,
-        attribute: str,
-        *args,
-        values: tuple | None = None,
-        low: object = None,
-        high: object = None,
-    ):
-        if args:
-            warnings.warn(
-                "passing values/low/high to SelectionPredicate positionally"
-                " is deprecated; use keyword arguments, or the in_list() /"
-                " between() constructors, or ConsolidationQuery.builder()",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if len(args) > 3:
-                raise TypeError(
-                    f"SelectionPredicate takes at most 5 positional "
-                    f"arguments ({2 + len(args)} given)"
-                )
-            provided = {"values": values, "low": low, "high": high}
-            for name, value in zip(("values", "low", "high"), args):
-                if provided[name] is not None:
-                    raise TypeError(
-                        f"SelectionPredicate got multiple values for {name!r}"
-                    )
-                provided[name] = value
-            values, low, high = (
-                provided["values"], provided["low"], provided["high"]
-            )
-        object.__setattr__(self, "dimension", dimension)
-        object.__setattr__(self, "attribute", attribute)
-        object.__setattr__(self, "values", values)
-        object.__setattr__(self, "low", low)
-        object.__setattr__(self, "high", high)
-        self.__post_init__()
+    values: tuple | None = field(default=None, kw_only=True)
+    low: object = field(default=None, kw_only=True)
+    high: object = field(default=None, kw_only=True)
 
     def __post_init__(self):
         is_range = self.low is not None or self.high is not None

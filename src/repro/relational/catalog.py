@@ -19,7 +19,7 @@ from repro.storage.buffer_pool import BufferPool, DEFAULT_POOL_BYTES
 from repro.storage.disk import DiskModel, SimulatedDisk
 from repro.storage.locks import LockManager
 from repro.storage.page_file import FileManager
-from repro.storage.wal import WriteAheadLog
+from repro.storage.wal import WriteAheadLog, recover
 
 _CATALOG_FILE = "__catalog__"
 
@@ -33,10 +33,27 @@ class Database:
         pool_bytes: int = DEFAULT_POOL_BYTES,
         disk_model: DiskModel | None = None,
         enable_wal: bool = False,
+        disk: SimulatedDisk | None = None,
+        wal: WriteAheadLog | None = None,
+        wal_dir: str | None = None,
     ):
-        self.disk = SimulatedDisk(page_size=page_size, model=disk_model)
-        self.wal = WriteAheadLog() if enable_wal else None
-        self.pool = BufferPool(self.disk, capacity_bytes=pool_bytes, wal=self.wal)
+        if disk is not None and disk.num_pages:
+            raise CatalogError(
+                "Database() initialises a fresh volume; use Database.attach "
+                "to re-open an existing one"
+            )
+        self.disk = disk or SimulatedDisk(page_size=page_size, model=disk_model)
+        if wal is not None:
+            self.wal: WriteAheadLog | None = wal
+        elif wal_dir is not None:
+            self.wal = WriteAheadLog(wal_dir)
+        elif enable_wal:
+            self.wal = WriteAheadLog()
+        else:
+            self.wal = None
+        self.pool = BufferPool(
+            self.disk, capacity_bytes=pool_bytes, wal=self.wal
+        )
         self.fm = FileManager(self.pool)
         self.locks = LockManager()
         self.metrics = self._build_metrics()
@@ -44,6 +61,7 @@ class Database:
         self._btrees: dict[str, BTree] = {}
         self._bitmaps: dict[str, BitmapIndex] = {}
         self._kinds: dict[str, str] = {}
+        self._closed = False
         self.fm.create(_CATALOG_FILE)
 
     def _build_metrics(self) -> MetricsRegistry:
@@ -64,18 +82,20 @@ class Database:
         cls,
         disk: SimulatedDisk,
         pool_bytes: int = DEFAULT_POOL_BYTES,
+        wal: WriteAheadLog | None = None,
     ) -> "Database":
         """Re-open a database from an existing volume.
 
         The volume typically comes from :meth:`SimulatedDisk.load`; the
         persisted catalog reconstructs every table and index object.
         (Volumes created with a WAL must be recovered first — see
-        :func:`repro.storage.wal.recover`.)
+        :func:`repro.storage.wal.recover`; pass the recovered ``wal`` to
+        keep logging writes against the same log.)
         """
         db = cls.__new__(cls)
         db.disk = disk
-        db.wal = None
-        db.pool = BufferPool(disk, capacity_bytes=pool_bytes)
+        db.wal = wal
+        db.pool = BufferPool(disk, capacity_bytes=pool_bytes, wal=wal)
         # the Database constructor allocates the FileManager master page
         # first, so it is always page 0 of the volume
         db.fm = FileManager(db.pool, master_page_id=0)
@@ -84,6 +104,7 @@ class Database:
         db._tables = {}
         db._btrees = {}
         db._bitmaps = {}
+        db._closed = False
         db._kinds = db._load_kinds()
         for name, kind in db._kinds.items():
             if kind == "heap":
@@ -100,6 +121,29 @@ class Database:
             else:
                 raise CatalogError(f"unknown catalog kind {kind!r} for {name!r}")
         return db
+
+    @classmethod
+    def open(
+        cls,
+        image_path: str,
+        wal_dir: str | None = None,
+        pool_bytes: int = DEFAULT_POOL_BYTES,
+        disk_model: DiskModel | None = None,
+    ) -> "Database":
+        """Open a database from a saved volume image, replaying the WAL.
+
+        ``image_path`` is a file written by :meth:`SimulatedDisk.save`
+        (e.g. a :meth:`checkpoint` image).  When ``wal_dir`` names a
+        file-backed log, committed records past the image are replayed
+        before the catalog loads, so a crashed process's committed state
+        is fully restored — this is the "restart" path.
+        """
+        disk = SimulatedDisk.load(image_path, model=disk_model)
+        wal = None
+        if wal_dir is not None:
+            wal = WriteAheadLog(wal_dir)
+            recover(disk, wal)
+        return cls.attach(disk, pool_bytes=pool_bytes, wal=wal)
 
     def _load_kinds(self) -> dict[str, str]:
         catalog = self.fm.open(_CATALOG_FILE)
@@ -245,6 +289,46 @@ class Database:
     def index_names(self) -> list[str]:
         """All index names, sorted."""
         return sorted(list(self._btrees) + list(self._bitmaps))
+
+    # -- durability ------------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Make every completed write durable.
+
+        With a WAL this logs after-images of unlogged dirty frames and
+        syncs through a commit marker (the fsync point); without one it
+        is a no-op — volatile databases are "committed" by definition.
+        """
+        self.pool.commit()
+
+    def checkpoint(self, image_path: str | None = None) -> str | None:
+        """Flush the pool, persist a volume image, truncate the WAL.
+
+        Returns the image path (defaults to ``checkpoint.img`` inside a
+        file-backed WAL's directory).  After a checkpoint, restart =
+        :meth:`open` on the image + replay of the (short) residual log.
+        """
+        if self.wal is None:
+            raise CatalogError("checkpoint requires a database with a WAL")
+        self.pool.flush_all()  # commits first (no-steal), then writes back
+        return self.wal.checkpoint(self.disk, image_path=image_path)
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Commit, flush, and release the WAL's file handle (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.pool.flush_all()
+        if self.wal is not None:
+            self.wal.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- measurement support ---------------------------------------------------------
 

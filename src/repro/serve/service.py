@@ -14,7 +14,14 @@ service layers concurrency *around* it:
   cube's array so consolidations reuse decoded chunks;
 - every write path (:meth:`write_cell`, :meth:`append_facts`,
   :meth:`rebuild_array`) bumps the cube generation and eagerly
-  invalidates exactly that cube's cached fingerprints.
+  invalidates exactly that cube's cached fingerprints;
+- the service is **recovery-aware**: engine calls that raise a
+  :class:`~repro.errors.TransientError` retry with capped exponential
+  backoff, a :class:`~repro.errors.PermanentError` (or an exhausted
+  retry budget) flips the cube into *degraded mode* — cache hits keep
+  being served, misses and writes raise
+  :class:`~repro.errors.DegradedError` — and :meth:`recover_cube`
+  replays the WAL in place and lifts the degradation.
 
 All cache and admission counters register in the
 :class:`~repro.obs.registry.MetricsRegistry` with a no-op reset so they
@@ -25,16 +32,25 @@ queue depth / cache residency export as gauges.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 
-from repro.errors import AdmissionError, MetricsError
+from repro.errors import (
+    AdmissionError,
+    DegradedError,
+    MetricsError,
+    PermanentError,
+    RetryExhaustedError,
+    TransientError,
+)
 from repro.obs.tracer import get_tracer
 from repro.olap.engine import OlapEngine, QueryResult
 from repro.olap.query import ConsolidationQuery
 from repro.serve.chunk_cache import ChunkCache
 from repro.serve.fingerprint import query_fingerprint
 from repro.serve.result_cache import ResultCache
+from repro.storage.wal import recover as wal_recover
 from repro.util.stats import Counters, Timer
 
 
@@ -53,6 +69,12 @@ class ServiceConfig:
     chunk_cache_chunks: int = 1024
     #: run engine misses cold (paper methodology) instead of warm
     cold: bool = False
+    #: retries after a :class:`TransientError` before the cube degrades
+    retry_attempts: int = 3
+    #: first retry backoff, seconds (doubles per attempt)
+    retry_base_s: float = 0.001
+    #: backoff ceiling, seconds
+    retry_cap_s: float = 0.05
 
 
 class QueryService:
@@ -75,6 +97,7 @@ class QueryService:
         self._admission_lock = threading.Lock()
         self._in_flight = 0
         self._closed = False
+        self._degraded: set[str] = set()  # guarded by _admission_lock
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.max_workers,
             thread_name_prefix="repro-serve",
@@ -105,6 +128,10 @@ class QueryService:
         )
         registry.register_gauge(
             "serve.chunk_cache_entries", lambda: float(len(self.chunks)),
+            replace=True,
+        )
+        registry.register_gauge(
+            "serve.degraded_cubes", lambda: float(len(self._degraded)),
             replace=True,
         )
 
@@ -191,6 +218,7 @@ class QueryService:
                 "serve_query", cube=cube, cache="hit", backend=cached.backend
             ):
                 return self._from_cache(cached, timer)
+        self._check_degraded(cube)
         with self._engine_lock:
             # double-check: another worker may have computed it while
             # this one waited for the engine
@@ -202,16 +230,20 @@ class QueryService:
                     "serve_query", cube=cube, cache="hit", backend=cached.backend
                 ):
                     return self._from_cache(cached, timer)
+            self._check_degraded(cube)  # may have degraded while we waited
             with tracer.span(
                 "serve_query", cube=cube, cache="miss", backend=backend
             ):
                 self._attach_chunk_cache(cube)
-                result = self.engine.query(
-                    query,
-                    backend=backend,
-                    mode=mode,
-                    cold=self.config.cold,
-                    order=order,
+                result = self._with_retries(
+                    cube,
+                    lambda: self.engine.query(
+                        query,
+                        backend=backend,
+                        mode=mode,
+                        cold=self.config.cold,
+                        order=order,
+                    ),
                 )
             # the generation cannot have moved: writes also serialize
             # behind the engine lock
@@ -230,20 +262,117 @@ class QueryService:
         out.stats["result_cache_hit"] = 1.0
         return out
 
+    # -- fault handling ----------------------------------------------------
+
+    def _check_degraded(self, cube: str) -> None:
+        with self._admission_lock:
+            degraded = cube in self._degraded
+        if degraded:
+            self.counters.add("serve.degraded_rejections")
+            raise DegradedError(
+                f"cube {cube!r} is degraded (serving cache hits only); "
+                "call recover_cube() and retry"
+            )
+
+    def _mark_degraded(self, cube: str) -> None:
+        with self._admission_lock:
+            if cube not in self._degraded:
+                self._degraded.add(cube)
+                self.counters.add("serve.degradations")
+
+    def is_degraded(self, cube: str) -> bool:
+        """Whether ``cube`` is currently serving cache hits only."""
+        with self._admission_lock:
+            return cube in self._degraded
+
+    def degraded_cubes(self) -> list[str]:
+        """Names of cubes currently in degraded mode, sorted."""
+        with self._admission_lock:
+            return sorted(self._degraded)
+
+    def _with_retries(self, cube: str, action):
+        """Run ``action`` retrying :class:`TransientError` failures.
+
+        Backoff doubles from ``retry_base_s`` up to ``retry_cap_s``.
+        A :class:`PermanentError` (or an exhausted retry budget) flips
+        the cube into degraded mode, after which only cache hits are
+        served until :meth:`recover_cube` runs.
+        """
+        tracer = get_tracer()
+        delay = self.config.retry_base_s
+        last: TransientError | None = None
+        for attempt in range(self.config.retry_attempts + 1):
+            try:
+                return action()
+            except PermanentError:
+                self._mark_degraded(cube)
+                raise
+            except TransientError as exc:
+                last = exc
+                self.counters.add("serve.transient_faults")
+                if attempt >= self.config.retry_attempts:
+                    break
+                self.counters.add("serve.retries")
+                with tracer.span(
+                    "serve_retry", cube=cube, attempt=attempt + 1
+                ):
+                    time.sleep(delay)
+                delay = min(delay * 2, self.config.retry_cap_s)
+        self.counters.add("serve.retries_exhausted")
+        self._mark_degraded(cube)
+        raise RetryExhaustedError(
+            f"cube {cube!r}: {self.config.retry_attempts} retries failed "
+            f"({last}); cube degraded"
+        ) from last
+
+    def recover_cube(self, cube: str) -> int:
+        """Recover a cube and lift degraded mode; returns pages replayed.
+
+        With a WAL the pool is crashed (dropping every possibly-suspect
+        frame) and committed after-images are replayed onto the disk —
+        the same path a process restart takes, run in place.  Without a
+        WAL there is nothing to replay; the caches are still dropped so
+        the next read re-reads authoritative disk state.  Cached query
+        *results* are kept: they were computed from committed state,
+        which recovery preserves by definition.
+        """
+        db = self.engine.db
+        state = self.engine.cube(cube)  # validates the name
+        tracer = get_tracer()
+        with self._engine_lock:
+            with tracer.span("recover_cube", cube=cube):
+                replayed = 0
+                if db.wal is not None:
+                    db.pool.crash()
+                    replayed = wal_recover(db.disk, db.wal)
+                else:
+                    db.pool.clear()
+                if state.array is not None:
+                    self.chunks.invalidate_array(state.array.name)
+                with self._admission_lock:
+                    self._degraded.discard(cube)
+                self.counters.add("serve.recoveries")
+                if replayed:
+                    self.counters.add("serve.pages_replayed", replayed)
+        return replayed
+
     # -- write path --------------------------------------------------------
 
     def write_cell(self, cube: str, keys, measures) -> None:
         """Serialized :meth:`OlapEngine.write_cell` + cache invalidation."""
+        self._check_degraded(cube)
         with self._engine_lock:
             self.engine.write_cell(cube, keys, measures)
 
     def append_facts(self, cube: str, rows) -> None:
         """Serialized :meth:`OlapEngine.append_facts` + cache invalidation."""
+        self._check_degraded(cube)
         with self._engine_lock:
             self.engine.append_facts(cube, rows)
 
     def rebuild_array(self, cube: str, **kwargs):
         """Serialized :meth:`OlapEngine.rebuild_array` + cache invalidation."""
+        self._check_degraded(cube)
         with self._engine_lock:
             return self.engine.rebuild_array(cube, **kwargs)
 

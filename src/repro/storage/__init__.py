@@ -17,6 +17,15 @@ from repro.storage.slotted_page import SlottedPage
 from repro.storage.large_object import LargeObjectStore
 from repro.storage.wal import WriteAheadLog, recover
 from repro.storage.locks import LockManager
+from repro.storage.crashpoints import (
+    FaultPlan,
+    active_plan,
+    crash_point,
+    fault_plan,
+    register_crash_point,
+    registered_crash_points,
+)
+from repro.storage.faults import FaultyDisk, FaultyWAL
 
 __all__ = [
     "DiskModel",
@@ -29,4 +38,12 @@ __all__ = [
     "WriteAheadLog",
     "recover",
     "LockManager",
+    "FaultPlan",
+    "FaultyDisk",
+    "FaultyWAL",
+    "active_plan",
+    "crash_point",
+    "fault_plan",
+    "register_crash_point",
+    "registered_crash_points",
 ]

@@ -22,6 +22,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.errors import BufferPoolError, PageError
+from repro.storage.crashpoints import crash_point
 from repro.storage.disk import SimulatedDisk
 from repro.storage.wal import WriteAheadLog
 from repro.util.stats import Counters
@@ -152,6 +153,7 @@ class BufferPool:
             frame = self._frames.pop(victim_id)
             if frame.dirty:
                 self.counters.add("pool_evict_dirty")
+                crash_point("pool.flush_page")
                 self.disk.write_page(victim_id, bytes(frame.data))
             else:
                 self.counters.add("pool_evict_clean")
@@ -162,6 +164,7 @@ class BufferPool:
             self.commit()
         for page_id, frame in self._frames.items():
             if frame.dirty:
+                crash_point("pool.flush_page")
                 self.disk.write_page(page_id, bytes(frame.data))
                 frame.dirty = False
 

@@ -159,6 +159,7 @@ class SimulatedDisk:
         <repro.relational.catalog.Database.attach>` this lets a built
         database outlive the process.
         """
+        import os as _os
         import struct as _struct
 
         with open(path, "wb") as handle:
@@ -167,6 +168,8 @@ class SimulatedDisk:
             zero = bytes(self.page_size)
             for image in self._pages:
                 handle.write(zero if image is None else image)
+            handle.flush()
+            _os.fsync(handle.fileno())
 
     @classmethod
     def load(cls, path: str, model: DiskModel | None = None) -> "SimulatedDisk":
@@ -177,9 +180,24 @@ class SimulatedDisk:
             magic = handle.read(len(cls._IMAGE_MAGIC))
             if magic != cls._IMAGE_MAGIC:
                 raise PageError(f"{path!r} is not a volume image")
-            page_size, num_pages = _struct.unpack("<iq", handle.read(12))
+            header = handle.read(12)
+            if len(header) != 12:
+                raise PageError(f"{path!r} volume image header is truncated")
+            page_size, num_pages = _struct.unpack("<iq", header)
+            if page_size <= 0 or num_pages < 0:
+                raise PageError(
+                    f"{path!r} volume image header is corrupt "
+                    f"(page_size={page_size}, num_pages={num_pages})"
+                )
             disk = cls(page_size=page_size, model=model)
-            disk.allocate(num_pages) if num_pages else None
+            if num_pages:
+                disk.allocate(num_pages)
             for page_id in range(num_pages):
-                disk._pages[page_id] = handle.read(page_size)
+                image = handle.read(page_size)
+                if len(image) != page_size:
+                    raise PageError(
+                        f"{path!r} volume image is truncated at page "
+                        f"{page_id} (got {len(image)} of {page_size} bytes)"
+                    )
+                disk._pages[page_id] = image
         return disk

@@ -18,6 +18,7 @@ import struct
 
 from repro.errors import FileError
 from repro.storage.buffer_pool import BufferPool
+from repro.storage.crashpoints import crash_point
 from repro.storage.page_file import FileManager, PageFile
 
 _DIR_ENTRY = struct.Struct("<qq")  # first_page_id, length
@@ -76,6 +77,7 @@ class LargeObjectStore:
         self._directory.ensure_pages(dir_page + 1)
         npages = self._data_pages(len(payload))
         first = self.pool.disk.allocate(npages)
+        crash_point("lob.write")
         for i in range(npages):
             start = i * self.page_size
             piece = payload[start : start + self.page_size]

@@ -324,3 +324,21 @@ class FileManager:
     def names(self) -> list[str]:
         """All file names, sorted."""
         return sorted(self._directory)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush every dirty frame so the disk holds the full catalog.
+
+        Idempotent; part of the uniform ``open()/close()`` +
+        context-manager surface shared with :class:`Database
+        <repro.relational.catalog.Database>` and
+        :class:`~repro.storage.wal.WriteAheadLog`.
+        """
+        self.pool.flush_all()
+
+    def __enter__(self) -> "FileManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

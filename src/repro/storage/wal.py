@@ -5,29 +5,46 @@ but the substrate is incomplete without it.  We implement the simplest
 sound protocol for a no-steal buffer pool:
 
 - :meth:`WriteAheadLog.log_page` appends a full after-image record,
-- :meth:`WriteAheadLog.log_commit` appends a commit record making all
-  preceding page records durable,
+- :meth:`WriteAheadLog.log_commit` appends a commit record and then
+  **syncs** — the fsync point that makes everything before it durable,
 - :func:`recover` replays committed page records (in LSN order) into
   the disk after a crash,
-- :meth:`WriteAheadLog.checkpoint` truncates the log once the buffer
-  pool has flushed (called by the pool's owner).
+- :meth:`WriteAheadLog.checkpoint` persists a volume image (via
+  :meth:`SimulatedDisk.save <repro.storage.disk.SimulatedDisk.save>`)
+  and truncates the log once the buffer pool has flushed.
 
-Log records live in memory, mirroring how the simulated disk works; the
-format is still length-prefixed binary so the serialization path is
-exercised and testable.
+Two storage modes share one implementation.  Constructed with no path
+the log lives in process memory (the original behaviour, still used by
+unit tests and the default :class:`~repro.relational.catalog.Database`).
+Constructed with a **directory path** the log is file-backed: records
+accumulate in memory until a sync point, then append to fixed-size
+**segment files** with an ``fsync``; reopening the directory tail-scans
+the segments and a torn final record — a partial append cut short by a
+crash — is detected (length framing + CRC32 trailer), discarded, and
+physically truncated away rather than replayed.
 """
 
 from __future__ import annotations
 
+import os
 import struct
+import zlib
 from dataclasses import dataclass
 
 from repro.errors import WALError
+from repro.storage.crashpoints import crash_point
 from repro.util.stats import Counters
 
 _RECORD_HEADER = struct.Struct("<qbqi")  # lsn, kind, page_id, payload_len
+_CRC = struct.Struct("<I")
 _KIND_PAGE = 1
 _KIND_COMMIT = 2
+
+_SEGMENT_MAGIC = b"RPROWAL1"
+_SEGMENT_SUFFIX = ".wal"
+
+DEFAULT_SEGMENT_BYTES = 1 << 20
+CHECKPOINT_IMAGE = "checkpoint.img"
 
 
 @dataclass(frozen=True)
@@ -43,29 +60,179 @@ class LogRecord:
         header = _RECORD_HEADER.pack(
             self.lsn, self.kind, self.page_id, len(self.image)
         )
-        return header + self.image
+        crc = zlib.crc32(self.image, zlib.crc32(header))
+        return header + self.image + _CRC.pack(crc)
 
     @classmethod
     def decode(cls, payload: bytes, offset: int) -> tuple["LogRecord", int]:
         if offset + _RECORD_HEADER.size > len(payload):
             raise WALError("truncated WAL record header")
         lsn, kind, page_id, length = _RECORD_HEADER.unpack_from(payload, offset)
+        if length < 0 or kind not in (_KIND_PAGE, _KIND_COMMIT):
+            raise WALError("corrupt WAL record header")
         start = offset + _RECORD_HEADER.size
-        if start + length > len(payload):
+        end = start + length
+        if end + _CRC.size > len(payload):
             raise WALError("truncated WAL record payload")
-        image = payload[start : start + length]
-        return cls(lsn, kind, page_id, image), start + length
+        image = payload[start:end]
+        (crc,) = _CRC.unpack_from(payload, end)
+        expected = zlib.crc32(
+            image, zlib.crc32(payload[offset : offset + _RECORD_HEADER.size])
+        )
+        if crc != expected:
+            raise WALError("corrupt WAL record (CRC mismatch)")
+        return cls(lsn, kind, page_id, image), end + _CRC.size
 
 
 class WriteAheadLog:
-    """Append-only log of page after-images and commit markers."""
+    """Append-only log of page after-images and commit markers.
 
-    def __init__(self) -> None:
-        self._buffer = bytearray()
-        self._next_lsn = 0
+    ``path`` selects the storage mode: ``None`` keeps the log in memory;
+    a directory path makes it file-backed and segmented.  Opening a
+    directory that already holds segments resumes the log it contains
+    (after the torn-tail scan) — this is how a "restarted process" sees
+    the log its predecessor wrote.
+    """
+
+    def __init__(
+        self,
+        path: str | None = None,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    ) -> None:
+        if segment_bytes <= 0:
+            raise WALError(f"segment_bytes must be positive, got {segment_bytes}")
+        self.path = path
+        self.segment_bytes = segment_bytes
         self.counters = Counters()
+        #: set by the tail scan when a torn final record was discarded
+        self.torn_tail_detected = False
+        self._buffer = bytearray()  # full decoded-log mirror
+        self._synced = 0  # bytes of _buffer that are durable
+        self._next_lsn = 0
+        self._handle = None  # current segment, open for append
+        self._next_segment = 0
+        self._closed = False
+        if path is not None:
+            os.makedirs(path, exist_ok=True)
+            self._scan_segments()
+
+    @classmethod
+    def open(cls, path: str, segment_bytes: int = DEFAULT_SEGMENT_BYTES):
+        """Open (or create) a file-backed log rooted at directory ``path``."""
+        return cls(path, segment_bytes=segment_bytes)
+
+    # -- segment management ------------------------------------------------
+
+    def _segment_files(self) -> list[str]:
+        assert self.path is not None
+        names = sorted(
+            n for n in os.listdir(self.path) if n.endswith(_SEGMENT_SUFFIX)
+        )
+        return [os.path.join(self.path, n) for n in names]
+
+    def _segment_path(self, index: int) -> str:
+        assert self.path is not None
+        return os.path.join(self.path, f"{index:08d}{_SEGMENT_SUFFIX}")
+
+    def _scan_segments(self) -> None:
+        """Load every segment, tolerating a torn record at the very tail.
+
+        The valid prefix becomes the in-memory mirror; torn bytes are
+        truncated off the final segment so later appends never land
+        after garbage.
+        """
+        files = self._segment_files()
+        raw = bytearray()
+        lengths: list[int] = []
+        for file_path in files:
+            with open(file_path, "rb") as handle:
+                blob = handle.read()
+            if blob[: len(_SEGMENT_MAGIC)] != _SEGMENT_MAGIC:
+                raise WALError(f"{file_path!r} is not a WAL segment")
+            body = blob[len(_SEGMENT_MAGIC) :]
+            raw += body
+            lengths.append(len(body))
+        payload = bytes(raw)
+        offset = 0
+        last_lsn = -1
+        while offset < len(payload):
+            try:
+                record, offset = LogRecord.decode(payload, offset)
+            except WALError:
+                # A torn final record: keep the valid prefix, drop the rest.
+                self.torn_tail_detected = True
+                self.counters.add("wal_torn_tail_bytes", len(payload) - offset)
+                self._truncate_tail(files, lengths, offset)
+                break
+            last_lsn = record.lsn
+        self._buffer = bytearray(payload[:offset])
+        self._synced = len(self._buffer)
+        self._next_lsn = last_lsn + 1
+        if files:
+            last = files[-1]
+            self._next_segment = (
+                int(os.path.basename(last)[: -len(_SEGMENT_SUFFIX)]) + 1
+            )
+            if os.path.getsize(last) < self.segment_bytes:
+                # resume appending to the final, not-yet-full segment
+                self._handle = open(last, "ab")
+
+    def _truncate_tail(
+        self, files: list[str], lengths: list[int], valid: int
+    ) -> None:
+        """Physically discard everything past byte ``valid`` of the log."""
+        consumed = 0
+        for file_path, length in zip(files, lengths):
+            if consumed + length <= valid:
+                consumed += length
+                continue
+            keep = valid - consumed
+            with open(file_path, "r+b") as handle:
+                handle.truncate(len(_SEGMENT_MAGIC) + keep)
+                handle.flush()
+                os.fsync(handle.fileno())
+            consumed += length
+            valid = consumed  # later segments are entirely past the tear
+        # drop any segments that became empty shells past the tear
+        for file_path in files:
+            if os.path.getsize(file_path) == len(_SEGMENT_MAGIC):
+                os.remove(file_path)
+
+    def _current_handle(self):
+        if self._handle is None:
+            path = self._segment_path(self._next_segment)
+            self._next_segment += 1
+            self._handle = open(path, "ab")
+            self._handle.write(_SEGMENT_MAGIC)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self.counters.add("wal_segments")
+        return self._handle
+
+    def _roll_segment(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def _write_durable(self, data: bytes) -> None:
+        """Append ``data`` to the current segment and fsync it.
+
+        The single override point for fault injection: ``FaultyWAL``
+        tears appends here.  Records never span segments — a sync batch
+        lands whole in one file and rollover happens between batches.
+        """
+        handle = self._current_handle()
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+        self.counters.add("wal_synced_bytes", len(data))
+        if handle.tell() >= self.segment_bytes:
+            self._roll_segment()
+
+    # -- appending ---------------------------------------------------------
 
     def _append(self, kind: int, page_id: int, image: bytes) -> int:
+        crash_point("wal.append")
         record = LogRecord(self._next_lsn, kind, page_id, image)
         encoded = record.encode()
         self._buffer += encoded
@@ -81,25 +248,116 @@ class WriteAheadLog:
         return self._append(_KIND_PAGE, page_id, image)
 
     def log_commit(self) -> int:
-        """Append a commit marker; returns its LSN."""
-        return self._append(_KIND_COMMIT, 0, b"")
+        """Append a commit marker and sync: the durability point.
+
+        When :meth:`log_commit` returns, every record logged before it
+        survives a crash.
+        """
+        crash_point("wal.commit")
+        lsn = self._append(_KIND_COMMIT, 0, b"")
+        self.sync()
+        return lsn
+
+    def sync(self) -> None:
+        """Force every pending record into durable storage (fsync point).
+
+        In-memory logs treat the whole buffer as durable, so this is a
+        bookkeeping no-op there.
+        """
+        pending = bytes(self._buffer[self._synced :])
+        if not pending:
+            return
+        crash_point("wal.sync")
+        if self.path is not None:
+            self._write_durable(pending)
+            self.counters.add("wal_syncs")
+        self._synced = len(self._buffer)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Appended but not yet durable bytes (lost if we crash now)."""
+        return len(self._buffer) - self._synced
+
+    # -- reading -----------------------------------------------------------
 
     def records(self) -> list[LogRecord]:
-        """Decode the whole log (oldest first)."""
+        """Decode the whole log (oldest first); strict — raises
+        :class:`WALError` on any malformed record."""
         out = []
+        payload = bytes(self._buffer)
         offset = 0
-        while offset < len(self._buffer):
-            record, offset = LogRecord.decode(bytes(self._buffer), offset)
+        while offset < len(payload):
+            record, offset = LogRecord.decode(payload, offset)
             out.append(record)
         return out
-
-    def checkpoint(self) -> None:
-        """Truncate the log; caller guarantees the disk is up to date."""
-        self._buffer.clear()
 
     def size_bytes(self) -> int:
         """Current encoded size of the log."""
         return len(self._buffer)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def checkpoint(self, disk=None, image_path: str | None = None) -> str | None:
+        """Persist a volume image, then truncate the log.
+
+        The caller (usually :meth:`Database.checkpoint
+        <repro.relational.catalog.Database.checkpoint>`) guarantees the
+        buffer pool has flushed, so the disk holds every committed page.
+        ``disk.save`` writes the image to a temporary file which is then
+        atomically renamed — a crash mid-checkpoint leaves either the
+        old image + old log (recoverable) or the new image + old log
+        (replay is idempotent), never a half-written image.
+
+        Returns the image path, or ``None`` when no image was written.
+        """
+        written = None
+        if disk is not None:
+            if image_path is None:
+                if self.path is None:
+                    raise WALError(
+                        "checkpoint with a disk needs an image path for "
+                        "an in-memory WAL"
+                    )
+                image_path = os.path.join(self.path, CHECKPOINT_IMAGE)
+            tmp_path = image_path + ".tmp"
+            disk.save(tmp_path)
+            os.replace(tmp_path, image_path)
+            written = image_path
+        crash_point("checkpoint.pre_truncate")
+        self._roll_segment()
+        if self.path is not None:
+            for file_path in self._segment_files():
+                os.remove(file_path)
+        self._buffer.clear()
+        self._synced = 0
+        self.counters.add("wal_checkpoints")
+        return written
+
+    def checkpoint_image_path(self) -> str | None:
+        """Default image location for a file-backed log (if it exists)."""
+        if self.path is None:
+            return None
+        candidate = os.path.join(self.path, CHECKPOINT_IMAGE)
+        return candidate if os.path.exists(candidate) else None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, sync: bool = True) -> None:
+        """Release the segment handle; by default syncs pending records
+        first (a graceful shutdown — pass ``sync=False`` to model a
+        process that simply exited)."""
+        if self._closed:
+            return
+        if sync:
+            self.sync()
+        self._closed = True
+        self._roll_segment()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def recover(disk, wal: WriteAheadLog) -> int:
@@ -126,4 +384,5 @@ def recover(disk, wal: WriteAheadLog) -> int:
             disk.allocate(page_id - disk.num_pages + 1)
         disk.write_page(page_id, image)
         replayed += 1
+    wal.counters.add("wal_pages_replayed", replayed)
     return replayed

@@ -157,31 +157,32 @@ class TestBuilder:
             ConsolidationQuery.builder("sales").build()  # no group-by
 
 
-class TestDeprecatedPositionals:
-    def test_positional_values_warn(self):
-        with pytest.warns(DeprecationWarning, match="positionally"):
-            sel = SelectionPredicate("store", "city", ("LA",))
-        assert sel.values == ("LA",)
+class TestKeywordOnlyPredicateArgs:
+    """The PR 2 positional deprecation is finished: values/low/high are
+    keyword-only and positional use is a TypeError, not a warning."""
 
-    def test_positional_range_warns(self):
-        with pytest.warns(DeprecationWarning):
-            sel = SelectionPredicate("time", "year", None, 1996, 1998)
-        assert sel.is_range and (sel.low, sel.high) == (1996, 1998)
+    def test_positional_values_rejected(self):
+        with pytest.raises(TypeError):
+            SelectionPredicate("store", "city", ("LA",))
 
-    def test_keyword_forms_do_not_warn(self):
+    def test_positional_range_rejected(self):
+        with pytest.raises(TypeError):
+            SelectionPredicate("time", "year", None, 1996, 1998)
+
+    def test_keyword_forms_work(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
-            SelectionPredicate("store", "city", values=("LA",))
-            SelectionPredicate("time", "year", low=1996, high=1998)
+            sel = SelectionPredicate("store", "city", values=("LA",))
+            rng = SelectionPredicate("time", "year", low=1996, high=1998)
             SelectionPredicate.in_list("store", "city", "LA", "SF")
             SelectionPredicate.between("time", "year", 1996, 1998)
+        assert sel.values == ("LA",)
+        assert rng.is_range and (rng.low, rng.high) == (1996, 1998)
 
-    def test_duplicate_positional_and_keyword_rejected(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError, match="multiple values"):
-                SelectionPredicate("store", "city", ("LA",), values=("SF",))
-
-    def test_too_many_positionals_rejected(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError):
-                SelectionPredicate("store", "city", None, 1, 2, 3)
+    def test_named_constructors_equal_keyword_forms(self):
+        assert SelectionPredicate.in_list(
+            "store", "city", "LA"
+        ) == SelectionPredicate("store", "city", values=("LA",))
+        assert SelectionPredicate.between(
+            "time", "year", 1996, 1998
+        ) == SelectionPredicate("time", "year", low=1996, high=1998)

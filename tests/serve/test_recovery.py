@@ -1,0 +1,189 @@
+"""Recovery-aware serving: retries, degraded mode, recover_cube()."""
+
+import pytest
+
+from repro.errors import (
+    DegradedError,
+    PermanentError,
+    RetryExhaustedError,
+    TransientError,
+)
+from repro.olap.engine import OlapEngine
+from repro.olap.model import CubeSchema, DimensionDef, MeasureDef
+from repro.olap.query import ConsolidationQuery
+from repro.relational.catalog import Database
+from repro.serve import QueryService, ServiceConfig
+from repro.storage.crashpoints import FaultPlan, fault_plan
+from repro.storage.faults import FaultyDisk, FaultyWAL
+
+CUBE = "served"
+QUERY = ConsolidationQuery.build(CUBE, group_by={"x": "xk", "y": "yk"})
+
+# cold=True forces every engine miss back to the (faulty) disk, and the
+# tiny backoffs keep the retry loop fast.  Fault plans are thread-local,
+# so fault-driven tests call ``service._execute`` on this thread rather
+# than going through the worker pool.
+FAST_RETRY = ServiceConfig(
+    max_workers=2, cold=True,
+    retry_attempts=3, retry_base_s=0.0001, retry_cap_s=0.001,
+)
+
+
+def build_engine(tmp_path=None):
+    """A small cube on a FaultyDisk (+ file-backed FaultyWAL if a path)."""
+    disk = FaultyDisk(page_size=1024)
+    wal = None
+    if tmp_path is not None:
+        wal = FaultyWAL(str(tmp_path / "wal"))
+    db = Database(pool_bytes=256 * 1024, disk=disk, wal=wal)
+    engine = OlapEngine(db)
+    schema = CubeSchema(
+        CUBE,
+        dimensions=(
+            DimensionDef("x", key="xk", levels=(("xg", "str:4"),)),
+            DimensionDef("y", key="yk", levels=(("yg", "str:4"),)),
+        ),
+        measures=(MeasureDef("m", "int64"),),
+    )
+    engine.load_cube(
+        schema,
+        {
+            "x": [(i, f"g{i % 2}") for i in range(6)],
+            "y": [(j, f"h{j % 2}") for j in range(4)],
+        },
+        [(i, j, 10 * i + j) for i in range(3) for j in range(3)],
+        chunk_shape=(3, 2),
+        backends=("array", "relational"),
+        bitmap_attrs=[],
+    )
+    return engine
+
+
+class TestRetries:
+    def test_transient_faults_are_retried_to_success(self):
+        engine = build_engine()
+        with QueryService(engine, FAST_RETRY) as service:
+            plan = FaultPlan(transient_read_errors=2)
+            with fault_plan(plan):
+                result = service._execute(QUERY, "array", "interpreted", "chunk")
+            assert result.rows
+            stats = service.stats()
+            assert stats["serve.transient_faults"] >= 1
+            assert stats["serve.retries"] >= 1
+            assert not service.is_degraded(CUBE)
+
+    def test_retry_exhaustion_degrades_the_cube(self):
+        engine = build_engine()
+        with QueryService(engine, FAST_RETRY) as service:
+            plan = FaultPlan(transient_read_errors=10_000)
+            with fault_plan(plan):
+                with pytest.raises(RetryExhaustedError):
+                    service._execute(QUERY, "array", "interpreted", "chunk")
+            assert service.is_degraded(CUBE)
+            assert service.degraded_cubes() == [CUBE]
+            assert service.stats()["serve.retries_exhausted"] == 1
+
+    def test_retry_exhausted_error_is_permanent(self):
+        assert issubclass(RetryExhaustedError, PermanentError)
+        assert issubclass(DegradedError, TransientError)
+
+
+class TestDegradedMode:
+    def degraded_service(self):
+        engine = build_engine()
+        service = QueryService(engine, FAST_RETRY)
+        warm = service.execute(QUERY, backend="array")  # populate the cache
+        service._mark_degraded(CUBE)
+        return service, warm
+
+    def test_cache_hits_still_served(self):
+        service, warm = self.degraded_service()
+        with service:
+            result = service.execute(QUERY, backend="array")
+            assert sorted(result.rows) == sorted(warm.rows)
+            assert result.stats.get("result_cache_hit") == 1.0
+
+    def test_misses_rejected_with_degraded_error(self):
+        service, _ = self.degraded_service()
+        other = ConsolidationQuery.build(CUBE, group_by={"x": "xk"})
+        with service:
+            with pytest.raises(DegradedError):
+                service._execute(other, "array", "interpreted", "chunk")
+            assert service.stats()["serve.degraded_rejections"] == 1
+
+    def test_writes_rejected_while_degraded(self):
+        service, _ = self.degraded_service()
+        with service:
+            with pytest.raises(DegradedError):
+                service.write_cell(CUBE, (5, 3), (999,))
+            with pytest.raises(DegradedError):
+                service.append_facts(CUBE, [(5, 3, 999)])
+            with pytest.raises(DegradedError):
+                service.rebuild_array(CUBE)
+
+    def test_degradation_metrics_exported(self):
+        service, _ = self.degraded_service()
+        with service:
+            gauges = service.engine.db.metrics.gauge_values()
+            assert gauges["serve.degraded_cubes"] == 1.0
+
+
+class TestRecoverCube:
+    def test_recover_lifts_degradation(self):
+        engine = build_engine()
+        with QueryService(engine, FAST_RETRY) as service:
+            service._mark_degraded(CUBE)
+            service.recover_cube(CUBE)
+            assert not service.is_degraded(CUBE)
+            assert service.execute(QUERY, backend="array").rows
+            assert service.stats()["serve.recoveries"] == 1
+
+    def test_recover_replays_committed_writes(self, tmp_path):
+        engine = build_engine(tmp_path)
+        with QueryService(engine, FAST_RETRY) as service:
+            service.write_cell(CUBE, (5, 3), (777,))
+            before = sorted(
+                service.execute(QUERY, backend="array").rows
+            )
+            # a permanent fault degrades the cube...
+            service._mark_degraded(CUBE)
+            # ...recovery drops every frame and replays the WAL
+            replayed = service.recover_cube(CUBE)
+            assert replayed > 0
+            after = sorted(service.execute(QUERY, backend="array").rows)
+            assert after == before
+            assert (5, 3, 777) in after
+
+    def test_recover_without_wal_rereads_disk(self):
+        engine = build_engine()
+        with QueryService(engine, FAST_RETRY) as service:
+            service.write_cell(CUBE, (5, 3), (777,))
+            service._mark_degraded(CUBE)
+            assert service.recover_cube(CUBE) == 0
+            rows = sorted(service.execute(QUERY, backend="array").rows)
+            assert (5, 3, 777) in rows
+
+    def test_unknown_cube_rejected(self):
+        engine = build_engine()
+        with QueryService(engine, FAST_RETRY) as service:
+            with pytest.raises(Exception):
+                service.recover_cube("nope")
+
+
+class TestEndToEndFaultStory:
+    def test_transient_storm_then_recovery(self, tmp_path):
+        """The full arc: healthy → faulty → degraded → recovered."""
+        engine = build_engine(tmp_path)
+        other = ConsolidationQuery.build(CUBE, group_by={"y": "yg"})
+        with QueryService(engine, FAST_RETRY) as service:
+            healthy = service.execute(QUERY, backend="array")
+            with fault_plan(FaultPlan(transient_read_errors=10_000)):
+                with pytest.raises(RetryExhaustedError):
+                    service._execute(other, "array", "interpreted", "chunk")
+                # degraded, but the cached query still answers
+                hit = service.execute(QUERY, backend="array")
+                assert sorted(hit.rows) == sorted(healthy.rows)
+            service.recover_cube(CUBE)
+            fresh = service.execute(other, backend="array")
+            assert fresh.rows
+            assert not service.is_degraded(CUBE)

@@ -1,0 +1,162 @@
+"""Unit tests for crash points, fault plans, and the Faulty* wrappers."""
+
+import pytest
+
+from repro.errors import (
+    FaultError,
+    SimulatedCrash,
+    TransientDiskError,
+    TransientError,
+)
+from repro.storage import BufferPool
+from repro.storage.faults import (
+    FaultPlan,
+    FaultyDisk,
+    FaultyWAL,
+    active_plan,
+    crash_point,
+    fault_plan,
+    register_crash_point,
+    registered_crash_points,
+)
+
+
+class TestCrashPointRegistry:
+    def test_builtins_registered(self):
+        points = registered_crash_points()
+        for name in ("pool.flush_page", "wal.append", "wal.torn_sync",
+                     "disk.torn_write", "checkpoint.pre_truncate"):
+            assert name in points
+
+    def test_register_is_idempotent(self):
+        before = registered_crash_points()
+        register_crash_point("pool.flush_page")
+        assert registered_crash_points() == before
+
+    def test_no_plan_is_a_noop(self):
+        assert active_plan() is None
+        crash_point("wal.append")  # must not raise
+
+    def test_unregistered_name_rejected_under_a_plan(self):
+        with fault_plan(FaultPlan()):
+            with pytest.raises(FaultError, match="unregistered"):
+                crash_point("no.such.point")
+
+    def test_unknown_crash_at_rejected(self):
+        with pytest.raises(FaultError, match="unknown crash point"):
+            FaultPlan(crash_at="no.such.point")
+
+    def test_bad_crash_on_hit_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan(crash_at="wal.append", crash_on_hit=0)
+
+
+class TestFaultPlan:
+    def test_crash_fires_on_nth_hit_once(self):
+        plan = FaultPlan(crash_at="wal.append", crash_on_hit=3)
+        with fault_plan(plan):
+            crash_point("wal.append")
+            crash_point("wal.append")
+            assert not plan.crashed
+            with pytest.raises(SimulatedCrash):
+                crash_point("wal.append")
+            assert plan.crashed
+            crash_point("wal.append")  # inert after the crash
+
+    def test_other_points_never_fire(self):
+        plan = FaultPlan(crash_at="wal.append")
+        with fault_plan(plan):
+            crash_point("wal.commit")
+            crash_point("pool.flush_page")
+        assert not plan.crashed
+        assert plan.hits == {"wal.commit": 1, "pool.flush_page": 1}
+
+    def test_plans_nest_and_restore(self):
+        outer, inner = FaultPlan(), FaultPlan()
+        with fault_plan(outer):
+            with fault_plan(inner):
+                assert active_plan() is inner
+            assert active_plan() is outer
+        assert active_plan() is None
+
+    def test_same_seed_same_torn_cuts(self):
+        a, b = FaultPlan(seed=9), FaultPlan(seed=9)
+        assert [a.torn_cut(500) for _ in range(5)] == [
+            b.torn_cut(500) for _ in range(5)
+        ]
+
+    def test_torn_tail_cut_lands_in_final_window(self):
+        plan = FaultPlan(seed=1)
+        for _ in range(50):
+            cut = plan.torn_tail_cut(1000, window=25)
+            assert 1000 - 25 < cut < 1000
+
+
+class TestFaultyDisk:
+    def test_transient_reads_heal_after_budget(self):
+        disk = FaultyDisk(page_size=64)
+        disk.allocate(1)
+        disk.write_page(0, b"\x05" * 64)
+        with fault_plan(FaultPlan(transient_read_errors=2)):
+            for _ in range(2):
+                with pytest.raises(TransientDiskError):
+                    disk.read_page(0)
+            assert disk.read_page(0) == b"\x05" * 64  # healed
+        assert disk.counters.get("transient_read_errors") == 2
+
+    def test_transient_error_is_transient(self):
+        assert issubclass(TransientDiskError, TransientError)
+
+    def test_fault_free_without_plan(self):
+        disk = FaultyDisk(page_size=64)
+        disk.allocate(1)
+        disk.write_page(0, b"\x01" * 64)
+        assert disk.read_page(0) == b"\x01" * 64
+
+    def test_clean_write_crash(self):
+        disk = FaultyDisk(page_size=64)
+        disk.allocate(1)
+        with fault_plan(FaultPlan(crash_at="disk.write")):
+            with pytest.raises(SimulatedCrash):
+                disk.write_page(0, b"\x02" * 64)
+        assert disk.read_page(0) == bytes(64)  # nothing landed
+
+    def test_torn_write_persists_a_prefix(self):
+        disk = FaultyDisk(page_size=64)
+        disk.allocate(1)
+        with fault_plan(FaultPlan(seed=4, crash_at="disk.torn_write")):
+            with pytest.raises(SimulatedCrash):
+                disk.write_page(0, b"\xaa" * 64)
+        torn = disk.read_page(0)
+        prefix = torn.rstrip(b"\x00")
+        assert 0 < len(prefix) < 64 and set(prefix) == {0xAA}
+        assert disk.counters.get("torn_page_writes") == 1
+
+
+class TestFaultyWAL:
+    def test_torn_sync_leaves_torn_tail_on_disk(self, tmp_path):
+        waldir = str(tmp_path / "wal")
+        wal = FaultyWAL(waldir)
+        wal.log_page(0, b"before the crash")
+        wal.log_commit()  # durable, fault-free
+        wal.log_page(1, b"doomed batch")
+        with fault_plan(FaultPlan(seed=2, crash_at="wal.torn_sync")):
+            with pytest.raises(SimulatedCrash):
+                wal.log_commit()
+
+        again = FaultyWAL(waldir)
+        assert again.torn_tail_detected
+        # the first committed transaction survives intact
+        records = again.records()
+        assert records[0].image == b"before the crash"
+        again.close()
+
+    def test_pool_flush_crash_point_fires(self):
+        disk = FaultyDisk(page_size=64)
+        pool = BufferPool(disk, capacity_bytes=64 * 4)
+        page = pool.new_page()
+        pool.get(page)[:3] = b"abc"
+        pool.mark_dirty(page)
+        with fault_plan(FaultPlan(crash_at="pool.flush_page")):
+            with pytest.raises(SimulatedCrash):
+                pool.flush_all()

@@ -8,7 +8,7 @@ from repro.data import (
     generate_dimension_rows,
     generate_fact_rows,
 )
-from repro.errors import PageError
+from repro.errors import CatalogError, PageError
 from repro.olap import ConsolidationQuery, OlapEngine
 from repro.relational import Database, Schema
 from repro.storage import SimulatedDisk
@@ -51,6 +51,45 @@ class TestDiskImage:
         with pytest.raises(PageError):
             SimulatedDisk.load(path)
 
+    def test_unwritten_pages_load_as_zero(self, tmp_path):
+        disk = SimulatedDisk(page_size=64)
+        disk.allocate(3)  # never written: saved and reloaded as zero pages
+        path = str(tmp_path / "zeros.img")
+        disk.save(path)
+        again = SimulatedDisk.load(path)
+        assert again.num_pages == 3
+        assert all(again.read_page(i) == bytes(64) for i in range(3))
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = str(tmp_path / "short.img")
+        with open(path, "wb") as handle:
+            handle.write(SimulatedDisk._IMAGE_MAGIC + b"\x01\x02")
+        with pytest.raises(PageError, match="truncated"):
+            SimulatedDisk.load(path)
+
+    def test_page_size_mismatch_rejected(self, tmp_path):
+        # header promises 2 pages of 256 bytes but only 1.5 are present
+        disk = SimulatedDisk(page_size=256)
+        disk.allocate(2)
+        disk.write_page(0, b"\x11" * 256)
+        path = str(tmp_path / "cut.img")
+        disk.save(path)
+        size = 8 + 12 + 2 * 256
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 128)
+        with pytest.raises(PageError, match="truncated at page 1"):
+            SimulatedDisk.load(path)
+
+    def test_corrupt_header_fields_rejected(self, tmp_path):
+        import struct
+
+        path = str(tmp_path / "neg.img")
+        with open(path, "wb") as handle:
+            handle.write(SimulatedDisk._IMAGE_MAGIC)
+            handle.write(struct.pack("<iq", -8, 1))
+        with pytest.raises(PageError, match="corrupt"):
+            SimulatedDisk.load(path)
+
 
 class TestDatabaseAttach:
     def test_tables_and_indexes_survive(self, tmp_path):
@@ -87,6 +126,43 @@ class TestDatabaseAttach:
         db.disk.save(path)
         attached = Database.attach(SimulatedDisk.load(path))
         assert attached.table_names() == []
+
+
+class TestDatabaseLifecycle:
+    def test_context_manager_flushes_on_exit(self, tmp_path):
+        path = str(tmp_path / "ctx.img")
+        with Database(page_size=512) as db:
+            heap = db.create_heap_table("t", Schema([("k", "int32")]))
+            heap.insert_many([(i,) for i in range(10)])
+        # no explicit flush_all: __exit__ must leave the disk complete
+        db.disk.save(path)
+        attached = Database.attach(SimulatedDisk.load(path))
+        assert len(list(attached.table("t").scan())) == 10
+
+    def test_close_is_idempotent(self):
+        db = Database(page_size=512)
+        db.close()
+        db.close()
+
+    def test_open_replays_wal_past_checkpoint(self, tmp_path):
+        waldir = str(tmp_path / "wal")
+        db = Database(page_size=512, wal_dir=waldir)
+        heap = db.create_heap_table("t", Schema([("k", "int32")]))
+        heap.insert_many([(i,) for i in range(5)])
+        image = db.checkpoint()
+        heap.insert_many([(i,) for i in range(5, 9)])
+        db.commit()  # durable in the WAL, never flushed to the image
+        # no close(): simulate an abrupt exit after the commit
+
+        reopened = Database.open(image, wal_dir=waldir)
+        assert [r[0] for r in reopened.table("t").scan()] == list(range(9))
+        reopened.close()
+
+    def test_fresh_database_rejects_used_disk(self):
+        disk = SimulatedDisk(page_size=512)
+        disk.allocate(1)
+        with pytest.raises(CatalogError, match="attach"):
+            Database(disk=disk)
 
 
 class TestEngineAttach:

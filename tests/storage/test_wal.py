@@ -1,5 +1,7 @@
 """Tests for the write-ahead log and recovery."""
 
+import os
+
 import pytest
 
 from repro.errors import WALError
@@ -83,3 +85,122 @@ class TestRecovery:
     def test_empty_log_recovers_nothing(self):
         disk = self.make_disk()
         assert recover(disk, WriteAheadLog()) == 0
+
+
+class TestFileBackedLog:
+    def waldir(self, tmp_path):
+        return str(tmp_path / "wal")
+
+    def test_commit_is_the_fsync_point(self, tmp_path):
+        wal = WriteAheadLog.open(self.waldir(tmp_path))
+        wal.log_page(0, b"page image")
+        assert wal.pending_bytes > 0  # appended, not yet durable
+        wal.log_commit()
+        assert wal.pending_bytes == 0
+
+    def test_reopen_resumes_log_and_lsns(self, tmp_path):
+        waldir = self.waldir(tmp_path)
+        with WriteAheadLog.open(waldir) as wal:
+            wal.log_page(0, b"aa")
+            wal.log_commit()
+        again = WriteAheadLog.open(waldir)
+        assert [r.kind for r in again.records()] == [_KIND_PAGE, _KIND_COMMIT]
+        assert again.log_page(1, b"bb") == 2  # LSNs continue
+        again.close()
+
+    def test_segments_roll_over(self, tmp_path):
+        waldir = self.waldir(tmp_path)
+        wal = WriteAheadLog.open(waldir, segment_bytes=128)
+        for _ in range(4):
+            wal.log_page(0, b"x" * 100)
+            wal.log_commit()
+        segments = [n for n in os.listdir(waldir) if n.endswith(".wal")]
+        assert len(segments) > 1
+        again = WriteAheadLog.open(waldir, segment_bytes=128)
+        assert len(again.records()) == 8  # 4 pages + 4 commits, all files
+        again.close()
+        wal.close()
+
+    def test_unsynced_records_do_not_survive_reopen(self, tmp_path):
+        waldir = self.waldir(tmp_path)
+        wal = WriteAheadLog.open(waldir)
+        wal.log_page(0, b"committed")
+        wal.log_commit()
+        wal.log_page(1, b"volatile")  # never synced
+        # no close(): the "process" dies here
+        again = WriteAheadLog.open(waldir)
+        assert len(again.records()) == 2
+        again.close()
+
+    def test_close_without_sync_models_abrupt_exit(self, tmp_path):
+        waldir = self.waldir(tmp_path)
+        wal = WriteAheadLog.open(waldir)
+        wal.log_page(0, b"volatile")
+        wal.close(sync=False)
+        assert WriteAheadLog.open(waldir).records() == []
+
+    def test_torn_tail_detected_and_discarded(self, tmp_path):
+        waldir = self.waldir(tmp_path)
+        wal = WriteAheadLog.open(waldir)
+        wal.log_page(0, b"first")
+        wal.log_commit()
+        wal.log_page(1, b"second")
+        wal.log_commit()
+        wal.close()
+        segment = os.path.join(waldir, sorted(os.listdir(waldir))[-1])
+        with open(segment, "r+b") as handle:
+            handle.truncate(os.path.getsize(segment) - 7)
+
+        again = WriteAheadLog.open(waldir)
+        assert again.torn_tail_detected
+        kinds = [r.kind for r in again.records()]
+        assert kinds == [_KIND_PAGE, _KIND_COMMIT, _KIND_PAGE]
+        # the torn bytes were physically truncated: appends stay valid
+        again.log_commit()
+        final = WriteAheadLog.open(waldir)
+        assert not final.torn_tail_detected
+        assert len(final.records()) == 4
+        final.close()
+        again.close()
+
+    def test_corrupt_mid_log_record_still_raises(self, tmp_path):
+        wal = WriteAheadLog.open(self.waldir(tmp_path))
+        wal.log_page(0, b"abcdef")
+        wal.log_commit()
+        wal._buffer[5] ^= 0xFF  # flip a byte mid-record
+        with pytest.raises(WALError):
+            wal.records()
+
+    def test_checkpoint_saves_image_and_truncates(self, tmp_path):
+        waldir = self.waldir(tmp_path)
+        disk = SimulatedDisk(page_size=64)
+        disk.allocate(2)
+        disk.write_page(0, b"\x07" * 64)
+        wal = WriteAheadLog.open(waldir)
+        wal.log_page(0, b"\x07" * 64)
+        wal.log_commit()
+        image = wal.checkpoint(disk)
+        assert image == os.path.join(waldir, "checkpoint.img")
+        assert wal.size_bytes() == 0
+        assert not [n for n in os.listdir(waldir) if n.endswith(".wal")]
+        assert SimulatedDisk.load(image).read_page(0) == b"\x07" * 64
+        assert wal.checkpoint_image_path() == image
+        wal.close()
+
+    def test_in_memory_checkpoint_with_disk_needs_image_path(self):
+        wal = WriteAheadLog()
+        disk = SimulatedDisk(page_size=64)
+        with pytest.raises(WALError, match="image path"):
+            wal.checkpoint(disk)
+
+    def test_bad_segment_magic_rejected(self, tmp_path):
+        waldir = self.waldir(tmp_path)
+        os.makedirs(waldir)
+        with open(os.path.join(waldir, "00000000.wal"), "wb") as handle:
+            handle.write(b"NOTAWAL!" + bytes(32))
+        with pytest.raises(WALError, match="not a WAL segment"):
+            WriteAheadLog.open(waldir)
+
+    def test_bad_segment_bytes_rejected(self, tmp_path):
+        with pytest.raises(WALError, match="segment_bytes"):
+            WriteAheadLog.open(self.waldir(tmp_path), segment_bytes=0)
