@@ -18,7 +18,11 @@ harness
    exactly transactions ``0..k-1`` for some ``k`` at least the number
    of transactions confirmed before the crash (atomicity + durability),
    and every query result — array and star-join backends — equals a
-   serial no-crash oracle with exactly those ``k`` transactions applied.
+   serial no-crash oracle with exactly those ``k`` transactions applied,
+5. **aftershocks**: the recovered process finishes the workload, then
+   crashes too, and a third recovery must equal the full-workload
+   oracle — proving the survivor's commits never retroactively commit
+   records the first crash orphaned past its last commit marker.
 
 Everything is deterministic from the seed, so a failing scenario
 replays bit-identically from its ``(crash_point, seed)`` pair.
@@ -152,6 +156,7 @@ class CrashOutcome:
     prefix_ok: bool
     durable_ok: bool
     oracle_ok: bool
+    aftershock_ok: bool = True
     errors: list[str] = field(default_factory=list)
 
     @property
@@ -161,6 +166,7 @@ class CrashOutcome:
             self.prefix_ok
             and self.durable_ok
             and self.oracle_ok
+            and self.aftershock_ok
             and not self.errors
         )
 
@@ -246,7 +252,38 @@ def run_crash_scenario(
         if recovered_rows != oracle_rows:
             oracle_ok = False
             errors.append(f"backend {backend!r} diverges from oracle")
-    db2.close()
+
+    # -- phase 6: aftershock — commit after recovery, crash again ------------
+    # The survivor finishes the workload (transactions k..n-1), then
+    # "crashes" too (abandoned, never closed) and a third process
+    # recovers.  This is the double-crash the single-crash phases never
+    # reach: the survivor's first commit marker must not retroactively
+    # commit records the first crash orphaned, or the second recovery
+    # replays an aborted transaction's page images.
+    for i in range(k, n_txns):
+        keys, measure = _txn_cell(i)
+        engine2.write_cell(CUBE, keys, (measure,))
+    del engine2, db2
+    db3 = Database.open(
+        os.path.join(waldir, "checkpoint.img"),
+        wal_dir=waldir,
+        pool_bytes=_POOL_BYTES,
+    )
+    engine3 = OlapEngine(db3)
+    engine3.attach_cube(_schema())
+    for i in range(k, n_txns):
+        keys, measure = _txn_cell(i)
+        oracle.write_cell(CUBE, keys, (measure,))
+    oracle_rows = _query_rows(oracle, "array")
+    aftershock_ok = True
+    for backend in ("array", "starjoin"):
+        if _query_rows(engine3, backend) != oracle_rows:
+            aftershock_ok = False
+            errors.append(
+                f"aftershock: backend {backend!r} diverges from oracle "
+                "after commit-then-second-crash"
+            )
+    db3.close()
 
     return CrashOutcome(
         crash_point=crash_at,
@@ -259,6 +296,7 @@ def run_crash_scenario(
         prefix_ok=prefix_ok,
         durable_ok=durable_ok,
         oracle_ok=oracle_ok,
+        aftershock_ok=aftershock_ok,
         errors=errors,
     )
 

@@ -220,7 +220,7 @@ def cmd_faultcheck(args) -> int:
         points = tuple(p for p in points if p in set(args.point))
     print(
         f"faultcheck: {len(points)} crash points, seed={args.seed} "
-        "(crash → recover → compare against the no-crash oracle)"
+        "(crash → recover → oracle check → commit → crash again → recover)"
     )
     with tempfile.TemporaryDirectory(prefix="repro-faultcheck-") as workdir:
         outcomes = run_crash_matrix(args.seed, workdir, points=points)

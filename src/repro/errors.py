@@ -49,6 +49,29 @@ class WALError(StorageError):
     """The write-ahead log was malformed or recovery failed."""
 
 
+class TruncatedWALError(WALError):
+    """A WAL record extends past the physical end of the log.
+
+    Only a torn tail — an append cut short by a crash — produces this,
+    so the open-time scan may safely discard the partial record.
+    """
+
+
+class CorruptWALError(WALError, PermanentError):
+    """A WAL record's framing or CRC check failed.
+
+    A tear removes bytes but never alters them, so a corrupt record
+    that is not the final one means mid-log damage: committed data may
+    follow it, and recovery must refuse to silently truncate.
+    ``frame_end`` is the byte offset just past the record's frame when
+    the framing itself was intact (CRC failure), else ``None``.
+    """
+
+    def __init__(self, message: str, frame_end: int | None = None):
+        super().__init__(message)
+        self.frame_end = frame_end
+
+
 class TransientDiskError(StorageError, TransientError):
     """A disk access failed in a way a retry may fix (injected or real)."""
 

@@ -219,9 +219,20 @@ class QueryService:
             ):
                 return self._from_cache(cached, timer)
         self._check_degraded(cube)
+        # each retry attempt takes the engine lock by itself, so backoff
+        # sleeps never stall other cubes' queued queries
+        return self._with_retries(
+            cube,
+            lambda: self._execute_miss(query, backend, mode, order, fingerprint),
+        )
+
+    def _execute_miss(self, query, backend, mode, order, fingerprint):
+        """One serialized attempt at an engine miss (runs under retry)."""
+        cube = query.cube
+        tracer = get_tracer()
         with self._engine_lock:
             # double-check: another worker may have computed it while
-            # this one waited for the engine
+            # this one waited for the engine (or slept between attempts)
             with Timer() as timer:
                 generation = self.engine.cube_generation(cube)
                 cached = self.results.get(cube, fingerprint, generation)
@@ -235,15 +246,12 @@ class QueryService:
                 "serve_query", cube=cube, cache="miss", backend=backend
             ):
                 self._attach_chunk_cache(cube)
-                result = self._with_retries(
-                    cube,
-                    lambda: self.engine.query(
-                        query,
-                        backend=backend,
-                        mode=mode,
-                        cold=self.config.cold,
-                        order=order,
-                    ),
+                result = self.engine.query(
+                    query,
+                    backend=backend,
+                    mode=mode,
+                    cold=self.config.cold,
+                    order=order,
                 )
             # the generation cannot have moved: writes also serialize
             # behind the engine lock
@@ -296,7 +304,9 @@ class QueryService:
         Backoff doubles from ``retry_base_s`` up to ``retry_cap_s``.
         A :class:`PermanentError` (or an exhausted retry budget) flips
         the cube into degraded mode, after which only cache hits are
-        served until :meth:`recover_cube` runs.
+        served until :meth:`recover_cube` runs.  ``action`` must take
+        the engine lock itself: the backoff sleep here runs with no
+        locks held, so one cube's retry storm never blocks the others.
         """
         tracer = get_tracer()
         delay = self.config.retry_base_s
@@ -304,6 +314,8 @@ class QueryService:
         for attempt in range(self.config.retry_attempts + 1):
             try:
                 return action()
+            except DegradedError:
+                raise  # already degraded: not a fault to retry or re-mark
             except PermanentError:
                 self._mark_degraded(cube)
                 raise

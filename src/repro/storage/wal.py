@@ -21,7 +21,14 @@ accumulate in memory until a sync point, then append to fixed-size
 **segment files** with an ``fsync``; reopening the directory tail-scans
 the segments and a torn final record — a partial append cut short by a
 crash — is detected (length framing + CRC32 trailer), discarded, and
-physically truncated away rather than replayed.
+physically truncated away rather than replayed.  Records past the last
+commit marker (an aborted transaction's synced tail) are discarded the
+same way, at reopen and by :func:`recover`: left in place, the next
+commit marker appended after them would retroactively "commit" the
+aborted transaction.  A decode failure that is *not* confined to the
+final record is mid-log corruption, and opening the log raises
+:class:`~repro.errors.WALError` instead of silently truncating
+committed records.
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ import struct
 import zlib
 from dataclasses import dataclass
 
-from repro.errors import WALError
+from repro.errors import CorruptWALError, TruncatedWALError, WALError
 from repro.storage.crashpoints import crash_point
 from repro.util.stats import Counters
 
@@ -66,21 +73,23 @@ class LogRecord:
     @classmethod
     def decode(cls, payload: bytes, offset: int) -> tuple["LogRecord", int]:
         if offset + _RECORD_HEADER.size > len(payload):
-            raise WALError("truncated WAL record header")
+            raise TruncatedWALError("truncated WAL record header")
         lsn, kind, page_id, length = _RECORD_HEADER.unpack_from(payload, offset)
         if length < 0 or kind not in (_KIND_PAGE, _KIND_COMMIT):
-            raise WALError("corrupt WAL record header")
+            raise CorruptWALError("corrupt WAL record header")
         start = offset + _RECORD_HEADER.size
         end = start + length
         if end + _CRC.size > len(payload):
-            raise WALError("truncated WAL record payload")
+            raise TruncatedWALError("truncated WAL record payload")
         image = payload[start:end]
         (crc,) = _CRC.unpack_from(payload, end)
         expected = zlib.crc32(
             image, zlib.crc32(payload[offset : offset + _RECORD_HEADER.size])
         )
         if crc != expected:
-            raise WALError("corrupt WAL record (CRC mismatch)")
+            raise CorruptWALError(
+                "corrupt WAL record (CRC mismatch)", frame_end=end + _CRC.size
+            )
         return cls(lsn, kind, page_id, image), end + _CRC.size
 
 
@@ -139,7 +148,13 @@ class WriteAheadLog:
 
         The valid prefix becomes the in-memory mirror; torn bytes are
         truncated off the final segment so later appends never land
-        after garbage.
+        after garbage.  A decode failure that is *not* confined to the
+        final record is mid-log corruption, not a tear, and raises
+        rather than silently discarding committed data.  Records past
+        the last commit marker (an aborted transaction's synced tail)
+        are likewise discarded: the dead process can never finish that
+        transaction, and a survivor's first commit marker must not
+        retroactively commit it.
         """
         files = self._segment_files()
         raw = bytearray()
@@ -158,24 +173,52 @@ class WriteAheadLog:
         while offset < len(payload):
             try:
                 record, offset = LogRecord.decode(payload, offset)
-            except WALError:
-                # A torn final record: keep the valid prefix, drop the rest.
-                self.torn_tail_detected = True
-                self.counters.add("wal_torn_tail_bytes", len(payload) - offset)
-                self._truncate_tail(files, lengths, offset)
+            except TruncatedWALError:
+                # The final append was cut short: a genuine torn tail.
+                self._note_torn_tail(payload, offset, files, lengths)
                 break
+            except CorruptWALError as exc:
+                if exc.frame_end is not None and exc.frame_end >= len(payload):
+                    # CRC failure confined to the final record — the
+                    # trailer never fully landed; treat it as a tear.
+                    self._note_torn_tail(payload, offset, files, lengths)
+                    break
+                raise WALError(
+                    f"WAL corruption at byte {offset} of {self.path!r} "
+                    "with log data after it; refusing to truncate possibly "
+                    "committed records — restore from a checkpoint image"
+                ) from exc
             last_lsn = record.lsn
         self._buffer = bytearray(payload[:offset])
         self._synced = len(self._buffer)
         self._next_lsn = last_lsn + 1
-        if files:
-            last = files[-1]
-            self._next_segment = (
-                int(os.path.basename(last)[: -len(_SEGMENT_SUFFIX)]) + 1
-            )
-            if os.path.getsize(last) < self.segment_bytes:
-                # resume appending to the final, not-yet-full segment
-                self._handle = open(last, "ab")
+        self.discard_uncommitted_tail()
+        self._resume_tail()
+
+    def _note_torn_tail(
+        self, payload: bytes, offset: int, files: list[str], lengths: list[int]
+    ) -> None:
+        self.torn_tail_detected = True
+        self.counters.add("wal_torn_tail_bytes", len(payload) - offset)
+        self._truncate_tail(files, lengths, offset)
+
+    def _resume_tail(self) -> None:
+        """Point the append state at the current last segment on disk.
+
+        Re-lists the directory rather than trusting a pre-truncation
+        listing: truncation may have deleted the final segment(s).
+        """
+        self._roll_segment()
+        files = self._segment_files()
+        if not files:
+            return
+        last = files[-1]
+        self._next_segment = (
+            int(os.path.basename(last)[: -len(_SEGMENT_SUFFIX)]) + 1
+        )
+        if os.path.getsize(last) < self.segment_bytes:
+            # resume appending to the final, not-yet-full segment
+            self._handle = open(last, "ab")
 
     def _truncate_tail(
         self, files: list[str], lengths: list[int], valid: int
@@ -278,6 +321,40 @@ class WriteAheadLog:
         """Appended but not yet durable bytes (lost if we crash now)."""
         return len(self._buffer) - self._synced
 
+    def discard_uncommitted_tail(self) -> int:
+        """Drop every record past the last commit marker; returns bytes cut.
+
+        A synced-but-uncommitted tail (e.g. page after-images whose
+        commit marker was torn off, or a transaction aborted mid-append)
+        must not stay in the log: the *next* commit marker appended
+        after it would retroactively "commit" it and a later recovery
+        would replay aborted writes.  :func:`recover` and the open-time
+        segment scan both call this; file-backed logs are physically
+        truncated so the orphans cannot resurface after a restart.
+        """
+        payload = bytes(self._buffer)
+        offset = 0
+        committed_end = 0
+        while offset < len(payload):
+            record, offset = LogRecord.decode(payload, offset)
+            if record.kind == _KIND_COMMIT:
+                committed_end = offset
+        dropped = len(payload) - committed_end
+        if not dropped:
+            return 0
+        if self.path is not None and self._synced > committed_end:
+            self._roll_segment()
+            files = self._segment_files()
+            lengths = [
+                os.path.getsize(f) - len(_SEGMENT_MAGIC) for f in files
+            ]
+            self._truncate_tail(files, lengths, committed_end)
+            self._resume_tail()
+        del self._buffer[committed_end:]
+        self._synced = min(self._synced, committed_end)
+        self.counters.add("wal_orphan_bytes_discarded", dropped)
+        return dropped
+
     # -- reading -----------------------------------------------------------
 
     def records(self) -> list[LogRecord]:
@@ -364,17 +441,17 @@ def recover(disk, wal: WriteAheadLog) -> int:
     """Replay committed page after-images into ``disk``.
 
     Records after the last commit marker belong to an unfinished
-    transaction and are discarded (redo-only, no-steal ⇒ nothing to
-    undo).  Returns the number of pages replayed.
+    transaction and are **discarded from the log** (redo-only,
+    no-steal ⇒ nothing to undo) — not merely skipped, or the next
+    commit marker appended to ``wal`` would retroactively commit them
+    and a later recovery would replay aborted writes.  Returns the
+    number of pages replayed.
     """
+    wal.discard_uncommitted_tail()
     records = wal.records()
-    last_commit = -1
-    for i, record in enumerate(records):
-        if record.kind == _KIND_COMMIT:
-            last_commit = i
     replayed = 0
     latest: dict[int, bytes] = {}
-    for record in records[: last_commit + 1]:
+    for record in records:
         if record.kind == _KIND_PAGE:
             latest[record.page_id] = record.image
     for page_id, image in latest.items():

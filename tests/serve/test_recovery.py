@@ -87,6 +87,26 @@ class TestRetries:
         assert issubclass(RetryExhaustedError, PermanentError)
         assert issubclass(DegradedError, TransientError)
 
+    def test_backoff_sleeps_without_the_engine_lock(self, monkeypatch):
+        # regression: the backoff sleep used to run inside _engine_lock,
+        # stalling every queued query on every cube while one cube
+        # retried transient faults
+        engine = build_engine()
+        with QueryService(engine, FAST_RETRY) as service:
+            held_during_sleep = []
+
+            def probing_sleep(_delay):
+                held_during_sleep.append(service._engine_lock._is_owned())
+
+            monkeypatch.setattr(
+                "repro.serve.service.time.sleep", probing_sleep
+            )
+            with fault_plan(FaultPlan(transient_read_errors=2)):
+                result = service._execute(QUERY, "array", "interpreted", "chunk")
+            assert result.rows
+            assert held_during_sleep  # the retry loop did back off
+            assert not any(held_during_sleep)
+
 
 class TestDegradedMode:
     def degraded_service(self):

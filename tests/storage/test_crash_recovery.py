@@ -46,6 +46,17 @@ def test_torn_final_wal_record_detected_not_replayed(tmp_path):
         assert outcome.ok, outcome.errors
 
 
+def test_commit_after_recovery_survives_second_crash(tmp_path):
+    # crash → recover → commit → crash → recover: the orphaned records
+    # of the first crash's aborted transaction must not be retroactively
+    # committed by the survivor's first commit marker
+    for point in ("wal.torn_sync", "wal.commit", "wal.append"):
+        outcome = run_crash_scenario(point, SEED, str(tmp_path))
+        assert outcome.crashed
+        assert outcome.aftershock_ok, outcome.errors
+        assert outcome.ok, outcome.errors
+
+
 def test_matrix_flags_missing_torn_tail(tmp_path):
     # run_crash_matrix itself enforces the torn-tail expectation
     outcomes = run_crash_matrix(

@@ -86,6 +86,51 @@ class TestRecovery:
         disk = self.make_disk()
         assert recover(disk, WriteAheadLog()) == 0
 
+    def test_recover_discards_uncommitted_tail_in_process(self):
+        # in-place recovery (recover_cube) must drop an aborted
+        # transaction's records, or the next commit covers them
+        disk = self.make_disk()
+        wal = WriteAheadLog()
+        wal.log_page(0, self.page_image(disk, 1))
+        wal.log_commit()
+        wal.log_page(1, self.page_image(disk, 2))  # aborted, never committed
+        recover(disk, wal)
+        assert len(wal.records()) == 2  # the aborted record is gone
+        wal.log_page(2, self.page_image(disk, 3))
+        wal.log_commit()
+        fresh = self.make_disk()
+        recover(fresh, wal)
+        assert fresh.read_page(2)[0] == 3
+        assert fresh.read_page(1)[0] == 0  # aborted image never replays
+
+    def test_double_crash_does_not_resurrect_aborted_pages(self, tmp_path):
+        # regression for the retroactive-commit hazard across restarts:
+        # crash → recover → commit → crash → recover must not replay the
+        # first crash's aborted after-images
+        disk = self.make_disk()
+        waldir = str(tmp_path / "wal")
+        wal = WriteAheadLog.open(waldir)
+        wal.log_page(0, self.page_image(disk, 1))
+        wal.log_commit()
+        wal.log_page(1, self.page_image(disk, 2))
+        wal.sync()  # synced, but the commit marker never lands
+        del wal  # first crash
+
+        wal2 = WriteAheadLog.open(waldir)
+        recover(disk, wal2)
+        assert disk.read_page(1)[0] == 0
+        wal2.log_page(2, self.page_image(disk, 3))
+        wal2.log_commit()  # the survivor's first commit
+        del wal2  # second crash
+
+        fresh = self.make_disk()
+        wal3 = WriteAheadLog.open(waldir)
+        recover(fresh, wal3)
+        assert fresh.read_page(0)[0] == 1
+        assert fresh.read_page(2)[0] == 3
+        assert fresh.read_page(1)[0] == 0  # page never reverts to aborted data
+        wal3.close()
+
 
 class TestFileBackedLog:
     def waldir(self, tmp_path):
@@ -153,14 +198,112 @@ class TestFileBackedLog:
 
         again = WriteAheadLog.open(waldir)
         assert again.torn_tail_detected
+        # tearing off the commit marker aborts the whole second
+        # transaction: its page record is discarded with the tear, so a
+        # later commit marker cannot retroactively commit it
         kinds = [r.kind for r in again.records()]
-        assert kinds == [_KIND_PAGE, _KIND_COMMIT, _KIND_PAGE]
+        assert kinds == [_KIND_PAGE, _KIND_COMMIT]
         # the torn bytes were physically truncated: appends stay valid
+        again.log_page(1, b"second again")
         again.log_commit()
         final = WriteAheadLog.open(waldir)
         assert not final.torn_tail_detected
         assert len(final.records()) == 4
         final.close()
+        again.close()
+
+    def test_orphan_tail_not_retroactively_committed(self, tmp_path):
+        # regression: a synced-but-uncommitted tail (torn commit marker)
+        # used to linger in the log; the restarted process's first
+        # commit then "committed" the aborted transaction and the NEXT
+        # recovery replayed it
+        waldir = self.waldir(tmp_path)
+        wal = WriteAheadLog.open(waldir)
+        wal.log_page(0, b"committed")
+        wal.log_commit()
+        wal.log_page(1, b"aborted")
+        wal.sync()  # durable, but the commit marker never lands
+        del wal  # the process dies
+
+        again = WriteAheadLog.open(waldir)
+        assert int(again.counters.get("wal_orphan_bytes_discarded")) > 0
+        again.log_page(2, b"survivor")
+        again.log_commit()
+        again.close()
+
+        final = WriteAheadLog.open(waldir)
+        pages = [r.page_id for r in final.records() if r.kind == _KIND_PAGE]
+        assert pages == [0, 2]  # the aborted page 1 image is gone for good
+        final.close()
+
+    def test_torn_tail_filling_whole_final_segment(self, tmp_path):
+        # regression: when the tear starts exactly at a segment
+        # boundary the final segment is deleted outright, and reopen
+        # used to stat the deleted path and die with FileNotFoundError
+        waldir = self.waldir(tmp_path)
+        wal = WriteAheadLog.open(waldir, segment_bytes=64)
+        wal.log_page(0, b"x" * 50)
+        wal.log_commit()  # overflows 64 bytes: segment 0 rolls
+        wal.log_page(1, b"y" * 10)
+        wal.log_commit()  # lands in segment 1
+        wal.close()
+        segments = sorted(
+            n for n in os.listdir(waldir) if n.endswith(".wal")
+        )
+        assert len(segments) == 2
+        with open(os.path.join(waldir, segments[-1]), "r+b") as handle:
+            handle.truncate(8 + 5)  # magic + a torn header fragment
+
+        again = WriteAheadLog.open(waldir, segment_bytes=64)
+        assert again.torn_tail_detected
+        assert [r.page_id for r in again.records() if r.kind == _KIND_PAGE] == [0]
+        # appends after the deleted segment still work
+        again.log_page(2, b"z")
+        again.log_commit()
+        again.close()
+        final = WriteAheadLog.open(waldir, segment_bytes=64)
+        assert len(final.records()) == 4
+        final.close()
+
+    def test_mid_log_corruption_raises_instead_of_truncating(self, tmp_path):
+        # a CRC flip in the middle of the log is damage, not a tear:
+        # committed records follow it, so reopen must refuse to
+        # silently discard them
+        waldir = self.waldir(tmp_path)
+        wal = WriteAheadLog.open(waldir)
+        wal.log_page(0, b"first")
+        wal.log_commit()
+        wal.log_page(1, b"second")
+        wal.log_commit()
+        wal.close()
+        segment = os.path.join(waldir, sorted(os.listdir(waldir))[-1])
+        with open(segment, "r+b") as handle:
+            handle.seek(8 + 25)  # magic + header: inside record 0's image
+            byte = handle.read(1)
+            handle.seek(-1, os.SEEK_CUR)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(WALError, match="corruption"):
+            WriteAheadLog.open(waldir)
+
+    def test_crc_failure_on_final_record_is_a_tear(self, tmp_path):
+        # the final record's CRC trailer never fully landing is
+        # indistinguishable from a partial sector write: recoverable
+        waldir = self.waldir(tmp_path)
+        wal = WriteAheadLog.open(waldir)
+        wal.log_page(0, b"first")
+        wal.log_commit()
+        wal.log_page(1, b"second")
+        wal.log_commit()
+        wal.close()
+        segment = os.path.join(waldir, sorted(os.listdir(waldir))[-1])
+        with open(segment, "r+b") as handle:
+            handle.seek(-1, os.SEEK_END)
+            byte = handle.read(1)
+            handle.seek(-1, os.SEEK_CUR)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        again = WriteAheadLog.open(waldir)
+        assert again.torn_tail_detected
+        assert [r.kind for r in again.records()] == [_KIND_PAGE, _KIND_COMMIT]
         again.close()
 
     def test_corrupt_mid_log_record_still_raises(self, tmp_path):
