@@ -89,18 +89,22 @@ def build_cube_engine(
     fact_btrees: bool = False,
     fact_mbtree: bool = False,
     codec: str = "chunk-offset",
+    wal_dir: str | None = None,
 ):
     """Build one synthetic cube in a fresh engine; returns the engine.
 
     Only hX1 bitmap indices are built (the attributes Query 2/3 select
     on), matching the paper's "create a join bitmap index on each
-    selected attribute ... ahead of time".
+    selected attribute ... ahead of time".  Pass ``wal_dir`` to run the
+    stack over a file-backed WAL (the serving/observability commands do,
+    so fsync latency histograms carry real observations).
     """
     settings = settings or bench_settings()
     engine = OlapEngine(
         page_size=settings.page_size,
         pool_bytes=settings.pool_bytes,
         disk_model=settings.disk_model,
+        wal_dir=wal_dir,
     )
     schema = cube_schema_for(config)
     bitmap_attrs = [
@@ -280,6 +284,10 @@ class ConcurrentReport:
     def p95_s(self) -> float:
         return _percentile(sorted(self.latencies_s), 0.95)
 
+    @property
+    def p99_s(self) -> float:
+        return _percentile(sorted(self.latencies_s), 0.99)
+
 
 def run_concurrent(
     engine: OlapEngine,
@@ -288,6 +296,7 @@ def run_concurrent(
     rounds: int = 2,
     backend: str = "auto",
     mode: str = "interpreted",
+    service=None,
 ) -> ConcurrentReport:
     """``n_threads`` clients each issue every query ``rounds`` times.
 
@@ -295,16 +304,29 @@ def run_concurrent(
     sized so no request is rejected; client-side wall latency is
     recorded per call.  The report carries cache-hit rate and p50/p95
     latency — the serving-mode numbers next to the cold cost tables.
+
+    Pass ``service`` to run the workload through an existing (suitably
+    sized) service instead of a private one — ``repro serve
+    --metrics-port`` does this so the observability endpoint scrapes
+    the same service the workload hits.  A passed-in service is left
+    open; the private one is closed on return.
     """
+    from contextlib import nullcontext
+
     from repro.serve import QueryService, ServiceConfig
 
-    config = ServiceConfig(
-        max_workers=n_threads, max_in_flight=2 * n_threads * max(1, len(queries))
-    )
+    if service is None:
+        config = ServiceConfig(
+            max_workers=n_threads,
+            max_in_flight=2 * n_threads * max(1, len(queries)),
+        )
+        scope = QueryService(engine, config)
+    else:
+        scope = nullcontext(service)
     latencies: list[float] = []
     lock = threading.Lock()
 
-    with QueryService(engine, config) as service:
+    with scope as service:
 
         def client(thread_no: int) -> list[tuple[int, list[tuple]]]:
             seen: list[tuple[int, list[tuple]]] = []

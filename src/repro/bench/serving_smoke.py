@@ -1,0 +1,153 @@
+"""The CI serving-smoke: one warm+concurrent run, scraped and linted.
+
+``repro bench-smoke`` (and the ``bench-smoke`` CI job) runs a small
+serving workload through a shared :class:`QueryService` over a
+file-backed WAL, scrapes the live ``/metrics`` endpoint over real HTTP,
+lints the payload against the exposition grammar, checks the latency
+histogram families the dashboards depend on are present and populated,
+and writes a ``BENCH_serving.json`` artifact with the p50/p95/p99
+latencies and counter totals.  Any failed check lands in ``failures``
+— the CLI exits non-zero so a regression in the serving or
+observability stack fails the job even when unit tests pass.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+
+from repro.bench.harness import (
+    bench_settings,
+    build_cube_engine,
+    query1_for,
+    query2_for,
+    query3_for,
+    run_cold,
+    run_concurrent,
+    run_warm,
+)
+from repro.data.datasets import dataset1
+from repro.obs.exporters import lint_prometheus_text
+from repro.obs.server import ObservabilityServer
+from repro.obs.top import MetricsView, fetch_metrics
+
+#: histogram families the serving dashboards depend on; the smoke fails
+#: when any is missing from the scrape
+REQUIRED_HISTOGRAMS = (
+    "repro_serve_query_latency_seconds",
+    "repro_serve_queue_wait_seconds",
+    "repro_serve_cache_lookup_seconds",
+    "repro_wal_fsync_seconds",
+    "repro_engine_query_seconds",
+)
+
+
+def run_serving_smoke(
+    scale: str | None = None,
+    n_threads: int = 4,
+    rounds: int = 2,
+    slowlog_threshold_s: float = 0.0,
+) -> dict:
+    """Run the smoke; returns the ``BENCH_serving.json`` payload.
+
+    ``failures`` in the returned dict is empty on success.  The default
+    slowlog threshold of 0 captures every query, so the smoke also
+    proves the profile-capture path end to end.
+    """
+    from repro.serve import QueryService, ServiceConfig
+
+    settings = bench_settings(scale)
+    config = dataset1(settings.scale)[1]  # the x100 cube
+    queries = [query1_for(config), query2_for(config), query3_for(config)]
+    failures: list[str] = []
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-smoke-") as wal_dir:
+        engine = build_cube_engine(config, settings, wal_dir=wal_dir)
+        cold = run_cold(engine, queries[0], "array")  # the fig4 microbench
+        warm = run_warm(engine, queries[0], backend="array")
+        service = QueryService(
+            engine,
+            ServiceConfig(
+                max_workers=n_threads,
+                max_in_flight=2 * n_threads * len(queries),
+                slowlog_threshold_s=slowlog_threshold_s,
+            ),
+        )
+        server = ObservabilityServer(engine.db.metrics, service=service)
+        try:
+            server.start()
+            report = run_concurrent(
+                engine,
+                queries,
+                n_threads=n_threads,
+                rounds=rounds,
+                service=service,
+            )
+            scrape = fetch_metrics(f"{server.url}/metrics")
+            try:
+                lint_prometheus_text(scrape)
+            except ValueError as exc:
+                failures.append(f"scrape lint: {exc}")
+            view = MetricsView.from_text(scrape)
+            for family in REQUIRED_HISTOGRAMS:
+                if family not in view.histogram_counts:
+                    failures.append(f"histogram family missing: {family}")
+            if view.histogram_counts.get(
+                "repro_serve_query_latency_seconds", 0.0
+            ) <= 0:
+                failures.append("query latency histogram has no observations")
+            if report.hit_rate <= 0:
+                failures.append("concurrent workload saw no cache hits")
+            if slowlog_threshold_s <= 0 and not len(service.slowlog):
+                failures.append("slow-query log captured nothing at threshold 0")
+            payload = {
+                "scale": settings.scale,
+                "cube": config.name,
+                "threads": report.n_threads,
+                "queries": len(report.latencies_s),
+                "fig4_cold": {
+                    "backend": cold.backend,
+                    "cost_s": cold.cost_s,
+                    "elapsed_s": cold.elapsed_s,
+                    "sim_io_s": cold.sim_io_s,
+                },
+                "warm": {
+                    "cold_cost_s": warm.cold.cost_s,
+                    "warm_cost_s": warm.warm_cost_s,
+                    "hit_rate": warm.hit_rate,
+                    "speedup": warm.speedup,
+                },
+                "concurrent": {
+                    "p50_s": report.p50_s,
+                    "p95_s": report.p95_s,
+                    "p99_s": report.p99_s,
+                    "hit_rate": report.hit_rate,
+                },
+                "scrape": {
+                    "histogram_families": sorted(view.histogram_counts),
+                    "query_latency_observations": view.histogram_counts.get(
+                        "repro_serve_query_latency_seconds", 0.0
+                    ),
+                    # histogram count, not the counter: cold runs reset
+                    # counters, histograms keep their history
+                    "wal_fsyncs": view.histogram_counts.get(
+                        "repro_wal_fsync_seconds", 0.0
+                    ),
+                },
+                "counters": {
+                    name: value
+                    for name, value in sorted(report.stats.items())
+                },
+                "slowlog_entries": len(service.slowlog),
+                "failures": failures,
+            }
+        finally:
+            server.stop()
+            service.close()
+    return payload
+
+
+def write_artifact(payload: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")

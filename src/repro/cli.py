@@ -12,7 +12,18 @@ Commands:
 - ``storage`` — print the storage report for a synthetic cube.
 - ``bench`` — run one experiment's benchmark module via pytest.
 - ``serve`` — drive a concurrent mixed workload through the
-  `QueryService` and print cache-hit rate and p50/p95 latency.
+  `QueryService` and print cache-hit rate and p50/p95/p99 latency;
+  ``--metrics-port`` exposes the live ``/metrics`` / ``/healthz`` /
+  ``/slowlog`` endpoint while the workload runs.
+- ``obs-server`` — standalone observability endpoint over a trickle
+  workload (scrape target for ``repro top`` / Prometheus).
+- ``slowlog`` — dump the slow-query ring buffer as JSON, either from a
+  local synthetic workload or from a running endpoint (``--url``).
+- ``top`` — terminal dashboard (QPS, latency quantiles, cache hit
+  rates, WAL fsync latency) polled from a ``/metrics`` endpoint.
+- ``bench-smoke`` — the CI serving smoke: warm + concurrent run over a
+  file-backed WAL, scrape-endpoint lint, ``BENCH_serving.json``
+  artifact; non-zero exit on any regression.
 """
 
 from __future__ import annotations
@@ -178,34 +189,237 @@ def cmd_storage(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    import tempfile
+    import time
+
     settings = bench_settings(args.scale)
     config = dataset1(settings.scale)[1]  # the x100 cube
     print(
         f"building {config.name}: dims={config.dim_sizes} "
         f"valid={config.n_valid} ..."
     )
-    engine = build_cube_engine(config, settings)
     queries = [query1_for(config), query2_for(config), query3_for(config)]
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as wal_dir:
+        engine = build_cube_engine(config, settings, wal_dir=wal_dir)
 
-    warm = run_warm(engine, queries[0], backend="array")
-    print(
-        f"warm q1: cold={warm.cold.cost_s:.3f}s "
-        f"warm(p50)={warm.warm_cost_s * 1000:.3f}ms "
-        f"hit-rate={warm.hit_rate:.0%} speedup={warm.speedup:,.0f}x"
-    )
+        # run_warm owns a private single-worker service; it must finish
+        # (and unregister its serve:* sources) before the shared service
+        # below registers the same names.
+        warm = run_warm(engine, queries[0], backend="array")
+        print(
+            f"warm q1: cold={warm.cold.cost_s:.3f}s "
+            f"warm(p50)={warm.warm_cost_s * 1000:.3f}ms "
+            f"hit-rate={warm.hit_rate:.0%} speedup={warm.speedup:,.0f}x"
+        )
 
-    report = run_concurrent(
-        engine, queries, n_threads=args.threads, rounds=args.rounds
+        service = server = None
+        if args.metrics_port is not None:
+            from repro.obs.server import ObservabilityServer
+            from repro.serve import QueryService, ServiceConfig
+
+            service = QueryService(
+                engine,
+                ServiceConfig(
+                    max_workers=args.threads,
+                    max_in_flight=2 * args.threads * len(queries),
+                    slowlog_threshold_s=args.slow_threshold,
+                ),
+            )
+            server = ObservabilityServer(
+                engine.db.metrics, service=service, port=args.metrics_port
+            ).start()
+            print(
+                f"observability endpoint: {server.url}/metrics "
+                f"(also /healthz /slowlog /trace/<fingerprint>)"
+            )
+        try:
+            report = run_concurrent(
+                engine,
+                queries,
+                n_threads=args.threads,
+                rounds=args.rounds,
+                service=service,
+            )
+            print(
+                f"concurrent ({report.n_threads} threads, {args.rounds} rounds, "
+                f"{len(report.latencies_s)} queries): "
+                f"hit-rate={report.hit_rate:.0%} "
+                f"p50={report.p50_s * 1000:.3f}ms "
+                f"p95={report.p95_s * 1000:.3f}ms "
+                f"p99={report.p99_s * 1000:.3f}ms"
+            )
+            for name in sorted(report.stats):
+                if name.startswith(("result_cache", "chunk_cache", "serve")):
+                    print(f"    {name:<32} {report.stats[name]:>10,.0f}")
+            if service is not None:
+                print(
+                    f"slowlog: {len(service.slowlog)} entries "
+                    f"(threshold {args.slow_threshold * 1000:.0f}ms)"
+                )
+            if server is not None and args.linger > 0:
+                print(f"lingering {args.linger:.0f}s for scrapes ...")
+                time.sleep(args.linger)
+        finally:
+            if server is not None:
+                server.stop()
+            if service is not None:
+                service.close()
+    return 0
+
+
+def _obs_stack(args, slowlog_threshold_s: float):
+    """Build the (engine, queries, service) trio the obs commands share.
+
+    The engine runs over a file-backed WAL in a caller-owned temp dir so
+    fsync/commit histograms carry real observations.
+    """
+    from repro.serve import QueryService, ServiceConfig
+
+    settings = bench_settings(args.scale)
+    config = dataset1(settings.scale)[1]  # the x100 cube
+    engine = build_cube_engine(config, settings, wal_dir=args.wal_dir)
+    queries = [query1_for(config), query2_for(config), query3_for(config)]
+    service = QueryService(
+        engine,
+        ServiceConfig(
+            max_workers=args.threads,
+            max_in_flight=4 * args.threads * len(queries),
+            slowlog_threshold_s=slowlog_threshold_s,
+        ),
     )
+    return engine, queries, service
+
+
+def cmd_obs_server(args) -> int:
+    import tempfile
+    import threading
+    import time
+
+    from repro.obs.server import ObservabilityServer
+
+    with tempfile.TemporaryDirectory(prefix="repro-obs-") as wal_dir:
+        args.wal_dir = wal_dir
+        print("building workload cube ...")
+        engine, queries, service = _obs_stack(args, args.slow_threshold)
+        server = ObservabilityServer(
+            engine.db.metrics, service=service, port=args.port
+        ).start()
+        stop = threading.Event()
+
+        def trickle() -> None:
+            # round-robin the paper's three queries so every scrape sees
+            # fresh counters and latency observations
+            index = 0
+            while not stop.is_set():
+                try:
+                    service.execute(queries[index % len(queries)])
+                except Exception:
+                    pass  # degraded cube etc.; /healthz reports it
+                index += 1
+                stop.wait(args.think_time)
+
+        worker = threading.Thread(
+            target=trickle, name="repro-obs-trickle", daemon=True
+        )
+        worker.start()
+        print(
+            f"serving {server.url}/metrics /healthz /slowlog "
+            f"/trace/<fingerprint>"
+            + (f" for {args.duration:.0f}s" if args.duration else "")
+        )
+        try:
+            if args.duration:
+                time.sleep(args.duration)
+            else:
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:
+            print("\ninterrupted")
+        finally:
+            stop.set()
+            worker.join(timeout=5)
+            server.stop()
+            service.close()
+    return 0
+
+
+def cmd_slowlog(args) -> int:
+    if args.url:
+        from repro.obs.top import fetch_metrics
+
+        print(fetch_metrics(f"{args.url.rstrip('/')}/slowlog"))
+        return 0
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-slowlog-") as wal_dir:
+        args.wal_dir = wal_dir
+        engine, queries, service = _obs_stack(args, args.threshold)
+        try:
+            for _ in range(args.rounds):
+                for query in queries:
+                    service.execute(query)
+            print(service.slowlog.to_json())
+            print(
+                f"-- {len(service.slowlog)} entries captured at threshold "
+                f"{args.threshold * 1000:.1f}ms",
+                file=sys.stderr,
+            )
+        finally:
+            service.close()
+    return 0
+
+
+def cmd_top(args) -> int:
+    import time
+
+    from repro.obs.top import MetricsView, fetch_metrics, render_dashboard
+
+    url = f"{args.url.rstrip('/')}/metrics"
+    previous = None
+    iteration = 0
+    try:
+        while args.iterations == 0 or iteration < args.iterations:
+            if iteration:
+                time.sleep(args.interval)
+            current = MetricsView.from_text(fetch_metrics(url))
+            frame = render_dashboard(previous, current, args.interval)
+            if args.plain:
+                print(f"-- {url} @ {time.strftime('%H:%M:%S')}")
+                print(frame)
+            else:
+                print("\x1b[2J\x1b[H", end="")
+                print(f"repro top — {url} @ {time.strftime('%H:%M:%S')}\n")
+                print(frame)
+            previous = current
+            iteration += 1
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_bench_smoke(args) -> int:
+    from repro.bench.serving_smoke import run_serving_smoke, write_artifact
+
+    payload = run_serving_smoke(
+        scale=args.scale, n_threads=args.threads, rounds=args.rounds
+    )
+    write_artifact(payload, args.output)
+    concurrent = payload["concurrent"]
     print(
-        f"concurrent ({report.n_threads} threads, {args.rounds} rounds, "
-        f"{len(report.latencies_s)} queries): "
-        f"hit-rate={report.hit_rate:.0%} "
-        f"p50={report.p50_s * 1000:.3f}ms p95={report.p95_s * 1000:.3f}ms"
+        f"bench-smoke [{payload['scale']}]: "
+        f"p50={concurrent['p50_s'] * 1000:.3f}ms "
+        f"p95={concurrent['p95_s'] * 1000:.3f}ms "
+        f"p99={concurrent['p99_s'] * 1000:.3f}ms "
+        f"hit-rate={concurrent['hit_rate']:.0%} "
+        f"slowlog={payload['slowlog_entries']}"
     )
-    for name in sorted(report.stats):
-        if name.startswith(("result_cache", "chunk_cache", "serve")):
-            print(f"    {name:<32} {report.stats[name]:>10,.0f}")
+    print(f"artifact written to {args.output}")
+    if payload["failures"]:
+        for failure in payload["failures"]:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("scrape lint + histogram coverage: ok")
     return 0
 
 
@@ -316,8 +530,106 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--threads", type=int, default=8)
     serve.add_argument("--rounds", type=int, default=2)
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="expose /metrics /healthz /slowlog while the workload runs "
+        "(0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--linger",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="keep the metrics endpoint up S seconds after the workload",
+    )
+    serve.add_argument(
+        "--slow-threshold",
+        type=float,
+        default=0.25,
+        metavar="S",
+        help="slow-query log threshold in seconds (default 0.25)",
+    )
     _add_scale_argument(serve)
     serve.set_defaults(run=cmd_serve)
+
+    obs_server = commands.add_parser(
+        "obs-server",
+        help="standalone observability endpoint over a trickle workload",
+    )
+    obs_server.add_argument("--port", type=int, default=9100)
+    obs_server.add_argument(
+        "--duration",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="stop after S seconds (default: run until interrupted)",
+    )
+    obs_server.add_argument("--threads", type=int, default=2)
+    obs_server.add_argument(
+        "--think-time",
+        type=float,
+        default=0.2,
+        metavar="S",
+        help="pause between trickle queries (default 0.2s)",
+    )
+    obs_server.add_argument("--slow-threshold", type=float, default=0.25)
+    _add_scale_argument(obs_server)
+    obs_server.set_defaults(run=cmd_obs_server)
+
+    slowlog = commands.add_parser(
+        "slowlog", help="dump the slow-query ring buffer as JSON"
+    )
+    slowlog.add_argument(
+        "--url",
+        default=None,
+        help="fetch <url>/slowlog from a running endpoint instead of "
+        "running a local workload",
+    )
+    slowlog.add_argument(
+        "--threshold",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="capture threshold for the local workload (default 0: "
+        "profile everything)",
+    )
+    slowlog.add_argument("--threads", type=int, default=2)
+    slowlog.add_argument("--rounds", type=int, default=1)
+    _add_scale_argument(slowlog)
+    slowlog.set_defaults(run=cmd_slowlog)
+
+    top = commands.add_parser(
+        "top", help="terminal dashboard over a /metrics endpoint"
+    )
+    top.add_argument("--url", required=True, help="endpoint base URL")
+    top.add_argument("--interval", type=float, default=2.0)
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="frames to render (default 0: until interrupted)",
+    )
+    top.add_argument(
+        "--plain",
+        action="store_true",
+        help="append frames instead of clearing the screen",
+    )
+    top.set_defaults(run=cmd_top)
+
+    bench_smoke = commands.add_parser(
+        "bench-smoke",
+        help="CI serving smoke: workload + scrape lint + JSON artifact",
+    )
+    bench_smoke.add_argument(
+        "--output", default="BENCH_serving.json", metavar="FILE"
+    )
+    bench_smoke.add_argument("--threads", type=int, default=4)
+    bench_smoke.add_argument("--rounds", type=int, default=2)
+    _add_scale_argument(bench_smoke)
+    bench_smoke.set_defaults(run=cmd_bench_smoke)
 
     faultcheck = commands.add_parser(
         "faultcheck",

@@ -1,4 +1,4 @@
-"""Observability: query tracing and the central metrics registry.
+"""Observability: tracing, metrics, latency histograms, live endpoint.
 
 The paper's argument is a cost breakdown — chunk fetches vs. tuple
 fetches, B-tree probes vs. positional access — so the reproduction
@@ -8,16 +8,26 @@ carries a first-class accounting layer:
   instrumented call site asks :func:`get_tracer` for the active tracer;
   the default is a shared no-op whose spans cost one method call, so
   benchmark numbers are unaffected unless a real :class:`Tracer` is
-  installed (via :func:`tracing`).
+  installed (via :func:`tracing`, or per-thread via
+  :class:`thread_tracing`).
 - :mod:`repro.obs.registry` — a :class:`MetricsRegistry` into which
   every counter source (disk, buffer pool, WAL, fact files, OLAP
   arrays, per-query bags) registers.  A tracer bound to a registry
   snapshots it at span boundaries, so each span carries the simulated
-  I/O it caused.
+  I/O it caused.  Gauges and latency :class:`Histogram` distributions
+  ride along for the exporter.
+- :mod:`repro.obs.histogram` — fixed log-scale-bucket latency
+  histograms: lock-cheap ``observe``, mergeable, p50/p95/p99, JSON
+  round-trip, Prometheus ``_bucket``/``_sum``/``_count`` export.
+- :mod:`repro.obs.slowlog` — a ring buffer of profiled slow queries
+  (span tree + counter deltas + plan choice per entry).
 - :mod:`repro.obs.exporters` — JSON trace dump, text tree rendering,
-  and Prometheus-style text metrics.
+  Prometheus text exposition plus a parser/linter for it.
+- :mod:`repro.obs.server` — stdlib HTTP endpoint serving ``/metrics``,
+  ``/healthz``, ``/slowlog`` and ``/trace/<fingerprint>`` live.
 """
 
+from repro.obs.histogram import DEFAULT_BOUNDS, Histogram, quantile_from_buckets
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -26,9 +36,13 @@ from repro.obs.tracer import (
     Tracer,
     get_tracer,
     set_tracer,
+    thread_tracing,
     tracing,
 )
 from repro.obs.exporters import (
+    PromSample,
+    lint_prometheus_text,
+    parse_prometheus_text,
     prometheus_text,
     render_span_tree,
     span_from_dict,
@@ -36,20 +50,32 @@ from repro.obs.exporters import (
     trace_from_json,
     trace_to_json,
 )
+from repro.obs.slowlog import SlowQueryLog, SlowQueryRecord
+from repro.obs.server import ObservabilityServer
 
 __all__ = [
+    "DEFAULT_BOUNDS",
+    "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "ObservabilityServer",
+    "PromSample",
+    "SlowQueryLog",
+    "SlowQueryRecord",
     "Span",
     "Tracer",
     "get_tracer",
-    "set_tracer",
-    "tracing",
+    "lint_prometheus_text",
+    "parse_prometheus_text",
     "prometheus_text",
+    "quantile_from_buckets",
     "render_span_tree",
+    "set_tracer",
     "span_from_dict",
     "span_to_dict",
+    "thread_tracing",
     "trace_from_json",
     "trace_to_json",
+    "tracing",
 ]

@@ -16,25 +16,39 @@ two questions the harness and the tracer keep asking:
 Sources registered with a ``reset`` callable get that called instead of
 a plain counter reset — the simulated disk uses this to also forget its
 arm position.  Gauges (callables sampled at export time: pool residency,
-WAL size) ride along for the Prometheus exporter.
+WAL size) ride along for the Prometheus exporter, as do
+:class:`~repro.obs.histogram.Histogram` latency distributions, which
+are *cumulative*: :meth:`reset_all` (a per-query stat boundary) leaves
+them alone so the serving dashboard sees the whole process history.
+
+The registry itself is thread-safe: the 8-thread serving layer
+registers per-query scoped sources, samples gauges and scrapes
+snapshots concurrently, so every map mutation happens under one lock.
+:meth:`scoped` additionally uniquifies its source name — two queries
+in flight both registering ``"query"`` get distinct actual names
+instead of a spurious duplicate-source error.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable
 from contextlib import contextmanager
 
 from repro.errors import MetricsError
+from repro.obs.histogram import Histogram
 from repro.util.stats import Counters
 
 
 class MetricsRegistry:
-    """Named :class:`Counters` sources plus sampled gauges."""
+    """Named :class:`Counters` sources plus sampled gauges and histograms."""
 
     def __init__(self) -> None:
         self._sources: dict[str, Counters] = {}
         self._resets: dict[str, Callable[[], object] | None] = {}
         self._gauges: dict[str, Callable[[], float]] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.RLock()
 
     # -- sources -----------------------------------------------------------
 
@@ -49,18 +63,20 @@ class MetricsRegistry:
 
         ``reset`` overrides the boundary reset (default: zero the bag).
         """
-        if name in self._sources and not replace:
-            raise MetricsError(f"metrics source {name!r} already registered")
-        self._sources[name] = counters
-        self._resets[name] = reset
+        with self._lock:
+            if name in self._sources and not replace:
+                raise MetricsError(f"metrics source {name!r} already registered")
+            self._sources[name] = counters
+            self._resets[name] = reset
         return counters
 
     def unregister(self, name: str) -> None:
         """Remove one source (its counters stop contributing)."""
-        if name not in self._sources:
-            raise MetricsError(f"no metrics source named {name!r}")
-        del self._sources[name]
-        del self._resets[name]
+        with self._lock:
+            if name not in self._sources:
+                raise MetricsError(f"no metrics source named {name!r}")
+            del self._sources[name]
+            del self._resets[name]
 
     @contextmanager
     def scoped(self, name: str, counters: Counters):
@@ -68,24 +84,35 @@ class MetricsRegistry:
 
         The engine uses this to expose a query's private counter bag
         (``chunks_read``, ``btree_probes``, ...) to the tracer while the
-        query runs.
+        query runs.  When ``name`` is already taken — two queries in
+        flight — a uniquified ``name#N`` is used, so concurrent scoped
+        sources never collide.
         """
-        self.register(name, counters)
+        with self._lock:
+            actual = name
+            serial = 2
+            while actual in self._sources:
+                actual = f"{name}#{serial}"
+                serial += 1
+            self._sources[actual] = counters
+            self._resets[actual] = None
         try:
             yield counters
         finally:
-            self.unregister(name)
+            self.unregister(actual)
 
     def counters(self, name: str) -> Counters:
         """The registered bag for ``name``."""
-        try:
-            return self._sources[name]
-        except KeyError:
-            raise MetricsError(f"no metrics source named {name!r}") from None
+        with self._lock:
+            try:
+                return self._sources[name]
+            except KeyError:
+                raise MetricsError(f"no metrics source named {name!r}") from None
 
     def source_names(self) -> list[str]:
         """All registered source names, sorted."""
-        return sorted(self._sources)
+        with self._lock:
+            return sorted(self._sources)
 
     # -- gauges ------------------------------------------------------------
 
@@ -93,20 +120,80 @@ class MetricsRegistry:
         self, name: str, fn: Callable[[], float], replace: bool = False
     ) -> None:
         """Register a point-in-time sampled value (e.g. pool residency)."""
-        if name in self._gauges and not replace:
-            raise MetricsError(f"gauge {name!r} already registered")
-        self._gauges[name] = fn
+        with self._lock:
+            if name in self._gauges and not replace:
+                raise MetricsError(f"gauge {name!r} already registered")
+            self._gauges[name] = fn
 
     def gauge_values(self) -> dict[str, float]:
         """Sample every gauge now."""
-        return {name: float(fn()) for name, fn in sorted(self._gauges.items())}
+        with self._lock:
+            gauges = sorted(self._gauges.items())
+        return {name: float(fn()) for name, fn in gauges}
+
+    # -- histograms --------------------------------------------------------
+
+    def register_histogram(
+        self,
+        name: str,
+        histogram: Histogram | None = None,
+        replace: bool = False,
+    ) -> Histogram:
+        """Register (or create) a latency histogram under ``name``.
+
+        With ``replace=True`` an existing histogram under the same name
+        is *kept* (and returned) when the caller did not supply one —
+        re-registration at e.g. service restart must not discard the
+        process's latency history.
+        """
+        with self._lock:
+            existing = self._histograms.get(name)
+            if existing is not None and not replace:
+                raise MetricsError(f"histogram {name!r} already registered")
+            if histogram is None:
+                histogram = existing if existing is not None else Histogram()
+            self._histograms[name] = histogram
+        return histogram
+
+    def histogram(self, name: str) -> Histogram:
+        """The registered histogram for ``name``."""
+        with self._lock:
+            try:
+                return self._histograms[name]
+            except KeyError:
+                raise MetricsError(f"no histogram named {name!r}") from None
+
+    def histogram_names(self) -> list[str]:
+        """All registered histogram names, sorted."""
+        with self._lock:
+            return sorted(self._histograms)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation, creating the histogram on first use.
+
+        The instrumentation convenience: call sites do not need to
+        thread a :class:`Histogram` handle around, just a registry.
+        """
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+        histogram.observe(value)
+
+    def histogram_snapshots(self) -> dict[str, dict]:
+        """Per-histogram :meth:`Histogram.to_dict` payloads, by name."""
+        with self._lock:
+            items = sorted(self._histograms.items())
+        return {name: histogram.to_dict() for name, histogram in items}
 
     # -- collection --------------------------------------------------------
 
     def merged(self) -> Counters:
         """A fresh bag holding every source's counters summed by name."""
+        with self._lock:
+            sources = list(self._sources.values())
         total = Counters()
-        for counters in self._sources.values():
+        for counters in sources:
             total.merge(counters)
         return total
 
@@ -116,16 +203,22 @@ class MetricsRegistry:
 
     def snapshot_by_source(self) -> dict[str, dict[str, float]]:
         """Per-source snapshots, keyed by source name (empty ones kept)."""
-        return {
-            name: self._sources[name].snapshot()
-            for name in sorted(self._sources)
-        }
+        with self._lock:
+            items = sorted(self._sources.items())
+        return {name: counters.snapshot() for name, counters in items}
 
     def reset_all(self) -> dict[str, float]:
-        """Zero every source; returns the pre-reset merged snapshot."""
+        """Zero every counter source; returns the pre-reset merged snapshot.
+
+        Histograms and gauges are left untouched: they are cumulative
+        serving telemetry, not per-run cost accounting.
+        """
         before = self.merged_snapshot()
-        for name, counters in self._sources.items():
-            reset = self._resets[name]
+        with self._lock:
+            items = list(self._sources.items())
+            resets = dict(self._resets)
+        for name, counters in items:
+            reset = resets[name]
             if reset is not None:
                 reset()
             else:

@@ -1,0 +1,195 @@
+"""The live observability endpoint: stdlib HTTP over the registry.
+
+``ObservabilityServer`` serves four routes from a daemon thread:
+
+- ``/metrics``  — the registry in Prometheus exposition text format
+  (counters, gauges, and latency histograms as ``_bucket``/``_sum``/
+  ``_count`` series);
+- ``/healthz``  — JSON liveness: ``ok`` (HTTP 200) or ``degraded``
+  (HTTP 503) with the degraded cube list, in-flight depth and recovery
+  counters, read from an attached
+  :class:`~repro.serve.service.QueryService`;
+- ``/slowlog``  — the slow-query ring buffer as JSON;
+- ``/trace/<fingerprint>`` — the most recent captured profile (span
+  tree + counter deltas + plan choice) for one query fingerprint.
+
+Everything is read-only and stdlib-only (``http.server``), so the
+endpoint works in the bare CI container and maps 1:1 onto a real
+Prometheus + probe deployment.  Bind to port 0 to get an ephemeral
+port (tests do); the bound port is available as :attr:`port` after
+:meth:`start`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING
+
+from repro.obs.exporters import prometheus_text
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slowlog import SlowQueryLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve.service import QueryService
+
+
+class ObservabilityServer:
+    """Serves ``/metrics``, ``/healthz``, ``/slowlog`` and ``/trace/*``."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        service: "QueryService | None" = None,
+        slowlog: SlowQueryLog | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        prefix: str = "repro",
+    ):
+        self.registry = registry
+        self.service = service
+        if slowlog is None and service is not None:
+            slowlog = getattr(service, "slowlog", None)
+        self.slowlog = slowlog
+        self.host = host
+        self.prefix = prefix
+        self._requested_port = port
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- route payloads ------------------------------------------------------
+
+    def metrics_payload(self) -> str:
+        """The Prometheus text for the current registry state."""
+        return prometheus_text(self.registry, prefix=self.prefix)
+
+    def health_payload(self) -> tuple[int, dict]:
+        """``(http_status, body)`` for ``/healthz``."""
+        if self.service is None:
+            return 200, {"status": "ok", "service": "detached"}
+        degraded = self.service.degraded_cubes()
+        body = {
+            "status": "degraded" if degraded else "ok",
+            "degraded_cubes": degraded,
+            "in_flight": self.service.in_flight,
+            "recoveries": self.service.counters.get("serve.recoveries"),
+            "degradations": self.service.counters.get("serve.degradations"),
+        }
+        return (503 if degraded else 200), body
+
+    def slowlog_payload(self) -> list[dict]:
+        if self.slowlog is None:
+            return []
+        return [entry.to_dict() for entry in self.slowlog.entries()]
+
+    def trace_payload(self, fingerprint: str) -> dict | None:
+        if self.slowlog is None:
+            return None
+        entry = self.slowlog.find(fingerprint)
+        return entry.to_dict() if entry is not None else None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ObservabilityServer":
+        """Bind and serve from a daemon thread; returns ``self``."""
+        if self._httpd is not None:
+            return self
+        endpoint = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args) -> None:  # silence per-request noise
+                pass
+
+            def _send(
+                self, status: int, body: bytes, content_type: str
+            ) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def _send_json(self, status: int, payload) -> None:
+                body = json.dumps(payload, indent=2).encode("utf-8")
+                self._send(status, body, "application/json; charset=utf-8")
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0].rstrip("/") or "/"
+                try:
+                    if path == "/metrics":
+                        body = endpoint.metrics_payload().encode("utf-8")
+                        self._send(
+                            200, body, "text/plain; version=0.0.4; charset=utf-8"
+                        )
+                    elif path == "/healthz":
+                        status, payload = endpoint.health_payload()
+                        self._send_json(status, payload)
+                    elif path == "/slowlog":
+                        self._send_json(200, endpoint.slowlog_payload())
+                    elif path.startswith("/trace/"):
+                        fingerprint = path[len("/trace/") :]
+                        payload = endpoint.trace_payload(fingerprint)
+                        if payload is None:
+                            self._send_json(
+                                404,
+                                {"error": f"no trace for {fingerprint!r}"},
+                            )
+                        else:
+                            self._send_json(200, payload)
+                    else:
+                        self._send_json(
+                            404,
+                            {
+                                "error": f"unknown route {path!r}",
+                                "routes": [
+                                    "/metrics",
+                                    "/healthz",
+                                    "/slowlog",
+                                    "/trace/<fingerprint>",
+                                ],
+                            },
+                        )
+                except BrokenPipeError:  # pragma: no cover - client went away
+                    pass
+
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), Handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`)."""
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running endpoint."""
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self) -> None:
+        """Shut the listener down and join the serving thread."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "ObservabilityServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,178 @@
+"""``repro top``: a terminal dashboard over the ``/metrics`` endpoint.
+
+The dashboard is a thin Prometheus *client*: it polls the scrape
+endpoint, parses the exposition text with
+:func:`~repro.obs.exporters.parse_prometheus_text`, and derives the
+serving headlines — QPS from counter deltas between polls, latency
+quantiles from the ``_bucket`` series via
+:func:`~repro.obs.histogram.quantile_from_buckets`, cache hit rates,
+WAL fsync latency.  Everything here works on exposition text alone, so
+the rendering is testable without a live HTTP server and works against
+any endpoint that speaks the format.
+"""
+
+from __future__ import annotations
+
+import math
+import urllib.request
+from dataclasses import dataclass, field
+
+from repro.obs.exporters import PromSample, parse_prometheus_text
+from repro.obs.histogram import quantile_from_buckets
+
+
+def fetch_metrics(url: str, timeout_s: float = 5.0) -> str:
+    """GET one scrape; returns the exposition text."""
+    with urllib.request.urlopen(url, timeout=timeout_s) as response:
+        return response.read().decode("utf-8")
+
+
+@dataclass
+class MetricsView:
+    """One scrape, aggregated for dashboard math.
+
+    Counters are summed across their ``source`` labels (the registry
+    exports one sample per source); histograms keep per-``le``
+    cumulative counts plus ``_sum``/``_count``.
+    """
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    #: name -> {le_string: cumulative count}
+    histogram_buckets: dict[str, dict[str, float]] = field(default_factory=dict)
+    histogram_sums: dict[str, float] = field(default_factory=dict)
+    histogram_counts: dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_text(cls, text: str) -> "MetricsView":
+        samples, types = parse_prometheus_text(text)
+        view = cls()
+        for sample in samples:
+            view._ingest(sample, types)
+        return view
+
+    def _ingest(self, sample: PromSample, types: dict[str, str]) -> None:
+        name = sample.name
+        if name.endswith("_bucket") and "le" in sample.labels:
+            base = name[: -len("_bucket")]
+            buckets = self.histogram_buckets.setdefault(base, {})
+            le = sample.labels["le"]
+            buckets[le] = buckets.get(le, 0.0) + sample.value
+            return
+        if name.endswith("_sum") and types.get(name[: -len("_sum")]) == "histogram":
+            base = name[: -len("_sum")]
+            self.histogram_sums[base] = (
+                self.histogram_sums.get(base, 0.0) + sample.value
+            )
+            return
+        if (
+            name.endswith("_count")
+            and types.get(name[: -len("_count")]) == "histogram"
+        ):
+            base = name[: -len("_count")]
+            self.histogram_counts[base] = (
+                self.histogram_counts.get(base, 0.0) + sample.value
+            )
+            return
+        if name.endswith("_total"):
+            base = name[: -len("_total")]
+            self.counters[base] = self.counters.get(base, 0.0) + sample.value
+            return
+        self.gauges[name] = sample.value
+
+    # -- derived quantities --------------------------------------------------
+
+    def counter(self, base: str) -> float:
+        """Summed counter value for a base metric name (0 if absent)."""
+        return self.counters.get(base, 0.0)
+
+    def gauge(self, name: str) -> float:
+        return self.gauges.get(name, 0.0)
+
+    def quantile(self, histogram: str, q: float) -> float:
+        """Latency quantile from the scraped cumulative buckets."""
+        buckets = self.histogram_buckets.get(histogram)
+        if not buckets:
+            return 0.0
+        finite = sorted(
+            (float(le), cumulative)
+            for le, cumulative in buckets.items()
+            if le != "+Inf"
+        )
+        bounds = tuple(le for le, _ in finite)
+        # de-cumulate: quantile_from_buckets wants per-bucket counts,
+        # with one trailing overflow bucket
+        cumulative_counts = [count for _, count in finite]
+        total = buckets.get("+Inf", cumulative_counts[-1] if finite else 0.0)
+        counts, previous = [], 0.0
+        for value in cumulative_counts:
+            counts.append(value - previous)
+            previous = value
+        counts.append(total - previous)
+        return quantile_from_buckets(bounds, counts, q)
+
+    def hit_rate(self, hits: str, misses: str) -> float:
+        """``hits / (hits + misses)`` over two counter base names."""
+        h, m = self.counter(hits), self.counter(misses)
+        return h / (h + m) if (h + m) else 0.0
+
+
+def qps(previous: MetricsView, current: MetricsView, interval_s: float) -> float:
+    """Admitted queries per second between two scrapes."""
+    if interval_s <= 0:
+        return 0.0
+    delta = current.counter("repro_serve_admitted") - previous.counter(
+        "repro_serve_admitted"
+    )
+    return max(0.0, delta / interval_s)
+
+
+def _fmt_ms(seconds: float) -> str:
+    if not math.isfinite(seconds):
+        return "inf"
+    return f"{seconds * 1000:8.3f}ms"
+
+
+def render_dashboard(
+    previous: MetricsView | None,
+    current: MetricsView,
+    interval_s: float,
+    prefix: str = "repro",
+) -> str:
+    """One dashboard frame as plain text."""
+    q = f"{prefix}_serve_query_latency_seconds"
+    lines = []
+    rate = qps(previous, current, interval_s) if previous is not None else 0.0
+    lines.append(
+        f"qps {rate:8.1f}   in-flight {current.gauge(f'{prefix}_serve_in_flight'):4.0f}   "
+        f"degraded cubes {current.gauge(f'{prefix}_serve_degraded_cubes'):2.0f}   "
+        f"slowlog {current.gauge(f'{prefix}_serve_slowlog_entries'):3.0f}"
+    )
+    lines.append(
+        f"query latency  p50 {_fmt_ms(current.quantile(q, 0.50))}  "
+        f"p95 {_fmt_ms(current.quantile(q, 0.95))}  "
+        f"p99 {_fmt_ms(current.quantile(q, 0.99))}  "
+        f"({current.histogram_counts.get(q, 0.0):,.0f} obs)"
+    )
+    wait = f"{prefix}_serve_queue_wait_seconds"
+    lines.append(
+        f"queue wait     p50 {_fmt_ms(current.quantile(wait, 0.50))}  "
+        f"p95 {_fmt_ms(current.quantile(wait, 0.95))}"
+    )
+    lines.append(
+        "cache hit-rate result "
+        f"{current.hit_rate(f'{prefix}_result_cache_hits', f'{prefix}_result_cache_misses'):6.1%}"
+        "   chunk "
+        f"{current.hit_rate(f'{prefix}_chunk_cache_hits', f'{prefix}_chunk_cache_misses'):6.1%}"
+        "   pool "
+        f"{current.gauge(f'{prefix}_pool_hit_rate'):6.1%}"
+    )
+    fsync = f"{prefix}_wal_fsync_seconds"
+    if current.histogram_counts.get(fsync):
+        lines.append(
+            f"wal fsync      p50 {_fmt_ms(current.quantile(fsync, 0.50))}  "
+            f"p99 {_fmt_ms(current.quantile(fsync, 0.99))}  "
+            f"fsyncs {current.counter(f'{prefix}_wal_fsyncs'):,.0f}  "
+            f"segments {current.gauge(f'{prefix}_wal_segments'):.0f}"
+        )
+    return "\n".join(lines)

@@ -138,10 +138,13 @@ class _LiveSpan:
         tracer = self._tracer
         span = self._span
         stack = tracer._stack
-        if stack:
-            stack[-1].children.append(span)
-        else:
-            with tracer._roots_lock:
+        # span-tree mutation happens under the tracer's tree lock: the
+        # 8-thread serving layer shares one tracer, and a root append
+        # must never race another thread's child append mid-resize
+        with tracer._tree_lock:
+            if stack:
+                stack[-1].children.append(span)
+            else:
                 tracer.roots.append(span)
         stack.append(span)
         if tracer.registry is not None:
@@ -185,7 +188,7 @@ class Tracer:
         self.registry = registry
         self.roots: list[Span] = []
         self._local = threading.local()
-        self._roots_lock = threading.Lock()
+        self._tree_lock = threading.Lock()
 
     @property
     def _stack(self) -> list[Span]:
@@ -207,15 +210,24 @@ class Tracer:
 NULL_TRACER = NullTracer()
 
 _active: Tracer | NullTracer = NULL_TRACER
+_thread_active = threading.local()
 
 
 def get_tracer() -> Tracer | NullTracer:
-    """The active tracer (the no-op singleton unless one is installed)."""
+    """The active tracer for this thread.
+
+    A thread-local override (see :class:`thread_tracing`) wins over the
+    process-wide tracer installed with :func:`set_tracer`; the default
+    is the no-op singleton.
+    """
+    override = getattr(_thread_active, "tracer", None)
+    if override is not None:
+        return override
     return _active
 
 
 def set_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
-    """Install ``tracer`` as the active tracer (``None`` = disable)."""
+    """Install ``tracer`` as the process-wide tracer (``None`` = disable)."""
     global _active
     _active = tracer if tracer is not None else NULL_TRACER
     return _active
@@ -239,3 +251,26 @@ class tracing:
 
     def __exit__(self, *exc_info) -> None:
         set_tracer(self._previous)
+
+
+class thread_tracing:
+    """Install a tracer for a ``with`` block on *this thread only*.
+
+    The serving layer's worker threads use this to capture each query's
+    span tree for the slow-query log without racing a process-wide
+    :func:`set_tracer` against the other seven workers.  Inside the
+    block, this thread's :func:`get_tracer` returns ``tracer``; other
+    threads are unaffected.
+    """
+
+    def __init__(self, tracer: Tracer | NullTracer):
+        self.tracer = tracer
+        self._previous: Tracer | NullTracer | None = None
+
+    def __enter__(self) -> Tracer | NullTracer:
+        self._previous = getattr(_thread_active, "tracer", None)
+        _thread_active.tracer = self.tracer
+        return self.tracer
+
+    def __exit__(self, *exc_info) -> None:
+        _thread_active.tracer = self._previous

@@ -31,11 +31,14 @@ backends plug in without editing ``engine.py``::
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.core.consolidate import ConsolidationSpec, consolidate
+from repro.obs.tracer import get_tracer
 from repro.core.select_consolidate import Selection, consolidate_with_selection
 from repro.errors import PlanError
 from repro.olap.star_schema import (
@@ -71,6 +74,22 @@ class BackendContext:
     counters: Counters
     mode: str = "interpreted"
     order: str = "chunk"
+
+    @contextmanager
+    def phase(self, name: str, **attrs):
+        """Time one consolidation phase.
+
+        Opens a tracer span (so slow-query profiles carry the phase
+        tree) and records the duration into the engine registry's
+        ``engine.phase.<name>_seconds`` histogram — the per-phase
+        latency series on ``/metrics``.
+        """
+        start = time.perf_counter()
+        with get_tracer().span(name, **attrs) as span:
+            yield span
+        self.engine.db.metrics.observe(
+            f"engine.phase.{name}_seconds", time.perf_counter() - start
+        )
 
     def result(
         self, rows: list[tuple], backend: str, mode: str = "interpreted"
@@ -203,25 +222,28 @@ class ArrayBackend(Backend):
             for sel in query.selections
         ]
         if selections:
-            result = consolidate_with_selection(
-                array,
-                specs,
-                selections,
-                aggregate=query.aggregate,
-                mode=ctx.mode,
-                order=ctx.order,
-                counters=ctx.counters,
-            )
+            with ctx.phase("consolidate_with_selection", mode=ctx.mode):
+                result = consolidate_with_selection(
+                    array,
+                    specs,
+                    selections,
+                    aggregate=query.aggregate,
+                    mode=ctx.mode,
+                    order=ctx.order,
+                    counters=ctx.counters,
+                )
         else:
-            result = consolidate(
-                array,
-                specs,
-                aggregate=query.aggregate,
-                mode=ctx.mode,
-                counters=ctx.counters,
-            )
-        rows = engine._project_measures(state, query, result.rows)
-        rows = engine._reorder_array_rows(state, query, rows)
+            with ctx.phase("consolidate", mode=ctx.mode):
+                result = consolidate(
+                    array,
+                    specs,
+                    aggregate=query.aggregate,
+                    mode=ctx.mode,
+                    counters=ctx.counters,
+                )
+        with ctx.phase("project_rows"):
+            rows = engine._project_measures(state, query, result.rows)
+            rows = engine._reorder_array_rows(state, query, rows)
         return ctx.result(rows, self.name, mode=ctx.mode)
 
 
@@ -235,19 +257,21 @@ class StarjoinBackend(Backend):
 
     def execute(self, ctx, query):
         engine, state = ctx.engine, ctx.state
-        key_sets = engine._selection_key_sets(state, query)
+        with ctx.phase("selection_key_sets"):
+            key_sets = engine._selection_key_sets(state, query)
         key_filters = {
             state.schema.dimension(d).key: allowed
             for d, allowed in key_sets.items()
         }
-        rows = star_join_consolidate(
-            state.fact,
-            engine._group_specs(state, query),
-            engine._query_measures(state, query),
-            aggregate=query.aggregate,
-            counters=ctx.counters,
-            key_filters=key_filters or None,
-        )
+        with ctx.phase("star_join"):
+            rows = star_join_consolidate(
+                state.fact,
+                engine._group_specs(state, query),
+                engine._query_measures(state, query),
+                aggregate=query.aggregate,
+                counters=ctx.counters,
+                key_filters=key_filters or None,
+            )
         return ctx.result(rows, self.name)
 
 
@@ -267,31 +291,33 @@ class BitmapBackend(Backend):
         engine, state = ctx.engine, ctx.state
         schema = state.schema
         selections = []
-        for sel in query.selections:
-            if (sel.dimension, sel.attribute) not in state.bitmap_attrs:
-                raise PlanError(
-                    f"no bitmap index on {sel.dimension}.{sel.attribute}; "
-                    "load with bitmap_attrs covering it"
+        with ctx.phase("bitmap_lookup"):
+            for sel in query.selections:
+                if (sel.dimension, sel.attribute) not in state.bitmap_attrs:
+                    raise PlanError(
+                        f"no bitmap index on {sel.dimension}.{sel.attribute}; "
+                        "load with bitmap_attrs covering it"
+                    )
+                index = engine.db.bitmap(
+                    bitmap_index_name(schema, sel.dimension, sel.attribute)
                 )
-            index = engine.db.bitmap(
-                bitmap_index_name(schema, sel.dimension, sel.attribute)
+                if sel.is_range:
+                    # one B-tree range scan over the bitmap value directory,
+                    # OR-ing the qualifying values' bitmaps
+                    selections.append(
+                        (index, index.bitmap_for_range(sel.low, sel.high))
+                    )
+                else:
+                    selections.append((index, list(sel.values)))
+        with ctx.phase("bitmap_select"):
+            rows = bitmap_select_consolidate(
+                state.fact,
+                engine._group_specs(state, query),
+                selections,
+                engine._query_measures(state, query),
+                aggregate=query.aggregate,
+                counters=ctx.counters,
             )
-            if sel.is_range:
-                # one B-tree range scan over the bitmap value directory,
-                # OR-ing the qualifying values' bitmaps
-                selections.append(
-                    (index, index.bitmap_for_range(sel.low, sel.high))
-                )
-            else:
-                selections.append((index, list(sel.values)))
-        rows = bitmap_select_consolidate(
-            state.fact,
-            engine._group_specs(state, query),
-            selections,
-            engine._query_measures(state, query),
-            aggregate=query.aggregate,
-            counters=ctx.counters,
-        )
         return ctx.result(rows, self.name)
 
 
@@ -312,7 +338,8 @@ class BTreeBackend(Backend):
         if not query.selections:
             raise PlanError("the btree backend needs at least one selection")
         schema = state.schema
-        key_sets = engine._selection_key_sets(state, query)
+        with ctx.phase("selection_key_sets"):
+            key_sets = engine._selection_key_sets(state, query)
         selections = []
         for dim_name, allowed in key_sets.items():
             if dim_name not in state.btree_dims:
@@ -322,14 +349,15 @@ class BTreeBackend(Backend):
                 )
             tree = engine.db.btree(btree_index_name(schema, dim_name))
             selections.append((tree, sorted(allowed)))
-        rows = btree_select_consolidate(
-            state.fact,
-            engine._group_specs(state, query),
-            selections,
-            engine._query_measures(state, query),
-            aggregate=query.aggregate,
-            counters=ctx.counters,
-        )
+        with ctx.phase("btree_select"):
+            rows = btree_select_consolidate(
+                state.fact,
+                engine._group_specs(state, query),
+                selections,
+                engine._query_measures(state, query),
+                aggregate=query.aggregate,
+                counters=ctx.counters,
+            )
         return ctx.result(rows, self.name)
 
 
@@ -350,25 +378,29 @@ class MBTreeBackend(Backend):
         if not query.selections:
             raise PlanError("the mbtree backend needs at least one selection")
         schema = state.schema
-        key_sets = engine._selection_key_sets(state, query)
-        allowed = []
-        for dim in schema.dimensions:
-            if dim.name in key_sets:
-                allowed.append(sorted(key_sets[dim.name]))
-            else:
-                table = state.dim_tables[dim.name]
-                key_pos = table.schema.index_of(dim.key)
-                allowed.append(sorted(row[key_pos] for row in table.scan()))
+        with ctx.phase("selection_key_sets"):
+            key_sets = engine._selection_key_sets(state, query)
+            allowed = []
+            for dim in schema.dimensions:
+                if dim.name in key_sets:
+                    allowed.append(sorted(key_sets[dim.name]))
+                else:
+                    table = state.dim_tables[dim.name]
+                    key_pos = table.schema.index_of(dim.key)
+                    allowed.append(
+                        sorted(row[key_pos] for row in table.scan())
+                    )
         tree = engine.db.btree(mbtree_index_name(schema))
-        rows = mbtree_select_consolidate(
-            state.fact,
-            engine._group_specs(state, query),
-            tree,
-            allowed,
-            engine._query_measures(state, query),
-            aggregate=query.aggregate,
-            counters=ctx.counters,
-        )
+        with ctx.phase("mbtree_select"):
+            rows = mbtree_select_consolidate(
+                state.fact,
+                engine._group_specs(state, query),
+                tree,
+                allowed,
+                engine._query_measures(state, query),
+                aggregate=query.aggregate,
+                counters=ctx.counters,
+            )
         return ctx.result(rows, self.name)
 
 
@@ -412,7 +444,9 @@ class LeftDeepBackend(Backend):
             aggregate=query.aggregate,
         )
         ctx.counters.add("leftdeep_joins", len(dim_scans))
-        return ctx.result(list(plan), self.name)
+        with ctx.phase("leftdeep_pipeline", joins=len(dim_scans)):
+            rows = list(plan)
+        return ctx.result(rows, self.name)
 
 
 _BUILTIN_NAMES = (

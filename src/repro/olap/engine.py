@@ -41,7 +41,7 @@ from repro.olap.model import CubeSchema
 from repro.olap.planner import (
     DEFAULT_CROSSOVER_SELECTIVITY,
     PlannerInputs,
-    choose_backend,
+    choose_backend_explained,
 )
 from repro.olap.query import ConsolidationQuery
 from repro.olap.star_schema import (
@@ -385,8 +385,9 @@ class OlapEngine:
         state = self.cube(query.cube)
         query.validate(state.schema)
         available = state.available_backends()
+        planner_reason = "explicit"
         if backend == "auto":
-            backend = choose_backend(
+            backend, planner_reason = choose_backend_explained(
                 PlannerInputs(
                     has_array="array" in available,
                     has_bitmaps="bitmap" in available,
@@ -422,7 +423,11 @@ class OlapEngine:
         )
         with self.db.metrics.scoped("query", counters):
             with get_tracer().span(
-                "query", cube=query.cube, backend=backend, mode=result_mode
+                "query",
+                cube=query.cube,
+                backend=backend,
+                mode=result_mode,
+                planner_reason=planner_reason,
             ):
                 with self.db.locks.locked(
                     query.cube, "S", f"query-{id(query)}"
@@ -430,6 +435,10 @@ class OlapEngine:
                     with Timer() as timer:
                         result = impl.execute(ctx, query)
             stats = self.db.metrics.merged_snapshot()
+        self.db.metrics.observe("engine.query_seconds", timer.elapsed)
+        self.db.metrics.observe(
+            f"engine.backend.{backend}_seconds", timer.elapsed
+        )
         result.elapsed_s = timer.elapsed
         result.sim_io_s = self.db.sim_io_seconds()
         result.stats = stats

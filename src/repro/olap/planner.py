@@ -32,6 +32,38 @@ class PlannerInputs:
     has_range_selections: bool = False
 
 
+def choose_backend_explained(
+    inputs: PlannerInputs,
+    crossover_selectivity: float = DEFAULT_CROSSOVER_SELECTIVITY,
+) -> tuple[str, str]:
+    """:func:`choose_backend` plus the *reason* for the choice.
+
+    The reason string is a short stable token ("no-selections",
+    "below-crossover", ...) recorded on the query span and in slow-query
+    profiles, so a tail-latency investigation can see which planner rule
+    fired without re-deriving the selectivity estimate.
+    """
+    if not inputs.has_selections:
+        if inputs.has_array:
+            return "array", "no-selections"
+        return "starjoin", "no-selections-no-array"
+    if not inputs.has_array:
+        if inputs.has_bitmaps and not inputs.has_range_selections:
+            return "bitmap", "no-array"
+        return "starjoin", "no-array-range-or-no-bitmaps"
+    if (
+        inputs.has_bitmaps
+        and not inputs.has_range_selections
+        and inputs.estimated_selectivity < crossover_selectivity
+    ):
+        return "bitmap", (
+            f"below-crossover"
+            f" (S={inputs.estimated_selectivity:.2g}"
+            f" < {crossover_selectivity:g})"
+        )
+    return "array", "above-crossover"
+
+
 def choose_backend(
     inputs: PlannerInputs,
     crossover_selectivity: float = DEFAULT_CROSSOVER_SELECTIVITY,
@@ -47,19 +79,7 @@ def choose_backend(
       bitmap index cannot serve ``BETWEEN`` without enumerating the
       whole domain).
     """
-    if not inputs.has_selections:
-        return "array" if inputs.has_array else "starjoin"
-    if not inputs.has_array:
-        if inputs.has_bitmaps and not inputs.has_range_selections:
-            return "bitmap"
-        return "starjoin"
-    if (
-        inputs.has_bitmaps
-        and not inputs.has_range_selections
-        and inputs.estimated_selectivity < crossover_selectivity
-    ):
-        return "bitmap"
-    return "array"
+    return choose_backend_explained(inputs, crossover_selectivity)[0]
 
 
 def require_backend_available(backend: str, available: set[str]) -> None:

@@ -65,16 +65,22 @@ class Database:
         self.fm.create(_CATALOG_FILE)
 
     def _build_metrics(self) -> MetricsRegistry:
-        """Register every storage-stack counter source and gauge."""
+        """Register every storage-stack counter source, gauge and
+        latency histogram."""
         metrics = MetricsRegistry()
         metrics.register("disk", self.disk.counters, reset=self.disk.reset_stats)
         metrics.register("pool", self.pool.counters, reset=self.pool.reset_stats)
         metrics.register_gauge("pool_resident_pages", self.pool.resident_pages)
         metrics.register_gauge("pool_hit_rate", self.pool.hit_rate)
         metrics.register_gauge("disk_used_bytes", self.disk.used_bytes)
+        for name, histogram in self.pool.histograms.items():
+            metrics.register_histogram(name, histogram)
         if self.wal is not None:
             metrics.register("wal", self.wal.counters)
             metrics.register_gauge("wal_size_bytes", self.wal.size_bytes)
+            metrics.register_gauge("wal_segments", self.wal.segment_count)
+            for name, histogram in self.wal.histograms.items():
+                metrics.register_histogram(name, histogram)
         return metrics
 
     @classmethod

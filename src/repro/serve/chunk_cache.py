@@ -18,9 +18,11 @@ in-tree consumer already does.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
+from repro.obs.histogram import Histogram
 from repro.util.stats import Counters
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -39,6 +41,13 @@ class ChunkCache:
             raise ValueError(f"max_chunks must be positive, got {max_chunks}")
         self.max_chunks = max_chunks
         self.counters = Counters()
+        #: lookup = whole get_chunk (hit or miss, including I/O-lock
+        #: wait); decode = the serialized disk read + codec decode on a
+        #: miss.  Registered by ``QueryService._register_metrics``.
+        self.histograms: dict[str, Histogram] = {
+            "chunk_cache.lookup_seconds": Histogram(),
+            "chunk_cache.decode_seconds": Histogram(),
+        }
         self._entries: OrderedDict[tuple[str, int], object] = OrderedDict()
         self._lock = threading.RLock()
         self._io_lock = threading.Lock()
@@ -50,11 +59,15 @@ class ChunkCache:
     def get_chunk(self, array: "OLAPArray", chunk_no: int):
         """The decoded chunk, from cache or via one serialized disk read."""
         key = (array.name, chunk_no)
+        lookup_start = time.perf_counter()
         with self._lock:
             hit = self._entries.get(key)
             if hit is not None:
                 self._entries.move_to_end(key)
                 self.counters.add("chunk_cache.hits")
+                self.histograms["chunk_cache.lookup_seconds"].observe(
+                    time.perf_counter() - lookup_start
+                )
                 return hit
         with self._io_lock:
             # double-check: another thread may have filled it while we
@@ -64,8 +77,15 @@ class ChunkCache:
                 if hit is not None:
                     self._entries.move_to_end(key)
                     self.counters.add("chunk_cache.hits")
+                    self.histograms["chunk_cache.lookup_seconds"].observe(
+                        time.perf_counter() - lookup_start
+                    )
                     return hit
+            decode_start = time.perf_counter()
             chunk = array._read_chunk_direct(chunk_no)
+            self.histograms["chunk_cache.decode_seconds"].observe(
+                time.perf_counter() - decode_start
+            )
             with self._lock:
                 self.counters.add("chunk_cache.misses")
                 self._entries[key] = chunk
@@ -73,6 +93,9 @@ class ChunkCache:
                 while len(self._entries) > self.max_chunks:
                     self._entries.popitem(last=False)
                     self.counters.add("chunk_cache.evictions")
+        self.histograms["chunk_cache.lookup_seconds"].observe(
+            time.perf_counter() - lookup_start
+        )
         return chunk
 
     def invalidate_chunk(self, array_name: str, chunk_no: int) -> None:

@@ -44,7 +44,8 @@ from repro.errors import (
     RetryExhaustedError,
     TransientError,
 )
-from repro.obs.tracer import get_tracer
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.tracer import Tracer, get_tracer, thread_tracing
 from repro.olap.engine import OlapEngine, QueryResult
 from repro.olap.query import ConsolidationQuery
 from repro.serve.chunk_cache import ChunkCache
@@ -75,6 +76,15 @@ class ServiceConfig:
     retry_base_s: float = 0.001
     #: backoff ceiling, seconds
     retry_cap_s: float = 0.05
+    #: end-to-end latency beyond which a query's profile is captured
+    #: into the slow-query log
+    slowlog_threshold_s: float = 0.25
+    #: ring-buffer capacity of the slow-query log, in entries
+    slowlog_capacity: int = 64
+    #: run every query under a per-thread tracer so slow ones capture
+    #: their full span tree; disable to shave the per-span registry
+    #: snapshots off the hot path (slowlog entries then carry no trace)
+    profile_queries: bool = True
 
 
 class QueryService:
@@ -93,6 +103,10 @@ class QueryService:
         self.results = ResultCache(self.config.result_cache_size)
         self.chunks = ChunkCache(self.config.chunk_cache_chunks)
         self.counters = Counters()
+        self.slowlog = SlowQueryLog(
+            capacity=self.config.slowlog_capacity,
+            threshold_s=self.config.slowlog_threshold_s,
+        )
         self._engine_lock = threading.RLock()
         self._admission_lock = threading.Lock()
         self._in_flight = 0
@@ -134,6 +148,25 @@ class QueryService:
             "serve.degraded_cubes", lambda: float(len(self._degraded)),
             replace=True,
         )
+        registry.register_gauge(
+            "serve.slowlog_entries", lambda: float(len(self.slowlog)),
+            replace=True,
+        )
+        # replace=True with no histogram supplied *keeps* an existing
+        # histogram, so a service restarted over the same engine
+        # continues the process's latency history
+        self._histograms = {
+            name: registry.register_histogram(name, replace=True)
+            for name in (
+                "serve.query_latency_seconds",
+                "serve.queue_wait_seconds",
+                "serve.cache_lookup_seconds",
+                "serve.admission_depth",
+                "serve.recovery_seconds",
+            )
+        }
+        for name, histogram in self.chunks.histograms.items():
+            registry.register_histogram(name, histogram, replace=True)
 
     def stats(self) -> dict[str, float]:
         """Cumulative service + cache counters, merged."""
@@ -185,8 +218,12 @@ class QueryService:
                     f"{self.config.max_in_flight})"
                 )
             self._in_flight += 1
+            depth = self._in_flight
         self.counters.add("serve.admitted")
-        return self._pool.submit(self._run, query, backend, mode, order)
+        self._histograms["serve.admission_depth"].observe(float(depth))
+        return self._pool.submit(
+            self._run, query, backend, mode, order, time.perf_counter()
+        )
 
     def execute(
         self,
@@ -198,21 +235,64 @@ class QueryService:
         """Admit one query and wait for its result."""
         return self.submit(query, backend, mode, order).result()
 
-    def _run(self, query, backend, mode, order) -> QueryResult:
+    def _run(self, query, backend, mode, order, admitted_s) -> QueryResult:
+        start = time.perf_counter()
+        self._histograms["serve.queue_wait_seconds"].observe(
+            start - admitted_s
+        )
+        fingerprint = query_fingerprint(query, backend, mode, order)
+        tracer: Tracer | None = None
         try:
-            return self._execute(query, backend, mode, order)
+            if self.config.profile_queries:
+                tracer = Tracer(registry=self.engine.db.metrics)
+                with thread_tracing(tracer):
+                    result = self._execute(
+                        query, backend, mode, order, fingerprint
+                    )
+            else:
+                result = self._execute(query, backend, mode, order, fingerprint)
+            latency = time.perf_counter() - start
+            self._note_latency(
+                latency, query, backend, fingerprint, result, tracer
+            )
+            return result
         finally:
+            self._histograms["serve.query_latency_seconds"].observe(
+                time.perf_counter() - start
+            )
             with self._admission_lock:
                 self._in_flight -= 1
 
-    def _execute(self, query, backend, mode, order) -> QueryResult:
+    def _note_latency(
+        self, latency, query, requested_backend, fingerprint, result, tracer
+    ) -> None:
+        """Feed one finished query into the slow-query log."""
+        if not self.slowlog.should_capture(latency):
+            return
+        entry = self.slowlog.record(
+            fingerprint=fingerprint,
+            cube=query.cube,
+            backend=result.backend,
+            latency_s=latency,
+            roots=tracer.roots if tracer is not None else None,
+            cache="hit" if result.stats.get("result_cache_hit") else "miss",
+            requested_backend=requested_backend,
+        )
+        if entry is not None:
+            self.counters.add("serve.slow_queries")
+
+    def _execute(
+        self, query, backend, mode, order, fingerprint=None
+    ) -> QueryResult:
         cube = query.cube
-        fingerprint = query_fingerprint(query, backend, mode, order)
+        if fingerprint is None:
+            fingerprint = query_fingerprint(query, backend, mode, order)
         tracer = get_tracer()
         with Timer() as timer:
             cached = self.results.get(
                 cube, fingerprint, self.engine.cube_generation(cube)
             )
+        self._histograms["serve.cache_lookup_seconds"].observe(timer.elapsed)
         if cached is not None:
             with tracer.span(
                 "serve_query", cube=cube, cache="hit", backend=cached.backend
@@ -236,6 +316,9 @@ class QueryService:
             with Timer() as timer:
                 generation = self.engine.cube_generation(cube)
                 cached = self.results.get(cube, fingerprint, generation)
+            self._histograms["serve.cache_lookup_seconds"].observe(
+                timer.elapsed
+            )
             if cached is not None:
                 with tracer.span(
                     "serve_query", cube=cube, cache="hit", backend=cached.backend
@@ -351,6 +434,7 @@ class QueryService:
         db = self.engine.db
         state = self.engine.cube(cube)  # validates the name
         tracer = get_tracer()
+        start = time.perf_counter()
         with self._engine_lock:
             with tracer.span("recover_cube", cube=cube):
                 replayed = 0
@@ -366,6 +450,9 @@ class QueryService:
                 self.counters.add("serve.recoveries")
                 if replayed:
                     self.counters.add("serve.pages_replayed", replayed)
+        self._histograms["serve.recovery_seconds"].observe(
+            time.perf_counter() - start
+        )
         return replayed
 
     # -- write path --------------------------------------------------------

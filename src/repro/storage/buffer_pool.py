@@ -18,10 +18,12 @@ all frames, and WAL replay restores every committed write.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.errors import BufferPoolError, PageError
+from repro.obs.histogram import Histogram
 from repro.storage.crashpoints import crash_point
 from repro.storage.disk import SimulatedDisk
 from repro.storage.wal import WriteAheadLog
@@ -51,6 +53,11 @@ class BufferPool:
         self.capacity_frames = max(1, capacity_bytes // disk.page_size)
         self.wal = wal
         self.counters = Counters()
+        #: eviction latency (victim scan + dirty write-back); registered
+        #: into the database's MetricsRegistry by ``_build_metrics``
+        self.histograms: dict[str, Histogram] = {
+            "pool.evict_seconds": Histogram(),
+        }
         self._frames: OrderedDict[int, _Frame] = OrderedDict()
 
     # -- core access --------------------------------------------------------
@@ -140,6 +147,7 @@ class BufferPool:
 
     def _make_room(self) -> None:
         while len(self._frames) >= self.capacity_frames:
+            start = time.perf_counter()
             victim_id = None
             for page_id, frame in self._frames.items():  # LRU order
                 if self._evictable(frame):
@@ -157,6 +165,9 @@ class BufferPool:
                 self.disk.write_page(victim_id, bytes(frame.data))
             else:
                 self.counters.add("pool_evict_clean")
+            self.histograms["pool.evict_seconds"].observe(
+                time.perf_counter() - start
+            )
 
     def flush_all(self) -> None:
         """Write every dirty frame to disk (frames stay resident)."""

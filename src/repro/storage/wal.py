@@ -35,10 +35,12 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 
 from repro.errors import CorruptWALError, TruncatedWALError, WALError
+from repro.obs.histogram import Histogram
 from repro.storage.crashpoints import crash_point
 from repro.util.stats import Counters
 
@@ -113,6 +115,15 @@ class WriteAheadLog:
         self.path = path
         self.segment_bytes = segment_bytes
         self.counters = Counters()
+        #: latency distributions, registered into the database's
+        #: MetricsRegistry by ``Database._build_metrics`` (the WAL has
+        #: no registry handle of its own)
+        self.histograms: dict[str, Histogram] = {
+            "wal.append_seconds": Histogram(),
+            "wal.fsync_seconds": Histogram(),
+            "wal.commit_seconds": Histogram(),
+            "wal.recovery_seconds": Histogram(),
+        }
         #: set by the tail scan when a torn final record was discarded
         self.torn_tail_detected = False
         self._buffer = bytearray()  # full decoded-log mirror
@@ -265,9 +276,14 @@ class WriteAheadLog:
         lands whole in one file and rollover happens between batches.
         """
         handle = self._current_handle()
+        start = time.perf_counter()
         handle.write(data)
         handle.flush()
         os.fsync(handle.fileno())
+        self.histograms["wal.fsync_seconds"].observe(
+            time.perf_counter() - start
+        )
+        self.counters.add("wal_fsyncs")
         self.counters.add("wal_synced_bytes", len(data))
         if handle.tell() >= self.segment_bytes:
             self._roll_segment()
@@ -276,10 +292,14 @@ class WriteAheadLog:
 
     def _append(self, kind: int, page_id: int, image: bytes) -> int:
         crash_point("wal.append")
+        start = time.perf_counter()
         record = LogRecord(self._next_lsn, kind, page_id, image)
         encoded = record.encode()
         self._buffer += encoded
         self._next_lsn += 1
+        self.histograms["wal.append_seconds"].observe(
+            time.perf_counter() - start
+        )
         self.counters.add("wal_records")
         self.counters.add("wal_bytes", len(encoded))
         if kind == _KIND_COMMIT:
@@ -297,8 +317,12 @@ class WriteAheadLog:
         survives a crash.
         """
         crash_point("wal.commit")
+        start = time.perf_counter()
         lsn = self._append(_KIND_COMMIT, 0, b"")
         self.sync()
+        self.histograms["wal.commit_seconds"].observe(
+            time.perf_counter() - start
+        )
         return lsn
 
     def sync(self) -> None:
@@ -371,6 +395,12 @@ class WriteAheadLog:
     def size_bytes(self) -> int:
         """Current encoded size of the log."""
         return len(self._buffer)
+
+    def segment_count(self) -> int:
+        """Number of segment files on disk (0 for an in-memory log)."""
+        if self.path is None:
+            return 0
+        return len(self._segment_files())
 
     # -- checkpointing -----------------------------------------------------
 
@@ -447,6 +477,7 @@ def recover(disk, wal: WriteAheadLog) -> int:
     and a later recovery would replay aborted writes.  Returns the
     number of pages replayed.
     """
+    start = time.perf_counter()
     wal.discard_uncommitted_tail()
     records = wal.records()
     replayed = 0
@@ -462,4 +493,8 @@ def recover(disk, wal: WriteAheadLog) -> int:
         disk.write_page(page_id, image)
         replayed += 1
     wal.counters.add("wal_pages_replayed", replayed)
+    wal.counters.add("wal_recoveries")
+    wal.histograms["wal.recovery_seconds"].observe(
+        time.perf_counter() - start
+    )
     return replayed

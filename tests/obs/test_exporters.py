@@ -82,8 +82,16 @@ class TestPrometheus:
         assert "# TYPE repro_pool_hit_rate gauge" in text
         assert "repro_pool_hit_rate 0.5" in text
 
-    def test_source_names_sanitized(self):
+    def test_source_names_escaped_not_sanitized(self):
+        # label *values* carry the source name verbatim (the exposition
+        # format allows any UTF-8 there); only metric names get sanitized
         registry = MetricsRegistry()
         registry.register("fact:ds1.fact", Counters()).add("gets", 1)
         text = prometheus_text(registry)
-        assert 'source="fact:ds1_fact"' in text  # '.' swapped, ':' legal
+        assert 'source="fact:ds1.fact"' in text
+
+    def test_label_values_escape_specials(self):
+        registry = MetricsRegistry()
+        registry.register('we"ird\\nam\ne', Counters()).add("gets", 1)
+        text = prometheus_text(registry)
+        assert 'source="we\\"ird\\\\nam\\ne"' in text

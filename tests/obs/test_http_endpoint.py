@@ -1,0 +1,149 @@
+"""The observability HTTP endpoint: routes, status codes, payloads."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import ObservabilityServer, SlowQueryLog
+from repro.obs.exporters import lint_prometheus_text
+from repro.obs.registry import MetricsRegistry
+from repro.util.stats import Counters
+
+
+def _get(url: str):
+    """``(status, content_type, body_text)`` for one GET."""
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return (
+                response.status,
+                response.headers.get("Content-Type", ""),
+                response.read().decode("utf-8"),
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, error.headers.get("Content-Type", ""), error.read().decode(
+            "utf-8"
+        )
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    counters = Counters()
+    counters.add("requests", 7)
+    registry.register("svc", counters)
+    registry.register_gauge("svc.depth", lambda: 3.0)
+    for value in (0.001, 0.01, 0.25):
+        registry.observe("svc.latency_seconds", value)
+    return registry
+
+
+class TestRoutes:
+    def test_metrics_route_serves_lintable_exposition_text(self, registry):
+        with ObservabilityServer(registry) as server:
+            status, content_type, body = _get(f"{server.url}/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        lint_prometheus_text(body)
+        assert 'repro_requests_total{source="svc"} 7' in body
+        assert "repro_svc_latency_seconds_bucket" in body
+        assert "repro_svc_latency_seconds_count 3" in body
+
+    def test_ephemeral_port_binding(self, registry):
+        with ObservabilityServer(registry, port=0) as server:
+            assert server.port != 0
+            assert str(server.port) in server.url
+
+    def test_healthz_detached_reports_ok(self, registry):
+        with ObservabilityServer(registry) as server:
+            status, _, body = _get(f"{server.url}/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload == {"status": "ok", "service": "detached"}
+
+    def test_slowlog_route_empty_without_log(self, registry):
+        with ObservabilityServer(registry) as server:
+            status, _, body = _get(f"{server.url}/slowlog")
+        assert status == 200
+        assert json.loads(body) == []
+
+    def test_slowlog_and_trace_routes(self, registry):
+        slowlog = SlowQueryLog(threshold_s=0.0)
+        slowlog.record("fp123", "cube", "array", latency_s=0.5)
+        with ObservabilityServer(registry, slowlog=slowlog) as server:
+            status, _, body = _get(f"{server.url}/slowlog")
+            assert status == 200
+            entries = json.loads(body)
+            assert len(entries) == 1
+            assert entries[0]["fingerprint"] == "fp123"
+
+            status, _, body = _get(f"{server.url}/trace/fp123")
+            assert status == 200
+            assert json.loads(body)["backend"] == "array"
+
+            status, _, body = _get(f"{server.url}/trace/unknown")
+            assert status == 404
+            assert "no trace" in json.loads(body)["error"]
+
+    def test_unknown_route_404_lists_routes(self, registry):
+        with ObservabilityServer(registry) as server:
+            status, _, body = _get(f"{server.url}/nope")
+        assert status == 404
+        payload = json.loads(body)
+        assert "/metrics" in payload["routes"]
+        assert "/healthz" in payload["routes"]
+
+    def test_query_string_and_trailing_slash_ignored(self, registry):
+        with ObservabilityServer(registry) as server:
+            status, _, _ = _get(f"{server.url}/metrics/?debug=1")
+            assert status == 200
+            status, _, _ = _get(f"{server.url}/healthz/")
+            assert status == 200
+
+
+class _StubService:
+    """Just enough QueryService surface for the health probe."""
+
+    def __init__(self, degraded):
+        self._degraded = degraded
+        self.in_flight = 2
+        self.counters = Counters()
+        self.counters.add("serve.recoveries", 1)
+
+    def degraded_cubes(self):
+        return list(self._degraded)
+
+
+class TestHealth:
+    def test_degraded_service_reports_503(self, registry):
+        server = ObservabilityServer(registry, service=_StubService(["cube_a"]))
+        with server:
+            status, _, body = _get(f"{server.url}/healthz")
+        assert status == 503
+        payload = json.loads(body)
+        assert payload["status"] == "degraded"
+        assert payload["degraded_cubes"] == ["cube_a"]
+        assert payload["in_flight"] == 2
+
+    def test_healthy_service_reports_200(self, registry):
+        with ObservabilityServer(registry, service=_StubService([])) as server:
+            status, _, body = _get(f"{server.url}/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+
+class TestLifecycle:
+    def test_stop_is_idempotent_and_start_restarts(self, registry):
+        server = ObservabilityServer(registry)
+        server.start()
+        first_port = server.port
+        assert _get(f"{server.url}/healthz")[0] == 200
+        server.stop()
+        server.stop()  # second stop is a no-op
+        server.start()
+        try:
+            assert _get(f"{server.url}/healthz")[0] == 200
+        finally:
+            server.stop()
+        assert first_port != 0

@@ -1,0 +1,96 @@
+"""Dashboard math: parsing a scrape back into quantiles, QPS, hit rates.
+
+``repro top`` never sees registry objects — only exposition text — so
+these tests round-trip: observe into a real registry, export with
+:func:`prometheus_text`, parse with :class:`MetricsView`, and check the
+derived numbers agree with the source histograms.
+"""
+
+import pytest
+
+from repro.obs.exporters import prometheus_text
+from repro.obs.registry import MetricsRegistry
+from repro.obs.top import MetricsView, qps, render_dashboard
+from repro.util.stats import Counters
+
+
+def _registry(admitted: int = 40) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    serve = Counters()
+    serve.add("serve.admitted", admitted)
+    serve.add("result_cache.hits", 30)
+    serve.add("result_cache.misses", 10)
+    registry.register("serve:service", serve)
+    registry.register_gauge("serve.in_flight", lambda: 4.0)
+    for i in range(100):
+        registry.observe("serve.query_latency_seconds", 0.0001 * (i + 1))
+    return registry
+
+
+class TestMetricsView:
+    def test_counters_summed_across_sources(self):
+        registry = _registry()
+        other = Counters()
+        other.add("serve.admitted", 2)
+        registry.register("serve:other", other)
+        view = MetricsView.from_text(prometheus_text(registry))
+        assert view.counter("repro_serve_admitted") == 42.0
+
+    def test_gauges_and_missing_names(self):
+        view = MetricsView.from_text(prometheus_text(_registry()))
+        assert view.gauge("repro_serve_in_flight") == 4.0
+        assert view.counter("repro_nope") == 0.0
+        assert view.gauge("repro_nope") == 0.0
+        assert view.quantile("repro_nope", 0.5) == 0.0
+
+    def test_quantiles_survive_the_text_round_trip(self):
+        """Scraped-and-parsed quantiles equal the source histogram's."""
+        registry = _registry()
+        histogram = registry.histogram("serve.query_latency_seconds")
+        view = MetricsView.from_text(prometheus_text(registry))
+        name = "repro_serve_query_latency_seconds"
+        assert view.histogram_counts[name] == 100.0
+        assert view.histogram_sums[name] == pytest.approx(histogram.sum)
+        for q in (0.5, 0.95, 0.99):
+            assert view.quantile(name, q) == pytest.approx(
+                histogram.quantile(q)
+            )
+
+    def test_hit_rate(self):
+        view = MetricsView.from_text(prometheus_text(_registry()))
+        assert view.hit_rate(
+            "repro_result_cache_hits", "repro_result_cache_misses"
+        ) == pytest.approx(0.75)
+        assert view.hit_rate("repro_none_hits", "repro_none_misses") == 0.0
+
+
+class TestQps:
+    def test_qps_from_counter_delta(self):
+        before = MetricsView.from_text(prometheus_text(_registry(40)))
+        after = MetricsView.from_text(prometheus_text(_registry(100)))
+        assert qps(before, after, interval_s=2.0) == pytest.approx(30.0)
+
+    def test_qps_never_negative_and_zero_interval_safe(self):
+        before = MetricsView.from_text(prometheus_text(_registry(100)))
+        after = MetricsView.from_text(prometheus_text(_registry(40)))
+        assert qps(before, after, interval_s=2.0) == 0.0
+        assert qps(before, after, interval_s=0.0) == 0.0
+
+
+class TestRender:
+    def test_dashboard_frame_headlines(self):
+        view = MetricsView.from_text(prometheus_text(_registry()))
+        frame = render_dashboard(None, view, interval_s=1.0)
+        assert "query latency" in frame
+        assert "p50" in frame and "p95" in frame and "p99" in frame
+        assert "in-flight    4" in frame
+        assert "result  75.0%" in frame
+        # no WAL observations in this registry: the fsync line is absent
+        assert "wal fsync" not in frame
+
+    def test_dashboard_includes_wal_line_when_observed(self):
+        registry = _registry()
+        registry.observe("wal.fsync_seconds", 0.002)
+        view = MetricsView.from_text(prometheus_text(registry))
+        frame = render_dashboard(None, view, interval_s=1.0)
+        assert "wal fsync" in frame
