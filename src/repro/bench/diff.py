@@ -1,0 +1,119 @@
+"""Compare two ``bench-smoke`` artifacts and flag latency regressions.
+
+``repro bench-diff A.json B.json`` reads two ``BENCH_serving.json``
+payloads (``A`` the baseline, ``B`` the candidate — typically the
+previous CI run's archived artifact and the current one) and reports
+the movement of the headline serving numbers.  The gate is the
+concurrent p95: a ratio above ``--max-p95-regress`` (default 1.3) is a
+regression and the CLI exits non-zero, so a serving slowdown fails the
+job even when every unit test passes.
+
+Comparisons are guarded against degenerate baselines: latencies under
+``MIN_COMPARABLE_S`` (clock-resolution noise at tiny scales) are
+reported but never gated on, and artifacts from different scales refuse
+to gate at all — an apples-to-oranges pass would be worse than no gate.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: baselines below this are clock noise, not a gateable measurement
+MIN_COMPARABLE_S = 1e-6
+
+#: default ceiling on candidate_p95 / baseline_p95
+DEFAULT_MAX_P95_REGRESS = 1.3
+
+
+def load_artifact(path: str) -> dict:
+    """Read one ``BENCH_serving.json``; raises ``ValueError`` on shape."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "concurrent" not in payload:
+        raise ValueError(f"{path}: not a bench-smoke artifact")
+    return payload
+
+
+def _ratio_line(name: str, base: float, new: float, unit: str = "ms") -> str:
+    scale = 1000.0 if unit == "ms" else 1.0
+    if base > MIN_COMPARABLE_S:
+        movement = f"x{new / base:.2f}"
+    else:
+        movement = "(baseline too small to compare)"
+    return (
+        f"{name:<24} {base * scale:>10.3f}{unit} -> "
+        f"{new * scale:>10.3f}{unit}  {movement}"
+    )
+
+
+def diff_artifacts(
+    base: dict,
+    new: dict,
+    max_p95_regress: float = DEFAULT_MAX_P95_REGRESS,
+) -> tuple[list[str], list[str]]:
+    """``(report_lines, failures)`` for two artifact payloads.
+
+    ``failures`` is empty when the candidate passes the p95 gate (and
+    the artifacts are comparable at all).
+    """
+    lines: list[str] = []
+    failures: list[str] = []
+    base_scale = base.get("scale")
+    new_scale = new.get("scale")
+    lines.append(
+        f"baseline: scale={base_scale} threads={base.get('threads')} "
+        f"queries={base.get('queries')}"
+    )
+    lines.append(
+        f"candidate: scale={new_scale} threads={new.get('threads')} "
+        f"queries={new.get('queries')}"
+    )
+    if base_scale != new_scale:
+        failures.append(
+            f"scale mismatch: baseline {base_scale!r} vs "
+            f"candidate {new_scale!r} — not comparable"
+        )
+        return lines + [f"FAIL: {failures[-1]}"], failures
+
+    base_conc = base["concurrent"]
+    new_conc = new["concurrent"]
+    for name in ("p50_s", "p95_s", "p99_s"):
+        lines.append(
+            _ratio_line(
+                f"concurrent.{name}",
+                float(base_conc.get(name, 0.0)),
+                float(new_conc.get(name, 0.0)),
+            )
+        )
+    lines.append(
+        f"{'concurrent.hit_rate':<24} {base_conc.get('hit_rate', 0.0):>10.1%}"
+        f"   -> {new_conc.get('hit_rate', 0.0):>10.1%}"
+    )
+    if "fig4_cold" in base and "fig4_cold" in new:
+        lines.append(
+            _ratio_line(
+                "fig4_cold.cost_s",
+                float(base["fig4_cold"].get("cost_s", 0.0)),
+                float(new["fig4_cold"].get("cost_s", 0.0)),
+                unit="s",
+            )
+        )
+
+    base_p95 = float(base_conc.get("p95_s", 0.0))
+    new_p95 = float(new_conc.get("p95_s", 0.0))
+    if base_p95 > MIN_COMPARABLE_S:
+        ratio = new_p95 / base_p95
+        if ratio > max_p95_regress:
+            failures.append(
+                f"concurrent p95 regressed x{ratio:.2f} "
+                f"({base_p95 * 1000:.3f}ms -> {new_p95 * 1000:.3f}ms), "
+                f"limit x{max_p95_regress:.2f}"
+            )
+            lines.append(f"FAIL: {failures[-1]}")
+        else:
+            lines.append(
+                f"p95 gate: x{ratio:.2f} <= x{max_p95_regress:.2f} ok"
+            )
+    else:
+        lines.append("p95 gate: baseline under resolution, skipped")
+    return lines, failures

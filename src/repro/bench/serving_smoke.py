@@ -151,3 +151,47 @@ def write_artifact(payload: dict, path: str) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
+
+
+def archive_artifact(payload: dict, results_dir: str) -> str:
+    """Keep a timestamped copy under ``results_dir``; returns its path.
+
+    ``bench-smoke`` archives every run as
+    ``results_dir/BENCH_serving.<scale>.<UTC timestamp>.json`` so later
+    runs have baselines for ``repro bench-diff`` without any CI cache
+    plumbing — the newest earlier artifact of the same scale *is* the
+    baseline.
+    """
+    import os
+    import time
+
+    os.makedirs(results_dir, exist_ok=True)
+    stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+    name = f"BENCH_serving.{payload.get('scale', 'unknown')}.{stamp}.json"
+    path = os.path.join(results_dir, name)
+    # same-second reruns (tests) must not clobber the earlier artifact
+    serial = 0
+    while os.path.exists(path):
+        serial += 1
+        path = os.path.join(results_dir, f"{name[:-5]}.{serial}.json")
+    write_artifact(payload, path)
+    return path
+
+
+def latest_artifact(results_dir: str, scale: str | None = None) -> str | None:
+    """Newest archived artifact path (optionally of one scale), if any."""
+    import os
+
+    if not os.path.isdir(results_dir):
+        return None
+    prefix = (
+        f"BENCH_serving.{scale}." if scale is not None else "BENCH_serving."
+    )
+    paths = [
+        os.path.join(results_dir, name)
+        for name in os.listdir(results_dir)
+        if name.startswith(prefix) and name.endswith(".json")
+    ]
+    # mtime, not name: same-second serial suffixes sort lexically
+    # *before* the plain stamp, so a name sort would pick the older run
+    return max(paths, key=os.path.getmtime) if paths else None

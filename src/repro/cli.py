@@ -8,6 +8,12 @@ Commands:
   machine-readable report).
 - ``trace`` — run one query cold with the span tracer on and print the
   nested phase tree with per-phase I/O counter deltas.
+- ``explain`` — EXPLAIN / EXPLAIN ANALYZE one of the paper's queries:
+  the backend's plan tree with per-node cost estimates, and with
+  ``--analyze`` the measured actuals, misestimate factors and (for the
+  array backend) the chunk heatmap delta; ``--json`` for the machine
+  shape, ``--validate SCHEMA`` to check it against the checked-in
+  schema (the CI explain-smoke does).
 - ``sql`` — run one SQL-subset statement against a synthetic cube.
 - ``storage`` — print the storage report for a synthetic cube.
 - ``bench`` — run one experiment's benchmark module via pytest.
@@ -23,7 +29,10 @@ Commands:
   rates, WAL fsync latency) polled from a ``/metrics`` endpoint.
 - ``bench-smoke`` — the CI serving smoke: warm + concurrent run over a
   file-backed WAL, scrape-endpoint lint, ``BENCH_serving.json``
-  artifact; non-zero exit on any regression.
+  artifact (plus a timestamped copy under ``benchmarks/results/``);
+  non-zero exit on any regression.
+- ``bench-diff`` — compare two bench-smoke artifacts and exit non-zero
+  when the concurrent p95 regressed past ``--max-p95-regress``.
 """
 
 from __future__ import annotations
@@ -158,6 +167,39 @@ def cmd_trace(args) -> int:
         with open(args.prom, "w", encoding="utf-8") as handle:
             handle.write(prometheus_text(engine.db.metrics))
         print(f"-- metrics written to {args.prom}")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    from repro.obs.explain import render_plan
+
+    settings = bench_settings(args.scale)
+    config = dataset1(settings.scale)[1]  # the x100 cube
+    query = _TRACE_QUERIES[args.query](config)
+    engine = build_cube_engine(config, settings, fact_btrees=True)
+    plan = engine.explain(
+        query,
+        backend=args.backend,
+        mode=args.mode,
+        order=args.order,
+        analyze=args.analyze,
+    )
+    payload = plan.to_dict()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_plan(plan))
+    if args.validate:
+        from repro.util.jsonschema_lite import SchemaError, validate
+
+        with open(args.validate, encoding="utf-8") as handle:
+            schema = json.load(handle)
+        try:
+            validate(payload, schema)
+        except SchemaError as exc:
+            print(f"FAIL: schema validation: {exc}", file=sys.stderr)
+            return 1
+        print(f"-- payload validates against {args.validate}", file=sys.stderr)
     return 0
 
 
@@ -399,7 +441,11 @@ def cmd_top(args) -> int:
 
 
 def cmd_bench_smoke(args) -> int:
-    from repro.bench.serving_smoke import run_serving_smoke, write_artifact
+    from repro.bench.serving_smoke import (
+        archive_artifact,
+        run_serving_smoke,
+        write_artifact,
+    )
 
     payload = run_serving_smoke(
         scale=args.scale, n_threads=args.threads, rounds=args.rounds
@@ -415,12 +461,32 @@ def cmd_bench_smoke(args) -> int:
         f"slowlog={payload['slowlog_entries']}"
     )
     print(f"artifact written to {args.output}")
+    if args.results_dir:
+        archived = archive_artifact(payload, args.results_dir)
+        print(f"archived to {archived}")
     if payload["failures"]:
         for failure in payload["failures"]:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
     print("scrape lint + histogram coverage: ok")
     return 0
+
+
+def cmd_bench_diff(args) -> int:
+    from repro.bench.diff import diff_artifacts, load_artifact
+
+    try:
+        base = load_artifact(args.baseline)
+        candidate = load_artifact(args.candidate)
+    except (OSError, ValueError) as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    lines, failures = diff_artifacts(
+        base, candidate, max_p95_regress=args.max_p95_regress
+    )
+    for line in lines:
+        print(line)
+    return 1 if failures else 0
 
 
 def cmd_faultcheck(args) -> int:
@@ -508,6 +574,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scale_argument(trace)
     trace.set_defaults(run=cmd_trace)
+
+    explain = commands.add_parser(
+        "explain",
+        help="EXPLAIN / EXPLAIN ANALYZE one query: plan tree with "
+        "estimates, actuals and misestimate factors",
+    )
+    explain.add_argument("query", choices=sorted(_TRACE_QUERIES))
+    explain.add_argument("--backend", default="auto")
+    explain.add_argument(
+        "--mode", default="interpreted", choices=("interpreted", "vectorized")
+    )
+    explain.add_argument("--order", default="chunk", choices=("chunk", "naive"))
+    explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help="run the query and attach measured actuals to every node",
+    )
+    explain.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the plan as JSON instead of the text tree",
+    )
+    explain.add_argument(
+        "--validate",
+        metavar="SCHEMA",
+        help="validate the JSON payload against a schema file "
+        "(see benchmarks/schemas/explain_plan.schema.json)",
+    )
+    _add_scale_argument(explain)
+    explain.set_defaults(run=cmd_explain)
 
     sql = commands.add_parser("sql", help="run a SQL statement on a synthetic cube")
     sql.add_argument("statement", help="SELECT ... FROM fact, dimX ... GROUP BY ...")
@@ -628,8 +724,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_smoke.add_argument("--threads", type=int, default=4)
     bench_smoke.add_argument("--rounds", type=int, default=2)
+    bench_smoke.add_argument(
+        "--results-dir",
+        default="benchmarks/results",
+        metavar="DIR",
+        help="also archive a timestamped copy here for later bench-diff "
+        "runs (empty string disables archiving)",
+    )
     _add_scale_argument(bench_smoke)
     bench_smoke.set_defaults(run=cmd_bench_smoke)
+
+    bench_diff = commands.add_parser(
+        "bench-diff",
+        help="compare two bench-smoke artifacts; non-zero exit on a "
+        "p95 latency regression",
+    )
+    bench_diff.add_argument("baseline", help="earlier BENCH_serving.json")
+    bench_diff.add_argument("candidate", help="newer BENCH_serving.json")
+    bench_diff.add_argument(
+        "--max-p95-regress",
+        type=float,
+        default=1.3,
+        metavar="RATIO",
+        help="fail when candidate p95 / baseline p95 exceeds this "
+        "(default 1.3)",
+    )
+    bench_diff.set_defaults(run=cmd_bench_diff)
 
     faultcheck = commands.add_parser(
         "faultcheck",

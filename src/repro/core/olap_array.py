@@ -74,6 +74,11 @@ class OLAPArray:
         #: concurrent readers become safe (the cache serializes the
         #: underlying page I/O)
         self.chunk_cache = None
+        #: optional shared :class:`repro.obs.heatmap.ChunkHeatmap`; the
+        #: engine points this at its database's tracker when it
+        #: registers the array, after which every chunk access (and
+        #: separately every uncached disk read) is counted per chunk
+        self.heatmap = None
 
     def _entries(self) -> list[tuple[int, int, int]]:
         """Chunk meta entries, loaded once sequentially and cached."""
@@ -175,6 +180,8 @@ class OLAPArray:
         return the shared decoded copy — callers must treat the returned
         arrays as read-only (every in-tree consumer does).
         """
+        if self.heatmap is not None:
+            self.heatmap.record(self.name, chunk_no)
         cache = self.chunk_cache
         if cache is not None:
             return cache.get_chunk(self, chunk_no)
@@ -188,6 +195,8 @@ class OLAPArray:
                 (0, self.n_measures), dtype=self._np_dtype
             )
         self.counters.add("chunks_read")
+        if self.heatmap is not None:
+            self.heatmap.record(self.name, chunk_no, disk=True)
         payload = self.chunks.read(oid)
         self.counters.add("chunk_bytes_read", len(payload))
         return decode_chunk(

@@ -21,12 +21,28 @@ carries a first-class accounting layer:
   round-trip, Prometheus ``_bucket``/``_sum``/``_count`` export.
 - :mod:`repro.obs.slowlog` — a ring buffer of profiled slow queries
   (span tree + counter deltas + plan choice per entry).
+- :mod:`repro.obs.explain` — EXPLAIN / EXPLAIN ANALYZE plan trees:
+  per-node planner estimates, measured actuals from span counter
+  deltas, misestimate factors, text rendering and a fingerprint-keyed
+  :class:`PlanCache`.
+- :mod:`repro.obs.heatmap` — bounded per-array chunk access counters
+  (logical accesses vs. uncached disk reads) behind ``/heatmap/<cube>``
+  and the ANALYZE heat overlay.
 - :mod:`repro.obs.exporters` — JSON trace dump, text tree rendering,
   Prometheus text exposition plus a parser/linter for it.
 - :mod:`repro.obs.server` — stdlib HTTP endpoint serving ``/metrics``,
   ``/healthz``, ``/slowlog`` and ``/trace/<fingerprint>`` live.
 """
 
+from repro.obs.explain import (
+    MISESTIMATE_FACTOR_THRESHOLD,
+    PlanCache,
+    PlanNode,
+    QueryPlan,
+    attach_actuals,
+    render_plan,
+)
+from repro.obs.heatmap import ChunkHeatmap, heat_delta, hottest
 from repro.obs.histogram import DEFAULT_BOUNDS, Histogram, quantile_from_buckets
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import (
@@ -55,21 +71,30 @@ from repro.obs.server import ObservabilityServer
 
 __all__ = [
     "DEFAULT_BOUNDS",
+    "MISESTIMATE_FACTOR_THRESHOLD",
+    "ChunkHeatmap",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "ObservabilityServer",
+    "PlanCache",
+    "PlanNode",
     "PromSample",
+    "QueryPlan",
     "SlowQueryLog",
     "SlowQueryRecord",
     "Span",
     "Tracer",
+    "attach_actuals",
     "get_tracer",
+    "heat_delta",
+    "hottest",
     "lint_prometheus_text",
     "parse_prometheus_text",
     "prometheus_text",
     "quantile_from_buckets",
+    "render_plan",
     "render_span_tree",
     "set_tracer",
     "span_from_dict",

@@ -1,0 +1,149 @@
+"""Chunk access heatmaps: which chunks of which arrays run hot.
+
+A :class:`ChunkHeatmap` keeps, per OLAP array, two bounded counter
+vectors keyed by chunk number:
+
+- ``accesses`` — every :meth:`~repro.core.olap_array.OLAPArray.read_chunk`
+  call, whether served from the shared decoded-chunk cache, the buffer
+  pool, or disk (the probe pattern of §4.2);
+- ``disk_reads`` — only the uncached large-object fetches (the I/O the
+  paper's cost model charges for).
+
+The tracker lives on the :class:`~repro.relational.catalog.Database`
+and is attached to every array the engine registers, so one heatmap
+covers base cubes, rebuilt generations and materialized views.  It is
+cumulative across queries — ``EXPLAIN ANALYZE`` overlays a *delta*
+(snapshot before/after) on the array plan, while ``/heatmap/<cube>``
+serves the running totals.
+
+Bounded on both axes: at most ``max_arrays`` arrays are tracked (LRU
+eviction) and at most ``max_tracked_chunks`` chunk slots per array;
+accesses past the slot bound fold into per-array overflow scalars, so
+a pathological cube cannot grow the tracker without limit.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+
+class _ArrayHeat:
+    """Counter vectors for one array (guarded by the heatmap's lock)."""
+
+    __slots__ = (
+        "accesses", "disk_reads", "overflow_accesses", "overflow_disk_reads"
+    )
+
+    def __init__(self) -> None:
+        self.accesses: list[int] = []
+        self.disk_reads: list[int] = []
+        self.overflow_accesses = 0
+        self.overflow_disk_reads = 0
+
+
+class ChunkHeatmap:
+    """Thread-safe bounded per-array chunk access counters."""
+
+    def __init__(
+        self, max_tracked_chunks: int = 65536, max_arrays: int = 32
+    ):
+        if max_tracked_chunks < 1 or max_arrays < 1:
+            raise ValueError("heatmap bounds must be >= 1")
+        self.max_tracked_chunks = max_tracked_chunks
+        self.max_arrays = max_arrays
+        self._lock = threading.Lock()
+        self._arrays: OrderedDict[str, _ArrayHeat] = OrderedDict()
+
+    def record(self, array_name: str, chunk_no: int, disk: bool = False) -> None:
+        """Count one chunk access (``disk=True`` adds a disk read too).
+
+        Every access is also a logical touch, so a disk read increments
+        only the disk plane here — the caller's ``read_chunk`` hook has
+        already counted the access plane for the same chunk.
+        """
+        with self._lock:
+            heat = self._arrays.get(array_name)
+            if heat is None:
+                heat = _ArrayHeat()
+                self._arrays[array_name] = heat
+                while len(self._arrays) > self.max_arrays:
+                    self._arrays.popitem(last=False)
+            else:
+                self._arrays.move_to_end(array_name)
+            plane = heat.disk_reads if disk else heat.accesses
+            if chunk_no >= self.max_tracked_chunks:
+                if disk:
+                    heat.overflow_disk_reads += 1
+                else:
+                    heat.overflow_accesses += 1
+                return
+            if chunk_no >= len(plane):
+                plane.extend([0] * (chunk_no + 1 - len(plane)))
+            plane[chunk_no] += 1
+
+    def arrays(self) -> list[str]:
+        """Tracked array names, least recently touched first."""
+        with self._lock:
+            return list(self._arrays)
+
+    def snapshot(self, array_name: str) -> dict:
+        """Copy one array's counters (zeros when never accessed)."""
+        with self._lock:
+            heat = self._arrays.get(array_name)
+            if heat is None:
+                return {
+                    "accesses": [],
+                    "disk_reads": [],
+                    "overflow_accesses": 0,
+                    "overflow_disk_reads": 0,
+                }
+            return {
+                "accesses": list(heat.accesses),
+                "disk_reads": list(heat.disk_reads),
+                "overflow_accesses": heat.overflow_accesses,
+                "overflow_disk_reads": heat.overflow_disk_reads,
+            }
+
+    def reset(self, array_name: str | None = None) -> None:
+        """Forget one array's counters, or all of them."""
+        with self._lock:
+            if array_name is None:
+                self._arrays.clear()
+            else:
+                self._arrays.pop(array_name, None)
+
+
+def heat_delta(before: dict, after: dict) -> dict:
+    """Per-chunk counter movement between two :meth:`snapshot` calls.
+
+    Lists are aligned by padding the shorter with zeros; the result has
+    the shape of a snapshot and is what ``EXPLAIN ANALYZE`` overlays on
+    an array plan (the chunks *this* query touched).
+    """
+
+    def diff(a: list[int], b: list[int]) -> list[int]:
+        n = max(len(a), len(b))
+        a = a + [0] * (n - len(a))
+        b = b + [0] * (n - len(b))
+        return [y - x for x, y in zip(a, b)]
+
+    return {
+        "accesses": diff(before["accesses"], after["accesses"]),
+        "disk_reads": diff(before["disk_reads"], after["disk_reads"]),
+        "overflow_accesses": (
+            after["overflow_accesses"] - before["overflow_accesses"]
+        ),
+        "overflow_disk_reads": (
+            after["overflow_disk_reads"] - before["overflow_disk_reads"]
+        ),
+    }
+
+
+def hottest(counts: list[int], top: int = 10) -> list[list[int]]:
+    """The ``top`` hottest ``[chunk_no, count]`` pairs, hottest first."""
+    ranked = sorted(
+        ((count, chunk_no) for chunk_no, count in enumerate(counts) if count),
+        key=lambda pair: (-pair[0], pair[1]),
+    )
+    return [[chunk_no, count] for count, chunk_no in ranked[:top]]

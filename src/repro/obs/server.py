@@ -11,7 +11,12 @@
   :class:`~repro.serve.service.QueryService`;
 - ``/slowlog``  — the slow-query ring buffer as JSON;
 - ``/trace/<fingerprint>`` — the most recent captured profile (span
-  tree + counter deltas + plan choice) for one query fingerprint.
+  tree + counter deltas + plan choice) for one query fingerprint;
+- ``/explain`` — the fingerprints currently in the plan cache, and
+  ``/explain/<fingerprint>`` — that query's cached EXPLAIN payload
+  (estimate-vs-actual per plan node when it was ANALYZE'd);
+- ``/heatmap/<cube>`` — the cumulative chunk access heatmap of one
+  cube's array (logical accesses and disk reads per chunk number).
 
 Everything is read-only and stdlib-only (``http.server``), so the
 endpoint works in the bare CI container and maps 1:1 onto a real
@@ -28,6 +33,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING
 
 from repro.obs.exporters import prometheus_text
+from repro.obs.explain import PlanCache
 from repro.obs.registry import MetricsRegistry
 from repro.obs.slowlog import SlowQueryLog
 
@@ -36,13 +42,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class ObservabilityServer:
-    """Serves ``/metrics``, ``/healthz``, ``/slowlog`` and ``/trace/*``."""
+    """Serves ``/metrics``, ``/healthz``, ``/slowlog``, ``/trace/*``,
+    ``/explain/*`` and ``/heatmap/*``."""
 
     def __init__(
         self,
         registry: MetricsRegistry,
         service: "QueryService | None" = None,
         slowlog: SlowQueryLog | None = None,
+        plans: PlanCache | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
         prefix: str = "repro",
@@ -52,6 +60,9 @@ class ObservabilityServer:
         if slowlog is None and service is not None:
             slowlog = getattr(service, "slowlog", None)
         self.slowlog = slowlog
+        if plans is None and service is not None:
+            plans = getattr(service, "plans", None)
+        self.plans = plans
         self.host = host
         self.prefix = prefix
         self._requested_port = port
@@ -88,6 +99,27 @@ class ObservabilityServer:
             return None
         entry = self.slowlog.find(fingerprint)
         return entry.to_dict() if entry is not None else None
+
+    def explain_index_payload(self) -> dict:
+        """``/explain``: the fingerprints currently cached, oldest first."""
+        fingerprints = self.plans.fingerprints() if self.plans else []
+        return {"fingerprints": fingerprints, "count": len(fingerprints)}
+
+    def explain_payload(self, fingerprint: str) -> dict | None:
+        if self.plans is None:
+            return None
+        return self.plans.get(fingerprint)
+
+    def heatmap_payload(self, cube: str) -> tuple[int, dict]:
+        """``(http_status, body)`` for ``/heatmap/<cube>``."""
+        if self.service is None:
+            return 404, {"error": "no service attached"}
+        from repro.errors import ReproError
+
+        try:
+            return 200, self.service.engine.chunk_heatmap(cube)
+        except ReproError as exc:
+            return 404, {"error": str(exc)}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -137,6 +169,22 @@ class ObservabilityServer:
                             )
                         else:
                             self._send_json(200, payload)
+                    elif path == "/explain":
+                        self._send_json(200, endpoint.explain_index_payload())
+                    elif path.startswith("/explain/"):
+                        fingerprint = path[len("/explain/") :]
+                        payload = endpoint.explain_payload(fingerprint)
+                        if payload is None:
+                            self._send_json(
+                                404,
+                                {"error": f"no plan for {fingerprint!r}"},
+                            )
+                        else:
+                            self._send_json(200, payload)
+                    elif path.startswith("/heatmap/"):
+                        cube = path[len("/heatmap/") :]
+                        status, payload = endpoint.heatmap_payload(cube)
+                        self._send_json(status, payload)
                     else:
                         self._send_json(
                             404,
@@ -147,6 +195,9 @@ class ObservabilityServer:
                                     "/healthz",
                                     "/slowlog",
                                     "/trace/<fingerprint>",
+                                    "/explain",
+                                    "/explain/<fingerprint>",
+                                    "/heatmap/<cube>",
                                 ],
                             },
                         )

@@ -50,6 +50,9 @@ class SlowQueryRecord:
     counters: dict = field(default_factory=dict)
     #: full span trees recorded during the execution (usually one root)
     trace: list = field(default_factory=list)
+    #: analyzed EXPLAIN plan for the slow run, when the serving layer
+    #: could build one (estimate-vs-actual per plan node)
+    explain: dict | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -63,6 +66,7 @@ class SlowQueryRecord:
             "plan": dict(self.plan),
             "counters": dict(self.counters),
             "trace": list(self.trace),
+            "explain": dict(self.explain) if self.explain else None,
         }
 
 
@@ -103,6 +107,7 @@ class SlowQueryLog:
         roots: list[Span] | None = None,
         cache: str = "miss",
         requested_backend: str | None = None,
+        explain: dict | None = None,
     ) -> SlowQueryRecord | None:
         """Capture one slow query; returns the record, or ``None`` when
         the latency is under the threshold (callers may invoke this
@@ -128,6 +133,7 @@ class SlowQueryLog:
             plan=plan,
             counters=counters,
             trace=[span_to_dict(root) for root in roots],
+            explain=explain,
         )
         with self._lock:
             self._entries.append(entry)

@@ -99,6 +99,8 @@ class MetricsView:
             for le, cumulative in buckets.items()
             if le != "+Inf"
         )
+        if not finite:  # degenerate scrape: only the +Inf bucket
+            return 0.0
         bounds = tuple(le for le, _ in finite)
         # de-cumulate: quantile_from_buckets wants per-bucket counts,
         # with one trailing overflow bucket
@@ -132,6 +134,31 @@ def _fmt_ms(seconds: float) -> str:
         return "inf"
     return f"{seconds * 1000:8.3f}ms"
 
+#: rendered where a metric family is absent from the scrape — a bare
+#: endpoint (no serving layer attached) must degrade, not crash or
+#: report a misleading 0.000ms
+ABSENT = "—"
+
+
+def _quantile_cell(view: MetricsView, histogram: str, q: float) -> str:
+    """A latency cell, or ``—`` when the family has no observations."""
+    if not view.histogram_counts.get(histogram):
+        return f"{ABSENT:>8}  "  # width of _fmt_ms
+    return _fmt_ms(view.quantile(histogram, q))
+
+
+def _rate_cell(view: MetricsView, hits: str, misses: str) -> str:
+    """A hit-rate cell, or ``—`` when neither counter was exported."""
+    if hits not in view.counters and misses not in view.counters:
+        return f"{ABSENT:>6}"
+    return f"{view.hit_rate(hits, misses):6.1%}"
+
+
+def _gauge_cell(view: MetricsView, name: str, spec: str = "6.1%") -> str:
+    if name not in view.gauges:
+        return f"{ABSENT:>6}"
+    return format(view.gauge(name), spec)
+
 
 def render_dashboard(
     previous: MetricsView | None,
@@ -139,7 +166,12 @@ def render_dashboard(
     interval_s: float,
     prefix: str = "repro",
 ) -> str:
-    """One dashboard frame as plain text."""
+    """One dashboard frame as plain text.
+
+    Families absent from the scrape render as ``—`` so the dashboard
+    stays useful against a minimal registry (engine without a serving
+    layer, or a foreign exporter).
+    """
     q = f"{prefix}_serve_query_latency_seconds"
     lines = []
     rate = qps(previous, current, interval_s) if previous is not None else 0.0
@@ -149,23 +181,31 @@ def render_dashboard(
         f"slowlog {current.gauge(f'{prefix}_serve_slowlog_entries'):3.0f}"
     )
     lines.append(
-        f"query latency  p50 {_fmt_ms(current.quantile(q, 0.50))}  "
-        f"p95 {_fmt_ms(current.quantile(q, 0.95))}  "
-        f"p99 {_fmt_ms(current.quantile(q, 0.99))}  "
+        f"query latency  p50 {_quantile_cell(current, q, 0.50)}  "
+        f"p95 {_quantile_cell(current, q, 0.95)}  "
+        f"p99 {_quantile_cell(current, q, 0.99)}  "
         f"({current.histogram_counts.get(q, 0.0):,.0f} obs)"
     )
     wait = f"{prefix}_serve_queue_wait_seconds"
     lines.append(
-        f"queue wait     p50 {_fmt_ms(current.quantile(wait, 0.50))}  "
-        f"p95 {_fmt_ms(current.quantile(wait, 0.95))}"
+        f"queue wait     p50 {_quantile_cell(current, wait, 0.50)}  "
+        f"p95 {_quantile_cell(current, wait, 0.95)}"
     )
     lines.append(
         "cache hit-rate result "
-        f"{current.hit_rate(f'{prefix}_result_cache_hits', f'{prefix}_result_cache_misses'):6.1%}"
-        "   chunk "
-        f"{current.hit_rate(f'{prefix}_chunk_cache_hits', f'{prefix}_chunk_cache_misses'):6.1%}"
-        "   pool "
-        f"{current.gauge(f'{prefix}_pool_hit_rate'):6.1%}"
+        + _rate_cell(
+            current,
+            f"{prefix}_result_cache_hits",
+            f"{prefix}_result_cache_misses",
+        )
+        + "   chunk "
+        + _rate_cell(
+            current,
+            f"{prefix}_chunk_cache_hits",
+            f"{prefix}_chunk_cache_misses",
+        )
+        + "   pool "
+        + _gauge_cell(current, f"{prefix}_pool_hit_rate")
     )
     fsync = f"{prefix}_wal_fsync_seconds"
     if current.histogram_counts.get(fsync):

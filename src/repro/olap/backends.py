@@ -31,6 +31,7 @@ backends plug in without editing ``engine.py``::
 
 from __future__ import annotations
 
+import math
 import time
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
@@ -38,6 +39,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.core.consolidate import ConsolidationSpec, consolidate
+from repro.core.meta import NO_CHUNK
+from repro.obs.explain import PlanNode
 from repro.obs.tracer import get_tracer
 from repro.core.select_consolidate import Selection, consolidate_with_selection
 from repro.errors import PlanError
@@ -126,6 +129,67 @@ class Backend(ABC):
         self, ctx: BackendContext, query: "ConsolidationQuery"
     ) -> "QueryResult":
         """Evaluate ``query`` and return the (sorted-row) result."""
+
+    def explain(
+        self, ctx: BackendContext, query: "ConsolidationQuery"
+    ) -> PlanNode:
+        """A structured plan tree for ``query``, estimates only.
+
+        Each node names the tracer span whose counter deltas measure it
+        (so ``EXPLAIN ANALYZE`` can attach actuals) and carries cost
+        estimates in the units of the execution counters.  The default
+        is one opaque node mapped to the engine's root span; built-ins
+        override with per-phase trees.
+        """
+        return PlanNode(
+            f"{self.name}.query",
+            span="query",
+            detail={"cube": query.cube, "backend": self.name},
+        )
+
+
+# -- estimate helpers --------------------------------------------------------
+
+
+def _array_catalog_stats(array) -> dict[str, int]:
+    """Non-empty chunk count, stored bytes and valid cells, from the
+    chunk meta directory alone (no chunk payload is touched)."""
+    non_empty = 0
+    total_bytes = 0
+    cells = 0
+    for oid, length, count in array._entries():
+        if oid != NO_CHUNK and count:
+            non_empty += 1
+            total_bytes += length
+            cells += count
+    return {
+        "non_empty_chunks": non_empty,
+        "chunk_bytes": total_bytes,
+        "n_valid": cells,
+    }
+
+
+def _estimated_groups(ctx: BackendContext, query) -> int:
+    """Upper bound on result groups: Π per-dimension distinct values."""
+    engine, state = ctx.engine, ctx.state
+    total = 1
+    for dim_name, attr in query.group_by:
+        dim = state.schema.dimension(dim_name)
+        if attr == dim.key:
+            total *= max(1, len(state.dim_tables[dim_name]))
+        else:
+            values = engine._dimension_attr_map(state, dim_name, attr).values()
+            total *= max(1, len(set(values)))
+    return total
+
+
+def _estimated_btree_probes(query) -> int:
+    """Probe count matching ``_final_index_lists``: ranges cost one
+    probe, IN-lists one per value."""
+    return sum(
+        1 if sel.is_range else len(sel.values or ())
+        for sel in query.selections
+    )
 
 
 # -- registry ---------------------------------------------------------------
@@ -246,6 +310,142 @@ class ArrayBackend(Backend):
             rows = engine._reorder_array_rows(state, query, rows)
         return ctx.result(rows, self.name, mode=ctx.mode)
 
+    def explain(self, ctx, query):
+        engine, state = ctx.engine, ctx.state
+        array = state.array
+        schema = state.schema
+        stats = _array_catalog_stats(array)
+        geometry = array.geometry
+        n_chunks = geometry.n_chunks
+        density = stats["non_empty_chunks"] / n_chunks if n_chunks else 0.0
+        level_loads = sum(
+            1
+            for dim_name, attr in query.group_by
+            if attr != schema.dimension(dim_name).key
+        )
+        groups = min(stats["n_valid"], _estimated_groups(ctx, query))
+        root = PlanNode(
+            "array.query",
+            span="query",
+            detail={"cube": query.cube, "mode": ctx.mode, "order": ctx.order},
+        )
+        if query.selections:
+            key_sets = engine._selection_key_sets(state, query)
+            n_sel = [
+                len(key_sets[dim.name])
+                if dim.name in key_sets
+                else geometry.shape[d]
+                for d, dim in enumerate(schema.dimensions)
+            ]
+            cross = math.prod(n_sel)
+            if ctx.order == "naive":
+                # every cross-product element re-reads its chunk
+                chunk_visits = cross
+                est_chunks_read = round(cross * density)
+                est_skipped = 0
+            else:
+                # chunk-by-chunk: Π per-dim grid coordinates covered
+                chunk_visits = math.prod(
+                    min(n, -(-size // cs))
+                    for n, size, cs in zip(
+                        n_sel, geometry.shape, geometry.chunk_shape
+                    )
+                )
+                est_chunks_read = round(chunk_visits * density)
+                est_skipped = chunk_visits - est_chunks_read
+            avg_bytes = (
+                stats["chunk_bytes"] / stats["non_empty_chunks"]
+                if stats["non_empty_chunks"]
+                else 0.0
+            )
+            body = root.add(
+                PlanNode(
+                    "array.consolidate_with_selection",
+                    span="consolidate_with_selection",
+                    detail={
+                        "selections": len(query.selections),
+                        "order": ctx.order,
+                    },
+                    estimates={
+                        "cross_product_size": cross,
+                        "result_cells": min(groups, cross),
+                    },
+                )
+            )
+            body.add(
+                PlanNode(
+                    "array.resolve_mappings",
+                    span="resolve_mappings",
+                    estimates={"i2i_loads": level_loads},
+                )
+            )
+            body.add(
+                PlanNode(
+                    "array.btree_dimension_lookup",
+                    span="btree_dimension_lookup",
+                    detail={
+                        "dimensions": ",".join(sorted(key_sets)),
+                        "final_lists": "x".join(str(n) for n in n_sel),
+                    },
+                    estimates={"btree_probes": _estimated_btree_probes(query)},
+                )
+            )
+            body.add(
+                PlanNode(
+                    "array.probe_chunks",
+                    span="probe_chunks",
+                    detail={"mode": ctx.mode, "order": ctx.order},
+                    estimates={
+                        "cells_probed": cross,
+                        "chunks_read": est_chunks_read,
+                        "chunk_bytes_read": round(est_chunks_read * avg_bytes),
+                        "empty_chunks_skipped": est_skipped,
+                        "dir_loads": 1,
+                    },
+                )
+            )
+            body.add(PlanNode("array.extract_rows", span="extract_rows"))
+        else:
+            body = root.add(
+                PlanNode(
+                    "array.consolidate",
+                    span="consolidate",
+                    detail={"mode": ctx.mode},
+                    estimates={"result_cells": groups},
+                )
+            )
+            body.add(
+                PlanNode(
+                    "array.resolve_mappings",
+                    span="resolve_mappings",
+                    estimates={"i2i_loads": level_loads},
+                )
+            )
+            body.add(
+                PlanNode(
+                    "array.scan_chunks",
+                    span="scan_chunks",
+                    detail={"n_chunks": n_chunks, "mode": ctx.mode},
+                    estimates={
+                        "chunks_read": stats["non_empty_chunks"],
+                        "cells_scanned": stats["n_valid"],
+                        "chunk_bytes_read": stats["chunk_bytes"],
+                        "dir_loads": 1,
+                    },
+                )
+            )
+            body.add(PlanNode("array.extract_rows", span="extract_rows"))
+        root.add(
+            PlanNode(
+                "array.project_rows",
+                span="project_rows",
+                detail={
+                    "measures": len(engine._query_measures(state, query))
+                },
+            )
+        )
+        return root
+
 
 class StarjoinBackend(Backend):
     """§4.3 Starjoin operator (selections via key filters)."""
@@ -273,6 +473,46 @@ class StarjoinBackend(Backend):
                 key_filters=key_filters or None,
             )
         return ctx.result(rows, self.name)
+
+    def explain(self, ctx, query):
+        engine, state = ctx.engine, ctx.state
+        fact_tuples = len(state.fact)
+        selectivity = (
+            engine.estimate_selectivity(query) if query.selections else 1.0
+        )
+        selected = round(fact_tuples * selectivity)
+        groups = min(_estimated_groups(ctx, query), max(selected, 1))
+        hash_entries = sum(
+            len(state.dim_tables[dim_name]) for dim_name, _ in query.group_by
+        )
+        root = PlanNode(
+            "starjoin.query",
+            span="query",
+            detail={
+                "cube": query.cube,
+                "estimated_selectivity": selectivity,
+            },
+        )
+        root.add(
+            PlanNode(
+                "starjoin.selection_key_sets",
+                span="selection_key_sets",
+                detail={"selections": len(query.selections)},
+            )
+        )
+        root.add(
+            PlanNode(
+                "starjoin.star_join",
+                span="star_join",
+                detail={"group_dims": len(query.group_by)},
+                estimates={
+                    "fact_tuples_scanned": fact_tuples,
+                    "dim_hash_entries": hash_entries,
+                    "result_groups": groups,
+                },
+            )
+        )
+        return root
 
 
 class BitmapBackend(Backend):
@@ -320,6 +560,44 @@ class BitmapBackend(Backend):
             )
         return ctx.result(rows, self.name)
 
+    def explain(self, ctx, query):
+        engine, state = ctx.engine, ctx.state
+        fact_tuples = len(state.fact)
+        selectivity = (
+            engine.estimate_selectivity(query) if query.selections else 1.0
+        )
+        selected = round(fact_tuples * selectivity)
+        root = PlanNode(
+            "bitmap.query",
+            span="query",
+            detail={
+                "cube": query.cube,
+                "estimated_selectivity": selectivity,
+            },
+        )
+        root.add(
+            PlanNode(
+                "bitmap.bitmap_lookup",
+                span="bitmap_lookup",
+                detail={"selections": len(query.selections)},
+            )
+        )
+        root.add(
+            PlanNode(
+                "bitmap.bitmap_select",
+                span="bitmap_select",
+                estimates={
+                    # one AND operand per selection (ranges pre-merge)
+                    "bitmaps_fetched": len(query.selections),
+                    "selected_tuples": selected,
+                    "result_groups": min(
+                        _estimated_groups(ctx, query), max(selected, 1)
+                    ),
+                },
+            )
+        )
+        return root
+
 
 class BTreeBackend(Backend):
     """Standard B-tree selection baseline (§4.4's also-ran)."""
@@ -359,6 +637,45 @@ class BTreeBackend(Backend):
                 counters=ctx.counters,
             )
         return ctx.result(rows, self.name)
+
+    def explain(self, ctx, query):
+        engine, state = ctx.engine, ctx.state
+        fact_tuples = len(state.fact)
+        selectivity = (
+            engine.estimate_selectivity(query) if query.selections else 1.0
+        )
+        key_sets = engine._selection_key_sets(state, query)
+        selected = round(fact_tuples * selectivity)
+        root = PlanNode(
+            "btree.query",
+            span="query",
+            detail={
+                "cube": query.cube,
+                "estimated_selectivity": selectivity,
+            },
+        )
+        root.add(
+            PlanNode(
+                "btree.selection_key_sets",
+                span="selection_key_sets",
+                detail={"selections": len(query.selections)},
+            )
+        )
+        root.add(
+            PlanNode(
+                "btree.btree_select",
+                span="btree_select",
+                estimates={
+                    # one fact B-tree probe per allowed key per dimension
+                    "btree_probes": sum(len(v) for v in key_sets.values()),
+                    "selected_tuples": selected,
+                    "result_groups": min(
+                        _estimated_groups(ctx, query), max(selected, 1)
+                    ),
+                },
+            )
+        )
+        return root
 
 
 class MBTreeBackend(Backend):
@@ -403,6 +720,44 @@ class MBTreeBackend(Backend):
             )
         return ctx.result(rows, self.name)
 
+    def explain(self, ctx, query):
+        engine, state = ctx.engine, ctx.state
+        fact_tuples = len(state.fact)
+        selectivity = (
+            engine.estimate_selectivity(query) if query.selections else 1.0
+        )
+        selected = round(fact_tuples * selectivity)
+        root = PlanNode(
+            "mbtree.query",
+            span="query",
+            detail={
+                "cube": query.cube,
+                "estimated_selectivity": selectivity,
+            },
+        )
+        root.add(
+            PlanNode(
+                "mbtree.selection_key_sets",
+                span="selection_key_sets",
+                detail={"selections": len(query.selections)},
+            )
+        )
+        root.add(
+            PlanNode(
+                "mbtree.mbtree_select",
+                span="mbtree_select",
+                estimates={
+                    # the skipping scan seeks about once per qualifying run
+                    "mbtree_hits": selected,
+                    "selected_tuples": selected,
+                    "result_groups": min(
+                        _estimated_groups(ctx, query), max(selected, 1)
+                    ),
+                },
+            )
+        )
+        return root
+
 
 class LeftDeepBackend(Backend):
     """Pipelined left-deep hash-join plan (§1's "traditional")."""
@@ -443,10 +798,40 @@ class LeftDeepBackend(Backend):
             [f"f.{m}" for m in engine._query_measures(state, query)],
             aggregate=query.aggregate,
         )
-        ctx.counters.add("leftdeep_joins", len(dim_scans))
         with ctx.phase("leftdeep_pipeline", joins=len(dim_scans)):
+            ctx.counters.add("leftdeep_joins", len(dim_scans))
             rows = list(plan)
         return ctx.result(rows, self.name)
+
+    def explain(self, ctx, query):
+        engine, state = ctx.engine, ctx.state
+        schema = state.schema
+        grouped = dict(query.group_by)
+        key_sets = engine._selection_key_sets(state, query)
+        joined = [
+            d.name
+            for d in schema.dimensions
+            if d.name in grouped or d.name in key_sets
+        ]
+        root = PlanNode(
+            "leftdeep.query",
+            span="query",
+            detail={"cube": query.cube, "joins": len(joined)},
+        )
+        root.add(
+            PlanNode(
+                "leftdeep.pipeline",
+                span="leftdeep_pipeline",
+                detail={
+                    "dimensions": ",".join(joined),
+                    "hash_build_rows": sum(
+                        len(state.dim_tables[d]) for d in joined
+                    ),
+                },
+                estimates={"leftdeep_joins": len(joined)},
+            )
+        )
+        return root
 
 
 _BUILTIN_NAMES = (

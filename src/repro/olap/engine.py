@@ -122,6 +122,7 @@ class OlapEngine:
         self._cubes: dict[str, _CubeState] = {}
         self._views: dict[str, _ViewState] = {}
         self._write_listeners: list[Callable[[str], None]] = []
+        self._explain_counters: Counters | None = None
 
     # -- loading ------------------------------------------------------------------
 
@@ -273,6 +274,7 @@ class OlapEngine:
             measure_names=[m.name for m in schema.measures],
         )
         state.array.chunk_cache = chunk_cache
+        state.array.heatmap = self.db.heatmap
         self.db.metrics.register(
             f"array:{array_name(schema)}", state.array.counters, replace=True
         )
@@ -296,6 +298,7 @@ class OlapEngine:
             state.fact = self.db.table(fact_name)
         if self.db.fm.exists(f"{array_name(schema)}.dir"):
             state.array = OLAPArray.open(self.db.fm, array_name(schema))
+            state.array.heatmap = self.db.heatmap
             self.db.metrics.register(
                 f"array:{array_name(schema)}",
                 state.array.counters,
@@ -444,6 +447,195 @@ class OlapEngine:
         result.stats = stats
         return result
 
+    # -- EXPLAIN / EXPLAIN ANALYZE -------------------------------------------------
+
+    def explain(
+        self,
+        query: ConsolidationQuery,
+        backend: str = "auto",
+        mode: str = "interpreted",
+        order: str = "chunk",
+        analyze: bool = False,
+        cold: bool = True,
+        crossover_selectivity: float = DEFAULT_CROSSOVER_SELECTIVITY,
+    ):
+        """Build a query plan; with ``analyze=True`` also run and measure.
+
+        Planner resolution (``backend="auto"``, availability checks) is
+        exactly :meth:`query`'s.  The returned
+        :class:`~repro.obs.explain.QueryPlan` carries per-node cost
+        estimates; an ANALYZE run executes the query under a
+        registry-bound tracer, attaches each node's actual counter
+        deltas, overlays the array plan with the chunk-heatmap delta of
+        the run, and feeds every node's misestimate factor into the
+        ``engine.explain.misestimate_factor`` histogram.
+        """
+        # imported here: repro.serve imports this module (cycle guard),
+        # matching the function-level import precedent in :meth:`sql`
+        from repro.obs.explain import QueryPlan, attach_actuals
+        from repro.obs.heatmap import heat_delta, hottest
+        from repro.obs.tracer import Tracer, thread_tracing
+        from repro.serve.fingerprint import query_fingerprint
+
+        state = self.cube(query.cube)
+        query.validate(state.schema)
+        available = state.available_backends()
+        requested = backend
+        planner_reason = "explicit"
+        estimated_selectivity = (
+            self.estimate_selectivity(query) if query.selections else 1.0
+        )
+        if backend == "auto":
+            backend, planner_reason = choose_backend_explained(
+                PlannerInputs(
+                    has_array="array" in available,
+                    has_bitmaps="bitmap" in available,
+                    has_selections=bool(query.selections),
+                    estimated_selectivity=estimated_selectivity,
+                    has_range_selections=any(
+                        sel.is_range for sel in query.selections
+                    ),
+                ),
+                crossover_selectivity,
+            )
+        impl = backend_registry.get_backend(backend)
+        if not impl.available(state):
+            raise PlanError(
+                f"backend {backend!r} not available for cube "
+                f"{query.cube!r}; built: {sorted(available)}"
+            )
+        ctx = BackendContext(
+            engine=self,
+            state=state,
+            counters=Counters(),
+            mode=mode,
+            order=order,
+        )
+        plan = QueryPlan(
+            cube=query.cube,
+            backend=backend,
+            mode=mode if backend == "array" else "interpreted",
+            order=order,
+            fingerprint=query_fingerprint(
+                query, backend=requested, mode=mode, order=order
+            ),
+            planner={
+                "requested": requested,
+                "reason": planner_reason,
+                "estimated_selectivity": estimated_selectivity,
+                "crossover_selectivity": crossover_selectivity,
+                "available_backends": sorted(available),
+            },
+            root=impl.explain(ctx, query),
+        )
+        if not analyze:
+            return plan
+
+        heat_array = state.array if backend == "array" else None
+        heat_before = (
+            self.db.heatmap.snapshot(heat_array.name)
+            if heat_array is not None
+            else None
+        )
+        tracer = Tracer(registry=self.db.metrics)
+        with thread_tracing(tracer):
+            result = self.query(
+                query,
+                backend=backend,
+                mode=mode,
+                cold=cold,
+                order=order,
+                crossover_selectivity=crossover_selectivity,
+            )
+        root_span = next(
+            (root for root in tracer.roots if root.name == "query"), None
+        )
+        if root_span is not None:
+            attach_actuals(plan.root, root_span)
+        plan.analyzed = True
+        plan.rows = len(result.rows)
+        plan.elapsed_s = result.elapsed_s
+        plan.sim_io_s = result.sim_io_s
+        plan.totals = dict(result.stats)
+        if heat_array is not None and heat_before is not None:
+            delta = heat_delta(
+                heat_before, self.db.heatmap.snapshot(heat_array.name)
+            )
+            delta["array"] = heat_array.name
+            delta["n_chunks"] = heat_array.geometry.n_chunks
+            delta["hottest"] = hottest(delta["accesses"])
+            plan.heatmap = delta
+        self._record_misestimates(plan)
+        return plan
+
+    def _record_misestimates(self, plan) -> None:
+        """Feed an analyzed plan's estimate errors into ``/metrics``."""
+        from repro.obs.explain import MISESTIMATE_FACTOR_THRESHOLD
+
+        counters = self._explain_stats()
+        counters.add("explain.analyzed")
+        for node in plan.root.walk():
+            worst = node.worst_misestimate()
+            if worst is None:
+                continue
+            counters.add("explain.nodes_analyzed")
+            self.db.metrics.observe(
+                "engine.explain.misestimate_factor", worst
+            )
+            if worst > MISESTIMATE_FACTOR_THRESHOLD:
+                counters.add("explain.misestimates")
+
+    def _explain_stats(self) -> Counters:
+        """The cumulative ``engine:explain`` counter bag (keep-reset,
+        like the serving layer's counters, so cold runs don't zero it)."""
+        if self._explain_counters is None:
+            counters = Counters()
+            self.db.metrics.register(
+                "engine:explain",
+                counters,
+                reset=lambda: None,
+                replace=True,
+            )
+            self._explain_counters = counters
+        return self._explain_counters
+
+    def chunk_heatmap(self, cube: str, top: int = 10) -> dict:
+        """The cumulative chunk access heatmap of one cube's array.
+
+        Returns a JSON-ready payload: per-chunk access and disk-read
+        counters (bounded — see
+        :class:`~repro.obs.heatmap.ChunkHeatmap`), totals, and the
+        ``top`` hottest chunks.  Raises :class:`PlanError` when the
+        cube has no array design.
+        """
+        from repro.obs.heatmap import hottest
+
+        state = self.cube(cube)
+        if state.array is None:
+            raise PlanError(f"cube {cube!r} has no array design to heat-map")
+        array = state.array
+        snap = self.db.heatmap.snapshot(array.name)
+        return {
+            "cube": cube,
+            "array": array.name,
+            "n_chunks": array.geometry.n_chunks,
+            "chunk_shape": list(array.geometry.chunk_shape),
+            "tracked_chunks": max(
+                len(snap["accesses"]), len(snap["disk_reads"])
+            ),
+            "accesses": snap["accesses"],
+            "disk_reads": snap["disk_reads"],
+            "overflow_accesses": snap["overflow_accesses"],
+            "overflow_disk_reads": snap["overflow_disk_reads"],
+            "total_accesses": (
+                sum(snap["accesses"]) + snap["overflow_accesses"]
+            ),
+            "total_disk_reads": (
+                sum(snap["disk_reads"]) + snap["overflow_disk_reads"]
+            ),
+            "hottest": hottest(snap["accesses"], top),
+        }
+
     def materialize(
         self,
         query: ConsolidationQuery,
@@ -491,6 +683,7 @@ class OlapEngine:
             group_by=dict(query.group_by),
             aggregate=query.aggregate,
         )
+        result.result_array.heatmap = self.db.heatmap
         self.db.metrics.register(
             f"array:{view_name}", result.result_array.counters, replace=True
         )

@@ -180,6 +180,14 @@ class ConsolidationQuery:
                 if m not in known:
                     raise QueryError(f"cube has no measure {m!r}")
 
+    def explain(self, engine, **kwargs):
+        """EXPLAIN this query — see :meth:`OlapEngine.explain`.
+
+        ``explain(engine, analyze=True)`` runs the query and attaches
+        measured actuals to every plan node.
+        """
+        return engine.explain(self, **kwargs)
+
 
 class QueryBuilder:
     """Fluent construction of a :class:`ConsolidationQuery`.

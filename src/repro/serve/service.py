@@ -41,9 +41,11 @@ from repro.errors import (
     DegradedError,
     MetricsError,
     PermanentError,
+    ReproError,
     RetryExhaustedError,
     TransientError,
 )
+from repro.obs.explain import PlanCache, QueryPlan, attach_actuals
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.tracer import Tracer, get_tracer, thread_tracing
 from repro.olap.engine import OlapEngine, QueryResult
@@ -85,6 +87,11 @@ class ServiceConfig:
     #: their full span tree; disable to shave the per-span registry
     #: snapshots off the hot path (slowlog entries then carry no trace)
     profile_queries: bool = True
+    #: fingerprint-keyed LRU of EXPLAIN payloads (``/explain/<fp>``)
+    plan_cache_size: int = 64
+    #: embed an analyzed plan (estimate vs. actual per node) into every
+    #: slow-query record; needs ``profile_queries`` for the actuals
+    slowlog_plans: bool = True
 
 
 class QueryService:
@@ -107,6 +114,7 @@ class QueryService:
             capacity=self.config.slowlog_capacity,
             threshold_s=self.config.slowlog_threshold_s,
         )
+        self.plans = PlanCache(self.config.plan_cache_size)
         self._engine_lock = threading.RLock()
         self._admission_lock = threading.Lock()
         self._in_flight = 0
@@ -150,6 +158,10 @@ class QueryService:
         )
         registry.register_gauge(
             "serve.slowlog_entries", lambda: float(len(self.slowlog)),
+            replace=True,
+        )
+        registry.register_gauge(
+            "serve.plan_cache_entries", lambda: float(len(self.plans)),
             replace=True,
         )
         # replace=True with no histogram supplied *keeps* an existing
@@ -253,7 +265,8 @@ class QueryService:
                 result = self._execute(query, backend, mode, order, fingerprint)
             latency = time.perf_counter() - start
             self._note_latency(
-                latency, query, backend, fingerprint, result, tracer
+                latency, query, backend, mode, order, fingerprint, result,
+                tracer,
             )
             return result
         finally:
@@ -264,11 +277,15 @@ class QueryService:
                 self._in_flight -= 1
 
     def _note_latency(
-        self, latency, query, requested_backend, fingerprint, result, tracer
+        self, latency, query, requested_backend, mode, order, fingerprint,
+        result, tracer,
     ) -> None:
         """Feed one finished query into the slow-query log."""
         if not self.slowlog.should_capture(latency):
             return
+        explain = self._slow_plan(
+            query, requested_backend, mode, order, result, tracer
+        )
         entry = self.slowlog.record(
             fingerprint=fingerprint,
             cube=query.cube,
@@ -277,9 +294,80 @@ class QueryService:
             roots=tracer.roots if tracer is not None else None,
             cache="hit" if result.stats.get("result_cache_hit") else "miss",
             requested_backend=requested_backend,
+            explain=explain,
         )
         if entry is not None:
             self.counters.add("serve.slow_queries")
+            if explain is not None:
+                self.plans.put(fingerprint, explain)
+
+    def _slow_plan(
+        self, query, requested_backend, mode, order, result, tracer
+    ) -> dict | None:
+        """Best-effort analyzed plan for one slow engine miss.
+
+        Rebuilds the planner's estimates (deterministic, so the plan
+        matches the run we just traced) and attaches the actuals from
+        the already-captured span tree — the query is *not* re-run.
+        Cache hits never touched the engine, so they carry no plan.
+        """
+        if not self.config.slowlog_plans or tracer is None:
+            return None
+        if result.stats.get("result_cache_hit"):
+            return None
+        span = None
+        for root in tracer.roots:
+            span = root.find("query")
+            if span is not None:
+                break
+        if span is None:
+            return None
+        try:
+            with self._engine_lock:
+                plan = self.engine.explain(
+                    query, backend=requested_backend, mode=mode, order=order
+                )
+        except ReproError:
+            return None
+        attach_actuals(plan.root, span)
+        plan.analyzed = True
+        plan.rows = len(result.rows)
+        plan.elapsed_s = result.elapsed_s
+        plan.sim_io_s = result.sim_io_s
+        plan.totals = dict(result.stats)
+        return plan.to_dict()
+
+    def explain(
+        self,
+        query: ConsolidationQuery,
+        backend: str = "auto",
+        mode: str = "interpreted",
+        order: str = "chunk",
+        analyze: bool = False,
+    ) -> QueryPlan:
+        """EXPLAIN (optionally ANALYZE) one query through the service.
+
+        Serializes behind the engine lock like any miss; an ANALYZE run
+        executes with the service's warm/cold policy.  The payload is
+        kept in the fingerprint-keyed plan cache for
+        ``/explain/<fingerprint>``.
+        """
+        self._check_degraded(query.cube)
+        with self._engine_lock:
+            self._attach_chunk_cache(query.cube)
+            plan = self.engine.explain(
+                query,
+                backend=backend,
+                mode=mode,
+                order=order,
+                analyze=analyze,
+                cold=self.config.cold,
+            )
+        self.plans.put(plan.fingerprint, plan.to_dict())
+        self.counters.add("serve.explains")
+        if analyze:
+            self.counters.add("serve.explain_analyzes")
+        return plan
 
     def _execute(
         self, query, backend, mode, order, fingerprint=None

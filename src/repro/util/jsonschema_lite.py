@@ -1,0 +1,109 @@
+"""A small JSON-Schema subset validator (stdlib only).
+
+The CI explain-smoke validates ``repro explain --json`` output against
+the checked-in ``benchmarks/schemas/explain_plan.schema.json``.  The
+container has no ``jsonschema`` package, so this module implements the
+subset the schema actually uses:
+
+``type`` (including lists of types), ``properties``,
+``additionalProperties`` (boolean form), ``required``, ``items``
+(single-schema form), ``enum``, ``minimum`` / ``maximum``,
+``minItems``, and ``$ref`` into local ``$defs``.
+
+Unknown keywords are ignored, as the spec requires.  Errors carry a
+JSON-pointer-ish path (``plan.children[0].op``), so a failed CI check
+points at the offending node.
+"""
+
+from __future__ import annotations
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+class SchemaError(ValueError):
+    """A document failed schema validation."""
+
+
+def _type_ok(value: object, name: str) -> bool:
+    expected = _TYPES[name]
+    if value is True or value is False:
+        # bool subclasses int; JSON keeps the types distinct
+        return name == "boolean"
+    return isinstance(value, expected)
+
+
+def _resolve(schema: dict, root: dict) -> dict:
+    ref = schema.get("$ref")
+    if ref is None:
+        return schema
+    if not ref.startswith("#/"):
+        raise SchemaError(f"only local $refs are supported, got {ref!r}")
+    node: object = root
+    for part in ref[2:].split("/"):
+        if not isinstance(node, dict) or part not in node:
+            raise SchemaError(f"unresolvable $ref {ref!r}")
+        node = node[part]
+    if not isinstance(node, dict):
+        raise SchemaError(f"$ref {ref!r} does not point at a schema")
+    return node
+
+
+def _check(value: object, schema: dict, root: dict, path: str) -> list[str]:
+    schema = _resolve(schema, root)
+    errors: list[str] = []
+    expected = schema.get("type")
+    if expected is not None:
+        names = expected if isinstance(expected, list) else [expected]
+        if not any(_type_ok(value, name) for name in names):
+            return [
+                f"{path}: expected {' or '.join(names)}, "
+                f"got {type(value).__name__}"
+            ]
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not one of {schema['enum']!r}")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+        if "maximum" in schema and value > schema["maximum"]:
+            errors.append(f"{path}: {value} > maximum {schema['maximum']}")
+    if isinstance(value, dict):
+        properties = schema.get("properties", {})
+        for name in schema.get("required", ()):
+            if name not in value:
+                errors.append(f"{path}: missing required property {name!r}")
+        for name, sub in properties.items():
+            if name in value:
+                errors.extend(
+                    _check(value[name], sub, root, f"{path}.{name}")
+                )
+        if schema.get("additionalProperties") is False:
+            for name in value:
+                if name not in properties:
+                    errors.append(f"{path}: unexpected property {name!r}")
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(
+                f"{path}: {len(value)} items < minItems {schema['minItems']}"
+            )
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for index, element in enumerate(value):
+                errors.extend(
+                    _check(element, items, root, f"{path}[{index}]")
+                )
+    return errors
+
+
+def validate(document: object, schema: dict) -> None:
+    """Raise :class:`SchemaError` listing every violation, or return."""
+    errors = _check(document, schema, schema, "$")
+    if errors:
+        raise SchemaError("; ".join(errors))

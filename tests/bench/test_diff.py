@@ -1,0 +1,134 @@
+"""bench-diff: artifact loading, the p95 gate, and archive rotation."""
+
+import json
+
+import pytest
+
+from repro.bench.diff import (
+    DEFAULT_MAX_P95_REGRESS,
+    MIN_COMPARABLE_S,
+    diff_artifacts,
+    load_artifact,
+)
+from repro.bench.serving_smoke import archive_artifact, latest_artifact
+
+
+def _artifact(scale="small", p50=0.010, p95=0.020, p99=0.030, **extra):
+    payload = {
+        "scale": scale,
+        "threads": 4,
+        "queries": 64,
+        "concurrent": {
+            "p50_s": p50,
+            "p95_s": p95,
+            "p99_s": p99,
+            "hit_rate": 0.5,
+        },
+    }
+    payload.update(extra)
+    return payload
+
+
+class TestLoadArtifact:
+    def test_loads_a_written_artifact(self, tmp_path):
+        path = tmp_path / "a.json"
+        path.write_text(json.dumps(_artifact()))
+        assert load_artifact(str(path))["scale"] == "small"
+
+    def test_rejects_non_artifact_json(self, tmp_path):
+        path = tmp_path / "nope.json"
+        path.write_text('{"unrelated": true}')
+        with pytest.raises(ValueError, match="not a bench-smoke artifact"):
+            load_artifact(str(path))
+
+    def test_rejects_non_dict_json(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError):
+            load_artifact(str(path))
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_artifact(str(tmp_path / "absent.json"))
+
+
+class TestDiffGate:
+    def test_equal_artifacts_pass(self):
+        lines, failures = diff_artifacts(_artifact(), _artifact())
+        assert not failures
+        assert any("p95 gate" in line and "ok" in line for line in lines)
+
+    def test_small_improvement_passes_and_is_reported(self):
+        lines, failures = diff_artifacts(
+            _artifact(p95=0.020), _artifact(p95=0.010)
+        )
+        assert not failures
+        assert any("x0.50" in line for line in lines)
+
+    def test_regression_past_limit_fails(self):
+        lines, failures = diff_artifacts(
+            _artifact(p95=0.010),
+            _artifact(p95=0.020),
+            max_p95_regress=1.5,
+        )
+        assert len(failures) == 1
+        assert "p95 regressed x2.00" in failures[0]
+        assert any(line.startswith("FAIL:") for line in lines)
+
+    def test_default_limit_tolerates_30_percent(self):
+        _, failures = diff_artifacts(
+            _artifact(p95=0.010),
+            _artifact(p95=0.010 * DEFAULT_MAX_P95_REGRESS * 0.99),
+        )
+        assert not failures
+
+    def test_scale_mismatch_is_a_failure_not_a_gate(self):
+        lines, failures = diff_artifacts(
+            _artifact(scale="small"), _artifact(scale="medium")
+        )
+        assert failures and "scale mismatch" in failures[0]
+        # comparison stops: no latency ratios for incomparable runs
+        assert not any("concurrent.p95_s" in line for line in lines)
+
+    def test_tiny_baseline_skips_the_gate(self):
+        lines, failures = diff_artifacts(
+            _artifact(p95=MIN_COMPARABLE_S / 2),
+            _artifact(p95=10.0),
+        )
+        assert not failures
+        assert any("skipped" in line for line in lines)
+
+    def test_fig4_line_only_when_both_have_it(self):
+        with_fig4 = _artifact(fig4_cold={"cost_s": 1.0})
+        lines, _ = diff_artifacts(with_fig4, with_fig4)
+        assert any("fig4_cold.cost_s" in line for line in lines)
+        lines, _ = diff_artifacts(_artifact(), with_fig4)
+        assert not any("fig4_cold" in line for line in lines)
+
+
+class TestArchive:
+    def test_archive_writes_timestamped_copy(self, tmp_path):
+        path = archive_artifact(_artifact(), str(tmp_path))
+        name = path.rsplit("/", 1)[-1]
+        assert name.startswith("BENCH_serving.small.")
+        assert name.endswith(".json")
+        assert load_artifact(path)["scale"] == "small"
+
+    def test_same_second_rerun_gets_serial_suffix(self, tmp_path):
+        first = archive_artifact(_artifact(), str(tmp_path))
+        second = archive_artifact(_artifact(p95=0.5), str(tmp_path))
+        assert first != second
+        assert load_artifact(first)["concurrent"]["p95_s"] == 0.020
+        assert load_artifact(second)["concurrent"]["p95_s"] == 0.5
+
+    def test_latest_artifact_prefers_newest_and_filters_scale(self, tmp_path):
+        archive_artifact(_artifact(scale="small"), str(tmp_path))
+        newest = archive_artifact(_artifact(scale="small"), str(tmp_path))
+        other = archive_artifact(_artifact(scale="medium"), str(tmp_path))
+        assert latest_artifact(str(tmp_path), scale="small") == newest
+        assert latest_artifact(str(tmp_path), scale="medium") == other
+        assert latest_artifact(str(tmp_path)) is not None
+
+    def test_latest_artifact_empty_or_missing_dir(self, tmp_path):
+        assert latest_artifact(str(tmp_path)) is None
+        assert latest_artifact(str(tmp_path / "nowhere")) is None

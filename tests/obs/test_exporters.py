@@ -95,3 +95,48 @@ class TestPrometheus:
         registry.register('we"ird\\nam\ne', Counters()).add("gets", 1)
         text = prometheus_text(registry)
         assert 'source="we\\"ird\\\\nam\\ne"' in text
+
+
+class TestEscapingRoundTrip:
+    """Exporter escaping must invert exactly through the parser.
+
+    Escaping alone is not enough — a scrape consumer sees the *parsed*
+    label value, so each special character has to survive
+    ``prometheus_text`` → ``parse_prometheus_text`` unchanged.
+    """
+
+    def _round_trip(self, source_name: str) -> str:
+        from repro.obs import parse_prometheus_text
+
+        registry = MetricsRegistry()
+        registry.register(source_name, Counters()).add("gets", 1)
+        samples, _ = parse_prometheus_text(prometheus_text(registry))
+        labelled = [s for s in samples if "source" in s.labels]
+        assert len(labelled) == 1
+        return labelled[0].labels["source"]
+
+    def test_newline_survives(self):
+        assert self._round_trip("line\none") == "line\none"
+
+    def test_backslash_survives(self):
+        assert self._round_trip("back\\slash") == "back\\slash"
+
+    def test_double_quote_survives(self):
+        assert self._round_trip('quo"ted') == 'quo"ted'
+
+    def test_all_specials_together_survive(self):
+        gnarly = 'a\\n"b"\n\\\\c\\"'
+        assert self._round_trip(gnarly) == gnarly
+
+    def test_literal_backslash_n_is_not_a_newline(self):
+        # the sequence backslash-then-n in the *raw* value must not
+        # collapse into a newline after the round trip
+        assert self._round_trip("not\\newline") == "not\\newline"
+        assert self._round_trip("not\\newline") != "not\newline"
+
+    def test_lint_accepts_escaped_output(self):
+        from repro.obs import lint_prometheus_text
+
+        registry = MetricsRegistry()
+        registry.register('we"ird\\nam\ne', Counters()).add("gets", 1)
+        lint_prometheus_text(prometheus_text(registry))

@@ -1,0 +1,102 @@
+"""Unit tests for the chunk access heatmap tracker."""
+
+import pytest
+
+from repro.obs.heatmap import ChunkHeatmap, heat_delta, hottest
+
+
+class TestRecordAndSnapshot:
+    def test_counts_access_and_disk_planes_separately(self):
+        heat = ChunkHeatmap()
+        heat.record("a", 2)
+        heat.record("a", 2)
+        heat.record("a", 2, disk=True)
+        snap = heat.snapshot("a")
+        assert snap["accesses"] == [0, 0, 2]
+        assert snap["disk_reads"] == [0, 0, 1]
+
+    def test_untracked_array_snapshots_as_zeros(self):
+        snap = ChunkHeatmap().snapshot("never")
+        assert snap == {
+            "accesses": [],
+            "disk_reads": [],
+            "overflow_accesses": 0,
+            "overflow_disk_reads": 0,
+        }
+
+    def test_snapshot_is_a_copy(self):
+        heat = ChunkHeatmap()
+        heat.record("a", 0)
+        snap = heat.snapshot("a")
+        snap["accesses"][0] = 99
+        assert heat.snapshot("a")["accesses"] == [1]
+
+    def test_plane_grows_lazily_to_highest_chunk(self):
+        heat = ChunkHeatmap()
+        heat.record("a", 5)
+        assert len(heat.snapshot("a")["accesses"]) == 6
+
+    def test_reset_one_array_or_all(self):
+        heat = ChunkHeatmap()
+        heat.record("a", 0)
+        heat.record("b", 0)
+        heat.reset("a")
+        assert heat.arrays() == ["b"]
+        heat.reset()
+        assert heat.arrays() == []
+
+
+class TestBounds:
+    def test_chunk_numbers_past_bound_fold_into_overflow(self):
+        heat = ChunkHeatmap(max_tracked_chunks=4)
+        heat.record("a", 3)
+        heat.record("a", 4)
+        heat.record("a", 100, disk=True)
+        snap = heat.snapshot("a")
+        assert len(snap["accesses"]) == 4
+        assert snap["overflow_accesses"] == 1
+        assert snap["overflow_disk_reads"] == 1
+
+    def test_array_lru_eviction(self):
+        heat = ChunkHeatmap(max_arrays=2)
+        heat.record("a", 0)
+        heat.record("b", 0)
+        heat.record("a", 1)  # refresh a; b is the victim
+        heat.record("c", 0)
+        assert heat.snapshot("b")["accesses"] == []
+        assert heat.snapshot("a")["accesses"] == [1, 1]
+        assert set(heat.arrays()) == {"a", "c"}
+
+    def test_bounds_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ChunkHeatmap(max_tracked_chunks=0)
+        with pytest.raises(ValueError):
+            ChunkHeatmap(max_arrays=0)
+
+
+class TestDeltaAndHottest:
+    def test_heat_delta_pads_shorter_snapshot(self):
+        heat = ChunkHeatmap()
+        heat.record("a", 0)
+        before = heat.snapshot("a")
+        heat.record("a", 0)
+        heat.record("a", 3, disk=True)
+        heat.record("a", 3)
+        delta = heat_delta(before, heat.snapshot("a"))
+        assert delta["accesses"] == [1, 0, 0, 1]
+        assert delta["disk_reads"] == [0, 0, 0, 1]
+        assert delta["overflow_accesses"] == 0
+
+    def test_heat_delta_tracks_overflow_movement(self):
+        heat = ChunkHeatmap(max_tracked_chunks=1)
+        before = heat.snapshot("a")
+        heat.record("a", 9)
+        delta = heat_delta(before, heat.snapshot("a"))
+        assert delta["overflow_accesses"] == 1
+
+    def test_hottest_ranks_by_count_then_chunk_number(self):
+        counts = [0, 5, 2, 5, 0, 1]
+        assert hottest(counts, top=3) == [[1, 5], [3, 5], [2, 2]]
+
+    def test_hottest_drops_cold_chunks_entirely(self):
+        assert hottest([0, 0, 0]) == []

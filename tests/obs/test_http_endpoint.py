@@ -133,6 +133,109 @@ class TestHealth:
         assert json.loads(body)["status"] == "ok"
 
 
+class TestExplainRoutes:
+    def test_explain_index_and_lookup(self, registry):
+        from repro.obs.explain import PlanCache
+
+        plans = PlanCache()
+        plans.put("fp_a", {"backend": "array", "analyzed": False})
+        with ObservabilityServer(registry, plans=plans) as server:
+            status, content_type, body = _get(f"{server.url}/explain")
+            assert status == 200
+            assert content_type.startswith("application/json")
+            index = json.loads(body)
+            assert index == {"fingerprints": ["fp_a"], "count": 1}
+
+            status, _, body = _get(f"{server.url}/explain/fp_a")
+            assert status == 200
+            assert json.loads(body)["backend"] == "array"
+
+    def test_explain_unknown_fingerprint_404(self, registry):
+        from repro.obs.explain import PlanCache
+
+        with ObservabilityServer(registry, plans=PlanCache()) as server:
+            status, _, body = _get(f"{server.url}/explain/deadbeef")
+        assert status == 404
+        assert "no plan" in json.loads(body)["error"]
+
+    def test_explain_detached_serves_empty_index(self, registry):
+        with ObservabilityServer(registry) as server:
+            status, _, body = _get(f"{server.url}/explain")
+            assert status == 200
+            assert json.loads(body) == {"fingerprints": [], "count": 0}
+            status, _, _ = _get(f"{server.url}/explain/anything")
+            assert status == 404
+
+    def test_routes_listed_in_404(self, registry):
+        with ObservabilityServer(registry) as server:
+            _, _, body = _get(f"{server.url}/nope")
+        routes = json.loads(body)["routes"]
+        assert "/explain/<fingerprint>" in routes
+        assert "/heatmap/<cube>" in routes
+
+
+class TestHeatmapRoute:
+    def test_heatmap_detached_404(self, registry):
+        with ObservabilityServer(registry) as server:
+            status, _, body = _get(f"{server.url}/heatmap/cube")
+        assert status == 404
+        assert "no service" in json.loads(body)["error"]
+
+    def test_heatmap_served_from_live_service(self):
+        from repro.olap import ConsolidationQuery
+        from repro.serve import QueryService
+
+        from tests.serve.conftest import CONFIG, fresh_engine
+
+        engine = fresh_engine()
+        query = ConsolidationQuery.build(
+            CONFIG.name,
+            group_by={f"dim{d}": f"h{d}1" for d in range(CONFIG.ndim)},
+        )
+        with QueryService(engine) as service:
+            service.execute(query)
+            server = ObservabilityServer(engine.db.metrics, service=service)
+            with server:
+                status, content_type, body = _get(
+                    f"{server.url}/heatmap/{CONFIG.name}"
+                )
+                assert status == 200
+                assert content_type.startswith("application/json")
+                payload = json.loads(body)
+                assert payload["cube"] == CONFIG.name
+                assert payload["total_accesses"] > 0
+                assert len(payload["accesses"]) <= payload["n_chunks"]
+                assert payload["hottest"]
+
+                status, _, body = _get(f"{server.url}/heatmap/unknown")
+                assert status == 404
+                assert "unknown" in json.loads(body)["error"]
+
+    def test_service_explain_payload_served_end_to_end(self):
+        from repro.olap import ConsolidationQuery
+        from repro.serve import QueryService
+
+        from tests.serve.conftest import CONFIG, fresh_engine
+
+        engine = fresh_engine()
+        query = ConsolidationQuery.build(
+            CONFIG.name,
+            group_by={f"dim{d}": f"h{d}1" for d in range(CONFIG.ndim)},
+        )
+        with QueryService(engine) as service:
+            plan = service.explain(query, backend="array", analyze=True)
+            server = ObservabilityServer(engine.db.metrics, service=service)
+            with server:
+                status, _, body = _get(
+                    f"{server.url}/explain/{plan.fingerprint}"
+                )
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["analyzed"] is True
+            assert payload["fingerprint"] == plan.fingerprint
+            assert payload["execution"]["rows"] == plan.rows
+
+
 class TestLifecycle:
     def test_stop_is_idempotent_and_start_restarts(self, registry):
         server = ObservabilityServer(registry)

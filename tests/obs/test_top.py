@@ -94,3 +94,47 @@ class TestRender:
         view = MetricsView.from_text(prometheus_text(registry))
         frame = render_dashboard(None, view, interval_s=1.0)
         assert "wal fsync" in frame
+
+
+class TestMinimalRegistry:
+    """A scrape without the serving families must degrade, not crash."""
+
+    def _minimal_view(self) -> MetricsView:
+        # an engine-only registry: one counter source, nothing else —
+        # no serve histograms, no cache counters, no pool gauge
+        registry = MetricsRegistry()
+        registry.register("disk", Counters()).add("pages_read", 3)
+        return MetricsView.from_text(prometheus_text(registry))
+
+    def test_absent_families_render_as_dash(self):
+        frame = render_dashboard(None, self._minimal_view(), interval_s=1.0)
+        assert "—" in frame
+        # absent latency families must not masquerade as 0.000ms
+        assert "0.000ms" not in frame
+        lines = frame.splitlines()
+        latency = next(line for line in lines if "query latency" in line)
+        assert latency.count("—") == 3  # p50, p95, p99
+        cache = next(line for line in lines if "cache hit-rate" in line)
+        assert cache.count("—") == 3  # result, chunk, pool
+
+    def test_empty_scrape_renders(self):
+        view = MetricsView.from_text(
+            prometheus_text(MetricsRegistry())
+        )
+        frame = render_dashboard(None, view, interval_s=1.0)
+        assert "qps" in frame and "—" in frame
+
+    def test_present_families_still_render_numbers(self):
+        view = MetricsView.from_text(prometheus_text(_registry()))
+        frame = render_dashboard(None, view, interval_s=1.0)
+        latency = next(
+            line for line in frame.splitlines() if "query latency" in line
+        )
+        assert "—" not in latency
+        assert "ms" in latency
+
+    def test_quantile_with_only_inf_bucket_is_zero(self):
+        view = MetricsView()
+        view.histogram_buckets["h"] = {"+Inf": 5.0}
+        view.histogram_counts["h"] = 5.0
+        assert view.quantile("h", 0.5) == 0.0

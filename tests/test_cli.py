@@ -99,3 +99,103 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "fact_file" in out
         assert "array_total" in out
+
+
+class TestExplainCommand:
+    def test_explain_renders_a_text_tree(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert main(["explain", "q1", "--backend", "array"]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN" in out
+        assert "array.scan_chunks" in out
+        assert "est{" in out
+        assert "act{" not in out  # estimate-only
+
+    def test_explain_analyze_shows_actuals(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert main(
+            ["explain", "q2", "--backend", "array", "--analyze"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE" in out
+        assert "act{" in out
+        assert "worst=x" in out
+
+    def test_explain_json_validates_against_checked_in_schema(
+        self, capsys, monkeypatch
+    ):
+        import json
+        import os
+
+        from repro.util.jsonschema_lite import validate
+
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        schema_path = os.path.join(
+            os.path.dirname(__file__),
+            "..", "benchmarks", "schemas", "explain_plan.schema.json",
+        )
+        assert main(
+            ["explain", "q1", "--json", "--validate", schema_path]
+        ) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["backend"]
+        assert payload["plan"]["op"].endswith(".query")
+        with open(schema_path, encoding="utf-8") as handle:
+            validate(payload, json.load(handle))
+        assert "validates" in captured.err
+
+    def test_explain_validate_failure_is_nonzero(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        bad_schema = tmp_path / "strict.json"
+        bad_schema.write_text(
+            '{"type": "object", "required": ["no_such_key"]}'
+        )
+        assert main(
+            ["explain", "q1", "--json", "--validate", str(bad_schema)]
+        ) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+
+class TestBenchDiffCommand:
+    def _write(self, path, p95, scale="small"):
+        import json
+
+        path.write_text(json.dumps({
+            "scale": scale,
+            "threads": 2,
+            "queries": 16,
+            "concurrent": {
+                "p50_s": 0.001, "p95_s": p95, "p99_s": 0.05,
+                "hit_rate": 0.5,
+            },
+        }))
+
+    def test_pass_and_fail_exit_codes(self, capsys, tmp_path):
+        base, cand = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(base, p95=0.010)
+        self._write(cand, p95=0.011)
+        assert main(["bench-diff", str(base), str(cand)]) == 0
+        assert "ok" in capsys.readouterr().out
+        self._write(cand, p95=0.100)
+        assert main(["bench-diff", str(base), str(cand)]) == 1
+        assert "regressed" in capsys.readouterr().out
+
+    def test_custom_limit_flag(self, tmp_path):
+        base, cand = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(base, p95=0.010)
+        self._write(cand, p95=0.012)
+        assert main(
+            ["bench-diff", str(base), str(cand),
+             "--max-p95-regress", "1.1"]
+        ) == 1
+
+    def test_unreadable_artifact_fails_cleanly(self, capsys, tmp_path):
+        base = tmp_path / "a.json"
+        self._write(base, p95=0.010)
+        assert main(
+            ["bench-diff", str(base), str(tmp_path / "missing.json")]
+        ) == 1
+        assert "FAIL" in capsys.readouterr().err
