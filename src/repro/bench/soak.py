@@ -1,0 +1,367 @@
+"""``repro soak``: a seeded replay workload that emits trend artifacts.
+
+The serving smoke proves one burst of traffic works; the soak proves
+the *temporal* story: seeded skewed/bursty clients drive one
+:class:`~repro.serve.service.QueryService` for N wall-clock seconds
+with the whole observability stack live — time-series sampler, SLO
+alert evaluation, sampling profiler, slow-query log — and the run is
+summarized into a ``BENCH_soak.json`` artifact with time-bucketed
+p50/p95/p99 latency, throughput, cache behavior, the alert transition
+log and the profiler's attribution statistics.
+
+Workload shape (all randomness comes from one seeded ``Random``, so a
+rerun with the same seed replays the same request schedule):
+
+- each client loops until the deadline, picking the paper's Query 1/2/3
+  with skewed weights (hot query dominates, like a real dashboard);
+- think times are drawn per request, with occasional zero-think
+  *bursts* so admission and queueing see pressure spikes;
+- a churn writer periodically overwrites one cell, invalidating the
+  result cache so engine misses (and their spans, WAL fsyncs and chunk
+  traffic) keep flowing — a soak that serves 100% cache hits after the
+  first second would measure nothing but the cache.
+
+``inject_breach=True`` demonstrates the alert lifecycle end to end: at
+40% of the run an intentionally-impossible SLO rule (engine p50 above
+zero) is installed and one cell write forces cache misses, so the rule
+fires; once the result cache repopulates the rule's window drains and
+it resolves.  The artifact must then show *exactly one* firing→resolved
+cycle for the injected rule — and zero transitions for every default
+rule, which is also the healthy-path assertion CI's soak-smoke makes.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+
+from repro.bench.harness import (
+    _percentile,
+    bench_settings,
+    build_cube_engine,
+    query1_for,
+    query2_for,
+    query3_for,
+)
+from repro.data.datasets import dataset1
+from repro.data.generator import generate_fact_rows
+
+#: the deliberately-unsatisfiable rule ``inject_breach`` installs
+INJECTED_RULE = "soak-injected-latency"
+
+#: skewed pick weights for Query 1 / Query 2 / Query 3
+_QUERY_WEIGHTS = (0.6, 0.3, 0.1)
+
+#: one request in ``_BURST_EVERY`` starts a zero-think burst this long
+_BURST_LENGTH = 5
+_BURST_EVERY = 12
+
+
+def _bucketize(
+    events: list[tuple[float, float, bool]], bucket_s: float, seconds: float
+) -> list[dict]:
+    """Time-bucketed latency/throughput rows from (t, latency, hit)."""
+    n_buckets = max(1, int(seconds / bucket_s + 0.999))
+    grouped: list[list[tuple[float, bool]]] = [[] for _ in range(n_buckets)]
+    for t, latency, hit in events:
+        index = min(n_buckets - 1, int(t / bucket_s))
+        grouped[index].append((latency, hit))
+    buckets = []
+    for index, group in enumerate(grouped):
+        latencies = sorted(latency for latency, _ in group)
+        hits = sum(1 for _, hit in group if hit)
+        buckets.append(
+            {
+                "t_s": index * bucket_s,
+                "count": len(group),
+                "qps": len(group) / bucket_s,
+                "p50_s": _percentile(latencies, 0.50),
+                "p95_s": _percentile(latencies, 0.95),
+                "p99_s": _percentile(latencies, 0.99),
+                "hit_rate": hits / len(group) if group else 0.0,
+            }
+        )
+    return buckets
+
+
+def run_soak(
+    scale: str | None = None,
+    seconds: float = 10.0,
+    seed: int = 0,
+    clients: int = 4,
+    bucket_s: float = 1.0,
+    inject_breach: bool = False,
+    sample_interval_s: float = 0.25,
+    churn_every_s: float = 2.0,
+) -> dict:
+    """Run the soak; returns the ``BENCH_soak.json`` payload.
+
+    ``failures`` in the returned dict is empty on success; the CLI (and
+    CI's soak-smoke) exits non-zero when it is not.
+    """
+    import random
+
+    from repro.obs.alerts import SloRule
+    from repro.obs.tracer import Tracer, thread_tracing
+    from repro.serve import QueryService, ServiceConfig
+
+    settings = bench_settings(scale)
+    config = dataset1(settings.scale)[1]  # the x100 cube
+    queries = [query1_for(config), query2_for(config), query3_for(config)]
+    failures: list[str] = []
+    events: list[tuple[float, float, bool]] = []  # (t_rel, latency_s, hit)
+    events_lock = threading.Lock()
+    rng = random.Random(seed)
+    # per-client generators seeded up front so the schedule replays no
+    # matter how threads interleave
+    client_rngs = [
+        random.Random(rng.randrange(2**31)) for _ in range(clients)
+    ]
+
+    with tempfile.TemporaryDirectory(prefix="repro-soak-") as wal_dir:
+        engine = build_cube_engine(config, settings, wal_dir=wal_dir)
+        write_row = next(iter(generate_fact_rows(config)))
+        write_keys = tuple(write_row[: config.ndim])
+        write_measures = tuple(write_row[config.ndim :])
+        service = QueryService(
+            engine,
+            ServiceConfig(
+                max_workers=clients,
+                max_in_flight=4 * clients * len(queries),
+                slowlog_threshold_s=0.0,  # profile everything
+                timeseries_interval_s=sample_interval_s,
+                profile_sampling_s=0.005,
+            ),
+        )
+        start = time.monotonic()
+        deadline = start + seconds
+        inject_at = start + 0.4 * seconds
+        stop_churn = threading.Event()
+        writes = 0
+
+        def client(index: int) -> None:
+            crng = client_rngs[index]
+            tracer = Tracer()
+            burst_left = 0
+            # think via an Event wait, not time.sleep: a C-level sleep
+            # has no Python frame, so the profiler would blame the
+            # caller as busy; a parked Event wait classifies as idle
+            pause = threading.Event()
+            with thread_tracing(tracer):
+                while time.monotonic() < deadline:
+                    pick = crng.random()
+                    if pick < _QUERY_WEIGHTS[0]:
+                        query = queries[0]
+                    elif pick < _QUERY_WEIGHTS[0] + _QUERY_WEIGHTS[1]:
+                        query = queries[1]
+                    else:
+                        query = queries[2]
+                    issued = time.monotonic()
+                    with tracer.span("soak_client", client=index):
+                        try:
+                            result = service.execute(query)
+                        except Exception:
+                            # admission pressure / degraded windows are
+                            # workload data, not harness errors
+                            result = None
+                    latency = time.monotonic() - issued
+                    hit = bool(
+                        result is not None
+                        and result.stats.get("result_cache_hit")
+                    )
+                    with events_lock:
+                        events.append((issued - start, latency, hit))
+                    if burst_left > 0:
+                        burst_left -= 1
+                        continue  # zero think time inside a burst
+                    if crng.randrange(_BURST_EVERY) == 0:
+                        burst_left = _BURST_LENGTH
+                        continue
+                    pause.wait(crng.uniform(0.0, 0.02))
+
+        def churn() -> None:
+            # periodic cell overwrites keep engine misses (and their
+            # spans) flowing; stops before the injection so the
+            # injected rule's single firing cannot flap
+            nonlocal writes
+            while not stop_churn.wait(churn_every_s):
+                if inject_breach and time.monotonic() >= inject_at:
+                    return
+                if time.monotonic() >= deadline:
+                    return
+                tracer = Tracer()
+                with thread_tracing(tracer), tracer.span("soak_churn"):
+                    service.write_cell(
+                        config.name, write_keys, write_measures
+                    )
+                writes += 1
+
+        try:
+            threads = [
+                threading.Thread(
+                    target=client, args=(i,), name=f"soak-client-{i}"
+                )
+                for i in range(clients)
+            ]
+            writer = threading.Thread(
+                target=churn, name="soak-churn", daemon=True
+            )
+            for thread in threads:
+                thread.start()
+            writer.start()
+            if inject_breach:
+                threading.Event().wait(
+                    max(0.0, inject_at - time.monotonic())
+                )
+                # impossible ceiling: the very next engine observation
+                # breaches it; installed only now, after warmup, so the
+                # cold-start misses cannot fire it early
+                service.alerts.add_rule(
+                    SloRule(
+                        name=INJECTED_RULE,
+                        kind="latency_quantile_ceiling",
+                        description="soak-injected breach (must fire "
+                        "exactly once and resolve)",
+                        severity="test",
+                        metric="engine.query_seconds",
+                        quantile=0.5,
+                        ceiling=0.0,
+                        window_s=max(2.0, 0.2 * seconds),
+                        min_count=1,
+                    )
+                )
+                tracer = Tracer()
+                with thread_tracing(tracer), tracer.span("soak_churn"):
+                    service.write_cell(
+                        config.name, write_keys, write_measures
+                    )
+                writes += 1
+            for thread in threads:
+                thread.join()
+            stop_churn.set()
+            writer.join(timeout=5)
+            # a final tick so the artifact reflects the drained state
+            # (the injected rule's window must have emptied by now)
+            point = service.timeseries.sample()
+            service.alerts.evaluate(point)
+            payload = _summarize(
+                service, settings, config, events, failures,
+                seconds=seconds, seed=seed, clients=clients,
+                bucket_s=bucket_s, inject_breach=inject_breach,
+                writes=writes,
+            )
+        finally:
+            stop_churn.set()
+            service.close()
+    return payload
+
+
+def _summarize(
+    service, settings, config, events, failures, *, seconds, seed,
+    clients, bucket_s, inject_breach, writes,
+) -> dict:
+    buckets = _bucketize(events, bucket_s, seconds)
+    latencies = sorted(latency for _, latency, _ in events)
+    hits = sum(1 for _, _, hit in events if hit)
+    alert_events = service.alerts.events()
+    unexpected = sorted(
+        {e["rule"] for e in alert_events if e["rule"] != INJECTED_RULE}
+    )
+    injected = None
+    if inject_breach:
+        cycle = [e for e in alert_events if e["rule"] == INJECTED_RULE]
+        injected = {
+            "rule": INJECTED_RULE,
+            "firings": service.alerts.firings(INJECTED_RULE),
+            "resolved": bool(cycle) and cycle[-1]["state"] == "resolved",
+            "transitions": [e["state"] for e in cycle],
+        }
+    profile = service.profiler.stats()
+    payload = {
+        "scale": settings.scale,
+        "cube": config.name,
+        "seconds": seconds,
+        "seed": seed,
+        "clients": clients,
+        "bucket_s": bucket_s,
+        "queries": len(events),
+        "writes": writes,
+        "hit_rate": hits / len(events) if events else 0.0,
+        "latency": {
+            "p50_s": _percentile(latencies, 0.50),
+            "p95_s": _percentile(latencies, 0.95),
+            "p99_s": _percentile(latencies, 0.99),
+        },
+        "buckets": buckets,
+        "timeseries": {
+            "samples_taken": service.timeseries.samples_taken,
+            "metrics": len(service.timeseries.metric_names()),
+        },
+        "alerts": {
+            "evaluations": service.alerts.evaluations,
+            "events": alert_events,
+            "firing_at_end": service.alerts.firing(),
+            "unexpected_rules": unexpected,
+            "injected": injected,
+        },
+        "profiler": {
+            **profile,
+            "hottest": [
+                {"stack": stack, "samples": count}
+                for stack, count in service.profiler.hottest(10)
+            ],
+        },
+        "slowlog_entries": len(service.slowlog),
+        "failures": failures,
+    }
+    _gate(payload, failures)
+    return payload
+
+
+def _gate(payload: dict, failures: list[str]) -> None:
+    """The soak's own acceptance checks; appends into ``failures``."""
+    if not payload["queries"]:
+        failures.append("workload issued no queries")
+    populated = [b for b in payload["buckets"] if b["count"] > 0]
+    if not populated:
+        failures.append("no time bucket saw traffic (p95 series empty)")
+    if payload["timeseries"]["samples_taken"] < 4:
+        failures.append(
+            "time-series store took fewer than 4 samples "
+            f"({payload['timeseries']['samples_taken']})"
+        )
+    if payload["alerts"]["unexpected_rules"]:
+        failures.append(
+            "unexpected alert transitions on the healthy path: "
+            + ", ".join(payload["alerts"]["unexpected_rules"])
+        )
+    injected = payload["alerts"]["injected"]
+    if injected is not None:
+        if injected["firings"] != 1:
+            failures.append(
+                f"injected rule fired {injected['firings']} times "
+                "(expected exactly 1)"
+            )
+        if not injected["resolved"]:
+            failures.append("injected rule never resolved")
+        if injected["transitions"] != ["firing", "resolved"]:
+            failures.append(
+                "injected rule transitions "
+                f"{injected['transitions']} != ['firing', 'resolved']"
+            )
+    profiler = payload["profiler"]
+    busy = profiler["span_samples"] + profiler["other_samples"]
+    if busy >= 20 and profiler["attributed_fraction"] < 0.8:
+        failures.append(
+            f"profiler attributed only "
+            f"{profiler['attributed_fraction']:.0%} of busy samples "
+            "to named spans (floor 80%)"
+        )
+
+
+def write_soak_artifact(payload: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")

@@ -1,0 +1,139 @@
+"""``repro bench-trend``: the latency trajectory across archived runs.
+
+``bench-smoke`` archives every run as a timestamped artifact under
+``benchmarks/results/``; ``bench-diff`` compares exactly two of them.
+This module walks the whole archive instead, grouping artifacts by
+scale (cross-scale latencies are not comparable) and rendering each
+scale's concurrent p50/p95 trajectory oldest-to-newest with a sparkline
+— the long-run answer to "is serving getting slower?".
+
+The gate compares the newest run's p95 against the *median* of every
+earlier run at the same scale: a single noisy historical run cannot
+poison the baseline the way bench-diff's newest-previous pairing can.
+Scales with fewer than two artifacts render without gating.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+#: eight-level sparkline ramp, lowest to highest
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+#: p95 windows narrower than this are noise, not signal (matches
+#: repro.bench.diff.MIN_COMPARABLE_S)
+_MIN_COMPARABLE_S = 1e-6
+
+
+def load_trend(results_dir: str) -> dict[str, list[dict]]:
+    """Archived artifacts grouped by scale, oldest first (by mtime).
+
+    Each entry keeps the file name, the concurrent p50/p95/p99 and the
+    hit rate; unreadable or shapeless files are skipped (an interrupted
+    CI upload must not wedge the trend forever).
+    """
+    if not os.path.isdir(results_dir):
+        return {}
+    paths = [
+        os.path.join(results_dir, name)
+        for name in os.listdir(results_dir)
+        if name.startswith("BENCH_serving.") and name.endswith(".json")
+    ]
+    paths.sort(key=os.path.getmtime)
+    by_scale: dict[str, list[dict]] = {}
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            concurrent = payload["concurrent"]
+            entry = {
+                "file": os.path.basename(path),
+                "scale": payload.get("scale", "unknown"),
+                "p50_s": float(concurrent["p50_s"]),
+                "p95_s": float(concurrent["p95_s"]),
+                "p99_s": float(concurrent["p99_s"]),
+                "hit_rate": float(concurrent["hit_rate"]),
+            }
+        except (OSError, ValueError, KeyError, TypeError):
+            continue
+        by_scale.setdefault(entry["scale"], []).append(entry)
+    return by_scale
+
+
+def sparkline(values: list[float], width: int = 0) -> str:
+    """A one-line trend of ``values`` (most recent last)."""
+    if not values:
+        return ""
+    if width and len(values) > width:
+        values = values[-width:]
+    low, high = min(values), max(values)
+    span = high - low
+    if span <= 0:
+        return _SPARKS[0] * len(values)
+    return "".join(
+        _SPARKS[min(len(_SPARKS) - 1, int((v - low) / span * len(_SPARKS)))]
+        for v in values
+    )
+
+
+def gate_trend(
+    entries: list[dict], max_p95_regress: float
+) -> tuple[str, bool]:
+    """``(verdict line, failed)`` for one scale's trajectory.
+
+    Gates the newest p95 against the median of all earlier runs; below
+    two entries (or a sub-microsecond baseline) there is nothing to
+    gate and the verdict says so.
+    """
+    import statistics
+
+    if len(entries) < 2:
+        return "trend: fewer than 2 artifacts, nothing to gate", False
+    baseline = statistics.median(e["p95_s"] for e in entries[:-1])
+    candidate = entries[-1]["p95_s"]
+    if baseline < _MIN_COMPARABLE_S:
+        return (
+            f"trend: baseline median p95 {baseline * 1e6:.3f}µs below "
+            "comparison floor, nothing to gate",
+            False,
+        )
+    ratio = candidate / baseline
+    line = (
+        f"trend: newest p95 {candidate * 1000:.3f}ms vs median of "
+        f"{len(entries) - 1} earlier runs {baseline * 1000:.3f}ms "
+        f"(x{ratio:.2f}, limit x{max_p95_regress:.2f})"
+    )
+    if ratio > max_p95_regress:
+        return "FAIL " + line, True
+    return "ok   " + line, False
+
+
+def render_trend(
+    by_scale: dict[str, list[dict]], max_p95_regress: float = 1.5
+) -> tuple[str, bool]:
+    """``(report text, any gate failed)`` over the whole archive."""
+    if not by_scale:
+        return "no archived artifacts found", False
+    lines: list[str] = []
+    failed = False
+    for scale in sorted(by_scale):
+        entries = by_scale[scale]
+        lines.append(
+            f"[{scale}] {len(entries)} archived run"
+            f"{'s' if len(entries) != 1 else ''}"
+        )
+        lines.append(
+            "  p95 " + sparkline([e["p95_s"] for e in entries], width=60)
+        )
+        for entry in entries:
+            lines.append(
+                f"  {entry['file']:<44} "
+                f"p50={entry['p50_s'] * 1000:8.3f}ms "
+                f"p95={entry['p95_s'] * 1000:8.3f}ms "
+                f"hit={entry['hit_rate']:5.0%}"
+            )
+        verdict, scale_failed = gate_trend(entries, max_p95_regress)
+        failed = failed or scale_failed
+        lines.append("  " + verdict)
+    return "\n".join(lines), failed

@@ -32,7 +32,21 @@ Commands:
   artifact (plus a timestamped copy under ``benchmarks/results/``);
   non-zero exit on any regression.
 - ``bench-diff`` — compare two bench-smoke artifacts and exit non-zero
-  when the concurrent p95 regressed past ``--max-p95-regress``.
+  when the concurrent p95 regressed past ``--max-p95-regress``; with a
+  single path the repo-root ``BENCH_serving.json`` is the baseline.
+- ``bench-trend`` — walk every archived artifact under
+  ``benchmarks/results/``, render each scale's p50/p95 trajectory with
+  a sparkline, and gate the newest p95 against the median of the
+  earlier runs.
+- ``soak`` — seeded skewed/bursty replay workload for N seconds with
+  the full temporal stack live (TSDB sampler, SLO alerts, sampling
+  profiler); emits a ``BENCH_soak.json`` trend artifact with
+  time-bucketed p50/p95/p99, throughput and the alert transition log;
+  ``--inject-breach`` demonstrates one firing→resolved alert cycle.
+- ``watch`` — terminal trend view (sparklines per metric) polled from a
+  ``/timeseries`` endpoint, with firing alerts inlined.
+- ``alert-lint`` — validate an SLO rule file against the checked-in
+  schema and parse it through the alert manager's loader.
 """
 
 from __future__ import annotations
@@ -265,6 +279,8 @@ def cmd_serve(args) -> int:
                     max_workers=args.threads,
                     max_in_flight=2 * args.threads * len(queries),
                     slowlog_threshold_s=args.slow_threshold,
+                    timeseries_interval_s=0.5,
+                    profile_sampling_s=0.005,
                 ),
             )
             server = ObservabilityServer(
@@ -272,7 +288,8 @@ def cmd_serve(args) -> int:
             ).start()
             print(
                 f"observability endpoint: {server.url}/metrics "
-                f"(also /healthz /slowlog /trace/<fingerprint>)"
+                f"(also /healthz /slowlog /trace/<fingerprint> "
+                f"/timeseries /alerts /profile)"
             )
         try:
             report = run_concurrent(
@@ -327,6 +344,8 @@ def _obs_stack(args, slowlog_threshold_s: float):
             max_workers=args.threads,
             max_in_flight=4 * args.threads * len(queries),
             slowlog_threshold_s=slowlog_threshold_s,
+            timeseries_interval_s=0.5,
+            profile_sampling_s=0.005,
         ),
     )
     return engine, queries, service
@@ -335,7 +354,6 @@ def _obs_stack(args, slowlog_threshold_s: float):
 def cmd_obs_server(args) -> int:
     import tempfile
     import threading
-    import time
 
     from repro.obs.server import ObservabilityServer
 
@@ -366,15 +384,19 @@ def cmd_obs_server(args) -> int:
         worker.start()
         print(
             f"serving {server.url}/metrics /healthz /slowlog "
-            f"/trace/<fingerprint>"
+            f"/trace/<fingerprint> /timeseries /alerts /profile"
             + (f" for {args.duration:.0f}s" if args.duration else "")
         )
         try:
+            # park on an Event, not time.sleep: a C-level sleep has no
+            # Python frame, so the sampling profiler would blame this
+            # loop as busy instead of classifying it idle
+            park = threading.Event()
             if args.duration:
-                time.sleep(args.duration)
+                park.wait(args.duration)
             else:
                 while True:
-                    time.sleep(3600)
+                    park.wait(3600)
         except KeyboardInterrupt:
             print("\ninterrupted")
         finally:
@@ -475,9 +497,21 @@ def cmd_bench_smoke(args) -> int:
 def cmd_bench_diff(args) -> int:
     from repro.bench.diff import diff_artifacts, load_artifact
 
+    baseline, candidate_path = args.baseline, args.candidate
+    if candidate_path is None:
+        if baseline is None:
+            print(
+                "FAIL: bench-diff needs at least a candidate artifact",
+                file=sys.stderr,
+            )
+            return 1
+        # one path: it is the candidate; the canonical repo-root
+        # artifact (refreshed by every bench-smoke) is the baseline
+        candidate_path, baseline = baseline, "BENCH_serving.json"
+        print(f"baseline defaulted to {baseline}", file=sys.stderr)
     try:
-        base = load_artifact(args.baseline)
-        candidate = load_artifact(args.candidate)
+        base = load_artifact(baseline)
+        candidate = load_artifact(candidate_path)
     except (OSError, ValueError) as exc:
         print(f"FAIL: {exc}", file=sys.stderr)
         return 1
@@ -487,6 +521,127 @@ def cmd_bench_diff(args) -> int:
     for line in lines:
         print(line)
     return 1 if failures else 0
+
+
+def cmd_bench_trend(args) -> int:
+    from repro.bench.trend import load_trend, render_trend
+
+    by_scale = load_trend(args.results_dir)
+    if args.json:
+        print(json.dumps(by_scale, indent=2))
+    report, failed = render_trend(
+        by_scale, max_p95_regress=args.max_p95_regress
+    )
+    if not args.json:
+        print(report)
+    elif failed:
+        print(report, file=sys.stderr)
+    return 1 if failed else 0
+
+
+def cmd_soak(args) -> int:
+    from repro.bench.soak import run_soak, write_soak_artifact
+
+    payload = run_soak(
+        scale=args.scale,
+        seconds=args.seconds,
+        seed=args.seed,
+        clients=args.clients,
+        bucket_s=args.bucket,
+        inject_breach=args.inject_breach,
+    )
+    write_soak_artifact(payload, args.output)
+    latency = payload["latency"]
+    print(
+        f"soak [{payload['scale']}] {payload['seconds']:g}s seed={payload['seed']}: "
+        f"{payload['queries']} queries ({payload['writes']} writes) "
+        f"p50={latency['p50_s'] * 1000:.3f}ms "
+        f"p95={latency['p95_s'] * 1000:.3f}ms "
+        f"p99={latency['p99_s'] * 1000:.3f}ms "
+        f"hit-rate={payload['hit_rate']:.0%}"
+    )
+    populated = [b for b in payload["buckets"] if b["count"]]
+    print(
+        f"  buckets: {len(populated)}/{len(payload['buckets'])} with traffic  "
+        f"tsdb samples: {payload['timeseries']['samples_taken']}  "
+        f"alert transitions: {len(payload['alerts']['events'])}  "
+        f"profiler attribution: "
+        f"{payload['profiler']['attributed_fraction']:.0%}"
+    )
+    injected = payload["alerts"]["injected"]
+    if injected is not None:
+        print(
+            f"  injected rule: fired {injected['firings']}x, "
+            f"resolved={injected['resolved']}"
+        )
+    print(f"artifact written to {args.output}")
+    if args.validate:
+        from repro.util.jsonschema_lite import SchemaError, validate
+
+        with open(args.validate, encoding="utf-8") as handle:
+            schema = json.load(handle)
+        try:
+            validate(payload, schema)
+        except SchemaError as exc:
+            print(f"FAIL: schema validation: {exc}", file=sys.stderr)
+            return 1
+        print(f"-- artifact validates against {args.validate}", file=sys.stderr)
+    if payload["failures"]:
+        for failure in payload["failures"]:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_watch(args) -> int:
+    import time
+
+    from repro.obs.watch import watch_frame
+
+    iteration = 0
+    try:
+        while args.iterations == 0 or iteration < args.iterations:
+            if iteration:
+                time.sleep(args.interval)
+            frame = watch_frame(args.url, seconds=args.seconds, q=args.q)
+            if args.plain:
+                print(f"-- {args.url} @ {time.strftime('%H:%M:%S')}")
+                print(frame)
+            else:
+                print("\x1b[2J\x1b[H", end="")
+                print(
+                    f"repro watch — {args.url} @ {time.strftime('%H:%M:%S')}\n"
+                )
+                print(frame)
+            iteration += 1
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_alert_lint(args) -> int:
+    from repro.errors import MetricsError
+    from repro.obs.alerts import load_rules
+    from repro.util.jsonschema_lite import SchemaError, validate
+
+    with open(args.rules, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    with open(args.schema, encoding="utf-8") as handle:
+        schema = json.load(handle)
+    try:
+        validate(payload, schema)
+    except SchemaError as exc:
+        print(f"FAIL: {args.rules}: schema validation: {exc}", file=sys.stderr)
+        return 1
+    try:
+        rules = load_rules(args.rules)
+    except MetricsError as exc:
+        print(f"FAIL: {args.rules}: {exc}", file=sys.stderr)
+        return 1
+    for rule in rules:
+        print(f"ok  {rule.name:<28} {rule.kind} ({rule.severity})")
+    print(f"{len(rules)} rules validate against {args.schema}")
+    return 0
 
 
 def cmd_faultcheck(args) -> int:
@@ -739,8 +894,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="compare two bench-smoke artifacts; non-zero exit on a "
         "p95 latency regression",
     )
-    bench_diff.add_argument("baseline", help="earlier BENCH_serving.json")
-    bench_diff.add_argument("candidate", help="newer BENCH_serving.json")
+    bench_diff.add_argument(
+        "baseline",
+        nargs="?",
+        default=None,
+        help="earlier BENCH_serving.json (with one path given, that "
+        "path is the candidate and the repo-root BENCH_serving.json "
+        "is the baseline)",
+    )
+    bench_diff.add_argument(
+        "candidate", nargs="?", default=None, help="newer BENCH_serving.json"
+    )
     bench_diff.add_argument(
         "--max-p95-regress",
         type=float,
@@ -750,6 +914,99 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 1.3)",
     )
     bench_diff.set_defaults(run=cmd_bench_diff)
+
+    bench_trend = commands.add_parser(
+        "bench-trend",
+        help="render and gate the p95 trajectory across every archived "
+        "bench-smoke artifact",
+    )
+    bench_trend.add_argument(
+        "--results-dir", default="benchmarks/results", metavar="DIR"
+    )
+    bench_trend.add_argument(
+        "--max-p95-regress",
+        type=float,
+        default=1.5,
+        metavar="RATIO",
+        help="fail when the newest p95 exceeds this multiple of the "
+        "median of the earlier runs at the same scale (default 1.5)",
+    )
+    bench_trend.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the grouped trajectory as JSON instead of the table",
+    )
+    bench_trend.set_defaults(run=cmd_bench_trend)
+
+    soak = commands.add_parser(
+        "soak",
+        help="seeded replay workload with the temporal observability "
+        "stack live; emits a BENCH_soak.json trend artifact",
+    )
+    soak.add_argument("--seconds", type=float, default=10.0)
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument("--clients", type=int, default=4)
+    soak.add_argument(
+        "--bucket",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="latency time-bucket width in seconds (default 1.0)",
+    )
+    soak.add_argument(
+        "--inject-breach",
+        action="store_true",
+        help="install an unsatisfiable SLO rule mid-run and force one "
+        "firing→resolved alert cycle (the lifecycle proof)",
+    )
+    soak.add_argument("--output", default="BENCH_soak.json", metavar="FILE")
+    soak.add_argument(
+        "--validate",
+        metavar="SCHEMA",
+        help="validate the artifact against a schema file "
+        "(see benchmarks/schemas/bench_soak.schema.json)",
+    )
+    _add_scale_argument(soak)
+    soak.set_defaults(run=cmd_soak)
+
+    watch = commands.add_parser(
+        "watch", help="terminal trend view over a /timeseries endpoint"
+    )
+    watch.add_argument("--url", required=True, help="endpoint base URL")
+    watch.add_argument("--interval", type=float, default=2.0)
+    watch.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="frames to render (default 0: until interrupted)",
+    )
+    watch.add_argument(
+        "--seconds",
+        type=float,
+        default=60.0,
+        help="trailing window each frame asks the endpoint for",
+    )
+    watch.add_argument("--q", type=float, default=0.95)
+    watch.add_argument(
+        "--plain",
+        action="store_true",
+        help="append frames instead of clearing the screen",
+    )
+    watch.set_defaults(run=cmd_watch)
+
+    alert_lint = commands.add_parser(
+        "alert-lint",
+        help="validate an SLO rule file against the checked-in schema",
+    )
+    alert_lint.add_argument(
+        "--rules", default="benchmarks/slo_rules.json", metavar="FILE"
+    )
+    alert_lint.add_argument(
+        "--schema",
+        default="benchmarks/schemas/slo_rules.schema.json",
+        metavar="FILE",
+    )
+    alert_lint.set_defaults(run=cmd_alert_lint)
 
     faultcheck = commands.add_parser(
         "faultcheck",

@@ -68,8 +68,12 @@ from repro.obs.exporters import (
 )
 from repro.obs.slowlog import SlowQueryLog, SlowQueryRecord
 from repro.obs.server import ObservabilityServer
+from repro.obs.timeseries import TimePoint, TimeSeriesStore
+from repro.obs.alerts import AlertManager, SloRule, default_rules, load_rules
+from repro.obs.profiler import SamplingProfiler
 
 __all__ = [
+    "AlertManager",
     "DEFAULT_BOUNDS",
     "MISESTIMATE_FACTOR_THRESHOLD",
     "ChunkHeatmap",
@@ -82,12 +86,18 @@ __all__ = [
     "PlanNode",
     "PromSample",
     "QueryPlan",
+    "SamplingProfiler",
+    "SloRule",
     "SlowQueryLog",
     "SlowQueryRecord",
     "Span",
+    "TimePoint",
+    "TimeSeriesStore",
     "Tracer",
     "attach_actuals",
+    "default_rules",
     "get_tracer",
+    "load_rules",
     "heat_delta",
     "hottest",
     "lint_prometheus_text",

@@ -48,7 +48,21 @@ class MetricsRegistry:
         self._resets: dict[str, Callable[[], object] | None] = {}
         self._gauges: dict[str, Callable[[], float]] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._reset_epoch = 0
         self._lock = threading.RLock()
+
+    @property
+    def resets(self) -> int:
+        """Monotonic count of :meth:`reset_all` boundaries ever crossed.
+
+        Counter samplers (the time-series store, ``repro top``) compare
+        this epoch between two snapshots: when it moved, a smaller
+        counter value means "the counter restarted from zero", not "work
+        was un-done", so the delta since the reset is the current value
+        rather than a negative difference.
+        """
+        with self._lock:
+            return self._reset_epoch
 
     # -- sources -----------------------------------------------------------
 
@@ -217,6 +231,7 @@ class MetricsRegistry:
         with self._lock:
             items = list(self._sources.items())
             resets = dict(self._resets)
+            self._reset_epoch += 1
         for name, counters in items:
             reset = resets[name]
             if reset is not None:

@@ -16,7 +16,16 @@
   ``/explain/<fingerprint>`` — that query's cached EXPLAIN payload
   (estimate-vs-actual per plan node when it was ANALYZE'd);
 - ``/heatmap/<cube>`` — the cumulative chunk access heatmap of one
-  cube's array (logical accesses and disk reads per chunk number).
+  cube's array (logical accesses and disk reads per chunk number);
+- ``/timeseries`` — the metrics the time-series store knows about, and
+  ``/timeseries/<metric>?seconds=N&q=Q`` — that metric's trailing
+  window as points (counter deltas + rate, gauge samples, or windowed
+  histogram quantiles);
+- ``/alerts`` — currently-firing SLO rules, the firing/resolved alert
+  log (with linked slow-query fingerprints for latency alerts), and
+  the installed rule set;
+- ``/profile`` — the sampling profiler's collapsed stacks and
+  attribution statistics.
 
 Everything is read-only and stdlib-only (``http.server``), so the
 endpoint works in the bare CI container and maps 1:1 onto a real
@@ -43,7 +52,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 class ObservabilityServer:
     """Serves ``/metrics``, ``/healthz``, ``/slowlog``, ``/trace/*``,
-    ``/explain/*`` and ``/heatmap/*``."""
+    ``/explain/*``, ``/heatmap/*``, ``/timeseries/*``, ``/alerts`` and
+    ``/profile``."""
 
     def __init__(
         self,
@@ -51,6 +61,9 @@ class ObservabilityServer:
         service: "QueryService | None" = None,
         slowlog: SlowQueryLog | None = None,
         plans: PlanCache | None = None,
+        timeseries=None,
+        alerts=None,
+        profiler=None,
         host: str = "127.0.0.1",
         port: int = 0,
         prefix: str = "repro",
@@ -63,6 +76,17 @@ class ObservabilityServer:
         if plans is None and service is not None:
             plans = getattr(service, "plans", None)
         self.plans = plans
+        # the temporal layer defaults from the attached service, like
+        # the slowlog and plan cache do
+        if timeseries is None and service is not None:
+            timeseries = getattr(service, "timeseries", None)
+        self.timeseries = timeseries
+        if alerts is None and service is not None:
+            alerts = getattr(service, "alerts", None)
+        self.alerts = alerts
+        if profiler is None and service is not None:
+            profiler = getattr(service, "profiler", None)
+        self.profiler = profiler
         self.host = host
         self.prefix = prefix
         self._requested_port = port
@@ -110,6 +134,41 @@ class ObservabilityServer:
             return None
         return self.plans.get(fingerprint)
 
+    def timeseries_index_payload(self) -> tuple[int, dict]:
+        """``/timeseries``: every known metric name and its kind."""
+        if self.timeseries is None:
+            return 404, {"error": "no time-series store attached"}
+        return 200, {
+            "metrics": self.timeseries.metric_names(),
+            "samples": len(self.timeseries),
+            "samples_taken": self.timeseries.samples_taken,
+            "capacity": self.timeseries.capacity,
+        }
+
+    def timeseries_payload(
+        self, metric: str, seconds: float = 60.0, q: float = 0.95
+    ) -> tuple[int, dict]:
+        """``/timeseries/<metric>``: one metric's trailing window."""
+        if self.timeseries is None:
+            return 404, {"error": "no time-series store attached"}
+        payload = self.timeseries.series_payload(metric, seconds, q)
+        if payload is None:
+            return 404, {
+                "error": f"no metric named {metric!r} in the store",
+                "metrics": sorted(self.timeseries.metric_names()),
+            }
+        return 200, payload
+
+    def alerts_payload(self) -> tuple[int, dict]:
+        if self.alerts is None:
+            return 404, {"error": "no alert manager attached"}
+        return 200, self.alerts.to_dict()
+
+    def profile_payload(self) -> tuple[int, dict]:
+        if self.profiler is None:
+            return 404, {"error": "no profiler attached"}
+        return 200, self.profiler.to_dict()
+
     def heatmap_payload(self, cube: str) -> tuple[int, dict]:
         """``(http_status, body)`` for ``/heatmap/<cube>``."""
         if self.service is None:
@@ -145,6 +204,23 @@ class ObservabilityServer:
             def _send_json(self, status: int, payload) -> None:
                 body = json.dumps(payload, indent=2).encode("utf-8")
                 self._send(status, body, "application/json; charset=utf-8")
+
+            def _query_params(self) -> dict[str, str]:
+                parts = self.path.split("?", 1)
+                if len(parts) != 2:
+                    return {}
+                from urllib.parse import parse_qsl
+
+                return dict(parse_qsl(parts[1]))
+
+            @staticmethod
+            def _float_param(
+                params: dict[str, str], name: str, default: float
+            ) -> float:
+                try:
+                    return float(params.get(name, default))
+                except (TypeError, ValueError):
+                    return default
 
             def do_GET(self) -> None:  # noqa: N802 - http.server API
                 path = self.path.split("?", 1)[0].rstrip("/") or "/"
@@ -185,6 +261,24 @@ class ObservabilityServer:
                         cube = path[len("/heatmap/") :]
                         status, payload = endpoint.heatmap_payload(cube)
                         self._send_json(status, payload)
+                    elif path == "/timeseries":
+                        status, payload = endpoint.timeseries_index_payload()
+                        self._send_json(status, payload)
+                    elif path.startswith("/timeseries/"):
+                        metric = path[len("/timeseries/") :]
+                        params = self._query_params()
+                        status, payload = endpoint.timeseries_payload(
+                            metric,
+                            seconds=self._float_param(params, "seconds", 60.0),
+                            q=self._float_param(params, "q", 0.95),
+                        )
+                        self._send_json(status, payload)
+                    elif path == "/alerts":
+                        status, payload = endpoint.alerts_payload()
+                        self._send_json(status, payload)
+                    elif path == "/profile":
+                        status, payload = endpoint.profile_payload()
+                        self._send_json(status, payload)
                     else:
                         self._send_json(
                             404,
@@ -198,6 +292,10 @@ class ObservabilityServer:
                                     "/explain",
                                     "/explain/<fingerprint>",
                                     "/heatmap/<cube>",
+                                    "/timeseries",
+                                    "/timeseries/<metric>",
+                                    "/alerts",
+                                    "/profile",
                                 ],
                             },
                         )

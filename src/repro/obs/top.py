@@ -119,14 +119,29 @@ class MetricsView:
         return h / (h + m) if (h + m) else 0.0
 
 
+def counter_delta(
+    previous: MetricsView, current: MetricsView, base: str
+) -> float:
+    """Reset-aware counter movement between two scrapes.
+
+    The registry exports its monotonic reset epoch as the
+    ``repro_registry_resets`` gauge; when it moved between the scrapes
+    the counter restarted from zero, so the delta is the newer absolute
+    value (what accumulated since the reset) — never a negative.
+    """
+    after = current.counter(base)
+    if current.gauge("repro_registry_resets") != previous.gauge(
+        "repro_registry_resets"
+    ):
+        return max(0.0, after)
+    return max(0.0, after - previous.counter(base))
+
+
 def qps(previous: MetricsView, current: MetricsView, interval_s: float) -> float:
     """Admitted queries per second between two scrapes."""
     if interval_s <= 0:
         return 0.0
-    delta = current.counter("repro_serve_admitted") - previous.counter(
-        "repro_serve_admitted"
-    )
-    return max(0.0, delta / interval_s)
+    return counter_delta(previous, current, "repro_serve_admitted") / interval_s
 
 
 def _fmt_ms(seconds: float) -> str:

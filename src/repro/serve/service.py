@@ -27,6 +27,15 @@ All cache and admission counters register in the
 :class:`~repro.obs.registry.MetricsRegistry` with a no-op reset so they
 stay cumulative across the engine's per-query stat boundaries, and
 queue depth / cache residency export as gauges.
+
+The service also owns the **temporal** observability stack: a
+:class:`~repro.obs.timeseries.TimeSeriesStore` over the engine's
+registry, an :class:`~repro.obs.alerts.AlertManager` evaluated at every
+sampler tick (its firing count exports as the ``serve.alerts_firing``
+gauge), and a :class:`~repro.obs.profiler.SamplingProfiler`.  Both
+background threads are opt-in via :class:`ServiceConfig`
+(``timeseries_interval_s`` / ``profile_sampling_s``) and stop in
+:meth:`close`.
 """
 
 from __future__ import annotations
@@ -45,8 +54,11 @@ from repro.errors import (
     RetryExhaustedError,
     TransientError,
 )
+from repro.obs.alerts import AlertManager, SloRule
 from repro.obs.explain import PlanCache, QueryPlan, attach_actuals
+from repro.obs.profiler import SamplingProfiler
 from repro.obs.slowlog import SlowQueryLog
+from repro.obs.timeseries import TimeSeriesStore
 from repro.obs.tracer import Tracer, get_tracer, thread_tracing
 from repro.olap.engine import OlapEngine, QueryResult
 from repro.olap.query import ConsolidationQuery
@@ -92,6 +104,17 @@ class ServiceConfig:
     #: embed an analyzed plan (estimate vs. actual per node) into every
     #: slow-query record; needs ``profile_queries`` for the actuals
     slowlog_plans: bool = True
+    #: sample the registry into the time-series ring every this many
+    #: seconds (0 keeps the sampler off; the store still answers
+    #: windowed queries over manually-taken samples)
+    timeseries_interval_s: float = 0.0
+    #: ring capacity of the time-series store, in snapshots
+    timeseries_capacity: int = 600
+    #: SLO rules the alert manager evaluates at every sampler tick
+    #: (``None`` installs :func:`repro.obs.alerts.default_rules`)
+    slo_rules: tuple[SloRule, ...] | None = None
+    #: wall-clock sampling-profiler tick interval (0 keeps it off)
+    profile_sampling_s: float = 0.0
 
 
 class QueryService:
@@ -115,6 +138,18 @@ class QueryService:
             threshold_s=self.config.slowlog_threshold_s,
         )
         self.plans = PlanCache(self.config.plan_cache_size)
+        self.timeseries = TimeSeriesStore(
+            engine.db.metrics, capacity=self.config.timeseries_capacity
+        )
+        rules = self.config.slo_rules
+        self.alerts = AlertManager(
+            self.timeseries,
+            rules=list(rules) if rules is not None else None,
+            slowlog=self.slowlog,
+        )
+        self.profiler = SamplingProfiler(
+            interval_s=self.config.profile_sampling_s or 0.005
+        )
         self._engine_lock = threading.RLock()
         self._admission_lock = threading.Lock()
         self._in_flight = 0
@@ -128,6 +163,13 @@ class QueryService:
         for name in list(engine._cubes):
             self._attach_chunk_cache(name)
         self._register_metrics()
+        if self.config.timeseries_interval_s > 0:
+            self.timeseries.start(
+                self.config.timeseries_interval_s,
+                hooks=(self.alerts.evaluate,),
+            )
+        if self.config.profile_sampling_s > 0:
+            self.profiler.start()
 
     # -- metrics -----------------------------------------------------------
 
@@ -162,6 +204,11 @@ class QueryService:
         )
         registry.register_gauge(
             "serve.plan_cache_entries", lambda: float(len(self.plans)),
+            replace=True,
+        )
+        registry.register_gauge(
+            "serve.alerts_firing",
+            lambda: float(self.alerts.firing_count()),
             replace=True,
         )
         # replace=True with no histogram supplied *keeps* an existing
@@ -571,6 +618,8 @@ class QueryService:
             if self._closed:
                 return
             self._closed = True
+        self.timeseries.stop()
+        self.profiler.stop()
         self._pool.shutdown(wait=wait)
         try:
             self.engine.remove_write_listener(self._on_write)

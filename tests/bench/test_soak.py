@@ -1,0 +1,160 @@
+"""The soak harness: bucketing math, gating rules, one real seeded run."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.soak import (
+    INJECTED_RULE,
+    _bucketize,
+    _gate,
+    run_soak,
+    write_soak_artifact,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestBucketize:
+    def test_events_land_in_their_buckets(self):
+        events = [
+            (0.1, 0.010, True),
+            (0.9, 0.020, False),
+            (1.5, 0.100, True),
+        ]
+        buckets = _bucketize(events, bucket_s=1.0, seconds=3.0)
+        assert [b["count"] for b in buckets] == [2, 1, 0]
+        assert [b["t_s"] for b in buckets] == [0.0, 1.0, 2.0]
+        assert buckets[0]["qps"] == 2.0
+        assert buckets[0]["hit_rate"] == 0.5
+        assert buckets[1]["p95_s"] == pytest.approx(0.1)
+        assert buckets[2]["hit_rate"] == 0.0
+
+    def test_late_stragglers_clamp_into_the_last_bucket(self):
+        # a request issued just before the deadline can finish after it
+        buckets = _bucketize([(9.99, 0.5, False)], bucket_s=1.0, seconds=5.0)
+        assert len(buckets) == 5
+        assert buckets[-1]["count"] == 1
+
+    def test_fractional_tail_gets_its_own_bucket(self):
+        assert len(_bucketize([], bucket_s=1.0, seconds=2.5)) == 3
+
+
+def _healthy_payload(**overrides):
+    payload = {
+        "queries": 100,
+        "buckets": [{"count": 100}],
+        "timeseries": {"samples_taken": 10},
+        "alerts": {"unexpected_rules": [], "injected": None},
+        "profiler": {
+            "span_samples": 90,
+            "other_samples": 10,
+            "attributed_fraction": 0.9,
+        },
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestGate:
+    def test_healthy_payload_passes(self):
+        failures = []
+        _gate(_healthy_payload(), failures)
+        assert failures == []
+
+    def test_each_failure_branch(self):
+        cases = [
+            ({"queries": 0}, "no queries"),
+            ({"buckets": [{"count": 0}]}, "p95 series empty"),
+            ({"timeseries": {"samples_taken": 3}}, "fewer than 4"),
+            (
+                {"alerts": {"unexpected_rules": ["x"], "injected": None}},
+                "unexpected alert",
+            ),
+        ]
+        for overrides, needle in cases:
+            failures = []
+            _gate(_healthy_payload(**overrides), failures)
+            assert any(needle in f for f in failures), needle
+
+    def test_injected_rule_must_fire_once_and_resolve(self):
+        bad_cycles = [
+            ({"firings": 0, "resolved": False, "transitions": []}, 3),
+            (
+                {
+                    "firings": 2,
+                    "resolved": True,
+                    "transitions": ["firing", "resolved", "firing", "resolved"],
+                },
+                2,
+            ),
+            (
+                {"firings": 1, "resolved": True,
+                 "transitions": ["firing", "resolved"]},
+                0,
+            ),
+        ]
+        for injected, expected_failures in bad_cycles:
+            injected = {"rule": INJECTED_RULE, **injected}
+            failures = []
+            _gate(
+                _healthy_payload(
+                    alerts={"unexpected_rules": [], "injected": injected}
+                ),
+                failures,
+            )
+            assert len(failures) == expected_failures, injected
+
+    def test_low_attribution_fails_only_when_busy_enough(self):
+        low = {
+            "span_samples": 1,
+            "other_samples": 99,
+            "attributed_fraction": 0.01,
+        }
+        failures = []
+        _gate(_healthy_payload(profiler=low), failures)
+        assert any("attributed only" in f for f in failures)
+        barely_busy = {
+            "span_samples": 1,
+            "other_samples": 5,
+            "attributed_fraction": 0.17,
+        }
+        failures = []
+        _gate(_healthy_payload(profiler=barely_busy), failures)
+        assert failures == []
+
+
+@pytest.mark.slow
+class TestSoakRuns:
+    def test_injected_breach_lifecycle(self, tmp_path):
+        payload = run_soak(
+            scale="small", seconds=6.0, seed=0, clients=2,
+            inject_breach=True,
+        )
+        assert payload["failures"] == []
+        assert payload["queries"] > 0
+        assert any(b["count"] > 0 for b in payload["buckets"])
+        injected = payload["alerts"]["injected"]
+        assert injected["firings"] == 1
+        assert injected["resolved"] is True
+        assert injected["transitions"] == ["firing", "resolved"]
+        assert payload["alerts"]["unexpected_rules"] == []
+        # the artifact round-trips and validates against the shipped schema
+        path = tmp_path / "BENCH_soak.json"
+        write_soak_artifact(payload, str(path))
+        from repro.util.jsonschema_lite import validate
+
+        schema = json.loads(
+            (
+                REPO_ROOT / "benchmarks" / "schemas" / "bench_soak.schema.json"
+            ).read_text(encoding="utf-8")
+        )
+        validate(json.loads(path.read_text(encoding="utf-8")), schema)
+
+    def test_healthy_path_stays_silent(self):
+        payload = run_soak(scale="small", seconds=2.0, seed=1, clients=2)
+        assert payload["failures"] == []
+        assert payload["alerts"]["injected"] is None
+        assert payload["alerts"]["events"] == []
+        assert payload["alerts"]["firing_at_end"] == []

@@ -1,0 +1,121 @@
+"""bench-trend: archive loading, sparklines, the median-baseline gate."""
+
+import json
+import os
+
+from repro.bench.trend import gate_trend, load_trend, render_trend, sparkline
+
+
+def _artifact(path, scale, p95_s, mtime):
+    payload = {
+        "scale": scale,
+        "concurrent": {
+            "p50_s": p95_s / 2,
+            "p95_s": p95_s,
+            "p99_s": p95_s * 1.2,
+            "hit_rate": 0.9,
+        },
+    }
+    path.write_text(json.dumps(payload))
+    os.utime(path, (mtime, mtime))
+
+
+class TestLoadTrend:
+    def test_groups_by_scale_ordered_by_mtime(self, tmp_path):
+        _artifact(tmp_path / "BENCH_serving.small.b.json", "small", 0.02, 200)
+        _artifact(tmp_path / "BENCH_serving.small.a.json", "small", 0.01, 100)
+        _artifact(tmp_path / "BENCH_serving.x100.c.json", "x100", 0.05, 150)
+        by_scale = load_trend(str(tmp_path))
+        assert sorted(by_scale) == ["small", "x100"]
+        # oldest first, by mtime — not by file name
+        assert [e["file"] for e in by_scale["small"]] == [
+            "BENCH_serving.small.a.json",
+            "BENCH_serving.small.b.json",
+        ]
+        assert by_scale["small"][0]["p95_s"] == 0.01
+
+    def test_skips_unreadable_and_shapeless_files(self, tmp_path):
+        (tmp_path / "BENCH_serving.small.bad.json").write_text("{not json")
+        (tmp_path / "BENCH_serving.small.thin.json").write_text("{}")
+        _artifact(tmp_path / "BENCH_serving.small.ok.json", "small", 0.01, 100)
+        (tmp_path / "unrelated.json").write_text("{}")
+        by_scale = load_trend(str(tmp_path))
+        assert [e["file"] for e in by_scale["small"]] == [
+            "BENCH_serving.small.ok.json"
+        ]
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert load_trend(str(tmp_path / "nope")) == {}
+
+
+class TestSparkline:
+    def test_ramps_low_to_high(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert len(line) == 4
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_flat_series_renders_flat(self):
+        assert sparkline([2.0, 2.0, 2.0]) == "▁▁▁"
+
+    def test_width_keeps_the_most_recent_tail(self):
+        assert sparkline([9.0, 1.0, 1.0], width=2) == "▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+def _entries(*p95s):
+    return [{"p95_s": p} for p in p95s]
+
+
+class TestGateTrend:
+    def test_single_artifact_nothing_to_gate(self):
+        line, failed = gate_trend(_entries(0.01), 1.5)
+        assert not failed
+        assert "fewer than 2" in line
+
+    def test_sub_microsecond_baseline_not_gated(self):
+        line, failed = gate_trend(_entries(1e-9, 1e-3), 1.5)
+        assert not failed
+        assert "below" in line and "floor" in line
+
+    def test_within_limit_passes(self):
+        line, failed = gate_trend(_entries(0.010, 0.012, 0.011), 1.5)
+        assert not failed
+        assert line.startswith("ok")
+
+    def test_regression_beyond_limit_fails(self):
+        # median of earlier runs is 10ms; newest is 3x that
+        line, failed = gate_trend(_entries(0.010, 0.010, 0.030), 1.5)
+        assert failed
+        assert line.startswith("FAIL")
+
+    def test_median_baseline_shrugs_off_one_noisy_run(self):
+        # one historically-slow outlier must not inflate the baseline
+        line, failed = gate_trend(_entries(0.010, 0.500, 0.010, 0.012), 1.5)
+        assert not failed
+
+
+class TestRenderTrend:
+    def test_empty_archive(self):
+        report, failed = render_trend({})
+        assert report == "no archived artifacts found"
+        assert not failed
+
+    def test_renders_each_scale_with_verdict(self, tmp_path):
+        _artifact(tmp_path / "BENCH_serving.small.a.json", "small", 0.010, 100)
+        _artifact(tmp_path / "BENCH_serving.small.b.json", "small", 0.011, 200)
+        report, failed = render_trend(load_trend(str(tmp_path)))
+        assert not failed
+        assert "[small] 2 archived runs" in report
+        assert "p95 " in report
+        assert "ok   trend:" in report
+
+    def test_failure_in_any_scale_fails_the_report(self, tmp_path):
+        _artifact(tmp_path / "BENCH_serving.small.a.json", "small", 0.010, 100)
+        _artifact(tmp_path / "BENCH_serving.small.b.json", "small", 0.010, 150)
+        _artifact(tmp_path / "BENCH_serving.small.c.json", "small", 0.100, 200)
+        report, failed = render_trend(load_trend(str(tmp_path)))
+        assert failed
+        assert "FAIL trend:" in report

@@ -1,0 +1,342 @@
+"""SLO rules: validation, fire/resolve state machine, slowlog linking.
+
+Also pins the shipped ``benchmarks/slo_rules.json`` to the in-code
+defaults — CI's soak-smoke job runs this file before the seeded soak.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.obs.alerts import (
+    AlertManager,
+    SloRule,
+    default_rules,
+    load_rules,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.timeseries import TimeSeriesStore
+from repro.util.stats import Counters
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.register("svc", Counters())
+    return registry
+
+
+@pytest.fixture
+def tsdb(registry):
+    return TimeSeriesStore(registry)
+
+
+class TestSloRuleValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(MetricsError, match="unknown kind"):
+            SloRule(name="x", kind="telepathy")
+
+    @pytest.mark.parametrize(
+        "kind, fields",
+        [
+            ("latency_quantile_ceiling", {"metric": "m"}),  # no ceiling
+            ("gauge_ceiling", {"ceiling": 1.0}),  # no metric
+            ("hit_rate_floor", {"hits": "h", "misses": "m"}),  # no floor
+            ("burn_rate", {"bad": "b"}),  # no total
+        ],
+    )
+    def test_missing_per_kind_field_rejected(self, kind, fields):
+        with pytest.raises(MetricsError, match="needs"):
+            SloRule(name="x", kind=kind, **fields)
+
+    def test_round_trip_through_dict(self):
+        for rule in default_rules():
+            assert SloRule.from_dict(rule.to_dict()) == rule
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(MetricsError, match="unknown keys"):
+            SloRule.from_dict(
+                {"name": "x", "kind": "gauge_ceiling", "metric": "m",
+                 "ceiling": 0.0, "color": "red"}
+            )
+
+    def test_from_dict_requires_name_and_kind(self):
+        with pytest.raises(MetricsError, match="name"):
+            SloRule.from_dict({"kind": "gauge_ceiling"})
+
+    def test_load_rules_rejects_duplicates(self, tmp_path):
+        rule = SloRule(
+            name="dup", kind="gauge_ceiling", metric="m", ceiling=0.0
+        ).to_dict()
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps([rule, rule]))
+        with pytest.raises(MetricsError, match="duplicate"):
+            load_rules(str(path))
+
+    def test_load_rules_rejects_non_array(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text("{}")
+        with pytest.raises(MetricsError, match="array"):
+            load_rules(str(path))
+
+
+class TestShippedRuleFile:
+    def test_shipped_file_mirrors_in_code_defaults(self):
+        path = REPO_ROOT / "benchmarks" / "slo_rules.json"
+        shipped = json.loads(path.read_text(encoding="utf-8"))
+        assert shipped == [rule.to_dict() for rule in default_rules()]
+
+    def test_shipped_file_validates_against_schema(self):
+        from repro.util.jsonschema_lite import validate
+
+        path = REPO_ROOT / "benchmarks" / "slo_rules.json"
+        schema_path = (
+            REPO_ROOT / "benchmarks" / "schemas" / "slo_rules.schema.json"
+        )
+        validate(
+            json.loads(path.read_text(encoding="utf-8")),
+            json.loads(schema_path.read_text(encoding="utf-8")),
+        )
+
+    def test_shipped_file_parses_into_rules(self):
+        path = REPO_ROOT / "benchmarks" / "slo_rules.json"
+        assert load_rules(str(path)) == default_rules()
+
+
+def _latency_rule(**overrides):
+    base = dict(
+        name="lat",
+        kind="latency_quantile_ceiling",
+        metric="lat_seconds",
+        quantile=0.5,
+        ceiling=1.0,
+        window_s=10.0,
+        min_count=1,
+    )
+    base.update(overrides)
+    return SloRule(**base)
+
+
+class TestLatencyRule:
+    def test_fires_and_resolves(self, registry, tsdb):
+        manager = AlertManager(tsdb, rules=[_latency_rule()])
+        registry.observe("lat_seconds", 0.001)  # the baseline snapshot
+        tsdb.sample(now=0.0)  # must already carry the histogram
+        registry.observe("lat_seconds", 5.0)
+        tsdb.sample(now=1.0)
+        events = manager.evaluate(now=1.0)
+        assert [e["state"] for e in events] == ["firing"]
+        assert manager.firing_count() == 1
+        assert manager.firings("lat") == 1
+        # window drains: the breach ages out, the rule resolves
+        tsdb.sample(now=20.0)
+        events = manager.evaluate(now=20.0)
+        assert [e["state"] for e in events] == ["resolved"]
+        assert events[0]["fired_at"] == 1.0
+        assert manager.firing_count() == 0
+
+    def test_min_count_suppresses_thin_windows(self, registry, tsdb):
+        manager = AlertManager(tsdb, rules=[_latency_rule(min_count=5)])
+        registry.observe("lat_seconds", 0.001)
+        tsdb.sample(now=0.0)
+        registry.observe("lat_seconds", 5.0)
+        tsdb.sample(now=1.0)
+        assert manager.evaluate(now=1.0) == []
+        assert manager.firing_count() == 0
+
+    def test_no_flap_while_still_breached(self, registry, tsdb):
+        manager = AlertManager(tsdb, rules=[_latency_rule()])
+        registry.observe("lat_seconds", 0.001)
+        tsdb.sample(now=0.0)
+        registry.observe("lat_seconds", 5.0)
+        tsdb.sample(now=1.0)
+        manager.evaluate(now=1.0)
+        registry.observe("lat_seconds", 5.0)
+        tsdb.sample(now=2.0)
+        assert manager.evaluate(now=2.0) == []  # already firing
+        assert manager.firings("lat") == 1
+
+
+class TestSlowlogLinking:
+    def test_firing_event_links_window_fingerprints(self, registry, tsdb):
+        slowlog = SlowQueryLog(threshold_s=0.0)
+        slowlog.record(
+            fingerprint="q2/array", cube="sales", backend="array",
+            latency_s=5.0,
+        )
+        manager = AlertManager(
+            tsdb, rules=[_latency_rule(window_s=1e9)], slowlog=slowlog
+        )
+        registry.observe("lat_seconds", 0.001)
+        tsdb.sample(now=0.0)
+        registry.observe("lat_seconds", 5.0)
+        tsdb.sample(now=1.0)
+        import time
+
+        events = manager.evaluate(now=time.time())
+        assert events[0]["state"] == "firing"
+        assert events[0]["fingerprints"] == ["q2/array"]
+
+    def test_empty_ring_noted(self, registry, tsdb):
+        manager = AlertManager(
+            tsdb, rules=[_latency_rule()], slowlog=SlowQueryLog()
+        )
+        registry.observe("lat_seconds", 0.001)
+        tsdb.sample(now=0.0)
+        registry.observe("lat_seconds", 5.0)
+        tsdb.sample(now=1.0)
+        events = manager.evaluate(now=1.0)
+        assert events[0]["note"] == "slowlog ring empty in window"
+
+
+class TestHitRateRule:
+    def _manager(self, tsdb, **overrides):
+        base = dict(
+            name="hits",
+            kind="hit_rate_floor",
+            hits="cache.hits",
+            misses="cache.misses",
+            floor=0.5,
+            window_s=10.0,
+            min_count=1,
+        )
+        base.update(overrides)
+        return AlertManager(tsdb, rules=[SloRule(**base)])
+
+    def test_fires_below_floor(self, registry, tsdb):
+        manager = self._manager(tsdb)
+        tsdb.sample(now=0.0)
+        registry.counters("svc").add("cache.hits", 1)
+        registry.counters("svc").add("cache.misses", 9)
+        tsdb.sample(now=1.0)
+        events = manager.evaluate(now=1.0)
+        assert [e["state"] for e in events] == ["firing"]
+        assert events[0]["value"] == pytest.approx(0.1)
+
+    def test_quiet_above_floor_or_under_min_count(self, registry, tsdb):
+        manager = self._manager(tsdb, min_count=100)
+        tsdb.sample(now=0.0)
+        registry.counters("svc").add("cache.misses", 10)
+        tsdb.sample(now=1.0)
+        assert manager.evaluate(now=1.0) == []
+
+
+class TestGaugeCeilingRule:
+    def _manager(self, tsdb, for_s=5.0):
+        rule = SloRule(
+            name="degraded",
+            kind="gauge_ceiling",
+            metric="degraded",
+            ceiling=0.0,
+            for_s=for_s,
+            window_s=30.0,
+        )
+        return AlertManager(tsdb, rules=[rule])
+
+    def test_sustained_breach_required(self, registry, tsdb):
+        level = [0.0]
+        registry.register_gauge("degraded", lambda: level[0])
+        manager = self._manager(tsdb, for_s=5.0)
+        tsdb.sample(now=0.0)
+        level[0] = 1.0
+        tsdb.sample(now=1.0)
+        # above the ceiling, but only for 1 s — not sustained yet
+        assert manager.evaluate(now=1.0) == []
+        tsdb.sample(now=7.0)
+        events = manager.evaluate(now=7.0)
+        assert [e["state"] for e in events] == ["firing"]
+        # gauge recovers: resolves on the next pass
+        level[0] = 0.0
+        tsdb.sample(now=8.0)
+        events = manager.evaluate(now=8.0)
+        assert [e["state"] for e in events] == ["resolved"]
+
+
+class TestBurnRateRule:
+    def _manager(self, tsdb):
+        rule = SloRule(
+            name="burn",
+            kind="burn_rate",
+            bad="svc.rejected",
+            total="svc.admitted",
+            objective=0.99,
+            factor=10.0,
+            window_s=5.0,
+            long_window_s=60.0,
+            min_count=1,
+        )
+        return AlertManager(tsdb, rules=[rule])
+
+    def test_needs_both_windows_burning(self, registry, tsdb):
+        manager = self._manager(tsdb)
+        # long-window history: healthy traffic, no rejections
+        tsdb.sample(now=0.0)
+        registry.counters("svc").add("svc.admitted", 1000)
+        tsdb.sample(now=55.0)
+        # short-window spike of rejections
+        registry.counters("svc").add("svc.admitted", 10)
+        registry.counters("svc").add("svc.rejected", 10)
+        tsdb.sample(now=58.0)
+        # the short window burns hot (10/10 errors ≈ 100× budget), but
+        # the long window absorbs it: 10/1010 ≈ 1× budget, under 10×
+        assert manager.evaluate(now=58.0) == []
+
+    def test_fires_when_both_windows_burn(self, registry, tsdb):
+        manager = self._manager(tsdb)
+        tsdb.sample(now=55.0)
+        registry.counters("svc").add("svc.admitted", 10)
+        registry.counters("svc").add("svc.rejected", 10)
+        tsdb.sample(now=58.0)
+        events = manager.evaluate(now=58.0)
+        assert [e["state"] for e in events] == ["firing"]
+
+
+class TestAlertManager:
+    def test_duplicate_rule_rejected(self, tsdb):
+        manager = AlertManager(tsdb, rules=[_latency_rule()])
+        with pytest.raises(MetricsError, match="already installed"):
+            manager.add_rule(_latency_rule())
+
+    def test_remove_unknown_rule_rejected(self, tsdb):
+        manager = AlertManager(tsdb, rules=[])
+        with pytest.raises(MetricsError, match="no rule"):
+            manager.remove_rule("ghost")
+
+    def test_defaults_installed_when_rules_omitted(self, tsdb):
+        manager = AlertManager(tsdb)
+        assert manager.rules() == default_rules()
+
+    def test_to_dict_shape(self, registry, tsdb):
+        manager = AlertManager(tsdb, rules=[_latency_rule()])
+        registry.observe("lat_seconds", 0.001)
+        tsdb.sample(now=0.0)
+        registry.observe("lat_seconds", 5.0)
+        tsdb.sample(now=1.0)
+        manager.evaluate(now=1.0)
+        payload = manager.to_dict()
+        assert payload["evaluations"] == 1
+        assert [f["rule"] for f in payload["firing"]] == ["lat"]
+        assert [e["state"] for e in payload["events"]] == ["firing"]
+        assert payload["rules"] == [_latency_rule().to_dict()]
+        json.dumps(payload)  # the /alerts body must be JSON-able
+
+    def test_event_log_is_bounded(self, registry, tsdb):
+        manager = AlertManager(
+            tsdb, rules=[_latency_rule(window_s=1.5)], log_capacity=4
+        )
+        registry.observe("lat_seconds", 0.001)
+        now = 0.0
+        for _ in range(6):  # 6 fire/resolve cycles = 12 transitions
+            tsdb.sample(now=now)  # baseline inside the window
+            registry.observe("lat_seconds", 5.0)
+            tsdb.sample(now=now + 1.0)
+            manager.evaluate(now=now + 1.0)  # -> firing
+            tsdb.sample(now=now + 10.0)  # window drained
+            manager.evaluate(now=now + 10.0)  # -> resolved
+            now += 20.0
+        assert len(manager.events()) == 4

@@ -1,0 +1,57 @@
+"""The registry's monotonic reset epoch, end to end.
+
+The cold-run protocol zeroes the counter bags at every query boundary;
+the epoch is how every delta-taking consumer (TSDB, ``repro top``)
+distinguishes "the counter restarted" from "the counter went backwards".
+"""
+
+from repro.obs.exporters import prometheus_text
+from repro.obs.registry import MetricsRegistry
+from repro.obs.top import MetricsView, counter_delta, qps
+from repro.util.stats import Counters
+
+
+def _registry():
+    registry = MetricsRegistry()
+    registry.register("svc", Counters())
+    return registry
+
+
+class TestRegistryEpoch:
+    def test_epoch_counts_resets_monotonically(self):
+        registry = _registry()
+        assert registry.resets == 0
+        registry.reset_all()
+        registry.reset_all()
+        assert registry.resets == 2
+
+    def test_epoch_exported_as_gauge_in_exposition_text(self):
+        registry = _registry()
+        registry.reset_all()
+        text = prometheus_text(registry)
+        assert "# TYPE repro_registry_resets gauge" in text
+        assert "repro_registry_resets 1" in text
+
+
+def _view(admitted: float, resets: float) -> MetricsView:
+    return MetricsView.from_text(
+        "# TYPE repro_serve_admitted_total counter\n"
+        f'repro_serve_admitted_total{{source="serve"}} {admitted}\n'
+        "# TYPE repro_registry_resets gauge\n"
+        f"repro_registry_resets {resets}\n"
+    )
+
+
+class TestScrapeDeltas:
+    def test_plain_delta_within_one_epoch(self):
+        assert counter_delta(_view(10, 0), _view(25, 0), "repro_serve_admitted") == 15.0
+
+    def test_delta_across_reset_credits_post_reset_work(self):
+        # raw difference would be 7 - 100 = -93
+        assert counter_delta(_view(100, 0), _view(7, 1), "repro_serve_admitted") == 7.0
+
+    def test_delta_never_negative_within_an_epoch(self):
+        assert counter_delta(_view(100, 0), _view(40, 0), "repro_serve_admitted") == 0.0
+
+    def test_qps_uses_the_reset_aware_delta(self):
+        assert qps(_view(100, 0), _view(8, 1), 2.0) == 4.0
