@@ -43,6 +43,7 @@ from repro.olap import (
     ConsolidationQuery,
     CubeSchema,
     DimensionDef,
+    ExecutionOptions,
     MeasureDef,
     OlapEngine,
     QueryResult,
@@ -75,6 +76,7 @@ __all__ = [
     "MeasureDef",
     "ConsolidationQuery",
     "SelectionPredicate",
+    "ExecutionOptions",
     "Backend",
     "register_backend",
     "OlapEngine",

@@ -60,18 +60,28 @@ def diff_artifacts(
     failures: list[str] = []
     base_scale = base.get("scale")
     new_scale = new.get("scale")
+    # pre-sharding artifacts carry no "shards" key: they are 1-shard runs
+    base_shards = int(base.get("shards", 1))
+    new_shards = int(new.get("shards", 1))
     lines.append(
         f"baseline: scale={base_scale} threads={base.get('threads')} "
-        f"queries={base.get('queries')}"
+        f"queries={base.get('queries')} shards={base_shards}"
     )
     lines.append(
         f"candidate: scale={new_scale} threads={new.get('threads')} "
-        f"queries={new.get('queries')}"
+        f"queries={new.get('queries')} shards={new_shards}"
     )
     if base_scale != new_scale:
         failures.append(
             f"scale mismatch: baseline {base_scale!r} vs "
             f"candidate {new_scale!r} — not comparable"
+        )
+        return lines + [f"FAIL: {failures[-1]}"], failures
+    if base_shards != new_shards:
+        failures.append(
+            f"shard-count mismatch: baseline ran {base_shards} shard(s) "
+            f"vs candidate {new_shards} — scatter/gather overhead would "
+            "gate as a latency regression; rerun with matching --shards"
         )
         return lines + [f"FAIL: {failures[-1]}"], failures
 

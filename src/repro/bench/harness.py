@@ -164,7 +164,7 @@ def run_cold(
     engine: OlapEngine,
     query: ConsolidationQuery,
     backend: str,
-    mode: str = "interpreted",
+    mode: str = "auto",
     order: str = "chunk",
 ) -> QueryResult:
     """Execute one cold-cache query (the paper's measurement protocol)."""
@@ -175,7 +175,7 @@ def run_cold_traced(
     engine: OlapEngine,
     query: ConsolidationQuery,
     backend: str,
-    mode: str = "interpreted",
+    mode: str = "auto",
     order: str = "chunk",
 ) -> tuple[QueryResult, Span]:
     """:func:`run_cold` with a live tracer; returns ``(result, root span)``.
@@ -233,7 +233,7 @@ def run_warm(
     engine: OlapEngine,
     query: ConsolidationQuery,
     backend: str = "auto",
-    mode: str = "interpreted",
+    mode: str = "auto",
     repeats: int = 3,
 ) -> WarmReport:
     """One cold run, then ``repeats`` runs through a warm `QueryService`.
@@ -295,7 +295,7 @@ def run_concurrent(
     n_threads: int = 8,
     rounds: int = 2,
     backend: str = "auto",
-    mode: str = "interpreted",
+    mode: str = "auto",
     service=None,
 ) -> ConcurrentReport:
     """``n_threads`` clients each issue every query ``rounds`` times.

@@ -47,12 +47,17 @@ def run_serving_smoke(
     n_threads: int = 4,
     rounds: int = 2,
     slowlog_threshold_s: float = 0.0,
+    shards: int = 1,
+    executor: str = "local",
 ) -> dict:
     """Run the smoke; returns the ``BENCH_serving.json`` payload.
 
     ``failures`` in the returned dict is empty on success.  The default
     slowlog threshold of 0 captures every query, so the smoke also
-    proves the profile-capture path end to end.
+    proves the profile-capture path end to end.  ``shards > 1`` routes
+    every engine miss through the shard coordinator; the artifact
+    records the shard plan so ``bench-diff`` refuses to gate a sharded
+    run against an unsharded baseline.
     """
     from repro.serve import QueryService, ServiceConfig
 
@@ -71,6 +76,8 @@ def run_serving_smoke(
                 max_workers=n_threads,
                 max_in_flight=2 * n_threads * len(queries),
                 slowlog_threshold_s=slowlog_threshold_s,
+                shards=shards,
+                executor=executor,
             ),
         )
         server = ObservabilityServer(engine.db.metrics, service=service)
@@ -100,9 +107,21 @@ def run_serving_smoke(
                 failures.append("concurrent workload saw no cache hits")
             if slowlog_threshold_s <= 0 and not len(service.slowlog):
                 failures.append("slow-query log captured nothing at threshold 0")
+            shard_totals = (
+                engine.shard_coordinator.counters.snapshot()
+                if shards > 1
+                else {}
+            )
+            if shards > 1 and not shard_totals.get("shard.queries"):
+                failures.append(
+                    f"shards={shards} but no engine miss went through "
+                    "the shard coordinator"
+                )
             payload = {
                 "scale": settings.scale,
                 "cube": config.name,
+                "shards": shards,
+                "executor": executor,
                 "threads": report.n_threads,
                 "queries": len(report.latencies_s),
                 "fig4_cold": {
@@ -137,6 +156,10 @@ def run_serving_smoke(
                 "counters": {
                     name: value
                     for name, value in sorted(report.stats.items())
+                },
+                "shard_counters": {
+                    name: value
+                    for name, value in sorted(shard_totals.items())
                 },
                 "slowlog_entries": len(service.slowlog),
                 "failures": failures,

@@ -95,11 +95,17 @@ def run_soak(
     inject_breach: bool = False,
     sample_interval_s: float = 0.25,
     churn_every_s: float = 2.0,
+    shards: int = 1,
+    executor: str = "local",
 ) -> dict:
     """Run the soak; returns the ``BENCH_soak.json`` payload.
 
     ``failures`` in the returned dict is empty on success; the CLI (and
-    CI's soak-smoke) exits non-zero when it is not.
+    CI's soak-smoke) exits non-zero when it is not.  ``shards > 1``
+    scatters every engine miss over ``shards`` chunk-range shards on the
+    given ``executor`` — the churn writer keeps misses flowing, so a
+    sharded soak exercises scatter/gather under sustained concurrent
+    traffic and the artifact's ``shard_counters`` must show it.
     """
     import random
 
@@ -122,6 +128,15 @@ def run_soak(
 
     with tempfile.TemporaryDirectory(prefix="repro-soak-") as wal_dir:
         engine = build_cube_engine(config, settings, wal_dir=wal_dir)
+        if shards > 1:
+            # pay the one-time scatter setup (worker-pool spawn, volume
+            # image save) before the service starts its profiler and
+            # TSDB sampler: that cost is deployment, not workload, and
+            # would otherwise land in the serve p99 SLO window and the
+            # profiler's unattributed busy samples
+            engine.query(
+                queries[0], backend="array", shards=shards, executor=executor
+            )
         write_row = next(iter(generate_fact_rows(config)))
         write_keys = tuple(write_row[: config.ndim])
         write_measures = tuple(write_row[config.ndim :])
@@ -133,6 +148,8 @@ def run_soak(
                 slowlog_threshold_s=0.0,  # profile everything
                 timeseries_interval_s=sample_interval_s,
                 profile_sampling_s=0.005,
+                shards=shards,
+                executor=executor,
             ),
         )
         start = time.monotonic()
@@ -250,7 +267,7 @@ def run_soak(
                 service, settings, config, events, failures,
                 seconds=seconds, seed=seed, clients=clients,
                 bucket_s=bucket_s, inject_breach=inject_breach,
-                writes=writes,
+                writes=writes, shards=shards, executor=executor,
             )
         finally:
             stop_churn.set()
@@ -260,7 +277,7 @@ def run_soak(
 
 def _summarize(
     service, settings, config, events, failures, *, seconds, seed,
-    clients, bucket_s, inject_breach, writes,
+    clients, bucket_s, inject_breach, writes, shards, executor,
 ) -> dict:
     buckets = _bucketize(events, bucket_s, seconds)
     latencies = sorted(latency for _, latency, _ in events)
@@ -279,12 +296,22 @@ def _summarize(
             "transitions": [e["state"] for e in cycle],
         }
     profile = service.profiler.stats()
+    shard_totals = (
+        service.engine.shard_coordinator.counters.snapshot()
+        if shards > 1
+        else {}
+    )
     payload = {
         "scale": settings.scale,
         "cube": config.name,
         "seconds": seconds,
         "seed": seed,
         "clients": clients,
+        "shards": shards,
+        "executor": executor,
+        "shard_counters": {
+            name: value for name, value in sorted(shard_totals.items())
+        },
         "bucket_s": bucket_s,
         "queries": len(events),
         "writes": writes,
@@ -324,6 +351,13 @@ def _gate(payload: dict, failures: list[str]) -> None:
     """The soak's own acceptance checks; appends into ``failures``."""
     if not payload["queries"]:
         failures.append("workload issued no queries")
+    if payload.get("shards", 1) > 1 and not payload.get(
+        "shard_counters", {}
+    ).get("shard.queries"):
+        failures.append(
+            f"shards={payload['shards']} but no engine miss went "
+            "through the shard coordinator"
+        )
     populated = [b for b in payload["buckets"] if b["count"] > 0]
     if not populated:
         failures.append("no time bucket saw traffic (p95 series empty)")

@@ -93,6 +93,22 @@ def _add_scale_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_shard_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="chunk-range shards to scatter array consolidations over "
+        "(default 1: the classic single-scan path)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("local", "thread", "process"),
+        default="local",
+        help="where shard scans run when --shards > 1 (default local)",
+    )
+
+
 def cmd_info(args) -> int:
     print(f"repro {__version__} — ICDE 1998 OLAP Array ADT reproduction")
     print(f"scales: {', '.join(SCALES)}")
@@ -197,6 +213,8 @@ def cmd_explain(args) -> int:
         mode=args.mode,
         order=args.order,
         analyze=args.analyze,
+        shards=args.shards,
+        executor=args.executor,
     )
     payload = plan.to_dict()
     if args.json:
@@ -281,6 +299,8 @@ def cmd_serve(args) -> int:
                     slowlog_threshold_s=args.slow_threshold,
                     timeseries_interval_s=0.5,
                     profile_sampling_s=0.005,
+                    shards=args.shards,
+                    executor=args.executor,
                 ),
             )
             server = ObservabilityServer(
@@ -470,12 +490,21 @@ def cmd_bench_smoke(args) -> int:
     )
 
     payload = run_serving_smoke(
-        scale=args.scale, n_threads=args.threads, rounds=args.rounds
+        scale=args.scale,
+        n_threads=args.threads,
+        rounds=args.rounds,
+        shards=args.shards,
+        executor=args.executor,
     )
     write_artifact(payload, args.output)
     concurrent = payload["concurrent"]
+    shard_note = (
+        f"shards={payload['shards']}({payload['executor']}) "
+        if payload["shards"] > 1
+        else ""
+    )
     print(
-        f"bench-smoke [{payload['scale']}]: "
+        f"bench-smoke [{payload['scale']}]: {shard_note}"
         f"p50={concurrent['p50_s'] * 1000:.3f}ms "
         f"p95={concurrent['p95_s'] * 1000:.3f}ms "
         f"p99={concurrent['p99_s'] * 1000:.3f}ms "
@@ -549,6 +578,8 @@ def cmd_soak(args) -> int:
         clients=args.clients,
         bucket_s=args.bucket,
         inject_breach=args.inject_breach,
+        shards=args.shards,
+        executor=args.executor,
     )
     write_soak_artifact(payload, args.output)
     latency = payload["latency"]
@@ -568,6 +599,15 @@ def cmd_soak(args) -> int:
         f"profiler attribution: "
         f"{payload['profiler']['attributed_fraction']:.0%}"
     )
+    if payload["shards"] > 1:
+        totals = payload["shard_counters"]
+        print(
+            f"  shards: {payload['shards']} ({payload['executor']})  "
+            f"scattered={totals.get('shard.queries', 0):.0f}  "
+            f"retries={totals.get('shard.retries', 0):.0f}  "
+            f"scatter={totals.get('shard.scatter_ms', 0):.1f}ms  "
+            f"merge={totals.get('shard.merge_ms', 0):.1f}ms"
+        )
     injected = payload["alerts"]["injected"]
     if injected is not None:
         print(
@@ -721,7 +761,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("query", choices=sorted(_TRACE_QUERIES))
     trace.add_argument("--backend", default="array")
     trace.add_argument(
-        "--mode", default="interpreted", choices=("interpreted", "vectorized")
+        "--mode",
+        default="auto",
+        choices=("auto", "interpreted", "vectorized"),
     )
     trace.add_argument("--json", metavar="FILE", help="also write the trace as JSON")
     trace.add_argument(
@@ -738,9 +780,12 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("query", choices=sorted(_TRACE_QUERIES))
     explain.add_argument("--backend", default="auto")
     explain.add_argument(
-        "--mode", default="interpreted", choices=("interpreted", "vectorized")
+        "--mode",
+        default="auto",
+        choices=("auto", "interpreted", "vectorized"),
     )
     explain.add_argument("--order", default="chunk", choices=("chunk", "naive"))
+    _add_shard_arguments(explain)
     explain.add_argument(
         "--analyze",
         action="store_true",
@@ -803,6 +848,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="slow-query log threshold in seconds (default 0.25)",
     )
+    _add_shard_arguments(serve)
     _add_scale_argument(serve)
     serve.set_defaults(run=cmd_serve)
 
@@ -886,6 +932,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also archive a timestamped copy here for later bench-diff "
         "runs (empty string disables archiving)",
     )
+    _add_shard_arguments(bench_smoke)
     _add_scale_argument(bench_smoke)
     bench_smoke.set_defaults(run=cmd_bench_smoke)
 
@@ -966,6 +1013,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate the artifact against a schema file "
         "(see benchmarks/schemas/bench_soak.schema.json)",
     )
+    _add_shard_arguments(soak)
     _add_scale_argument(soak)
     soak.set_defaults(run=cmd_soak)
 

@@ -246,6 +246,31 @@ class ResultAccumulator:
             return int((self._vec_counts > 0).sum())
         return len(self._states)
 
+    # -- shard transport (the repro.shard scatter-gather hook) -------------------
+
+    def export_state(self) -> dict:
+        """The accumulator's aggregate state as a picklable payload.
+
+        Every interpreted aggregate state is a plain Python scalar or
+        tuple and the vectorized state is a pair of ndarrays, so the
+        payload crosses a process boundary losslessly.  The structural
+        parts (array, specs, strides) are *not* included — the receiver
+        rebuilds an accumulator against its own array handle and calls
+        :meth:`import_state`.
+        """
+        return {
+            "states": {int(k): list(v) for k, v in self._states.items()},
+            "vec": self._vec,
+            "vec_counts": self._vec_counts,
+        }
+
+    def import_state(self, payload: dict) -> "ResultAccumulator":
+        """Restore a payload produced by :meth:`export_state`."""
+        self._states = {int(k): list(v) for k, v in payload["states"].items()}
+        self._vec = payload["vec"]
+        self._vec_counts = payload["vec_counts"]
+        return self
+
     # -- partition merging (the §6 parallelization hook) ------------------------
 
     def merge_from(self, other: "ResultAccumulator") -> None:
@@ -278,53 +303,119 @@ class ResultAccumulator:
                     self._vec[:, m] += other._vec[:, m]
 
 
+def allowed_masks(
+    array: OLAPArray, allowed: list[list[int]]
+) -> list[np.ndarray]:
+    """Per-dimension boolean membership masks from final index lists."""
+    masks = []
+    for d, indices in enumerate(allowed):
+        mask = np.zeros(len(array.dims[d]), dtype=bool)
+        if len(indices):
+            mask[np.asarray(list(indices), dtype=np.int64)] = True
+        masks.append(mask)
+    return masks
+
+
+def _chunk_overlaps(geometry, chunk_no: int, masks: list[np.ndarray]) -> bool:
+    """Whether a chunk's index box intersects the selection at all."""
+    origin = geometry.chunk_origin(chunk_no)
+    for d, mask in enumerate(masks):
+        if not mask[origin[d] : origin[d] + geometry.chunk_shape[d]].any():
+            return False
+    return True
+
+
 def scan_chunk_range(
     array: OLAPArray,
     accumulator: ResultAccumulator,
     chunk_range,
     mode: str,
+    allowed: list[list[int]] | None = None,
+    counters: Counters | None = None,
 ) -> int:
     """Run the §4.1 scan over a range of chunk numbers.
 
     Factored out so a partitioned consolidation (see
-    :func:`repro.core.parallel.consolidate_partitioned`) can drive one
-    accumulator per chunk partition.  Returns the number of valid cells
-    folded in.
+    :func:`repro.core.parallel.consolidate_partitioned`) and the shard
+    workers (:mod:`repro.shard.worker`) can drive one accumulator per
+    chunk partition.  Returns the number of valid cells folded in.
+
+    ``allowed`` (per-dimension sorted index lists, the §4.2 "final
+    lists") pushes a selection into the scan: chunks whose index box
+    misses the selection are skipped without a read, and non-matching
+    cells inside surviving chunks are filtered out.  ``counters``, when
+    given, receives per-call ``chunks_read`` / ``chunks_skipped`` /
+    ``cells_scanned`` — the per-shard attribution the shared
+    ``array.counters`` bag cannot provide under concurrent scans.
     """
     geometry = array.geometry
+    masks = allowed_masks(array, allowed) if allowed is not None else None
     scanned = 0
+    chunks_read = 0
+    chunks_skipped = 0
     if mode == "interpreted":
         maps = accumulator.mapping_lists()
         strides = accumulator.result_strides
         cell_strides = geometry.cell_strides
         chunk_shape = geometry.chunk_shape
         ndim = geometry.ndim
+        mask_lists = [m.tolist() for m in masks] if masks is not None else None
         for chunk_no in chunk_range:
+            if masks is not None and not _chunk_overlaps(
+                geometry, chunk_no, masks
+            ):
+                chunks_skipped += 1
+                continue
             offsets, values = array.read_chunk(chunk_no)
             if not len(offsets):
                 continue
+            chunks_read += 1
             origin = geometry.chunk_origin(chunk_no)
             value_rows = values.tolist()
             for j, offset in enumerate(offsets.tolist()):
                 linear = 0
+                keep = True
                 for d in range(ndim):
                     index = origin[d] + (offset // cell_strides[d]) % chunk_shape[d]
+                    if mask_lists is not None and not mask_lists[d][index]:
+                        keep = False
+                        break
                     linear += maps[d][index] * strides[d]
-                accumulator.add_one(linear, value_rows[j])
-            scanned += len(value_rows)
+                if keep:
+                    accumulator.add_one(linear, value_rows[j])
+                    scanned += 1
     else:
         strides = np.array(accumulator.result_strides, dtype=np.int64)
         maps = [i.mapping.astype(np.int64) for i in accumulator.i2is]
         for chunk_no in chunk_range:
+            if masks is not None and not _chunk_overlaps(
+                geometry, chunk_no, masks
+            ):
+                chunks_skipped += 1
+                continue
             offsets, values = array.read_chunk(chunk_no)
             if not len(offsets):
                 continue
+            chunks_read += 1
             coords = geometry.chunk_offset_to_coords(chunk_no, offsets)
-            linear = np.zeros(len(offsets), dtype=np.int64)
+            if masks is not None:
+                keep = np.ones(len(offsets), dtype=bool)
+                for d in range(geometry.ndim):
+                    keep &= masks[d][coords[:, d]]
+                if not keep.any():
+                    continue
+                coords = coords[keep]
+                values = values[keep]
+            linear = np.zeros(len(coords), dtype=np.int64)
             for d in range(geometry.ndim):
                 linear += maps[d][coords[:, d]] * strides[d]
             accumulator.add_many(linear, values)
-            scanned += len(offsets)
+            scanned += len(coords)
+    if counters is not None:
+        counters.add("chunks_read", chunks_read)
+        counters.add("cells_scanned", scanned)
+        if chunks_skipped:
+            counters.add("chunks_skipped", chunks_skipped)
     return scanned
 
 

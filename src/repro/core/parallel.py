@@ -8,16 +8,20 @@ partition aggregates independently into its own in-memory result
 object, and the partials merge exactly because every aggregate carries
 a mergeable sketch (sum, count, min, max, (sum,count), (n,Σ,Σx²)).
 
-Two execution modes: ``executor="serial"`` runs the partitions
-sequentially (the original single-process reproduction), while
-``executor="thread"`` fans each partition out to a worker thread and
-merges the partials on the caller's thread — real concurrency over the
-same dataflow, so the partitioned == direct oracle now holds under
-actual parallel execution.
+Two in-process executors: ``executor="local"`` runs the partitions
+sequentially (the original single-process reproduction; ``"serial"``
+is a deprecated alias), while ``executor="thread"`` fans each partition
+out to a worker thread and merges the partials on the caller's thread —
+real concurrency over the same dataflow, so the partitioned == direct
+oracle holds under actual parallel execution.  The executor names are
+the same protocol :mod:`repro.shard` drives (``local`` / ``thread`` /
+``process``); cross-process scatter needs the coordinator's volume
+snapshot, so ``"process"`` lives there rather than here.
 """
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.consolidate import (
@@ -58,7 +62,7 @@ def consolidate_partitioned(
     aggregate: str | list[str] = "sum",
     mode: str = "interpreted",
     counters: Counters | None = None,
-    executor: str = "serial",
+    executor: str = "local",
     max_workers: int | None = None,
 ) -> ConsolidationResult:
     """§4.1 consolidation over chunk partitions, then an exact merge.
@@ -73,7 +77,14 @@ def consolidate_partitioned(
     """
     if mode not in ("interpreted", "vectorized"):
         raise QueryError(f"unknown mode {mode!r}")
-    if executor not in ("serial", "thread"):
+    if executor == "serial":
+        warnings.warn(
+            'executor="serial" is deprecated; use executor="local"',
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        executor = "local"
+    if executor not in ("local", "thread"):
         raise QueryError(f"unknown executor {executor!r}")
     counters = counters if counters is not None else Counters()
 

@@ -169,3 +169,17 @@ class DegradedError(ServeError, TransientError):
 
 class RetryExhaustedError(ServeError, PermanentError):
     """Transient faults persisted through every retry attempt."""
+
+
+class ShardError(ReproError):
+    """Base class for shard coordinator / worker failures."""
+
+
+class ShardScatterError(ShardError, TransientError):
+    """A scatter lost shards past the coordinator's re-scatter budget.
+
+    Transient by design: worker processes are respawned lazily, so the
+    serving layer's retry loop may re-run the whole query and the next
+    scatter can succeed.  With ``allow_partial=True`` the coordinator
+    degrades to a partial result instead of raising this.
+    """

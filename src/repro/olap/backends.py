@@ -77,6 +77,12 @@ class BackendContext:
     counters: Counters
     mode: str = "interpreted"
     order: str = "chunk"
+    #: chunk-range shards for the array consolidation (1 = single scan)
+    shards: int = 1
+    #: where shard scans run: ``local`` / ``thread`` / ``process``
+    executor: str = "local"
+    #: degrade to a partial result when shards stay lost after retries
+    allow_partial: bool = False
 
     @contextmanager
     def phase(self, name: str, **attrs):
@@ -285,7 +291,23 @@ class ArrayBackend(Backend):
             )
             for sel in query.selections
         ]
-        if selections:
+        if ctx.shards > 1:
+            with ctx.phase(
+                "shard_consolidate",
+                shards=ctx.shards,
+                executor=ctx.executor,
+                mode=ctx.mode,
+            ):
+                result = engine.shard_coordinator.consolidate(
+                    ctx,
+                    array,
+                    specs,
+                    selections,
+                    query.aggregate,
+                    query.cube,
+                    state,
+                )
+        elif selections:
             with ctx.phase("consolidate_with_selection", mode=ctx.mode):
                 result = consolidate_with_selection(
                     array,
@@ -329,6 +351,10 @@ class ArrayBackend(Backend):
             span="query",
             detail={"cube": query.cube, "mode": ctx.mode, "order": ctx.order},
         )
+        if ctx.shards > 1:
+            return self._explain_sharded(
+                ctx, query, root, stats, groups, level_loads
+            )
         if query.selections:
             key_sets = engine._selection_key_sets(state, query)
             n_sel = [
@@ -435,6 +461,120 @@ class ArrayBackend(Backend):
                 )
             )
             body.add(PlanNode("array.extract_rows", span="extract_rows"))
+        root.add(
+            PlanNode(
+                "array.project_rows",
+                span="project_rows",
+                detail={
+                    "measures": len(engine._query_measures(state, query))
+                },
+            )
+        )
+        return root
+
+    def _explain_sharded(self, ctx, query, root, stats, groups, level_loads):
+        """The scatter/gather plan shape for ``ctx.shards > 1``.
+
+        Per-shard estimates come from the same
+        :func:`repro.shard.plan.plan_shards` pricing the coordinator
+        executes, with the selection's index lists derived from the
+        dimension tables (no B-tree probes at plan time) — so ANALYZE
+        binds each ``shard.scan[i]`` node's estimate to the measured
+        per-shard registry deltas.
+        """
+        from repro.shard.plan import plan_shards
+
+        engine, state = ctx.engine, ctx.state
+        array = state.array
+        schema = state.schema
+        allowed = None
+        if query.selections:
+            key_sets = engine._selection_key_sets(state, query)
+            allowed = []
+            for d, dim in enumerate(schema.dimensions):
+                keys = array.dims[d].keys()
+                if dim.name in key_sets:
+                    chosen = key_sets[dim.name]
+                    allowed.append(
+                        [i for i, key in enumerate(keys) if key in chosen]
+                    )
+                else:
+                    allowed.append(list(range(len(keys))))
+        plan = plan_shards(
+            array,
+            ctx.shards,
+            executor=ctx.executor,
+            cube=query.cube,
+            generation=state.generation,
+            allowed=allowed,
+        )
+        body = root.add(
+            PlanNode(
+                "array.shard_consolidate",
+                span="shard_consolidate",
+                detail={
+                    "shards": plan.shards,
+                    "executor": plan.executor,
+                    "mode": ctx.mode,
+                },
+                estimates={"result_cells": groups},
+            )
+        )
+        body.add(
+            PlanNode(
+                "array.resolve_mappings",
+                span="resolve_mappings",
+                estimates={"i2i_loads": level_loads},
+            )
+        )
+        if query.selections:
+            body.add(
+                PlanNode(
+                    "array.btree_dimension_lookup",
+                    span="btree_dimension_lookup",
+                    detail={
+                        "selections": len(query.selections),
+                    },
+                    estimates={"btree_probes": _estimated_btree_probes(query)},
+                )
+            )
+        scatter = body.add(
+            PlanNode(
+                "shard.scatter",
+                span="shard_scatter",
+                detail={
+                    "executor": plan.executor,
+                    "ranges": plan.ranges_token(),
+                },
+                estimates={
+                    "chunks_read": plan.est_chunks,
+                    "cells_scanned": plan.est_cells,
+                },
+            )
+        )
+        for assignment in plan.assignments:
+            scatter.add(
+                PlanNode(
+                    f"shard.scan[{assignment.shard_no}]",
+                    span=f"shard_scan_{assignment.shard_no}",
+                    detail={
+                        "range": f"{assignment.start}:{assignment.stop}",
+                    },
+                    estimates={
+                        "chunks_read": assignment.est_chunks,
+                        "cells_scanned": assignment.est_cells,
+                    },
+                )
+            )
+        body.add(
+            PlanNode(
+                "shard.gather",
+                span="shard_merge",
+                detail={"shards": plan.shards},
+                estimates={"result_cells": groups},
+            )
+        )
+        body.add(PlanNode("array.extract_rows", span="extract_rows"))
         root.add(
             PlanNode(
                 "array.project_rows",

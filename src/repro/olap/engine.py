@@ -38,6 +38,7 @@ from repro.obs.tracer import get_tracer
 from repro.olap import backends as backend_registry
 from repro.olap.backends import BackendContext
 from repro.olap.model import CubeSchema
+from repro.olap.options import ExecutionOptions, coerce_options, resolve_mode
 from repro.olap.planner import (
     DEFAULT_CROSSOVER_SELECTIVITY,
     PlannerInputs,
@@ -123,6 +124,7 @@ class OlapEngine:
         self._views: dict[str, _ViewState] = {}
         self._write_listeners: list[Callable[[str], None]] = []
         self._explain_counters: Counters | None = None
+        self._shard_coordinator = None
 
     # -- loading ------------------------------------------------------------------
 
@@ -369,21 +371,75 @@ class OlapEngine:
             selectivity *= len(allowed) / size if size else 0.0
         return selectivity
 
+    # -- sharding -----------------------------------------------------------------------
+
+    @property
+    def shard_coordinator(self):
+        """The lazily created scatter-gather coordinator (see
+        :mod:`repro.shard`); one per engine, pools persist across
+        queries."""
+        if self._shard_coordinator is None:
+            from repro.shard.coordinator import ShardCoordinator
+
+            self._shard_coordinator = ShardCoordinator(self)
+        return self._shard_coordinator
+
+    def close_shards(self) -> None:
+        """Shut down shard worker pools and scratch volume images."""
+        if self._shard_coordinator is not None:
+            self._shard_coordinator.close()
+            self._shard_coordinator = None
+
     # -- query execution ------------------------------------------------------------------------
+
+    def run(
+        self,
+        query: ConsolidationQuery,
+        options: ExecutionOptions | None = None,
+        cold: bool = True,
+        crossover_selectivity: float = DEFAULT_CROSSOVER_SELECTIVITY,
+        **legacy,
+    ) -> QueryResult:
+        """Execute a query under one :class:`ExecutionOptions` surface.
+
+        Precedence: explicit ``options`` > options attached to the query
+        (``ConsolidationQuery.options``) > defaults.  The old per-keyword
+        form (``backend=``, ``mode=``, ``executor=``, ``shards=``, ...)
+        still works for one release via a :class:`DeprecationWarning`.
+        """
+        if options is None and query.options is not None:
+            options = query.options
+        opts = coerce_options(options, legacy, "OlapEngine.run")
+        return self.query(
+            query,
+            backend=opts.backend,
+            mode=opts.mode,
+            cold=cold,
+            order=opts.order,
+            crossover_selectivity=crossover_selectivity,
+            shards=opts.shards,
+            executor=opts.executor,
+            allow_partial=opts.allow_partial,
+        )
 
     def query(
         self,
         query: ConsolidationQuery,
         backend: str = "auto",
-        mode: str = "interpreted",
+        mode: str = "auto",
         cold: bool = True,
         order: str = "chunk",
         crossover_selectivity: float = DEFAULT_CROSSOVER_SELECTIVITY,
+        shards: int = 1,
+        executor: str = "local",
+        allow_partial: bool = False,
     ) -> QueryResult:
         """Execute a consolidation query.
 
         With ``cold=True`` (the paper's methodology) the buffer pool is
         flushed and I/O statistics zeroed before the measured run.
+        ``shards > 1`` scatters the array consolidation over chunk-range
+        shards on the given ``executor`` (see :mod:`repro.shard`).
         """
         state = self.cube(query.cube)
         query.validate(state.schema)
@@ -420,9 +476,17 @@ class OlapEngine:
         else:
             self.db.reset_stats()
         counters = Counters()
-        result_mode = mode if backend == "array" else "interpreted"
+        resolved = resolve_mode(mode, query.aggregate, backend)
+        result_mode = resolved if backend == "array" else "interpreted"
         ctx = BackendContext(
-            engine=self, state=state, counters=counters, mode=mode, order=order
+            engine=self,
+            state=state,
+            counters=counters,
+            mode=result_mode,
+            order=order,
+            shards=shards,
+            executor=executor,
+            allow_partial=allow_partial,
         )
         with self.db.metrics.scoped("query", counters):
             with get_tracer().span(
@@ -431,6 +495,8 @@ class OlapEngine:
                 backend=backend,
                 mode=result_mode,
                 planner_reason=planner_reason,
+                shards=shards,
+                executor=executor,
             ):
                 with self.db.locks.locked(
                     query.cube, "S", f"query-{id(query)}"
@@ -453,11 +519,14 @@ class OlapEngine:
         self,
         query: ConsolidationQuery,
         backend: str = "auto",
-        mode: str = "interpreted",
+        mode: str = "auto",
         order: str = "chunk",
         analyze: bool = False,
         cold: bool = True,
         crossover_selectivity: float = DEFAULT_CROSSOVER_SELECTIVITY,
+        shards: int = 1,
+        executor: str = "local",
+        allow_partial: bool = False,
     ):
         """Build a query plan; with ``analyze=True`` also run and measure.
 
@@ -504,20 +573,29 @@ class OlapEngine:
                 f"backend {backend!r} not available for cube "
                 f"{query.cube!r}; built: {sorted(available)}"
             )
+        resolved = resolve_mode(mode, query.aggregate, backend)
         ctx = BackendContext(
             engine=self,
             state=state,
             counters=Counters(),
-            mode=mode,
+            mode=resolved if backend == "array" else "interpreted",
             order=order,
+            shards=shards,
+            executor=executor,
+            allow_partial=allow_partial,
         )
         plan = QueryPlan(
             cube=query.cube,
             backend=backend,
-            mode=mode if backend == "array" else "interpreted",
+            mode=resolved if backend == "array" else "interpreted",
             order=order,
             fingerprint=query_fingerprint(
-                query, backend=requested, mode=mode, order=order
+                query,
+                backend=requested,
+                mode=mode,
+                order=order,
+                shards=shards,
+                executor=executor,
             ),
             planner={
                 "requested": requested,
@@ -546,6 +624,9 @@ class OlapEngine:
                 cold=cold,
                 order=order,
                 crossover_selectivity=crossover_selectivity,
+                shards=shards,
+                executor=executor,
+                allow_partial=allow_partial,
             )
         root_span = next(
             (root for root in tracer.roots if root.name == "query"), None
@@ -640,7 +721,7 @@ class OlapEngine:
         self,
         query: ConsolidationQuery,
         view_name: str,
-        mode: str = "vectorized",
+        mode: str = "auto",
     ) -> OLAPArray:
         """Compute an aggregate table and persist it as an OLAP array.
 
@@ -674,7 +755,7 @@ class OlapEngine:
             state.array,
             specs,
             aggregate=query.aggregate,
-            mode=mode,
+            mode=resolve_mode(mode, query.aggregate, "array"),
             materialize_as=view_name,
         )
         self._views[view_name] = _ViewState(

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import QueryError
 from repro.olap.model import CubeSchema
+from repro.olap.options import ExecutionOptions
 
 
 @dataclass(frozen=True)
@@ -95,6 +96,10 @@ class ConsolidationQuery:
     selections: tuple[SelectionPredicate, ...] = ()
     aggregate: str = "sum"
     measures: tuple[str, ...] | None = None  # None = all cube measures
+    #: how to execute (backend/mode/executor/shards); None = engine
+    #: defaults.  Excluded from equality — options describe *how* a
+    #: query runs, not *what* it asks, and fingerprints track the how.
+    options: ExecutionOptions | None = field(default=None, compare=False)
 
     def __post_init__(self):
         if not self.group_by:
@@ -111,6 +116,7 @@ class ConsolidationQuery:
         selections: list[SelectionPredicate] | None = None,
         aggregate: str = "sum",
         measures: list[str] | None = None,
+        options: ExecutionOptions | None = None,
     ) -> "ConsolidationQuery":
         """Convenience constructor taking plain dicts/lists."""
         return cls(
@@ -119,10 +125,13 @@ class ConsolidationQuery:
             selections=tuple(selections or ()),
             aggregate=aggregate,
             measures=tuple(measures) if measures is not None else None,
+            options=options,
         )
 
     @classmethod
-    def builder(cls, cube: str) -> "QueryBuilder":
+    def builder(
+        cls, cube: str, options: ExecutionOptions | None = None
+    ) -> "QueryBuilder":
         """Start a fluent builder for a query against ``cube``::
 
             query = (ConsolidationQuery.builder("sales")
@@ -130,9 +139,10 @@ class ConsolidationQuery:
                      .where_in("store", "region", "West")
                      .where_between("time", "month", 1, 6)
                      .aggregate("volume", "sum")
+                     .options(shards=4, executor="process")
                      .build())
         """
-        return QueryBuilder(cube)
+        return QueryBuilder(cube, options=options)
 
     @property
     def group_dims(self) -> tuple[str, ...]:
@@ -198,12 +208,20 @@ class QueryBuilder:
     (fingerprinting, caching, execution) consumes.
     """
 
-    def __init__(self, cube: str):
+    def __init__(self, cube: str, options: ExecutionOptions | None = None):
         self._cube = cube
         self._group_by: list[tuple[str, str]] = []
         self._selections: list[SelectionPredicate] = []
         self._aggregate: str | None = None
         self._measures: list[str] | None = None
+        self._options = options
+
+    def options(self, **knobs) -> "QueryBuilder":
+        """Attach execution knobs (``backend=``, ``mode=``, ``executor=``,
+        ``shards=``, ``order=``, ``allow_partial=``) to the built query."""
+        base = self._options if self._options is not None else ExecutionOptions()
+        self._options = base.merged_with(**knobs)
+        return self
 
     def group_by(self, dimension: str, attribute: str) -> "QueryBuilder":
         """Group on one dimension attribute (order fixes output order)."""
@@ -261,4 +279,9 @@ class QueryBuilder:
             measures=(
                 tuple(self._measures) if self._measures is not None else None
             ),
+            options=self._options,
         )
+
+    def run(self, engine, **kwargs):
+        """Build and execute on ``engine`` (attached options apply)."""
+        return engine.run(self.build(), **kwargs)

@@ -7,12 +7,21 @@ an IN-list.  Everything that *does* change the answer — the group-by
 order (it fixes the output column order), the aggregate, the measure
 projection, the backend, the execution mode and the scan order — stays
 significant.
+
+``mode`` is canonicalized through :func:`repro.olap.options.
+resolve_mode` before hashing, so ``mode="auto"`` fingerprints equal the
+concrete mode it resolves to and cached results never alias across
+modes.  The shard plan (``shards``/``executor``) joins the fingerprint
+only when ``shards > 1`` — single-shard fingerprints are bit-identical
+to the pre-sharding release, keeping warm caches valid across the
+upgrade.
 """
 
 from __future__ import annotations
 
 import hashlib
 
+from repro.olap.options import resolve_mode
 from repro.olap.query import ConsolidationQuery, SelectionPredicate
 
 
@@ -27,14 +36,16 @@ def _selection_token(sel: SelectionPredicate) -> str:
 def query_fingerprint(
     query: ConsolidationQuery,
     backend: str = "auto",
-    mode: str = "interpreted",
+    mode: str = "auto",
     order: str = "chunk",
+    shards: int = 1,
+    executor: str = "local",
 ) -> str:
     """Hex digest identifying one (cube, backend, query) evaluation."""
     parts = [
         f"cube={query.cube}",
         f"backend={backend}",
-        f"mode={mode}",
+        f"mode={resolve_mode(mode, query.aggregate, backend)}",
         f"order={order}",
         "group_by=" + ";".join(f"{d}.{a}" for d, a in query.group_by),
         "selections=" + ";".join(
@@ -45,5 +56,8 @@ def query_fingerprint(
             ",".join(query.measures) if query.measures is not None else "*"
         ),
     ]
+    if shards > 1:
+        parts.append(f"shards={shards}")
+        parts.append(f"executor={executor}")
     digest = hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
     return digest[:32]

@@ -61,6 +61,7 @@ from repro.obs.slowlog import SlowQueryLog
 from repro.obs.timeseries import TimeSeriesStore
 from repro.obs.tracer import Tracer, get_tracer, thread_tracing
 from repro.olap.engine import OlapEngine, QueryResult
+from repro.olap.options import ExecutionOptions, coerce_options
 from repro.olap.query import ConsolidationQuery
 from repro.serve.chunk_cache import ChunkCache
 from repro.serve.fingerprint import query_fingerprint
@@ -115,6 +116,11 @@ class ServiceConfig:
     slo_rules: tuple[SloRule, ...] | None = None
     #: wall-clock sampling-profiler tick interval (0 keeps it off)
     profile_sampling_s: float = 0.0
+    #: chunk-range shards engine misses scatter over (1 = classic
+    #: single-scan path; >1 routes misses through the shard coordinator)
+    shards: int = 1
+    #: where shard scans run: ``local`` / ``thread`` / ``process``
+    executor: str = "local"
 
 
 class QueryService:
@@ -255,18 +261,54 @@ class QueryService:
 
     # -- query path --------------------------------------------------------
 
+    def query(
+        self,
+        query: ConsolidationQuery,
+        options: ExecutionOptions | None = None,
+        **legacy,
+    ) -> QueryResult:
+        """Execute under one :class:`ExecutionOptions` surface and wait.
+
+        Precedence: explicit ``options`` > options attached to the query
+        > the service config's ``shards``/``executor`` defaults.  Legacy
+        keywords (``backend=``, ``mode=``, ...) warn for one release.
+        """
+        if options is None and query.options is not None:
+            options = query.options
+        if options is None and not legacy:
+            return self.execute(query)
+        opts = coerce_options(options, legacy, "QueryService.query")
+        return self.submit(
+            query,
+            opts.backend,
+            opts.mode,
+            opts.order,
+            shards=opts.shards,
+            executor=opts.executor,
+            allow_partial=opts.allow_partial,
+        ).result()
+
     def submit(
         self,
         query: ConsolidationQuery,
         backend: str = "auto",
-        mode: str = "interpreted",
+        mode: str = "auto",
         order: str = "chunk",
+        shards: int | None = None,
+        executor: str | None = None,
+        allow_partial: bool = False,
     ) -> "Future[QueryResult]":
         """Admit one query onto the pool; returns its future.
 
-        Raises :class:`AdmissionError` when the service is closed or
-        ``max_in_flight`` queries are already admitted.
+        ``shards``/``executor`` default to the service config's values
+        (``None`` = inherit).  Raises :class:`AdmissionError` when the
+        service is closed or ``max_in_flight`` queries are already
+        admitted.
         """
+        if shards is None:
+            shards = self.config.shards
+        if executor is None:
+            executor = self.config.executor
         with self._admission_lock:
             if self._closed:
                 raise AdmissionError("service is closed")
@@ -281,39 +323,56 @@ class QueryService:
         self.counters.add("serve.admitted")
         self._histograms["serve.admission_depth"].observe(float(depth))
         return self._pool.submit(
-            self._run, query, backend, mode, order, time.perf_counter()
+            self._run,
+            query,
+            backend,
+            mode,
+            order,
+            shards,
+            executor,
+            allow_partial,
+            time.perf_counter(),
         )
 
     def execute(
         self,
         query: ConsolidationQuery,
         backend: str = "auto",
-        mode: str = "interpreted",
+        mode: str = "auto",
         order: str = "chunk",
     ) -> QueryResult:
         """Admit one query and wait for its result."""
         return self.submit(query, backend, mode, order).result()
 
-    def _run(self, query, backend, mode, order, admitted_s) -> QueryResult:
+    def _run(
+        self, query, backend, mode, order, shards, executor, allow_partial,
+        admitted_s,
+    ) -> QueryResult:
         start = time.perf_counter()
         self._histograms["serve.queue_wait_seconds"].observe(
             start - admitted_s
         )
-        fingerprint = query_fingerprint(query, backend, mode, order)
+        fingerprint = query_fingerprint(
+            query, backend, mode, order, shards=shards, executor=executor
+        )
         tracer: Tracer | None = None
         try:
             if self.config.profile_queries:
                 tracer = Tracer(registry=self.engine.db.metrics)
                 with thread_tracing(tracer):
                     result = self._execute(
-                        query, backend, mode, order, fingerprint
+                        query, backend, mode, order, shards, executor,
+                        allow_partial, fingerprint,
                     )
             else:
-                result = self._execute(query, backend, mode, order, fingerprint)
+                result = self._execute(
+                    query, backend, mode, order, shards, executor,
+                    allow_partial, fingerprint,
+                )
             latency = time.perf_counter() - start
             self._note_latency(
-                latency, query, backend, mode, order, fingerprint, result,
-                tracer,
+                latency, query, backend, mode, order, shards, executor,
+                fingerprint, result, tracer,
             )
             return result
         finally:
@@ -324,14 +383,15 @@ class QueryService:
                 self._in_flight -= 1
 
     def _note_latency(
-        self, latency, query, requested_backend, mode, order, fingerprint,
-        result, tracer,
+        self, latency, query, requested_backend, mode, order, shards,
+        executor, fingerprint, result, tracer,
     ) -> None:
         """Feed one finished query into the slow-query log."""
         if not self.slowlog.should_capture(latency):
             return
         explain = self._slow_plan(
-            query, requested_backend, mode, order, result, tracer
+            query, requested_backend, mode, order, shards, executor, result,
+            tracer,
         )
         entry = self.slowlog.record(
             fingerprint=fingerprint,
@@ -349,7 +409,8 @@ class QueryService:
                 self.plans.put(fingerprint, explain)
 
     def _slow_plan(
-        self, query, requested_backend, mode, order, result, tracer
+        self, query, requested_backend, mode, order, shards, executor,
+        result, tracer,
     ) -> dict | None:
         """Best-effort analyzed plan for one slow engine miss.
 
@@ -372,7 +433,12 @@ class QueryService:
         try:
             with self._engine_lock:
                 plan = self.engine.explain(
-                    query, backend=requested_backend, mode=mode, order=order
+                    query,
+                    backend=requested_backend,
+                    mode=mode,
+                    order=order,
+                    shards=shards,
+                    executor=executor,
                 )
         except ReproError:
             return None
@@ -388,9 +454,11 @@ class QueryService:
         self,
         query: ConsolidationQuery,
         backend: str = "auto",
-        mode: str = "interpreted",
+        mode: str = "auto",
         order: str = "chunk",
         analyze: bool = False,
+        shards: int | None = None,
+        executor: str | None = None,
     ) -> QueryPlan:
         """EXPLAIN (optionally ANALYZE) one query through the service.
 
@@ -400,6 +468,10 @@ class QueryService:
         ``/explain/<fingerprint>``.
         """
         self._check_degraded(query.cube)
+        if shards is None:
+            shards = self.config.shards
+        if executor is None:
+            executor = self.config.executor
         with self._engine_lock:
             self._attach_chunk_cache(query.cube)
             plan = self.engine.explain(
@@ -409,6 +481,8 @@ class QueryService:
                 order=order,
                 analyze=analyze,
                 cold=self.config.cold,
+                shards=shards,
+                executor=executor,
             )
         self.plans.put(plan.fingerprint, plan.to_dict())
         self.counters.add("serve.explains")
@@ -417,11 +491,14 @@ class QueryService:
         return plan
 
     def _execute(
-        self, query, backend, mode, order, fingerprint=None
+        self, query, backend, mode, order, shards=1, executor="local",
+        allow_partial=False, fingerprint=None,
     ) -> QueryResult:
         cube = query.cube
         if fingerprint is None:
-            fingerprint = query_fingerprint(query, backend, mode, order)
+            fingerprint = query_fingerprint(
+                query, backend, mode, order, shards=shards, executor=executor
+            )
         tracer = get_tracer()
         with Timer() as timer:
             cached = self.results.get(
@@ -438,10 +515,16 @@ class QueryService:
         # sleeps never stall other cubes' queued queries
         return self._with_retries(
             cube,
-            lambda: self._execute_miss(query, backend, mode, order, fingerprint),
+            lambda: self._execute_miss(
+                query, backend, mode, order, shards, executor, allow_partial,
+                fingerprint,
+            ),
         )
 
-    def _execute_miss(self, query, backend, mode, order, fingerprint):
+    def _execute_miss(
+        self, query, backend, mode, order, shards, executor, allow_partial,
+        fingerprint,
+    ):
         """One serialized attempt at an engine miss (runs under retry)."""
         cube = query.cube
         tracer = get_tracer()
@@ -470,6 +553,9 @@ class QueryService:
                     mode=mode,
                     cold=self.config.cold,
                     order=order,
+                    shards=shards,
+                    executor=executor,
+                    allow_partial=allow_partial,
                 )
             # the generation cannot have moved: writes also serialize
             # behind the engine lock
@@ -621,6 +707,10 @@ class QueryService:
         self.timeseries.stop()
         self.profiler.stop()
         self._pool.shutdown(wait=wait)
+        # shard worker pools / scratch volume images are engine-owned
+        # but serving-driven; release them with the serving layer (the
+        # coordinator lazily recreates everything if queried again)
+        self.engine.close_shards()
         try:
             self.engine.remove_write_listener(self._on_write)
         except ValueError:  # pragma: no cover — already detached

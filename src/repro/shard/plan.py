@@ -1,0 +1,144 @@
+"""Shard planning: chunk-range assignments over the chunk directory.
+
+A shard plan is pure metadata: it partitions ``range(n_chunks)`` into
+contiguous near-equal ranges (reusing
+:func:`repro.core.parallel.partition_chunks`, so the thread-partition
+and shard layouts agree) and prices each range from the chunk meta
+directory alone — non-empty chunks, stored bytes and valid cells, the
+same catalog statistics the array EXPLAIN estimates are built from.
+With a selection's final index lists the estimates are refined by grid
+overlap: chunks whose index box misses the selection are excluded, and
+surviving chunks' cell counts are scaled by the within-box selectivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.consolidate import allowed_masks
+from repro.core.meta import NO_CHUNK
+from repro.core.olap_array import OLAPArray
+from repro.core.parallel import partition_chunks
+
+
+@dataclass(frozen=True)
+class ShardAssignment:
+    """One shard's contiguous chunk range plus its catalog estimates."""
+
+    shard_no: int
+    start: int
+    stop: int
+    est_chunks: int
+    est_cells: int
+    est_bytes: int
+
+    @property
+    def chunk_range(self) -> range:
+        return range(self.start, self.stop)
+
+    @property
+    def n_chunks(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The coordinator's chunk-range assignment for one query."""
+
+    cube: str
+    generation: int
+    n_chunks: int
+    executor: str
+    assignments: tuple[ShardAssignment, ...]
+
+    @property
+    def shards(self) -> int:
+        return len(self.assignments)
+
+    @property
+    def est_chunks(self) -> int:
+        return sum(a.est_chunks for a in self.assignments)
+
+    @property
+    def est_cells(self) -> int:
+        return sum(a.est_cells for a in self.assignments)
+
+    def ranges_token(self) -> str:
+        """Compact ``start:stop`` list, e.g. ``0:16,16:32`` (fingerprints,
+        plan details)."""
+        return ",".join(f"{a.start}:{a.stop}" for a in self.assignments)
+
+
+def _box_selectivity(
+    geometry, chunk_no: int, masks: list[np.ndarray]
+) -> float:
+    """Fraction of a chunk's index box that survives the selection."""
+    origin = geometry.chunk_origin(chunk_no)
+    fraction = 1.0
+    for d, mask in enumerate(masks):
+        box = mask[origin[d] : origin[d] + geometry.chunk_shape[d]]
+        if not len(box):
+            return 0.0
+        hits = int(box.sum())
+        if not hits:
+            return 0.0
+        fraction *= hits / len(box)
+    return fraction
+
+
+def plan_shards(
+    array: OLAPArray,
+    shards: int,
+    executor: str = "local",
+    cube: str = "",
+    generation: int = 0,
+    allowed: list[list[int]] | None = None,
+) -> ShardPlan:
+    """Assign contiguous chunk ranges to ``shards`` workers.
+
+    ``allowed`` (the §4.2 per-dimension final index lists) refines the
+    per-shard estimates to selection-overlapping chunks only — the same
+    grid pruning the workers' filtered scan applies, so a cold sharded
+    run's actual ``chunks_read`` matches its estimate exactly.
+    """
+    entries = array._entries()
+    geometry = array.geometry
+    masks = allowed_masks(array, allowed) if allowed is not None else None
+    ranges = partition_chunks(geometry.n_chunks, shards)
+    assignments = []
+    for shard_no, chunk_range in enumerate(ranges):
+        chunks = 0
+        cells = 0.0
+        nbytes = 0
+        for chunk_no in chunk_range:
+            oid, length, count = entries[chunk_no]
+            if oid == NO_CHUNK or not count:
+                continue
+            if masks is not None:
+                fraction = _box_selectivity(geometry, chunk_no, masks)
+                if fraction == 0.0:
+                    continue
+                cells += count * fraction
+            else:
+                cells += count
+            chunks += 1
+            nbytes += length
+        assignments.append(
+            ShardAssignment(
+                shard_no=shard_no,
+                start=chunk_range.start,
+                stop=chunk_range.stop,
+                est_chunks=chunks,
+                est_cells=round(cells),
+                est_bytes=nbytes,
+            )
+        )
+    return ShardPlan(
+        cube=cube,
+        generation=generation,
+        n_chunks=geometry.n_chunks,
+        executor=executor,
+        assignments=tuple(assignments),
+    )

@@ -90,6 +90,26 @@ class TestDiffGate:
         # comparison stops: no latency ratios for incomparable runs
         assert not any("concurrent.p95_s" in line for line in lines)
 
+    def test_shard_count_mismatch_refuses_to_gate(self):
+        lines, failures = diff_artifacts(
+            _artifact(shards=1), _artifact(shards=2, executor="thread")
+        )
+        assert failures and "shard-count mismatch" in failures[0]
+        assert not any("concurrent.p95_s" in line for line in lines)
+
+    def test_missing_shards_key_means_single_shard(self):
+        # pre-sharding artifacts (no "shards" key) compare as 1-shard
+        _, failures = diff_artifacts(_artifact(), _artifact(shards=1))
+        assert not failures
+
+    def test_matching_shard_counts_still_gate(self):
+        _, failures = diff_artifacts(
+            _artifact(shards=2, p95=0.010),
+            _artifact(shards=2, p95=0.020),
+            max_p95_regress=1.5,
+        )
+        assert len(failures) == 1 and "p95 regressed" in failures[0]
+
     def test_tiny_baseline_skips_the_gate(self):
         lines, failures = diff_artifacts(
             _artifact(p95=MIN_COMPARABLE_S / 2),

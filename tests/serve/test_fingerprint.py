@@ -52,8 +52,30 @@ class TestSignificance:
         base = build()
         fp = query_fingerprint(base)
         assert query_fingerprint(base, backend="array") != fp
-        assert query_fingerprint(base, mode="vectorized") != fp
+        assert query_fingerprint(base, mode="interpreted") != fp
         assert query_fingerprint(base, order="row") != fp
+
+    def test_mode_auto_resolves_to_concrete_mode(self):
+        # "auto" canonicalizes through resolve_mode before hashing, so
+        # a cached auto result and its concrete-mode twin never alias
+        base = build()  # sum is vectorizable -> auto == vectorized
+        assert query_fingerprint(base, mode="auto") == query_fingerprint(
+            base, mode="vectorized"
+        )
+        stddev = build(aggregate="stddev")  # not vectorizable
+        assert query_fingerprint(stddev, mode="auto") == query_fingerprint(
+            stddev, mode="interpreted"
+        )
+
+    def test_shard_plan_joins_fingerprint_only_when_sharded(self):
+        base = build()
+        fp = query_fingerprint(base)
+        # shards=1 keeps pre-sharding fingerprints bit-identical
+        assert query_fingerprint(base, shards=1, executor="process") == fp
+        sharded = query_fingerprint(base, shards=4, executor="process")
+        assert sharded != fp
+        assert sharded != query_fingerprint(base, shards=2, executor="process")
+        assert sharded != query_fingerprint(base, shards=4, executor="thread")
 
     def test_aggregate_and_measures_matter(self):
         assert query_fingerprint(build(aggregate="max")) != query_fingerprint(

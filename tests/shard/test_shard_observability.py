@@ -1,0 +1,99 @@
+"""Scatter/gather visibility: EXPLAIN nodes, service metrics, /metrics."""
+
+import pytest
+
+from repro.obs.exporters import prometheus_text
+from repro.olap import ConsolidationQuery, ExecutionOptions
+from repro.serve import QueryService, ServiceConfig, query_fingerprint
+
+
+def query():
+    return ConsolidationQuery.build(
+        "cube", group_by={"dim0": "h01", "dim1": "h11"}
+    )
+
+
+class TestExplainSharded:
+    def test_plan_grows_scatter_gather_nodes(self, engine):
+        plan = engine.explain(
+            query(), backend="array", shards=2, executor="thread"
+        )
+        ops = [n.op for n in plan.root.walk()]
+        assert "array.shard_consolidate" in ops
+        assert "shard.scatter" in ops
+        assert "shard.scan[0]" in ops
+        assert "shard.scan[1]" in ops
+        assert "shard.gather" in ops
+        scatter = next(n for n in plan.root.walk() if n.op == "shard.scatter")
+        assert scatter.estimates["chunks_read"] > 0
+        assert scatter.estimates["cells_scanned"] > 0
+
+    def test_unsharded_plan_keeps_classic_shape(self, engine):
+        plan = engine.explain(query(), backend="array", shards=1)
+        ops = [n.op for n in plan.root.walk()]
+        assert "shard.scatter" not in ops
+
+    def test_analyze_binds_per_shard_actuals(self, engine):
+        plan = engine.explain(
+            query(), backend="array", shards=2, executor="thread", analyze=True
+        )
+        assert plan.analyzed
+        scans = [
+            n for n in plan.root.walk() if n.op.startswith("shard.scan[")
+        ]
+        assert len(scans) == 2
+        for node in scans:
+            assert node.actuals.get("chunks_read", 0) > 0
+            assert node.actuals.get("cells_scanned", 0) > 0
+        # every chunk is scanned exactly once across the shards
+        n_chunks = len(engine._cubes["cube"].array._entries())
+        assert sum(n.actuals["chunks_read"] for n in scans) == n_chunks
+
+    def test_fingerprint_carries_shard_plan(self, engine):
+        sharded = engine.explain(query(), backend="array", shards=2)
+        classic = engine.explain(query(), backend="array", shards=1)
+        assert sharded.fingerprint != classic.fingerprint
+        assert classic.fingerprint == query_fingerprint(
+            query(), backend="array"
+        )
+
+
+class TestShardedService:
+    @pytest.fixture()
+    def service(self, engine):
+        config = ServiceConfig(shards=2, executor="thread", max_workers=2)
+        with QueryService(engine, config) as svc:
+            yield svc
+
+    def test_misses_route_through_coordinator(self, engine, service):
+        bag = engine.shard_coordinator.counters
+        before = bag.snapshot().get("shard.queries", 0)
+        result = service.query(query())
+        assert result.rows == engine.query(
+            query(), backend="array", mode="interpreted", shards=1
+        ).rows
+        assert bag.snapshot()["shard.queries"] == before + 1
+        # hit: served from the result cache, no second scatter
+        service.query(query())
+        assert bag.snapshot()["shard.queries"] == before + 1
+
+    def test_cache_keyed_by_shard_plan(self, service):
+        fp_sharded = query_fingerprint(query(), shards=2, executor="thread")
+        fp_classic = query_fingerprint(query())
+        service.query(query())
+        assert fp_sharded != fp_classic
+
+    def test_query_accepts_execution_options(self, service):
+        opts = ExecutionOptions(shards=4, executor="local")
+        result = service.query(query(), opts)
+        assert result.rows
+
+    def test_legacy_keywords_warn(self, service):
+        with pytest.warns(DeprecationWarning, match="QueryService.query"):
+            service.query(query(), shards=1)
+
+    def test_shard_counters_reach_metrics_endpoint(self, engine, service):
+        service.query(query())
+        text = prometheus_text(engine.db.metrics)
+        assert 'source="engine:shard"' in text
+        assert "shard_queries_total" in text or "shard.queries" in text
