@@ -1,0 +1,420 @@
+"""The rollup router: multi-grain materialized aggregates + routing.
+
+The AppLovin pre-aggregation strategy: maintain a small family of
+aggregates materialized at declared grains (built through the same §4
+consolidation engine as every other query), route each API request to
+the **coarsest covering** aggregate, and fall back to base-cube
+consolidation when nothing covers.  A rollup covers a request when
+
+- the aggregate is mergeable over pre-aggregated cells (``sum``,
+  ``count``, ``min``, ``max`` — ``count`` re-rolls as a sum of counts;
+  ``avg`` is never navigable without carrying sum+count, so it always
+  falls back), and
+- every dimension the request references (drilldown *or* cut) is
+  present in the rollup grain at a finer-or-equal hierarchy level, so
+  the requested attribute is a function of the stored one.
+
+Materialized rows are invalidated exactly like the serving layer's
+result cache: each entry is keyed to the cube generation it was built
+at, and any write bumps the generation.  Refresh is *asynchronous*: a
+request that finds its chosen rollup stale (or not yet built) is
+answered from the base cube — the same cost it would pay with no
+router — while a daemon worker rebuilds the grain, so serving-path
+latency never includes a build.  Routing metadata surfaces through
+EXPLAIN as a
+``rollup.route`` plan node (chosen grain vs. base, candidate set, exact
+row estimates) whose ANALYZE actuals bind to the scan's registry
+counter deltas, like every engine plan node.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.api.model import LogicalCube, RollupDecl
+from repro.errors import ApiRequestError
+from repro.olap.query import ConsolidationQuery
+from repro.util.stats import Counters
+
+#: aggregates whose pre-aggregated cells merge exactly (``count`` cells
+#: merge additively; ``avg`` would need a (sum, count) sketch)
+NAVIGABLE_AGGREGATES = frozenset({"sum", "count", "min", "max"})
+
+_MERGE = {
+    "sum": lambda a, b: a + b,
+    "count": lambda a, b: a + b,
+    "min": min,
+    "max": max,
+}
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """Where one aggregate request will be answered."""
+
+    source: str  # "rollup" or "base"
+    rollup: RollupDecl | None
+    reason: str
+    candidates: tuple[str, ...]
+    estimated_rows: int | None = None
+
+
+class RollupRouter:
+    """Routes aggregate requests onto materialized multi-grain rollups.
+
+    Thread-safe: the store lock only guards the dict, never a build —
+    concurrent rebuilds of the same grain are harmless (last write
+    wins, both are correct for their sampled generation).
+    """
+
+    def __init__(self, engine, service, registry=None):
+        self.engine = engine
+        self.service = service
+        self.counters = Counters()
+        self._lock = threading.Lock()
+        #: (logical cube, rollup name, aggregate) -> (generation, rows)
+        self._store: dict[tuple, tuple[int, list]] = {}
+        #: (physical cube, dim, from_attr, to_attr) -> value map or None
+        self._maps: dict[tuple, dict | None] = {}
+        #: (physical cube, dim, attr) -> distinct value count
+        self._cardinalities: dict[tuple, int] = {}
+        #: async refresh machinery (lazy: no thread until first schedule)
+        self._refresh_queue: queue.Queue = queue.Queue()
+        self._inflight: set[tuple] = set()
+        self._worker: threading.Thread | None = None
+        if registry is not None:
+            registry.register(
+                "api:rollup", self.counters, reset=lambda: None, replace=True
+            )
+
+    # -- hierarchy value maps ----------------------------------------------
+
+    def _attr_map(self, physical: str, dim: str, attr: str) -> dict:
+        """key → attribute value for one physical dimension."""
+        key = (physical, dim, attr, attr)
+        cached = self._maps.get(key)
+        if cached is None:
+            state = self.engine.cube(physical)
+            cached = self.engine._dimension_attr_map(state, dim, attr)
+            with self._lock:
+                self._maps[key] = cached
+        return cached
+
+    def derive_map(
+        self, physical: str, dim: str, from_attr: str, to_attr: str
+    ) -> dict | None:
+        """``from_attr`` value → ``to_attr`` value, or ``None`` when
+        ``to_attr`` is not functionally determined by ``from_attr``.
+
+        Derivability is *verified*, not assumed: the map is built by
+        composing the two key-indexed attribute maps and rejected if any
+        ``from`` value would need two different ``to`` values.
+        """
+        if from_attr == to_attr:
+            return None  # identity: callers skip mapping entirely
+        key = (physical, dim, from_attr, to_attr)
+        with self._lock:
+            if key in self._maps:
+                return self._maps[key]
+        from_map = self._attr_map(physical, dim, from_attr)
+        to_map = self._attr_map(physical, dim, to_attr)
+        derived: dict | None = {}
+        for dim_key, from_value in from_map.items():
+            to_value = to_map[dim_key]
+            seen = derived.get(from_value, to_value)
+            if seen != to_value:
+                derived = None  # not functional: to varies within from
+                break
+            derived[from_value] = to_value
+        with self._lock:
+            self._maps[key] = derived
+        return derived
+
+    def cardinality(self, physical: str, dim: str, attr: str) -> int:
+        """Distinct values of one dimension attribute (exact)."""
+        key = (physical, dim, attr)
+        cached = self._cardinalities.get(key)
+        if cached is None:
+            cached = len(set(self._attr_map(physical, dim, attr).values()))
+            with self._lock:
+                self._cardinalities[key] = cached
+        return cached
+
+    # -- routing ------------------------------------------------------------
+
+    def estimated_rows(self, cube: LogicalCube, rollup: RollupDecl) -> int:
+        """Upper bound on a rollup's row count (cardinality product)."""
+        rows = 1
+        for dim, attr in rollup.grain:
+            rows *= self.cardinality(cube.cube, dim, attr)
+        return rows
+
+    def _covers(
+        self,
+        cube: LogicalCube,
+        rollup: RollupDecl,
+        referenced: dict[str, int],
+    ) -> bool:
+        """Whether every referenced (dim → coarsest-needed level index)
+        is present in the grain at a finer-or-equal level."""
+        grain = rollup.grain_dict()
+        for dim_name, needed_index in referenced.items():
+            grain_attr = grain.get(dim_name)
+            if grain_attr is None:
+                return False  # dimension consolidated away entirely
+            dim = cube.dimension(dim_name)
+            if dim.level_index(grain_attr) > needed_index:
+                return False  # stored coarser than requested
+            if grain_attr != dim.hierarchy[needed_index]:
+                # requested level must be derivable from the stored one
+                derived = self.derive_map(
+                    cube.cube, dim_name, grain_attr,
+                    dim.hierarchy[needed_index],
+                )
+                if derived is None:
+                    return False
+        return True
+
+    def route(
+        self,
+        cube: LogicalCube,
+        group_by: list[tuple[str, str]],
+        cuts: list,
+        aggregate: str,
+    ) -> RouteDecision:
+        """Pick the smallest covering rollup, or fall back to base.
+
+        ``cuts`` items carry ``dimension`` and ``attribute`` fields
+        (see :class:`repro.api.server.Cut`).
+        """
+        referenced: dict[str, int] = {}
+        for dim_name, attr in list(group_by) + [
+            (c.dimension, c.attribute) for c in cuts
+        ]:
+            index = cube.dimension(dim_name).level_index(attr)
+            previous = referenced.get(dim_name, index)
+            referenced[dim_name] = min(previous, index)
+        if aggregate not in NAVIGABLE_AGGREGATES:
+            return RouteDecision(
+                source="base",
+                rollup=None,
+                reason=f"aggregate {aggregate!r} is not navigable",
+                candidates=(),
+            )
+        covering = [
+            r for r in cube.rollups if self._covers(cube, r, referenced)
+        ]
+        if not covering:
+            return RouteDecision(
+                source="base",
+                rollup=None,
+                reason="no declared rollup covers the request",
+                candidates=(),
+            )
+        sized = sorted(
+            (self.estimated_rows(cube, r), r.name, r) for r in covering
+        )
+        rows, _, chosen = sized[0]
+        return RouteDecision(
+            source="rollup",
+            rollup=chosen,
+            reason=(
+                f"rollup {chosen.name!r} is the smallest of "
+                f"{len(covering)} covering grain(s)"
+            ),
+            candidates=tuple(name for _, name, _ in sized),
+            estimated_rows=rows,
+        )
+
+    # -- materialization -----------------------------------------------------
+
+    def rollup_query(
+        self, cube: LogicalCube, rollup: RollupDecl, aggregate: str
+    ) -> ConsolidationQuery:
+        """The base-cube consolidation that materializes one grain."""
+        return ConsolidationQuery.build(
+            cube.cube,
+            group_by=dict(rollup.grain),
+            aggregate=aggregate,
+        )
+
+    def rows_for(
+        self, cube: LogicalCube, rollup: RollupDecl, aggregate: str
+    ) -> list:
+        """The materialized rows of one (grain, aggregate), rebuilt
+        *synchronously* when the cube generation has moved (the EXPLAIN
+        path and the refresh worker use this; the serving path goes
+        through :meth:`try_rows` so a request never waits on a build)."""
+        generation = self.engine.cube_generation(cube.cube)
+        key = (cube.name, rollup.name, aggregate)
+        with self._lock:
+            entry = self._store.get(key)
+        if entry is not None and entry[0] == generation:
+            return entry[1]
+        # build outside the lock: it is a real (serialized) engine query
+        # run under the service's configured ExecutionOptions defaults
+        result = self.service.execute(self.rollup_query(cube, rollup, aggregate))
+        rows = list(result.rows)
+        self.counters.add("rollup.rebuilds")
+        # a write racing the build would bump the generation; storing the
+        # pre-build sample is conservative (next request rebuilds again)
+        with self._lock:
+            self._store[key] = (generation, rows)
+        return rows
+
+    def try_rows(
+        self, cube: LogicalCube, rollup: RollupDecl, aggregate: str
+    ) -> list | None:
+        """Fresh materialized rows, or ``None`` with a background
+        refresh scheduled.
+
+        The serving-path contract: a request must never pay a rollup
+        build inline.  Stale or missing entries hand the request back
+        to base-cube consolidation (same cost the request would pay
+        with no router at all) while the refresh worker rebuilds; the
+        next request at this grain scans the fresh rows.
+        """
+        generation = self.engine.cube_generation(cube.cube)
+        key = (cube.name, rollup.name, aggregate)
+        with self._lock:
+            entry = self._store.get(key)
+        if entry is not None and entry[0] == generation:
+            return entry[1]
+        if entry is not None:
+            self.counters.add("rollup.stale")
+        self.schedule_refresh(cube, rollup, aggregate)
+        return None
+
+    def schedule_refresh(
+        self, cube: LogicalCube, rollup: RollupDecl, aggregate: str
+    ) -> None:
+        """Queue one (grain, aggregate) rebuild, deduplicating in-flight
+        work; starts the daemon refresh worker on first use."""
+        key = (cube.name, rollup.name, aggregate)
+        with self._lock:
+            if key in self._inflight:
+                return
+            self._inflight.add(key)
+            if self._worker is None:
+                self._worker = threading.Thread(
+                    target=self._refresh_loop,
+                    name="rollup-refresh",
+                    daemon=True,
+                )
+                self._worker.start()
+        self.counters.add("rollup.refreshes_scheduled")
+        self._refresh_queue.put((cube, rollup, aggregate))
+
+    def _refresh_loop(self) -> None:
+        while True:
+            item = self._refresh_queue.get()
+            if item is None:
+                return
+            cube, rollup, aggregate = item
+            key = (cube.name, rollup.name, aggregate)
+            try:
+                self.rows_for(cube, rollup, aggregate)
+            except Exception:
+                # a degraded cube or admission pressure fails the
+                # refresh, not the requests it was serving; the next
+                # stale hit reschedules
+                self.counters.add("rollup.refresh_failures")
+            finally:
+                with self._lock:
+                    self._inflight.discard(key)
+
+    def close(self) -> None:
+        """Stop the refresh worker (if it ever started)."""
+        with self._lock:
+            worker = self._worker
+            self._worker = None
+        if worker is not None:
+            self._refresh_queue.put(None)
+            worker.join(timeout=5)
+
+    def resident_rollups(self) -> int:
+        """Materialized (grain, aggregate) entries currently stored."""
+        with self._lock:
+            return len(self._store)
+
+    # -- answering -----------------------------------------------------------
+
+    def scan(
+        self,
+        cube: LogicalCube,
+        rollup: RollupDecl,
+        rows: list,
+        group_by: list[tuple[str, str]],
+        cuts: list,
+        aggregate: str,
+        measure_indexes: list[int],
+    ) -> list[tuple]:
+        """Re-aggregate materialized rows to the requested shape.
+
+        Each stored row is ``(grain values..., measure values...)`` in
+        grain order; requested attributes derive from stored ones via
+        the verified hierarchy maps, cuts filter on derived values, and
+        measures merge with the aggregate's exact merge function.
+        """
+        merge = _MERGE[aggregate]
+        grain = rollup.grain
+        grain_pos = {dim: i for i, (dim, _) in enumerate(grain)}
+        grain_attr = dict(grain)
+        n_grain = len(grain)
+
+        def deriver(dim: str, attr: str):
+            stored = grain_attr[dim]
+            pos = grain_pos[dim]
+            if stored == attr:
+                return lambda row: row[pos]
+            mapping = self.derive_map(cube.cube, dim, stored, attr)
+            if mapping is None:  # pragma: no cover — routing verified it
+                raise ApiRequestError(
+                    f"{attr!r} is not derivable from rollup grain "
+                    f"{stored!r} on dimension {dim!r}"
+                )
+            return lambda row: mapping[row[pos]]
+
+        group_fns = [deriver(dim, attr) for dim, attr in group_by]
+        cut_fns = [(deriver(c.dimension, c.attribute), c) for c in cuts]
+
+        cells: dict[tuple, list] = {}
+        scanned = 0
+        for row in rows:
+            scanned += 1
+            if any(not cut.matches(fn(row)) for fn, cut in cut_fns):
+                continue
+            key = tuple(fn(row) for fn in group_fns)
+            measures = [row[n_grain + m] for m in measure_indexes]
+            cell = cells.get(key)
+            if cell is None:
+                cells[key] = measures
+            else:
+                for i, value in enumerate(measures):
+                    cell[i] = merge(cell[i], value)
+        self.counters.add("rollup.rows_scanned", scanned)
+        self.counters.add("rollup.cells_emitted", len(cells))
+        return sorted(key + tuple(values) for key, values in cells.items())
+
+    def answer(
+        self,
+        cube: LogicalCube,
+        decision: RouteDecision,
+        group_by: list[tuple[str, str]],
+        cuts: list,
+        aggregate: str,
+        measure_indexes: list[int],
+    ) -> tuple[list[tuple], int, float]:
+        """Serve one routed request: ``(rows, rows_scanned, elapsed_s)``."""
+        rollup = decision.rollup
+        assert rollup is not None
+        start = time.perf_counter()
+        stored = self.rows_for(cube, rollup, aggregate)
+        rows = self.scan(
+            cube, rollup, stored, group_by, cuts, aggregate, measure_indexes
+        )
+        self.counters.add("rollup.hits")
+        return rows, len(stored), time.perf_counter() - start

@@ -1,0 +1,935 @@
+"""The HTTP query surface: slicer-style aggregate requests over stdlib.
+
+``ApiEndpoint`` owns the request pipeline — parse → validate against
+the logical model → route (rollup vs. base) → answer → shape the JSON
+response — and ``ApiServer`` puts it behind a
+:class:`~http.server.ThreadingHTTPServer` exactly like the
+observability endpoint.  Routes:
+
+- ``GET /``                        — server info + route list
+- ``GET /cubes``                   — logical cube names
+- ``GET /cube/<name>/model``       — one cube's logical model
+- ``GET|POST /cube/<name>/aggregate`` — the aggregate request
+- ``GET /metrics``                 — Prometheus text (``api.*`` included)
+- ``GET /healthz``                 — liveness via the attached service
+
+Aggregate request surface (GET params or POST JSON body; the body shape
+is pinned by ``benchmarks/schemas/api_request.schema.json``):
+
+- ``drilldown`` — comma-separated ``dim`` or ``dim:level`` (a bare
+  dimension drills to its coarsest level); JSON: list of strings or
+  ``{"dimension": ..., "level": ...}`` objects.
+- ``cut`` — ``|``-separated ``dim.level:spec`` where spec is either an
+  in-list ``v1;v2;v3`` or an inclusive range ``lo..hi``; JSON: list of
+  strings or ``{"dimension", "level", "values" | "range"}`` objects.
+- ``measure`` / ``measures``, ``aggregate`` (default ``sum``),
+- ``explain=1`` embeds the plan JSON (same schema as ``/explain``),
+  ``analyze=1`` additionally binds actuals.
+
+Every client mistake maps to a structured 4xx body
+``{"error": {"kind", "message", "status"}}`` — a 5xx from this module
+is a bug (the replay harness gates on zero of them).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, replace
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.api.model import API_AGGREGATES, LogicalCube, LogicalModel
+from repro.api.rollup import RollupRouter, RouteDecision
+from repro.errors import (
+    AdmissionError,
+    ApiError,
+    ApiNotFoundError,
+    ApiRequestError,
+    ApiTooLargeError,
+    DegradedError,
+    ReproError,
+)
+from repro.obs.exporters import prometheus_text
+from repro.obs.explain import PlanNode, QueryPlan, attach_actuals
+from repro.obs.tracer import Tracer, thread_tracing
+from repro.olap.query import ConsolidationQuery, SelectionPredicate
+from repro.serve.fingerprint import query_fingerprint
+from repro.util.stats import Counters
+
+#: hard caps keeping one request's work bounded (structured 4xx beyond)
+MAX_DRILLDOWN_ITEMS = 16
+MAX_CUT_ITEMS = 32
+MAX_CUT_VALUES = 256
+
+
+@dataclass(frozen=True)
+class Cut:
+    """One parsed cut: an in-list or an inclusive range on a level."""
+
+    dimension: str
+    attribute: str
+    values: tuple = ()
+    low: object = None
+    high: object = None
+
+    @property
+    def is_range(self) -> bool:
+        return not self.values
+
+    def matches(self, value) -> bool:
+        if self.values:
+            return value in self.values
+        if self.low is not None and value < self.low:
+            return False
+        if self.high is not None and value > self.high:
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        payload: dict = {"dimension": self.dimension, "level": self.attribute}
+        if self.values:
+            payload["values"] = list(self.values)
+        else:
+            payload["range"] = [self.low, self.high]
+        return payload
+
+
+@dataclass(frozen=True)
+class AggregateRequest:
+    """One validated aggregate request against a logical cube."""
+
+    cube: LogicalCube
+    drilldown: tuple[tuple[str, str], ...]
+    cuts: tuple[Cut, ...] = ()
+    aggregate: str = "sum"
+    measures: tuple[str, ...] = ()
+    explain: bool = False
+    analyze: bool = False
+
+
+def _coerce_key_value(cube: LogicalCube, dimension: str, raw):
+    """Key-level cut values arrive as strings; keys are integers."""
+    if isinstance(raw, int):
+        return raw
+    try:
+        return int(raw)
+    except (TypeError, ValueError):
+        raise ApiRequestError(
+            f"cut value {raw!r} on key level of dimension {dimension!r} "
+            "must be an integer"
+        ) from None
+
+
+def _truthy(raw) -> bool:
+    if isinstance(raw, bool):
+        return raw
+    return str(raw).strip().lower() in ("1", "true", "yes", "on")
+
+
+class RequestParser:
+    """Parses GET params / POST bodies into :class:`AggregateRequest`."""
+
+    def __init__(self, cube: LogicalCube):
+        self.cube = cube
+
+    def _level_for(self, dimension: str, attr: str | None) -> str:
+        dim = self.cube.dimension(dimension)
+        if attr is None:
+            return dim.default_level
+        dim.level_index(attr)  # raises ApiNotFoundError on unknown level
+        return attr
+
+    def _coerce(self, dimension: str, attr: str, raw):
+        dim = self.cube.dimension(dimension)
+        if attr == dim.hierarchy[0]:
+            return _coerce_key_value(self.cube, dimension, raw)
+        if not isinstance(raw, str):
+            raise ApiRequestError(
+                f"cut value {raw!r} on level {attr!r} of dimension "
+                f"{dimension!r} must be a string"
+            )
+        return raw
+
+    # -- drilldown ---------------------------------------------------------
+
+    def drilldown_item(self, raw) -> tuple[str, str]:
+        if isinstance(raw, dict):
+            dimension = raw.get("dimension")
+            if not isinstance(dimension, str):
+                raise ApiRequestError(
+                    f"drilldown object needs a string 'dimension': {raw!r}"
+                )
+            level = raw.get("level")
+            if level is not None and not isinstance(level, str):
+                raise ApiRequestError(
+                    f"drilldown 'level' must be a string: {raw!r}"
+                )
+            return dimension, self._level_for(dimension, level)
+        if not isinstance(raw, str) or not raw:
+            raise ApiRequestError(f"malformed drilldown item {raw!r}")
+        dimension, _, level = raw.partition(":")
+        return dimension, self._level_for(dimension, level or None)
+
+    def drilldown(self, items) -> tuple[tuple[str, str], ...]:
+        if len(items) > MAX_DRILLDOWN_ITEMS:
+            raise ApiRequestError(
+                f"{len(items)} drilldown items exceed the cap of "
+                f"{MAX_DRILLDOWN_ITEMS}"
+            )
+        parsed = tuple(self.drilldown_item(item) for item in items)
+        dims = [dim for dim, _ in parsed]
+        if len(set(dims)) != len(dims):
+            raise ApiRequestError(
+                f"a dimension may appear once in a drilldown; got {dims}"
+            )
+        return parsed
+
+    # -- cuts --------------------------------------------------------------
+
+    def cut_item(self, raw) -> Cut:
+        if isinstance(raw, dict):
+            return self._cut_from_object(raw)
+        if not isinstance(raw, str):
+            raise ApiRequestError(f"malformed cut item {raw!r}")
+        head, sep, spec = raw.partition(":")
+        if not sep or not spec:
+            raise ApiRequestError(
+                f"malformed cut {raw!r}; expected 'dim.level:spec'"
+            )
+        dimension, sep, attr = head.partition(".")
+        if not sep or not attr:
+            raise ApiRequestError(
+                f"malformed cut target {head!r}; expected 'dim.level'"
+            )
+        self._level_for(dimension, attr)
+        if ".." in spec:
+            low_raw, _, high_raw = spec.partition("..")
+            low = (
+                self._coerce(dimension, attr, low_raw) if low_raw else None
+            )
+            high = (
+                self._coerce(dimension, attr, high_raw) if high_raw else None
+            )
+            if low is None and high is None:
+                raise ApiRequestError(
+                    f"cut range {spec!r} needs at least one bound"
+                )
+            return Cut(dimension=dimension, attribute=attr, low=low, high=high)
+        values = tuple(
+            self._coerce(dimension, attr, v)
+            for v in spec.split(";")
+            if v != ""
+        )
+        if not values:
+            raise ApiRequestError(f"cut {raw!r} lists no values")
+        if len(values) > MAX_CUT_VALUES:
+            raise ApiRequestError(
+                f"{len(values)} cut values exceed the cap of {MAX_CUT_VALUES}"
+            )
+        return Cut(dimension=dimension, attribute=attr, values=values)
+
+    def _cut_from_object(self, raw: dict) -> Cut:
+        dimension = raw.get("dimension")
+        if not isinstance(dimension, str):
+            raise ApiRequestError(
+                f"cut object needs a string 'dimension': {raw!r}"
+            )
+        attr = self._level_for(dimension, raw.get("level"))
+        if "values" in raw:
+            values_raw = raw["values"]
+            if not isinstance(values_raw, list) or not values_raw:
+                raise ApiRequestError(
+                    f"cut 'values' must be a non-empty list: {raw!r}"
+                )
+            if len(values_raw) > MAX_CUT_VALUES:
+                raise ApiRequestError(
+                    f"{len(values_raw)} cut values exceed the cap of "
+                    f"{MAX_CUT_VALUES}"
+                )
+            values = tuple(
+                self._coerce(dimension, attr, v) for v in values_raw
+            )
+            return Cut(dimension=dimension, attribute=attr, values=values)
+        if "range" in raw:
+            bounds = raw["range"]
+            if not isinstance(bounds, list) or len(bounds) != 2:
+                raise ApiRequestError(
+                    f"cut 'range' must be a [low, high] pair: {raw!r}"
+                )
+            low = (
+                self._coerce(dimension, attr, bounds[0])
+                if bounds[0] is not None
+                else None
+            )
+            high = (
+                self._coerce(dimension, attr, bounds[1])
+                if bounds[1] is not None
+                else None
+            )
+            if low is None and high is None:
+                raise ApiRequestError(
+                    f"cut range needs at least one bound: {raw!r}"
+                )
+            return Cut(dimension=dimension, attribute=attr, low=low, high=high)
+        raise ApiRequestError(
+            f"cut object needs 'values' or 'range': {raw!r}"
+        )
+
+    def cuts(self, items) -> tuple[Cut, ...]:
+        if len(items) > MAX_CUT_ITEMS:
+            raise ApiRequestError(
+                f"{len(items)} cuts exceed the cap of {MAX_CUT_ITEMS}"
+            )
+        return tuple(self.cut_item(item) for item in items)
+
+    # -- whole requests ----------------------------------------------------
+
+    def _finish(
+        self, drilldown_items, cut_items, aggregate, measures, explain, analyze
+    ) -> AggregateRequest:
+        if aggregate not in API_AGGREGATES:
+            raise ApiRequestError(
+                f"unknown aggregate {aggregate!r}; "
+                f"expected one of {list(API_AGGREGATES)}"
+            )
+        if not measures:
+            measures = (self.cube.default_measure,)
+        for name in measures:
+            self.cube.measure(name)  # raises ApiNotFoundError
+        drilldown = self.drilldown(drilldown_items)
+        if not drilldown:
+            raise ApiRequestError(
+                "an aggregate request needs at least one drilldown item"
+            )
+        return AggregateRequest(
+            cube=self.cube,
+            drilldown=drilldown,
+            cuts=self.cuts(cut_items),
+            aggregate=aggregate,
+            measures=tuple(measures),
+            explain=_truthy(explain),
+            analyze=_truthy(analyze),
+        )
+
+    def from_params(self, params: dict[str, str]) -> AggregateRequest:
+        drilldown_items = [
+            item for item in params.get("drilldown", "").split(",") if item
+        ]
+        cut_items = [
+            item for item in params.get("cut", "").split("|") if item
+        ]
+        measures: tuple[str, ...] = ()
+        raw_measures = params.get("measures", params.get("measure", ""))
+        if raw_measures:
+            measures = tuple(m for m in raw_measures.split(",") if m)
+        return self._finish(
+            drilldown_items,
+            cut_items,
+            params.get("aggregate", "sum"),
+            measures,
+            params.get("explain", ""),
+            params.get("analyze", ""),
+        )
+
+    def from_body(self, body: dict) -> AggregateRequest:
+        if not isinstance(body, dict):
+            raise ApiRequestError("request body must be a JSON object")
+        unknown = sorted(
+            set(body)
+            - {
+                "drilldown", "cut", "cuts", "aggregate", "measures",
+                "measure", "explain", "analyze",
+            }
+        )
+        if unknown:
+            raise ApiRequestError(f"unknown request keys {unknown}")
+        drilldown_items = body.get("drilldown", [])
+        if not isinstance(drilldown_items, list):
+            raise ApiRequestError("'drilldown' must be a list")
+        cut_items = body.get("cut", body.get("cuts", []))
+        if not isinstance(cut_items, list):
+            raise ApiRequestError("'cut' must be a list")
+        measures_raw = body.get("measures", body.get("measure", []))
+        if isinstance(measures_raw, str):
+            measures_raw = [measures_raw]
+        if not isinstance(measures_raw, list):
+            raise ApiRequestError("'measures' must be a list or a string")
+        aggregate = body.get("aggregate", "sum")
+        if not isinstance(aggregate, str):
+            raise ApiRequestError("'aggregate' must be a string")
+        return self._finish(
+            drilldown_items,
+            cut_items,
+            aggregate,
+            tuple(measures_raw),
+            body.get("explain", False),
+            body.get("analyze", False),
+        )
+
+
+class ApiEndpoint:
+    """The transport-independent request pipeline behind the server."""
+
+    def __init__(
+        self,
+        engine,
+        service,
+        model: LogicalModel,
+        max_body_bytes: int = 64 * 1024,
+    ):
+        self.engine = engine
+        self.service = service
+        self.model = model
+        self.max_body_bytes = max_body_bytes
+        registry = engine.db.metrics
+        self.registry = registry
+        self.router = RollupRouter(engine, service, registry=registry)
+        self.counters = Counters()
+        registry.register(
+            "api:server", self.counters, reset=lambda: None, replace=True
+        )
+        self._histograms = {
+            name: registry.register_histogram(name, replace=True)
+            for name in (
+                "api.request_seconds",
+                "api.routed_seconds",
+                "api.base_seconds",
+            )
+        }
+        registry.register_gauge(
+            "api.rollups_resident",
+            lambda: float(self.router.resident_rollups()),
+            replace=True,
+        )
+        self._measure_lock = threading.Lock()
+        self._measure_indexes: dict[tuple[str, str], int] = {}
+
+    def close(self) -> None:
+        """Stop the router's background refresh worker."""
+        self.router.close()
+
+    # -- static payloads ----------------------------------------------------
+
+    def info_payload(self) -> dict:
+        return {
+            "service": "repro-api",
+            "cubes": self.model.cube_names(),
+            "routes": [
+                "/",
+                "/cubes",
+                "/cube/<name>/model",
+                "/cube/<name>/aggregate",
+                "/metrics",
+                "/healthz",
+            ],
+        }
+
+    def cubes_payload(self) -> dict:
+        return {"cubes": self.model.cube_names()}
+
+    def cube_model_payload(self, name: str) -> dict:
+        return self.model.cube(name).to_dict()
+
+    def health_payload(self) -> tuple[int, dict]:
+        degraded = self.service.degraded_cubes()
+        status = 503 if degraded else 200
+        return status, {
+            "status": "degraded" if degraded else "ok",
+            "degraded_cubes": degraded,
+        }
+
+    # -- compilation ---------------------------------------------------------
+
+    def _measure_index(self, cube: LogicalCube, measure: str) -> int:
+        """Position of one measure in the physical cube's measure list
+        (the column order rollup rows store after the grain values)."""
+        key = (cube.cube, measure)
+        with self._measure_lock:
+            cached = self._measure_indexes.get(key)
+        if cached is None:
+            state = self.engine.cube(cube.cube)
+            names = [m.name for m in state.schema.measures]
+            try:
+                cached = names.index(measure)
+            except ValueError:
+                raise ApiNotFoundError(
+                    f"physical cube {cube.cube!r} has no measure "
+                    f"{measure!r}; model and schema disagree"
+                ) from None
+            with self._measure_lock:
+                self._measure_indexes[key] = cached
+        return cached
+
+    def base_query(self, request: AggregateRequest) -> ConsolidationQuery:
+        """The base-cube consolidation equivalent to one API request."""
+        selections = []
+        for cut in request.cuts:
+            if cut.is_range:
+                selections.append(
+                    SelectionPredicate.between(
+                        cut.dimension, cut.attribute, cut.low, cut.high
+                    )
+                )
+            else:
+                selections.append(
+                    SelectionPredicate.in_list(
+                        cut.dimension, cut.attribute, *cut.values
+                    )
+                )
+        return ConsolidationQuery.build(
+            request.cube.cube,
+            group_by=dict(request.drilldown),
+            selections=selections,
+            aggregate=request.aggregate,
+            measures=list(request.measures),
+        )
+
+    # -- the aggregate pipeline ----------------------------------------------
+
+    def aggregate(self, cube_name: str, request_of) -> tuple[int, dict]:
+        """Answer one aggregate request; ``request_of(parser)`` builds
+        the :class:`AggregateRequest` (param- or body-sourced)."""
+        start = time.perf_counter()
+        self.counters.add("api.aggregate_requests")
+        cube = self.model.cube(cube_name)
+        request = request_of(RequestParser(cube))
+        decision = self.router.route(
+            cube, list(request.drilldown), list(request.cuts),
+            request.aggregate,
+        )
+        payload: dict | None = None
+        if decision.source == "rollup":
+            payload = self._routed(cube, request, decision)
+            if payload is None:
+                # chosen rollup stale or not yet built: refresh runs in
+                # the background, this request pays the base cost once
+                self.counters.add("api.stale_fallbacks")
+                decision = replace(
+                    decision,
+                    source="base",
+                    reason=(
+                        f"rollup {decision.rollup.name!r} not fresh; "
+                        "refresh scheduled, answered from base"
+                    ),
+                )
+        if payload is not None:
+            self.counters.add("api.rollup_hits")
+            self._histograms["api.routed_seconds"].observe(
+                time.perf_counter() - start
+            )
+        else:
+            payload = self._base(cube, request, decision)
+            self.counters.add("api.base_fallbacks")
+            self._histograms["api.base_seconds"].observe(
+                time.perf_counter() - start
+            )
+        payload["elapsed_s"] = time.perf_counter() - start
+        self._histograms["api.request_seconds"].observe(payload["elapsed_s"])
+        return 200, payload
+
+    def _labels(self, request: AggregateRequest) -> list[str]:
+        return [f"{dim}.{attr}" for dim, attr in request.drilldown] + list(
+            request.measures
+        )
+
+    def _shape(
+        self,
+        request: AggregateRequest,
+        rows: list,
+        decision: RouteDecision,
+        rows_scanned: int | None,
+        explain: dict | None,
+    ) -> dict:
+        labels = self._labels(request)
+        payload: dict = {
+            "cube": request.cube.name,
+            "aggregate": request.aggregate,
+            "measures": list(request.measures),
+            "drilldown": [list(pair) for pair in request.drilldown],
+            "cuts": [cut.to_dict() for cut in request.cuts],
+            "cells": [dict(zip(labels, row)) for row in rows],
+            "cell_count": len(rows),
+            "route": {
+                "source": decision.source,
+                "rollup": (
+                    decision.rollup.name
+                    if decision.rollup is not None
+                    else None
+                ),
+                "grain": (
+                    decision.rollup.grain_dict()
+                    if decision.rollup is not None
+                    else None
+                ),
+                "reason": decision.reason,
+                "candidates": list(decision.candidates),
+                "rows_scanned": rows_scanned,
+            },
+        }
+        if explain is not None:
+            payload["explain"] = explain
+        return payload
+
+    def _routed(
+        self, cube: LogicalCube, request: AggregateRequest,
+        decision: RouteDecision,
+    ) -> dict | None:
+        measure_indexes = [
+            self._measure_index(cube, m) for m in request.measures
+        ]
+        rollup = decision.rollup
+        assert rollup is not None
+        if not request.explain:
+            stored = self.router.try_rows(cube, rollup, request.aggregate)
+            if stored is None:
+                return None  # caller falls back to base for this request
+            rows = self.router.scan(
+                cube, rollup, stored, list(request.drilldown),
+                list(request.cuts), request.aggregate, measure_indexes,
+            )
+            self.router.counters.add("rollup.hits")
+            return self._shape(request, rows, decision, len(stored), None)
+        # EXPLAIN (and ANALYZE): answer once, under a tracer when
+        # actuals are wanted, and bind them to the rollup plan nodes
+        plan = self._rollup_plan(cube, request, decision)
+        tracer = (
+            Tracer(registry=self.registry) if request.analyze else None
+        )
+        started = time.perf_counter()
+        if tracer is not None:
+            with thread_tracing(tracer):
+                with tracer.span(
+                    "rollup.route", rollup=rollup.name, cube=cube.name
+                ):
+                    stored = self.router.rows_for(
+                        cube, rollup, request.aggregate
+                    )
+                    with tracer.span("rollup.scan", rows=len(stored)):
+                        rows = self.router.scan(
+                            cube, rollup, stored, list(request.drilldown),
+                            list(request.cuts), request.aggregate,
+                            measure_indexes,
+                        )
+                    self.router.counters.add("rollup.hits")
+        else:
+            rows, _, _ = self.router.answer(
+                cube, decision, list(request.drilldown), list(request.cuts),
+                request.aggregate, measure_indexes,
+            )
+            stored = self.router.rows_for(cube, rollup, request.aggregate)
+        elapsed = time.perf_counter() - started
+        scan_node = plan.root.children[0]
+        scan_node.estimates["rollup.rows_scanned"] = len(stored)
+        if tracer is not None and tracer.roots:
+            attach_actuals(plan.root, tracer.roots[0])
+            plan.analyzed = True
+            plan.rows = len(rows)
+            plan.elapsed_s = elapsed
+            plan.sim_io_s = 0.0
+            plan.totals = dict(
+                tracer.roots[0].io
+            )
+            self.engine._record_misestimates(plan)
+            self.counters.add("api.explain_analyzes")
+        self.counters.add("api.explains")
+        return self._shape(
+            request, rows, decision, len(stored), plan.to_dict()
+        )
+
+    def _rollup_plan(
+        self, cube: LogicalCube, request: AggregateRequest,
+        decision: RouteDecision,
+    ) -> QueryPlan:
+        """The ``rollup.route`` plan for one routed request."""
+        rollup = decision.rollup
+        assert rollup is not None
+        base = self.base_query(request)
+        est_cells = 1
+        for dim, attr in request.drilldown:
+            est_cells *= self.router.cardinality(cube.cube, dim, attr)
+        root = PlanNode(
+            op="rollup.route",
+            span="rollup.route",
+            detail={
+                "rollup": rollup.name,
+                "grain": rollup.grain_dict(),
+                "base_cube": cube.cube,
+                "candidates": list(decision.candidates),
+                "drilldown": [list(p) for p in request.drilldown],
+                "cuts": len(request.cuts),
+            },
+            estimates={},
+        )
+        root.add(
+            PlanNode(
+                op="rollup.scan",
+                span="rollup.scan",
+                detail={"aggregate": request.aggregate},
+                estimates={
+                    "rollup.rows_scanned": decision.estimated_rows or 0,
+                    "rollup.cells_emitted": est_cells,
+                },
+            )
+        )
+        return QueryPlan(
+            cube=cube.cube,
+            backend="rollup",
+            mode="interpreted",
+            order="chunk",
+            fingerprint=query_fingerprint(base, backend="rollup"),
+            planner={
+                "requested": "auto",
+                "reason": decision.reason,
+                "route": {
+                    "source": "rollup",
+                    "rollup": rollup.name,
+                    "candidates": list(decision.candidates),
+                },
+            },
+            root=root,
+        )
+
+    def _base(
+        self, cube: LogicalCube, request: AggregateRequest,
+        decision: RouteDecision,
+    ) -> dict:
+        query = self.base_query(request)
+        explain: dict | None = None
+        if request.explain:
+            plan = self.service.explain(query, analyze=request.analyze)
+            explain = plan.to_dict()
+            self.counters.add("api.explains")
+            if request.analyze:
+                self.counters.add("api.explain_analyzes")
+        result = self.service.execute(query)
+        rows = sorted(result.rows)
+        return self._shape(request, rows, decision, None, explain)
+
+    # -- error shaping -------------------------------------------------------
+
+    def error_payload(self, exc: Exception) -> tuple[int, dict]:
+        """Map one failure to ``(status, structured body)``."""
+        if isinstance(exc, ApiError):
+            self.counters.add("api.client_errors")
+            return exc.status, {
+                "error": {
+                    "kind": exc.kind,
+                    "message": str(exc),
+                    "status": exc.status,
+                }
+            }
+        if isinstance(exc, AdmissionError):
+            self.counters.add("api.admission_rejections")
+            return 429, {
+                "error": {
+                    "kind": "admission",
+                    "message": str(exc),
+                    "status": 429,
+                }
+            }
+        if isinstance(exc, DegradedError):
+            self.counters.add("api.degraded_rejections")
+            return 503, {
+                "error": {
+                    "kind": "degraded",
+                    "message": str(exc),
+                    "status": 503,
+                }
+            }
+        if isinstance(exc, ReproError):
+            # engine-side validation of a compiled query (unknown
+            # physical attribute, bad aggregate): the client's fault
+            self.counters.add("api.client_errors")
+            return 400, {
+                "error": {
+                    "kind": "query_error",
+                    "message": str(exc),
+                    "status": 400,
+                }
+            }
+        self.counters.add("api.server_errors")
+        return 500, {
+            "error": {
+                "kind": "internal",
+                "message": f"{type(exc).__name__}: {exc}",
+                "status": 500,
+            }
+        }
+
+
+class ApiServer:
+    """``ApiEndpoint`` behind a stdlib threading HTTP server.
+
+    The lifecycle mirrors
+    :class:`~repro.obs.server.ObservabilityServer`: bind port 0 for an
+    ephemeral port, serve from a daemon thread, ``stop()`` (or the
+    context manager) shuts down cleanly.
+    """
+
+    def __init__(
+        self,
+        endpoint: ApiEndpoint,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.endpoint = endpoint
+        self.host = host
+        self._requested_port = port
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "ApiServer":
+        if self._httpd is not None:
+            return self
+        endpoint = self.endpoint
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args) -> None:  # silence request noise
+                pass
+
+            def _send(self, status: int, body: bytes, content_type: str):
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def _send_json(self, status: int, payload) -> None:
+                body = json.dumps(payload).encode("utf-8")
+                self._send(status, body, "application/json; charset=utf-8")
+
+            def _params(self) -> dict[str, str]:
+                parts = self.path.split("?", 1)
+                if len(parts) != 2:
+                    return {}
+                from urllib.parse import parse_qsl
+
+                return dict(parse_qsl(parts[1]))
+
+            def _read_body(self) -> dict:
+                length_raw = self.headers.get("Content-Length", "0")
+                try:
+                    length = int(length_raw)
+                except ValueError:
+                    raise ApiRequestError(
+                        f"bad Content-Length {length_raw!r}"
+                    ) from None
+                if length > endpoint.max_body_bytes:
+                    raise ApiTooLargeError(
+                        f"request body of {length} bytes exceeds the "
+                        f"{endpoint.max_body_bytes}-byte cap"
+                    )
+                raw = self.rfile.read(length) if length else b""
+                if not raw:
+                    raise ApiRequestError("request body is empty")
+                try:
+                    return json.loads(raw)
+                except ValueError as exc:
+                    raise ApiRequestError(
+                        f"request body is not JSON: {exc}"
+                    ) from None
+
+            def _dispatch(self, method: str) -> None:
+                endpoint.counters.add("api.requests")
+                path = self.path.split("?", 1)[0].rstrip("/") or "/"
+                try:
+                    status, payload, content_type = self._route(method, path)
+                except Exception as exc:  # noqa: BLE001 — mapped, never raised
+                    status, payload = endpoint.error_payload(exc)
+                    content_type = None
+                bucket = f"api.responses_{status // 100}xx"
+                endpoint.counters.add(bucket)
+                if content_type is not None:
+                    self._send(
+                        status, payload.encode("utf-8"), content_type
+                    )
+                else:
+                    self._send_json(status, payload)
+
+            def _route(self, method: str, path: str):
+                if path == "/metrics" and method == "GET":
+                    return (
+                        200,
+                        prometheus_text(endpoint.registry),
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    )
+                if path == "/" and method == "GET":
+                    return 200, endpoint.info_payload(), None
+                if path == "/cubes" and method == "GET":
+                    return 200, endpoint.cubes_payload(), None
+                if path == "/healthz" and method == "GET":
+                    status, payload = endpoint.health_payload()
+                    return status, payload, None
+                if path.startswith("/cube/"):
+                    rest = path[len("/cube/") :]
+                    name, _, action = rest.partition("/")
+                    if action == "model" and method == "GET":
+                        return 200, endpoint.cube_model_payload(name), None
+                    if action == "aggregate":
+                        if method == "GET":
+                            params = self._params()
+                            status, payload = endpoint.aggregate(
+                                name,
+                                lambda parser: parser.from_params(params),
+                            )
+                        else:
+                            body = self._read_body()
+                            status, payload = endpoint.aggregate(
+                                name,
+                                lambda parser: parser.from_body(body),
+                            )
+                        return status, payload, None
+                raise ApiNotFoundError(
+                    f"unknown route {method} {path!r}; see / for routes"
+                )
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                try:
+                    self._dispatch("GET")
+                except BrokenPipeError:  # pragma: no cover
+                    pass
+
+            def do_POST(self) -> None:  # noqa: N802 - http.server API
+                try:
+                    self._dispatch("POST")
+                except BrokenPipeError:  # pragma: no cover
+                    pass
+
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), Handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-api-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "ApiServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -60,7 +60,16 @@ def diff_artifacts(
     failures: list[str] = []
     base_scale = base.get("scale")
     new_scale = new.get("scale")
-    # pre-sharding artifacts carry no "shards" key: they are 1-shard runs
+    # pre-sharding artifacts carry no "shards"/"shard_counters" keys:
+    # they are 1-shard runs — note it rather than KeyError, so old
+    # archived baselines stay diffable forever
+    for label, payload in (("baseline", base), ("candidate", new)):
+        if "shards" not in payload or "shard_counters" not in payload:
+            lines.append(
+                f"note: {label} predates shard-aware artifacts "
+                "(no 'shards'/'shard_counters' keys); treated as a "
+                "1-shard run"
+            )
     base_shards = int(base.get("shards", 1))
     new_shards = int(new.get("shards", 1))
     lines.append(

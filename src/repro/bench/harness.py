@@ -37,6 +37,7 @@ from repro.data.generator import (
 )
 from repro.obs.tracer import Span, Tracer, tracing
 from repro.olap.engine import OlapEngine, QueryResult
+from repro.olap.options import ExecutionOptions
 from repro.olap.query import ConsolidationQuery, SelectionPredicate
 from repro.storage.disk import DiskModel
 from repro.util.stats import Counters, Timer
@@ -245,11 +246,12 @@ def run_warm(
     from repro.serve import QueryService, ServiceConfig
 
     cold = run_cold(engine, query, backend, mode)
+    opts = ExecutionOptions(backend=backend, mode=mode)
     warm: list[QueryResult] = []
     with QueryService(engine, ServiceConfig(max_workers=1)) as service:
-        service.execute(query, backend=backend, mode=mode)  # populate
+        service.execute(query, opts)  # populate
         for _ in range(repeats):
-            warm.append(service.execute(query, backend=backend, mode=mode))
+            warm.append(service.execute(query, opts))
     hits = sum(1 for r in warm if r.stats.get("result_cache_hit"))
     return WarmReport(cold=cold, warm=warm, hit_rate=hits / max(1, len(warm)))
 
@@ -325,6 +327,7 @@ def run_concurrent(
         scope = nullcontext(service)
     latencies: list[float] = []
     lock = threading.Lock()
+    opts = ExecutionOptions(backend=backend, mode=mode)
 
     with scope as service:
 
@@ -333,7 +336,7 @@ def run_concurrent(
             for _ in range(rounds):
                 for index, query in enumerate(queries):
                     with Timer() as timer:
-                        result = service.execute(query, backend=backend, mode=mode)
+                        result = service.execute(query, opts)
                     with lock:
                         latencies.append(timer.elapsed)
                     seen.append((index, result.rows))

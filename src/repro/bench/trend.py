@@ -26,12 +26,17 @@ _SPARKS = "▁▂▃▄▅▆▇█"
 _MIN_COMPARABLE_S = 1e-6
 
 
-def load_trend(results_dir: str) -> dict[str, list[dict]]:
+def load_trend(
+    results_dir: str, notes: list[str] | None = None
+) -> dict[str, list[dict]]:
     """Archived artifacts grouped by scale, oldest first (by mtime).
 
-    Each entry keeps the file name, the concurrent p50/p95/p99 and the
-    hit rate; unreadable or shapeless files are skipped (an interrupted
-    CI upload must not wedge the trend forever).
+    Each entry keeps the file name, the concurrent p50/p95/p99, the hit
+    rate and the shard count; unreadable or shapeless files are skipped
+    (an interrupted CI upload must not wedge the trend forever).  Pass
+    ``notes`` to collect one line per skipped file and per legacy
+    artifact predating the shard-aware keys — old archives stay in the
+    trend as 1-shard runs instead of raising ``KeyError``.
     """
     if not os.path.isdir(results_dir):
         return {}
@@ -54,9 +59,22 @@ def load_trend(results_dir: str) -> dict[str, list[dict]]:
                 "p95_s": float(concurrent["p95_s"]),
                 "p99_s": float(concurrent["p99_s"]),
                 "hit_rate": float(concurrent["hit_rate"]),
+                "shards": int(payload.get("shards", 1)),
             }
-        except (OSError, ValueError, KeyError, TypeError):
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            if notes is not None:
+                notes.append(
+                    f"skipped {os.path.basename(path)}: "
+                    f"{type(exc).__name__}: {exc}"
+                )
             continue
+        if "shards" not in payload or "shard_counters" not in payload:
+            if notes is not None:
+                notes.append(
+                    f"{os.path.basename(path)}: predates shard-aware "
+                    "artifacts (no 'shards'/'shard_counters' keys); "
+                    "treated as a 1-shard run"
+                )
         by_scale.setdefault(entry["scale"], []).append(entry)
     return by_scale
 

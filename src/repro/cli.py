@@ -43,6 +43,13 @@ Commands:
   profiler); emits a ``BENCH_soak.json`` trend artifact with
   time-bucketed p50/p95/p99, throughput and the alert transition log;
   ``--inject-breach`` demonstrates one firing→resolved alert cycle.
+- ``replay`` — seeded skewed/bursty HTTP traffic replay against the
+  slicer API stack (logical model → rollup router → service), gating on
+  zero 5xx, router hit-rate and routed-vs-base latency; emits a
+  ``BENCH_api.json`` artifact.
+- ``api-serve`` — standalone slicer-style HTTP query API
+  (``/cube/<name>/aggregate`` drilldown/cut requests) over a synthetic
+  cube.
 - ``watch`` — terminal trend view (sparklines per metric) polled from a
   ``/timeseries`` endpoint, with firing alerts inlined.
 - ``alert-lint`` — validate an SLO rule file against the checked-in
@@ -69,6 +76,7 @@ from repro.bench.harness import (
     run_warm,
 )
 from repro.data.datasets import SCALES, dataset1
+from repro.olap.options import ExecutionOptions
 from repro.obs.exporters import (
     prometheus_text,
     render_span_tree,
@@ -209,12 +217,14 @@ def cmd_explain(args) -> int:
     engine = build_cube_engine(config, settings, fact_btrees=True)
     plan = engine.explain(
         query,
-        backend=args.backend,
-        mode=args.mode,
-        order=args.order,
+        ExecutionOptions(
+            backend=args.backend,
+            mode=args.mode,
+            order=args.order,
+            shards=args.shards,
+            executor=args.executor,
+        ),
         analyze=args.analyze,
-        shards=args.shards,
-        executor=args.executor,
     )
     payload = plan.to_dict()
     if args.json:
@@ -555,12 +565,15 @@ def cmd_bench_diff(args) -> int:
 def cmd_bench_trend(args) -> int:
     from repro.bench.trend import load_trend, render_trend
 
-    by_scale = load_trend(args.results_dir)
+    notes: list[str] = []
+    by_scale = load_trend(args.results_dir, notes=notes)
     if args.json:
         print(json.dumps(by_scale, indent=2))
     report, failed = render_trend(
         by_scale, max_p95_regress=args.max_p95_regress
     )
+    for note in notes:
+        print(f"note: {note}", file=sys.stderr)
     if not args.json:
         print(report)
     elif failed:
@@ -630,6 +643,141 @@ def cmd_soak(args) -> int:
         for failure in payload["failures"]:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.api.replay import (
+        ReplaySettings,
+        run_replay,
+        write_replay_artifact,
+    )
+
+    report = run_replay(
+        ReplaySettings(
+            scale=args.scale,
+            requests=args.requests,
+            seed=args.seed,
+            clients=args.clients,
+            write_every=args.write_every,
+            model_path=args.model,
+            cube=args.cube,
+        )
+    )
+    payload = report.payload
+    if getattr(args, "json", False):
+        print(json.dumps(payload, indent=2))
+    else:
+        statuses = payload["statuses"]
+        rollup = payload["rollup"]
+        latency = payload["latency"]
+        print(
+            f"replay [{payload['scale']}] {payload['requests']} requests "
+            f"seed={payload['seed']} clients={payload['clients']}: "
+            f"2xx={statuses['2xx']} 4xx={statuses['4xx']} "
+            f"5xx={statuses['5xx']} writes={payload['writes']}"
+        )
+        print(
+            f"  rollup: hits={rollup['hits']} "
+            f"base={rollup['base_fallbacks']} "
+            f"hit-rate={rollup['hit_rate']:.0%} "
+            f"resident={rollup['resident']} "
+            f"rebuilds={rollup['counters'].get('rollup.rebuilds', 0):.0f} "
+            f"stale={rollup['counters'].get('rollup.stale', 0):.0f}"
+        )
+        print(
+            f"  latency p95: all={latency['all']['p95_s'] * 1000:.3f}ms "
+            f"routed={latency['routed']['p95_s'] * 1000:.3f}ms "
+            f"base={latency['base']['p95_s'] * 1000:.3f}ms"
+        )
+        probe = payload["explain_probe"]
+        print(
+            f"  explain probe: root={probe['root_op']} "
+            f"rollup={probe['rollup']} analyzed={probe['analyzed']}"
+        )
+    write_replay_artifact(payload, args.output)
+    if not getattr(args, "json", False):
+        print(f"artifact written to {args.output}")
+    if args.validate_response or args.validate_plan:
+        from repro.util.jsonschema_lite import SchemaError, validate
+
+        checks = []
+        if args.validate_response:
+            checks.append(
+                (args.validate_response, payload.get("sample_response"),
+                 "sample response")
+            )
+        if args.validate_plan:
+            checks.append(
+                (args.validate_plan, payload["explain_probe"].get("plan"),
+                 "explain probe plan")
+            )
+        for schema_path, document, label in checks:
+            if document is None:
+                print(f"FAIL: no {label} captured to validate",
+                      file=sys.stderr)
+                return 1
+            with open(schema_path, encoding="utf-8") as handle:
+                schema = json.load(handle)
+            try:
+                validate(document, schema)
+            except SchemaError as exc:
+                print(
+                    f"FAIL: {label} vs {schema_path}: {exc}",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"-- {label} validates against {schema_path}",
+                file=sys.stderr,
+            )
+    if report.failures:
+        for failure in report.failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_api_serve(args) -> int:
+    import tempfile
+    import threading
+
+    from repro.api.model import load_model
+    from repro.api.server import ApiEndpoint, ApiServer
+    from repro.serve import QueryService, ServiceConfig
+
+    settings = bench_settings(args.scale)
+    config = dataset1(settings.scale)[1]  # the x100 cube
+    model = load_model(args.model, scale=settings.scale)
+    print(
+        f"building {config.name}: dims={config.dim_sizes} "
+        f"valid={config.n_valid} ..."
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-api-") as wal_dir:
+        engine = build_cube_engine(config, settings, wal_dir=wal_dir)
+        service = QueryService(
+            engine, ServiceConfig(max_workers=args.threads)
+        )
+        try:
+            with ApiServer(
+                ApiEndpoint(engine, service, model), port=args.port
+            ) as server:
+                print(
+                    f"serving {server.url}/cube/<name>/aggregate "
+                    f"(also / /cubes /cube/<name>/model /metrics /healthz)"
+                    + (f" for {args.duration:.0f}s" if args.duration else "")
+                )
+                try:
+                    park = threading.Event()
+                    if args.duration:
+                        park.wait(args.duration)
+                    else:
+                        while True:
+                            park.wait(3600)
+                except KeyboardInterrupt:
+                    print("\ninterrupted")
+        finally:
+            service.close()
     return 0
 
 
@@ -1016,6 +1164,66 @@ def build_parser() -> argparse.ArgumentParser:
     _add_shard_arguments(soak)
     _add_scale_argument(soak)
     soak.set_defaults(run=cmd_soak)
+
+    replay = commands.add_parser(
+        "replay",
+        help="seeded HTTP traffic replay against the API stack; emits "
+        "a BENCH_api.json artifact and gates on zero 5xx, rollup "
+        "hit-rate and routed-vs-base latency",
+    )
+    replay.add_argument("--requests", type=int, default=200)
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument("--clients", type=int, default=4)
+    replay.add_argument(
+        "--write-every",
+        type=int,
+        default=40,
+        metavar="N",
+        help="issue one churn write per N requests (0 disables; "
+        "default 40)",
+    )
+    replay.add_argument(
+        "--model", default="benchmarks/api_model.json", metavar="FILE"
+    )
+    replay.add_argument(
+        "--cube", default="sales", help="logical cube to replay against"
+    )
+    replay.add_argument("--output", default="BENCH_api.json", metavar="FILE")
+    replay.add_argument(
+        "--validate-response",
+        metavar="SCHEMA",
+        help="validate the captured sample response against a schema "
+        "(see benchmarks/schemas/api_response.schema.json)",
+    )
+    replay.add_argument(
+        "--validate-plan",
+        metavar="SCHEMA",
+        help="validate the explain probe's plan against a schema "
+        "(see benchmarks/schemas/explain_plan.schema.json)",
+    )
+    replay.add_argument(
+        "--json", action="store_true", help="print the full artifact"
+    )
+    _add_scale_argument(replay)
+    replay.set_defaults(run=cmd_replay)
+
+    api_serve = commands.add_parser(
+        "api-serve",
+        help="standalone HTTP query API over a synthetic cube",
+    )
+    api_serve.add_argument("--port", type=int, default=8800)
+    api_serve.add_argument("--threads", type=int, default=4)
+    api_serve.add_argument(
+        "--model", default="benchmarks/api_model.json", metavar="FILE"
+    )
+    api_serve.add_argument(
+        "--duration",
+        type=float,
+        default=0.0,
+        help="seconds to serve (default 0: until interrupted)",
+    )
+    _add_scale_argument(api_serve)
+    api_serve.set_defaults(run=cmd_api_serve)
 
     watch = commands.add_parser(
         "watch", help="terminal trend view over a /timeseries endpoint"

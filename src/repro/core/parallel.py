@@ -9,8 +9,8 @@ object, and the partials merge exactly because every aggregate carries
 a mergeable sketch (sum, count, min, max, (sum,count), (n,Σ,Σx²)).
 
 Two in-process executors: ``executor="local"`` runs the partitions
-sequentially (the original single-process reproduction; ``"serial"``
-is a deprecated alias), while ``executor="thread"`` fans each partition
+sequentially (the original single-process reproduction), while
+``executor="thread"`` fans each partition
 out to a worker thread and merges the partials on the caller's thread —
 real concurrency over the same dataflow, so the partitioned == direct
 oracle holds under actual parallel execution.  The executor names are
@@ -21,7 +21,6 @@ snapshot, so ``"process"`` lives there rather than here.
 
 from __future__ import annotations
 
-import warnings
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.consolidate import (
@@ -77,15 +76,10 @@ def consolidate_partitioned(
     """
     if mode not in ("interpreted", "vectorized"):
         raise QueryError(f"unknown mode {mode!r}")
-    if executor == "serial":
-        warnings.warn(
-            'executor="serial" is deprecated; use executor="local"',
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        executor = "local"
     if executor not in ("local", "thread"):
-        raise QueryError(f"unknown executor {executor!r}")
+        raise QueryError(
+            f"unknown executor {executor!r}; expected 'local' or 'thread'"
+        )
     counters = counters if counters is not None else Counters()
 
     tracer = get_tracer()

@@ -171,6 +171,53 @@ class RetryExhaustedError(ServeError, PermanentError):
     """Transient faults persisted through every retry attempt."""
 
 
+class ApiError(ReproError):
+    """Base class for HTTP query-API failures.
+
+    Carries the HTTP ``status`` and a machine-readable ``kind`` so the
+    server can render a structured 4xx body without string-matching
+    messages.  Anything the client sent wrong — malformed JSON, unknown
+    cube/dimension/measure, bad cut syntax, oversized bodies — must
+    surface as this, never as a 500.
+    """
+
+    status = 400
+    kind = "bad_request"
+
+    def __init__(self, message: str, status: int | None = None):
+        super().__init__(message)
+        if status is not None:
+            self.status = status
+
+
+class ApiModelError(ApiError):
+    """The logical model file is malformed or inconsistent."""
+
+    status = 500
+    kind = "model_error"
+
+
+class ApiRequestError(ApiError):
+    """The aggregate request itself is malformed (syntax, types)."""
+
+    status = 400
+    kind = "bad_request"
+
+
+class ApiNotFoundError(ApiError):
+    """Unknown route, cube, dimension, level, or measure."""
+
+    status = 404
+    kind = "not_found"
+
+
+class ApiTooLargeError(ApiError):
+    """The request body exceeds the configured size cap."""
+
+    status = 413
+    kind = "too_large"
+
+
 class ShardError(ReproError):
     """Base class for shard coordinator / worker failures."""
 

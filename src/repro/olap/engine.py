@@ -403,9 +403,9 @@ class OlapEngine:
         """Execute a query under one :class:`ExecutionOptions` surface.
 
         Precedence: explicit ``options`` > options attached to the query
-        (``ConsolidationQuery.options``) > defaults.  The old per-keyword
-        form (``backend=``, ``mode=``, ``executor=``, ``shards=``, ...)
-        still works for one release via a :class:`DeprecationWarning`.
+        (``ConsolidationQuery.options``) > defaults.  The removed
+        per-keyword form (``backend=``, ``mode=``, ``executor=``,
+        ``shards=``, ...) raises :class:`TypeError`.
         """
         if options is None and query.options is not None:
             options = query.options
@@ -518,19 +518,22 @@ class OlapEngine:
     def explain(
         self,
         query: ConsolidationQuery,
-        backend: str = "auto",
-        mode: str = "auto",
-        order: str = "chunk",
+        options: ExecutionOptions | None = None,
         analyze: bool = False,
         cold: bool = True,
         crossover_selectivity: float = DEFAULT_CROSSOVER_SELECTIVITY,
-        shards: int = 1,
-        executor: str = "local",
-        allow_partial: bool = False,
+        **legacy,
     ):
         """Build a query plan; with ``analyze=True`` also run and measure.
 
-        Planner resolution (``backend="auto"``, availability checks) is
+        Takes the same ``(options, analyze)`` signature as every other
+        explain surface (:meth:`ConsolidationQuery.explain
+        <repro.olap.query.ConsolidationQuery.explain>`,
+        :meth:`QueryService.explain
+        <repro.serve.service.QueryService.explain>` and ``repro
+        explain``); precedence mirrors :meth:`run` (explicit ``options``
+        > options attached to the query > defaults).  Planner resolution
+        (``backend="auto"``, availability checks) is
         exactly :meth:`query`'s.  The returned
         :class:`~repro.obs.explain.QueryPlan` carries per-node cost
         estimates; an ANALYZE run executes the query under a
@@ -546,6 +549,10 @@ class OlapEngine:
         from repro.obs.tracer import Tracer, thread_tracing
         from repro.serve.fingerprint import query_fingerprint
 
+        if options is None and query.options is not None:
+            options = query.options
+        opts = coerce_options(options, legacy, "OlapEngine.explain")
+        backend = opts.backend
         state = self.cube(query.cube)
         query.validate(state.schema)
         available = state.available_backends()
@@ -573,29 +580,29 @@ class OlapEngine:
                 f"backend {backend!r} not available for cube "
                 f"{query.cube!r}; built: {sorted(available)}"
             )
-        resolved = resolve_mode(mode, query.aggregate, backend)
+        resolved = resolve_mode(opts.mode, query.aggregate, backend)
         ctx = BackendContext(
             engine=self,
             state=state,
             counters=Counters(),
             mode=resolved if backend == "array" else "interpreted",
-            order=order,
-            shards=shards,
-            executor=executor,
-            allow_partial=allow_partial,
+            order=opts.order,
+            shards=opts.shards,
+            executor=opts.executor,
+            allow_partial=opts.allow_partial,
         )
         plan = QueryPlan(
             cube=query.cube,
             backend=backend,
             mode=resolved if backend == "array" else "interpreted",
-            order=order,
+            order=opts.order,
             fingerprint=query_fingerprint(
                 query,
                 backend=requested,
-                mode=mode,
-                order=order,
-                shards=shards,
-                executor=executor,
+                mode=opts.mode,
+                order=opts.order,
+                shards=opts.shards,
+                executor=opts.executor,
             ),
             planner={
                 "requested": requested,
@@ -620,13 +627,13 @@ class OlapEngine:
             result = self.query(
                 query,
                 backend=backend,
-                mode=mode,
+                mode=opts.mode,
                 cold=cold,
-                order=order,
+                order=opts.order,
                 crossover_selectivity=crossover_selectivity,
-                shards=shards,
-                executor=executor,
-                allow_partial=allow_partial,
+                shards=opts.shards,
+                executor=opts.executor,
+                allow_partial=opts.allow_partial,
             )
         root_span = next(
             (root for root in tracer.roots if root.name == "query"), None

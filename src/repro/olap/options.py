@@ -18,15 +18,14 @@ aggregate is numpy-decodable (the ``sum``/``count``/``min``/``max``/
 engine, the fingerprint and EXPLAIN, so cached results never alias
 across modes.
 
-The old keywords keep working for one release: passing ``backend=`` /
-``mode=`` / ``executor=`` / ``shards=`` to the new ``run``/``query``
-surfaces emits a :class:`DeprecationWarning` and folds the value into
-an :class:`ExecutionOptions`.
+The loose keywords (``backend=`` / ``mode=`` / ``executor=`` /
+``shards=`` passed directly to ``run``/``query``) had a one-release
+deprecation window and are now gone: :func:`coerce_options` raises
+:class:`TypeError` pointing at :class:`ExecutionOptions`.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, fields, replace
 from typing import Union
 
@@ -121,22 +120,21 @@ def coerce_options(
     legacy: dict[str, object],
     where: str,
 ) -> ExecutionOptions:
-    """Fold deprecated per-keyword arguments into an ExecutionOptions.
+    """Resolve the ``options`` argument of a new-surface call.
 
-    ``legacy`` is the ``**kwargs`` dict of a new-surface call; any
-    recognized knob passed that way still works for one release but
-    warns.  Unknown keywords raise immediately (they were never valid).
+    ``legacy`` is the ``**kwargs`` dict of the call.  The loose
+    per-keyword form (``backend=``, ``mode=``, ``executor=``,
+    ``shards=``, ...) had its one-release deprecation window and is now
+    a :class:`TypeError` whose message points at the replacement;
+    keywords that were never valid raise the generic form.
     """
     unknown = sorted(set(legacy) - set(_OPTION_FIELDS))
     if unknown:
         raise TypeError(f"{where}: unexpected keyword arguments {unknown}")
-    if not legacy:
-        return options if options is not None else ExecutionOptions()
-    warnings.warn(
-        f"{where}: passing {sorted(legacy)} as keywords is deprecated; "
-        "pass ExecutionOptions(...) instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    base = options if options is not None else ExecutionOptions()
-    return base.merged_with(**legacy)
+    if legacy:
+        raise TypeError(
+            f"{where}: the loose keywords {sorted(legacy)} were removed; "
+            f"pass ExecutionOptions({', '.join(f'{k}=...' for k in sorted(legacy))}) "
+            "instead"
+        )
+    return options if options is not None else ExecutionOptions()

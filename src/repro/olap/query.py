@@ -190,13 +190,14 @@ class ConsolidationQuery:
                 if m not in known:
                     raise QueryError(f"cube has no measure {m!r}")
 
-    def explain(self, engine, **kwargs):
+    def explain(self, engine, options=None, analyze: bool = False, **kwargs):
         """EXPLAIN this query — see :meth:`OlapEngine.explain`.
 
-        ``explain(engine, analyze=True)`` runs the query and attaches
-        measured actuals to every plan node.
+        The same ``(options, analyze)`` signature every explain surface
+        takes; ``explain(engine, analyze=True)`` runs the query and
+        attaches measured actuals to every plan node.
         """
-        return engine.explain(self, **kwargs)
+        return engine.explain(self, options, analyze=analyze, **kwargs)
 
 
 class QueryBuilder:
@@ -282,6 +283,6 @@ class QueryBuilder:
             options=self._options,
         )
 
-    def run(self, engine, **kwargs):
+    def run(self, engine, options=None, **kwargs):
         """Build and execute on ``engine`` (attached options apply)."""
-        return engine.run(self.build(), **kwargs)
+        return engine.run(self.build(), options, **kwargs)

@@ -261,6 +261,23 @@ class QueryService:
 
     # -- query path --------------------------------------------------------
 
+    def _resolve_options(
+        self,
+        query: ConsolidationQuery,
+        options: ExecutionOptions | None,
+        legacy: dict,
+        where: str,
+    ) -> ExecutionOptions:
+        """Precedence: explicit ``options`` > options attached to the
+        query > the service config's ``shards``/``executor`` defaults."""
+        if options is None and query.options is not None:
+            options = query.options
+        if options is None and not legacy:
+            return ExecutionOptions(
+                shards=self.config.shards, executor=self.config.executor
+            )
+        return coerce_options(options, legacy, where)
+
     def query(
         self,
         query: ConsolidationQuery,
@@ -270,45 +287,29 @@ class QueryService:
         """Execute under one :class:`ExecutionOptions` surface and wait.
 
         Precedence: explicit ``options`` > options attached to the query
-        > the service config's ``shards``/``executor`` defaults.  Legacy
-        keywords (``backend=``, ``mode=``, ...) warn for one release.
+        > the service config's ``shards``/``executor`` defaults.  The
+        removed loose keywords (``backend=``, ``mode=``, ...) raise
+        :class:`TypeError`.
         """
-        if options is None and query.options is not None:
-            options = query.options
-        if options is None and not legacy:
-            return self.execute(query)
-        opts = coerce_options(options, legacy, "QueryService.query")
-        return self.submit(
-            query,
-            opts.backend,
-            opts.mode,
-            opts.order,
-            shards=opts.shards,
-            executor=opts.executor,
-            allow_partial=opts.allow_partial,
-        ).result()
+        opts = self._resolve_options(query, options, legacy, "QueryService.query")
+        return self.submit(query, opts).result()
 
     def submit(
         self,
         query: ConsolidationQuery,
-        backend: str = "auto",
-        mode: str = "auto",
-        order: str = "chunk",
-        shards: int | None = None,
-        executor: str | None = None,
-        allow_partial: bool = False,
+        options: ExecutionOptions | None = None,
+        **legacy,
     ) -> "Future[QueryResult]":
         """Admit one query onto the pool; returns its future.
 
-        ``shards``/``executor`` default to the service config's values
-        (``None`` = inherit).  Raises :class:`AdmissionError` when the
-        service is closed or ``max_in_flight`` queries are already
-        admitted.
+        ``options`` defaults to the query's attached options, then to
+        the service config's ``shards``/``executor``.  Raises
+        :class:`AdmissionError` when the service is closed or
+        ``max_in_flight`` queries are already admitted.
         """
-        if shards is None:
-            shards = self.config.shards
-        if executor is None:
-            executor = self.config.executor
+        opts = self._resolve_options(
+            query, options, legacy, "QueryService.submit"
+        )
         with self._admission_lock:
             if self._closed:
                 raise AdmissionError("service is closed")
@@ -325,54 +326,39 @@ class QueryService:
         return self._pool.submit(
             self._run,
             query,
-            backend,
-            mode,
-            order,
-            shards,
-            executor,
-            allow_partial,
+            opts,
             time.perf_counter(),
         )
 
     def execute(
         self,
         query: ConsolidationQuery,
-        backend: str = "auto",
-        mode: str = "auto",
-        order: str = "chunk",
+        options: ExecutionOptions | None = None,
+        **legacy,
     ) -> QueryResult:
         """Admit one query and wait for its result."""
-        return self.submit(query, backend, mode, order).result()
+        return self.submit(query, options, **legacy).result()
 
-    def _run(
-        self, query, backend, mode, order, shards, executor, allow_partial,
-        admitted_s,
-    ) -> QueryResult:
+    def _run(self, query, opts: ExecutionOptions, admitted_s) -> QueryResult:
         start = time.perf_counter()
         self._histograms["serve.queue_wait_seconds"].observe(
             start - admitted_s
         )
         fingerprint = query_fingerprint(
-            query, backend, mode, order, shards=shards, executor=executor
+            query, opts.backend, opts.mode, opts.order,
+            shards=opts.shards, executor=opts.executor,
         )
         tracer: Tracer | None = None
         try:
             if self.config.profile_queries:
                 tracer = Tracer(registry=self.engine.db.metrics)
                 with thread_tracing(tracer):
-                    result = self._execute(
-                        query, backend, mode, order, shards, executor,
-                        allow_partial, fingerprint,
-                    )
+                    result = self._execute(query, opts, fingerprint)
             else:
-                result = self._execute(
-                    query, backend, mode, order, shards, executor,
-                    allow_partial, fingerprint,
-                )
+                result = self._execute(query, opts, fingerprint)
             latency = time.perf_counter() - start
             self._note_latency(
-                latency, query, backend, mode, order, shards, executor,
-                fingerprint, result, tracer,
+                latency, query, opts, fingerprint, result, tracer
             )
             return result
         finally:
@@ -383,16 +369,12 @@ class QueryService:
                 self._in_flight -= 1
 
     def _note_latency(
-        self, latency, query, requested_backend, mode, order, shards,
-        executor, fingerprint, result, tracer,
+        self, latency, query, opts, fingerprint, result, tracer
     ) -> None:
         """Feed one finished query into the slow-query log."""
         if not self.slowlog.should_capture(latency):
             return
-        explain = self._slow_plan(
-            query, requested_backend, mode, order, shards, executor, result,
-            tracer,
-        )
+        explain = self._slow_plan(query, opts, result, tracer)
         entry = self.slowlog.record(
             fingerprint=fingerprint,
             cube=query.cube,
@@ -400,7 +382,7 @@ class QueryService:
             latency_s=latency,
             roots=tracer.roots if tracer is not None else None,
             cache="hit" if result.stats.get("result_cache_hit") else "miss",
-            requested_backend=requested_backend,
+            requested_backend=opts.backend,
             explain=explain,
         )
         if entry is not None:
@@ -408,10 +390,7 @@ class QueryService:
             if explain is not None:
                 self.plans.put(fingerprint, explain)
 
-    def _slow_plan(
-        self, query, requested_backend, mode, order, shards, executor,
-        result, tracer,
-    ) -> dict | None:
+    def _slow_plan(self, query, opts, result, tracer) -> dict | None:
         """Best-effort analyzed plan for one slow engine miss.
 
         Rebuilds the planner's estimates (deterministic, so the plan
@@ -432,14 +411,7 @@ class QueryService:
             return None
         try:
             with self._engine_lock:
-                plan = self.engine.explain(
-                    query,
-                    backend=requested_backend,
-                    mode=mode,
-                    order=order,
-                    shards=shards,
-                    executor=executor,
-                )
+                plan = self.engine.explain(query, opts)
         except ReproError:
             return None
         attach_actuals(plan.root, span)
@@ -453,36 +425,31 @@ class QueryService:
     def explain(
         self,
         query: ConsolidationQuery,
-        backend: str = "auto",
-        mode: str = "auto",
-        order: str = "chunk",
+        options: ExecutionOptions | None = None,
         analyze: bool = False,
-        shards: int | None = None,
-        executor: str | None = None,
+        **legacy,
     ) -> QueryPlan:
         """EXPLAIN (optionally ANALYZE) one query through the service.
 
-        Serializes behind the engine lock like any miss; an ANALYZE run
-        executes with the service's warm/cold policy.  The payload is
-        kept in the fingerprint-keyed plan cache for
-        ``/explain/<fingerprint>``.
+        The same ``(options, analyze)`` signature as
+        :meth:`OlapEngine.explain <repro.olap.engine.OlapEngine.explain>`
+        and :meth:`ConsolidationQuery.explain
+        <repro.olap.query.ConsolidationQuery.explain>`.  Serializes
+        behind the engine lock like any miss; an ANALYZE run executes
+        with the service's warm/cold policy.  The payload is kept in
+        the fingerprint-keyed plan cache for ``/explain/<fingerprint>``.
         """
         self._check_degraded(query.cube)
-        if shards is None:
-            shards = self.config.shards
-        if executor is None:
-            executor = self.config.executor
+        opts = self._resolve_options(
+            query, options, legacy, "QueryService.explain"
+        )
         with self._engine_lock:
             self._attach_chunk_cache(query.cube)
             plan = self.engine.explain(
                 query,
-                backend=backend,
-                mode=mode,
-                order=order,
+                opts,
                 analyze=analyze,
                 cold=self.config.cold,
-                shards=shards,
-                executor=executor,
             )
         self.plans.put(plan.fingerprint, plan.to_dict())
         self.counters.add("serve.explains")
@@ -491,13 +458,13 @@ class QueryService:
         return plan
 
     def _execute(
-        self, query, backend, mode, order, shards=1, executor="local",
-        allow_partial=False, fingerprint=None,
+        self, query, opts: ExecutionOptions, fingerprint=None
     ) -> QueryResult:
         cube = query.cube
         if fingerprint is None:
             fingerprint = query_fingerprint(
-                query, backend, mode, order, shards=shards, executor=executor
+                query, opts.backend, opts.mode, opts.order,
+                shards=opts.shards, executor=opts.executor,
             )
         tracer = get_tracer()
         with Timer() as timer:
@@ -515,16 +482,10 @@ class QueryService:
         # sleeps never stall other cubes' queued queries
         return self._with_retries(
             cube,
-            lambda: self._execute_miss(
-                query, backend, mode, order, shards, executor, allow_partial,
-                fingerprint,
-            ),
+            lambda: self._execute_miss(query, opts, fingerprint),
         )
 
-    def _execute_miss(
-        self, query, backend, mode, order, shards, executor, allow_partial,
-        fingerprint,
-    ):
+    def _execute_miss(self, query, opts: ExecutionOptions, fingerprint):
         """One serialized attempt at an engine miss (runs under retry)."""
         cube = query.cube
         tracer = get_tracer()
@@ -544,18 +505,18 @@ class QueryService:
                     return self._from_cache(cached, timer)
             self._check_degraded(cube)  # may have degraded while we waited
             with tracer.span(
-                "serve_query", cube=cube, cache="miss", backend=backend
+                "serve_query", cube=cube, cache="miss", backend=opts.backend
             ):
                 self._attach_chunk_cache(cube)
                 result = self.engine.query(
                     query,
-                    backend=backend,
-                    mode=mode,
+                    backend=opts.backend,
+                    mode=opts.mode,
                     cold=self.config.cold,
-                    order=order,
-                    shards=shards,
-                    executor=executor,
-                    allow_partial=allow_partial,
+                    order=opts.order,
+                    shards=opts.shards,
+                    executor=opts.executor,
+                    allow_partial=opts.allow_partial,
                 )
             # the generation cannot have moved: writes also serialize
             # behind the engine lock

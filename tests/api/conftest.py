@@ -1,0 +1,69 @@
+"""Shared fixtures for the HTTP query-API tests: one small cube, its
+logical model, and an endpoint/service stack."""
+
+import pytest
+
+from repro.api.model import model_from_dict
+from repro.api.server import ApiEndpoint
+from repro.bench import bench_settings, build_cube_engine
+from repro.data import SyntheticCubeConfig
+from repro.serve import QueryService
+
+CONFIG = SyntheticCubeConfig(
+    name="apicube",
+    dim_sizes=(6, 6, 10),
+    n_valid=180,
+    chunk_shape=(3, 3, 5),
+    fanout1=3,
+    fanout2=2,
+    seed=11,
+)
+
+#: logical model bound to the test cube; hierarchies finest → coarsest
+MODEL_DOC = {
+    "cubes": [
+        {
+            "name": "sales",
+            "label": "API test cube",
+            "cube": CONFIG.name,
+            "dimensions": [
+                {"name": "dim0", "hierarchy": ["d0", "h01", "h02"]},
+                {"name": "dim1", "hierarchy": ["d1", "h11", "h12"]},
+                {"name": "dim2", "hierarchy": ["d2", "h21", "h22"]},
+            ],
+            "measures": [{"name": "volume"}],
+            "rollups": [
+                {
+                    "name": "coarse",
+                    "grain": {"dim0": "h02", "dim1": "h12", "dim2": "h22"},
+                },
+                {"name": "mid01", "grain": {"dim0": "h01", "dim1": "h11"}},
+            ],
+        }
+    ]
+}
+
+
+def fresh_model():
+    return model_from_dict(MODEL_DOC)
+
+
+def fresh_engine(config=CONFIG):
+    return build_cube_engine(config, bench_settings("small"))
+
+
+@pytest.fixture
+def engine():
+    """A fresh engine per test — write tests mutate cube state."""
+    return fresh_engine()
+
+
+@pytest.fixture
+def stack(engine):
+    """(engine, service, endpoint) with the refresh worker stopped on
+    teardown."""
+    service = QueryService(engine)
+    endpoint = ApiEndpoint(engine, service, fresh_model())
+    yield engine, service, endpoint
+    endpoint.close()
+    service.close()

@@ -1,0 +1,130 @@
+"""Logical model: loading, validation, scale substitution, lookups."""
+
+import json
+
+import pytest
+
+from repro.api.model import (
+    LogicalDimension,
+    load_model,
+    model_from_dict,
+)
+from repro.errors import ApiModelError, ApiNotFoundError
+
+from .conftest import MODEL_DOC
+
+
+def _doc(**overrides):
+    doc = json.loads(json.dumps(MODEL_DOC))  # deep copy
+    doc["cubes"][0].update(overrides)
+    return doc
+
+
+class TestModelFromDict:
+    def test_round_trip(self):
+        model = model_from_dict(MODEL_DOC)
+        cube = model.cube("sales")
+        assert cube.cube == "apicube"
+        assert [d.name for d in cube.dimensions] == ["dim0", "dim1", "dim2"]
+        assert cube.default_measure == "volume"
+        assert [r.name for r in cube.rollups] == ["coarse", "mid01"]
+
+    def test_scale_placeholder_substitution(self):
+        doc = _doc(cube="ds1_{scale}_x100")
+        assert (
+            model_from_dict(doc, scale="medium").cube("sales").cube
+            == "ds1_medium_x100"
+        )
+
+    def test_grain_normalized_to_declaration_order(self):
+        doc = _doc(
+            rollups=[
+                {"name": "r", "grain": {"dim2": "h22", "dim0": "h02"}}
+            ]
+        )
+        rollup = model_from_dict(doc).cube("sales").rollups[0]
+        assert rollup.grain == (("dim0", "h02"), ("dim2", "h22"))
+
+    def test_duplicate_cube_names_rejected(self):
+        doc = json.loads(json.dumps(MODEL_DOC))
+        doc["cubes"].append(doc["cubes"][0])
+        with pytest.raises(ApiModelError, match="duplicate"):
+            model_from_dict(doc)
+
+    def test_empty_hierarchy_rejected(self):
+        doc = _doc(
+            dimensions=[{"name": "dim0", "hierarchy": []}]
+        )
+        with pytest.raises(ApiModelError, match="empty hierarchy"):
+            model_from_dict(doc)
+
+    def test_rollup_on_unknown_dimension_rejected(self):
+        doc = _doc(
+            rollups=[{"name": "r", "grain": {"nope": "h02"}}]
+        )
+        with pytest.raises(ApiModelError, match="unknown"):
+            model_from_dict(doc)
+
+    def test_missing_required_key_rejected(self):
+        doc = json.loads(json.dumps(MODEL_DOC))
+        del doc["cubes"][0]["measures"]
+        with pytest.raises(ApiModelError, match="measures"):
+            model_from_dict(doc)
+
+    def test_non_object_document_rejected(self):
+        with pytest.raises(ApiModelError):
+            model_from_dict(["not", "a", "model"])
+
+
+class TestLookups:
+    def test_unknown_cube_is_not_found(self):
+        with pytest.raises(ApiNotFoundError, match="no logical cube"):
+            model_from_dict(MODEL_DOC).cube("nope")
+
+    def test_unknown_dimension_and_measure(self):
+        cube = model_from_dict(MODEL_DOC).cube("sales")
+        with pytest.raises(ApiNotFoundError, match="no dimension"):
+            cube.dimension("nope")
+        with pytest.raises(ApiNotFoundError, match="no measure"):
+            cube.measure("nope")
+
+    def test_level_index_and_default(self):
+        dim = LogicalDimension("dim0", ("d0", "h01", "h02"))
+        assert dim.level_index("d0") == 0
+        assert dim.level_index("h02") == 2
+        assert dim.default_level == "h02"
+        with pytest.raises(ApiNotFoundError, match="no level"):
+            dim.level_index("h99")
+
+    def test_to_dict_shape(self):
+        payload = model_from_dict(MODEL_DOC).cube("sales").to_dict()
+        assert payload["cube"] == "apicube"
+        assert payload["dimensions"][0]["hierarchy"] == ["d0", "h01", "h02"]
+        assert {"name": "volume"} in payload["measures"]
+        assert payload["rollups"][1]["grain"] == {
+            "dim0": "h01", "dim1": "h11",
+        }
+
+
+class TestLoadModel:
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text(json.dumps(MODEL_DOC))
+        assert load_model(str(path)).cube_names() == ["sales"]
+
+    def test_unreadable_file_is_model_error(self, tmp_path):
+        with pytest.raises(ApiModelError, match="cannot read"):
+            load_model(str(tmp_path / "absent.json"))
+
+    def test_non_json_file_is_model_error(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text("{nope")
+        with pytest.raises(ApiModelError, match="not JSON"):
+            load_model(str(path))
+
+    def test_checked_in_model_loads_at_every_scale(self):
+        for scale in ("small", "medium", "paper"):
+            model = load_model("benchmarks/api_model.json", scale=scale)
+            cube = model.cube("sales")
+            assert cube.cube == f"ds1_{scale}_x100"
+            assert len(cube.rollups) >= 2

@@ -1,0 +1,90 @@
+"""Traffic replay: deterministic schedules, end-to-end runs over real
+HTTP with zero 5xx, and artifact writing."""
+
+import json
+import random
+
+import pytest
+
+from repro.api.replay import (
+    ReplaySettings,
+    _percentile,
+    _schedule,
+    run_replay,
+    write_replay_artifact,
+)
+
+
+class TestSchedule:
+    def test_same_seed_same_schedule(self):
+        first = _schedule(random.Random(42), "sales", 50)
+        second = _schedule(random.Random(42), "sales", 50)
+        assert first == second
+
+    def test_different_seed_different_schedule(self):
+        assert _schedule(random.Random(1), "sales", 50) != _schedule(
+            random.Random(2), "sales", 50
+        )
+
+    def test_mix_contains_all_three_kinds(self):
+        schedule = _schedule(random.Random(0), "sales", 200)
+        kinds = {entry["kind"] for entry in schedule}
+        assert kinds == {"hot", "cut", "base"}
+        hot = sum(1 for e in schedule if e["kind"] == "hot")
+        assert hot > 200 * 0.4  # skew: the hot templates dominate
+
+    def test_entries_are_issuable_shapes(self):
+        for entry in _schedule(random.Random(3), "sales", 40):
+            assert entry["path"].startswith("/cube/sales/aggregate")
+            assert entry["method"] in ("GET", "POST")
+            if entry["method"] == "GET":
+                assert "drilldown=" in entry["path"]
+            else:
+                assert "drilldown" in entry["body"]
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert _percentile([], 0.95) == 0.0
+
+    def test_singleton(self):
+        assert _percentile([5.0], 0.5) == 5.0
+
+    def test_p95_of_hundred(self):
+        values = [float(i) for i in range(1, 101)]
+        assert _percentile(values, 0.95) == 96.0
+
+
+class TestRunReplay:
+    @pytest.fixture(scope="class")
+    def report(self):
+        settings = ReplaySettings(
+            scale="small", requests=120, seed=5, clients=2, write_every=40
+        )
+        return run_replay(settings)
+
+    def test_zero_5xx_and_gates_pass(self, report):
+        assert report.failures == []
+        assert report.ok
+        statuses = report.payload["statuses"]
+        assert statuses["5xx"] == 0
+        assert statuses["2xx"] == 120
+
+    def test_rollups_actually_hit(self, report):
+        assert report.payload["rollup"]["hit_rate"] > 0.5
+
+    def test_churn_ran(self, report):
+        assert report.payload["writes"] >= 1
+
+    def test_explain_probe_routed(self, report):
+        probe = report.payload["explain_probe"]
+        assert probe["status"] == 200
+        assert probe["root_op"] == "rollup.route"
+        assert probe["analyzed"]
+
+    def test_artifact_round_trips(self, report, tmp_path):
+        path = tmp_path / "BENCH_api.json"
+        write_replay_artifact(report.payload, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["statuses"]["2xx"] == 120
+        assert "latency" in loaded

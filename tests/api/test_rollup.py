@@ -1,0 +1,233 @@
+"""RollupRouter: derive maps, coverage, routing, re-aggregation
+correctness against the consolidation engine, and invalidation."""
+
+import time
+
+from repro.api.server import Cut
+from repro.data import generate_fact_rows
+from repro.olap import ConsolidationQuery
+from repro.olap.query import SelectionPredicate
+
+from .conftest import CONFIG
+
+
+def _valid_keys():
+    return tuple(generate_fact_rows(CONFIG)[0][:3])
+
+
+def _cube(endpoint):
+    return endpoint.model.cube("sales")
+
+
+def _base_rows(service, group_by, aggregate="sum", selections=None):
+    query = ConsolidationQuery.build(
+        CONFIG.name,
+        group_by=dict(group_by),
+        selections=selections or [],
+        aggregate=aggregate,
+    )
+    return sorted(service.execute(query).rows)
+
+
+class TestDeriveMaps:
+    def test_h01_to_h02_is_functional(self, stack):
+        _, _, endpoint = stack
+        router = endpoint.router
+        mapping = router.derive_map(CONFIG.name, "dim0", "h01", "h02")
+        # fanout1=3, fanout2=2: AA0/AA2 -> BB0, AA1 -> BB1
+        assert mapping == {"AA0": "BB0", "AA1": "BB1", "AA2": "BB0"}
+
+    def test_h02_to_h01_is_not_functional(self, stack):
+        _, _, endpoint = stack
+        # BB0 would need to map to both AA0 and AA2
+        assert (
+            endpoint.router.derive_map(CONFIG.name, "dim0", "h02", "h01")
+            is None
+        )
+
+    def test_identity_returns_none(self, stack):
+        _, _, endpoint = stack
+        assert (
+            endpoint.router.derive_map(CONFIG.name, "dim0", "h01", "h01")
+            is None
+        )
+
+    def test_cardinality(self, stack):
+        _, _, endpoint = stack
+        router = endpoint.router
+        assert router.cardinality(CONFIG.name, "dim0", "d0") == 6
+        assert router.cardinality(CONFIG.name, "dim0", "h01") == 3
+        assert router.cardinality(CONFIG.name, "dim0", "h02") == 2
+        assert router.cardinality(CONFIG.name, "dim2", "d2") == 10
+
+
+class TestRouting:
+    def test_coarsest_request_picks_smallest_covering(self, stack):
+        _, _, endpoint = stack
+        cube = _cube(endpoint)
+        decision = endpoint.router.route(
+            cube, [("dim0", "h02")], [], "sum"
+        )
+        assert decision.source == "rollup"
+        # coarse estimates 2*2*2=8 rows, mid01 3*3=9: coarse wins
+        assert decision.rollup.name == "coarse"
+        assert decision.candidates == ("coarse", "mid01")
+        assert decision.estimated_rows == 8
+
+    def test_finer_level_excludes_coarser_grain(self, stack):
+        _, _, endpoint = stack
+        decision = endpoint.router.route(
+            _cube(endpoint), [("dim0", "h01")], [], "sum"
+        )
+        assert decision.source == "rollup"
+        assert decision.rollup.name == "mid01"
+
+    def test_key_grain_falls_back_to_base(self, stack):
+        _, _, endpoint = stack
+        decision = endpoint.router.route(
+            _cube(endpoint), [("dim0", "d0")], [], "sum"
+        )
+        assert decision.source == "base"
+        assert "no declared rollup covers" in decision.reason
+
+    def test_avg_is_never_navigable(self, stack):
+        _, _, endpoint = stack
+        decision = endpoint.router.route(
+            _cube(endpoint), [("dim0", "h02")], [], "avg"
+        )
+        assert decision.source == "base"
+        assert "not navigable" in decision.reason
+
+    def test_cut_dimension_counts_as_referenced(self, stack):
+        _, _, endpoint = stack
+        # dim2 at h21 is finer than coarse's h22 and absent from mid01
+        cut = Cut(dimension="dim2", attribute="h21", values=("AA0",))
+        decision = endpoint.router.route(
+            _cube(endpoint), [("dim0", "h02")], [cut], "sum"
+        )
+        assert decision.source == "base"
+
+
+class TestScanCorrectness:
+    """Routed answers must be cell-for-cell equal to base consolidation."""
+
+    def _routed(self, endpoint, rollup_name, group_by, cuts, aggregate):
+        cube = _cube(endpoint)
+        rollup = next(
+            r for r in cube.rollups if r.name == rollup_name
+        )
+        stored = endpoint.router.rows_for(cube, rollup, aggregate)
+        return endpoint.router.scan(
+            cube, rollup, stored, group_by, cuts, aggregate, [0]
+        )
+
+    def test_sum_from_coarse_grain(self, stack):
+        _, service, endpoint = stack
+        routed = self._routed(
+            endpoint, "coarse", [("dim0", "h02")], [], "sum"
+        )
+        assert routed == _base_rows(service, [("dim0", "h02")])
+
+    def test_sum_with_derived_attribute(self, stack):
+        _, service, endpoint = stack
+        # mid01 stores h01/h11; the request asks h02 (derived)
+        routed = self._routed(
+            endpoint, "mid01", [("dim0", "h02")], [], "sum"
+        )
+        assert routed == _base_rows(service, [("dim0", "h02")])
+
+    def test_count_rerolls_as_sum_of_counts(self, stack):
+        _, service, endpoint = stack
+        routed = self._routed(
+            endpoint, "coarse", [("dim1", "h12")], [], "count"
+        )
+        assert routed == _base_rows(
+            service, [("dim1", "h12")], aggregate="count"
+        )
+
+    def test_min_and_max_reroll(self, stack):
+        _, service, endpoint = stack
+        for aggregate in ("min", "max"):
+            routed = self._routed(
+                endpoint, "coarse", [("dim0", "h02"), ("dim1", "h12")],
+                [], aggregate,
+            )
+            assert routed == _base_rows(
+                service, [("dim0", "h02"), ("dim1", "h12")],
+                aggregate=aggregate,
+            )
+
+    def test_in_list_cut_filters_derived_values(self, stack):
+        _, service, endpoint = stack
+        cut = Cut(dimension="dim1", attribute="h11", values=("AA1",))
+        routed = self._routed(
+            endpoint, "mid01", [("dim0", "h01")], [cut], "sum"
+        )
+        assert routed == _base_rows(
+            service,
+            [("dim0", "h01")],
+            selections=[SelectionPredicate.in_list("dim1", "h11", "AA1")],
+        )
+
+    def test_range_cut(self, stack):
+        _, service, endpoint = stack
+        cut = Cut(
+            dimension="dim1", attribute="h11", low="AA0", high="AA1"
+        )
+        routed = self._routed(
+            endpoint, "mid01", [("dim0", "h01")], [cut], "sum"
+        )
+        assert routed == _base_rows(
+            service,
+            [("dim0", "h01")],
+            selections=[
+                SelectionPredicate.between("dim1", "h11", "AA0", "AA1")
+            ],
+        )
+
+
+class TestInvalidation:
+    def test_write_goes_stale_then_async_refresh_catches_up(self, stack):
+        engine, service, endpoint = stack
+        cube = _cube(endpoint)
+        rollup = cube.rollups[0]
+        router = endpoint.router
+        before = router.rows_for(cube, rollup, "sum")
+        assert router.try_rows(cube, rollup, "sum") == before
+
+        # overwrite one valid cell so the total moves
+        service.write_cell(CONFIG.name, _valid_keys(), (999_999,))
+
+        # the serving path must NOT rebuild inline: stale -> None now
+        assert router.try_rows(cube, rollup, "sum") is None
+        deadline = time.monotonic() + 10.0
+        fresh = None
+        while time.monotonic() < deadline:
+            fresh = router.try_rows(cube, rollup, "sum")
+            if fresh is not None:
+                break
+            time.sleep(0.01)
+        assert fresh is not None, "async refresh never completed"
+        assert fresh != before
+        assert fresh == router.rows_for(cube, rollup, "sum")
+        snapshot = router.counters.snapshot()
+        assert snapshot["rollup.stale"] >= 1
+        assert snapshot["rollup.refreshes_scheduled"] >= 1
+
+    def test_sync_rows_for_rebuilds_inline(self, stack):
+        engine, service, endpoint = stack
+        cube = _cube(endpoint)
+        rollup = cube.rollups[1]
+        before = endpoint.router.rows_for(cube, rollup, "sum")
+        service.write_cell(CONFIG.name, _valid_keys(), (123_456,))
+        after = endpoint.router.rows_for(cube, rollup, "sum")
+        assert after != before
+
+    def test_resident_rollups_counts_entries(self, stack):
+        _, _, endpoint = stack
+        cube = _cube(endpoint)
+        assert endpoint.router.resident_rollups() == 0
+        endpoint.router.rows_for(cube, cube.rollups[0], "sum")
+        endpoint.router.rows_for(cube, cube.rollups[0], "count")
+        endpoint.router.rows_for(cube, cube.rollups[1], "sum")
+        assert endpoint.router.resident_rollups() == 3

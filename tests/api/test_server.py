@@ -1,0 +1,391 @@
+"""HTTP surface: happy paths validate against the checked-in schemas,
+every error path maps to a structured 4xx (never a 500), and the server
+survives concurrent reads, writes, and garbage."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api.server import ApiServer
+from repro.data import generate_fact_rows
+from repro.util.jsonschema_lite import validate
+
+from .conftest import CONFIG
+
+RESPONSE_SCHEMA = json.load(
+    open("benchmarks/schemas/api_response.schema.json", encoding="utf-8")
+)
+PLAN_SCHEMA = json.load(
+    open("benchmarks/schemas/explain_plan.schema.json", encoding="utf-8")
+)
+
+
+@pytest.fixture
+def server(stack):
+    engine, service, endpoint = stack
+    with ApiServer(endpoint) as srv:
+        yield engine, service, endpoint, srv
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _post(url, body, raw=False):
+    data = body if raw else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _warm(endpoint):
+    """Materialize every declared rollup for sum so routed requests hit."""
+    cube = endpoint.model.cube("sales")
+    for rollup in cube.rollups:
+        endpoint.router.rows_for(cube, rollup, "sum")
+
+
+class TestInfoEndpoints:
+    def test_root_lists_routes(self, server):
+        _, _, _, srv = server
+        status, payload = _get(srv.url + "/")
+        assert status == 200
+        assert any("aggregate" in route for route in payload["routes"])
+
+    def test_cubes(self, server):
+        _, _, _, srv = server
+        status, payload = _get(srv.url + "/cubes")
+        assert status == 200
+        assert payload["cubes"] == ["sales"]
+
+    def test_cube_model(self, server):
+        _, _, _, srv = server
+        status, payload = _get(srv.url + "/cube/sales/model")
+        assert status == 200
+        assert payload["cube"] == CONFIG.name
+        assert [d["name"] for d in payload["dimensions"]] == [
+            "dim0", "dim1", "dim2",
+        ]
+
+    def test_healthz(self, server):
+        _, _, _, srv = server
+        status, payload = _get(srv.url + "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+
+    def test_metrics_exports_api_counters(self, server):
+        _, _, _, srv = server
+        _get(srv.url + "/cubes")
+        with urllib.request.urlopen(srv.url + "/metrics", timeout=30) as r:
+            text = r.read().decode("utf-8")
+        assert "api" in text
+
+
+class TestAggregate:
+    def test_get_response_validates_against_schema(self, server):
+        _, _, endpoint, srv = server
+        _warm(endpoint)
+        status, payload = _get(
+            srv.url + "/cube/sales/aggregate?drilldown=dim0"
+        )
+        assert status == 200
+        validate(payload, RESPONSE_SCHEMA)
+        assert payload["route"]["source"] == "rollup"
+        assert payload["route"]["rollup"] == "coarse"
+        assert payload["cell_count"] == len(payload["cells"])
+        assert set(payload["cells"][0]) == {"dim0.h02", "volume"}
+
+    def test_first_request_falls_back_then_hits(self, server):
+        _, _, endpoint, srv = server
+        url = srv.url + "/cube/sales/aggregate?drilldown=dim1"
+        status, cold = _get(url)
+        assert status == 200
+        assert cold["route"]["source"] == "base"
+        assert "refresh scheduled" in cold["route"]["reason"]
+        deadline_tries = 500
+        for _ in range(deadline_tries):
+            status, warm = _get(url)
+            if warm["route"]["source"] == "rollup":
+                break
+        assert warm["route"]["source"] == "rollup"
+        assert warm["cells"] == cold["cells"]
+        snapshot = endpoint.counters.snapshot()
+        assert snapshot["api.stale_fallbacks"] >= 1
+        assert snapshot["api.rollup_hits"] >= 1
+
+    def test_routed_and_base_agree(self, server):
+        _, _, endpoint, srv = server
+        _warm(endpoint)
+        path = "/cube/sales/aggregate?drilldown=dim0:h01,dim1:h11&cut=dim1.h11:AA0;AA1"
+        _, routed = _get(srv.url + path)
+        assert routed["route"]["source"] == "rollup"
+        # key-level drilldown forces the base engine for the same shape
+        _, base = _get(
+            srv.url
+            + "/cube/sales/aggregate?drilldown=dim0:h01,dim1:h11,dim2:d2&cut=dim1.h11:AA0;AA1"
+        )
+        assert base["route"]["source"] == "base"
+        totals = {}
+        for cell in base["cells"]:
+            key = (cell["dim0.h01"], cell["dim1.h11"])
+            totals[key] = totals.get(key, 0) + cell["volume"]
+        routed_totals = {
+            (c["dim0.h01"], c["dim1.h11"]): c["volume"]
+            for c in routed["cells"]
+        }
+        assert routed_totals == totals
+
+    def test_post_body_equivalent_to_get(self, server):
+        _, _, endpoint, srv = server
+        _warm(endpoint)
+        url = srv.url + "/cube/sales/aggregate"
+        _, via_get = _get(url + "?drilldown=dim0:h01&aggregate=max")
+        status, via_post = _post(
+            url,
+            {"drilldown": [{"dimension": "dim0", "level": "h01"}],
+             "aggregate": "max"},
+        )
+        assert status == 200
+        validate(via_post, RESPONSE_SCHEMA)
+        assert via_post["cells"] == via_get["cells"]
+
+    def test_range_cut_over_get(self, server):
+        _, _, endpoint, srv = server
+        _warm(endpoint)
+        status, payload = _get(
+            srv.url
+            + "/cube/sales/aggregate?drilldown=dim0&cut=dim1.h11:AA0..AA1"
+        )
+        assert status == 200
+        assert payload["cuts"] == [
+            {"dimension": "dim1", "level": "h11", "range": ["AA0", "AA1"]}
+        ]
+
+    def test_explain_plan_validates_and_routes(self, server):
+        _, _, endpoint, srv = server
+        _warm(endpoint)
+        status, payload = _get(
+            srv.url + "/cube/sales/aggregate?drilldown=dim0&explain=1"
+        )
+        assert status == 200
+        plan = payload["explain"]
+        validate(plan, PLAN_SCHEMA)
+        assert plan["backend"] == "rollup"
+        assert plan["plan"]["op"] == "rollup.route"
+        assert plan["plan"]["children"][0]["op"] == "rollup.scan"
+        assert not plan["analyzed"]
+
+    def test_explain_analyze_binds_actuals(self, server):
+        _, _, endpoint, srv = server
+        _warm(endpoint)
+        status, payload = _get(
+            srv.url
+            + "/cube/sales/aggregate?drilldown=dim0&explain=1&analyze=1"
+        )
+        assert status == 200
+        plan = payload["explain"]
+        validate(plan, PLAN_SCHEMA)
+        assert plan["analyzed"]
+        scan = plan["plan"]["children"][0]
+        assert (
+            scan["actuals"]["rollup.rows_scanned"]
+            == scan["estimates"]["rollup.rows_scanned"]
+        )
+
+    def test_base_explain_still_served(self, server):
+        _, _, _, srv = server
+        status, payload = _get(
+            srv.url + "/cube/sales/aggregate?drilldown=dim0:d0&explain=1"
+        )
+        assert status == 200
+        assert payload["route"]["source"] == "base"
+        validate(payload["explain"], PLAN_SCHEMA)
+        assert payload["explain"]["backend"] != "rollup"
+
+
+def _error(payload):
+    assert set(payload) == {"error"}
+    assert set(payload["error"]) == {"kind", "message", "status"}
+    return payload["error"]
+
+
+class TestErrorPaths:
+    def test_unknown_route_404(self, server):
+        _, _, _, srv = server
+        status, payload = _get(srv.url + "/bogus")
+        assert status == 404
+        assert _error(payload)["kind"] == "not_found"
+
+    def test_post_to_get_route_404(self, server):
+        _, _, _, srv = server
+        status, payload = _post(srv.url + "/cubes", {"x": 1})
+        assert status == 404
+        assert _error(payload)["kind"] == "not_found"
+
+    def test_unknown_cube_404(self, server):
+        _, _, _, srv = server
+        status, payload = _get(
+            srv.url + "/cube/nope/aggregate?drilldown=dim0"
+        )
+        assert status == 404
+        assert "nope" in _error(payload)["message"]
+
+    def test_unknown_dimension_404(self, server):
+        _, _, _, srv = server
+        status, payload = _get(
+            srv.url + "/cube/sales/aggregate?drilldown=never"
+        )
+        assert status == 404
+        assert _error(payload)["kind"] == "not_found"
+
+    def test_unknown_level_404(self, server):
+        _, _, _, srv = server
+        status, _ = _get(
+            srv.url + "/cube/sales/aggregate?drilldown=dim0:h99"
+        )
+        assert status == 404
+
+    def test_unknown_measure_404(self, server):
+        _, _, _, srv = server
+        status, _ = _get(
+            srv.url + "/cube/sales/aggregate?drilldown=dim0&measure=gold"
+        )
+        assert status == 404
+
+    def test_missing_drilldown_400(self, server):
+        _, _, _, srv = server
+        status, payload = _get(srv.url + "/cube/sales/aggregate")
+        assert status == 400
+        assert _error(payload)["kind"] == "bad_request"
+
+    def test_bad_aggregate_400(self, server):
+        _, _, _, srv = server
+        status, payload = _get(
+            srv.url
+            + "/cube/sales/aggregate?drilldown=dim0&aggregate=median"
+        )
+        assert status == 400
+        assert "median" in _error(payload)["message"]
+
+    def test_duplicate_drilldown_dimension_400(self, server):
+        _, _, _, srv = server
+        status, _ = _get(
+            srv.url + "/cube/sales/aggregate?drilldown=dim0,dim0:h01"
+        )
+        assert status == 400
+
+    def test_bad_cut_syntax_400(self, server):
+        _, _, _, srv = server
+        status, _ = _get(
+            srv.url + "/cube/sales/aggregate?drilldown=dim0&cut=dim0-h01"
+        )
+        assert status == 400
+
+    def test_non_integer_key_cut_400(self, server):
+        _, _, _, srv = server
+        status, payload = _get(
+            srv.url + "/cube/sales/aggregate?drilldown=dim0&cut=dim0.d0:zzz"
+        )
+        assert status == 400
+        assert "integer" in _error(payload)["message"]
+
+    def test_malformed_json_body_400(self, server):
+        _, _, _, srv = server
+        status, payload = _post(
+            srv.url + "/cube/sales/aggregate", b"{nope", raw=True
+        )
+        assert status == 400
+        assert "not JSON" in _error(payload)["message"]
+
+    def test_empty_body_400(self, server):
+        _, _, _, srv = server
+        status, payload = _post(
+            srv.url + "/cube/sales/aggregate", b"", raw=True
+        )
+        assert status == 400
+        assert "empty" in _error(payload)["message"]
+
+    def test_unknown_body_key_400(self, server):
+        _, _, _, srv = server
+        status, payload = _post(
+            srv.url + "/cube/sales/aggregate",
+            {"drilldown": ["dim0"], "bogus": 1},
+        )
+        assert status == 400
+        assert "bogus" in _error(payload)["message"]
+
+    def test_oversized_body_413(self, server):
+        _, _, endpoint, srv = server
+        filler = "x" * (endpoint.max_body_bytes + 1)
+        status, payload = _post(
+            srv.url + "/cube/sales/aggregate",
+            {"drilldown": ["dim0"], "pad": filler},
+        )
+        assert status == 413
+        assert _error(payload)["kind"] == "too_large"
+
+    def test_no_500s_recorded(self, server):
+        _, _, endpoint, srv = server
+        for path in (
+            "/bogus",
+            "/cube/nope/aggregate?drilldown=dim0",
+            "/cube/sales/aggregate?aggregate=median&drilldown=dim0",
+            "/cube/sales/aggregate",
+        ):
+            _get(srv.url + path)
+        snapshot = endpoint.counters.snapshot()
+        assert snapshot.get("api.responses_5xx", 0) == 0
+        assert snapshot.get("api.server_errors", 0) == 0
+        assert snapshot["api.responses_4xx"] >= 4
+
+
+class TestConcurrency:
+    def test_hammering_with_writes_never_500s(self, server):
+        engine, service, endpoint, srv = server
+        _warm(endpoint)
+        keys = tuple(generate_fact_rows(CONFIG)[0][:3])
+        good = srv.url + "/cube/sales/aggregate?drilldown=dim0,dim1"
+        bad = srv.url + "/cube/sales/aggregate?drilldown=dim0&cut=broken"
+        statuses: list[int] = []
+        lock = threading.Lock()
+
+        def client(index: int) -> None:
+            for turn in range(12):
+                if (index + turn) % 3 == 0:
+                    status, _ = _get(bad)
+                elif (index + turn) % 3 == 1:
+                    status, _ = _post(
+                        good.split("?")[0], {"drilldown": ["dim1"]}
+                    )
+                else:
+                    status, _ = _get(good)
+                with lock:
+                    statuses.append(status)
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for _ in range(6):
+            service.write_cell(CONFIG.name, keys, (777,))
+        for thread in threads:
+            thread.join()
+
+        assert len(statuses) == 48
+        assert all(status in (200, 400) for status in statuses)
+        snapshot = endpoint.counters.snapshot()
+        assert snapshot.get("api.responses_5xx", 0) == 0
+        assert snapshot.get("api.server_errors", 0) == 0

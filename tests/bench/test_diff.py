@@ -102,6 +102,25 @@ class TestDiffGate:
         _, failures = diff_artifacts(_artifact(), _artifact(shards=1))
         assert not failures
 
+    def test_legacy_artifact_notes_instead_of_keyerror(self):
+        legacy = _artifact()  # no "shards"/"shard_counters" at all
+        modern = _artifact(shards=1, shard_counters={})
+        lines, failures = diff_artifacts(legacy, modern)
+        assert not failures
+        notes = [line for line in lines if "predates shard-aware" in line]
+        assert len(notes) == 1 and notes[0].startswith("note: baseline")
+        lines, _ = diff_artifacts(modern, legacy)
+        assert any(
+            "candidate predates shard-aware" in line for line in lines
+        )
+
+    def test_both_legacy_artifacts_note_each_side(self):
+        lines, failures = diff_artifacts(_artifact(), _artifact())
+        assert not failures
+        assert (
+            sum("predates shard-aware" in line for line in lines) == 2
+        )
+
     def test_matching_shard_counts_still_gate(self):
         _, failures = diff_artifacts(
             _artifact(shards=2, p95=0.010),

@@ -47,6 +47,26 @@ class TestLoadTrend:
     def test_missing_directory_is_empty(self, tmp_path):
         assert load_trend(str(tmp_path / "nope")) == {}
 
+    def test_legacy_artifacts_load_with_a_note(self, tmp_path):
+        # pre-sharding artifacts (no "shards"/"shard_counters") still
+        # contribute to the trend, flagged via the notes channel
+        _artifact(tmp_path / "BENCH_serving.small.old.json", "small", 0.01, 100)
+        notes: list[str] = []
+        by_scale = load_trend(str(tmp_path), notes=notes)
+        assert [e["file"] for e in by_scale["small"]] == [
+            "BENCH_serving.small.old.json"
+        ]
+        assert by_scale["small"][0]["shards"] == 1
+        assert len(notes) == 1
+        assert "predates shard-aware" in notes[0]
+
+    def test_skipped_files_are_noted(self, tmp_path):
+        (tmp_path / "BENCH_serving.small.bad.json").write_text("{not json")
+        notes: list[str] = []
+        assert load_trend(str(tmp_path), notes=notes) == {}
+        assert len(notes) == 1
+        assert notes[0].startswith("skipped BENCH_serving.small.bad.json")
+
 
 class TestSparkline:
     def test_ramps_low_to_high(self):

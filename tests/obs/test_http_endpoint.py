@@ -182,7 +182,7 @@ class TestHeatmapRoute:
         assert "no service" in json.loads(body)["error"]
 
     def test_heatmap_served_from_live_service(self):
-        from repro.olap import ConsolidationQuery
+        from repro.olap import ConsolidationQuery, ExecutionOptions
         from repro.serve import QueryService
 
         from tests.serve.conftest import CONFIG, fresh_engine
@@ -212,7 +212,7 @@ class TestHeatmapRoute:
                 assert "unknown" in json.loads(body)["error"]
 
     def test_service_explain_payload_served_end_to_end(self):
-        from repro.olap import ConsolidationQuery
+        from repro.olap import ConsolidationQuery, ExecutionOptions
         from repro.serve import QueryService
 
         from tests.serve.conftest import CONFIG, fresh_engine
@@ -223,7 +223,9 @@ class TestHeatmapRoute:
             group_by={f"dim{d}": f"h{d}1" for d in range(CONFIG.ndim)},
         )
         with QueryService(engine) as service:
-            plan = service.explain(query, backend="array", analyze=True)
+            plan = service.explain(
+                query, ExecutionOptions(backend="array"), analyze=True
+            )
             server = ObservabilityServer(engine.db.metrics, service=service)
             with server:
                 status, _, body = _get(

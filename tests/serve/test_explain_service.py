@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.olap import ConsolidationQuery
+from repro.olap import ConsolidationQuery, ExecutionOptions
 from repro.olap.query import SelectionPredicate
 from repro.serve import QueryService, ServiceConfig
 
@@ -30,7 +30,7 @@ def _q2():
 class TestServiceExplain:
     def test_explain_caches_payload_by_fingerprint(self):
         with QueryService(fresh_engine()) as service:
-            plan = service.explain(_q1(), backend="array")
+            plan = service.explain(_q1(), ExecutionOptions(backend="array"))
             cached = service.plans.get(plan.fingerprint)
             assert cached is not None
             assert cached["backend"] == "array"
@@ -39,7 +39,9 @@ class TestServiceExplain:
 
     def test_explain_analyze_through_service(self):
         with QueryService(fresh_engine()) as service:
-            plan = service.explain(_q1(), backend="array", analyze=True)
+            plan = service.explain(
+                _q1(), ExecutionOptions(backend="array"), analyze=True
+            )
             assert plan.analyzed
             assert plan.rows > 0
             payload = service.plans.get(plan.fingerprint)

@@ -10,6 +10,7 @@ from repro.errors import (
 )
 from repro.olap.engine import OlapEngine
 from repro.olap.model import CubeSchema, DimensionDef, MeasureDef
+from repro.olap.options import ExecutionOptions
 from repro.olap.query import ConsolidationQuery
 from repro.relational.catalog import Database
 from repro.serve import QueryService, ServiceConfig
@@ -18,6 +19,7 @@ from repro.storage.faults import FaultyDisk, FaultyWAL
 
 CUBE = "served"
 QUERY = ConsolidationQuery.build(CUBE, group_by={"x": "xk", "y": "yk"})
+ARRAY_OPTS = ExecutionOptions(backend="array")
 
 # cold=True forces every engine miss back to the (faulty) disk, and the
 # tiny backoffs keep the retry loop fast.  Fault plans are thread-local,
@@ -65,7 +67,7 @@ class TestRetries:
         with QueryService(engine, FAST_RETRY) as service:
             plan = FaultPlan(transient_read_errors=2)
             with fault_plan(plan):
-                result = service._execute(QUERY, "array", "interpreted", "chunk")
+                result = service._execute(QUERY, ExecutionOptions(backend="array", mode="interpreted"))
             assert result.rows
             stats = service.stats()
             assert stats["serve.transient_faults"] >= 1
@@ -78,7 +80,7 @@ class TestRetries:
             plan = FaultPlan(transient_read_errors=10_000)
             with fault_plan(plan):
                 with pytest.raises(RetryExhaustedError):
-                    service._execute(QUERY, "array", "interpreted", "chunk")
+                    service._execute(QUERY, ExecutionOptions(backend="array", mode="interpreted"))
             assert service.is_degraded(CUBE)
             assert service.degraded_cubes() == [CUBE]
             assert service.stats()["serve.retries_exhausted"] == 1
@@ -102,7 +104,7 @@ class TestRetries:
                 "repro.serve.service.time.sleep", probing_sleep
             )
             with fault_plan(FaultPlan(transient_read_errors=2)):
-                result = service._execute(QUERY, "array", "interpreted", "chunk")
+                result = service._execute(QUERY, ExecutionOptions(backend="array", mode="interpreted"))
             assert result.rows
             assert held_during_sleep  # the retry loop did back off
             assert not any(held_during_sleep)
@@ -112,14 +114,14 @@ class TestDegradedMode:
     def degraded_service(self):
         engine = build_engine()
         service = QueryService(engine, FAST_RETRY)
-        warm = service.execute(QUERY, backend="array")  # populate the cache
+        warm = service.execute(QUERY, ARRAY_OPTS)  # populate the cache
         service._mark_degraded(CUBE)
         return service, warm
 
     def test_cache_hits_still_served(self):
         service, warm = self.degraded_service()
         with service:
-            result = service.execute(QUERY, backend="array")
+            result = service.execute(QUERY, ARRAY_OPTS)
             assert sorted(result.rows) == sorted(warm.rows)
             assert result.stats.get("result_cache_hit") == 1.0
 
@@ -128,7 +130,7 @@ class TestDegradedMode:
         other = ConsolidationQuery.build(CUBE, group_by={"x": "xk"})
         with service:
             with pytest.raises(DegradedError):
-                service._execute(other, "array", "interpreted", "chunk")
+                service._execute(other, ExecutionOptions(backend="array", mode="interpreted"))
             assert service.stats()["serve.degraded_rejections"] == 1
 
     def test_writes_rejected_while_degraded(self):
@@ -155,7 +157,7 @@ class TestRecoverCube:
             service._mark_degraded(CUBE)
             service.recover_cube(CUBE)
             assert not service.is_degraded(CUBE)
-            assert service.execute(QUERY, backend="array").rows
+            assert service.execute(QUERY, ARRAY_OPTS).rows
             assert service.stats()["serve.recoveries"] == 1
 
     def test_recover_replays_committed_writes(self, tmp_path):
@@ -163,14 +165,14 @@ class TestRecoverCube:
         with QueryService(engine, FAST_RETRY) as service:
             service.write_cell(CUBE, (5, 3), (777,))
             before = sorted(
-                service.execute(QUERY, backend="array").rows
+                service.execute(QUERY, ARRAY_OPTS).rows
             )
             # a permanent fault degrades the cube...
             service._mark_degraded(CUBE)
             # ...recovery drops every frame and replays the WAL
             replayed = service.recover_cube(CUBE)
             assert replayed > 0
-            after = sorted(service.execute(QUERY, backend="array").rows)
+            after = sorted(service.execute(QUERY, ARRAY_OPTS).rows)
             assert after == before
             assert (5, 3, 777) in after
 
@@ -180,7 +182,7 @@ class TestRecoverCube:
             service.write_cell(CUBE, (5, 3), (777,))
             service._mark_degraded(CUBE)
             assert service.recover_cube(CUBE) == 0
-            rows = sorted(service.execute(QUERY, backend="array").rows)
+            rows = sorted(service.execute(QUERY, ARRAY_OPTS).rows)
             assert (5, 3, 777) in rows
 
     def test_unknown_cube_rejected(self):
@@ -196,14 +198,14 @@ class TestEndToEndFaultStory:
         engine = build_engine(tmp_path)
         other = ConsolidationQuery.build(CUBE, group_by={"y": "yg"})
         with QueryService(engine, FAST_RETRY) as service:
-            healthy = service.execute(QUERY, backend="array")
+            healthy = service.execute(QUERY, ARRAY_OPTS)
             with fault_plan(FaultPlan(transient_read_errors=10_000)):
                 with pytest.raises(RetryExhaustedError):
-                    service._execute(other, "array", "interpreted", "chunk")
+                    service._execute(other, ExecutionOptions(backend="array", mode="interpreted"))
                 # degraded, but the cached query still answers
-                hit = service.execute(QUERY, backend="array")
+                hit = service.execute(QUERY, ARRAY_OPTS)
                 assert sorted(hit.rows) == sorted(healthy.rows)
             service.recover_cube(CUBE)
-            fresh = service.execute(other, backend="array")
+            fresh = service.execute(other, ARRAY_OPTS)
             assert fresh.rows
             assert not service.is_degraded(CUBE)

@@ -1,4 +1,4 @@
-"""The unified ExecutionOptions surface and its deprecation shims."""
+"""The unified ExecutionOptions surface (loose keywords are gone)."""
 
 import warnings
 
@@ -67,10 +67,13 @@ class TestEngineSurface:
             result = engine.run(query(), opts)
         assert result.rows == engine.query(query(), backend="array").rows
 
-    def test_run_legacy_keywords_warn_but_work(self, engine):
-        with pytest.warns(DeprecationWarning, match="OlapEngine.run"):
-            result = engine.run(query(), backend="array", mode="interpreted")
-        assert result.mode == "interpreted"
+    def test_run_legacy_keywords_raise_pointing_at_options(self, engine):
+        with pytest.raises(TypeError, match="ExecutionOptions"):
+            engine.run(query(), backend="array", mode="interpreted")
+
+    def test_explain_legacy_keywords_raise(self, engine):
+        with pytest.raises(TypeError, match="ExecutionOptions"):
+            engine.explain(query(), backend="array")
 
     def test_run_unknown_keyword_raises(self, engine):
         with pytest.raises(TypeError, match="unexpected keyword"):
@@ -103,10 +106,10 @@ class TestEngineSurface:
 
 
 class TestParallelShim:
-    def test_serial_alias_warns(self, engine):
+    def test_serial_alias_removed(self, engine):
         state = engine._cubes["cube"]
         specs = [ConsolidationSpec.level("h01")] + [
             ConsolidationSpec.drop()
         ] * 2
-        with pytest.warns(DeprecationWarning, match='executor="local"'):
+        with pytest.raises(QueryError, match="unknown executor"):
             consolidate_partitioned(state.array, specs, 2, executor="serial")

@@ -16,7 +16,8 @@ def query():
 class TestExplainSharded:
     def test_plan_grows_scatter_gather_nodes(self, engine):
         plan = engine.explain(
-            query(), backend="array", shards=2, executor="thread"
+            query(),
+            ExecutionOptions(backend="array", shards=2, executor="thread"),
         )
         ops = [n.op for n in plan.root.walk()]
         assert "array.shard_consolidate" in ops
@@ -29,13 +30,15 @@ class TestExplainSharded:
         assert scatter.estimates["cells_scanned"] > 0
 
     def test_unsharded_plan_keeps_classic_shape(self, engine):
-        plan = engine.explain(query(), backend="array", shards=1)
+        plan = engine.explain(query(), ExecutionOptions(backend="array"))
         ops = [n.op for n in plan.root.walk()]
         assert "shard.scatter" not in ops
 
     def test_analyze_binds_per_shard_actuals(self, engine):
         plan = engine.explain(
-            query(), backend="array", shards=2, executor="thread", analyze=True
+            query(),
+            ExecutionOptions(backend="array", shards=2, executor="thread"),
+            analyze=True,
         )
         assert plan.analyzed
         scans = [
@@ -50,8 +53,10 @@ class TestExplainSharded:
         assert sum(n.actuals["chunks_read"] for n in scans) == n_chunks
 
     def test_fingerprint_carries_shard_plan(self, engine):
-        sharded = engine.explain(query(), backend="array", shards=2)
-        classic = engine.explain(query(), backend="array", shards=1)
+        sharded = engine.explain(
+            query(), ExecutionOptions(backend="array", shards=2)
+        )
+        classic = engine.explain(query(), ExecutionOptions(backend="array"))
         assert sharded.fingerprint != classic.fingerprint
         assert classic.fingerprint == query_fingerprint(
             query(), backend="array"
@@ -88,8 +93,8 @@ class TestShardedService:
         result = service.query(query(), opts)
         assert result.rows
 
-    def test_legacy_keywords_warn(self, service):
-        with pytest.warns(DeprecationWarning, match="QueryService.query"):
+    def test_legacy_keywords_raise(self, service):
+        with pytest.raises(TypeError, match="ExecutionOptions"):
             service.query(query(), shards=1)
 
     def test_shard_counters_reach_metrics_endpoint(self, engine, service):
