@@ -177,9 +177,12 @@ def _schedule(rng: random.Random, cube: str, n: int) -> list[dict]:
     return schedule
 
 
-def _issue(base_url: str, entry: dict, timeout_s: float) -> tuple[int, dict]:
-    """One HTTP request; returns ``(status, parsed body)`` and never
-    raises for HTTP error statuses (they are workload data)."""
+def _issue(
+    base_url: str, entry: dict, timeout_s: float
+) -> tuple[int, dict, str | None]:
+    """One HTTP request; returns ``(status, parsed body, trace_id)``
+    — the ``X-Trace-Id`` response header — and never raises for HTTP
+    error statuses (they are workload data)."""
     url = base_url + entry["path"]
     if entry["method"] == "GET":
         request = urllib.request.Request(url)
@@ -192,13 +195,17 @@ def _issue(base_url: str, entry: dict, timeout_s: float) -> tuple[int, dict]:
         )
     try:
         with urllib.request.urlopen(request, timeout=timeout_s) as response:
-            return response.status, json.loads(response.read())
+            return (
+                response.status,
+                json.loads(response.read()),
+                response.headers.get("X-Trace-Id"),
+            )
     except urllib.error.HTTPError as exc:
         try:
             body = json.loads(exc.read())
         except ValueError:
             body = {}
-        return exc.code, body
+        return exc.code, body, exc.headers.get("X-Trace-Id")
 
 
 def run_replay(settings: ReplaySettings | None = None) -> ReplayReport:
@@ -228,6 +235,9 @@ def run_replay(settings: ReplaySettings | None = None) -> ReplayReport:
     events_lock = threading.Lock()
     issued_count = [0]  # shared request counter driving the churn writer
     sample_response: dict | None = None
+    sample_trace_id: str | None = None
+    traced = [0]  # responses carrying an X-Trace-Id header
+    trace_mismatches = [0]  # header disagreeing with the body field
     writes = [0]
 
     with tempfile.TemporaryDirectory(prefix="repro-replay-") as wal_dir:
@@ -248,7 +258,7 @@ def run_replay(settings: ReplaySettings | None = None) -> ReplayReport:
                 base_url = server.url
 
                 def client(index: int) -> None:
-                    nonlocal sample_response
+                    nonlocal sample_response, sample_trace_id
                     crng = client_rngs[index]
                     pause = threading.Event()
                     burst_left = 0
@@ -259,7 +269,7 @@ def run_replay(settings: ReplaySettings | None = None) -> ReplayReport:
                     ):
                         entry = schedule[position]
                         started = time.perf_counter()
-                        status, body = _issue(
+                        status, body, trace_id = _issue(
                             base_url, entry, settings.timeout_s
                         )
                         latency = time.perf_counter() - started
@@ -270,12 +280,19 @@ def run_replay(settings: ReplaySettings | None = None) -> ReplayReport:
                             )
                             issued_count[0] += 1
                             total = issued_count[0]
+                            if trace_id is not None:
+                                traced[0] += 1
+                                if body.get("trace_id") not in (
+                                    None, trace_id
+                                ):
+                                    trace_mismatches[0] += 1
                             if (
                                 sample_response is None
                                 and status == 200
                                 and source == "rollup"
                             ):
                                 sample_response = body
+                                sample_trace_id = trace_id
                         if (
                             settings.write_every
                             and total % settings.write_every == 0
@@ -316,12 +333,17 @@ def run_replay(settings: ReplaySettings | None = None) -> ReplayReport:
                         "?drilldown=dim0&explain=1&analyze=1"
                     ),
                 }
-                probe_status, probe_body = _issue(
+                probe_status, probe_body, _probe_trace = _issue(
                     base_url, probe_entry, settings.timeout_s
                 )
             payload = _summarize(
                 endpoint, logical, bench, settings, events, writes[0],
                 sample_response, probe_status, probe_body, failures,
+                trace_stats={
+                    "responses_with_header": traced[0],
+                    "header_body_mismatches": trace_mismatches[0],
+                    "sample_trace_id": sample_trace_id,
+                },
             )
         finally:
             endpoint.close()
@@ -332,6 +354,7 @@ def run_replay(settings: ReplaySettings | None = None) -> ReplayReport:
 def _summarize(
     endpoint, logical, bench, settings, events, writes,
     sample_response, probe_status, probe_body, failures,
+    trace_stats=None,
 ) -> dict:
     statuses = {"2xx": 0, "4xx": 0, "5xx": 0, "other": 0}
     latencies: dict[str, list[float]] = {"all": [], "rollup": [], "base": []}
@@ -383,11 +406,14 @@ def _summarize(
         "write_every": settings.write_every,
         "writes": writes,
         "statuses": statuses,
+        "trace": dict(trace_stats or {}),
         "rollup": {
             "hits": hits,
             "base_fallbacks": misses,
             "hit_rate": hit_rate,
             "resident": endpoint.router.resident_rollups(),
+            "resident_rows": endpoint.router.resident_rows(),
+            "grains": endpoint.router.grain_rows(),
             "counters": {
                 name: value
                 for name, value in sorted(
@@ -448,6 +474,17 @@ def _gate(payload: dict, failures: list[str]) -> None:
         failures.append("explain probe plan was not analyzed")
     if payload["writes"] == 0 and payload["write_every"]:
         failures.append("churn writer never ran")
+    trace = payload.get("trace") or {}
+    if trace and trace.get("responses_with_header", 0) < payload["requests"]:
+        failures.append(
+            f"only {trace.get('responses_with_header', 0)} of "
+            f"{payload['requests']} responses carried X-Trace-Id"
+        )
+    if trace.get("header_body_mismatches"):
+        failures.append(
+            f"{trace['header_body_mismatches']} responses' X-Trace-Id "
+            "disagreed with the body's trace_id"
+        )
 
 
 def write_replay_artifact(payload: dict, path: str) -> None:

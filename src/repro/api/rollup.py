@@ -36,6 +36,13 @@ from dataclasses import dataclass
 
 from repro.api.model import LogicalCube, RollupDecl
 from repro.errors import ApiRequestError
+from repro.obs.tracing import (
+    TraceContext,
+    add_trace_link,
+    current_trace_context,
+    new_trace_context,
+    trace_context,
+)
 from repro.olap.query import ConsolidationQuery
 from repro.util.stats import Counters
 
@@ -73,6 +80,8 @@ class RollupRouter:
     def __init__(self, engine, service, registry=None):
         self.engine = engine
         self.service = service
+        self._registry = registry
+        self._grain_gauges: set[tuple] = set()
         self.counters = Counters()
         self._lock = threading.Lock()
         #: (logical cube, rollup name, aggregate) -> (generation, rows)
@@ -83,11 +92,18 @@ class RollupRouter:
         self._cardinalities: dict[tuple, int] = {}
         #: async refresh machinery (lazy: no thread until first schedule)
         self._refresh_queue: queue.Queue = queue.Queue()
-        self._inflight: set[tuple] = set()
+        #: in-flight (cube, rollup, aggregate) -> the build's trace_id,
+        #: so a deduplicated schedule still links to the running build
+        self._inflight: dict[tuple, str] = {}
         self._worker: threading.Thread | None = None
         if registry is not None:
             registry.register(
                 "api:rollup", self.counters, reset=lambda: None, replace=True
+            )
+            registry.register_gauge(
+                "rollup.resident_rows",
+                lambda: float(self.resident_rows()),
+                replace=True,
             )
 
     # -- hierarchy value maps ----------------------------------------------
@@ -263,7 +279,23 @@ class RollupRouter:
         # pre-build sample is conservative (next request rebuilds again)
         with self._lock:
             self._store[key] = (generation, rows)
+        self._register_grain_gauge(key)
         return rows
+
+    def _register_grain_gauge(self, key: tuple) -> None:
+        """Per-grain resident-row gauge, registered on first build."""
+        if self._registry is None or key in self._grain_gauges:
+            return
+
+        def sample(k: tuple = key) -> float:
+            with self._lock:
+                entry = self._store.get(k)
+            return float(len(entry[1])) if entry is not None else 0.0
+
+        self._registry.register_gauge(
+            "rollup.rows." + ".".join(key), sample, replace=True
+        )
+        self._grain_gauges.add(key)
 
     def try_rows(
         self, cube: LogicalCube, rollup: RollupDecl, aggregate: str
@@ -290,41 +322,134 @@ class RollupRouter:
 
     def schedule_refresh(
         self, cube: LogicalCube, rollup: RollupDecl, aggregate: str
-    ) -> None:
+    ) -> str:
         """Queue one (grain, aggregate) rebuild, deduplicating in-flight
-        work; starts the daemon refresh worker on first use."""
+        work; starts the daemon refresh worker on first use.
+
+        The build's :class:`TraceContext` is minted *here*, at schedule
+        time, so the scheduling request can record which background
+        build it caused before the build has run a single instruction:
+        a ``schedules`` link is attached to the caller's active trace,
+        and the build later records the reverse ``follows_from`` link.
+        A deduplicated schedule links to the already-running build
+        instead of minting a second identity.  Returns the build's
+        trace_id.
+        """
         key = (cube.name, rollup.name, aggregate)
+        refresh_ctx = new_trace_context(origin="rollup-refresh")
         with self._lock:
-            if key in self._inflight:
-                return
-            self._inflight.add(key)
-            if self._worker is None:
-                self._worker = threading.Thread(
-                    target=self._refresh_loop,
-                    name="rollup-refresh",
-                    daemon=True,
-                )
-                self._worker.start()
+            existing = self._inflight.get(key)
+            if existing is None:
+                self._inflight[key] = refresh_ctx.trace_id
+                if self._worker is None:
+                    self._worker = threading.Thread(
+                        target=self._refresh_loop,
+                        name="rollup-refresh",
+                        daemon=True,
+                    )
+                    self._worker.start()
+        trace_id = existing if existing is not None else refresh_ctx.trace_id
+        detail = f"rollup {cube.name}/{rollup.name}/{aggregate}"
+        add_trace_link("schedules", trace_id, detail=detail)
+        if existing is not None:
+            return existing
+        scheduler = current_trace_context()
         self.counters.add("rollup.refreshes_scheduled")
-        self._refresh_queue.put((cube, rollup, aggregate))
+        self._refresh_queue.put(
+            (
+                cube,
+                rollup,
+                aggregate,
+                refresh_ctx,
+                scheduler.trace_id if scheduler is not None else None,
+            )
+        )
+        return refresh_ctx.trace_id
 
     def _refresh_loop(self) -> None:
         while True:
             item = self._refresh_queue.get()
             if item is None:
                 return
-            cube, rollup, aggregate = item
+            cube, rollup, aggregate, refresh_ctx, scheduler_trace_id = item
             key = (cube.name, rollup.name, aggregate)
+            status = "ok"
+            start = time.perf_counter()
             try:
-                self.rows_for(cube, rollup, aggregate)
-            except Exception:
+                # the build runs under its own trace identity: the
+                # service query it issues reads the thread-local and
+                # joins this trace, not the request that scheduled it
+                with trace_context(refresh_ctx):
+                    self.rows_for(cube, rollup, aggregate)
+            except Exception as exc:
                 # a degraded cube or admission pressure fails the
                 # refresh, not the requests it was serving; the next
                 # stale hit reschedules
+                status = type(exc).__name__
                 self.counters.add("rollup.refresh_failures")
             finally:
+                self._record_refresh(
+                    refresh_ctx,
+                    scheduler_trace_id,
+                    cube,
+                    rollup,
+                    aggregate,
+                    status,
+                    time.perf_counter() - start,
+                )
                 with self._lock:
-                    self._inflight.discard(key)
+                    self._inflight.pop(key, None)
+
+    def _record_refresh(
+        self,
+        refresh_ctx: TraceContext,
+        scheduler_trace_id: str | None,
+        cube: LogicalCube,
+        rollup: RollupDecl,
+        aggregate: str,
+        status: str,
+        latency_s: float,
+    ) -> None:
+        """Record the finished build's trace, linked back to its cause."""
+        store = getattr(self.service, "traces", None)
+        if store is None:
+            return
+        detail = f"rollup {cube.name}/{rollup.name}/{aggregate}"
+        links = []
+        if scheduler_trace_id is not None:
+            links.append(
+                {
+                    "kind": "follows_from",
+                    "trace_id": scheduler_trace_id,
+                    "detail": "stale-grain fallback scheduled this build",
+                }
+            )
+        store.record(
+            refresh_ctx,
+            name=f"rollup-refresh:{cube.name}/{rollup.name}/{aggregate}",
+            origin="rollup-refresh",
+            status=status,
+            latency_s=latency_s,
+            links=links,
+            attrs={
+                "cube": cube.name,
+                "rollup": rollup.name,
+                "aggregate": aggregate,
+            },
+            force=True,  # causally linked builds are always kept
+        )
+        if scheduler_trace_id is not None:
+            # belt and braces: if the scheduling request's record is
+            # already resident, attach the forward link there too (its
+            # own add_trace_link only lands if its layer records links)
+            store.link(
+                scheduler_trace_id,
+                {
+                    "kind": "schedules",
+                    "trace_id": refresh_ctx.trace_id,
+                    "detail": detail,
+                },
+            )
 
     def close(self) -> None:
         """Stop the refresh worker (if it ever started)."""
@@ -339,6 +464,22 @@ class RollupRouter:
         """Materialized (grain, aggregate) entries currently stored."""
         with self._lock:
             return len(self._store)
+
+    def resident_rows(self) -> int:
+        """Total materialized rows held across every stored grain (the
+        ``rollup.resident_rows`` gauge: the router's memory footprint
+        in cells, not entries)."""
+        with self._lock:
+            return sum(len(rows) for _, rows in self._store.values())
+
+    def grain_rows(self) -> dict[str, int]:
+        """Materialized row count per stored entry, keyed
+        ``<cube>/<rollup>/<aggregate>``, for the rollup stats payload."""
+        with self._lock:
+            return {
+                "/".join(key): len(rows)
+                for key, (_, rows) in sorted(self._store.items())
+            }
 
     # -- answering -----------------------------------------------------------
 

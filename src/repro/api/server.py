@@ -34,6 +34,7 @@ is a bug (the replay harness gates on zero of them).
 from __future__ import annotations
 
 import json
+import sys
 import threading
 import time
 from dataclasses import dataclass, replace
@@ -50,9 +51,17 @@ from repro.errors import (
     DegradedError,
     ReproError,
 )
-from repro.obs.exporters import prometheus_text
+from repro.obs.exporters import prometheus_text, span_to_dict
 from repro.obs.explain import PlanNode, QueryPlan, attach_actuals
 from repro.obs.tracer import Tracer, thread_tracing
+from repro.obs.tracing import (
+    TraceContext,
+    adopt_trace_id,
+    current_trace_context,
+    current_trace_links,
+    new_trace_context,
+    trace_context,
+)
 from repro.olap.query import ConsolidationQuery, SelectionPredicate
 from repro.serve.fingerprint import query_fingerprint
 from repro.util.stats import Counters
@@ -384,6 +393,9 @@ class ApiEndpoint:
         self.max_body_bytes = max_body_bytes
         registry = engine.db.metrics
         self.registry = registry
+        #: the serving layer's flight recorder, shared so API-handler
+        #: spans and the query spans below merge into one trace record
+        self.traces = getattr(service, "traces", None)
         self.router = RollupRouter(engine, service, registry=registry)
         self.counters = Counters()
         registry.register(
@@ -409,6 +421,61 @@ class ApiEndpoint:
         """Stop the router's background refresh worker."""
         self.router.close()
 
+    # -- tracing -------------------------------------------------------------
+
+    def mint_trace(self) -> TraceContext:
+        """A fresh root context for one inbound request (store-sampled)."""
+        if self.traces is not None:
+            return self.traces.mint(origin="api")
+        return new_trace_context(origin="api")
+
+    def record_request_trace(
+        self,
+        ctx: TraceContext,
+        *,
+        method: str,
+        path: str,
+        status: int,
+        latency_s: float,
+        tracer: Tracer | None,
+        explicit: bool,
+        route_source: str | None,
+        error_kind: str | None,
+    ) -> None:
+        """Contribute the handler-side view of one request to the store.
+
+        Client 4xx are ``ok`` traces (the request worked, the caller was
+        wrong); 5xx and unmapped exceptions are errors and force-kept,
+        as is any request that arrived with an explicit ``X-Trace-Id``.
+        Must run inside the request's :class:`trace_context` block so
+        the links the pipeline attached (a scheduled rollup rebuild)
+        are still on this thread.
+        """
+        if self.traces is None:
+            return
+        attrs: dict = {"method": method, "path": path, "http_status": status}
+        if route_source is not None:
+            attrs["route"] = route_source
+        self.traces.record(
+            ctx,
+            name=f"{method} {path}",
+            origin="api",
+            status=(
+                error_kind
+                if error_kind is not None and status >= 500
+                else ("ok" if status < 500 else f"http_{status}")
+            ),
+            latency_s=latency_s,
+            roots=(
+                [span_to_dict(root) for root in tracer.roots]
+                if tracer is not None and tracer.roots
+                else None
+            ),
+            links=current_trace_links(),
+            attrs=attrs,
+            force=explicit or status >= 500,
+        )
+
     # -- static payloads ----------------------------------------------------
 
     def info_payload(self) -> dict:
@@ -420,9 +487,19 @@ class ApiEndpoint:
                 "/cubes",
                 "/cube/<name>/model",
                 "/cube/<name>/aggregate",
+                "/rollups",
                 "/metrics",
                 "/healthz",
             ],
+        }
+
+    def rollup_stats_payload(self) -> dict:
+        """Router residency + per-grain materialized row counts."""
+        return {
+            "resident_entries": self.router.resident_rollups(),
+            "resident_rows": self.router.resident_rows(),
+            "grains": self.router.grain_rows(),
+            "counters": self.router.counters.snapshot(),
         }
 
     def cubes_payload(self) -> dict:
@@ -492,6 +569,8 @@ class ApiEndpoint:
         the :class:`AggregateRequest` (param- or body-sourced)."""
         start = time.perf_counter()
         self.counters.add("api.aggregate_requests")
+        ctx = current_trace_context()
+        trace_id = ctx.trace_id if ctx is not None else None
         cube = self.model.cube(cube_name)
         request = request_of(RequestParser(cube))
         decision = self.router.route(
@@ -516,16 +595,18 @@ class ApiEndpoint:
         if payload is not None:
             self.counters.add("api.rollup_hits")
             self._histograms["api.routed_seconds"].observe(
-                time.perf_counter() - start
+                time.perf_counter() - start, trace_id=trace_id
             )
         else:
             payload = self._base(cube, request, decision)
             self.counters.add("api.base_fallbacks")
             self._histograms["api.base_seconds"].observe(
-                time.perf_counter() - start
+                time.perf_counter() - start, trace_id=trace_id
             )
         payload["elapsed_s"] = time.perf_counter() - start
-        self._histograms["api.request_seconds"].observe(payload["elapsed_s"])
+        self._histograms["api.request_seconds"].observe(
+            payload["elapsed_s"], trace_id=trace_id
+        )
         return 200, payload
 
     def _labels(self, request: AggregateRequest) -> list[str]:
@@ -772,9 +853,13 @@ class ApiServer:
         endpoint: ApiEndpoint,
         host: str = "127.0.0.1",
         port: int = 0,
+        access_log: bool = False,
+        access_log_stream=None,
     ):
         self.endpoint = endpoint
         self.host = host
+        self.access_log = access_log
+        self.access_log_stream = access_log_stream
         self._requested_port = port
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
@@ -783,15 +868,48 @@ class ApiServer:
         if self._httpd is not None:
             return self
         endpoint = self.endpoint
+        access_log = self.access_log
+        access_log_stream = self.access_log_stream
 
         class Handler(BaseHTTPRequestHandler):
-            def log_message(self, *args) -> None:  # silence request noise
+            def log_message(self, *args) -> None:
+                # the stdlib per-request line is replaced by the
+                # structured JSON access log below (opt-in)
                 pass
+
+            def _access_log(
+                self,
+                method: str,
+                path: str,
+                status: int,
+                latency_s: float,
+                trace_id: str,
+                route_source: str | None,
+            ) -> None:
+                if not access_log:
+                    return
+                line = json.dumps(
+                    {
+                        "ts": round(time.time(), 3),
+                        "method": method,
+                        "path": path,
+                        "status": status,
+                        "latency_ms": round(latency_s * 1000.0, 3),
+                        "trace_id": trace_id,
+                        "route": route_source,
+                    },
+                    sort_keys=True,
+                )
+                stream = access_log_stream or sys.stderr
+                print(line, file=stream, flush=True)
 
             def _send(self, status: int, body: bytes, content_type: str):
                 self.send_response(status)
                 self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(body)))
+                trace_id = getattr(self, "_trace_id", None)
+                if trace_id is not None:
+                    self.send_header("X-Trace-Id", trace_id)
                 self.end_headers()
                 self.wfile.write(body)
 
@@ -833,11 +951,56 @@ class ApiServer:
             def _dispatch(self, method: str) -> None:
                 endpoint.counters.add("api.requests")
                 path = self.path.split("?", 1)[0].rstrip("/") or "/"
-                try:
-                    status, payload, content_type = self._route(method, path)
-                except Exception as exc:  # noqa: BLE001 — mapped, never raised
-                    status, payload = endpoint.error_payload(exc)
-                    content_type = None
+                started = time.perf_counter()
+                ctx = adopt_trace_id(
+                    self.headers.get("X-Trace-Id"), origin="api"
+                )
+                explicit = ctx is not None
+                if ctx is None:
+                    ctx = endpoint.mint_trace()
+                self._trace_id = ctx.trace_id
+                tracer = (
+                    Tracer(registry=endpoint.registry)
+                    if (ctx.sampled or explicit)
+                    else None
+                )
+                error_kind: str | None = None
+                with trace_context(ctx):
+                    try:
+                        if tracer is not None:
+                            with thread_tracing(tracer):
+                                with tracer.span(
+                                    "api.request", method=method, path=path
+                                ):
+                                    status, payload, content_type = (
+                                        self._route(method, path)
+                                    )
+                        else:
+                            status, payload, content_type = self._route(
+                                method, path
+                            )
+                    except Exception as exc:  # noqa: BLE001 — mapped, never raised
+                        error_kind = type(exc).__name__
+                        status, payload = endpoint.error_payload(exc)
+                        content_type = None
+                    latency_s = time.perf_counter() - started
+                    route_source = None
+                    if isinstance(payload, dict):
+                        payload.setdefault("trace_id", ctx.trace_id)
+                        route = payload.get("route")
+                        if isinstance(route, dict):
+                            route_source = route.get("source")
+                    endpoint.record_request_trace(
+                        ctx,
+                        method=method,
+                        path=path,
+                        status=status,
+                        latency_s=latency_s,
+                        tracer=tracer,
+                        explicit=explicit,
+                        route_source=route_source,
+                        error_kind=error_kind,
+                    )
                 bucket = f"api.responses_{status // 100}xx"
                 endpoint.counters.add(bucket)
                 if content_type is not None:
@@ -846,6 +1009,10 @@ class ApiServer:
                     )
                 else:
                     self._send_json(status, payload)
+                self._access_log(
+                    method, path, status, latency_s, ctx.trace_id,
+                    route_source,
+                )
 
             def _route(self, method: str, path: str):
                 if path == "/metrics" and method == "GET":
@@ -858,6 +1025,8 @@ class ApiServer:
                     return 200, endpoint.info_payload(), None
                 if path == "/cubes" and method == "GET":
                     return 200, endpoint.cubes_payload(), None
+                if path == "/rollups" and method == "GET":
+                    return 200, endpoint.rollup_stats_payload(), None
                 if path == "/healthz" and method == "GET":
                     status, payload = endpoint.health_payload()
                     return status, payload, None

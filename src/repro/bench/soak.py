@@ -320,6 +320,7 @@ def _summarize(
             "p50_s": _percentile(latencies, 0.50),
             "p95_s": _percentile(latencies, 0.95),
             "p99_s": _percentile(latencies, 0.99),
+            "p95_exemplar": _latency_exemplar(service, 0.95),
         },
         "buckets": buckets,
         "timeseries": {
@@ -345,6 +346,20 @@ def _summarize(
     }
     _gate(payload, failures)
     return payload
+
+
+def _latency_exemplar(service, q: float) -> dict | None:
+    """The trace linked to the ``q``-quantile latency bucket, so the
+    artifact's headline percentile points at a concrete, inspectable
+    query (``repro trace --id <trace_id>``)."""
+    histogram = service._histograms.get("serve.query_latency_seconds")
+    if histogram is None:
+        return None
+    exemplar = histogram.exemplar_for_quantile(q)
+    if exemplar is None:
+        return None
+    trace_id, value = exemplar
+    return {"trace_id": trace_id, "value_s": value}
 
 
 def _gate(payload: dict, failures: list[str]) -> None:

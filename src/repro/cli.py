@@ -7,7 +7,10 @@ Commands:
   through every backend, printing a cost table (``--json`` for a
   machine-readable report).
 - ``trace`` — run one query cold with the span tracer on and print the
-  nested phase tree with per-phase I/O counter deltas.
+  nested phase tree with per-phase I/O counter deltas; with ``--id`` and
+  ``--url``, fetch one recorded distributed trace from a running
+  endpoint's ``/trace/id/<trace_id>`` route instead (the id a response's
+  ``X-Trace-Id`` header, a slowlog entry, or a histogram exemplar named).
 - ``explain`` — EXPLAIN / EXPLAIN ANALYZE one of the paper's queries:
   the backend's plan tree with per-node cost estimates, and with
   ``--analyze`` the measured actuals, misestimate factors and (for the
@@ -54,6 +57,11 @@ Commands:
   ``/timeseries`` endpoint, with firing alerts inlined.
 - ``alert-lint`` — validate an SLO rule file against the checked-in
   schema and parse it through the alert manager's loader.
+- ``trace-smoke`` — the CI distributed-tracing gate: a 4-shard
+  process-executor query whose flight-recorder trace must decompose
+  (scatter counter deltas == re-parented worker span deltas), plus an
+  API request whose ``X-Trace-Id`` must resolve to the rollup rebuild it
+  scheduled; validates both against ``trace.schema.json``.
 """
 
 from __future__ import annotations
@@ -101,19 +109,24 @@ def _add_scale_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_shard_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_shard_arguments(
+    parser: argparse.ArgumentParser,
+    default_shards: int = 1,
+    default_executor: str = "local",
+) -> None:
     parser.add_argument(
         "--shards",
         type=int,
-        default=1,
+        default=default_shards,
         help="chunk-range shards to scatter array consolidations over "
-        "(default 1: the classic single-scan path)",
+        f"(default {default_shards})",
     )
     parser.add_argument(
         "--executor",
         choices=("local", "thread", "process"),
-        default="local",
-        help="where shard scans run when --shards > 1 (default local)",
+        default=default_executor,
+        help="where shard scans run when --shards > 1 "
+        f"(default {default_executor})",
     )
 
 
@@ -182,7 +195,58 @@ def cmd_demo(args) -> int:
 _TRACE_QUERIES = {"q1": query1_for, "q2": query2_for, "q3": query3_for}
 
 
+def _cmd_trace_by_id(args) -> int:
+    """Fetch one stored trace from a running observability endpoint."""
+    import urllib.error
+
+    from repro.obs.exporters import span_from_dict
+    from repro.obs.top import fetch_metrics
+
+    if not args.url:
+        print(
+            "trace --id needs --url <observability endpoint>",
+            file=sys.stderr,
+        )
+        return 2
+    trace_id = args.id.strip().lower()
+    url = f"{args.url.rstrip('/')}/trace/id/{trace_id}"
+    try:
+        payload = json.loads(fetch_metrics(url))
+    except urllib.error.HTTPError as exc:
+        print(f"trace {trace_id}: HTTP {exc.code} from {url}", file=sys.stderr)
+        return 1
+    print(
+        f"trace {payload['trace_id']} [{payload['status']}] "
+        f"{payload['name']} origin={payload['origin']} "
+        f"latency={payload['latency_s'] * 1000:.3f}ms "
+        f"spans={payload['spans']}"
+    )
+    for link in payload.get("links", ()):
+        detail = link.get("detail", "")
+        print(
+            f"-- link {link['kind']} -> {link['trace_id']}"
+            + (f" ({detail})" if detail else "")
+        )
+    for root in payload.get("roots", ()):
+        print(render_span_tree(span_from_dict(root)))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"-- trace written to {args.json}")
+    return 0
+
+
 def cmd_trace(args) -> int:
+    if args.id:
+        return _cmd_trace_by_id(args)
+    if args.query is None:
+        print(
+            "trace: give a query (q1/q2/q3) to run locally, or "
+            "--id <trace_id> --url <endpoint> to fetch a stored trace",
+            file=sys.stderr,
+        )
+        return 2
     settings = bench_settings(args.scale)
     config = dataset1(settings.scale)[1]  # the x100 cube
     query = _TRACE_QUERIES[args.query](config)
@@ -870,6 +934,41 @@ def cmd_faultcheck(args) -> int:
     return 0
 
 
+def cmd_trace_smoke(args) -> int:
+    from repro.bench.trace_smoke import run_trace_smoke, write_trace_smoke_artifact
+
+    payload = run_trace_smoke(
+        scale=args.scale, shards=args.shards, executor=args.executor
+    )
+    if args.output:
+        write_trace_smoke_artifact(payload, args.output)
+        print(f"artifact written to {args.output}")
+    sharded = payload.get("sharded", {})
+    decomposition = sharded.get("decomposition", {})
+    chunk = decomposition.get("chunks_read", {})
+    print(
+        f"trace-smoke [{payload['scale']}]: "
+        f"shards={payload['shards']}({payload['executor']}) "
+        f"scans={sharded.get('shard_scans', 0)} "
+        f"workers={sharded.get('worker_spans', 0)} "
+        f"chunks_read scatter={chunk.get('scatter')} "
+        f"worker_sum={chunk.get('worker_sum')}"
+    )
+    api = payload.get("api", {})
+    print(
+        f"trace-smoke api: request {payload.get('api_trace_id')} "
+        f"schedules {api.get('build_trace_id')} "
+        f"follows_from={api.get('follows_from_back_link')} "
+        f"access_log={payload.get('access_log', {}).get('parsed', 0)} lines"
+    )
+    if payload["failures"]:
+        for failure in payload["failures"]:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("span decomposition + async causality + schema: ok")
+    return 0
+
+
 def cmd_bench(args) -> int:
     import os
 
@@ -904,9 +1003,22 @@ def build_parser() -> argparse.ArgumentParser:
     demo.set_defaults(run=cmd_demo)
 
     trace = commands.add_parser(
-        "trace", help="run one query with the span tracer and print the tree"
+        "trace",
+        help="run one query with the span tracer and print the tree, or "
+        "fetch a stored distributed trace by --id from a running endpoint",
     )
-    trace.add_argument("query", choices=sorted(_TRACE_QUERIES))
+    trace.add_argument(
+        "query", nargs="?", choices=sorted(_TRACE_QUERIES), default=None
+    )
+    trace.add_argument(
+        "--id",
+        metavar="TRACE_ID",
+        help="fetch /trace/id/<trace_id> from --url instead of running "
+        "a local query",
+    )
+    trace.add_argument(
+        "--url", help="observability endpoint base URL (with --id)"
+    )
     trace.add_argument("--backend", default="array")
     trace.add_argument(
         "--mode",
@@ -1278,6 +1390,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to one crash point (repeatable)",
     )
     faultcheck.set_defaults(run=cmd_faultcheck)
+
+    trace_smoke = commands.add_parser(
+        "trace-smoke",
+        help="CI tracing gate: shard span decomposition + async rollup "
+        "causality over live HTTP",
+    )
+    trace_smoke.add_argument(
+        "--output", metavar="FILE", help="write the gate payload as JSON"
+    )
+    _add_shard_arguments(trace_smoke, default_shards=4, default_executor="process")
+    _add_scale_argument(trace_smoke)
+    trace_smoke.set_defaults(run=cmd_trace_smoke)
 
     return parser
 

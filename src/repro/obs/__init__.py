@@ -21,6 +21,11 @@ carries a first-class accounting layer:
   round-trip, Prometheus ``_bucket``/``_sum``/``_count`` export.
 - :mod:`repro.obs.slowlog` — a ring buffer of profiled slow queries
   (span tree + counter deltas + plan choice per entry).
+- :mod:`repro.obs.tracing` — the distributed layer over the tracer:
+  :class:`TraceContext` identity propagated across threads, shard
+  worker processes and async rollup rebuilds (follows-from links), and
+  the bounded :class:`TraceStore` flight recorder behind ``/traces``
+  and ``/trace/id/<trace_id>``.
 - :mod:`repro.obs.explain` — EXPLAIN / EXPLAIN ANALYZE plan trees:
   per-node planner estimates, measured actuals from span counter
   deltas, misestimate factors, text rendering and a fingerprint-keyed
@@ -58,6 +63,7 @@ from repro.obs.tracer import (
 from repro.obs.exporters import (
     PromSample,
     lint_prometheus_text,
+    parse_exemplar_comments,
     parse_prometheus_text,
     prometheus_text,
     render_span_tree,
@@ -68,6 +74,22 @@ from repro.obs.exporters import (
 )
 from repro.obs.slowlog import SlowQueryLog, SlowQueryRecord
 from repro.obs.server import ObservabilityServer
+from repro.obs.tracing import (
+    TraceContext,
+    TraceRecord,
+    TraceStore,
+    add_trace_link,
+    adopt_trace_id,
+    current_trace_context,
+    current_trace_links,
+    new_trace_context,
+    trace_context,
+)
+
+# importing the repro.obs.tracing submodule rebinds the package
+# attribute "tracing" to the module object; restore the tracer's
+# context manager, which this package has always exported as `tracing`
+from repro.obs.tracer import tracing as tracing  # noqa: E402, F811
 from repro.obs.timeseries import TimePoint, TimeSeriesStore
 from repro.obs.alerts import AlertManager, SloRule, default_rules, load_rules
 from repro.obs.profiler import SamplingProfiler
@@ -93,14 +115,23 @@ __all__ = [
     "Span",
     "TimePoint",
     "TimeSeriesStore",
+    "TraceContext",
+    "TraceRecord",
+    "TraceStore",
     "Tracer",
+    "add_trace_link",
+    "adopt_trace_id",
     "attach_actuals",
+    "current_trace_context",
+    "current_trace_links",
     "default_rules",
     "get_tracer",
     "load_rules",
     "heat_delta",
     "hottest",
     "lint_prometheus_text",
+    "new_trace_context",
+    "parse_exemplar_comments",
     "parse_prometheus_text",
     "prometheus_text",
     "quantile_from_buckets",
@@ -110,6 +141,7 @@ __all__ = [
     "span_from_dict",
     "span_to_dict",
     "thread_tracing",
+    "trace_context",
     "trace_from_json",
     "trace_to_json",
     "tracing",

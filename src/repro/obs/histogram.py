@@ -61,9 +61,16 @@ def quantile_from_buckets(
 
 
 class Histogram:
-    """Thread-safe fixed-bucket histogram of (latency) observations."""
+    """Thread-safe fixed-bucket histogram of (latency) observations.
 
-    __slots__ = ("bounds", "_counts", "_sum", "_count", "_lock")
+    Each bucket additionally keeps one *exemplar* — the trace_id and
+    value of the last observation recorded into it with a trace_id —
+    so a percentile read maps back to a concrete trace in the
+    :class:`~repro.obs.tracing.TraceStore` (``repro top`` and the soak
+    artifact surface these).
+    """
+
+    __slots__ = ("bounds", "_counts", "_sum", "_count", "_exemplars", "_lock")
 
     def __init__(self, bounds: tuple[float, ...] | None = None):
         bounds = tuple(bounds) if bounds is not None else DEFAULT_BOUNDS
@@ -75,17 +82,23 @@ class Histogram:
         self._counts = [0] * (len(bounds) + 1)  # +1: overflow bucket
         self._sum = 0.0
         self._count = 0
+        # per-bucket (trace_id, value) of the last traced observation
+        self._exemplars: list[tuple[str, float] | None] = [None] * (
+            len(bounds) + 1
+        )
         self._lock = threading.Lock()
 
     # -- recording -----------------------------------------------------------
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: str | None = None) -> None:
         """Record one observation (negative values clamp to bucket 0)."""
         index = bisect_left(self.bounds, value) if value > 0 else 0
         with self._lock:
             self._counts[index] += 1
             self._sum += value
             self._count += 1
+            if trace_id is not None:
+                self._exemplars[index] = (str(trace_id), float(value))
 
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram with identical bounds into this one."""
@@ -95,10 +108,13 @@ class Histogram:
             )
         with other._lock:
             counts = list(other._counts)
+            exemplars = list(other._exemplars)
             total, count = other._sum, other._count
         with self._lock:
             for i, c in enumerate(counts):
                 self._counts[i] += c
+                if exemplars[i] is not None:
+                    self._exemplars[i] = exemplars[i]
             self._sum += total
             self._count += count
 
@@ -108,6 +124,7 @@ class Histogram:
             self._counts = [0] * (len(self.bounds) + 1)
             self._sum = 0.0
             self._count = 0
+            self._exemplars = [None] * (len(self.bounds) + 1)
 
     # -- reading -------------------------------------------------------------
 
@@ -127,6 +144,43 @@ class Histogram:
         """Per-bucket counts (last entry is the overflow bucket)."""
         with self._lock:
             return list(self._counts)
+
+    def exemplars(self) -> list[tuple[str, float] | None]:
+        """Per-bucket ``(trace_id, value)`` exemplars (``None`` = none).
+
+        Aligned with :meth:`bucket_counts`; the last entry is the
+        overflow bucket's.
+        """
+        with self._lock:
+            return list(self._exemplars)
+
+    def exemplar_for_quantile(self, q: float) -> tuple[str, float] | None:
+        """The exemplar of the bucket the ``q``-quantile falls in.
+
+        Walks outward from the quantile's bucket toward slower buckets
+        (then faster) so a p95 read still links *some* nearby trace
+        when the exact bucket never saw a traced observation.
+        """
+        with self._lock:
+            counts = list(self._counts)
+            exemplars = list(self._exemplars)
+        total = sum(counts)
+        if total <= 0:
+            return None
+        rank = q * total
+        cumulative = 0.0
+        index = len(counts) - 1
+        for i, count in enumerate(counts):
+            cumulative += count
+            if cumulative >= rank and count > 0:
+                index = i
+                break
+        for i in list(range(index, len(exemplars))) + list(
+            range(index - 1, -1, -1)
+        ):
+            if exemplars[i] is not None:
+                return exemplars[i]
+        return None
 
     def quantile(self, q: float) -> float:
         """Estimated ``q``-quantile (linear interpolation in-bucket)."""
@@ -154,6 +208,10 @@ class Histogram:
                 "counts": list(self._counts),
                 "sum": self._sum,
                 "count": self._count,
+                "exemplars": [
+                    list(e) if e is not None else None
+                    for e in self._exemplars
+                ],
             }
 
     @classmethod
@@ -169,6 +227,12 @@ class Histogram:
         histogram._counts = [int(c) for c in counts]
         histogram._sum = float(payload["sum"])
         histogram._count = int(payload["count"])
+        exemplars = payload.get("exemplars")
+        if exemplars is not None and len(exemplars) == len(counts):
+            histogram._exemplars = [
+                (str(e[0]), float(e[1])) if e is not None else None
+                for e in exemplars
+            ]
         return histogram
 
     def __repr__(self) -> str:

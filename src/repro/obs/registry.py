@@ -182,17 +182,20 @@ class MetricsRegistry:
         with self._lock:
             return sorted(self._histograms)
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(
+        self, name: str, value: float, trace_id: str | None = None
+    ) -> None:
         """Record one observation, creating the histogram on first use.
 
         The instrumentation convenience: call sites do not need to
         thread a :class:`Histogram` handle around, just a registry.
+        ``trace_id`` attaches an exemplar to the observation's bucket.
         """
         with self._lock:
             histogram = self._histograms.get(name)
             if histogram is None:
                 histogram = self._histograms[name] = Histogram()
-        histogram.observe(value)
+        histogram.observe(value, trace_id=trace_id)
 
     def histogram_snapshots(self) -> dict[str, dict]:
         """Per-histogram :meth:`Histogram.to_dict` payloads, by name."""

@@ -12,6 +12,9 @@
 - ``/slowlog``  — the slow-query ring buffer as JSON;
 - ``/trace/<fingerprint>`` — the most recent captured profile (span
   tree + counter deltas + plan choice) for one query fingerprint;
+- ``/traces`` — the flight-recorder index (recent distributed traces,
+  newest first), and ``/trace/id/<trace_id>`` — one full trace: span
+  trees with per-span counter deltas, follows-from links, outcome;
 - ``/explain`` — the fingerprints currently in the plan cache, and
   ``/explain/<fingerprint>`` — that query's cached EXPLAIN payload
   (estimate-vs-actual per plan node when it was ANALYZE'd);
@@ -64,6 +67,7 @@ class ObservabilityServer:
         timeseries=None,
         alerts=None,
         profiler=None,
+        traces=None,
         host: str = "127.0.0.1",
         port: int = 0,
         prefix: str = "repro",
@@ -87,6 +91,9 @@ class ObservabilityServer:
         if profiler is None and service is not None:
             profiler = getattr(service, "profiler", None)
         self.profiler = profiler
+        if traces is None and service is not None:
+            traces = getattr(service, "traces", None)
+        self.traces = traces
         self.host = host
         self.prefix = prefix
         self._requested_port = port
@@ -123,6 +130,26 @@ class ObservabilityServer:
             return None
         entry = self.slowlog.find(fingerprint)
         return entry.to_dict() if entry is not None else None
+
+    def traces_index_payload(self, limit: int = 50) -> tuple[int, dict]:
+        """``/traces``: the flight recorder's recent-trace index."""
+        if self.traces is None:
+            return 404, {"error": "no trace store attached"}
+        return 200, {
+            "traces": self.traces.index(limit=limit),
+            "stored": self.traces.resident(),
+            "capacity": self.traces.capacity,
+            "counters": self.traces.counters.snapshot(),
+        }
+
+    def trace_by_id_payload(self, trace_id: str) -> tuple[int, dict]:
+        """``/trace/id/<trace_id>``: one full distributed trace."""
+        if self.traces is None:
+            return 404, {"error": "no trace store attached"}
+        record = self.traces.get(trace_id.strip().lower())
+        if record is None:
+            return 404, {"error": f"no trace with id {trace_id!r}"}
+        return 200, record.to_dict()
 
     def explain_index_payload(self) -> dict:
         """``/explain``: the fingerprints currently cached, oldest first."""
@@ -235,6 +262,21 @@ class ObservabilityServer:
                         self._send_json(status, payload)
                     elif path == "/slowlog":
                         self._send_json(200, endpoint.slowlog_payload())
+                    elif path == "/traces":
+                        params = self._query_params()
+                        limit = int(
+                            self._float_param(params, "limit", 50.0)
+                        )
+                        status, payload = endpoint.traces_index_payload(
+                            limit=max(1, limit)
+                        )
+                        self._send_json(status, payload)
+                    elif path.startswith("/trace/id/"):
+                        trace_id = path[len("/trace/id/") :]
+                        status, payload = endpoint.trace_by_id_payload(
+                            trace_id
+                        )
+                        self._send_json(status, payload)
                     elif path.startswith("/trace/"):
                         fingerprint = path[len("/trace/") :]
                         payload = endpoint.trace_payload(fingerprint)
@@ -288,6 +330,8 @@ class ObservabilityServer:
                                     "/metrics",
                                     "/healthz",
                                     "/slowlog",
+                                    "/traces",
+                                    "/trace/id/<trace_id>",
                                     "/trace/<fingerprint>",
                                     "/explain",
                                     "/explain/<fingerprint>",

@@ -53,6 +53,9 @@ class SlowQueryRecord:
     #: analyzed EXPLAIN plan for the slow run, when the serving layer
     #: could build one (estimate-vs-actual per plan node)
     explain: dict | None = None
+    #: distributed trace id of the request that ran slow, when one was
+    #: active — the ``/trace/id/<trace_id>`` key
+    trace_id: str | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -67,6 +70,7 @@ class SlowQueryRecord:
             "counters": dict(self.counters),
             "trace": list(self.trace),
             "explain": dict(self.explain) if self.explain else None,
+            "trace_id": self.trace_id,
         }
 
 
@@ -108,6 +112,7 @@ class SlowQueryLog:
         cache: str = "miss",
         requested_backend: str | None = None,
         explain: dict | None = None,
+        trace_id: str | None = None,
     ) -> SlowQueryRecord | None:
         """Capture one slow query; returns the record, or ``None`` when
         the latency is under the threshold (callers may invoke this
@@ -134,6 +139,7 @@ class SlowQueryLog:
             counters=counters,
             trace=[span_to_dict(root) for root in roots],
             explain=explain,
+            trace_id=trace_id,
         )
         with self._lock:
             self._entries.append(entry)

@@ -17,7 +17,11 @@ import math
 import urllib.request
 from dataclasses import dataclass, field
 
-from repro.obs.exporters import PromSample, parse_prometheus_text
+from repro.obs.exporters import (
+    PromSample,
+    parse_exemplar_comments,
+    parse_prometheus_text,
+)
 from repro.obs.histogram import quantile_from_buckets
 
 
@@ -42,6 +46,8 @@ class MetricsView:
     histogram_buckets: dict[str, dict[str, float]] = field(default_factory=dict)
     histogram_sums: dict[str, float] = field(default_factory=dict)
     histogram_counts: dict[str, float] = field(default_factory=dict)
+    #: name -> {le_string: {"trace_id", "value"}} from # EXEMPLAR lines
+    exemplars: dict[str, dict[str, dict]] = field(default_factory=dict)
 
     @classmethod
     def from_text(cls, text: str) -> "MetricsView":
@@ -49,6 +55,7 @@ class MetricsView:
         view = cls()
         for sample in samples:
             view._ingest(sample, types)
+        view.exemplars = parse_exemplar_comments(text)
         return view
 
     def _ingest(self, sample: PromSample, types: dict[str, str]) -> None:
@@ -117,6 +124,33 @@ class MetricsView:
         """``hits / (hits + misses)`` over two counter base names."""
         h, m = self.counter(hits), self.counter(misses)
         return h / (h + m) if (h + m) else 0.0
+
+    def exemplar_for(self, histogram: str, q: float) -> dict | None:
+        """The exemplar nearest the ``q``-quantile bucket, or ``None``.
+
+        Prefers the smallest bucket whose upper edge still covers the
+        quantile (the trace that *lived* that latency); when every
+        recorded exemplar sits below it, falls back to the slowest one.
+        """
+        per_le = self.exemplars.get(histogram)
+        if not per_le:
+            return None
+        target = self.quantile(histogram, q)
+
+        def edge(le: str) -> float:
+            return math.inf if le == "+Inf" else float(le)
+
+        covering = [
+            (edge(le), info)
+            for le, info in per_le.items()
+            if edge(le) >= target
+        ]
+        if covering:
+            return min(covering, key=lambda pair: pair[0])[1]
+        return max(
+            ((edge(le), info) for le, info in per_le.items()),
+            key=lambda pair: pair[0],
+        )[1]
 
 
 def counter_delta(
@@ -201,6 +235,13 @@ def render_dashboard(
         f"p99 {_quantile_cell(current, q, 0.99)}  "
         f"({current.histogram_counts.get(q, 0.0):,.0f} obs)"
     )
+    exemplar = current.exemplar_for(q, 0.95)
+    if exemplar is not None:
+        lines.append(
+            f"p95 exemplar   trace {exemplar['trace_id']}  "
+            f"({exemplar['value'] * 1000:.3f}ms — repro trace --id "
+            f"{exemplar['trace_id']})"
+        )
     wait = f"{prefix}_serve_queue_wait_seconds"
     lines.append(
         f"queue wait     p50 {_quantile_cell(current, wait, 0.50)}  "

@@ -1,0 +1,393 @@
+"""Distributed trace context and the flight-recorder trace store.
+
+The span :class:`~repro.obs.tracer.Tracer` from the observability core
+is strictly in-process: each tracer records one tree and the active
+tracer is a thread-local.  This module adds the *cross-domain* layer —
+Dapper-style identity that survives thread pools, process shard workers
+and background rollup rebuilds:
+
+- :class:`TraceContext` is the propagated identity: a 128-bit
+  ``trace_id`` plus a 64-bit ``span_id``/``parent_span_id`` pair and a
+  head-sampling flag.  Contexts are minted at every entry point (an API
+  request, ``QueryService.query``, a CLI run), carried across threads
+  explicitly (capture at submit, install in the worker via
+  :class:`trace_context`) and across processes as a plain dict inside
+  the shard task payload.
+- Follows-from links record *causal but asynchronous* relationships:
+  a stale-grain rollup fallback schedules a background rebuild under a
+  fresh trace, and both sides carry a link to the other
+  (:func:`add_trace_link`), so the request's trace answers "which build
+  did I schedule?" and the build's trace answers "who asked for this?".
+- :class:`TraceStore` is the flight recorder: a bounded, thread-safe
+  ring keyed by trace_id.  Sampling is always-on for slow, errored or
+  explicitly-requested traces and probabilistic otherwise; several
+  layers (API handler, query service) contribute spans to the same
+  trace_id and the store merges them into one record.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import re
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.util.stats import Counters
+
+_TRACE_ID_RE = re.compile(r"^[0-9a-f]{32}$")
+
+
+def _hex_id(n_bytes: int) -> str:
+    return os.urandom(n_bytes).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated identity of one logical request.
+
+    ``trace_id`` is 128-bit (32 hex chars) and names the whole request;
+    ``span_id`` is 64-bit and names the minting site's own span within
+    it; ``parent_span_id`` is the minter's parent (``None`` at an entry
+    point).  ``sampled`` is the head-sampling decision made at mint
+    time — the :class:`TraceStore` still force-keeps slow and errored
+    traces regardless.  The frozen dataclass is picklable as-is, but
+    process boundaries ship the explicit :meth:`to_dict` form so worker
+    task payloads stay plain dicts.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_span_id: str | None = None
+    sampled: bool = True
+    origin: str = ""
+
+    def child(self, origin: str | None = None) -> "TraceContext":
+        """A new context one hop down: same trace, fresh span identity."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=_hex_id(8),
+            parent_span_id=self.span_id,
+            sampled=self.sampled,
+            origin=self.origin if origin is None else origin,
+        )
+
+    def to_dict(self) -> dict:
+        """A plain-dict form for task payloads and JSON bodies."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_span_id": self.parent_span_id,
+            "sampled": self.sampled,
+            "origin": self.origin,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceContext":
+        """Rebuild a context from :meth:`to_dict` output."""
+        return cls(
+            trace_id=str(payload["trace_id"]),
+            span_id=str(payload["span_id"]),
+            parent_span_id=payload.get("parent_span_id"),
+            sampled=bool(payload.get("sampled", True)),
+            origin=str(payload.get("origin", "")),
+        )
+
+
+def new_trace_context(
+    origin: str = "", sampled: bool = True
+) -> TraceContext:
+    """Mint a fresh root context (new 128-bit trace, no parent)."""
+    return TraceContext(
+        trace_id=_hex_id(16),
+        span_id=_hex_id(8),
+        parent_span_id=None,
+        sampled=sampled,
+        origin=origin,
+    )
+
+
+def adopt_trace_id(
+    trace_id: str | None, origin: str = ""
+) -> TraceContext | None:
+    """Adopt an inbound ``X-Trace-Id`` header value, if well-formed.
+
+    Adopted traces are always sampled: a caller that went to the
+    trouble of sending an id is asking to find the trace later
+    (the "explicit" arm of the sampling policy).  Malformed ids are
+    rejected (``None``) rather than propagated, so a garbage header
+    cannot pollute the store keyspace.
+    """
+    if trace_id is None:
+        return None
+    candidate = trace_id.strip().lower()
+    if not _TRACE_ID_RE.match(candidate):
+        return None
+    return TraceContext(
+        trace_id=candidate,
+        span_id=_hex_id(8),
+        parent_span_id=None,
+        sampled=True,
+        origin=origin,
+    )
+
+
+# -- thread-local propagation -------------------------------------------------
+
+_thread_state = threading.local()
+
+
+def current_trace_context() -> TraceContext | None:
+    """The context installed on this thread, or ``None``."""
+    return getattr(_thread_state, "context", None)
+
+
+class trace_context:
+    """Install a :class:`TraceContext` on this thread for a ``with`` block.
+
+    Mirrors :class:`~repro.obs.tracer.thread_tracing`: the serving
+    pool's worker threads install the submitting request's context so
+    everything below (engine, scatter, rollup scheduling) can read it
+    without threading a parameter through every signature.  Each block
+    also gets a fresh link buffer for :func:`add_trace_link`.
+    """
+
+    def __init__(self, context: TraceContext | None):
+        self.context = context
+        self._previous: tuple[TraceContext | None, list[dict]] | None = None
+
+    def __enter__(self) -> TraceContext | None:
+        self._previous = (
+            getattr(_thread_state, "context", None),
+            getattr(_thread_state, "links", []),
+        )
+        _thread_state.context = self.context
+        _thread_state.links = []
+        return self.context
+
+    def __exit__(self, *exc_info: object) -> None:
+        previous = self._previous or (None, [])
+        _thread_state.context = previous[0]
+        _thread_state.links = previous[1]
+
+
+def add_trace_link(
+    kind: str, trace_id: str, detail: str = ""
+) -> None:
+    """Attach a cross-trace link to the current thread's context.
+
+    ``kind`` is the relationship seen from this trace's side —
+    ``"schedules"`` on a request that queued a background rollup build,
+    ``"follows_from"`` on the build looking back at its scheduler.
+    A no-op outside any :class:`trace_context` block.
+    """
+    if getattr(_thread_state, "context", None) is None:
+        return
+    links = getattr(_thread_state, "links", None)
+    if links is None:
+        links = _thread_state.links = []
+    links.append({"kind": kind, "trace_id": trace_id, "detail": detail})
+
+
+def current_trace_links() -> list[dict]:
+    """A copy of the links attached so far in this context block."""
+    return list(getattr(_thread_state, "links", []) or [])
+
+
+# -- the flight recorder ------------------------------------------------------
+
+
+@dataclass
+class TraceRecord:
+    """One stored trace: identity, outcome, span trees, links."""
+
+    trace_id: str
+    origin: str = ""
+    name: str = ""
+    status: str = "ok"
+    latency_s: float = 0.0
+    started_at: float = 0.0
+    attrs: dict = field(default_factory=dict)
+    roots: list = field(default_factory=list)
+    links: list = field(default_factory=list)
+
+    def span_count(self) -> int:
+        """Total spans across every stored root tree."""
+
+        def count(node: dict) -> int:
+            return 1 + sum(count(c) for c in node.get("children", ()))
+
+        return sum(count(root) for root in self.roots)
+
+    def to_dict(self) -> dict:
+        """The full JSON payload ``/trace/id/<trace_id>`` serves."""
+        return {
+            "trace_id": self.trace_id,
+            "origin": self.origin,
+            "name": self.name,
+            "status": self.status,
+            "latency_s": self.latency_s,
+            "started_at": self.started_at,
+            "attrs": dict(self.attrs),
+            "links": [dict(link) for link in self.links],
+            "spans": self.span_count(),
+            "roots": self.roots,
+        }
+
+    def summary(self) -> dict:
+        """The compact form the ``/traces`` index lists."""
+        return {
+            "trace_id": self.trace_id,
+            "origin": self.origin,
+            "name": self.name,
+            "status": self.status,
+            "latency_s": self.latency_s,
+            "started_at": self.started_at,
+            "spans": self.span_count(),
+            "links": len(self.links),
+        }
+
+
+class TraceStore:
+    """A bounded, thread-safe ring of recent traces keyed by trace_id.
+
+    The flight-recorder contract: keep the last ``capacity`` traces
+    that mattered.  A trace is kept when it is already resident (later
+    contributions merge), when the recorder forces it (explicit
+    request, inbound header, EXPLAIN), when it errored or ran slow, or
+    when the head-sampling coin flip said yes.  Everything else counts
+    into ``traces.sampled_out`` and vanishes — recording must stay
+    cheap enough to leave on in production, which is the point of a
+    flight recorder.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        sample_rate: float = 1.0,
+        slow_threshold_s: float = 0.25,
+        seed: int | None = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0, 1], got {sample_rate}"
+            )
+        self.capacity = capacity
+        self.sample_rate = sample_rate
+        self.slow_threshold_s = slow_threshold_s
+        self.counters = Counters()
+        self._records: OrderedDict[str, TraceRecord] = OrderedDict()
+        self._random = random.Random(seed)
+        self._lock = threading.Lock()
+
+    # -- minting -------------------------------------------------------------
+
+    def should_sample(self) -> bool:
+        """The head-sampling decision for a fresh root context."""
+        if self.sample_rate >= 1.0:
+            return True
+        if self.sample_rate <= 0.0:
+            return False
+        with self._lock:
+            return self._random.random() < self.sample_rate
+
+    def mint(self, origin: str = "") -> TraceContext:
+        """A fresh root context carrying this store's sampling decision."""
+        return new_trace_context(origin=origin, sampled=self.should_sample())
+
+    # -- recording -----------------------------------------------------------
+
+    def record(
+        self,
+        context: TraceContext,
+        *,
+        name: str = "",
+        origin: str | None = None,
+        status: str = "ok",
+        latency_s: float = 0.0,
+        roots: list | None = None,
+        links: list | None = None,
+        attrs: dict | None = None,
+        force: bool = False,
+    ) -> bool:
+        """Store (or merge into) the trace for ``context``.
+
+        ``roots`` is a list of serialized span trees
+        (:func:`~repro.obs.exporters.span_to_dict` form).  Returns
+        whether the trace is resident afterwards.
+        """
+        slow = latency_s >= self.slow_threshold_s
+        error = status not in ("ok", "")
+        with self._lock:
+            record = self._records.get(context.trace_id)
+            if record is None:
+                keep = force or slow or error or context.sampled
+                if not keep:
+                    self.counters.add("traces.sampled_out")
+                    return False
+                record = TraceRecord(
+                    trace_id=context.trace_id,
+                    origin=origin or context.origin,
+                    name=name,
+                    started_at=time.time(),
+                )
+                self._records[context.trace_id] = record
+                self.counters.add("traces.stored")
+                while len(self._records) > self.capacity:
+                    self._records.popitem(last=False)
+                    self.counters.add("traces.evicted")
+            else:
+                # later contributors refresh recency so a trace still
+                # being assembled is not evicted under its writers
+                self._records.move_to_end(context.trace_id)
+                self.counters.add("traces.merged")
+            if name and not record.name:
+                record.name = name
+            if origin and not record.origin:
+                record.origin = origin
+            if error or record.status in ("ok", ""):
+                record.status = status
+            record.latency_s = max(record.latency_s, latency_s)
+            if attrs:
+                record.attrs.update(attrs)
+            if roots:
+                record.roots.extend(roots)
+            for link in links or ():
+                if link not in record.links:
+                    record.links.append(dict(link))
+        return True
+
+    def link(self, trace_id: str, link: dict) -> bool:
+        """Attach one link to an already-resident trace, if present."""
+        with self._lock:
+            record = self._records.get(trace_id)
+            if record is None:
+                return False
+            if link not in record.links:
+                record.links.append(dict(link))
+            return True
+
+    # -- reading -------------------------------------------------------------
+
+    def get(self, trace_id: str) -> TraceRecord | None:
+        """The resident record for ``trace_id``, or ``None``."""
+        with self._lock:
+            return self._records.get(trace_id)
+
+    def index(self, limit: int = 50) -> list[dict]:
+        """Summaries of the most recent traces, newest first."""
+        with self._lock:
+            records = list(self._records.values())
+        return [record.summary() for record in reversed(records[-limit:])]
+
+    def resident(self) -> int:
+        """Number of traces currently held (the ``obs.traces`` gauge)."""
+        with self._lock:
+            return len(self._records)
+
+    def __len__(self) -> int:
+        return self.resident()

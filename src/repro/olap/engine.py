@@ -35,6 +35,7 @@ from repro.core.index_to_index import IndexToIndex
 from repro.core.olap_array import OLAPArray
 from repro.errors import CatalogError, PlanError, QueryError
 from repro.obs.tracer import get_tracer
+from repro.obs.tracing import TraceContext, current_trace_context
 from repro.olap import backends as backend_registry
 from repro.olap.backends import BackendContext
 from repro.olap.model import CubeSchema
@@ -420,6 +421,7 @@ class OlapEngine:
             shards=opts.shards,
             executor=opts.executor,
             allow_partial=opts.allow_partial,
+            trace=opts.trace,
         )
 
     def query(
@@ -433,6 +435,7 @@ class OlapEngine:
         shards: int = 1,
         executor: str = "local",
         allow_partial: bool = False,
+        trace: TraceContext | None = None,
     ) -> QueryResult:
         """Execute a consolidation query.
 
@@ -478,6 +481,8 @@ class OlapEngine:
         counters = Counters()
         resolved = resolve_mode(mode, query.aggregate, backend)
         result_mode = resolved if backend == "array" else "interpreted"
+        if trace is None:
+            trace = current_trace_context()
         ctx = BackendContext(
             engine=self,
             state=state,
@@ -487,6 +492,7 @@ class OlapEngine:
             shards=shards,
             executor=executor,
             allow_partial=allow_partial,
+            trace=trace,
         )
         with self.db.metrics.scoped("query", counters):
             with get_tracer().span(
@@ -497,6 +503,7 @@ class OlapEngine:
                 planner_reason=planner_reason,
                 shards=shards,
                 executor=executor,
+                **({"trace_id": trace.trace_id} if trace is not None else {}),
             ):
                 with self.db.locks.locked(
                     query.cube, "S", f"query-{id(query)}"

@@ -30,6 +30,7 @@ from dataclasses import dataclass, fields, replace
 from typing import Union
 
 from repro.errors import QueryError
+from repro.obs.tracing import TraceContext
 
 #: aggregates the vectorized kernels support (``_VECTOR_AGGS`` + avg)
 VECTORIZABLE_AGGREGATES = frozenset({"sum", "count", "min", "max", "avg"})
@@ -59,6 +60,11 @@ class ExecutionOptions:
       after the re-scatter budget, return the merged partial aggregate
       (flagged in ``result.stats``) instead of raising
       :class:`~repro.errors.ShardScatterError`.
+    - ``trace``: the distributed :class:`~repro.obs.tracing.TraceContext`
+      of the request this execution belongs to, threaded through the
+      engine into shard scatter so worker span trees join the request's
+      trace.  Identity, not execution shape: it never participates in
+      query fingerprints or result caching.
     """
 
     backend: str = "auto"
@@ -67,6 +73,7 @@ class ExecutionOptions:
     shards: int = 1
     order: str = "chunk"
     allow_partial: bool = False
+    trace: TraceContext | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:

@@ -57,9 +57,17 @@ from repro.errors import (
 from repro.obs.alerts import AlertManager, SloRule
 from repro.obs.explain import PlanCache, QueryPlan, attach_actuals
 from repro.obs.profiler import SamplingProfiler
+from repro.obs.exporters import span_to_dict
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.timeseries import TimeSeriesStore
 from repro.obs.tracer import Tracer, get_tracer, thread_tracing
+from repro.obs.tracing import (
+    TraceContext,
+    TraceStore,
+    current_trace_context,
+    current_trace_links,
+    trace_context,
+)
 from repro.olap.engine import OlapEngine, QueryResult
 from repro.olap.options import ExecutionOptions, coerce_options
 from repro.olap.query import ConsolidationQuery
@@ -121,6 +129,11 @@ class ServiceConfig:
     shards: int = 1
     #: where shard scans run: ``local`` / ``thread`` / ``process``
     executor: str = "local"
+    #: ring capacity of the flight-recorder trace store, in traces
+    trace_store_capacity: int = 256
+    #: head-sampling probability for traces that are neither slow,
+    #: errored nor explicitly requested (those are always kept)
+    trace_sample_rate: float = 1.0
 
 
 class QueryService:
@@ -144,6 +157,11 @@ class QueryService:
             threshold_s=self.config.slowlog_threshold_s,
         )
         self.plans = PlanCache(self.config.plan_cache_size)
+        self.traces = TraceStore(
+            capacity=self.config.trace_store_capacity,
+            sample_rate=self.config.trace_sample_rate,
+            slow_threshold_s=self.config.slowlog_threshold_s,
+        )
         self.timeseries = TimeSeriesStore(
             engine.db.metrics, capacity=self.config.timeseries_capacity
         )
@@ -189,6 +207,9 @@ class QueryService:
         registry.register(
             "serve:chunk_cache", self.chunks.counters, reset=keep, replace=True
         )
+        registry.register(
+            "serve:traces", self.traces.counters, reset=keep, replace=True
+        )
         registry.register_gauge(
             "serve.in_flight", lambda: float(self._in_flight), replace=True
         )
@@ -210,6 +231,10 @@ class QueryService:
         )
         registry.register_gauge(
             "serve.plan_cache_entries", lambda: float(len(self.plans)),
+            replace=True,
+        )
+        registry.register_gauge(
+            "serve.traces_resident", lambda: float(len(self.traces)),
             replace=True,
         )
         registry.register_gauge(
@@ -310,6 +335,13 @@ class QueryService:
         opts = self._resolve_options(
             query, options, legacy, "QueryService.submit"
         )
+        # resolve the trace identity on the *caller's* thread, before the
+        # hop onto the pool loses its thread-locals: an explicit options
+        # context wins, then whatever the caller (API handler, CLI) has
+        # installed, then a fresh service-minted root
+        trace = opts.trace or current_trace_context()
+        if trace is None:
+            trace = self.traces.mint(origin="service")
         with self._admission_lock:
             if self._closed:
                 raise AdmissionError("service is closed")
@@ -327,6 +359,7 @@ class QueryService:
             self._run,
             query,
             opts,
+            trace,
             time.perf_counter(),
         )
 
@@ -339,7 +372,9 @@ class QueryService:
         """Admit one query and wait for its result."""
         return self.submit(query, options, **legacy).result()
 
-    def _run(self, query, opts: ExecutionOptions, admitted_s) -> QueryResult:
+    def _run(
+        self, query, opts: ExecutionOptions, trace: TraceContext, admitted_s
+    ) -> QueryResult:
         start = time.perf_counter()
         self._histograms["serve.queue_wait_seconds"].observe(
             start - admitted_s
@@ -349,27 +384,63 @@ class QueryService:
             shards=opts.shards, executor=opts.executor,
         )
         tracer: Tracer | None = None
+        status = "ok"
         try:
-            if self.config.profile_queries:
-                tracer = Tracer(registry=self.engine.db.metrics)
-                with thread_tracing(tracer):
-                    result = self._execute(query, opts, fingerprint)
-            else:
-                result = self._execute(query, opts, fingerprint)
-            latency = time.perf_counter() - start
+            with trace_context(trace):
+                try:
+                    if self.config.profile_queries:
+                        tracer = Tracer(registry=self.engine.db.metrics)
+                        with thread_tracing(tracer):
+                            result = self._execute(query, opts, fingerprint)
+                    else:
+                        result = self._execute(query, opts, fingerprint)
+                except Exception as exc:
+                    status = type(exc).__name__
+                    raise
+                finally:
+                    latency = time.perf_counter() - start
+                    self._record_trace(
+                        trace, query, fingerprint, status, latency, tracer
+                    )
             self._note_latency(
-                latency, query, opts, fingerprint, result, tracer
+                latency, query, opts, fingerprint, result, tracer, trace
             )
             return result
         finally:
             self._histograms["serve.query_latency_seconds"].observe(
-                time.perf_counter() - start
+                time.perf_counter() - start, trace_id=trace.trace_id
             )
             with self._admission_lock:
                 self._in_flight -= 1
 
+    def _record_trace(
+        self, trace, query, fingerprint, status, latency_s, tracer
+    ) -> None:
+        """Contribute this query's outcome (and span trees) to the store.
+
+        Runs inside the :class:`trace_context` block so links attached
+        below (a stale-grain rollup fallback scheduling a rebuild) ride
+        along.  The store merges by trace_id, so an API request and the
+        queries it fanned out accumulate into one record.
+        """
+        roots = (
+            [span_to_dict(root) for root in tracer.roots]
+            if tracer is not None
+            else None
+        )
+        self.traces.record(
+            trace,
+            name=f"query:{query.cube}",
+            origin=trace.origin or "service",
+            status=status,
+            latency_s=latency_s,
+            roots=roots,
+            links=current_trace_links(),
+            attrs={"fingerprint": fingerprint, "cube": query.cube},
+        )
+
     def _note_latency(
-        self, latency, query, opts, fingerprint, result, tracer
+        self, latency, query, opts, fingerprint, result, tracer, trace
     ) -> None:
         """Feed one finished query into the slow-query log."""
         if not self.slowlog.should_capture(latency):
@@ -384,6 +455,7 @@ class QueryService:
             cache="hit" if result.stats.get("result_cache_hit") else "miss",
             requested_backend=opts.backend,
             explain=explain,
+            trace_id=trace.trace_id if trace is not None else None,
         )
         if entry is not None:
             self.counters.add("serve.slow_queries")
@@ -680,7 +752,12 @@ class QueryService:
             if state.array is not None and state.array.chunk_cache is self.chunks:
                 state.array.chunk_cache = None
         registry = self.engine.db.metrics
-        for name in ("serve:service", "serve:result_cache", "serve:chunk_cache"):
+        for name in (
+            "serve:service",
+            "serve:result_cache",
+            "serve:chunk_cache",
+            "serve:traces",
+        ):
             try:
                 registry.unregister(name)
             except MetricsError:  # pragma: no cover — replaced by a newer service

@@ -51,7 +51,9 @@ from concurrent.futures.process import BrokenProcessPool
 from repro.core.consolidate import ConsolidationResult, ResultAccumulator
 from repro.core.select_consolidate import _final_index_lists
 from repro.errors import QueryError, ShardScatterError, TransientError
+from repro.obs.exporters import span_from_dict
 from repro.obs.tracer import get_tracer
+from repro.obs.tracing import current_trace_context, new_trace_context
 from repro.shard.executor import ShardExecutor, make_executor
 from repro.shard.plan import ShardPlan, plan_shards
 from repro.shard.worker import run_inline_task, run_shard_task
@@ -183,8 +185,17 @@ class ShardCoordinator:
             allowed=allowed,
         )
         executor = self.executor(ctx.executor)
+        # the distributed trace context crossing into the workers: the
+        # ExecutionOptions-carried context wins, then the thread-local
+        # one; a live tracer with neither (EXPLAIN ANALYZE from the
+        # CLI) mints a scatter-local root so workers still ship trees
+        trace = getattr(ctx, "trace", None) or current_trace_context()
+        if trace is None and tracer.enabled:
+            trace = new_trace_context(origin="shard-scatter")
+        task_trace = trace if tracer.enabled else None
         tasks, fn, cleanup = self._build_tasks(
-            plan, array, specs, aggregate, ctx.mode, allowed, cube, state
+            plan, array, specs, aggregate, ctx.mode, allowed, cube, state,
+            trace=task_trace,
         )
         timeout_s = None if ctx.executor == "local" else self.timeout_s
 
@@ -194,6 +205,7 @@ class ShardCoordinator:
             shards=plan.shards,
             executor=plan.executor,
             ranges=plan.ranges_token(),
+            **({"trace_id": trace.trace_id} if trace is not None else {}),
         ) as scatter_span:
             try:
                 partials, lost = self._scatter_with_retry(
@@ -225,7 +237,9 @@ class ShardCoordinator:
         scatter_s = time.perf_counter() - scatter_started
         bag.add("shard.scatter_ms", scatter_s * 1e3)
         self.engine.db.metrics.observe(
-            "engine.shard.scatter_seconds", scatter_s
+            "engine.shard.scatter_seconds",
+            scatter_s,
+            trace_id=trace.trace_id if trace is not None else None,
         )
 
         merge_started = time.perf_counter()
@@ -250,8 +264,21 @@ class ShardCoordinator:
 
     # -- task construction ----------------------------------------------------
 
-    def _build_tasks(self, plan, array, specs, aggregate, mode, allowed, cube, state):
-        """Tasks + task function + post-scatter cleanup for the executor."""
+    def _build_tasks(
+        self, plan, array, specs, aggregate, mode, allowed, cube, state,
+        trace=None,
+    ):
+        """Tasks + task function + post-scatter cleanup for the executor.
+
+        ``trace`` is the scatter's :class:`TraceContext`; each task gets
+        its own child context (fresh span identity, same trace) in the
+        picklable ``to_dict`` form, which makes the worker run its scan
+        under a local tracer and ship the span tree back.
+        """
+
+        def task_trace() -> dict | None:
+            return trace.child().to_dict() if trace is not None else None
+
         if plan.executor == "process":
             for spec in specs:
                 if spec.kind == "mapping":
@@ -280,6 +307,7 @@ class ShardCoordinator:
                     start=a.start,
                     stop=a.stop,
                     fail_marker=self._marker_path(a.shard_no),
+                    trace=task_trace(),
                 )
                 for a in plan.assignments
             ]
@@ -296,6 +324,7 @@ class ShardCoordinator:
                 "start": a.start,
                 "stop": a.stop,
                 "fail_marker": self._marker_path(a.shard_no),
+                "trace": task_trace(),
             }
             for a in plan.assignments
         ]
@@ -384,27 +413,38 @@ class ShardCoordinator:
                 executor=plan.executor,
             ) as span:
                 span.annotate(scan_s=round(result["scan_s"], 6))
+                # fold on key *presence*: a measured zero ("this shard
+                # read nothing") is a report, not an absence, and
+                # truthiness used to drop it on the floor
                 for key in ("chunks_read", "cells_scanned", "chunks_skipped"):
-                    if deltas.get(key):
+                    if key in deltas:
                         counters.add(key, deltas[key])
                 if not inline:
-                    if deltas.get("chunk_bytes_read"):
+                    if "chunk_bytes_read" in deltas:
                         counters.add(
                             "chunk_bytes_read", deltas["chunk_bytes_read"]
                         )
                     # the worker's simulated I/O happened on its own
                     # disk; fold it into the parent's so cost accounting
                     # (result.sim_io_s) matches the thread path
-                    if deltas.get("sim_io_s"):
+                    if "sim_io_s" in deltas:
                         self.engine.db.disk.counters.add(
                             "sim_io_s", deltas["sim_io_s"]
                         )
+                worker_roots = result.get("trace")
+                if worker_roots and tracer.enabled:
+                    # re-parent the worker's serialized span tree under
+                    # this shard's span: one contiguous tree per query,
+                    # even when the scan ran in another process
+                    span.children.extend(
+                        span_from_dict(payload) for payload in worker_roots
+                    )
             self.engine.db.metrics.observe(
                 "engine.shard.scan_seconds", result["scan_s"]
             )
             if not inline:
                 for key in ("pool_hits", "pool_misses"):
-                    if deltas.get(key):
+                    if key in deltas:
                         bag.add(
                             f"shard.{assignment.shard_no}.{key}", deltas[key]
                         )

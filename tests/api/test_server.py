@@ -216,7 +216,7 @@ class TestAggregate:
 
 
 def _error(payload):
-    assert set(payload) == {"error"}
+    assert set(payload) == {"error", "trace_id"}
     assert set(payload["error"]) == {"kind", "message", "status"}
     return payload["error"]
 
