@@ -55,6 +55,10 @@ class ReplaySettings:
     model_path: str = DEFAULT_MODEL_PATH
     cube: str = "sales"
     timeout_s: float = 30.0
+    #: resident-set budget in bytes (0: accounting only, no eviction)
+    memory_budget: int = 0
+    #: memory trajectory sampling interval while clients run
+    memory_sample_s: float = 0.25
 
 
 @dataclass
@@ -250,9 +254,28 @@ def run_replay(settings: ReplaySettings | None = None) -> ReplayReport:
             ServiceConfig(
                 max_workers=settings.clients,
                 max_in_flight=8 * settings.clients,
+                memory_budget_bytes=settings.memory_budget,
             ),
         )
         endpoint = ApiEndpoint(engine, service, model)
+        memory_track: list[dict] = []
+        memory_lock = threading.Lock()
+        stop_mem = threading.Event()
+        run_started = time.monotonic()
+
+        def sample_memory() -> None:
+            # enforce-then-read: each point proves the budget held then
+            snap = service.memory.sample("replay")
+            point = {
+                "t_s": round(time.monotonic() - run_started, 3),
+                **snap,
+            }
+            with memory_lock:
+                memory_track.append(point)
+
+        def memory_sampler() -> None:
+            while not stop_mem.wait(settings.memory_sample_s):
+                sample_memory()
         try:
             with ApiServer(endpoint) as server:
                 base_url = server.url
@@ -318,10 +341,19 @@ def run_replay(settings: ReplaySettings | None = None) -> ReplayReport:
                     )
                     for i in range(settings.clients)
                 ]
+                mem_thread = threading.Thread(
+                    target=memory_sampler,
+                    name="repro-obs-replay-mem",
+                    daemon=True,
+                )
                 for thread in threads:
                     thread.start()
+                mem_thread.start()
                 for thread in threads:
                     thread.join()
+                stop_mem.set()
+                mem_thread.join(timeout=5)
+                sample_memory()  # drained end-state closes the trajectory
 
                 # the EXPLAIN ANALYZE probe: the hottest routable
                 # template must show a rollup.route root with actuals
@@ -344,8 +376,11 @@ def run_replay(settings: ReplaySettings | None = None) -> ReplayReport:
                     "header_body_mismatches": trace_mismatches[0],
                     "sample_trace_id": sample_trace_id,
                 },
+                memory_track=memory_track,
+                memory_counters=service.memory.counters.snapshot(),
             )
         finally:
+            stop_mem.set()
             endpoint.close()
             service.close()
     return ReplayReport(payload=payload, failures=failures)
@@ -354,7 +389,7 @@ def run_replay(settings: ReplaySettings | None = None) -> ReplayReport:
 def _summarize(
     endpoint, logical, bench, settings, events, writes,
     sample_response, probe_status, probe_body, failures,
-    trace_stats=None,
+    trace_stats=None, memory_track=None, memory_counters=None,
 ) -> dict:
     statuses = {"2xx": 0, "4xx": 0, "5xx": 0, "other": 0}
     latencies: dict[str, list[float]] = {"all": [], "rollup": [], "base": []}
@@ -432,6 +467,23 @@ def _summarize(
         },
         "sample_response": sample_response,
         "explain_probe": probe,
+        "memory": {
+            "budget_bytes": int(settings.memory_budget),
+            "high_water_bytes": max(
+                (
+                    int(s["total_resident_bytes"])
+                    for s in (memory_track or [])
+                ),
+                default=0,
+            ),
+            "pressure_events": (memory_counters or {}).get(
+                "memory.pressure_events", 0.0
+            ),
+            "reclaimed_bytes": (memory_counters or {}).get(
+                "memory.reclaimed_bytes", 0.0
+            ),
+            "samples": list(memory_track or []),
+        },
         "failures": failures,
     }
     _gate(payload, failures)
@@ -485,6 +537,24 @@ def _gate(payload: dict, failures: list[str]) -> None:
             f"{trace['header_body_mismatches']} responses' X-Trace-Id "
             "disagreed with the body's trace_id"
         )
+    memory = payload.get("memory")
+    if memory and memory["budget_bytes"] > 0:
+        over = [
+            s
+            for s in memory["samples"]
+            if s["total_resident_bytes"] > memory["budget_bytes"]
+        ]
+        if over:
+            worst = max(s["total_resident_bytes"] for s in over)
+            failures.append(
+                f"memory trajectory exceeded the "
+                f"{memory['budget_bytes']}-byte budget in {len(over)} of "
+                f"{len(memory['samples'])} samples (high water {worst})"
+            )
+        if not memory["samples"]:
+            failures.append(
+                "memory budget set but no trajectory sample recorded"
+            )
 
 
 def write_replay_artifact(payload: dict, path: str) -> None:

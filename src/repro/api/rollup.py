@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 from repro.api.model import LogicalCube, RollupDecl
 from repro.errors import ApiRequestError
+from repro.obs.memory import deep_sizeof
 from repro.obs.tracing import (
     TraceContext,
     add_trace_link,
@@ -86,6 +87,14 @@ class RollupRouter:
         self._lock = threading.Lock()
         #: (logical cube, rollup name, aggregate) -> (generation, rows)
         self._store: dict[tuple, tuple[int, list]] = {}
+        #: measured bytes per stored entry (parallel to ``_store``)
+        self._bytes: dict[tuple, int] = {}
+        #: monotonic time of each grain's last routed hit — the
+        #: "coldest grain" ordering for pressure eviction
+        self._last_hit: dict[tuple, float] = {}
+        #: called after a build grew the store; the memory accountant
+        #: installs its budget check here
+        self.pressure_callback = None
         #: (physical cube, dim, from_attr, to_attr) -> value map or None
         self._maps: dict[tuple, dict | None] = {}
         #: (physical cube, dim, attr) -> distinct value count
@@ -103,6 +112,11 @@ class RollupRouter:
             registry.register_gauge(
                 "rollup.resident_rows",
                 lambda: float(self.resident_rows()),
+                replace=True,
+            )
+            registry.register_gauge(
+                "rollup.resident_bytes",
+                lambda: float(self.resident_bytes()),
                 replace=True,
             )
 
@@ -268,18 +282,26 @@ class RollupRouter:
         key = (cube.name, rollup.name, aggregate)
         with self._lock:
             entry = self._store.get(key)
-        if entry is not None and entry[0] == generation:
-            return entry[1]
+            if entry is not None and entry[0] == generation:
+                self._last_hit[key] = time.monotonic()
+                return entry[1]
         # build outside the lock: it is a real (serialized) engine query
         # run under the service's configured ExecutionOptions defaults
         result = self.service.execute(self.rollup_query(cube, rollup, aggregate))
         rows = list(result.rows)
         self.counters.add("rollup.rebuilds")
+        nbytes = deep_sizeof(rows)
         # a write racing the build would bump the generation; storing the
         # pre-build sample is conservative (next request rebuilds again)
         with self._lock:
             self._store[key] = (generation, rows)
+            self._bytes[key] = nbytes
+            self._last_hit[key] = time.monotonic()
         self._register_grain_gauge(key)
+        # outside the lock: the pressure hook may call right back into
+        # reclaim_grains(), which takes it
+        if self.pressure_callback is not None:
+            self.pressure_callback()
         return rows
 
     def _register_grain_gauge(self, key: tuple) -> None:
@@ -313,8 +335,9 @@ class RollupRouter:
         key = (cube.name, rollup.name, aggregate)
         with self._lock:
             entry = self._store.get(key)
-        if entry is not None and entry[0] == generation:
-            return entry[1]
+            if entry is not None and entry[0] == generation:
+                self._last_hit[key] = time.monotonic()
+                return entry[1]
         if entry is not None:
             self.counters.add("rollup.stale")
         self.schedule_refresh(cube, rollup, aggregate)
@@ -480,6 +503,65 @@ class RollupRouter:
                 "/".join(key): len(rows)
                 for key, (_, rows) in sorted(self._store.items())
             }
+
+    # -- memory accounting ---------------------------------------------------
+
+    def resident_bytes(self) -> int:
+        """Measured bytes across every stored grain (O(entries))."""
+        with self._lock:
+            return sum(self._bytes.values())
+
+    def grain_stats(self) -> dict[str, dict]:
+        """Per-entry ``{rows, resident_bytes, last_hit_age_s}``, keyed
+        ``<cube>/<rollup>/<aggregate>`` — the ``/rollups`` breakdown."""
+        now = time.monotonic()
+        with self._lock:
+            return {
+                "/".join(key): {
+                    "rows": len(rows),
+                    "resident_bytes": self._bytes.get(key, 0),
+                    "last_hit_age_s": (
+                        round(now - self._last_hit[key], 3)
+                        if key in self._last_hit
+                        else None
+                    ),
+                }
+                for key, (_, rows) in sorted(self._store.items())
+            }
+
+    def top_entries(self, n: int = 10) -> list[dict]:
+        """The ``n`` largest grains as ``{"key", "bytes"}`` dicts."""
+        with self._lock:
+            sized = sorted(
+                self._bytes.items(), key=lambda item: item[1], reverse=True
+            )
+        return [
+            {"key": "/".join(key), "bytes": nbytes}
+            for key, nbytes in sized[:n]
+        ]
+
+    def reclaim_grains(self, target_bytes: int) -> int:
+        """Evict coldest-first (by routed-hit recency) until at most
+        ``target_bytes`` remain; returns bytes freed.
+
+        An evicted grain is indistinguishable from a never-built one:
+        the next request routed to it falls back to base-cube
+        consolidation and schedules an async rebuild — exactly the
+        stale path, so serving correctness is untouched.
+        """
+        freed = 0
+        with self._lock:
+            coldest = sorted(
+                self._store, key=lambda key: self._last_hit.get(key, 0.0)
+            )
+            for key in coldest:
+                if sum(self._bytes.values()) <= target_bytes:
+                    break
+                del self._store[key]
+                freed += self._bytes.pop(key, 0)
+                self._last_hit.pop(key, None)
+                self.counters.add("rollup.evictions")
+        return freed
 
     # -- answering -----------------------------------------------------------
 

@@ -416,9 +416,28 @@ class ApiEndpoint:
         )
         self._measure_lock = threading.Lock()
         self._measure_indexes: dict[tuple[str, str], int] = {}
+        # grain eviction is the most expensive reclaim (a full rebuild
+        # on next demand), so the router registers last in the order
+        memory = getattr(service, "memory", None)
+        if memory is not None:
+            memory.register_store(
+                "rollup_grains",
+                self.router.resident_bytes,
+                reclaim=self.router.reclaim_grains,
+                top_entries=self.router.top_entries,
+                cost_rank=2,
+                share=0.25,
+            )
+            self.router.pressure_callback = (
+                lambda: memory.maybe_reclaim("rollup_build")
+            )
 
     def close(self) -> None:
         """Stop the router's background refresh worker."""
+        self.router.pressure_callback = None
+        memory = getattr(self.service, "memory", None)
+        if memory is not None:
+            memory.unregister_store("rollup_grains")
         self.router.close()
 
     # -- tracing -------------------------------------------------------------
@@ -494,11 +513,17 @@ class ApiEndpoint:
         }
 
     def rollup_stats_payload(self) -> dict:
-        """Router residency + per-grain materialized row counts."""
+        """Router residency + per-grain materialized row counts.
+
+        ``grains`` stays a plain name → row-count map (pinned by
+        clients); the byte/recency breakdown rides in ``grain_stats``.
+        """
         return {
             "resident_entries": self.router.resident_rollups(),
             "resident_rows": self.router.resident_rows(),
+            "resident_bytes": self.router.resident_bytes(),
             "grains": self.router.grain_rows(),
+            "grain_stats": self.router.grain_stats(),
             "counters": self.router.counters.snapshot(),
         }
 

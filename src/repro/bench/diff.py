@@ -70,6 +70,13 @@ def diff_artifacts(
                 "(no 'shards'/'shard_counters' keys); treated as a "
                 "1-shard run"
             )
+        # same vintage guard for the memory observatory: artifacts
+        # written before resident-set accounting carry no "memory" key
+        if "memory" not in payload:
+            lines.append(
+                f"note: {label} predates memory accounting "
+                "(no 'memory' key); resident-set comparison skipped"
+            )
     base_shards = int(base.get("shards", 1))
     new_shards = int(new.get("shards", 1))
     lines.append(
@@ -108,6 +115,18 @@ def diff_artifacts(
         f"{'concurrent.hit_rate':<24} {base_conc.get('hit_rate', 0.0):>10.1%}"
         f"   -> {new_conc.get('hit_rate', 0.0):>10.1%}"
     )
+    if "memory" in base and "memory" in new:
+        base_mem = float(base["memory"].get("total_resident_bytes", 0.0))
+        new_mem = float(new["memory"].get("total_resident_bytes", 0.0))
+        movement = (
+            f"x{new_mem / base_mem:.2f}"
+            if base_mem > 0
+            else "(baseline empty)"
+        )
+        lines.append(
+            f"{'memory.resident_bytes':<24} {base_mem:>12,.0f}B -> "
+            f"{new_mem:>12,.0f}B  {movement}"
+        )
     if "fig4_cold" in base and "fig4_cold" in new:
         lines.append(
             _ratio_line(

@@ -162,6 +162,13 @@ def run_serving_smoke(
                     for name, value in sorted(shard_totals.items())
                 },
                 "slowlog_entries": len(service.slowlog),
+                "memory": {
+                    "budget_bytes": 0,
+                    "total_resident_bytes": int(
+                        service.memory.total_resident_bytes()
+                    ),
+                    "stores": service.memory.usage_by_store(),
+                },
                 "failures": failures,
             }
         finally:

@@ -97,6 +97,7 @@ def run_soak(
     churn_every_s: float = 2.0,
     shards: int = 1,
     executor: str = "local",
+    memory_budget: int = 0,
 ) -> dict:
     """Run the soak; returns the ``BENCH_soak.json`` payload.
 
@@ -106,6 +107,11 @@ def run_soak(
     given ``executor`` — the churn writer keeps misses flowing, so a
     sharded soak exercises scatter/gather under sustained concurrent
     traffic and the artifact's ``shard_counters`` must show it.
+
+    ``memory_budget > 0`` enforces a resident-set budget via the
+    service's :class:`~repro.obs.memory.MemoryAccountant`; the recorded
+    ``memory`` trajectory (one enforce-then-read sample per bucket) is
+    gated so no sample may exceed the budget.
     """
     import random
 
@@ -150,13 +156,29 @@ def run_soak(
                 profile_sampling_s=0.005,
                 shards=shards,
                 executor=executor,
+                memory_budget_bytes=memory_budget,
             ),
         )
         start = time.monotonic()
         deadline = start + seconds
         inject_at = start + 0.4 * seconds
         stop_churn = threading.Event()
+        stop_mem = threading.Event()
         writes = 0
+        memory_track: list[dict] = []
+        memory_lock = threading.Lock()
+
+        def sample_memory() -> None:
+            # enforce-then-read: each trajectory point proves the budget
+            # held at that instant, not merely that a reclaim happened
+            snap = service.memory.sample("soak")
+            point = {"t_s": round(time.monotonic() - start, 3), **snap}
+            with memory_lock:
+                memory_track.append(point)
+
+        def memory_sampler() -> None:
+            while not stop_mem.wait(bucket_s):
+                sample_memory()
 
         def client(index: int) -> None:
             crng = client_rngs[index]
@@ -225,9 +247,15 @@ def run_soak(
             writer = threading.Thread(
                 target=churn, name="soak-churn", daemon=True
             )
+            # "repro-obs" prefix: the profiler excludes observability
+            # machinery threads, and budget enforcement is exactly that
+            mem_thread = threading.Thread(
+                target=memory_sampler, name="repro-obs-soak-mem", daemon=True
+            )
             for thread in threads:
                 thread.start()
             writer.start()
+            mem_thread.start()
             if inject_breach:
                 threading.Event().wait(
                     max(0.0, inject_at - time.monotonic())
@@ -258,7 +286,10 @@ def run_soak(
             for thread in threads:
                 thread.join()
             stop_churn.set()
+            stop_mem.set()
             writer.join(timeout=5)
+            mem_thread.join(timeout=5)
+            sample_memory()  # the drained end-state closes the trajectory
             # a final tick so the artifact reflects the drained state
             # (the injected rule's window must have emptied by now)
             point = service.timeseries.sample()
@@ -268,9 +299,11 @@ def run_soak(
                 seconds=seconds, seed=seed, clients=clients,
                 bucket_s=bucket_s, inject_breach=inject_breach,
                 writes=writes, shards=shards, executor=executor,
+                memory_budget=memory_budget, memory_track=memory_track,
             )
         finally:
             stop_churn.set()
+            stop_mem.set()
             service.close()
     return payload
 
@@ -278,6 +311,7 @@ def run_soak(
 def _summarize(
     service, settings, config, events, failures, *, seconds, seed,
     clients, bucket_s, inject_breach, writes, shards, executor,
+    memory_budget, memory_track,
 ) -> dict:
     buckets = _bucketize(events, bucket_s, seconds)
     latencies = sorted(latency for _, latency, _ in events)
@@ -342,10 +376,26 @@ def _summarize(
             ],
         },
         "slowlog_entries": len(service.slowlog),
+        "memory": _memory_section(service, memory_budget, memory_track),
         "failures": failures,
     }
     _gate(payload, failures)
     return payload
+
+
+def _memory_section(service, memory_budget, memory_track) -> dict:
+    """The artifact's resident-set trajectory block."""
+    counters = service.memory.counters.snapshot()
+    return {
+        "budget_bytes": int(memory_budget),
+        "high_water_bytes": max(
+            (int(s["total_resident_bytes"]) for s in memory_track),
+            default=0,
+        ),
+        "pressure_events": counters.get("memory.pressure_events", 0.0),
+        "reclaimed_bytes": counters.get("memory.reclaimed_bytes", 0.0),
+        "samples": memory_track,
+    }
 
 
 def _latency_exemplar(service, q: float) -> dict | None:
@@ -408,6 +458,24 @@ def _gate(payload: dict, failures: list[str]) -> None:
             f"{profiler['attributed_fraction']:.0%} of busy samples "
             "to named spans (floor 80%)"
         )
+    memory = payload.get("memory")
+    if memory and memory["budget_bytes"] > 0:
+        over = [
+            s
+            for s in memory["samples"]
+            if s["total_resident_bytes"] > memory["budget_bytes"]
+        ]
+        if over:
+            worst = max(s["total_resident_bytes"] for s in over)
+            failures.append(
+                f"memory trajectory exceeded the "
+                f"{memory['budget_bytes']}-byte budget in {len(over)} of "
+                f"{len(memory['samples'])} samples (high water {worst})"
+            )
+        if not memory["samples"]:
+            failures.append(
+                "memory budget set but no trajectory sample recorded"
+            )
 
 
 def write_soak_artifact(payload: dict, path: str) -> None:

@@ -60,6 +60,11 @@ def load_trend(
                 "p99_s": float(concurrent["p99_s"]),
                 "hit_rate": float(concurrent["hit_rate"]),
                 "shards": int(payload.get("shards", 1)),
+                "resident_bytes": int(
+                    (payload.get("memory") or {}).get(
+                        "total_resident_bytes", 0
+                    )
+                ),
             }
         except (OSError, ValueError, KeyError, TypeError) as exc:
             if notes is not None:
@@ -74,6 +79,13 @@ def load_trend(
                     f"{os.path.basename(path)}: predates shard-aware "
                     "artifacts (no 'shards'/'shard_counters' keys); "
                     "treated as a 1-shard run"
+                )
+        if "memory" not in payload:
+            if notes is not None:
+                notes.append(
+                    f"{os.path.basename(path)}: predates memory "
+                    "accounting (no 'memory' key); resident bytes "
+                    "reported as 0"
                 )
         by_scale.setdefault(entry["scale"], []).append(entry)
     return by_scale

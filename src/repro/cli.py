@@ -528,6 +528,70 @@ def cmd_slowlog(args) -> int:
     return 0
 
 
+def _print_memory_payload(payload: dict, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(payload, indent=2))
+        return
+    from repro.obs.top import _fmt_bytes
+
+    total = payload["total_resident_bytes"]
+    budget = payload["budget_bytes"]
+    budget_note = (
+        f"budget {_fmt_bytes(float(budget)).strip()}"
+        if budget
+        else "unbounded"
+    )
+    print(
+        f"resident total {_fmt_bytes(float(total)).strip()} ({budget_note})"
+    )
+    stores = payload["stores"]
+    for name in sorted(stores, key=lambda n: stores[n], reverse=True):
+        share = stores[name] / total if total else 0.0
+        print(
+            f"  {name:<16} {_fmt_bytes(float(stores[name]))}  {share:6.1%}"
+        )
+    if payload["top_entries"]:
+        print("largest entries:")
+        for entry in payload["top_entries"]:
+            print(
+                f"  {entry['store']:<16} "
+                f"{_fmt_bytes(float(entry['bytes']))}  {entry['key']}"
+            )
+    counters = payload.get("counters", {})
+    events = counters.get("memory.pressure_events", 0)
+    if events:
+        print(
+            f"pressure: {events:.0f} events, "
+            f"{_fmt_bytes(counters.get('memory.reclaimed_bytes', 0.0)).strip()}"
+            " reclaimed"
+        )
+
+
+def cmd_mem(args) -> int:
+    if args.url:
+        import urllib.request
+
+        url = f"{args.url.rstrip('/')}/memory?top={args.top}"
+        with urllib.request.urlopen(url, timeout=5.0) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+        _print_memory_payload(payload, args.json)
+        return 0
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-mem-") as wal_dir:
+        args.wal_dir = wal_dir
+        engine, queries, service = _obs_stack(args, 0.0)
+        try:
+            for _ in range(args.rounds):
+                for query in queries:
+                    service.execute(query)
+            _print_memory_payload(service.memory.payload(args.top), args.json)
+        finally:
+            service.close()
+    return 0
+
+
 def cmd_top(args) -> int:
     import time
 
@@ -657,6 +721,7 @@ def cmd_soak(args) -> int:
         inject_breach=args.inject_breach,
         shards=args.shards,
         executor=args.executor,
+        memory_budget=args.memory_budget,
     )
     write_soak_artifact(payload, args.output)
     latency = payload["latency"]
@@ -675,6 +740,18 @@ def cmd_soak(args) -> int:
         f"alert transitions: {len(payload['alerts']['events'])}  "
         f"profiler attribution: "
         f"{payload['profiler']['attributed_fraction']:.0%}"
+    )
+    memory = payload["memory"]
+    budget_note = (
+        f"budget={memory['budget_bytes']:,}B"
+        if memory["budget_bytes"]
+        else "unbounded"
+    )
+    print(
+        f"  memory: high-water {memory['high_water_bytes']:,}B "
+        f"({budget_note})  "
+        f"pressure events {memory['pressure_events']:.0f}  "
+        f"reclaimed {memory['reclaimed_bytes']:,.0f}B"
     )
     if payload["shards"] > 1:
         totals = payload["shard_counters"]
@@ -726,6 +803,7 @@ def cmd_replay(args) -> int:
             write_every=args.write_every,
             model_path=args.model,
             cube=args.cube,
+            memory_budget=args.memory_budget,
         )
     )
     payload = report.payload
@@ -1158,6 +1236,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_argument(slowlog)
     slowlog.set_defaults(run=cmd_slowlog)
 
+    mem = commands.add_parser(
+        "mem",
+        help="resident-set breakdown by store with the largest entries",
+    )
+    mem.add_argument(
+        "--url",
+        default=None,
+        help="fetch <url>/memory from a running endpoint instead of "
+        "running a local workload",
+    )
+    mem.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="largest entries to list (default 10)",
+    )
+    mem.add_argument(
+        "--json", action="store_true", help="print the raw payload"
+    )
+    mem.add_argument("--threads", type=int, default=2)
+    mem.add_argument("--rounds", type=int, default=1)
+    _add_scale_argument(mem)
+    mem.set_defaults(run=cmd_mem)
+
     top = commands.add_parser(
         "top", help="terminal dashboard over a /metrics endpoint"
     )
@@ -1266,6 +1369,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="install an unsatisfiable SLO rule mid-run and force one "
         "firing→resolved alert cycle (the lifecycle proof)",
     )
+    soak.add_argument(
+        "--memory-budget",
+        type=int,
+        default=0,
+        metavar="BYTES",
+        help="resident-set budget enforced by pressure eviction "
+        "(default 0: accounting only)",
+    )
     soak.add_argument("--output", default="BENCH_soak.json", metavar="FILE")
     soak.add_argument(
         "--validate",
@@ -1299,6 +1410,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument(
         "--cube", default="sales", help="logical cube to replay against"
+    )
+    replay.add_argument(
+        "--memory-budget",
+        type=int,
+        default=0,
+        metavar="BYTES",
+        help="resident-set budget enforced by pressure eviction "
+        "(default 0: accounting only)",
     )
     replay.add_argument("--output", default="BENCH_api.json", metavar="FILE")
     replay.add_argument(

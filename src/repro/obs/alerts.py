@@ -247,6 +247,17 @@ def default_rules() -> list[SloRule]:
             long_window_s=60.0,
             min_count=20,
         ),
+        SloRule(
+            name="memory-resident-ceiling",
+            kind="gauge_ceiling",
+            description="accounted resident set stayed above the "
+            "process memory ceiling",
+            severity="page",
+            metric="memory.total_resident_bytes",
+            ceiling=2.0 * 1024**3,
+            for_s=5.0,
+            window_s=30.0,
+        ),
     ]
 
 

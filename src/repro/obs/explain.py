@@ -25,6 +25,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.obs.memory import deep_sizeof
 from repro.obs.tracer import Span
 
 #: a node whose worst estimate-vs-actual factor exceeds this counts as
@@ -317,15 +318,22 @@ class PlanCache:
         self.capacity = capacity
         self._lock = threading.Lock()
         self._plans: OrderedDict[str, dict] = OrderedDict()
+        self._sizes: dict[str, int] = {}
+        self._resident_bytes = 0
 
     def put(self, fingerprint: str, payload: dict) -> None:
         """Insert/refresh one plan payload, evicting the oldest at cap."""
+        nbytes = deep_sizeof((fingerprint, payload))
         with self._lock:
             if fingerprint in self._plans:
                 self._plans.pop(fingerprint)
+                self._resident_bytes -= self._sizes.pop(fingerprint, 0)
             self._plans[fingerprint] = payload
+            self._sizes[fingerprint] = nbytes
+            self._resident_bytes += nbytes
             while len(self._plans) > self.capacity:
-                self._plans.popitem(last=False)
+                victim, _ = self._plans.popitem(last=False)
+                self._resident_bytes -= self._sizes.pop(victim, 0)
 
     def get(self, fingerprint: str) -> dict | None:
         """The payload for one fingerprint, or ``None``."""
@@ -343,3 +351,34 @@ class PlanCache:
     def __len__(self) -> int:
         with self._lock:
             return len(self._plans)
+
+    def resident_bytes(self) -> int:
+        """Measured bytes across every cached plan payload (O(1))."""
+        with self._lock:
+            return self._resident_bytes
+
+    def top_entries(self, n: int = 10) -> list[dict]:
+        """The ``n`` largest plans as ``{"key", "bytes"}`` dicts."""
+        with self._lock:
+            sized = sorted(
+                self._sizes.items(), key=lambda item: item[1], reverse=True
+            )
+        return [
+            {"key": fingerprint, "bytes": nbytes}
+            for fingerprint, nbytes in sized[:n]
+        ]
+
+    def reclaim(self, target_bytes: int) -> int:
+        """Evict LRU plans until at most ``target_bytes`` remain.
+
+        A dropped plan is rebuilt by the next EXPLAIN of that query, so
+        plans shed after the serving caches but before correctness-
+        bearing state.  Returns bytes freed.
+        """
+        freed = 0
+        with self._lock:
+            while self._plans and self._resident_bytes - freed > target_bytes:
+                victim, _ = self._plans.popitem(last=False)
+                freed += self._sizes.pop(victim, 0)
+            self._resident_bytes -= freed
+        return freed

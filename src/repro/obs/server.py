@@ -28,7 +28,10 @@
   log (with linked slow-query fingerprints for latency alerts), and
   the installed rule set;
 - ``/profile`` — the sampling profiler's collapsed stacks and
-  attribution statistics.
+  attribution statistics;
+- ``/memory`` — the memory accountant's resident-set breakdown: total
+  and per-store ``resident_bytes``, the top-N largest entries, and the
+  pressure/reclaim counters (``?top=N`` controls the entry list).
 
 Everything is read-only and stdlib-only (``http.server``), so the
 endpoint works in the bare CI container and maps 1:1 onto a real
@@ -55,8 +58,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 class ObservabilityServer:
     """Serves ``/metrics``, ``/healthz``, ``/slowlog``, ``/trace/*``,
-    ``/explain/*``, ``/heatmap/*``, ``/timeseries/*``, ``/alerts`` and
-    ``/profile``."""
+    ``/explain/*``, ``/heatmap/*``, ``/timeseries/*``, ``/alerts``,
+    ``/profile`` and ``/memory``."""
 
     def __init__(
         self,
@@ -94,6 +97,10 @@ class ObservabilityServer:
         if traces is None and service is not None:
             traces = getattr(service, "traces", None)
         self.traces = traces
+        #: the memory accountant defaults from the attached service too
+        self.memory = (
+            getattr(service, "memory", None) if service is not None else None
+        )
         self.host = host
         self.prefix = prefix
         self._requested_port = port
@@ -195,6 +202,12 @@ class ObservabilityServer:
         if self.profiler is None:
             return 404, {"error": "no profiler attached"}
         return 200, self.profiler.to_dict()
+
+    def memory_payload(self, top: int = 10) -> tuple[int, dict]:
+        """``/memory``: the resident-set breakdown by store."""
+        if self.memory is None:
+            return 404, {"error": "no memory accountant attached"}
+        return 200, self.memory.payload(top_n=max(1, top))
 
     def heatmap_payload(self, cube: str) -> tuple[int, dict]:
         """``(http_status, body)`` for ``/heatmap/<cube>``."""
@@ -321,6 +334,11 @@ class ObservabilityServer:
                     elif path == "/profile":
                         status, payload = endpoint.profile_payload()
                         self._send_json(status, payload)
+                    elif path == "/memory":
+                        params = self._query_params()
+                        top = int(self._float_param(params, "top", 10.0))
+                        status, payload = endpoint.memory_payload(top=top)
+                        self._send_json(status, payload)
                     else:
                         self._send_json(
                             404,
@@ -340,6 +358,7 @@ class ObservabilityServer:
                                     "/timeseries/<metric>",
                                     "/alerts",
                                     "/profile",
+                                    "/memory",
                                 ],
                             },
                         )

@@ -24,6 +24,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.obs.exporters import span_to_dict
+from repro.obs.memory import deep_sizeof
 from repro.obs.tracer import Span
 
 
@@ -95,6 +96,10 @@ class SlowQueryLog:
         self.capacity = capacity
         self.threshold_s = threshold_s
         self._entries: deque[SlowQueryRecord] = deque(maxlen=capacity)
+        #: parallel per-record byte sizes; same maxlen so both rings
+        #: evict the same head entry on overflow
+        self._sizes: deque[int] = deque(maxlen=capacity)
+        self._resident_bytes = 0
         self._lock = threading.Lock()
         self._captured = 0
 
@@ -141,8 +146,13 @@ class SlowQueryLog:
             explain=explain,
             trace_id=trace_id,
         )
+        nbytes = deep_sizeof(entry)
         with self._lock:
+            if len(self._entries) == self.capacity:
+                self._resident_bytes -= self._sizes[0]
             self._entries.append(entry)
+            self._sizes.append(nbytes)
+            self._resident_bytes += nbytes
             self._captured += 1
         return entry
 
@@ -177,7 +187,29 @@ class SlowQueryLog:
             [entry.to_dict() for entry in self.entries()], indent=indent
         )
 
+    def resident_bytes(self) -> int:
+        """Measured bytes across the resident ring (O(1))."""
+        with self._lock:
+            return self._resident_bytes
+
+    def reclaim(self, target_bytes: int) -> int:
+        """Drop oldest records until at most ``target_bytes`` remain.
+
+        Telemetry is the cheapest resident data to shed under memory
+        pressure: a dropped slowlog record costs one debugging
+        breadcrumb, never a wrong answer.  Returns bytes freed.
+        """
+        freed = 0
+        with self._lock:
+            while self._entries and self._resident_bytes - freed > target_bytes:
+                self._entries.popleft()
+                freed += self._sizes.popleft()
+            self._resident_bytes -= freed
+        return freed
+
     def clear(self) -> None:
         """Drop every record (the capture total is kept)."""
         with self._lock:
             self._entries.clear()
+            self._sizes.clear()
+            self._resident_bytes = 0

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import MetricsError
 from repro.obs.histogram import quantile_from_buckets
+from repro.obs.memory import deep_sizeof
 from repro.obs.registry import MetricsRegistry
 
 
@@ -89,6 +90,10 @@ class TimeSeriesStore:
         self.capacity = capacity
         self.name = name
         self._points: deque[TimePoint] = deque(maxlen=capacity)
+        #: parallel per-point byte sizes; same maxlen so both rings
+        #: evict the same head entry on overflow
+        self._sizes: deque[int] = deque(maxlen=capacity)
+        self._resident_bytes = 0
         self._lock = threading.Lock()
         self._samples_taken = 0
         self._thread: threading.Thread | None = None
@@ -117,8 +122,13 @@ class TimeSeriesStore:
             gauges=gauges,
             histograms=histograms,
         )
+        nbytes = deep_sizeof(point)
         with self._lock:
+            if len(self._points) == self.capacity:
+                self._resident_bytes -= self._sizes[0]
             self._points.append(point)
+            self._sizes.append(nbytes)
+            self._resident_bytes += nbytes
             self._samples_taken += 1
         return point
 
@@ -131,6 +141,11 @@ class TimeSeriesStore:
     def __len__(self) -> int:
         with self._lock:
             return len(self._points)
+
+    def resident_bytes(self) -> int:
+        """Measured bytes across the resident ring (O(1))."""
+        with self._lock:
+            return self._resident_bytes
 
     # -- background sampler --------------------------------------------------
 

@@ -209,6 +209,21 @@ def _gauge_cell(view: MetricsView, name: str, spec: str = "6.1%") -> str:
     return format(view.gauge(name), spec)
 
 
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024.0 or unit == "GiB":
+            return f"{n:7.1f}{unit}" if unit != "B" else f"{n:7.0f}B"
+        n /= 1024.0
+    return f"{n:7.1f}GiB"  # pragma: no cover - loop always returns
+
+
+def _bytes_cell(view: MetricsView, name: str) -> str:
+    """A resident-bytes cell, or ``—`` when the gauge is absent."""
+    if name not in view.gauges:
+        return f"{ABSENT:>10}"
+    return _fmt_bytes(view.gauge(name))
+
+
 def render_dashboard(
     previous: MetricsView | None,
     current: MetricsView,
@@ -263,6 +278,21 @@ def render_dashboard(
         + "   pool "
         + _gauge_cell(current, f"{prefix}_pool_hit_rate")
     )
+    mem = f"{prefix}_memory_total_resident_bytes"
+    lines.append(
+        f"mem resident   total {_bytes_cell(current, mem)}   "
+        f"pool {_bytes_cell(current, f'{prefix}_memory_buffer_pool_resident_bytes')}  "
+        f"chunks {_bytes_cell(current, f'{prefix}_memory_chunk_cache_resident_bytes')}  "
+        f"results {_bytes_cell(current, f'{prefix}_memory_result_cache_resident_bytes')}  "
+        f"rollups {_bytes_cell(current, f'{prefix}_memory_rollup_grains_resident_bytes')}"
+    )
+    pressure = f"{prefix}_memory_pressure_events"
+    if pressure in current.counters:
+        lines.append(
+            f"mem pressure   events {current.counter(pressure):,.0f}   "
+            "reclaimed "
+            + _fmt_bytes(current.counter(f"{prefix}_memory_reclaimed_bytes")).strip()
+        )
     fsync = f"{prefix}_wal_fsync_seconds"
     if current.histogram_counts.get(fsync):
         lines.append(

@@ -35,6 +35,7 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.obs.memory import deep_sizeof
 from repro.util.stats import Counters
 
 _TRACE_ID_RE = re.compile(r"^[0-9a-f]{32}$")
@@ -281,6 +282,10 @@ class TraceStore:
         self.slow_threshold_s = slow_threshold_s
         self.counters = Counters()
         self._records: OrderedDict[str, TraceRecord] = OrderedDict()
+        #: measured bytes per record; records mutate on merge, so the
+        #: size is re-measured on every contributing write
+        self._sizes: dict[str, int] = {}
+        self._resident_bytes = 0
         self._random = random.Random(seed)
         self._lock = threading.Lock()
 
@@ -319,12 +324,21 @@ class TraceStore:
         ``roots`` is a list of serialized span trees
         (:func:`~repro.obs.exporters.span_to_dict` form).  Returns
         whether the trace is resident afterwards.
+
+        Byte accounting is *incremental*: each contributing write adds
+        the measured size of what it appended (span trees, attrs,
+        links), so a merge never re-walks the whole record — deep
+        measurement of the bulky span trees happens outside the store
+        lock, on the writer's thread.
         """
         slow = latency_s >= self.slow_threshold_s
         error = status not in ("ok", "")
+        roots_bytes = deep_sizeof(roots) if roots else 0
+        attrs_bytes = deep_sizeof(attrs) if attrs else 0
         with self._lock:
             record = self._records.get(context.trace_id)
-            if record is None:
+            created = record is None
+            if created:
                 keep = force or slow or error or context.sampled
                 if not keep:
                     self.counters.add("traces.sampled_out")
@@ -335,12 +349,17 @@ class TraceStore:
                     name=name,
                     started_at=time.time(),
                 )
+                # the empty record's fixed skeleton; contributions
+                # below are charged from the pre-measured deltas
+                base_bytes = deep_sizeof(record)
                 self._records[context.trace_id] = record
                 self.counters.add("traces.stored")
                 while len(self._records) > self.capacity:
-                    self._records.popitem(last=False)
+                    victim, _ = self._records.popitem(last=False)
+                    self._resident_bytes -= self._sizes.pop(victim, 0)
                     self.counters.add("traces.evicted")
             else:
+                base_bytes = 0
                 # later contributors refresh recency so a trace still
                 # being assembled is not evicted under its writers
                 self._records.move_to_end(context.trace_id)
@@ -356,19 +375,31 @@ class TraceStore:
                 record.attrs.update(attrs)
             if roots:
                 record.roots.extend(roots)
+            link_bytes = 0
             for link in links or ():
                 if link not in record.links:
                     record.links.append(dict(link))
+                    link_bytes += deep_sizeof(link)
+            delta = base_bytes + roots_bytes + attrs_bytes + link_bytes
+            self._resident_bytes += delta
+            self._sizes[context.trace_id] = (
+                self._sizes.get(context.trace_id, 0) + delta
+            )
         return True
 
     def link(self, trace_id: str, link: dict) -> bool:
         """Attach one link to an already-resident trace, if present."""
+        link_bytes = deep_sizeof(link)
         with self._lock:
             record = self._records.get(trace_id)
             if record is None:
                 return False
             if link not in record.links:
                 record.links.append(dict(link))
+                self._resident_bytes += link_bytes
+                self._sizes[trace_id] = (
+                    self._sizes.get(trace_id, 0) + link_bytes
+                )
             return True
 
     # -- reading -------------------------------------------------------------
@@ -388,6 +419,37 @@ class TraceStore:
         """Number of traces currently held (the ``obs.traces`` gauge)."""
         with self._lock:
             return len(self._records)
+
+    def resident_bytes(self) -> int:
+        """Measured bytes across every resident record (O(1))."""
+        with self._lock:
+            return self._resident_bytes
+
+    def top_entries(self, n: int = 10) -> list[dict]:
+        """The ``n`` largest traces as ``{"key", "bytes"}`` dicts."""
+        with self._lock:
+            sized = sorted(
+                self._sizes.items(), key=lambda item: item[1], reverse=True
+            )
+        return [
+            {"key": trace_id, "bytes": nbytes}
+            for trace_id, nbytes in sized[:n]
+        ]
+
+    def reclaim(self, target_bytes: int) -> int:
+        """Drop oldest traces until at most ``target_bytes`` remain.
+
+        A dropped trace costs one debugging breadcrumb, never a wrong
+        answer — telemetry sheds first when the process is over budget.
+        Returns bytes freed.
+        """
+        freed = 0
+        with self._lock:
+            while self._records and self._resident_bytes - freed > target_bytes:
+                victim, _ = self._records.popitem(last=False)
+                freed += self._sizes.pop(victim, 0)
+            self._resident_bytes -= freed
+        return freed
 
     def __len__(self) -> int:
         return self.resident()

@@ -13,6 +13,13 @@ pin/evict bookkeeping is single-threaded) with a double-check so a
 chunk decoded while a reader waited is not decoded twice.  Cached
 arrays are shared — callers must treat them as read-only, which every
 in-tree consumer already does.
+
+Byte accounting: an entry's footprint is the two numpy buffers'
+``nbytes`` (plus a small fixed overhead), maintained as a running
+total so the memory accountant's usage callback is O(1).  A miss
+insert is the cache's only growth point, so it fires the optional
+``pressure_callback`` — the accountant's budget enforcement hook —
+*after* the I/O lock is released, never under it.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
+from collections.abc import Callable
 from typing import TYPE_CHECKING
 
 from repro.obs.histogram import Histogram
@@ -31,6 +39,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.olap_array import OLAPArray
 
 _Chunk = "tuple[np.ndarray, np.ndarray]"
+
+#: per-entry bookkeeping overhead (tuple, dict slots, key) in bytes.
+_ENTRY_OVERHEAD = 160
 
 
 class ChunkCache:
@@ -48,13 +59,28 @@ class ChunkCache:
             "chunk_cache.lookup_seconds": Histogram(),
             "chunk_cache.decode_seconds": Histogram(),
         }
+        #: called after a miss insert grew the cache; the memory
+        #: accountant installs its budget check here
+        self.pressure_callback: Callable[[], object] | None = None
         self._entries: OrderedDict[tuple[str, int], object] = OrderedDict()
+        self._sizes: dict[tuple[str, int], int] = {}
+        self._resident_bytes = 0
         self._lock = threading.RLock()
         self._io_lock = threading.Lock()
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    @staticmethod
+    def _chunk_bytes(chunk) -> int:
+        offsets, values = chunk
+        return int(offsets.nbytes) + int(values.nbytes) + _ENTRY_OVERHEAD
+
+    def _drop(self, key: tuple[str, int]) -> None:
+        # caller holds the lock
+        del self._entries[key]
+        self._resident_bytes -= self._sizes.pop(key, 0)
 
     def get_chunk(self, array: "OLAPArray", chunk_no: int):
         """The decoded chunk, from cache or via one serialized disk read."""
@@ -88,11 +114,20 @@ class ChunkCache:
             )
             with self._lock:
                 self.counters.add("chunk_cache.misses")
+                if key in self._entries:
+                    self._resident_bytes -= self._sizes.pop(key, 0)
                 self._entries[key] = chunk
+                self._sizes[key] = self._chunk_bytes(chunk)
+                self._resident_bytes += self._sizes[key]
                 self._entries.move_to_end(key)
                 while len(self._entries) > self.max_chunks:
-                    self._entries.popitem(last=False)
+                    victim = next(iter(self._entries))
+                    self._drop(victim)
                     self.counters.add("chunk_cache.evictions")
+        # outside both locks: the pressure hook may call right back
+        # into reclaim(), which takes the entry lock
+        if self.pressure_callback is not None:
+            self.pressure_callback()
         self.histograms["chunk_cache.lookup_seconds"].observe(
             time.perf_counter() - lookup_start
         )
@@ -101,7 +136,9 @@ class ChunkCache:
     def invalidate_chunk(self, array_name: str, chunk_no: int) -> None:
         """Drop one chunk (called by copy-on-write cell writes)."""
         with self._lock:
-            if self._entries.pop((array_name, chunk_no), None) is not None:
+            key = (array_name, chunk_no)
+            if key in self._entries:
+                self._drop(key)
                 self.counters.add("chunk_cache.invalidations")
 
     def invalidate_array(self, array_name: str) -> None:
@@ -109,7 +146,7 @@ class ChunkCache:
         with self._lock:
             stale = [k for k in self._entries if k[0] == array_name]
             for key in stale:
-                del self._entries[key]
+                self._drop(key)
             if stale:
                 self.counters.add("chunk_cache.invalidations", len(stale))
 
@@ -117,3 +154,39 @@ class ChunkCache:
         """Drop everything (no counters: not an invalidation event)."""
         with self._lock:
             self._entries.clear()
+            self._sizes.clear()
+            self._resident_bytes = 0
+
+    # -- memory accounting -------------------------------------------------
+
+    def resident_bytes(self) -> int:
+        """Decoded-buffer bytes across every live chunk (O(1))."""
+        with self._lock:
+            return self._resident_bytes
+
+    def reclaim(self, target_bytes: int) -> int:
+        """Evict LRU-first until at most ``target_bytes`` remain.
+
+        Returns bytes freed.  An evicted chunk is re-decoded from the
+        buffer pool on next touch — correctness is untouched, only the
+        decode cost returns.
+        """
+        freed = 0
+        with self._lock:
+            while self._resident_bytes > target_bytes and self._entries:
+                victim = next(iter(self._entries))
+                freed += self._sizes.get(victim, 0)
+                self._drop(victim)
+                self.counters.add("chunk_cache.pressure_evictions")
+        return freed
+
+    def top_entries(self, n: int = 10) -> list[dict]:
+        """The ``n`` largest chunks as ``{"key", "bytes"}`` dicts."""
+        with self._lock:
+            sized = sorted(
+                self._sizes.items(), key=lambda item: item[1], reverse=True
+            )
+        return [
+            {"key": f"{name}#{chunk_no}", "bytes": nbytes}
+            for (name, chunk_no), nbytes in sized[:n]
+        ]

@@ -10,6 +10,12 @@ generation at compute time.  Invalidation is belt *and* braces:
 - lazily, :meth:`get` re-validates the stored generation against the
   cube's current one, so even a racing write that lands between a
   lookup and a store can never cause a stale read.
+
+Every entry's byte footprint is measured at store time
+(:func:`~repro.obs.memory.deep_sizeof`) into a running total, so the
+memory accountant's usage callback is O(1); :meth:`reclaim` shrinks
+LRU-first under memory pressure — the cache is the cheapest store to
+rebuild, so it is first in the eviction order.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any
 
+from repro.obs.memory import deep_sizeof
 from repro.util.stats import Counters
 
 
@@ -39,11 +46,18 @@ class ResultCache:
         self.capacity = capacity
         self.counters = Counters()
         self._entries: OrderedDict[tuple[str, str], CacheEntry] = OrderedDict()
+        self._sizes: dict[tuple[str, str], int] = {}
+        self._resident_bytes = 0
         self._lock = threading.RLock()
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    def _drop(self, key: tuple[str, str]) -> None:
+        # caller holds the lock
+        del self._entries[key]
+        self._resident_bytes -= self._sizes.pop(key, 0)
 
     def get(self, cube: str, fingerprint: str, generation: int):
         """The cached value, or ``None`` on miss / generation mismatch."""
@@ -55,7 +69,7 @@ class ResultCache:
                 return None
             if entry.generation != generation:
                 # lazy invalidation: computed against older data
-                del self._entries[key]
+                self._drop(key)
                 self.counters.add("result_cache.stale_drops")
                 self.counters.add("result_cache.misses")
                 return None
@@ -66,11 +80,17 @@ class ResultCache:
     def put(self, cube: str, fingerprint: str, generation: int, value) -> None:
         """Store one result computed at ``generation``."""
         key = (cube, fingerprint)
+        nbytes = deep_sizeof((key, generation, value))
         with self._lock:
+            if key in self._entries:
+                self._resident_bytes -= self._sizes.pop(key, 0)
             self._entries[key] = CacheEntry(generation, value)
+            self._sizes[key] = nbytes
+            self._resident_bytes += nbytes
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                victim = next(iter(self._entries))
+                self._drop(victim)
                 self.counters.add("result_cache.evictions")
 
     def invalidate_cube(self, cube: str) -> int:
@@ -78,7 +98,7 @@ class ResultCache:
         with self._lock:
             stale = [k for k in self._entries if k[0] == cube]
             for key in stale:
-                del self._entries[key]
+                self._drop(key)
             if stale:
                 self.counters.add("result_cache.invalidations", len(stale))
             return len(stale)
@@ -87,8 +107,44 @@ class ResultCache:
         """Drop everything."""
         with self._lock:
             self._entries.clear()
+            self._sizes.clear()
+            self._resident_bytes = 0
 
     def keys(self) -> list[tuple[str, str]]:
         """The live ``(cube, fingerprint)`` keys, LRU-first."""
         with self._lock:
             return list(self._entries)
+
+    # -- memory accounting -------------------------------------------------
+
+    def resident_bytes(self) -> int:
+        """Measured bytes across every live entry (O(1))."""
+        with self._lock:
+            return self._resident_bytes
+
+    def reclaim(self, target_bytes: int) -> int:
+        """Evict LRU-first until at most ``target_bytes`` remain.
+
+        Returns bytes freed.  Called by the memory accountant under
+        pressure; distinct from capacity eviction so dashboards can
+        tell "cache churn" from "process under memory pressure".
+        """
+        freed = 0
+        with self._lock:
+            while self._resident_bytes > target_bytes and self._entries:
+                victim = next(iter(self._entries))
+                freed += self._sizes.get(victim, 0)
+                self._drop(victim)
+                self.counters.add("result_cache.pressure_evictions")
+        return freed
+
+    def top_entries(self, n: int = 10) -> list[dict]:
+        """The ``n`` largest entries as ``{"key", "bytes"}`` dicts."""
+        with self._lock:
+            sized = sorted(
+                self._sizes.items(), key=lambda item: item[1], reverse=True
+            )
+        return [
+            {"key": f"{cube}/{fingerprint}", "bytes": nbytes}
+            for (cube, fingerprint), nbytes in sized[:n]
+        ]

@@ -56,6 +56,7 @@ from repro.errors import (
 )
 from repro.obs.alerts import AlertManager, SloRule
 from repro.obs.explain import PlanCache, QueryPlan, attach_actuals
+from repro.obs.memory import MemoryAccountant
 from repro.obs.profiler import SamplingProfiler
 from repro.obs.exporters import span_to_dict
 from repro.obs.slowlog import SlowQueryLog
@@ -134,6 +135,12 @@ class ServiceConfig:
     #: head-sampling probability for traces that are neither slow,
     #: errored nor explicitly requested (those are always kept)
     trace_sample_rate: float = 1.0
+    #: process resident-set budget across every accounted store, in
+    #: bytes (0 = unbounded: accounting only, no pressure eviction).
+    #: When the accounted total exceeds this, the memory accountant
+    #: reclaims in cheap-to-rebuild-first order: result cache →
+    #: decoded chunks → coldest rollup grains
+    memory_budget_bytes: int = 0
 
 
 class QueryService:
@@ -187,10 +194,15 @@ class QueryService:
         for name in list(engine._cubes):
             self._attach_chunk_cache(name)
         self._register_metrics()
+        self.memory = MemoryAccountant(
+            engine.db.metrics,
+            budget_bytes=self.config.memory_budget_bytes,
+        )
+        self._register_memory_stores()
         if self.config.timeseries_interval_s > 0:
             self.timeseries.start(
                 self.config.timeseries_interval_s,
-                hooks=(self.alerts.evaluate,),
+                hooks=(self.alerts.evaluate, self._memory_tick),
             )
         if self.config.profile_sampling_s > 0:
             self.profiler.start()
@@ -257,6 +269,78 @@ class QueryService:
         }
         for name, histogram in self.chunks.histograms.items():
             registry.register_histogram(name, histogram, replace=True)
+
+    def _register_memory_stores(self) -> None:
+        """Wire every resident store into the memory accountant.
+
+        Reclaim order (``cost_rank``) is cheapest-to-rebuild first:
+        result cache (one engine query) → decoded chunks (one pool
+        read + decode each) → rollup grains (rank 2, registered by the
+        API endpoint that owns the router) → cached plans → telemetry
+        rings (slowlog, traces), whose loss costs a debugging
+        breadcrumb but never a wrong answer.  The buffer pool and the
+        time-series ring are accounted but never evicted from here:
+        both enforce their own capacity bounds.
+        """
+        memory = self.memory
+        memory.register_store(
+            "result_cache",
+            self.results.resident_bytes,
+            reclaim=self.results.reclaim,
+            top_entries=self.results.top_entries,
+            cost_rank=0,
+            share=0.10,
+        )
+        memory.register_store(
+            "chunk_cache",
+            self.chunks.resident_bytes,
+            reclaim=self.chunks.reclaim,
+            top_entries=self.chunks.top_entries,
+            cost_rank=1,
+            share=0.25,
+        )
+        memory.register_store("buffer_pool", self.engine.db.pool.resident_bytes)
+        memory.register_store(
+            "plan_cache",
+            self.plans.resident_bytes,
+            reclaim=self.plans.reclaim,
+            top_entries=self.plans.top_entries,
+            cost_rank=3,
+            share=0.02,
+        )
+        memory.register_store(
+            "slowlog",
+            self.slowlog.resident_bytes,
+            reclaim=self.slowlog.reclaim,
+            cost_rank=4,
+            share=0.02,
+        )
+        memory.register_store(
+            "traces",
+            self.traces.resident_bytes,
+            reclaim=self.traces.reclaim,
+            top_entries=self.traces.top_entries,
+            cost_rank=5,
+            share=0.02,
+        )
+        memory.register_store("timeseries", self.timeseries.resident_bytes)
+        memory.register_store("shard_workers", self._shard_worker_bytes)
+        # the chunk cache's only growth point is a miss insert; check
+        # the budget right there instead of waiting for a sampler tick
+        self.chunks.pressure_callback = (
+            lambda: memory.maybe_reclaim("chunk_cache_insert")
+        )
+
+    def _shard_worker_bytes(self) -> float:
+        """Process-worker buffer-pool bytes, as last folded back."""
+        coordinator = getattr(self.engine, "_shard_coordinator", None)
+        if coordinator is None:
+            return 0.0
+        return coordinator.worker_pool_resident_bytes()
+
+    def _memory_tick(self, _point) -> None:
+        """Sampler hook: enforce the budget once per time-series tick."""
+        self.memory.maybe_reclaim("sampler")
 
     def stats(self) -> dict[str, float]:
         """Cumulative service + cache counters, merged."""
@@ -445,13 +529,17 @@ class QueryService:
         """Feed one finished query into the slow-query log."""
         if not self.slowlog.should_capture(latency):
             return
+        # snapshot the query's own span trees first: the plan rebuild
+        # below runs in its own span, which must not ride into this
+        # entry's trace
+        roots = list(tracer.roots) if tracer is not None else None
         explain = self._slow_plan(query, opts, result, tracer)
         entry = self.slowlog.record(
             fingerprint=fingerprint,
             cube=query.cube,
             backend=result.backend,
             latency_s=latency,
-            roots=tracer.roots if tracer is not None else None,
+            roots=roots,
             cache="hit" if result.stats.get("result_cache_hit") else "miss",
             requested_backend=opts.backend,
             explain=explain,
@@ -481,9 +569,13 @@ class QueryService:
                 break
         if span is None:
             return None
+        # a named span so the profiler attributes the planner rebuild
+        # (significant on miss-heavy workloads, e.g. under a memory
+        # budget that keeps evicting the result cache)
         try:
-            with self._engine_lock:
-                plan = self.engine.explain(query, opts)
+            with tracer.span("slow_plan", cube=query.cube):
+                with self._engine_lock:
+                    plan = self.engine.explain(query, opts)
         except ReproError:
             return None
         attach_actuals(plan.root, span)
@@ -552,10 +644,14 @@ class QueryService:
         self._check_degraded(cube)
         # each retry attempt takes the engine lock by itself, so backoff
         # sleeps never stall other cubes' queued queries
-        return self._with_retries(
+        result = self._with_retries(
             cube,
             lambda: self._execute_miss(query, opts, fingerprint),
         )
+        # the miss grew the result cache; check the budget after the
+        # engine lock is released so reclaim never runs under it
+        self.memory.maybe_reclaim("result_cache_insert")
+        return result
 
     def _execute_miss(self, query, opts: ExecutionOptions, fingerprint):
         """One serialized attempt at an engine miss (runs under retry)."""
@@ -590,9 +686,10 @@ class QueryService:
                     executor=opts.executor,
                     allow_partial=opts.allow_partial,
                 )
-            # the generation cannot have moved: writes also serialize
-            # behind the engine lock
-            self.results.put(cube, fingerprint, generation, result)
+                # the generation cannot have moved: writes also
+                # serialize behind the engine lock.  Inside the span so
+                # the insert's byte measurement attributes to the query
+                self.results.put(cube, fingerprint, generation, result)
             return result
 
     def _from_cache(self, result: QueryResult, timer: Timer) -> QueryResult:
@@ -740,6 +837,8 @@ class QueryService:
         self.timeseries.stop()
         self.profiler.stop()
         self._pool.shutdown(wait=wait)
+        self.chunks.pressure_callback = None
+        self.memory.close()
         # shard worker pools / scratch volume images are engine-owned
         # but serving-driven; release them with the serving layer (the
         # coordinator lazily recreates everything if queried again)

@@ -82,6 +82,10 @@ class ShardCoordinator:
         self._workspace: str | None = None
         self._images: dict[str, tuple[int, str]] = {}
         self._executors: dict[str, ShardExecutor] = {}
+        #: last reported buffer-pool bytes per process-worker shard —
+        #: the memory accountant's view of memory held *outside* this
+        #: process (folded back like the counter deltas are)
+        self._worker_pool_bytes: dict[int, float] = {}
 
     # -- workspace / executors ------------------------------------------------
 
@@ -448,6 +452,18 @@ class ShardCoordinator:
                         bag.add(
                             f"shard.{assignment.shard_no}.{key}", deltas[key]
                         )
+                if "pool_resident_bytes" in result:
+                    self._worker_pool_bytes[assignment.shard_no] = float(
+                        result["pool_resident_bytes"]
+                    )
+
+    def worker_pool_resident_bytes(self) -> float:
+        """Last-known buffer-pool bytes summed across process workers.
+
+        Inline executors share the parent's pool (already accounted),
+        so only process-worker reports land here.
+        """
+        return float(sum(self._worker_pool_bytes.values()))
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -457,6 +473,7 @@ class ShardCoordinator:
             executor.close()
         self._executors.clear()
         self._images.clear()
+        self._worker_pool_bytes.clear()
         if self._workspace is not None:
             shutil.rmtree(self._workspace, ignore_errors=True)
             self._workspace = None

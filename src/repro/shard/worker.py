@@ -235,6 +235,10 @@ def run_shard_task(task: dict) -> dict:
         "state": accumulator.export_state(),
         "counters": deltas,
         "scan_s": time.perf_counter() - started,
+        # resident-set snapshot of this worker's private buffer pool —
+        # the coordinator folds it into the memory accountant the same
+        # way counter deltas fold into the query's metrics
+        "pool_resident_bytes": float(db.pool.resident_bytes()),
     }
     if root is not None:
         # the root's inclusive I/O *is* the shipped delta bag, so the

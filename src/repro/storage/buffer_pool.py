@@ -40,6 +40,11 @@ class _Frame:
     logged: bool = field(default=True, repr=False)
 
 
+#: per-frame bookkeeping bytes beyond the page image itself (the
+#: ``_Frame`` object, its ``bytearray`` header, the OrderedDict slot).
+_FRAME_OVERHEAD = 160
+
+
 class BufferPool:
     """LRU page cache with pin counts, dirty tracking and statistics."""
 
@@ -211,6 +216,15 @@ class BufferPool:
     def resident_pages(self) -> int:
         """Number of frames currently cached."""
         return len(self._frames)
+
+    def resident_bytes(self) -> int:
+        """Bytes held by cached frames: pages plus per-frame bookkeeping.
+
+        O(1) — frames are uniformly ``page_size`` bytes, so the memory
+        accountant can sample this from another thread without
+        iterating (and racing) the frame map.
+        """
+        return self.resident_pages() * (self.disk.page_size + _FRAME_OVERHEAD)
 
     def hit_rate(self) -> float:
         """Fraction of page requests served from the pool (0.0 if none)."""

@@ -137,6 +137,36 @@ class TestDiffGate:
         assert not failures
         assert any("skipped" in line for line in lines)
 
+    def test_memory_vintage_notes_instead_of_keyerror(self):
+        legacy = _artifact()  # no "memory" key at all
+        modern = _artifact(
+            shards=1,
+            shard_counters={},
+            memory={"budget_bytes": 0, "total_resident_bytes": 1000,
+                    "stores": {}},
+        )
+        lines, failures = diff_artifacts(legacy, modern)
+        assert not failures
+        assert any(
+            "predates memory accounting" in line for line in lines
+        )
+        assert not any("memory.resident_bytes" in line for line in lines)
+
+    def test_memory_line_when_both_sides_have_it(self):
+        def with_mem(nbytes):
+            return _artifact(
+                memory={"budget_bytes": 0,
+                        "total_resident_bytes": nbytes,
+                        "stores": {}},
+            )
+
+        lines, failures = diff_artifacts(with_mem(1_000), with_mem(2_000))
+        assert not failures  # informational, never a gate
+        mem = next(
+            line for line in lines if "memory.resident_bytes" in line
+        )
+        assert "x2.00" in mem
+
     def test_fig4_line_only_when_both_have_it(self):
         with_fig4 = _artifact(fig4_cold={"cost_s": 1.0})
         lines, _ = diff_artifacts(with_fig4, with_fig4)

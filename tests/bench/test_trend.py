@@ -57,8 +57,28 @@ class TestLoadTrend:
             "BENCH_serving.small.old.json"
         ]
         assert by_scale["small"][0]["shards"] == 1
-        assert len(notes) == 1
+        assert by_scale["small"][0]["resident_bytes"] == 0
+        assert len(notes) == 2
         assert "predates shard-aware" in notes[0]
+        assert "predates memory accounting" in notes[1]
+
+    def test_memory_aware_artifacts_carry_resident_bytes(self, tmp_path):
+        path = tmp_path / "BENCH_serving.small.new.json"
+        _artifact(path, "small", 0.01, 100)
+        payload = json.loads(path.read_text())
+        payload["shards"] = 2
+        payload["shard_counters"] = {}
+        payload["memory"] = {
+            "budget_bytes": 0,
+            "total_resident_bytes": 123_456,
+            "stores": {},
+        }
+        path.write_text(json.dumps(payload))
+        os.utime(path, (100, 100))
+        notes: list[str] = []
+        by_scale = load_trend(str(tmp_path), notes=notes)
+        assert by_scale["small"][0]["resident_bytes"] == 123_456
+        assert notes == []
 
     def test_skipped_files_are_noted(self, tmp_path):
         (tmp_path / "BENCH_serving.small.bad.json").write_text("{not json")

@@ -252,3 +252,65 @@ class TestLifecycle:
         finally:
             server.stop()
         assert first_port != 0
+
+
+class TestMemoryRoute:
+    def test_404_without_accountant(self, registry):
+        with ObservabilityServer(registry) as server:
+            status, _, body = _get(f"{server.url}/memory")
+        assert status == 404
+        assert "no memory accountant" in json.loads(body)["error"]
+
+    def test_breakdown_payload_and_top_param(self, registry):
+        from repro.obs.memory import MemoryAccountant
+
+        accountant = MemoryAccountant(budget_bytes=10_000)
+        accountant.register_store(
+            "cachey",
+            lambda: 2_048.0,
+            top_entries=lambda n: [
+                {"key": f"k{i}", "bytes": 100 - i} for i in range(n)
+            ],
+        )
+        server = ObservabilityServer(registry)
+        server.memory = accountant
+        with server:
+            status, _, body = _get(f"{server.url}/memory?top=2")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["budget_bytes"] == 10_000
+        assert payload["total_resident_bytes"] == 2_048
+        assert payload["stores"] == {"cachey": 2048}
+        assert len(payload["top_entries"]) == 2
+        assert payload["top_entries"][0]["store"] == "cachey"
+
+    def test_route_defaults_from_attached_service(self):
+        from repro.bench import bench_settings, build_cube_engine
+        from repro.data import SyntheticCubeConfig
+        from repro.serve import QueryService
+
+        config = SyntheticCubeConfig(
+            name="memcube",
+            dim_sizes=(4, 4, 4),
+            n_valid=32,
+            chunk_shape=(2, 2, 2),
+            seed=3,
+        )
+        engine = build_cube_engine(config, bench_settings("small"))
+        with QueryService(engine) as service:
+            server = ObservabilityServer(engine.db.metrics, service=service)
+            with server:
+                status, _, body = _get(f"{server.url}/memory")
+            assert status == 200
+            payload = json.loads(body)
+            stores = payload["stores"]
+            for expected in (
+                "buffer_pool",
+                "chunk_cache",
+                "result_cache",
+                "slowlog",
+                "traces",
+                "plan_cache",
+            ):
+                assert expected in stores, stores
+            assert payload["total_resident_bytes"] == sum(stores.values())

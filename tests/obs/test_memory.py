@@ -1,0 +1,329 @@
+"""Memory observatory unit tests: ``deep_sizeof`` measurement, the
+:class:`MemoryAccountant` ledger, the share-respecting two-pass reclaim
+coordinator, the per-store reclaim hooks, and the ``repro top`` MEM
+panel's ABSENT degradation."""
+
+import numpy as np
+import pytest
+
+from repro.obs.memory import MemoryAccountant, deep_sizeof
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.top import MetricsView, render_dashboard
+from repro.obs.tracing import TraceStore, new_trace_context
+
+
+class TestDeepSizeof:
+    def test_scalars_positive(self):
+        assert deep_sizeof(1) > 0
+        assert deep_sizeof("hello") > 0
+        assert deep_sizeof(None) > 0
+
+    def test_containers_descend(self):
+        payload = "x" * 4096
+        assert deep_sizeof([payload]) > 4096
+        assert deep_sizeof({"k": payload}) > 4096
+        assert deep_sizeof((payload,)) > 4096
+
+    def test_numpy_charged_buffer_bytes(self):
+        array = np.zeros(1024, dtype=np.int64)
+        measured = deep_sizeof(array)
+        assert measured >= array.nbytes
+        # charged directly, not walked element by element
+        assert measured < array.nbytes + 1024
+
+    def test_shared_subobject_charged_once(self):
+        shared = np.zeros(1024, dtype=np.int64)
+        both = deep_sizeof([shared, shared])
+        assert both < 2 * shared.nbytes
+
+    def test_cycle_safe(self):
+        a: list = []
+        a.append(a)
+        assert deep_sizeof(a) > 0
+
+    def test_object_dict_descends(self):
+        class Holder:
+            def __init__(self):
+                self.blob = "y" * 8192
+
+        assert deep_sizeof(Holder()) > 8192
+
+
+class _FakeStore:
+    """An in-memory byte bucket with the reclaim contract."""
+
+    def __init__(self, nbytes: int):
+        self.nbytes = float(nbytes)
+        self.reclaims: list[int] = []
+
+    def usage(self) -> float:
+        return self.nbytes
+
+    def reclaim(self, target_bytes: int) -> int:
+        self.reclaims.append(target_bytes)
+        freed = max(0, int(self.nbytes) - target_bytes)
+        self.nbytes -= freed
+        return freed
+
+
+class TestAccountant:
+    def test_total_is_sum_of_store_callbacks(self):
+        accountant = MemoryAccountant()
+        accountant.register_store("a", lambda: 100.0)
+        accountant.register_store("b", lambda: 250.0)
+        assert accountant.usage_by_store() == {"a": 100, "b": 250}
+        assert accountant.total_resident_bytes() == 350.0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryAccountant(budget_bytes=-1)
+
+    def test_register_is_idempotent_and_unregister_forgets(self):
+        accountant = MemoryAccountant()
+        accountant.register_store("a", lambda: 1.0)
+        accountant.register_store("a", lambda: 2.0)
+        assert accountant.usage_by_store() == {"a": 2}
+        accountant.unregister_store("a")
+        accountant.unregister_store("missing")  # ignored
+        assert accountant.usage_by_store() == {}
+
+    def test_gauges_exported_through_registry(self):
+        registry = MetricsRegistry()
+        accountant = MemoryAccountant(registry)
+        accountant.register_store("cachey", lambda: 512.0)
+        gauges = registry.gauge_values()
+        assert gauges["memory.total_resident_bytes"] == 512.0
+        assert gauges["memory.cachey.resident_bytes"] == 512.0
+
+    def test_unregister_freezes_gauge_at_zero(self):
+        registry = MetricsRegistry()
+        accountant = MemoryAccountant(registry)
+        accountant.register_store("cachey", lambda: 512.0)
+        accountant.unregister_store("cachey")
+        gauges = registry.gauge_values()
+        assert gauges["memory.cachey.resident_bytes"] == 0.0
+        assert gauges["memory.total_resident_bytes"] == 0.0
+
+    def test_close_freezes_everything(self):
+        registry = MetricsRegistry()
+        accountant = MemoryAccountant(registry)
+        accountant.register_store("cachey", lambda: 512.0)
+        accountant.close()
+        assert accountant.store_names() == []
+        assert registry.gauge_values()["memory.total_resident_bytes"] == 0.0
+
+    def test_top_entries_merge_sorted_across_stores(self):
+        accountant = MemoryAccountant()
+        accountant.register_store(
+            "a",
+            lambda: 0.0,
+            top_entries=lambda n: [{"key": "a1", "bytes": 10}],
+        )
+        accountant.register_store(
+            "b",
+            lambda: 0.0,
+            top_entries=lambda n: [
+                {"key": "b1", "bytes": 30},
+                {"key": "b2", "bytes": 20},
+            ],
+        )
+        merged = accountant.top_entries(2)
+        assert [(e["store"], e["key"], e["bytes"]) for e in merged] == [
+            ("b", "b1", 30),
+            ("b", "b2", 20),
+        ]
+
+    def test_payload_shape(self):
+        accountant = MemoryAccountant(budget_bytes=1000)
+        accountant.register_store("a", lambda: 100.0)
+        payload = accountant.payload()
+        assert payload["budget_bytes"] == 1000
+        assert payload["total_resident_bytes"] == 100
+        assert payload["stores"] == {"a": 100}
+        assert payload["top_entries"] == []
+        assert payload["counters"] == {}
+
+
+class TestReclaim:
+    def test_unbudgeted_never_reclaims(self):
+        accountant = MemoryAccountant()
+        store = _FakeStore(10_000)
+        accountant.register_store(
+            "a", store.usage, reclaim=store.reclaim, cost_rank=0
+        )
+        assert accountant.maybe_reclaim("test") == 0
+        assert store.reclaims == []
+
+    def test_under_budget_is_a_noop(self):
+        accountant = MemoryAccountant(budget_bytes=100_000)
+        store = _FakeStore(10_000)
+        accountant.register_store(
+            "a", store.usage, reclaim=store.reclaim, cost_rank=0
+        )
+        assert accountant.maybe_reclaim("test") == 0
+        assert accountant.counters.get("memory.pressure_events") == 0
+
+    def test_cheapest_store_reclaimed_first(self):
+        accountant = MemoryAccountant(budget_bytes=1_500)
+        cheap, pricey = _FakeStore(1_000), _FakeStore(1_000)
+        accountant.register_store(
+            "pricey", pricey.usage, reclaim=pricey.reclaim, cost_rank=5
+        )
+        accountant.register_store(
+            "cheap", cheap.usage, reclaim=cheap.reclaim, cost_rank=0
+        )
+        freed = accountant.maybe_reclaim("test")
+        assert freed == 500
+        assert cheap.nbytes == 500  # overshoot came out of rank 0
+        assert pricey.nbytes == 1_000
+        assert pricey.reclaims == []
+
+    def test_pass_one_respects_share_floor(self):
+        # budget 1000, store share 0.5 -> floor 500; a 400-byte
+        # overshoot in an unreclaimable store cannot push "a" below it
+        accountant = MemoryAccountant(budget_bytes=1_000)
+        store = _FakeStore(800)
+        accountant.register_store(
+            "a", store.usage, reclaim=store.reclaim, cost_rank=0, share=0.5
+        )
+        accountant.register_store("fixed", lambda: 600.0)
+        accountant.maybe_reclaim("test")
+        # pass 1 stops at the floor; pass 2 then reclaims the rest
+        assert store.reclaims[0] == 500
+        assert store.nbytes == 400  # 800+600 total, budget 1000
+
+    def test_pass_two_ignores_shares_when_still_over(self):
+        accountant = MemoryAccountant(budget_bytes=1_000)
+        store = _FakeStore(500)
+        accountant.register_store(
+            "a", store.usage, reclaim=store.reclaim, cost_rank=0, share=1.0
+        )
+        accountant.register_store("fixed", lambda: 1_200.0)
+        freed = accountant.maybe_reclaim("test")
+        # overshoot 700 > the whole store; pass 1 skips (under its
+        # share floor), pass 2 empties it
+        assert freed == 500
+        assert store.nbytes == 0
+
+    def test_counters_track_pressure_and_bytes(self):
+        accountant = MemoryAccountant(budget_bytes=500)
+        store = _FakeStore(900)
+        accountant.register_store(
+            "a", store.usage, reclaim=store.reclaim, cost_rank=0
+        )
+        accountant.maybe_reclaim("test")
+        assert accountant.counters.get("memory.pressure_events") == 1
+        assert accountant.counters.get("memory.reclaimed_bytes") == 400
+
+    def test_sample_enforces_then_reads(self):
+        accountant = MemoryAccountant(budget_bytes=500)
+        store = _FakeStore(2_000)
+        accountant.register_store(
+            "a", store.usage, reclaim=store.reclaim, cost_rank=0
+        )
+        snap = accountant.sample("test")
+        assert snap["total_resident_bytes"] <= 500
+        assert snap["reclaimed_bytes"] == 1_500
+
+
+class TestStoreReclaimHooks:
+    def test_slowlog_reclaim_drops_oldest_first(self):
+        log = SlowQueryLog(capacity=16, threshold_s=0.0)
+        for i in range(6):
+            log.record(f"fp{i}", "cube", "array", latency_s=1.0)
+        before = log.resident_bytes()
+        freed = log.reclaim(before // 2)
+        assert freed > 0
+        assert log.resident_bytes() <= before // 2
+        assert log.entries()[0].fingerprint != "fp0"  # oldest went first
+        assert log.reclaim(before) == 0  # already under target
+
+    def test_slowlog_reclaim_to_zero_empties_ring(self):
+        log = SlowQueryLog(capacity=16, threshold_s=0.0)
+        for i in range(4):
+            log.record(f"fp{i}", "cube", "array", latency_s=1.0)
+        log.reclaim(0)
+        assert len(log) == 0
+        assert log.resident_bytes() == 0
+
+    def test_trace_store_reclaim_drops_oldest(self):
+        store = TraceStore(capacity=64, sample_rate=1.0)
+        contexts = [new_trace_context() for _ in range(6)]
+        for i, ctx in enumerate(contexts):
+            store.record(ctx, name=f"t{i}", attrs={"blob": "z" * 2048})
+        before = store.resident_bytes()
+        freed = store.reclaim(before // 2)
+        assert freed > 0
+        assert store.resident_bytes() <= before // 2
+        assert store.get(contexts[0].trace_id) is None  # oldest evicted
+        assert store.get(contexts[-1].trace_id) is not None
+
+    def test_trace_store_incremental_sizes_track_merges(self):
+        store = TraceStore(capacity=8, sample_rate=1.0)
+        ctx = new_trace_context()
+        store.record(ctx, name="t")
+        first = store.resident_bytes()
+        store.record(ctx, attrs={"extra": "w" * 4096})
+        assert store.resident_bytes() > first + 4096
+
+    def test_plan_cache_reclaim_is_lru(self):
+        from repro.obs.explain import PlanCache
+
+        cache = PlanCache(capacity=16)
+        for i in range(4):
+            cache.put(f"fp{i}", {"plan": "p" * 1024, "i": i})
+        cache.get("fp0")  # refresh fp0 so fp1 is the LRU victim
+        before = cache.resident_bytes()
+        freed = cache.reclaim(before // 2)
+        assert freed > 0
+        assert cache.resident_bytes() <= before // 2
+        assert cache.get("fp1") is None
+
+
+class TestTopMemPanel:
+    ABSENT = "—"
+
+    def test_panel_renders_resident_gauges(self):
+        view = MetricsView(
+            gauges={
+                "repro_memory_total_resident_bytes": 3 * 1024 * 1024,
+                "repro_memory_buffer_pool_resident_bytes": 1024.0,
+                "repro_memory_chunk_cache_resident_bytes": 2048.0,
+                "repro_memory_result_cache_resident_bytes": 512.0,
+                "repro_memory_rollup_grains_resident_bytes": 0.0,
+            }
+        )
+        frame = render_dashboard(None, view, 1.0)
+        mem_line = next(
+            line for line in frame.splitlines()
+            if line.startswith("mem resident")
+        )
+        assert "3.0MiB" in mem_line
+        assert self.ABSENT not in mem_line
+
+    def test_absent_gauges_render_dash_not_zero(self):
+        frame = render_dashboard(None, MetricsView(), 1.0)
+        mem_line = next(
+            line for line in frame.splitlines()
+            if line.startswith("mem resident")
+        )
+        assert self.ABSENT in mem_line
+        assert "0B" not in mem_line
+
+    def test_pressure_line_only_when_counter_present(self):
+        quiet = render_dashboard(None, MetricsView(), 1.0)
+        assert "mem pressure" not in quiet
+        view = MetricsView(
+            counters={
+                "repro_memory_pressure_events": 3.0,
+                "repro_memory_reclaimed_bytes": 4096.0,
+            }
+        )
+        noisy = render_dashboard(None, view, 1.0)
+        pressure = next(
+            line for line in noisy.splitlines()
+            if line.startswith("mem pressure")
+        )
+        assert "events 3" in pressure
+        assert "4.0KiB" in pressure

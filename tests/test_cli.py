@@ -265,7 +265,7 @@ class TestAlertLintCommand:
         monkeypatch.chdir(os.path.join(os.path.dirname(__file__), ".."))
         assert main(["alert-lint"]) == 0
         out = capsys.readouterr().out
-        assert "6 rules validate" in out
+        assert "7 rules validate" in out
         assert "serve-latency-p99" in out
 
     def test_schema_violation_fails(self, capsys, tmp_path, monkeypatch):
